@@ -1,0 +1,52 @@
+// Ablation (design-space study beyond the paper's figures): the Feature
+// Disparity loss weight.
+//
+// The paper sets alpha = 0.3 "from our experimental experience" (Sec.
+// IV-A). This bench regenerates that choice: it sweeps alpha over
+// {0, 0.1, 0.3, 0.6, 1.0} on the AllFilter_U architecture and reports the
+// measured mean Feature Disparity at the fusion points together with the
+// accuracy — showing that the FD term does what Eq. 3 claims (pull the
+// branch features together) and where pushing it too hard starts taxing
+// the segmentation objective.
+#include "bench_common.hpp"
+#include "eval/disparity_profile.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Ablation — Feature Disparity loss weight (alpha) sweep",
+      "paper uses alpha = 0.3; sweep shows the disparity/accuracy "
+      "trade-off");
+
+  kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
+
+  bench::print_row({"alpha", "mean FD", "MaxF", "AP"}, 12);
+  double fd_at_zero = -1.0;
+  double fd_at_point_three = -1.0;
+  for (float alpha : {0.0f, 0.1f, 0.3f, 0.6f, 1.0f}) {
+    roadseg::RoadSegNet net = bench::trained_model(
+        config, core::FusionScheme::kAllFilterU, alpha);
+    const auto result = bench::evaluate_model(config, net);
+    const auto profile = eval::profile_disparity(net, test_set);
+    bench::print_row({fmt(alpha, 1), fmt(profile.mean(), 4),
+                      fmt(result.overall.f_score), fmt(result.overall.ap)},
+                     12);
+    if (alpha == 0.0f) {
+      fd_at_zero = profile.mean();
+    }
+    if (alpha == 0.3f) {
+      fd_at_point_three = profile.mean();
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: measured Feature Disparity decreases "
+      "monotonically with alpha\n(measured: %.4f at alpha=0 vs %.4f at "
+      "alpha=0.3) while accuracy stays flat or\nimproves in the small-alpha "
+      "regime the paper picked.\n",
+      fd_at_zero, fd_at_point_three);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (design-space study beyond the paper's figures): how many
+// stages can be shared?
+//
+// The paper shares only the last convolutional stage, motivated by
+// Fig. 3(a)'s observation that feature disparity shrinks with depth. This
+// bench sweeps the first-shared-stage index from "share the deepest two"
+// to "share only the deepest" plus the unshared Baseline, reporting
+// parameters, accuracy and the measured disparity at the first shared
+// stage — exposing the accuracy/parameter trade-off behind the design
+// choice.
+#include "bench_common.hpp"
+#include "eval/disparity_profile.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Ablation — Layer-sharing depth sweep",
+      "params / accuracy / disparity as more encoder stages are shared");
+
+  kitti::RoadDataset train_set(config.train_data, kitti::Split::kTrain);
+  kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
+  const int64_t h = config.train_data.image_height;
+  const int64_t w = config.train_data.image_width;
+  const int stages = static_cast<int>(config.net.stage_channels.size());
+
+  bench::print_row({"shared stages", "params(K)", "MaxF", "AP",
+                    "FD@first-shared"},
+                   16);
+
+  // share_from = stages (nothing shared / Baseline) down to stages - 2.
+  for (int share_from = stages; share_from >= stages - 2; --share_from) {
+    roadseg::RoadSegConfig net_config = config.net;
+    const bool is_baseline = share_from >= stages;
+    net_config.scheme = is_baseline ? core::FusionScheme::kBaseline
+                                    : core::FusionScheme::kBaseSharing;
+    net_config.share_from_stage = is_baseline ? -1 : share_from;
+    tensor::Rng rng(42);
+    roadseg::RoadSegNet net(net_config, rng);
+    train::TrainConfig train_config = config.train;
+    train_config.alpha_fd = is_baseline ? 0.0f : config.alpha_fd;
+    train::train_or_load(net, train_set, train_config, config.cache_dir);
+
+    const auto result = eval::evaluate(net, test_set, config.eval);
+    const auto profile = eval::profile_disparity(net, test_set);
+    const int first_shared = is_baseline ? -1 : share_from;
+    const double fd_first_shared =
+        is_baseline ? profile.per_stage.back()
+                    : profile.per_stage[static_cast<size_t>(first_shared)];
+    bench::print_row(
+        {is_baseline ? "none (Baseline)"
+                     : std::to_string(stages - share_from),
+         fmt(static_cast<double>(net.complexity(h, w).params) / 1e3),
+         fmt(result.overall.f_score), fmt(result.overall.ap),
+         fmt(fd_first_shared, 4)},
+        16);
+  }
+
+  std::printf(
+      "\nExpected shape: parameters drop with every extra shared stage; "
+      "accuracy holds when\nonly deep (low-disparity) stages are shared and "
+      "deteriorates once mid stages —\nwhere disparity peaks — get "
+      "shared.\n");
+  return 0;
+}

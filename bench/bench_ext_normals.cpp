@@ -1,0 +1,62 @@
+// Extension experiment: inverse-depth vs surface-normal depth input.
+//
+// The paper's baseline descends from SNE-RoadSeg, whose key idea is to
+// feed the depth branch surface normals estimated from depth instead of
+// raw depth. This bench trains the Baseline fusion network with both
+// representations and compares — reproducing the lineage experiment the
+// paper builds on (not a figure of the paper itself).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Extension — inverse-depth vs surface-normal depth input",
+      "SNE-RoadSeg-style normals (3ch) vs inverse depth (1ch), Baseline "
+      "fusion");
+
+  bench::print_row({"depth input", "UM", "UMM", "UU", "overall", "params(K)"},
+                   14);
+  for (const bool use_normals : {false, true}) {
+    kitti::DatasetConfig train_data = config.train_data;
+    kitti::DatasetConfig test_data = config.test_data;
+    train_data.use_surface_normals = use_normals;
+    test_data.use_surface_normals = use_normals;
+    kitti::RoadDataset train_set(train_data, kitti::Split::kTrain);
+    kitti::RoadDataset test_set(test_data, kitti::Split::kTest);
+
+    roadseg::RoadSegConfig net_config = config.net;
+    net_config.scheme = core::FusionScheme::kBaseline;
+    net_config.depth_channels = use_normals ? 3 : 1;
+    tensor::Rng rng(42);
+    roadseg::RoadSegNet net(net_config, rng);
+    train::TrainConfig train_config = config.train;
+    // The cache key does not encode the depth representation, so bypass
+    // the cache for the normals variant by training directly.
+    if (use_normals) {
+      train::fit(net, train_set, train_config);
+    } else {
+      train::train_or_load(net, train_set, train_config, config.cache_dir);
+    }
+    const auto result = eval::evaluate(net, test_set, config.eval);
+    bench::print_row(
+        {use_normals ? "normals (3ch)" : "inv-depth",
+         fmt(result.per_category.at(kitti::RoadCategory::kUM).f_score),
+         fmt(result.per_category.at(kitti::RoadCategory::kUMM).f_score),
+         fmt(result.per_category.at(kitti::RoadCategory::kUU).f_score),
+         fmt(result.overall.f_score),
+         fmt(static_cast<double>(
+                 net.complexity(train_data.image_height,
+                                train_data.image_width).params) /
+             1e3)},
+        14);
+  }
+
+  std::printf(
+      "\nExpected shape: both representations are competitive; normals "
+      "encode the\nroad-plane geometry explicitly (SNE-RoadSeg's premise) "
+      "at the cost of a\nslightly wider depth stem.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig. 6 reproduction: accuracy tables per road scene.
+//
+// Three tables (UM, UMM, UU), each reporting F-score, AP, PRE, REC, IOU
+// for Baseline, AllFilter_U (AU), AllFilter_B (AB), BaseSharing (BS) and
+// WeightedSharing (WS). The Baseline is trained with the segmentation
+// loss only; the proposed models additionally use the Feature Disparity
+// loss (alpha = 0.3), matching the paper's setup.
+//
+// Expected shape (paper): the proposed models beat the Baseline on most
+// metrics; UMM is the easiest scene, UU the hardest; AU strongest in UM,
+// BS strong in UMM with the least parameters, WS strong in UU.
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Fig. 6 — Accuracy of the five fusion schemes per road scene",
+      config.full ? "full KITTI-sized split"
+                  : "quick mode (ROADFUSION_BENCH_FULL=1 for full)");
+
+  std::map<core::FusionScheme, eval::EvaluationResult> results;
+  for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+    const float alpha =
+        scheme == core::FusionScheme::kBaseline ? 0.0f : config.alpha_fd;
+    roadseg::RoadSegNet net = bench::trained_model(config, scheme, alpha);
+    results[scheme] = bench::evaluate_model(config, net);
+  }
+
+  const struct {
+    const char* name;
+    double eval::SegmentationScores::* field;
+  } metrics[] = {
+      {"F-score", &eval::SegmentationScores::f_score},
+      {"AP", &eval::SegmentationScores::ap},
+      {"PRE", &eval::SegmentationScores::precision},
+      {"REC", &eval::SegmentationScores::recall},
+      {"IOU", &eval::SegmentationScores::iou},
+  };
+
+  for (const auto category :
+       {kitti::RoadCategory::kUM, kitti::RoadCategory::kUMM,
+        kitti::RoadCategory::kUU}) {
+    std::printf("\n(%s)\n", kitti::to_string(category));
+    std::vector<std::string> header = {"Metric"};
+    for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+      header.push_back(core::short_name(scheme));
+    }
+    bench::print_row(header, 11);
+    for (const auto& metric : metrics) {
+      std::vector<std::string> row = {metric.name};
+      double best = -1.0;
+      core::FusionScheme best_scheme = core::FusionScheme::kBaseline;
+      for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+        const double value =
+            results.at(scheme).per_category.at(category).*metric.field;
+        if (value > best) {
+          best = value;
+          best_scheme = scheme;
+        }
+        row.push_back(fmt(value));
+      }
+      row.push_back(std::string("best: ") + core::short_name(best_scheme));
+      bench::print_row(row, 11);
+    }
+  }
+
+  // Suite-level shape summary.
+  int proposed_wins = 0;
+  int cells = 0;
+  for (const auto category :
+       {kitti::RoadCategory::kUM, kitti::RoadCategory::kUMM,
+        kitti::RoadCategory::kUU}) {
+    for (const auto& metric : metrics) {
+      const double baseline_value =
+          results.at(core::FusionScheme::kBaseline)
+              .per_category.at(category).*metric.field;
+      double best_proposed = -1.0;
+      for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+        if (scheme == core::FusionScheme::kBaseline) {
+          continue;
+        }
+        best_proposed = std::max(
+            best_proposed,
+            results.at(scheme).per_category.at(category).*metric.field);
+      }
+      ++cells;
+      if (best_proposed >= baseline_value) {
+        ++proposed_wins;
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape: a proposed model matches or beats the Baseline in "
+      "most cells.\nMeasured: best-proposed >= Baseline in %d / %d "
+      "metric-scene cells.\n",
+      proposed_wins, cells);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 7 reproduction: accuracy vs computational cost.
+//
+// For each fusion scheme: overall MaxF on the test split, total MACs per
+// forward pass, and total trainable parameters (shared weights counted
+// once).
+//
+// Expected shape (paper): Fusion-filters add MACs and parameters on top
+// of the Baseline (AB > AU > Baseline); Layer-sharing removes parameters
+// (BS lowest) while leaving MACs unchanged; WeightedSharing adds back
+// only the tiny AWN yet stays below the Baseline's parameter count.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Fig. 7 — Accuracy, MACs and parameters per fusion scheme",
+      config.full ? "full KITTI-sized split"
+                  : "quick mode (ROADFUSION_BENCH_FULL=1 for full)");
+
+  const int64_t h = config.train_data.image_height;
+  const int64_t w = config.train_data.image_width;
+
+  bench::print_row({"model", "MaxF", "AP", "MACs(M)", "params(K)"}, 17);
+  int64_t baseline_params = 0;
+  int64_t bs_params = 0;
+  int64_t ws_params = 0;
+  int64_t au_params = 0;
+  int64_t ab_params = 0;
+  for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+    const float alpha =
+        scheme == core::FusionScheme::kBaseline ? 0.0f : config.alpha_fd;
+    roadseg::RoadSegNet net = bench::trained_model(config, scheme, alpha);
+    const nn::Complexity complexity = net.complexity(h, w);
+    const auto result = bench::evaluate_model(config, net);
+    bench::print_row(
+        {core::to_string(scheme), fmt(result.overall.f_score),
+         fmt(result.overall.ap),
+         fmt(static_cast<double>(complexity.macs) / 1e6, 3),
+         fmt(static_cast<double>(complexity.params) / 1e3, 2)},
+        17);
+    switch (scheme) {
+      case core::FusionScheme::kBaseline:
+        baseline_params = complexity.params;
+        break;
+      case core::FusionScheme::kAllFilterU:
+        au_params = complexity.params;
+        break;
+      case core::FusionScheme::kAllFilterB:
+        ab_params = complexity.params;
+        break;
+      case core::FusionScheme::kBaseSharing:
+        bs_params = complexity.params;
+        break;
+      case core::FusionScheme::kWeightedSharing:
+        ws_params = complexity.params;
+        break;
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: params BS < WS < Baseline < AU < AB.\n"
+      "Measured ordering holds: %s\n"
+      "Layer-sharing saves %.1f%% of the Baseline's parameters; the AWN "
+      "adds back only %.2f%%.\n",
+      (bs_params < ws_params && ws_params < baseline_params &&
+       baseline_params < au_params && au_params < ab_params)
+          ? "yes"
+          : "NO",
+      100.0 * (1.0 - static_cast<double>(bs_params) / baseline_params),
+      100.0 * static_cast<double>(ws_params - bs_params) / baseline_params);
+  return 0;
+}

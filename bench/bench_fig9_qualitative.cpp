@@ -1,0 +1,103 @@
+// Fig. 9 (and Fig. 1) reproduction: qualitative samples.
+//
+// Renders one deliberately adverse scene per road category (over-exposure
+// for UM, shadows for UMM, night for UU), runs the trained AllFilter_U
+// model, and writes composite images — RGB input, depth input, green
+// drivable-road overlay — to the output directory. Also reports the
+// per-sample MaxF so robustness under adverse lighting is quantified, not
+// just eyeballed.
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "kitti/depth_preproc.hpp"
+#include "kitti/lidar.hpp"
+#include "kitti/render.hpp"
+#include "vision/image_io.hpp"
+#include "vision/overlay.hpp"
+
+int main() {
+  using namespace roadfusion;
+  using bench::fmt;
+
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Fig. 9 — Qualitative results under adverse lighting",
+      "composite PPMs (rgb / depth / overlay) written to the output dir");
+
+  roadseg::RoadSegNet net =
+      bench::trained_model(config, core::FusionScheme::kAllFilterU, config.alpha_fd);
+  net.set_training(false);
+
+  const std::filesystem::path out_dir =
+      std::filesystem::path(config.out_dir) / "fig9";
+  std::filesystem::create_directories(out_dir);
+
+  const kitti::DatasetConfig data = config.test_data;
+  const vision::Camera camera(data.image_width, data.image_height,
+                              data.fov_deg, data.cam_height, data.cam_pitch);
+
+  const struct {
+    kitti::RoadCategory category;
+    kitti::Lighting lighting;
+    uint64_t seed;
+  } cases[] = {
+      {kitti::RoadCategory::kUM, kitti::Lighting::kOverexposure, 1001},
+      {kitti::RoadCategory::kUMM, kitti::Lighting::kShadows, 2002},
+      {kitti::RoadCategory::kUU, kitti::Lighting::kNight, 3003},
+  };
+
+  bench::print_row({"scene", "lighting", "MaxF", "IOU", "file"}, 15);
+  for (const auto& test_case : cases) {
+    const kitti::Scene scene = kitti::Scene::generate(
+        test_case.category, test_case.lighting, test_case.seed);
+    tensor::Rng noise(test_case.seed ^ 0xabcdULL);
+    const tensor::Tensor rgb = kitti::render_rgb(scene, camera, noise);
+    const tensor::Tensor label = kitti::render_ground_truth(scene, camera);
+    const auto points = kitti::scan(scene, data.lidar, noise);
+    const tensor::Tensor depth = kitti::preprocess_depth(
+        kitti::project_to_sparse_depth(points, camera), data.depth);
+
+    const tensor::Tensor probability = net.predict(rgb, depth);
+    const auto scores =
+        eval::score_sample(probability, label, camera, config.eval);
+
+    const tensor::Tensor overlay = vision::overlay_segmentation(
+        rgb, probability.reshaped(tensor::Shape::mat(
+                 camera.height(), camera.width())));
+    const tensor::Tensor composite = vision::stack_vertical(
+        {rgb, vision::gray_to_rgb(depth), overlay});
+    const std::string name =
+        std::string(kitti::to_string(test_case.category)) + "_" +
+        kitti::to_string(test_case.lighting) + ".ppm";
+    vision::write_ppm((out_dir / name).string(), composite);
+
+    bench::print_row({kitti::to_string(test_case.category),
+                      kitti::to_string(test_case.lighting),
+                      fmt(scores.f_score), fmt(scores.iou),
+                      (out_dir / name).string()},
+                     15);
+  }
+
+  // Fig. 1 style reference output: a clean daytime sample.
+  const kitti::Scene day_scene = kitti::Scene::generate(
+      kitti::RoadCategory::kUM, kitti::Lighting::kDay, 4004);
+  tensor::Rng noise(4004);
+  const tensor::Tensor rgb = kitti::render_rgb(day_scene, camera, noise);
+  const auto points = kitti::scan(day_scene, data.lidar, noise);
+  const tensor::Tensor depth = kitti::preprocess_depth(
+      kitti::project_to_sparse_depth(points, camera), data.depth);
+  const tensor::Tensor probability = net.predict(rgb, depth);
+  const tensor::Tensor composite = vision::stack_vertical(
+      {rgb, vision::gray_to_rgb(depth),
+       vision::overlay_segmentation(
+           rgb, probability.reshaped(tensor::Shape::mat(camera.height(),
+                                                        camera.width())))});
+  vision::write_ppm((out_dir / "fig1_day_reference.ppm").string(), composite);
+  std::printf("\nFig. 1 style reference written to %s\n",
+              (out_dir / "fig1_day_reference.ppm").c_str());
+  std::printf(
+      "Expected shape: the model stays usable under over-exposure, shadows "
+      "and night\n(the depth modality is lighting-invariant), visible as "
+      "high MaxF above.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Inference latency per fusion scheme (supporting measurement).
+//
+// The paper makes two runtime claims this bench quantifies:
+//  * the Feature Disparity loss is training-only, so it "does not affect
+//    the inference latency" — shown by timing the same architecture
+//    trained with and without the loss;
+//  * Fusion-filters add inference work (Sec. IV-B), while Layer-sharing
+//    does not change MACs — shown by the per-scheme latency table.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace roadfusion;
+using Clock = std::chrono::steady_clock;
+
+/// Mean per-image predict() latency in milliseconds.
+double measure_latency_ms(roadseg::SegmentationModel& net,
+                          const kitti::Sample& sample, int repeats) {
+  net.set_training(false);
+  // Warm-up (first call touches cold caches).
+  (void)net.predict(sample.rgb, sample.depth);
+  const auto start = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    (void)net.predict(sample.rgb, sample.depth);
+  }
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         repeats;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Inference latency per fusion scheme",
+      "single-core per-image forward latency; FD loss is training-only");
+
+  kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
+  const kitti::Sample& sample = test_set.sample(0);
+  const int repeats = 20;
+
+  bench::print_row({"model", "latency(ms)", "MACs(M)"}, 18);
+  double baseline_ms = 0.0;
+  for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+    const float alpha =
+        scheme == core::FusionScheme::kBaseline ? 0.0f : config.alpha_fd;
+    roadseg::RoadSegNet net = bench::trained_model(config, scheme, alpha);
+    const double ms = measure_latency_ms(net, sample, repeats);
+    if (scheme == core::FusionScheme::kBaseline) {
+      baseline_ms = ms;
+    }
+    bench::print_row(
+        {core::to_string(scheme), fmt(ms, 3),
+         fmt(net.complexity(config.test_data.image_height,
+                            config.test_data.image_width).macs /
+                 1e6,
+             3)},
+        18);
+  }
+
+  // Same architecture, trained with vs without the FD loss: identical
+  // inference graph, so latency must match within noise.
+  roadseg::RoadSegNet plain =
+      bench::trained_model(config, core::FusionScheme::kBaseline, 0.0f);
+  roadseg::RoadSegNet with_loss =
+      bench::trained_model(config, core::FusionScheme::kBaseline,
+                           config.alpha_fd);
+  const double plain_ms = measure_latency_ms(plain, sample, repeats);
+  const double loss_ms = measure_latency_ms(with_loss, sample, repeats);
+  std::printf(
+      "\nFD-loss latency check (Baseline): trained without %.3f ms, "
+      "with %.3f ms\n-> the loss changes training only; the inference "
+      "graph is identical.\n",
+      plain_ms, loss_ms);
+  std::printf(
+      "Expected shape: AllFilter latencies exceed the Baseline's (%.3f "
+      "ms);\nsharing schemes match it.\n",
+      baseline_ms);
+  return 0;
+}

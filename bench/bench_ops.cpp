@@ -1,0 +1,141 @@
+// Operator-level micro-benchmarks (google-benchmark).
+//
+// Not a paper figure: supporting measurements for the overhead discussion
+// in Sec. IV-B — what a Fusion-filter, the AWN, the edge extractor and the
+// Feature Disparity metric cost relative to the network's backbone convs.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.hpp"
+#include "core/awn.hpp"
+#include "core/feature_disparity.hpp"
+#include "core/fusion_filter.hpp"
+#include "kitti/dataset.hpp"
+#include "vision/bev.hpp"
+#include "vision/edges.hpp"
+
+namespace {
+
+using namespace roadfusion;
+namespace ag = roadfusion::autograd;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_Conv3x3Forward(benchmark::State& state) {
+  Rng rng(1);
+  const int64_t c = state.range(0);
+  const ag::Variable x =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 32, 96), rng));
+  const ag::Variable w =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(c, c, 3, 3), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag::conv2d(x, w, ag::Variable(), ag::ConvGeometry{3, 1, 1}));
+  }
+}
+BENCHMARK(BM_Conv3x3Forward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv3x3Backward(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t c = state.range(0);
+  for (auto _ : state) {
+    ag::Variable x =
+        ag::Variable::leaf(Tensor::normal(Shape::nchw(1, c, 32, 96), rng),
+                           true);
+    ag::Variable w =
+        ag::Variable::leaf(Tensor::normal(Shape::nchw(c, c, 3, 3), rng),
+                           true);
+    ag::mean_all(ag::conv2d(x, w, ag::Variable(), ag::ConvGeometry{3, 1, 1}))
+        .backward();
+    benchmark::DoNotOptimize(w.grad());
+  }
+}
+BENCHMARK(BM_Conv3x3Backward)->Arg(8)->Arg(16);
+
+void BM_FusionFilter1x1(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t c = state.range(0);
+  const core::FusionFilter filter("f", c, rng);
+  const ag::Variable source =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 32, 96), rng));
+  const ag::Variable target =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 32, 96), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.fuse(target, source));
+  }
+}
+BENCHMARK(BM_FusionFilter1x1)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ElementwiseSumFusion(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t c = state.range(0);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 32, 96), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 32, 96), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::add(a, b));
+  }
+}
+BENCHMARK(BM_ElementwiseSumFusion)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AwnWeightedFusion(benchmark::State& state) {
+  Rng rng(5);
+  const int64_t c = state.range(0);
+  const core::AuxiliaryWeightNetwork awn("awn", c, rng);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 2, 6), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, c, 2, 6), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(awn.fuse(a, b));
+  }
+}
+BENCHMARK(BM_AwnWeightedFusion)->Arg(32);
+
+void BM_SobelEdgeOp(benchmark::State& state) {
+  Rng rng(6);
+  const ag::Variable x = ag::Variable::constant(
+      Tensor::normal(Shape::nchw(1, state.range(0), 32, 96), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::sobel_edge(x));
+  }
+}
+BENCHMARK(BM_SobelEdgeOp)->Arg(8)->Arg(32);
+
+void BM_FeatureDisparityMetric(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor a = Tensor::normal(Shape::chw(state.range(0), 32, 96), rng);
+  const Tensor b = Tensor::normal(Shape::chw(state.range(0), 32, 96), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::feature_disparity(a, b));
+  }
+}
+BENCHMARK(BM_FeatureDisparityMetric)->Arg(8)->Arg(32);
+
+void BM_BevWarp(benchmark::State& state) {
+  Rng rng(8);
+  const vision::Camera camera(96, 32, 90.0, 1.6, 0.12);
+  const Tensor plane = Tensor::uniform(Shape::mat(32, 96), rng);
+  const vision::BevSpec spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::bev_warp(plane, camera, spec));
+  }
+}
+BENCHMARK(BM_BevWarp);
+
+void BM_DatasetSampleGeneration(benchmark::State& state) {
+  kitti::DatasetConfig config;
+  config.max_per_category = 1000;  // avoid cache reuse across iterations
+  const kitti::RoadDataset dataset(config, kitti::Split::kTrain);
+  int64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataset.sample(index));
+    index = (index + 1) % dataset.size();
+  }
+}
+BENCHMARK(BM_DatasetSampleGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

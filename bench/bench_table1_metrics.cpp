@@ -1,0 +1,176 @@
+// Table I reproduction: feature-disparity metric comparison.
+//
+// The paper's Table I is qualitative: does a metric carry spatial
+// information, and does it tolerate luminance disparity? We regenerate
+// both columns quantitatively:
+//
+//  * spatial information — scramble BOTH images of a structurally
+//    mismatched pair with the SAME random permutation. Pointwise and
+//    histogram statistics (marginal and joint) are invariant under a
+//    joint permutation, so a metric that changes its reading must be
+//    looking at spatial arrangement (windows, edges), and one that does
+//    not is blind to it.
+//  * luminance tolerance — add a global brightness offset to one image of
+//    an identical pair; a tolerant metric barely moves relative to its
+//    structural-mismatch response.
+//
+// Paper verdicts: MI and Cross-bin lack spatial information; SSIM has it
+// but is luminance-sensitive; Feature Disparity has both properties.
+#include <cmath>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "core/feature_disparity.hpp"
+#include "tensor/rng.hpp"
+#include "vision/quality_metrics.hpp"
+
+namespace {
+
+using namespace roadfusion;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor checkerboard(int64_t cell, float lo, float hi) {
+  const int64_t n = 32;
+  Tensor img(Shape::mat(n, n));
+  for (int64_t y = 0; y < n; ++y) {
+    for (int64_t x = 0; x < n; ++x) {
+      img.at(y * n + x) = ((x / cell + y / cell) % 2 == 0) ? hi : lo;
+    }
+  }
+  return img;
+}
+
+std::vector<int64_t> random_permutation(int64_t n, uint64_t seed) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  tensor::Rng rng(seed);
+  for (int64_t i = n - 1; i > 0; --i) {
+    std::swap(perm[static_cast<size_t>(i)],
+              perm[static_cast<size_t>(rng.uniform_int(0, i))]);
+  }
+  return perm;
+}
+
+Tensor permute(const Tensor& img, const std::vector<int64_t>& perm) {
+  Tensor out(img.shape());
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    out.at(i) = img.at(perm[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+/// Feature Disparity adapter on single planes (normalized sketch — the
+/// probes are raw images, not BN-scaled feature maps).
+double fd_metric(const Tensor& a, const Tensor& b) {
+  vision::EdgeConfig config;
+  config.normalize = true;
+  return core::feature_disparity(
+      a.reshaped(Shape::chw(1, a.shape().dim(0), a.shape().dim(1))),
+      b.reshaped(Shape::chw(1, b.shape().dim(0), b.shape().dim(1))), config);
+}
+
+using MetricFn = double (*)(const Tensor&, const Tensor&);
+
+struct MetricEntry {
+  const char* name;
+  MetricFn fn;
+  const char* paper_spatial;
+  const char* paper_lum;
+};
+
+double mi32(const Tensor& a, const Tensor& b) {
+  return vision::mutual_information(a, b);
+}
+double dd32(const Tensor& a, const Tensor& b) {
+  return vision::diffusion_distance(a, b);
+}
+double ssim_metric(const Tensor& a, const Tensor& b) {
+  return vision::ssim(a, b);
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  bench::print_header(
+      "Table I — Feature disparity metric comparison",
+      "spatial-info via joint-permutation invariance; luminance tolerance "
+      "via global brightness offset");
+
+  const Tensor base = checkerboard(4, 0.1f, 0.6f);
+  // Structural mismatch: the same pattern laterally offset by 1 px — the
+  // content still overlaps (so window metrics keep partial signal) but the
+  // spatial structure no longer aligns.
+  Tensor mismatch(base.shape());
+  {
+    const int64_t n = 32;
+    for (int64_t y = 0; y < n; ++y) {
+      for (int64_t x = 0; x < n; ++x) {
+        mismatch.at(y * n + x) = base.at(y * n + (x + 1) % n);
+      }
+    }
+  }
+  Tensor shifted = base;
+  for (int64_t i = 0; i < shifted.numel(); ++i) {
+    shifted.at(i) += 0.35f;
+  }
+  const auto perm = random_permutation(base.numel(), 20220712);
+  const Tensor base_p = permute(base, perm);
+  const Tensor mismatch_p = permute(mismatch, perm);
+
+  const std::vector<MetricEntry> metrics = {
+      {"L2", vision::l2_distance, "-", "-"},
+      {"MI", mi32, "x", "x"},
+      {"Cross-bin", dd32, "x", "x"},
+      {"SSIM", ssim_metric, "ok", "x"},
+      {"FeatureDisp", fd_metric, "ok", "ok"},
+  };
+
+  bench::print_row({"metric", "identical", "lum-shift", "mismatch",
+                    "mismatch-perm"},
+                   14);
+  std::printf("--------------------------------------------------------------\n");
+  bench::print_row({"", "(a,a)", "(a,a+0.35)", "(a,b)", "(Pa,Pb)"}, 14);
+  std::printf("--------------------------------------------------------------\n");
+
+  std::vector<std::string> verdicts;
+  for (const MetricEntry& m : metrics) {
+    const double identical = m.fn(base, base);
+    const double lum = m.fn(base, shifted);
+    const double mis = m.fn(base, mismatch);
+    const double mis_perm = m.fn(base_p, mismatch_p);
+    bench::print_row({m.name, fmt(identical, 4), fmt(lum, 4), fmt(mis, 4),
+                      fmt(mis_perm, 4)},
+                     14);
+    // Spatial info: pointwise metrics (L2) and histogram metrics (MI,
+    // Cross-bin) are *exactly* invariant under a joint permutation of both
+    // images; any genuine sensitivity to it proves the metric reads
+    // neighbourhood structure (SSIM's windows, FD's edges).
+    const double spatial_delta = std::fabs(mis - mis_perm);
+    const bool spatial =
+        spatial_delta > 1e-6 * std::max(1.0, std::fabs(mis));
+    // Luminance tolerance: brightness offset moves the metric much less
+    // than structural mismatch does.
+    const double lum_move = std::fabs(lum - identical);
+    const double mis_move = std::fabs(mis - identical);
+    const bool lum_tolerant = mis_move > 1e-12
+                                  ? lum_move / mis_move < 0.25
+                                  : lum_move < 1e-9;
+    verdicts.push_back(std::string(m.name) + ": spatial-info=" +
+                       (spatial ? "yes" : "NO") + " lum-tolerant=" +
+                       (lum_tolerant ? "yes" : "NO") + "   (paper: " +
+                       m.paper_spatial + "/" + m.paper_lum + ")");
+  }
+
+  std::printf("\nDerived verdicts vs paper Table I:\n");
+  for (const std::string& v : verdicts) {
+    std::printf("  %s\n", v.c_str());
+  }
+  std::printf(
+      "\nExpected shape: FeatureDisp = yes/yes; SSIM = yes/NO; MI and "
+      "Cross-bin = NO spatial info.\n(Our histogram metrics normalize "
+      "intensities per image, which makes them luminance-tolerant where\n"
+      "the paper marks them 'x' — see EXPERIMENTS.md.)\n");
+  return 0;
+}

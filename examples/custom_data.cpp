@@ -1,0 +1,77 @@
+// Custom data: the bring-your-own-dataset workflow.
+//
+// 1. Exports a handful of synthetic samples to a directory in the
+//    portable PPM/PGM layout (stand-in for converted real data such as
+//    KITTI road).
+// 2. Loads them back through DirectoryDataset — the same class that would
+//    load real converted frames.
+// 3. Trains with augmentation enabled and evaluates, all through the
+//    shared SegmentationModel / RoadData pipeline.
+#include <cstdio>
+#include <filesystem>
+
+#include "eval/evaluator.hpp"
+#include "kitti/dataset.hpp"
+#include "kitti/directory_dataset.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "train/trainer.hpp"
+#include "vision/image_io.hpp"
+
+int main() {
+  using namespace roadfusion;
+  namespace fs = std::filesystem;
+
+  // --- 1. Export (stands in for your own conversion script) ---------------
+  const fs::path dir = "custom_data_out";
+  fs::create_directories(dir);
+  kitti::DatasetConfig source_config;
+  source_config.max_per_category = 8;
+  const kitti::RoadDataset source(source_config, kitti::Split::kTrain);
+  for (int64_t i = 0; i < source.size(); ++i) {
+    const kitti::Sample& sample = source.sample(i);
+    const std::string stem = std::string(kitti::to_string(sample.category)) +
+                             "_frame_" + std::to_string(i);
+    vision::write_ppm((dir / (stem + "_rgb.ppm")).string(), sample.rgb);
+    vision::write_pgm((dir / (stem + "_depth.pgm")).string(), sample.depth);
+    vision::write_pgm((dir / (stem + "_label.pgm")).string(),
+                      sample.label.reshaped(tensor::Shape::mat(
+                          source_config.image_height,
+                          source_config.image_width)));
+  }
+  std::printf("exported %lld sample triples to %s/\n",
+              static_cast<long long>(source.size()), dir.c_str());
+
+  // --- 2. Load as a file-backed dataset ------------------------------------
+  kitti::DirectoryDatasetConfig dir_config;
+  dir_config.directory = dir.string();
+  const kitti::DirectoryDataset dataset(dir_config);
+  std::printf("loaded %lld samples (%lldx%lld) from disk\n",
+              static_cast<long long>(dataset.size()),
+              static_cast<long long>(dataset.camera().height()),
+              static_cast<long long>(dataset.camera().width()));
+
+  // --- 3. Train with augmentation and evaluate -----------------------------
+  tensor::Rng rng(21);
+  roadseg::RoadSegConfig net_config;
+  net_config.scheme = core::FusionScheme::kAllFilterU;
+  roadseg::RoadSegNet net(net_config, rng);
+
+  train::TrainConfig train_config;
+  train_config.epochs = 6;
+  train_config.alpha_fd = 0.1f;
+  train_config.augment = true;  // flips + photometric jitter
+  train::fit(net, dataset, train_config);
+
+  const eval::EvaluationResult result = eval::evaluate(net, dataset, {});
+  std::printf("\ntrain-set BEV scores after %d augmented epochs:\n",
+              train_config.epochs);
+  for (const auto& [category, scores] : result.per_category) {
+    std::printf("  %-4s MaxF %.2f  IOU %.2f\n", kitti::to_string(category),
+                scores.f_score, scores.iou);
+  }
+  std::printf(
+      "\nTo use real data: convert frames to this directory layout and run\n"
+      "  roadfusion train --data %s --scheme AU\n",
+      dir.c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "autograd/variable.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace roadfusion::autograd {
+
+Node::Node(Tensor value_in, bool requires_grad_in, std::string op_name_in)
+    : value(std::move(value_in)),
+      requires_grad(requires_grad_in),
+      op_name(std::move(op_name_in)) {}
+
+void Node::accumulate_grad(const Tensor& g) {
+  if (!requires_grad) {
+    return;
+  }
+  ROADFUSION_CHECK(g.shape() == value.shape(),
+                   "gradient shape " << g.shape().str()
+                                     << " != value shape "
+                                     << value.shape().str() << " in op "
+                                     << op_name);
+  if (!grad_allocated) {
+    grad = Tensor::zeros(value.shape());
+    grad_allocated = true;
+  }
+  tensor::axpy_inplace(grad, 1.0f, g);
+}
+
+Variable Variable::leaf(Tensor value, bool requires_grad) {
+  return Variable(std::make_shared<Node>(std::move(value), requires_grad,
+                                         "leaf"));
+}
+
+Variable Variable::constant(Tensor value) {
+  return Variable(std::make_shared<Node>(std::move(value), false, "const"));
+}
+
+const Tensor& Variable::value() const {
+  ROADFUSION_CHECK(defined(), "value() on undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  ROADFUSION_CHECK(defined(), "mutable_value() on undefined Variable");
+  ROADFUSION_CHECK(node_->parents.empty(),
+                   "mutable_value() is only valid on leaves (op: "
+                       << node_->op_name << ")");
+  return node_->value;
+}
+
+Tensor Variable::grad() const {
+  ROADFUSION_CHECK(defined(), "grad() on undefined Variable");
+  if (!node_->grad_allocated) {
+    return Tensor::zeros(node_->value.shape());
+  }
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::zero_grad() {
+  ROADFUSION_CHECK(defined(), "zero_grad() on undefined Variable");
+  if (node_->grad_allocated) {
+    node_->grad.fill(0.0f);
+  }
+}
+
+void Variable::backward(const Tensor* seed) const {
+  ROADFUSION_CHECK(defined(), "backward() on undefined Variable");
+  ROADFUSION_CHECK(node_->requires_grad,
+                   "backward() from a node that does not require grad");
+  if (seed != nullptr) {
+    node_->accumulate_grad(*seed);
+  } else {
+    ROADFUSION_CHECK(node_->value.numel() == 1,
+                     "backward() without seed requires a scalar output; got "
+                         << node_->value.shape().str());
+    node_->accumulate_grad(Tensor::ones(node_->value.shape()));
+  }
+
+  // Iterative post-order DFS to get a topological order; diamonds (shared
+  // sub-expressions such as shared parameters) are visited exactly once.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // topo is post-order (parents before children); reverse iteration visits
+  // each node after all of its consumers have contributed gradient.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->grad_allocated) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Variable make_op(Tensor value, std::vector<Variable> parents,
+                 std::function<void(Node&)> backward_fn, std::string op_name) {
+  bool requires_grad = false;
+  std::vector<NodePtr> parent_nodes;
+  parent_nodes.reserve(parents.size());
+  for (const Variable& p : parents) {
+    ROADFUSION_CHECK(p.defined(), "undefined parent in op " << op_name);
+    requires_grad = requires_grad || p.node()->requires_grad;
+    parent_nodes.push_back(p.node());
+  }
+  auto node = std::make_shared<Node>(std::move(value), requires_grad,
+                                     std::move(op_name));
+  node->parents = std::move(parent_nodes);
+  if (requires_grad) {
+    node->backward_fn = std::move(backward_fn);
+  }
+  return Variable(std::move(node));
+}
+
+}  // namespace roadfusion::autograd

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+namespace roadfusion::detail {
+
+void throw_check_failure(const char* condition, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream out;
+  out << "RoadFusion check failed: (" << condition << ") at " << file << ":"
+      << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw Error(out.str());
+}
+
+}  // namespace roadfusion::detail

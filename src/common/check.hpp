@@ -1,0 +1,67 @@
+// Error handling primitives for RoadFusion.
+//
+// Contract violations (bad shapes, out-of-range indices, invalid configs)
+// throw `roadfusion::Error`. The `ROADFUSION_CHECK` macro builds a message
+// that includes the failing condition and source location, following the
+// Core Guidelines advice to use exceptions for error handling only (E.2)
+// and to express preconditions (I.5).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace roadfusion {
+
+/// Exception type thrown on any RoadFusion contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds the final exception message and throws. Out-of-line so the
+/// throwing cold path does not bloat callers.
+[[noreturn]] void throw_check_failure(const char* condition, const char* file,
+                                      int line, const std::string& message);
+
+/// Stream-style message accumulator used by ROADFUSION_CHECK.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace roadfusion
+
+/// Checks `condition`; on failure throws roadfusion::Error with the given
+/// stream-composed message, e.g.
+///   ROADFUSION_CHECK(a == b, "shape mismatch: " << a << " vs " << b);
+#define ROADFUSION_CHECK(condition, ...)                                      \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      ::roadfusion::detail::CheckMessageBuilder rf_check_msg_;                \
+      rf_check_msg_ << __VA_ARGS__;                                           \
+      ::roadfusion::detail::throw_check_failure(#condition, __FILE__,         \
+                                                __LINE__, rf_check_msg_.str()); \
+    }                                                                         \
+  } while (false)
+
+/// Unconditional failure with a message (unreachable states, bad enums).
+#define ROADFUSION_FAIL(...)                                                  \
+  do {                                                                        \
+    ::roadfusion::detail::CheckMessageBuilder rf_check_msg_;                  \
+    rf_check_msg_ << __VA_ARGS__;                                             \
+    ::roadfusion::detail::throw_check_failure("failure", __FILE__, __LINE__,  \
+                                              rf_check_msg_.str());           \
+  } while (false)

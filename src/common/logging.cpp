@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace roadfusion {
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("ROADFUSION_LOG_LEVEL")) {
+    const int value = std::atoi(env);
+    if (value >= 0 && value <= 3) {
+      return static_cast<LogLevel>(value);
+    }
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kQuiet:
+      return "quiet";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kVerbose:
+      return "verb";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load());
+}
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[roadfusion:" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace detail
+}  // namespace roadfusion

@@ -1,0 +1,57 @@
+// Minimal leveled logging for training / benchmark progress output.
+//
+// Logging goes to stderr so bench tables on stdout stay machine-parsable.
+// The level is process-global and can be raised via set_log_level() or the
+// ROADFUSION_LOG_LEVEL environment variable (0=quiet .. 3=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace roadfusion {
+
+enum class LogLevel : int {
+  kQuiet = 0,
+  kInfo = 1,
+  kVerbose = 2,
+  kDebug = 3,
+};
+
+/// Sets the process-global log level.
+void set_log_level(LogLevel level);
+
+/// Current process-global log level (initialized from ROADFUSION_LOG_LEVEL).
+LogLevel log_level();
+
+namespace detail {
+void emit_log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Emits `message` at `level` if the global level admits it.
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) {
+    return;
+  }
+  std::ostringstream out;
+  (out << ... << parts);
+  detail::emit_log_line(level, out.str());
+}
+
+/// Convenience wrappers.
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  log(LogLevel::kInfo, parts...);
+}
+
+template <typename... Parts>
+void log_verbose(const Parts&... parts) {
+  log(LogLevel::kVerbose, parts...);
+}
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  log(LogLevel::kDebug, parts...);
+}
+
+}  // namespace roadfusion

@@ -1,0 +1,72 @@
+#include "core/feature_disparity.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace roadfusion::core {
+
+vision::EdgeConfig feature_map_edge_config() {
+  vision::EdgeConfig config;
+  config.blur_sigma = 1.0;
+  config.normalize = false;
+  config.threshold = -1.0f;
+  return config;
+}
+
+double feature_disparity(const Tensor& rgb_features,
+                         const Tensor& depth_features,
+                         const vision::EdgeConfig& config) {
+  ROADFUSION_CHECK(rgb_features.shape() == depth_features.shape(),
+                   "feature_disparity: shape mismatch "
+                       << rgb_features.shape().str() << " vs "
+                       << depth_features.shape().str());
+  const int rank = rgb_features.shape().rank();
+  ROADFUSION_CHECK(rank >= 3 && rank <= 4,
+                   "feature_disparity expects (C,H,W) or (N,C,H,W), got "
+                       << rgb_features.shape().str());
+  const Tensor rgb_edges = vision::edge_sketch(rgb_features, config);
+  const Tensor depth_edges = vision::edge_sketch(depth_features, config);
+  // Eq. 1: per-channel squared sketch difference, averaged over channels
+  // (and pixels, so values are comparable across feature-map sizes).
+  return tensor::mse(rgb_edges, depth_edges);
+}
+
+Variable feature_disparity_loss(const Variable& rgb_features,
+                                const Variable& depth_features) {
+  ROADFUSION_CHECK(rgb_features.shape() == depth_features.shape(),
+                   "feature_disparity_loss: shape mismatch "
+                       << rgb_features.shape().str() << " vs "
+                       << depth_features.shape().str());
+  return autograd::mse_loss(autograd::sobel_edge(rgb_features),
+                            autograd::sobel_edge(depth_features));
+}
+
+ObjectiveTerms combined_objective(
+    const Variable& segmentation_loss,
+    const std::vector<std::pair<Variable, Variable>>& fusion_pairs,
+    float alpha) {
+  ROADFUSION_CHECK(segmentation_loss.defined(),
+                   "combined_objective: undefined segmentation loss");
+  ObjectiveTerms terms;
+  terms.segmentation = segmentation_loss;
+  terms.total = segmentation_loss;
+  if (alpha == 0.0f) {
+    return terms;
+  }
+  Variable fd_sum;
+  for (const auto& [rgb, depth] : fusion_pairs) {
+    if (!rgb.defined() || !depth.defined()) {
+      continue;
+    }
+    const Variable term = feature_disparity_loss(rgb, depth);
+    fd_sum = fd_sum.defined() ? autograd::add(fd_sum, term) : term;
+  }
+  if (fd_sum.defined()) {
+    terms.feature_disparity = fd_sum;
+    terms.total =
+        autograd::add(segmentation_loss, autograd::scale(fd_sum, alpha));
+  }
+  return terms;
+}
+
+}  // namespace roadfusion::core

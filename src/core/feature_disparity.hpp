@@ -1,0 +1,68 @@
+// Feature Disparity — the paper's Eq. 1 metric and Eq. 3 loss term.
+//
+// The metric quantifies how mismatched two feature-map stacks are before
+// element-wise fusion: extract the edge sketch of every channel of both
+// stacks, then average the squared sketch difference over channels and
+// pixels. Edges preserve spatial structure while ignoring global
+// luminance offsets, which is what distinguishes this metric from MI /
+// cross-bin / SSIM (Table I).
+//
+// Two forms are provided:
+//  * `feature_disparity` — the measurement form on plain tensors, using
+//    the classic (blur + Sobel + normalize) sketch, mirroring the paper's
+//    OpenCV-based measurement (Fig. 3a).
+//  * `feature_disparity_loss` — the differentiable form on autograd
+//    Variables, built from the differentiable Sobel edge op so it can be
+//    added to the training objective (Eq. 3).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "vision/edges.hpp"
+
+namespace roadfusion::core {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+/// Edge configuration used on feature maps: Gaussian pre-smoothing with
+/// raw (unnormalized) Sobel magnitudes. Feature maps sit behind batch
+/// norm, so their scales are already comparable across stages and
+/// branches; keeping raw magnitudes makes the metric consistent with the
+/// differentiable loss (which likewise uses raw Sobel responses) and
+/// reproduces the paper's observation that disparity shrinks in deep
+/// layers (Fig. 3a).
+vision::EdgeConfig feature_map_edge_config();
+
+/// Eq. 1: mean squared difference between channel-wise edge sketches of
+/// the two feature stacks (shape (C, H, W) or (N, C, H, W); shapes must
+/// match). Uses feature_map_edge_config() by default.
+double feature_disparity(const Tensor& rgb_features,
+                         const Tensor& depth_features,
+                         const vision::EdgeConfig& config =
+                             feature_map_edge_config());
+
+/// Differentiable Feature Disparity (one term of Eq. 3's sum): MSE between
+/// the differentiable Sobel edge sketches of the two stacks.
+Variable feature_disparity_loss(const Variable& rgb_features,
+                                const Variable& depth_features);
+
+/// Eq. 3: L = L_seg + alpha * sum_i FD_i, assembled from the segmentation
+/// loss and the per-fusion-stage feature pairs. Pairs where either side is
+/// undefined are skipped.
+struct ObjectiveTerms {
+  Variable total;              ///< the trainable objective
+  Variable segmentation;       ///< L_seg
+  Variable feature_disparity;  ///< sum_i FD_i (undefined when alpha == 0 or
+                               ///< no pairs given)
+};
+
+ObjectiveTerms combined_objective(
+    const Variable& segmentation_loss,
+    const std::vector<std::pair<Variable, Variable>>& fusion_pairs,
+    float alpha);
+
+}  // namespace roadfusion::core

@@ -1,0 +1,48 @@
+#include "core/fusion_scheme.hpp"
+
+#include "common/check.hpp"
+
+namespace roadfusion::core {
+
+const char* to_string(FusionScheme scheme) {
+  switch (scheme) {
+    case FusionScheme::kBaseline:
+      return "Baseline";
+    case FusionScheme::kAllFilterU:
+      return "AllFilter_U";
+    case FusionScheme::kAllFilterB:
+      return "AllFilter_B";
+    case FusionScheme::kBaseSharing:
+      return "BaseSharing";
+    case FusionScheme::kWeightedSharing:
+      return "WeightedSharing";
+  }
+  return "?";
+}
+
+const char* short_name(FusionScheme scheme) {
+  switch (scheme) {
+    case FusionScheme::kBaseline:
+      return "Baseline";
+    case FusionScheme::kAllFilterU:
+      return "AU";
+    case FusionScheme::kAllFilterB:
+      return "AB";
+    case FusionScheme::kBaseSharing:
+      return "BS";
+    case FusionScheme::kWeightedSharing:
+      return "WS";
+  }
+  return "?";
+}
+
+FusionScheme fusion_scheme_from_string(const std::string& name) {
+  for (FusionScheme scheme : all_fusion_schemes()) {
+    if (name == to_string(scheme) || name == short_name(scheme)) {
+      return scheme;
+    }
+  }
+  ROADFUSION_FAIL("unknown fusion scheme: '" << name << "'");
+}
+
+}  // namespace roadfusion::core

@@ -1,0 +1,46 @@
+// Fusion scheme taxonomy — the five architectures evaluated in the paper.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace roadfusion::core {
+
+/// The fusion architectures of the paper's Fig. 5 (plus the baseline).
+enum class FusionScheme {
+  kBaseline,         ///< element-wise summation at every stage (RoadSeg)
+  kAllFilterU,       ///< unidirectional Fusion-filter, depth -> RGB (AU)
+  kAllFilterB,       ///< bidirectional Fusion-filters (AB)
+  kBaseSharing,      ///< deepest stage shared between branches (BS)
+  kWeightedSharing,  ///< BaseSharing + Auxiliary Weight Network (WS)
+};
+
+/// All five schemes in the paper's presentation order.
+constexpr std::array<FusionScheme, 5> all_fusion_schemes() {
+  return {FusionScheme::kBaseline, FusionScheme::kAllFilterU,
+          FusionScheme::kAllFilterB, FusionScheme::kBaseSharing,
+          FusionScheme::kWeightedSharing};
+}
+
+/// Full architecture name, e.g. "AllFilter_U".
+const char* to_string(FusionScheme scheme);
+
+/// Two-letter abbreviation used in the paper's tables (AU, AB, BS, WS).
+const char* short_name(FusionScheme scheme);
+
+/// Parses either the full or the short name; throws on unknown input.
+FusionScheme fusion_scheme_from_string(const std::string& name);
+
+/// True when the scheme uses Fusion-filters at every stage.
+constexpr bool uses_fusion_filters(FusionScheme scheme) {
+  return scheme == FusionScheme::kAllFilterU ||
+         scheme == FusionScheme::kAllFilterB;
+}
+
+/// True when the scheme shares the deepest encoder stage.
+constexpr bool uses_layer_sharing(FusionScheme scheme) {
+  return scheme == FusionScheme::kBaseSharing ||
+         scheme == FusionScheme::kWeightedSharing;
+}
+
+}  // namespace roadfusion::core

@@ -1,0 +1,83 @@
+#include "eval/disparity_profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/feature_disparity.hpp"
+
+namespace roadfusion::eval {
+
+double DisparityProfile::mean() const {
+  if (per_stage.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double v : per_stage) {
+    total += v;
+  }
+  return total / static_cast<double>(per_stage.size());
+}
+
+double DisparityProfile::deep_mean(int count) const {
+  ROADFUSION_CHECK(count > 0 && count <= static_cast<int>(per_stage.size()),
+                   "deep_mean: bad stage count " << count);
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) {
+    total += per_stage[per_stage.size() - 1 - static_cast<size_t>(i)];
+  }
+  return total / count;
+}
+
+double DisparityProfile::mid_mean(int count) const {
+  ROADFUSION_CHECK(count > 0 &&
+                       count + 1 <= static_cast<int>(per_stage.size()),
+                   "mid_mean: bad stage count " << count);
+  double total = 0.0;
+  for (int i = 1; i <= count; ++i) {
+    total += per_stage[static_cast<size_t>(i)];
+  }
+  return total / count;
+}
+
+DisparityProfile profile_disparity(roadseg::SegmentationModel& net,
+                                   const kitti::RoadData& dataset,
+                                   const DisparityProfileConfig& config) {
+  ROADFUSION_CHECK(config.max_samples > 0, "profile: bad sample count");
+  ROADFUSION_CHECK(dataset.size() > 0, "profile: empty dataset");
+  net.set_training(false);
+
+  DisparityProfile profile;
+  const int64_t stride =
+      std::max<int64_t>(1, dataset.size() / config.max_samples);
+  for (int64_t index = 0;
+       index < dataset.size() && profile.samples < config.max_samples;
+       index += stride) {
+    const kitti::Sample& sample = dataset.sample(index);
+    const int64_t h = sample.rgb.shape().dim(1);
+    const int64_t w = sample.rgb.shape().dim(2);
+    const auto rgb = autograd::Variable::constant(
+        sample.rgb.reshaped(tensor::Shape::nchw(1, 3, h, w)));
+    const auto depth = autograd::Variable::constant(sample.depth.reshaped(
+        tensor::Shape::nchw(1, sample.depth.shape().dim(0), h, w)));
+    const roadseg::ForwardResult result = net.forward(rgb, depth);
+    if (profile.per_stage.empty()) {
+      // Sized from the model's actual fusion points (empty for early /
+      // late fusion architectures, which have none).
+      profile.per_stage.assign(result.fusion_pairs.size(), 0.0);
+    }
+    ROADFUSION_CHECK(profile.per_stage.size() == result.fusion_pairs.size(),
+                     "profile: fusion point count changed between samples");
+    for (size_t stage = 0; stage < result.fusion_pairs.size(); ++stage) {
+      profile.per_stage[stage] += core::feature_disparity(
+          result.fusion_pairs[stage].first.value(),
+          result.fusion_pairs[stage].second.value(), config.edge);
+    }
+    ++profile.samples;
+  }
+  for (double& v : profile.per_stage) {
+    v /= profile.samples;
+  }
+  return profile;
+}
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,45 @@
+// Per-stage Feature Disparity profiling of a fusion network — the
+// measurement behind the paper's Fig. 3(a), packaged as a library utility
+// so benches, examples and downstream users share one implementation.
+#pragma once
+
+#include <vector>
+
+#include "kitti/dataset.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "core/feature_disparity.hpp"
+#include "vision/edges.hpp"
+
+namespace roadfusion::eval {
+
+/// Per-fusion-stage mean Feature Disparity plus summary statistics.
+struct DisparityProfile {
+  /// Mean FD per fusion stage (index 0 = shallowest), averaged over the
+  /// profiled samples.
+  std::vector<double> per_stage;
+  /// Number of samples profiled.
+  int samples = 0;
+
+  /// Mean FD over all stages.
+  double mean() const;
+  /// Mean FD over the deepest `count` stages.
+  double deep_mean(int count = 2) const;
+  /// Mean FD over stages [1, 1+count) — the mid stages where mismatch
+  /// peaks in the baseline.
+  double mid_mean(int count = 2) const;
+};
+
+/// Options for profiling.
+struct DisparityProfileConfig {
+  int max_samples = 10;  ///< pairs to average over (paper uses ten)
+  vision::EdgeConfig edge = core::feature_map_edge_config();
+};
+
+/// Runs the network (in eval mode) over up to `config.max_samples` evenly
+/// spaced samples of `dataset` and measures the Feature Disparity of every
+/// fusion pair. The network is left in eval mode.
+DisparityProfile profile_disparity(
+    roadseg::SegmentationModel& net, const kitti::RoadData& dataset,
+    const DisparityProfileConfig& config = {});
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,87 @@
+#include "eval/evaluator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace roadfusion::eval {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Drops a leading channel dimension of extent 1, giving (H, W).
+Tensor as_plane(const Tensor& t) {
+  if (t.shape().rank() == 3 && t.shape().dim(0) == 1) {
+    return t.reshaped(Shape::mat(t.shape().dim(1), t.shape().dim(2)));
+  }
+  ROADFUSION_CHECK(t.shape().rank() == 2,
+                   "expected (1, H, W) or (H, W), got " << t.shape().str());
+  return t;
+}
+
+}  // namespace
+
+SegmentationScores score_sample(const Tensor& probability, const Tensor& label,
+                                const vision::Camera& camera,
+                                const EvalConfig& config) {
+  PrAccumulator accumulator(config.num_thresholds);
+  if (config.use_bev) {
+    const Tensor prob_bev =
+        vision::bev_warp(as_plane(probability), camera, config.bev);
+    const Tensor label_bev =
+        vision::bev_warp(as_plane(label), camera, config.bev);
+    const Tensor mask = vision::bev_visibility_mask(
+        camera, config.bev, camera.height(), camera.width());
+    accumulator.add(prob_bev, label_bev, &mask);
+  } else {
+    accumulator.add(probability, label);
+  }
+  return accumulator.scores();
+}
+
+EvaluationResult evaluate(SegmentationModel& net, const RoadData& dataset,
+                          const EvalConfig& config) {
+  net.set_training(false);
+  const vision::Camera& camera = dataset.camera();
+  const Tensor bev_mask = vision::bev_visibility_mask(
+      camera, config.bev, camera.height(), camera.width());
+
+  std::map<RoadCategory, PrAccumulator> per_category;
+  PrAccumulator overall(config.num_thresholds);
+  for (RoadCategory category :
+       {RoadCategory::kUM, RoadCategory::kUMM, RoadCategory::kUU}) {
+    per_category.emplace(category, PrAccumulator(config.num_thresholds));
+    std::vector<int64_t> indices = dataset.indices_of(category);
+    if (config.max_samples_per_category > 0 &&
+        static_cast<int64_t>(indices.size()) >
+            config.max_samples_per_category) {
+      indices.resize(static_cast<size_t>(config.max_samples_per_category));
+    }
+    for (int64_t index : indices) {
+      const kitti::Sample& sample = dataset.sample(index);
+      const Tensor probability = net.predict(sample.rgb, sample.depth);
+      if (config.use_bev) {
+        const Tensor prob_bev =
+            vision::bev_warp(as_plane(probability), camera, config.bev);
+        const Tensor label_bev =
+            vision::bev_warp(as_plane(sample.label), camera, config.bev);
+        per_category.at(category).add(prob_bev, label_bev, &bev_mask);
+        overall.add(prob_bev, label_bev, &bev_mask);
+      } else {
+        per_category.at(category).add(probability, sample.label);
+        overall.add(probability, sample.label);
+      }
+    }
+  }
+
+  EvaluationResult result;
+  for (auto& [category, accumulator] : per_category) {
+    result.per_category[category] = accumulator.scores();
+  }
+  result.overall = overall.scores();
+  return result;
+}
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,46 @@
+// End-to-end evaluation of a RoadSegNet on the synthetic KITTI-road
+// dataset, per scene category, in bird's-eye view — mirroring how the
+// KITTI evaluation server scores submissions.
+#pragma once
+
+#include <map>
+
+#include "eval/seg_metrics.hpp"
+#include "kitti/dataset.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "vision/bev.hpp"
+
+namespace roadfusion::eval {
+
+using kitti::RoadCategory;
+using kitti::RoadData;
+using kitti::RoadDataset;
+using roadseg::RoadSegNet;
+using roadseg::SegmentationModel;
+
+/// Evaluation options.
+struct EvalConfig {
+  bool use_bev = true;          ///< score in BEV (KITTI style) vs image space
+  vision::BevSpec bev;          ///< BEV extent & raster
+  int num_thresholds = 100;     ///< PR sweep resolution
+  int64_t max_samples_per_category = 0;  ///< 0 = all
+};
+
+/// Per-category + overall results.
+struct EvaluationResult {
+  std::map<RoadCategory, SegmentationScores> per_category;
+  SegmentationScores overall;
+};
+
+/// Runs inference over the dataset (in eval mode) and scores per category.
+/// The network is left in eval mode afterwards.
+EvaluationResult evaluate(roadseg::SegmentationModel& net, const RoadData& dataset,
+                          const EvalConfig& config = {});
+
+/// Scores a single probability map against a label, optionally in BEV.
+SegmentationScores score_sample(const tensor::Tensor& probability,
+                                const tensor::Tensor& label,
+                                const vision::Camera& camera,
+                                const EvalConfig& config = {});
+
+}  // namespace roadfusion::eval

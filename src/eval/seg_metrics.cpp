@@ -1,0 +1,158 @@
+#include "eval/seg_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::eval {
+
+PrAccumulator::PrAccumulator(int num_thresholds)
+    : num_thresholds_(num_thresholds),
+      positive_hist_(static_cast<size_t>(num_thresholds), 0),
+      negative_hist_(static_cast<size_t>(num_thresholds), 0) {
+  ROADFUSION_CHECK(num_thresholds >= 2 && num_thresholds <= 100000,
+                   "PrAccumulator: bad threshold count " << num_thresholds);
+}
+
+void PrAccumulator::add(const Tensor& probability, const Tensor& label,
+                        const Tensor* valid_mask) {
+  ROADFUSION_CHECK(probability.numel() == label.numel(),
+                   "PrAccumulator::add: element count mismatch "
+                       << probability.shape().str() << " vs "
+                       << label.shape().str());
+  if (valid_mask != nullptr) {
+    ROADFUSION_CHECK(valid_mask->numel() == probability.numel(),
+                     "PrAccumulator::add: mask element count mismatch");
+  }
+  const float* prob = probability.raw();
+  const float* gt = label.raw();
+  const float* mask = valid_mask != nullptr ? valid_mask->raw() : nullptr;
+  for (int64_t i = 0; i < probability.numel(); ++i) {
+    if (mask != nullptr && mask[i] == 0.0f) {
+      continue;
+    }
+    const int bin = std::clamp(
+        static_cast<int>(prob[i] * static_cast<float>(num_thresholds_)), 0,
+        num_thresholds_ - 1);
+    if (gt[i] >= 0.5f) {
+      ++positive_hist_[static_cast<size_t>(bin)];
+    } else {
+      ++negative_hist_[static_cast<size_t>(bin)];
+    }
+    ++total_;
+  }
+}
+
+SegmentationScores PrAccumulator::scores() const {
+  SegmentationScores best;
+  int64_t total_pos = 0;
+  int64_t total_neg = 0;
+  for (int b = 0; b < num_thresholds_; ++b) {
+    total_pos += positive_hist_[static_cast<size_t>(b)];
+    total_neg += negative_hist_[static_cast<size_t>(b)];
+  }
+  if (total_pos == 0 || total_ == 0) {
+    return best;
+  }
+
+  // Sweep thresholds from high to low by accumulating suffix sums; at
+  // threshold bin k, predictions with bin >= k are positive.
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+  precisions.reserve(static_cast<size_t>(num_thresholds_));
+  recalls.reserve(static_cast<size_t>(num_thresholds_));
+  int64_t tp = 0;
+  int64_t fp = 0;
+  double best_f = -1.0;
+  int best_bin = 0;
+  double best_precision = 0.0;
+  double best_recall = 0.0;
+  double best_iou = 0.0;
+  // Iterate k from the top bin down so tp/fp grow monotonically.
+  std::vector<double> prec_at_bin(static_cast<size_t>(num_thresholds_), 0.0);
+  std::vector<double> rec_at_bin(static_cast<size_t>(num_thresholds_), 0.0);
+  for (int k = num_thresholds_ - 1; k >= 0; --k) {
+    tp += positive_hist_[static_cast<size_t>(k)];
+    fp += negative_hist_[static_cast<size_t>(k)];
+    const int64_t fn = total_pos - tp;
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 1.0;
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(total_pos);
+    prec_at_bin[static_cast<size_t>(k)] = precision;
+    rec_at_bin[static_cast<size_t>(k)] = recall;
+    const double denom = precision + recall;
+    const double f = denom > 0.0 ? 2.0 * precision * recall / denom : 0.0;
+    if (f > best_f) {
+      best_f = f;
+      best_bin = k;
+      best_precision = precision;
+      best_recall = recall;
+      const int64_t union_count = tp + fp + fn;
+      best_iou = union_count > 0 ? static_cast<double>(tp) /
+                                       static_cast<double>(union_count)
+                                 : 0.0;
+    }
+  }
+
+  // 11-point interpolated AP over the recall axis.
+  double ap = 0.0;
+  for (int r = 0; r <= 10; ++r) {
+    const double target_recall = static_cast<double>(r) / 10.0;
+    double best_prec = 0.0;
+    for (int k = 0; k < num_thresholds_; ++k) {
+      if (rec_at_bin[static_cast<size_t>(k)] >= target_recall) {
+        best_prec = std::max(best_prec, prec_at_bin[static_cast<size_t>(k)]);
+      }
+    }
+    ap += best_prec;
+  }
+  ap /= 11.0;
+
+  best.f_score = best_f * 100.0;
+  best.ap = ap * 100.0;
+  best.precision = best_precision * 100.0;
+  best.recall = best_recall * 100.0;
+  best.iou = best_iou * 100.0;
+  best.threshold =
+      static_cast<double>(best_bin) / static_cast<double>(num_thresholds_);
+  return best;
+}
+
+std::vector<std::pair<double, double>> PrAccumulator::pr_curve() const {
+  std::vector<std::pair<double, double>> curve;
+  int64_t total_pos = 0;
+  for (int b = 0; b < num_thresholds_; ++b) {
+    total_pos += positive_hist_[static_cast<size_t>(b)];
+  }
+  if (total_pos == 0) {
+    return curve;
+  }
+  int64_t tp = 0;
+  int64_t fp = 0;
+  std::vector<std::pair<double, double>> reversed;
+  for (int k = num_thresholds_ - 1; k >= 0; --k) {
+    tp += positive_hist_[static_cast<size_t>(k)];
+    fp += negative_hist_[static_cast<size_t>(k)];
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 1.0;
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(total_pos);
+    reversed.emplace_back(precision, recall);
+  }
+  curve.assign(reversed.rbegin(), reversed.rend());
+  return curve;
+}
+
+SegmentationScores score_single(const Tensor& probability, const Tensor& label,
+                                const Tensor* valid_mask,
+                                int num_thresholds) {
+  PrAccumulator accumulator(num_thresholds);
+  accumulator.add(probability, label, valid_mask);
+  return accumulator.scores();
+}
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,63 @@
+// KITTI-road-style segmentation metrics.
+//
+// The benchmark reports MaxF (best F1 over the probability threshold
+// sweep), AP (interpolated average precision), and PRE / REC / IOU at the
+// MaxF working point. `PrAccumulator` gathers thresholded counts over any
+// number of images (optionally restricted by a validity mask — used for
+// the BEV visibility region) and derives all scores at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::eval {
+
+using tensor::Tensor;
+
+/// Scores at the MaxF working point plus sweep-level aggregates, in
+/// percent (matching the paper's tables).
+struct SegmentationScores {
+  double f_score = 0.0;    ///< MaxF
+  double ap = 0.0;         ///< interpolated average precision
+  double precision = 0.0;  ///< PRE at the MaxF threshold
+  double recall = 0.0;     ///< REC at the MaxF threshold
+  double iou = 0.0;        ///< IOU at the MaxF threshold
+  double threshold = 0.5;  ///< the MaxF probability threshold
+};
+
+/// Accumulates probability/label pairs and computes the threshold sweep.
+class PrAccumulator {
+ public:
+  /// `num_thresholds` probability levels are evaluated (uniform in [0,1]).
+  explicit PrAccumulator(int num_thresholds = 100);
+
+  /// Adds one probability map against its binary ground truth. Shapes must
+  /// match elementwise; `valid_mask` (same shape, nonzero = counted)
+  /// optionally restricts the evaluated region.
+  void add(const Tensor& probability, const Tensor& label,
+           const Tensor* valid_mask = nullptr);
+
+  /// Derives the benchmark scores from everything added so far.
+  SegmentationScores scores() const;
+
+  /// Precision/recall pairs of the full sweep (for PR-curve dumps),
+  /// ordered by increasing threshold.
+  std::vector<std::pair<double, double>> pr_curve() const;
+
+  int64_t total_count() const { return total_; }
+
+ private:
+  int num_thresholds_;
+  std::vector<int64_t> positive_hist_;  ///< per probability bin
+  std::vector<int64_t> negative_hist_;
+  int64_t total_ = 0;
+};
+
+/// Single-image convenience wrapper.
+SegmentationScores score_single(const Tensor& probability, const Tensor& label,
+                                const Tensor* valid_mask = nullptr,
+                                int num_thresholds = 100);
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,37 @@
+// RoadData: the dataset interface consumed by the trainer, evaluator and
+// profiler. Two implementations ship with the library:
+//  * RoadDataset         — the procedural synthetic KITTI-road stand-in;
+//  * DirectoryDataset    — file-backed samples (PPM/PGM triples), letting
+//                          users plug in real data such as converted KITTI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kitti/scene.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::kitti {
+
+struct Sample;  // defined in dataset.hpp
+
+/// Abstract sample source.
+class RoadData {
+ public:
+  virtual ~RoadData() = default;
+
+  virtual int64_t size() const = 0;
+
+  /// Sample accessor; implementations may generate or load lazily and
+  /// cache. The reference stays valid while the dataset lives.
+  virtual const Sample& sample(int64_t index) const = 0;
+
+  /// Indices belonging to one scene category.
+  virtual std::vector<int64_t> indices_of(RoadCategory category) const = 0;
+
+  /// The camera model all samples were captured/rendered with (needed for
+  /// the BEV evaluation warp).
+  virtual const vision::Camera& camera() const = 0;
+};
+
+}  // namespace roadfusion::kitti

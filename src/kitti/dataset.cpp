@@ -1,0 +1,160 @@
+#include "kitti/dataset.hpp"
+
+#include "kitti/surface_normals.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::SplitMix64;
+
+/// KITTI road per-category sample counts.
+int64_t kitti_count(Split split, RoadCategory category) {
+  if (split == Split::kTrain) {
+    switch (category) {
+      case RoadCategory::kUM:
+        return 95;
+      case RoadCategory::kUMM:
+        return 96;
+      case RoadCategory::kUU:
+        return 98;
+    }
+  } else {
+    switch (category) {
+      case RoadCategory::kUM:
+        return 96;
+      case RoadCategory::kUMM:
+        return 94;
+      case RoadCategory::kUU:
+        return 100;
+    }
+  }
+  return 0;
+}
+
+uint64_t entry_seed(uint64_t dataset_seed, Split split, RoadCategory category,
+                    int64_t index, uint64_t salt) {
+  SplitMix64 mix(dataset_seed ^
+                 (static_cast<uint64_t>(split) + 1) * 0x9e3779b97f4a7c15ULL ^
+                 (static_cast<uint64_t>(category) + 1) *
+                     0xc2b2ae3d27d4eb4fULL ^
+                 static_cast<uint64_t>(index) * 0xd6e8feb86659fd93ULL ^ salt);
+  return mix.next();
+}
+
+}  // namespace
+
+const char* to_string(Split split) {
+  return split == Split::kTrain ? "train" : "test";
+}
+
+RoadDataset::RoadDataset(const DatasetConfig& config, Split split)
+    : config_(config),
+      split_(split),
+      camera_(config.image_width, config.image_height, config.fov_deg,
+              config.cam_height, config.cam_pitch) {
+  for (RoadCategory category :
+       {RoadCategory::kUM, RoadCategory::kUMM, RoadCategory::kUU}) {
+    int64_t count = kitti_count(split, category);
+    if (config.max_per_category > 0) {
+      count = std::min(count, config.max_per_category);
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      Entry entry;
+      entry.category = category;
+      entry.scene_seed = entry_seed(config.seed, split, category, i, 0x5ce9eULL);
+      entry.noise_seed =
+          entry_seed(config.seed, split, category, i, 0x201559ULL);
+      // Lighting condition mix, drawn deterministically per entry.
+      Rng rng(entry_seed(config.seed, split, category, i, 0x11647ULL));
+      const double roll = rng.uniform();
+      if (roll < config.p_night) {
+        entry.lighting = Lighting::kNight;
+      } else if (roll < config.p_night + config.p_overexposure) {
+        entry.lighting = Lighting::kOverexposure;
+      } else if (roll <
+                 config.p_night + config.p_overexposure + config.p_shadows) {
+        entry.lighting = Lighting::kShadows;
+      } else {
+        entry.lighting = Lighting::kDay;
+      }
+      entries_.push_back(entry);
+    }
+  }
+  cache_.resize(entries_.size());
+}
+
+const Sample& RoadDataset::sample(int64_t index) const {
+  ROADFUSION_CHECK(index >= 0 && index < size(),
+                   "dataset index " << index << " out of range [0, " << size()
+                                    << ")");
+  auto& slot = cache_[static_cast<size_t>(index)];
+  if (!slot) {
+    slot = std::make_unique<Sample>(
+        generate(entries_[static_cast<size_t>(index)]));
+  }
+  return *slot;
+}
+
+std::vector<int64_t> RoadDataset::indices_of(RoadCategory category) const {
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (entries_[static_cast<size_t>(i)].category == category) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+Sample RoadDataset::generate(const Entry& entry) const {
+  const Scene scene =
+      Scene::generate(entry.category, entry.lighting, entry.scene_seed);
+  Rng noise_rng(entry.noise_seed);
+  Sample sample;
+  sample.category = entry.category;
+  sample.lighting = entry.lighting;
+  sample.scene_seed = entry.scene_seed;
+  sample.rgb = render_rgb(scene, camera_, noise_rng);
+  sample.label = render_ground_truth(scene, camera_);
+  const std::vector<LidarPoint> points =
+      scan(scene, config_.lidar, noise_rng);
+  const Tensor sparse = project_to_sparse_depth(points, camera_);
+  if (config_.use_surface_normals) {
+    sample.depth =
+        normals_from_range(densify_range(sparse, config_.depth), camera_);
+  } else {
+    sample.depth = preprocess_depth(sparse, config_.depth);
+  }
+  return sample;
+}
+
+Batch make_batch(const RoadData& dataset,
+                 const std::vector<int64_t>& indices) {
+  ROADFUSION_CHECK(!indices.empty(), "make_batch: empty index list");
+  const Sample& first = dataset.sample(indices.front());
+  const int64_t h = first.rgb.shape().dim(1);
+  const int64_t w = first.rgb.shape().dim(2);
+  const int64_t depth_channels = first.depth.shape().dim(0);
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch{Tensor(tensor::Shape::nchw(n, 3, h, w)),
+              Tensor(tensor::Shape::nchw(n, depth_channels, h, w)),
+              Tensor(tensor::Shape::nchw(n, 1, h, w))};
+  for (int64_t i = 0; i < n; ++i) {
+    const Sample& sample = dataset.sample(indices[static_cast<size_t>(i)]);
+    std::memcpy(batch.rgb.raw() + i * 3 * h * w, sample.rgb.raw(),
+                static_cast<size_t>(3 * h * w) * sizeof(float));
+    std::memcpy(batch.depth.raw() + i * depth_channels * h * w,
+                sample.depth.raw(),
+                static_cast<size_t>(depth_channels * h * w) * sizeof(float));
+    std::memcpy(batch.label.raw() + i * h * w, sample.label.raw(),
+                static_cast<size_t>(h * w) * sizeof(float));
+  }
+  return batch;
+}
+
+}  // namespace roadfusion::kitti

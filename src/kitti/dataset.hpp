@@ -1,0 +1,115 @@
+// Synthetic KITTI-road-like dataset.
+//
+// Mirrors the KITTI road benchmark layout: 289 training and 290 testing
+// RGB+depth pairs split over the UM / UMM / UU scene categories with the
+// benchmark's per-category counts. Every sample is generated
+// deterministically from (dataset seed, split, category, index), so the
+// dataset needs no files on disk and is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kitti/data_interface.hpp"
+#include "kitti/depth_preproc.hpp"
+#include "kitti/lidar.hpp"
+#include "kitti/render.hpp"
+#include "kitti/scene.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::kitti {
+
+/// One RGB + depth + label triple.
+struct Sample {
+  Tensor rgb;    ///< (3, H, W) in [0, 1]
+  Tensor depth;  ///< (1, H, W) normalized inverse depth, or (3, H, W)
+                 ///< encoded surface normals when
+                 ///< DatasetConfig::use_surface_normals is set
+  Tensor label;  ///< (1, H, W) binary drivable-road mask
+  RoadCategory category = RoadCategory::kUM;
+  Lighting lighting = Lighting::kDay;
+  uint64_t scene_seed = 0;
+};
+
+/// Train / test split selector.
+enum class Split { kTrain, kTest };
+
+const char* to_string(Split split);
+
+/// Dataset generation parameters.
+struct DatasetConfig {
+  int64_t image_width = 96;
+  int64_t image_height = 32;
+  double fov_deg = 90.0;
+  double cam_height = 1.6;
+  double cam_pitch = 0.12;  ///< radians, positive looks down
+
+  LidarConfig lidar;
+  DepthPreprocConfig depth;
+
+  /// Extension: feed the depth branch SNE-RoadSeg-style surface normals
+  /// (3 channels) estimated from the densified LiDAR range instead of the
+  /// inverse-depth image. Pair with RoadSegConfig::depth_channels = 3.
+  bool use_surface_normals = false;
+
+  /// Lighting condition mix (remainder is day).
+  double p_night = 0.15;
+  double p_overexposure = 0.15;
+  double p_shadows = 0.15;
+
+  /// Caps each category's sample count; 0 keeps the full KITTI counts
+  /// (UM 95/96, UMM 96/94, UU 98/100 for train/test).
+  int64_t max_per_category = 0;
+
+  uint64_t seed = 42;
+};
+
+/// Deterministic synthetic road dataset with lazy, cached generation.
+class RoadDataset : public RoadData {
+ public:
+  RoadDataset(const DatasetConfig& config, Split split);
+
+  int64_t size() const override {
+    return static_cast<int64_t>(entries_.size());
+  }
+
+  /// Sample accessor; generated on first touch, cached afterwards.
+  const Sample& sample(int64_t index) const override;
+
+  /// Indices belonging to one scene category.
+  std::vector<int64_t> indices_of(RoadCategory category) const override;
+
+  const vision::Camera& camera() const override { return camera_; }
+  const DatasetConfig& config() const { return config_; }
+  Split split() const { return split_; }
+
+ private:
+  struct Entry {
+    RoadCategory category;
+    uint64_t scene_seed;
+    Lighting lighting;
+    uint64_t noise_seed;
+  };
+
+  Sample generate(const Entry& entry) const;
+
+  DatasetConfig config_;
+  Split split_;
+  vision::Camera camera_;
+  std::vector<Entry> entries_;
+  mutable std::vector<std::unique_ptr<Sample>> cache_;
+};
+
+/// Batched NCHW views assembled from dataset samples.
+struct Batch {
+  Tensor rgb;    ///< (N, 3, H, W)
+  Tensor depth;  ///< (N, 1, H, W)
+  Tensor label;  ///< (N, 1, H, W)
+};
+
+/// Packs the given sample indices into batch tensors.
+Batch make_batch(const RoadData& dataset,
+                 const std::vector<int64_t>& indices);
+
+}  // namespace roadfusion::kitti

@@ -1,0 +1,100 @@
+#include "kitti/depth_preproc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "vision/filters.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+void check_depth(const Tensor& t) {
+  ROADFUSION_CHECK(t.shape().rank() == 3 && t.shape().dim(0) == 1,
+                   "depth image must be (1, H, W), got " << t.shape().str());
+}
+
+}  // namespace
+
+Tensor densify_range(const Tensor& sparse_range,
+                     const DepthPreprocConfig& config) {
+  check_depth(sparse_range);
+  const int64_t h = sparse_range.shape().dim(1);
+  const int64_t w = sparse_range.shape().dim(2);
+  Tensor current = sparse_range;
+  for (int iter = 0; iter < config.fill_iterations; ++iter) {
+    Tensor next = current;
+    const float* src = current.raw();
+    float* dst = next.raw();
+    bool any_empty = false;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        if (src[y * w + x] != 0.0f) {
+          continue;
+        }
+        double acc = 0.0;
+        int count = 0;
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          for (int64_t dx = -1; dx <= 1; ++dx) {
+            const int64_t yy = y + dy;
+            const int64_t xx = x + dx;
+            if (yy < 0 || yy >= h || xx < 0 || xx >= w) {
+              continue;
+            }
+            const float v = src[yy * w + xx];
+            if (v != 0.0f) {
+              acc += v;
+              ++count;
+            }
+          }
+        }
+        if (count > 0) {
+          dst[y * w + x] = static_cast<float>(acc / count);
+        } else {
+          any_empty = true;
+        }
+      }
+    }
+    current = std::move(next);
+    if (!any_empty) {
+      break;
+    }
+  }
+  return current;
+}
+
+Tensor range_to_inverse_depth(const Tensor& dense_range,
+                              const DepthPreprocConfig& config) {
+  check_depth(dense_range);
+  ROADFUSION_CHECK(config.max_range > config.min_range && config.min_range > 0,
+                   "depth preproc: bad range bounds");
+  Tensor out(dense_range.shape());
+  const float* src = dense_range.raw();
+  float* dst = out.raw();
+  const double inv_min = 1.0 / config.min_range;
+  const double inv_max = 1.0 / config.max_range;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float range = src[i];
+    if (range <= 0.0f) {
+      dst[i] = 0.0f;
+      continue;
+    }
+    const double inv =
+        1.0 / std::clamp(static_cast<double>(range), config.min_range,
+                         config.max_range);
+    dst[i] = static_cast<float>((inv - inv_max) / (inv_min - inv_max));
+  }
+  return out;
+}
+
+Tensor preprocess_depth(const Tensor& sparse_range,
+                        const DepthPreprocConfig& config) {
+  Tensor dense = densify_range(sparse_range, config);
+  Tensor inverse = range_to_inverse_depth(dense, config);
+  if (config.smoothing_sigma > 0.0) {
+    inverse = vision::gaussian_blur(inverse, config.smoothing_sigma);
+  }
+  return inverse;
+}
+
+}  // namespace roadfusion::kitti

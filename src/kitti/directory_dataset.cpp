@@ -1,0 +1,124 @@
+#include "kitti/directory_dataset.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "vision/image_io.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses the leading category token of a stem ("UMM_day_3" -> kUMM).
+RoadCategory category_of_stem(const std::string& stem) {
+  if (stem.rfind("UMM", 0) == 0) {
+    return RoadCategory::kUMM;
+  }
+  if (stem.rfind("UM", 0) == 0) {
+    return RoadCategory::kUM;
+  }
+  if (stem.rfind("UU", 0) == 0) {
+    return RoadCategory::kUU;
+  }
+  ROADFUSION_FAIL("cannot parse road category from sample stem '" << stem
+                                                                  << "'");
+}
+
+}  // namespace
+
+DirectoryDataset::DirectoryDataset(const DirectoryDatasetConfig& config)
+    : config_(config) {
+  ROADFUSION_CHECK(fs::is_directory(config.directory),
+                   "DirectoryDataset: not a directory: " << config.directory);
+  const std::string rgb_suffix = "_rgb.ppm";
+  std::vector<std::string> stems;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(config.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > rgb_suffix.size() &&
+        name.compare(name.size() - rgb_suffix.size(), rgb_suffix.size(),
+                     rgb_suffix) == 0) {
+      stems.push_back(name.substr(0, name.size() - rgb_suffix.size()));
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  ROADFUSION_CHECK(!stems.empty(), "DirectoryDataset: no *_rgb.ppm samples in "
+                                       << config.directory);
+  for (const std::string& stem : stems) {
+    const fs::path base = fs::path(config.directory) / stem;
+    const bool has_depth = fs::exists(base.string() + "_depth.pgm");
+    const bool has_normals = fs::exists(base.string() + "_normals.ppm");
+    ROADFUSION_CHECK(has_depth || has_normals,
+                     "DirectoryDataset: sample '"
+                         << stem << "' lacks _depth.pgm / _normals.ppm");
+    ROADFUSION_CHECK(fs::exists(base.string() + "_label.pgm"),
+                     "DirectoryDataset: sample '" << stem
+                                                  << "' lacks _label.pgm");
+    stems_.push_back(stem);
+    categories_.push_back(category_of_stem(stem));
+    has_normals_.push_back(has_normals);
+  }
+  cache_.resize(stems_.size());
+
+  // Image geometry from the first sample defines the camera raster.
+  const tensor::Tensor first = vision::read_ppm(
+      (fs::path(config.directory) / (stems_.front() + "_rgb.ppm")).string());
+  camera_ = std::make_unique<vision::Camera>(
+      first.shape().dim(2), first.shape().dim(1), config.fov_deg,
+      config.cam_height, config.cam_pitch);
+}
+
+const Sample& DirectoryDataset::sample(int64_t index) const {
+  ROADFUSION_CHECK(index >= 0 && index < size(),
+                   "DirectoryDataset index " << index << " out of range");
+  auto& slot = cache_[static_cast<size_t>(index)];
+  if (!slot) {
+    slot = std::make_unique<Sample>(load(index));
+  }
+  return *slot;
+}
+
+std::vector<int64_t> DirectoryDataset::indices_of(
+    RoadCategory category) const {
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (categories_[static_cast<size_t>(i)] == category) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+Sample DirectoryDataset::load(int64_t index) const {
+  const fs::path base = fs::path(config_.directory) /
+                        stems_[static_cast<size_t>(index)];
+  Sample sample;
+  sample.category = categories_[static_cast<size_t>(index)];
+  sample.rgb = vision::read_ppm(base.string() + "_rgb.ppm");
+  if (has_normals_[static_cast<size_t>(index)]) {
+    sample.depth = vision::read_ppm(base.string() + "_normals.ppm");
+  } else {
+    sample.depth = vision::read_pgm(base.string() + "_depth.pgm");
+  }
+  tensor::Tensor label = vision::read_pgm(base.string() + "_label.pgm");
+  // Quantized masks may carry intermediate values; re-binarize.
+  float* data = label.raw();
+  for (int64_t i = 0; i < label.numel(); ++i) {
+    data[i] = data[i] >= 0.5f ? 1.0f : 0.0f;
+  }
+  sample.label = label;
+  ROADFUSION_CHECK(sample.rgb.shape().dim(1) == camera_->height() &&
+                       sample.rgb.shape().dim(2) == camera_->width(),
+                   "DirectoryDataset: sample '"
+                       << stems_[static_cast<size_t>(index)]
+                       << "' size differs from the first sample");
+  ROADFUSION_CHECK(sample.depth.shape().dim(1) == camera_->height() &&
+                       sample.label.shape().dim(1) == camera_->height(),
+                   "DirectoryDataset: modality size mismatch in '"
+                       << stems_[static_cast<size_t>(index)] << "'");
+  return sample;
+}
+
+}  // namespace roadfusion::kitti

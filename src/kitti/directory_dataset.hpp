@@ -1,0 +1,63 @@
+// DirectoryDataset: file-backed samples, the bridge to real data.
+//
+// Loads (rgb, depth, label) triples from a directory of portable pixmaps
+// following the naming convention the `roadfusion dataset` exporter
+// produces:
+//
+//   <CATEGORY>_<anything>_rgb.ppm
+//   <CATEGORY>_<anything>_depth.pgm      (1-channel inverse depth)   or
+//   <CATEGORY>_<anything>_normals.ppm    (3-channel encoded normals)
+//   <CATEGORY>_<anything>_label.pgm      (binary road mask)
+//
+// where <CATEGORY> is UM, UMM or UU. Users can convert real KITTI-road
+// data to this layout and train/evaluate every model in the repository
+// on it unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kitti/data_interface.hpp"
+#include "kitti/dataset.hpp"
+
+namespace roadfusion::kitti {
+
+/// Camera parameters associated with a file-backed dataset (needed for
+/// the BEV evaluation warp); image size is read from the files.
+struct DirectoryDatasetConfig {
+  std::string directory;
+  double fov_deg = 90.0;
+  double cam_height = 1.6;
+  double cam_pitch = 0.12;
+};
+
+/// File-backed dataset; samples load lazily and stay cached.
+class DirectoryDataset : public RoadData {
+ public:
+  /// Scans `config.directory` for sample triples. Throws when the
+  /// directory holds none or when a triple is incomplete.
+  explicit DirectoryDataset(const DirectoryDatasetConfig& config);
+
+  int64_t size() const override {
+    return static_cast<int64_t>(stems_.size());
+  }
+  const Sample& sample(int64_t index) const override;
+  std::vector<int64_t> indices_of(RoadCategory category) const override;
+  const vision::Camera& camera() const override { return *camera_; }
+
+  /// Sample stems in index order (testing / tooling aid).
+  const std::vector<std::string>& stems() const { return stems_; }
+
+ private:
+  Sample load(int64_t index) const;
+
+  DirectoryDatasetConfig config_;
+  std::vector<std::string> stems_;
+  std::vector<RoadCategory> categories_;
+  std::vector<bool> has_normals_;
+  std::unique_ptr<vision::Camera> camera_;
+  mutable std::vector<std::unique_ptr<Sample>> cache_;
+};
+
+}  // namespace roadfusion::kitti

@@ -1,0 +1,56 @@
+// Rotating multi-beam LiDAR simulator.
+//
+// Casts rays over an azimuth x elevation grid against the same Scene
+// geometry the RGB renderer uses, producing a 3-D point cloud with range
+// noise and dropout. The point cloud is then projected into the camera to
+// form the sparse depth image that the preprocessing stage densifies —
+// mirroring the paper's "depth images pre-processed from 3D point cloud
+// collected by LiDAR".
+#pragma once
+
+#include <vector>
+
+#include "kitti/scene.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::kitti {
+
+using tensor::Rng;
+using tensor::Tensor;
+using vision::Camera;
+
+/// LiDAR sensor parameters.
+struct LidarConfig {
+  int beams = 24;               ///< vertical channels
+  int azimuth_steps = 180;      ///< horizontal samples over the front FOV
+  double fov_azimuth_deg = 100.0;
+  double elevation_min_deg = -18.0;
+  double elevation_max_deg = 4.0;
+  double max_range = 80.0;
+  double range_noise_sigma = 0.02;  ///< metres
+  double dropout = 0.02;            ///< per-return drop probability
+  double mount_height = 1.73;       ///< metres above ground (KITTI Velodyne)
+};
+
+/// One LiDAR return in the world frame.
+struct LidarPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double range = 0.0;
+};
+
+/// Simulates one scan of the scene. The sensor sits on the vehicle
+/// centerline at the configured mount height, facing forward.
+std::vector<LidarPoint> scan(const Scene& scene, const LidarConfig& config,
+                             Rng& rng);
+
+/// Projects a point cloud into the camera, keeping the nearest return per
+/// pixel. Output (1, H, W) holds metric range; 0 marks pixels without a
+/// return (to be densified by the preprocessing stage).
+Tensor project_to_sparse_depth(const std::vector<LidarPoint>& points,
+                               const Camera& camera);
+
+}  // namespace roadfusion::kitti

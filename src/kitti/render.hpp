@@ -1,0 +1,45 @@
+// RGB renderer and ground-truth rasterizer for procedural scenes.
+//
+// Per-pixel ray casting against the Scene's ground plane and box
+// obstacles. Lighting conditions (night, over-exposure, shadows) are
+// applied as a post-process on the RGB image only — the geometry that the
+// LiDAR sees is untouched, so depth stays a reliable modality exactly as
+// in the paper's motivating scenarios.
+#pragma once
+
+#include "kitti/scene.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::kitti {
+
+using tensor::Rng;
+using tensor::Tensor;
+using vision::Camera;
+
+/// Result of casting one ray into the scene.
+struct RayHit {
+  enum class Surface { kSky, kGround, kObstacle } surface = Surface::kSky;
+  double range = 0.0;            ///< metres to the hit (0 for sky)
+  double ground_x = 0.0;         ///< ground-plane hit coordinates
+  double ground_z = 0.0;
+  const Obstacle* obstacle = nullptr;
+  double hit_height = 0.0;       ///< world y of the hit point
+};
+
+/// Casts a world-frame ray from `origin` along `direction` (unit length)
+/// and returns the nearest surface hit. Shared by the RGB renderer and the
+/// LiDAR simulator so both modalities observe identical geometry.
+RayHit cast_ray(const Scene& scene, const vision::Vec3& origin,
+                const vision::Vec3& direction, double max_range = 120.0);
+
+/// Renders the RGB image (3, H, W) in [0, 1], applying the scene's
+/// lighting condition. `rng` drives sensor noise only.
+Tensor render_rgb(const Scene& scene, const Camera& camera, Rng& rng);
+
+/// Rasterizes the binary drivable-road ground truth (1, H, W): 1 where the
+/// pixel sees unoccluded road surface.
+Tensor render_ground_truth(const Scene& scene, const Camera& camera);
+
+}  // namespace roadfusion::kitti

@@ -1,0 +1,261 @@
+#include "kitti/scene.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::SplitMix64;
+
+/// Smooth value-noise over the ground plane from an integer lattice hash.
+float lattice_hash(uint64_t seed, int64_t ix, int64_t iz) {
+  SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(ix)) ^
+                 (0xc2b2ae3d27d4eb4fULL * static_cast<uint64_t>(iz)));
+  return static_cast<float>(mix.next() >> 11) * 0x1.0p-53f * 2.0f - 1.0f;
+}
+
+float smoothstep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+Color random_vehicle_color(Rng& rng) {
+  // Muted automotive palette.
+  static const Color palette[] = {
+      {0.75f, 0.75f, 0.78f}, {0.15f, 0.15f, 0.18f}, {0.55f, 0.10f, 0.10f},
+      {0.12f, 0.25f, 0.45f}, {0.80f, 0.78f, 0.70f}, {0.35f, 0.38f, 0.40f},
+  };
+  return palette[static_cast<size_t>(rng.uniform_int(0, 5))];
+}
+
+}  // namespace
+
+const char* to_string(RoadCategory category) {
+  switch (category) {
+    case RoadCategory::kUM:
+      return "UM";
+    case RoadCategory::kUMM:
+      return "UMM";
+    case RoadCategory::kUU:
+      return "UU";
+  }
+  return "?";
+}
+
+const char* to_string(Lighting lighting) {
+  switch (lighting) {
+    case Lighting::kDay:
+      return "day";
+    case Lighting::kNight:
+      return "night";
+    case Lighting::kOverexposure:
+      return "overexposure";
+    case Lighting::kShadows:
+      return "shadows";
+  }
+  return "?";
+}
+
+Scene Scene::generate(RoadCategory category, Lighting lighting,
+                      uint64_t seed) {
+  Scene scene;
+  scene.category_ = category;
+  scene.lighting_ = lighting;
+  scene.seed_ = seed;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234abcdULL);
+  scene.noise_seed_ = SplitMix64(seed ^ 0xfeedfaceULL).next();
+
+  // Gentle curvature; c1 tilts the road, c2 bends it.
+  scene.c0_ = rng.uniform(-0.6, 0.6);
+  scene.c1_ = rng.uniform(-0.03, 0.03);
+  scene.c2_ = rng.uniform(-0.0012, 0.0012);
+
+  switch (category) {
+    case RoadCategory::kUM: {
+      scene.base_half_width_ = rng.uniform(3.0, 3.8);
+      scene.texture_contrast_ = 1.0f;
+      // Edge lines + center line.
+      LaneMarking left;
+      left.offset = -scene.base_half_width_ + 0.25;
+      LaneMarking right;
+      right.offset = scene.base_half_width_ - 0.25;
+      LaneMarking center;
+      center.offset = rng.uniform(-0.3, 0.3);
+      center.dashed = true;
+      center.color = Color{0.9f, 0.85f, 0.4f};  // yellow center line
+      scene.markings_ = {left, right, center};
+      break;
+    }
+    case RoadCategory::kUMM: {
+      scene.base_half_width_ = rng.uniform(5.5, 7.0);
+      scene.texture_contrast_ = 1.1f;
+      // Edge lines + two or three dashed lane separators.
+      LaneMarking left;
+      left.offset = -scene.base_half_width_ + 0.25;
+      LaneMarking right;
+      right.offset = scene.base_half_width_ - 0.25;
+      scene.markings_ = {left, right};
+      const int lanes = static_cast<int>(rng.uniform_int(3, 4));
+      for (int i = 1; i < lanes; ++i) {
+        LaneMarking sep;
+        sep.offset = -scene.base_half_width_ +
+                     2.0 * scene.base_half_width_ * i / lanes;
+        sep.dashed = true;
+        sep.dash_period = 5.0;
+        scene.markings_.push_back(sep);
+      }
+      break;
+    }
+    case RoadCategory::kUU: {
+      scene.base_half_width_ = rng.uniform(2.6, 3.4);
+      scene.edge_wobble_amp_ = rng.uniform(0.35, 0.8);
+      scene.edge_wobble_freq_ = rng.uniform(0.2, 0.45);
+      // Unpaved look: road blends into the shoulder.
+      scene.road_color_ = Color{0.38f, 0.35f, 0.30f};
+      scene.offroad_color_ = Color{0.42f, 0.42f, 0.28f};
+      scene.texture_contrast_ = 0.55f;
+      break;
+    }
+  }
+
+  // Roadside obstacles: parked vehicles, walls, poles. Placed off the
+  // drivable surface.
+  const int64_t obstacle_count = rng.uniform_int(2, 5);
+  for (int64_t i = 0; i < obstacle_count; ++i) {
+    Obstacle obstacle;
+    obstacle.z = rng.uniform(8.0, 38.0);
+    const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double clearance = rng.uniform(0.8, 4.0);
+    const double center = scene.road_center(obstacle.z);
+    const double half_width_here = scene.base_half_width_ +
+                                   scene.edge_wobble_amp_;
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    if (kind == 0) {  // vehicle
+      obstacle.half_width = rng.uniform(0.8, 1.0);
+      obstacle.half_depth = rng.uniform(1.8, 2.4);
+      obstacle.height = rng.uniform(1.3, 1.8);
+      obstacle.color = random_vehicle_color(rng);
+    } else if (kind == 1) {  // wall / building edge
+      obstacle.half_width = rng.uniform(0.4, 0.8);
+      obstacle.half_depth = rng.uniform(3.0, 6.0);
+      obstacle.height = rng.uniform(2.5, 4.0);
+      obstacle.color = Color{0.55f, 0.5f, 0.45f};
+    } else {  // pole / trunk
+      obstacle.half_width = 0.15;
+      obstacle.half_depth = 0.15;
+      obstacle.height = rng.uniform(3.0, 5.0);
+      obstacle.color = Color{0.3f, 0.22f, 0.15f};
+    }
+    obstacle.x = center + side * (half_width_here + clearance +
+                                  obstacle.half_width);
+    scene.obstacles_.push_back(obstacle);
+  }
+
+  // Ground shadows: always a few under the shadows condition, occasional
+  // light ones otherwise.
+  const int64_t shadow_count =
+      lighting == Lighting::kShadows ? rng.uniform_int(3, 6)
+                                     : rng.uniform_int(0, 1);
+  for (int64_t i = 0; i < shadow_count; ++i) {
+    GroundShadow shadow;
+    shadow.z = rng.uniform(6.0, 34.0);
+    shadow.x = scene.road_center(shadow.z) + rng.uniform(-4.0, 4.0);
+    shadow.radius_x = rng.uniform(1.5, 4.0);
+    shadow.radius_z = rng.uniform(2.5, 7.0);
+    shadow.darkness = static_cast<float>(rng.uniform(0.35, 0.6));
+    scene.shadows_.push_back(shadow);
+  }
+
+  return scene;
+}
+
+double Scene::road_center(double z) const {
+  return c0_ + c1_ * z + c2_ * z * z;
+}
+
+double Scene::road_half_width(double z, double lateral_sign) const {
+  double half_width = base_half_width_;
+  if (edge_wobble_amp_ > 0.0) {
+    // Different wobble phase per side so the two edges are independent.
+    const double phase = lateral_sign > 0.0 ? 0.0 : 2.1;
+    half_width += edge_wobble_amp_ *
+                  std::sin(edge_wobble_freq_ * z + phase +
+                           0.13 * std::sin(0.11 * z));
+  }
+  return half_width;
+}
+
+bool Scene::on_road(double x, double z) const {
+  if (z <= 0.0) {
+    return false;
+  }
+  const double lateral = x - road_center(z);
+  const double sign = lateral >= 0.0 ? 1.0 : -1.0;
+  return std::fabs(lateral) <= road_half_width(z, sign);
+}
+
+bool Scene::on_marking(double x, double z, Color* marking_color) const {
+  if (z <= 0.0) {
+    return false;
+  }
+  const double lateral = x - road_center(z);
+  for (const LaneMarking& marking : markings_) {
+    if (std::fabs(lateral - marking.offset) > marking.half_width) {
+      continue;
+    }
+    if (marking.dashed) {
+      const double phase = std::fmod(z, marking.dash_period);
+      if (phase > marking.dash_period * 0.5) {
+        continue;
+      }
+    }
+    if (marking_color != nullptr) {
+      *marking_color = marking.color;
+    }
+    return true;
+  }
+  return false;
+}
+
+float Scene::shadow_factor(double x, double z) const {
+  float factor = 1.0f;
+  for (const GroundShadow& shadow : shadows_) {
+    const double dx = (x - shadow.x) / shadow.radius_x;
+    const double dz = (z - shadow.z) / shadow.radius_z;
+    const double r2 = dx * dx + dz * dz;
+    if (r2 < 1.0) {
+      // Soft falloff toward the edge of the ellipse.
+      const float edge = smoothstep(static_cast<float>(1.0 - r2));
+      const float local = 1.0f - (1.0f - shadow.darkness) * edge;
+      factor = std::min(factor, local);
+    }
+  }
+  return factor;
+}
+
+float Scene::ground_noise(double x, double z) const {
+  // Two-octave value noise on a 0.5 m lattice.
+  float total = 0.0f;
+  float amplitude = 1.0f;
+  double scale = 2.0;  // lattice cells per metre
+  for (int octave = 0; octave < 2; ++octave) {
+    const double gx = x * scale;
+    const double gz = z * scale;
+    const int64_t ix = static_cast<int64_t>(std::floor(gx));
+    const int64_t iz = static_cast<int64_t>(std::floor(gz));
+    const float tx = smoothstep(static_cast<float>(gx - std::floor(gx)));
+    const float tz = smoothstep(static_cast<float>(gz - std::floor(gz)));
+    const float v00 = lattice_hash(noise_seed_ + octave, ix, iz);
+    const float v10 = lattice_hash(noise_seed_ + octave, ix + 1, iz);
+    const float v01 = lattice_hash(noise_seed_ + octave, ix, iz + 1);
+    const float v11 = lattice_hash(noise_seed_ + octave, ix + 1, iz + 1);
+    const float v0 = v00 + tx * (v10 - v00);
+    const float v1 = v01 + tx * (v11 - v01);
+    total += amplitude * (v0 + tz * (v1 - v0));
+    amplitude *= 0.5f;
+    scale *= 2.0;
+  }
+  return total / 1.5f;
+}
+
+}  // namespace roadfusion::kitti

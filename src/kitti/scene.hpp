@@ -1,0 +1,151 @@
+// Procedural road-scene model — the synthetic stand-in for KITTI road.
+//
+// A Scene is a parametric description of one driving moment: road geometry
+// (curved centerline, per-category width profile), lane markings, roadside
+// obstacles (vehicles, poles, walls), ground shadows and a lighting
+// condition. The RGB renderer, LiDAR simulator and ground-truth rasterizer
+// all query the same Scene, so the modalities are geometrically consistent
+// interpretations of one world — the property the paper's fusion setup
+// relies on.
+//
+// Scene categories mirror the KITTI road taxonomy:
+//  * UM  — urban marked: single carriageway, center + edge markings.
+//  * UMM — urban multiple marked lanes: wide road, several dashed lanes
+//          (the benchmark's easiest category).
+//  * UU  — urban unmarked: no markings, irregular edges (the hardest).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace roadfusion::kitti {
+
+/// KITTI road scene taxonomy.
+enum class RoadCategory {
+  kUM,
+  kUMM,
+  kUU,
+};
+
+/// Lighting conditions applied to the RGB modality only — depth (LiDAR)
+/// is unaffected, reproducing the complementary-sensing premise.
+enum class Lighting {
+  kDay,
+  kNight,
+  kOverexposure,
+  kShadows,
+};
+
+const char* to_string(RoadCategory category);
+const char* to_string(Lighting lighting);
+
+/// RGB surface color.
+struct Color {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+};
+
+/// Axis-aligned box obstacle standing on the ground (vehicles, walls,
+/// tree trunks as thin tall boxes).
+struct Obstacle {
+  double x = 0.0;       ///< center, lateral (m)
+  double z = 10.0;      ///< center, forward (m)
+  double half_width = 1.0;
+  double half_depth = 2.0;
+  double height = 1.5;
+  Color color;
+};
+
+/// Elliptical dark patch cast on the ground (tree shadows etc.).
+struct GroundShadow {
+  double x = 0.0;
+  double z = 10.0;
+  double radius_x = 2.0;
+  double radius_z = 4.0;
+  float darkness = 0.5;  ///< multiplier applied inside the ellipse
+};
+
+/// Longitudinal lane marking at a (possibly dashed) lateral offset from
+/// the road centerline.
+struct LaneMarking {
+  double offset = 0.0;      ///< lateral offset from centerline (m)
+  double half_width = 0.08;  ///< half marking width (m)
+  bool dashed = false;
+  double dash_period = 6.0;  ///< metres; 50% duty cycle when dashed
+  Color color{0.95f, 0.95f, 0.95f};
+};
+
+/// One procedurally generated driving scene.
+class Scene {
+ public:
+  /// Deterministically generates a scene for (category, lighting, seed).
+  static Scene generate(RoadCategory category, Lighting lighting,
+                        uint64_t seed);
+
+  RoadCategory category() const { return category_; }
+  Lighting lighting() const { return lighting_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Lateral position of the road centerline at forward distance z.
+  double road_center(double z) const;
+
+  /// Half width of the drivable surface at forward distance z. For UU the
+  /// edge wobbles with z (irregular, unpaved margins).
+  double road_half_width(double z, double lateral_sign) const;
+
+  /// True when ground point (x, z) lies on the drivable road surface.
+  bool on_road(double x, double z) const;
+
+  /// True when ground point (x, z) is covered by a painted lane marking
+  /// (always false for UU). `marking_color` receives the paint color.
+  bool on_marking(double x, double z, Color* marking_color = nullptr) const;
+
+  /// Shadow attenuation multiplier at ground point (x, z); 1 = unshadowed.
+  float shadow_factor(double x, double z) const;
+
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+  const std::vector<GroundShadow>& shadows() const { return shadows_; }
+
+  /// Base surface colors (before texture noise / lighting).
+  Color road_color() const { return road_color_; }
+  Color offroad_color() const { return offroad_color_; }
+  Color sky_color() const { return sky_color_; }
+
+  /// Texture contrast scale between road and surroundings; lower for UU
+  /// (dirt roads blend into dirt shoulders, the category's difficulty).
+  float texture_contrast() const { return texture_contrast_; }
+
+  /// Deterministic per-scene procedural noise in [-1, 1] for surface
+  /// texturing, smooth-ish over the ground plane.
+  float ground_noise(double x, double z) const;
+
+ private:
+  RoadCategory category_ = RoadCategory::kUM;
+  Lighting lighting_ = Lighting::kDay;
+  uint64_t seed_ = 0;
+
+  // Centerline: x_c(z) = c0 + c1 z + c2 z^2 (gentle curvature).
+  double c0_ = 0.0;
+  double c1_ = 0.0;
+  double c2_ = 0.0;
+  double base_half_width_ = 3.5;
+  double edge_wobble_amp_ = 0.0;   ///< UU: metres of edge irregularity
+  double edge_wobble_freq_ = 0.35;
+
+  std::vector<LaneMarking> markings_;
+  std::vector<Obstacle> obstacles_;
+  std::vector<GroundShadow> shadows_;
+
+  Color road_color_{0.30f, 0.30f, 0.32f};
+  Color offroad_color_{0.36f, 0.44f, 0.26f};
+  Color sky_color_{0.62f, 0.74f, 0.90f};
+  float texture_contrast_ = 1.0f;
+
+  // Hash basis for procedural ground noise.
+  uint64_t noise_seed_ = 0;
+};
+
+}  // namespace roadfusion::kitti

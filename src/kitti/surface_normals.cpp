@@ -1,0 +1,125 @@
+#include "kitti/surface_normals.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  bool valid = false;
+};
+
+Point3 cross(const Point3& a, const Point3& b) {
+  Point3 c;
+  c.x = a.y * b.z - a.z * b.y;
+  c.y = a.z * b.x - a.x * b.z;
+  c.z = a.x * b.y - a.y * b.x;
+  c.valid = true;
+  return c;
+}
+
+}  // namespace
+
+Tensor normals_from_range(const Tensor& dense_range,
+                          const vision::Camera& camera,
+                          const SurfaceNormalConfig& config) {
+  ROADFUSION_CHECK(dense_range.shape().rank() == 3 &&
+                       dense_range.shape().dim(0) == 1,
+                   "normals_from_range expects (1, H, W), got "
+                       << dense_range.shape().str());
+  const int64_t h = dense_range.shape().dim(1);
+  const int64_t w = dense_range.shape().dim(2);
+  ROADFUSION_CHECK(h == camera.height() && w == camera.width(),
+                   "normals_from_range: range image "
+                       << h << "x" << w << " does not match camera "
+                       << camera.height() << "x" << camera.width());
+
+  // Back-project every pixel to a world-frame 3-D point.
+  std::vector<Point3> points(static_cast<size_t>(h * w));
+  const float* range = dense_range.raw();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const float r = range[y * w + x];
+      if (r < config.min_range) {
+        continue;
+      }
+      const vision::Vec3 ray = camera.pixel_ray(
+          static_cast<double>(x) + 0.5, static_cast<double>(y) + 0.5);
+      Point3& p = points[static_cast<size_t>(y * w + x)];
+      p.x = r * ray.x;
+      p.y = camera.cam_height() + r * ray.y;
+      p.z = r * ray.z;
+      p.valid = true;
+    }
+  }
+
+  Tensor normals(tensor::Shape::chw(3, h, w));
+  float* out = normals.raw();
+  const int64_t plane = h * w;
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const int64_t index = y * w + x;
+      // Central differences with clamped neighbours.
+      const int64_t xl = std::max<int64_t>(0, x - 1);
+      const int64_t xr = std::min<int64_t>(w - 1, x + 1);
+      const int64_t yu = std::max<int64_t>(0, y - 1);
+      const int64_t yd = std::min<int64_t>(h - 1, y + 1);
+      const Point3& left = points[static_cast<size_t>(y * w + xl)];
+      const Point3& right = points[static_cast<size_t>(y * w + xr)];
+      const Point3& up = points[static_cast<size_t>(yu * w + x)];
+      const Point3& down = points[static_cast<size_t>(yd * w + x)];
+      const Point3& center = points[static_cast<size_t>(index)];
+
+      Point3 normal;
+      if (center.valid && left.valid && right.valid && up.valid &&
+          down.valid && xr > xl && yd > yu) {
+        Point3 du;
+        du.x = right.x - left.x;
+        du.y = right.y - left.y;
+        du.z = right.z - left.z;
+        Point3 dv;
+        dv.x = down.x - up.x;
+        dv.y = down.y - up.y;
+        dv.z = down.z - up.z;
+        normal = cross(du, dv);
+        const double norm = std::sqrt(normal.x * normal.x +
+                                      normal.y * normal.y +
+                                      normal.z * normal.z);
+        if (norm > 1e-9) {
+          normal.x /= norm;
+          normal.y /= norm;
+          normal.z /= norm;
+          // Orient toward the camera: the view ray points away from the
+          // camera, so a camera-facing normal has negative dot with it.
+          const vision::Vec3 ray = camera.pixel_ray(
+              static_cast<double>(x) + 0.5, static_cast<double>(y) + 0.5);
+          if (normal.x * ray.x + normal.y * ray.y + normal.z * ray.z > 0.0) {
+            normal.x = -normal.x;
+            normal.y = -normal.y;
+            normal.z = -normal.z;
+          }
+        } else {
+          normal.valid = false;
+        }
+      }
+      if (!normal.valid) {
+        // Missing data: default to the ground plane's straight-up normal.
+        normal.x = 0.0;
+        normal.y = 1.0;
+        normal.z = 0.0;
+      }
+      out[index] = static_cast<float>(normal.x * 0.5 + 0.5);
+      out[plane + index] = static_cast<float>(normal.y * 0.5 + 0.5);
+      out[2 * plane + index] = static_cast<float>(normal.z * 0.5 + 0.5);
+    }
+  }
+  return normals;
+}
+
+}  // namespace roadfusion::kitti

@@ -1,0 +1,34 @@
+// Surface-normal estimation from a dense range image (extension).
+//
+// The paper's baseline, RoadSeg, descends from SNE-RoadSeg, which feeds
+// the depth branch *surface normals* estimated from the depth map rather
+// than raw depth. This module provides that representation: each pixel's
+// LiDAR range is back-projected through the camera to a 3-D point, local
+// tangents are taken by central differences, and the unit normal is the
+// (camera-facing) cross product. The 3-channel result is encoded to
+// [0, 1] via n * 0.5 + 0.5, ready to be used as the depth-branch input
+// (see DatasetConfig::use_surface_normals).
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::kitti {
+
+using tensor::Tensor;
+
+/// Normal-estimation options.
+struct SurfaceNormalConfig {
+  double min_range = 0.5;  ///< pixels with smaller/absent range get the
+                           ///< straight-up normal (encoded (0.5, 1, 0.5))
+};
+
+/// Estimates per-pixel surface normals from a dense metric range image
+/// (1, H, W). Returns a (3, H, W) tensor with the world-frame normal
+/// components (x, y, z) encoded into [0, 1]. Normals are unit length and
+/// oriented toward the camera.
+Tensor normals_from_range(const Tensor& dense_range,
+                          const vision::Camera& camera,
+                          const SurfaceNormalConfig& config = {});
+
+}  // namespace roadfusion::kitti

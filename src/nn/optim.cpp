@@ -1,0 +1,92 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace roadfusion::nn {
+
+Optimizer::Optimizer(std::vector<ParameterPtr> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    ROADFUSION_CHECK(p != nullptr, "null parameter passed to optimizer");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    p->var.zero_grad();
+  }
+}
+
+Sgd::Sgd(std::vector<ParameterPtr> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+}
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    Tensor grad = p->var.grad();
+    Tensor& value = p->var.mutable_value();
+    if (weight_decay_ != 0.0f) {
+      tensor::axpy_inplace(grad, weight_decay_, value);
+    }
+    if (momentum_ != 0.0f) {
+      auto [it, inserted] =
+          velocity_.try_emplace(p.get(), Tensor::zeros(value.shape()));
+      Tensor& vel = it->second;
+      float* pv = vel.raw();
+      const float* pg = grad.raw();
+      float* px = value.raw();
+      for (int64_t i = 0; i < value.numel(); ++i) {
+        pv[i] = momentum_ * pv[i] + pg[i];
+        px[i] -= lr_ * pv[i];
+      }
+    } else {
+      tensor::axpy_inplace(value, -lr_, grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParameterPtr> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (auto& p : params_) {
+    const Tensor grad = p->var.grad();
+    Tensor& value = p->var.mutable_value();
+    auto [mit, m_new] = m_.try_emplace(p.get(), Tensor::zeros(value.shape()));
+    auto [vit, v_new] = v_.try_emplace(p.get(), Tensor::zeros(value.shape()));
+    float* pm = mit->second.raw();
+    float* pv = vit->second.raw();
+    const float* pg = grad.raw();
+    float* px = value.raw();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      pm[i] = beta1_ * pm[i] + (1.0f - beta1_) * pg[i];
+      pv[i] = beta2_ * pv[i] + (1.0f - beta2_) * pg[i] * pg[i];
+      const float m_hat = pm[i] / bias1;
+      const float v_hat = pv[i] / bias2;
+      float update = m_hat / (std::sqrt(v_hat) + eps_);
+      if (weight_decay_ != 0.0f) {
+        update += weight_decay_ * px[i];
+      }
+      px[i] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace roadfusion::nn

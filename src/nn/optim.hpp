@@ -1,0 +1,67 @@
+// First-order optimizers. Shared parameters must be passed once (as
+// produced by Module::parameters()) so a layer-shared weight receives a
+// single update per step even though two branches contributed gradient.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace roadfusion::nn {
+
+/// Common optimizer interface.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParameterPtr> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated on the
+  /// parameters.
+  virtual void step() = 0;
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+  /// Learning-rate control (schedules).
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<ParameterPtr> params_;
+  float lr_ = 1e-2f;
+};
+
+/// SGD with classical momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParameterPtr> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::unordered_map<const Parameter*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW-style).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParameterPtr> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<const Parameter*, Tensor> m_;
+  std::unordered_map<const Parameter*, Tensor> v_;
+};
+
+}  // namespace roadfusion::nn

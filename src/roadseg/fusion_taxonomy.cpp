@@ -1,0 +1,182 @@
+#include "roadseg/fusion_taxonomy.hpp"
+
+#include <cstring>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace roadfusion::roadseg {
+namespace {
+
+namespace ag = roadfusion::autograd;
+
+/// Concatenates two NCHW tensors along the channel axis.
+tensor::Tensor concat_channels(const tensor::Tensor& a,
+                               const tensor::Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 4 && b.shape().rank() == 4,
+                   "concat_channels expects NCHW inputs");
+  ROADFUSION_CHECK(a.shape().batch() == b.shape().batch() &&
+                       a.shape().height() == b.shape().height() &&
+                       a.shape().width() == b.shape().width(),
+                   "concat_channels: geometry mismatch "
+                       << a.shape().str() << " vs " << b.shape().str());
+  const int64_t n = a.shape().batch();
+  const int64_t ca = a.shape().channels();
+  const int64_t cb = b.shape().channels();
+  const int64_t plane = a.shape().height() * a.shape().width();
+  tensor::Tensor out(tensor::Shape::nchw(n, ca + cb, a.shape().height(),
+                                         a.shape().width()));
+  for (int64_t s = 0; s < n; ++s) {
+    std::memcpy(out.raw() + s * (ca + cb) * plane,
+                a.raw() + s * ca * plane,
+                static_cast<size_t>(ca * plane) * sizeof(float));
+    std::memcpy(out.raw() + (s * (ca + cb) + ca) * plane,
+                b.raw() + s * cb * plane,
+                static_cast<size_t>(cb * plane) * sizeof(float));
+  }
+  return out;
+}
+
+/// Runs an encoder over all stages and returns the per-stage outputs.
+std::vector<autograd::Variable> run_encoder(const Encoder& encoder,
+                                            const autograd::Variable& input) {
+  std::vector<autograd::Variable> skips;
+  autograd::Variable x = input;
+  for (int stage = 0; stage < encoder.num_stages(); ++stage) {
+    x = encoder.forward_stage(stage, x);
+    skips.push_back(x);
+  }
+  return skips;
+}
+
+nn::Complexity encoder_complexity(const Encoder& encoder, int64_t h,
+                                  int64_t w) {
+  nn::Complexity total;
+  for (int stage = 0; stage < encoder.num_stages(); ++stage) {
+    const int64_t in_h = Encoder::stage_extent(stage == 0 ? 0 : stage - 1, h);
+    const int64_t in_w = Encoder::stage_extent(stage == 0 ? 0 : stage - 1, w);
+    total += encoder.stage_complexity(stage, in_h, in_w);
+  }
+  return total;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EarlyFusionNet
+// ---------------------------------------------------------------------------
+
+EarlyFusionNet::EarlyFusionNet(const TaxonomyConfig& config, Rng& rng)
+    : config_(config) {
+  encoder_ = std::make_unique<Encoder>(
+      "early.encoder", config.rgb_channels + config.depth_channels,
+      config.stage_channels, rng);
+  decoder_ =
+      std::make_unique<Decoder>("early.decoder", config.stage_channels, rng);
+}
+
+ForwardResult EarlyFusionNet::forward(const autograd::Variable& rgb,
+                                      const autograd::Variable& depth) const {
+  const autograd::Variable stacked = autograd::Variable::constant(
+      concat_channels(rgb.value(), depth.value()));
+  ForwardResult result;
+  result.logits = decoder_->forward(run_encoder(*encoder_, stacked));
+  return result;
+}
+
+nn::Complexity EarlyFusionNet::complexity(int64_t height,
+                                          int64_t width) const {
+  nn::Complexity total = encoder_complexity(*encoder_, height, width);
+  total.macs += decoder_->complexity(height, width).macs;
+  total.params = parameter_count();
+  return total;
+}
+
+void EarlyFusionNet::collect_parameters(
+    std::vector<nn::ParameterPtr>& out) const {
+  encoder_->collect_parameters(out);
+  decoder_->collect_parameters(out);
+}
+
+void EarlyFusionNet::collect_state(const std::string& prefix,
+                                   std::vector<nn::StateEntry>& out) {
+  encoder_->collect_state(prefix, out);
+  decoder_->collect_state(prefix, out);
+}
+
+void EarlyFusionNet::set_training(bool training) {
+  encoder_->set_training(training);
+  decoder_->set_training(training);
+}
+
+// ---------------------------------------------------------------------------
+// LateFusionNet
+// ---------------------------------------------------------------------------
+
+LateFusionNet::LateFusionNet(const TaxonomyConfig& config, Rng& rng)
+    : config_(config) {
+  rgb_encoder_ = std::make_unique<Encoder>("late.rgb.encoder",
+                                           config.rgb_channels,
+                                           config.stage_channels, rng);
+  rgb_decoder_ = std::make_unique<Decoder>("late.rgb.decoder",
+                                           config.stage_channels, rng);
+  depth_encoder_ = std::make_unique<Encoder>("late.depth.encoder",
+                                             config.depth_channels,
+                                             config.stage_channels, rng);
+  depth_decoder_ = std::make_unique<Decoder>("late.depth.decoder",
+                                             config.stage_channels, rng);
+}
+
+autograd::Variable LateFusionNet::run_branch(
+    const Encoder& encoder, const Decoder& decoder,
+    const autograd::Variable& input) const {
+  return decoder.forward(run_encoder(encoder, input));
+}
+
+ForwardResult LateFusionNet::forward(const autograd::Variable& rgb,
+                                     const autograd::Variable& depth) const {
+  const autograd::Variable rgb_logits =
+      run_branch(*rgb_encoder_, *rgb_decoder_, rgb);
+  const autograd::Variable depth_logits =
+      run_branch(*depth_encoder_, *depth_decoder_, depth);
+  ForwardResult result;
+  // Decision-level fusion: average the two branches' logits.
+  result.logits =
+      ag::scale(ag::add(rgb_logits, depth_logits), 0.5f);
+  return result;
+}
+
+nn::Complexity LateFusionNet::complexity(int64_t height,
+                                         int64_t width) const {
+  nn::Complexity total = encoder_complexity(*rgb_encoder_, height, width);
+  total += encoder_complexity(*depth_encoder_, height, width);
+  total.macs += rgb_decoder_->complexity(height, width).macs;
+  total.macs += depth_decoder_->complexity(height, width).macs;
+  total.params = parameter_count();
+  return total;
+}
+
+void LateFusionNet::collect_parameters(
+    std::vector<nn::ParameterPtr>& out) const {
+  rgb_encoder_->collect_parameters(out);
+  rgb_decoder_->collect_parameters(out);
+  depth_encoder_->collect_parameters(out);
+  depth_decoder_->collect_parameters(out);
+}
+
+void LateFusionNet::collect_state(const std::string& prefix,
+                                  std::vector<nn::StateEntry>& out) {
+  rgb_encoder_->collect_state(prefix, out);
+  rgb_decoder_->collect_state(prefix, out);
+  depth_encoder_->collect_state(prefix, out);
+  depth_decoder_->collect_state(prefix, out);
+}
+
+void LateFusionNet::set_training(bool training) {
+  rgb_encoder_->set_training(training);
+  rgb_decoder_->set_training(training);
+  depth_encoder_->set_training(training);
+  depth_decoder_->set_training(training);
+}
+
+}  // namespace roadfusion::roadseg

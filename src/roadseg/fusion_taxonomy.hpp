@@ -1,0 +1,81 @@
+// Early- and late-fusion baselines — the two alternative fusion families
+// the paper's background section positions middle fusion against:
+//
+//  * Early fusion (Wulff et al. 2018, the paper's [7]): RGB and depth are
+//    concatenated at the input and a single encoder/decoder processes the
+//    stacked image.
+//  * Late fusion (Du et al. 2018, the paper's [8]): each modality runs
+//    through its own full encoder/decoder and the decisions (logits) are
+//    averaged.
+//
+// Both implement SegmentationModel, so they train and evaluate through
+// the same pipeline as RoadSegNet — enabling the early/middle/late
+// comparison behind the paper's "middle fusion is the dominant method"
+// claim (see bench_ext_taxonomy).
+#pragma once
+
+#include <memory>
+
+#include "roadseg/decoder.hpp"
+#include "roadseg/encoder.hpp"
+#include "roadseg/segmentation_model.hpp"
+
+namespace roadfusion::roadseg {
+
+/// Shared hyper-parameters of the taxonomy baselines.
+struct TaxonomyConfig {
+  std::vector<int64_t> stage_channels = {8, 12, 16, 24, 32};
+  int64_t rgb_channels = 3;
+  int64_t depth_channels = 1;
+};
+
+/// Input-level fusion: one network over the channel-stacked image.
+/// Note: input gradients are not propagated through the concatenation
+/// (network inputs never require gradients in this library).
+class EarlyFusionNet : public SegmentationModel {
+ public:
+  EarlyFusionNet(const TaxonomyConfig& config, Rng& rng);
+
+  ForwardResult forward(const autograd::Variable& rgb,
+                        const autograd::Variable& depth) const override;
+  nn::Complexity complexity(int64_t height, int64_t width) const override;
+
+  void collect_parameters(std::vector<nn::ParameterPtr>& out) const override;
+  void collect_state(const std::string& prefix,
+                     std::vector<nn::StateEntry>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  TaxonomyConfig config_;
+  std::unique_ptr<Encoder> encoder_;
+  std::unique_ptr<Decoder> decoder_;
+};
+
+/// Decision-level fusion: two independent encoder/decoder networks whose
+/// logits are averaged.
+class LateFusionNet : public SegmentationModel {
+ public:
+  LateFusionNet(const TaxonomyConfig& config, Rng& rng);
+
+  ForwardResult forward(const autograd::Variable& rgb,
+                        const autograd::Variable& depth) const override;
+  nn::Complexity complexity(int64_t height, int64_t width) const override;
+
+  void collect_parameters(std::vector<nn::ParameterPtr>& out) const override;
+  void collect_state(const std::string& prefix,
+                     std::vector<nn::StateEntry>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  autograd::Variable run_branch(const Encoder& encoder,
+                                const Decoder& decoder,
+                                const autograd::Variable& input) const;
+
+  TaxonomyConfig config_;
+  std::unique_ptr<Encoder> rgb_encoder_;
+  std::unique_ptr<Decoder> rgb_decoder_;
+  std::unique_ptr<Encoder> depth_encoder_;
+  std::unique_ptr<Decoder> depth_decoder_;
+};
+
+}  // namespace roadfusion::roadseg

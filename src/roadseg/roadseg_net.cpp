@@ -1,0 +1,205 @@
+#include "roadseg/roadseg_net.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace roadfusion::roadseg {
+
+namespace ag = roadfusion::autograd;
+
+RoadSegNet::RoadSegNet(const RoadSegConfig& config, Rng& rng)
+    : config_(config) {
+  ROADFUSION_CHECK(config.stage_channels.size() >= 2,
+                   "RoadSegNet needs at least two stages");
+  rgb_encoder_ = std::make_unique<Encoder>("rgb", config.rgb_channels,
+                                           config.stage_channels, rng);
+  if (core::uses_layer_sharing(config.scheme)) {
+    depth_encoder_ = std::make_unique<Encoder>(
+        "depth", config.depth_channels, config.stage_channels, *rgb_encoder_,
+        resolved_share_from(), rng);
+  } else {
+    depth_encoder_ = std::make_unique<Encoder>(
+        "depth", config.depth_channels, config.stage_channels, rng);
+  }
+
+  if (core::uses_fusion_filters(config.scheme)) {
+    for (size_t i = 0; i < config.stage_channels.size(); ++i) {
+      depth_to_rgb_filters_.emplace_back(
+          "d2r.stage" + std::to_string(i), config.stage_channels[i], rng);
+    }
+    if (config.scheme == FusionScheme::kAllFilterB) {
+      // No reverse filter at the deepest stage: the depth branch has no
+      // further stage to consume the updated features.
+      for (size_t i = 0; i + 1 < config.stage_channels.size(); ++i) {
+        rgb_to_depth_filters_.emplace_back(
+            "r2d.stage" + std::to_string(i), config.stage_channels[i], rng);
+      }
+    }
+  }
+
+  if (config.scheme == FusionScheme::kWeightedSharing) {
+    awn_ = std::make_unique<core::AuxiliaryWeightNetwork>(
+        "awn", config.stage_channels.back(), rng);
+  }
+
+  decoder_ = std::make_unique<Decoder>("decoder", config.stage_channels, rng);
+}
+
+int RoadSegNet::resolved_share_from() const {
+  if (config_.share_from_stage >= 0) {
+    return config_.share_from_stage;
+  }
+  // The paper shares the last convolutional stage.
+  return static_cast<int>(config_.stage_channels.size()) - 1;
+}
+
+bool RoadSegNet::stage_is_shared(int stage) const {
+  return core::uses_layer_sharing(config_.scheme) &&
+         stage >= resolved_share_from();
+}
+
+ForwardResult RoadSegNet::forward(const autograd::Variable& rgb,
+                                  const autograd::Variable& depth) const {
+  ROADFUSION_CHECK(rgb.shape().rank() == 4 && depth.shape().rank() == 4,
+                   "RoadSegNet::forward expects NCHW inputs");
+  ROADFUSION_CHECK(rgb.shape().batch() == depth.shape().batch() &&
+                       rgb.shape().height() == depth.shape().height() &&
+                       rgb.shape().width() == depth.shape().width(),
+                   "RoadSegNet::forward: rgb " << rgb.shape().str()
+                                               << " vs depth "
+                                               << depth.shape().str());
+  const int stages = num_stages();
+  const int64_t stride = int64_t{1} << (stages - 1);
+  ROADFUSION_CHECK(rgb.shape().height() % stride == 0 &&
+                       rgb.shape().width() % stride == 0,
+                   "input " << rgb.shape().str()
+                            << " not divisible by the network stride "
+                            << stride);
+
+  ForwardResult result;
+  std::vector<autograd::Variable> skips;
+  autograd::Variable rgb_in = rgb;
+  autograd::Variable depth_in = depth;
+  for (int stage = 0; stage < stages; ++stage) {
+    const autograd::Variable r_i = rgb_encoder_->forward_stage(stage, rgb_in);
+    const autograd::Variable d_i =
+        depth_encoder_->forward_stage(stage, depth_in);
+
+    autograd::Variable matched = d_i;
+    autograd::Variable fused_rgb;
+    autograd::Variable next_depth = d_i;
+    switch (config_.scheme) {
+      case FusionScheme::kBaseline:
+      case FusionScheme::kBaseSharing:
+        fused_rgb = ag::add(r_i, d_i);
+        break;
+      case FusionScheme::kAllFilterU:
+        matched = depth_to_rgb_filters_[static_cast<size_t>(stage)].match(d_i);
+        fused_rgb = ag::add(r_i, matched);
+        break;
+      case FusionScheme::kAllFilterB: {
+        matched = depth_to_rgb_filters_[static_cast<size_t>(stage)].match(d_i);
+        fused_rgb = ag::add(r_i, matched);
+        if (stage < stages - 1) {
+          const autograd::Variable matched_rgb =
+              rgb_to_depth_filters_[static_cast<size_t>(stage)].match(r_i);
+          next_depth = ag::add(d_i, matched_rgb);
+        }
+        break;
+      }
+      case FusionScheme::kWeightedSharing: {
+        if (stage == stages - 1) {
+          const autograd::Variable w = awn_->weight(r_i, d_i);
+          result.awn_weight = w;
+          matched = ag::scale_per_sample(d_i, w);
+          fused_rgb = ag::add(r_i, matched);
+        } else {
+          fused_rgb = ag::add(r_i, d_i);
+        }
+        break;
+      }
+    }
+
+    result.fusion_pairs.emplace_back(r_i, matched);
+    skips.push_back(fused_rgb);
+    rgb_in = fused_rgb;
+    depth_in = next_depth;
+  }
+
+  result.logits = decoder_->forward(skips);
+  return result;
+}
+
+nn::Complexity RoadSegNet::complexity(int64_t height, int64_t width) const {
+  nn::Complexity total;
+  // Encoders: MACs for both branches (shared stages still execute twice).
+  for (int stage = 0; stage < num_stages(); ++stage) {
+    const int64_t in_h = Encoder::stage_extent(stage == 0 ? 0 : stage - 1,
+                                               height);
+    const int64_t in_w = Encoder::stage_extent(stage == 0 ? 0 : stage - 1,
+                                               width);
+    const nn::Complexity rgb_stage =
+        rgb_encoder_->stage_complexity(stage, in_h, in_w);
+    const nn::Complexity depth_stage =
+        depth_encoder_->stage_complexity(stage, in_h, in_w);
+    total.macs += rgb_stage.macs + depth_stage.macs;
+  }
+  for (size_t i = 0; i < depth_to_rgb_filters_.size(); ++i) {
+    const int stage = static_cast<int>(i);
+    const int64_t h = Encoder::stage_extent(stage, height);
+    const int64_t w = Encoder::stage_extent(stage, width);
+    total.macs += depth_to_rgb_filters_[i].complexity(h, w).macs;
+  }
+  for (size_t i = 0; i < rgb_to_depth_filters_.size(); ++i) {
+    const int stage = static_cast<int>(i);
+    const int64_t h = Encoder::stage_extent(stage, height);
+    const int64_t w = Encoder::stage_extent(stage, width);
+    total.macs += rgb_to_depth_filters_[i].complexity(h, w).macs;
+  }
+  if (awn_) {
+    total.macs += awn_->complexity().macs;
+  }
+  total.macs += decoder_->complexity(height, width).macs;
+  // Parameters: deduplicated count — this is where Layer-sharing pays off.
+  total.params = parameter_count();
+  return total;
+}
+
+void RoadSegNet::collect_parameters(std::vector<nn::ParameterPtr>& out) const {
+  rgb_encoder_->collect_parameters(out);
+  depth_encoder_->collect_parameters(out);
+  for (const auto& filter : depth_to_rgb_filters_) {
+    filter.collect_parameters(out);
+  }
+  for (const auto& filter : rgb_to_depth_filters_) {
+    filter.collect_parameters(out);
+  }
+  if (awn_) {
+    awn_->collect_parameters(out);
+  }
+  decoder_->collect_parameters(out);
+}
+
+void RoadSegNet::collect_state(const std::string& prefix,
+                               std::vector<nn::StateEntry>& out) {
+  rgb_encoder_->collect_state(prefix, out);
+  depth_encoder_->collect_state(prefix, out);
+  for (auto& filter : depth_to_rgb_filters_) {
+    filter.collect_state(prefix, out);
+  }
+  for (auto& filter : rgb_to_depth_filters_) {
+    filter.collect_state(prefix, out);
+  }
+  if (awn_) {
+    awn_->collect_state(prefix, out);
+  }
+  decoder_->collect_state(prefix, out);
+}
+
+void RoadSegNet::set_training(bool training) {
+  rgb_encoder_->set_training(training);
+  depth_encoder_->set_training(training);
+  decoder_->set_training(training);
+}
+
+}  // namespace roadfusion::roadseg

@@ -1,0 +1,81 @@
+// RoadSegNet: the full two-branch middle-fusion segmentation network,
+// configurable with any of the paper's five fusion schemes.
+//
+// Data flow per fusion stage i (Fig. 2 / Fig. 5):
+//   r_i = RgbEncoder.stage_i(previous fused features)
+//   d_i = DepthEncoder.stage_i(previous depth features)
+//   matched_i = scheme-dependent transformation of d_i
+//   fused_i   = r_i + matched_i            (element-wise summation)
+//   (AllFilter_B additionally updates the depth branch with a matched
+//    copy of r_i.)
+// The decoder consumes the fused pyramid through skip connections.
+//
+// The (r_i, matched_i) pairs are surfaced so the Feature Disparity can be
+// measured (Fig. 3a) and penalized during training (Eq. 3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/awn.hpp"
+#include "core/fusion_filter.hpp"
+#include "core/fusion_scheme.hpp"
+#include "roadseg/decoder.hpp"
+#include "roadseg/encoder.hpp"
+#include "roadseg/segmentation_model.hpp"
+
+namespace roadfusion::roadseg {
+
+using core::FusionScheme;
+
+/// Network hyper-parameters.
+struct RoadSegConfig {
+  FusionScheme scheme = FusionScheme::kBaseline;
+  std::vector<int64_t> stage_channels = {8, 12, 16, 24, 32};
+  int64_t rgb_channels = 3;
+  int64_t depth_channels = 1;
+  /// Index of the first shared stage for the sharing schemes (the paper
+  /// shares the last convolutional stage; -1 selects exactly that).
+  int share_from_stage = -1;
+};
+
+/// The complete middle-fusion segmentation network.
+class RoadSegNet : public SegmentationModel {
+ public:
+  RoadSegNet(const RoadSegConfig& config, Rng& rng);
+
+  /// Forward pass. rgb: (N, 3, H, W); depth: (N, C_d, H, W). H and W must
+  /// be divisible by 2^(num_stages - 1).
+  ForwardResult forward(const autograd::Variable& rgb,
+                        const autograd::Variable& depth) const override;
+
+  /// MAC / parameter budget for the given input size. Parameters are
+  /// deduplicated (shared stages count once); MACs count actual execution
+  /// (a shared stage still runs twice).
+  nn::Complexity complexity(int64_t height, int64_t width) const override;
+
+  const RoadSegConfig& config() const { return config_; }
+  int num_stages() const { return rgb_encoder_->num_stages(); }
+
+  /// True when stage `stage` of the two encoders shares parameters.
+  bool stage_is_shared(int stage) const;
+
+  void collect_parameters(std::vector<nn::ParameterPtr>& out) const override;
+  void collect_state(const std::string& prefix,
+                     std::vector<nn::StateEntry>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  int resolved_share_from() const;
+
+  RoadSegConfig config_;
+  std::unique_ptr<Encoder> rgb_encoder_;
+  std::unique_ptr<Encoder> depth_encoder_;
+  std::vector<core::FusionFilter> depth_to_rgb_filters_;  // AU / AB
+  std::vector<core::FusionFilter> rgb_to_depth_filters_;  // AB only
+  std::unique_ptr<core::AuxiliaryWeightNetwork> awn_;     // WS only
+  std::unique_ptr<Decoder> decoder_;
+};
+
+}  // namespace roadfusion::roadseg

@@ -1,0 +1,35 @@
+#include "roadseg/segmentation_model.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace roadfusion::roadseg {
+
+tensor::Tensor SegmentationModel::predict(const tensor::Tensor& rgb,
+                                          const tensor::Tensor& depth) const {
+  tensor::Tensor rgb4 = rgb;
+  tensor::Tensor depth4 = depth;
+  const bool chw = rgb.shape().rank() == 3;
+  if (chw) {
+    ROADFUSION_CHECK(depth.shape().rank() == 3,
+                     "predict: rgb is CHW but depth is "
+                         << depth.shape().str());
+    rgb4 = rgb.reshaped(tensor::Shape::nchw(1, rgb.shape().dim(0),
+                                            rgb.shape().dim(1),
+                                            rgb.shape().dim(2)));
+    depth4 = depth.reshaped(tensor::Shape::nchw(1, depth.shape().dim(0),
+                                                depth.shape().dim(1),
+                                                depth.shape().dim(2)));
+  }
+  const ForwardResult result =
+      forward(autograd::Variable::constant(rgb4),
+              autograd::Variable::constant(depth4));
+  tensor::Tensor out = autograd::sigmoid(result.logits).value();
+  if (chw) {
+    out = out.reshaped(tensor::Shape::chw(1, rgb.shape().dim(1),
+                                          rgb.shape().dim(2)));
+  }
+  return out;
+}
+
+}  // namespace roadfusion::roadseg

@@ -1,0 +1,43 @@
+// SegmentationModel: the common interface of every two-modality road
+// segmentation network in this repository — the middle-fusion RoadSegNet
+// (the paper's subject) and the early/late-fusion baselines from the
+// paper's background section. The trainer and evaluator operate on this
+// interface, so every fusion family can be trained and scored through one
+// pipeline.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace roadfusion::roadseg {
+
+/// Everything a forward pass produces.
+struct ForwardResult {
+  autograd::Variable logits;  ///< (N, 1, H, W) road logits
+  /// Per-stage (rgb features, matched depth features) — the stacks summed
+  /// at each fusion point. Empty for architectures without middle-fusion
+  /// points (early / late fusion).
+  std::vector<std::pair<autograd::Variable, autograd::Variable>> fusion_pairs;
+  /// AWN per-sample weights (N, 1); defined only for WeightedSharing.
+  autograd::Variable awn_weight;
+};
+
+/// Abstract two-input segmentation network.
+class SegmentationModel : public nn::Module {
+ public:
+  /// Forward pass. rgb: (N, 3, H, W); depth: (N, C_d, H, W).
+  virtual ForwardResult forward(const autograd::Variable& rgb,
+                                const autograd::Variable& depth) const = 0;
+
+  /// MAC / parameter budget for the given input size.
+  virtual nn::Complexity complexity(int64_t height, int64_t width) const = 0;
+
+  /// Convenience inference: accepts CHW or NCHW tensors and returns road
+  /// probabilities of matching rank. Call set_training(false) first.
+  tensor::Tensor predict(const tensor::Tensor& rgb,
+                         const tensor::Tensor& depth) const;
+};
+
+}  // namespace roadfusion::roadseg

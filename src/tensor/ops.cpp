@@ -1,0 +1,228 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  ROADFUSION_CHECK(a.shape() == b.shape(), op << ": shape mismatch "
+                                              << a.shape().str() << " vs "
+                                              << b.shape().str());
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = pa[i] + pb[i];
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = pa[i] - pb[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = pa[i] * pb[i];
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = pa[i] * s;
+  }
+  return out;
+}
+
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "axpy");
+  float* py = y.raw();
+  const float* px = x.raw();
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    py[i] += alpha * px[i];
+  }
+}
+
+void clamp_inplace(Tensor& t, float lo, float hi) {
+  ROADFUSION_CHECK(lo <= hi, "clamp range inverted");
+  float* p = t.raw();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = std::clamp(p[i], lo, hi);
+  }
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = fn(pa[i]);
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "matmul needs rank-2 operands");
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  ROADFUSION_CHECK(b.shape().dim(0) == k, "matmul inner dims mismatch: "
+                                              << a.shape().str() << " x "
+                                              << b.shape().str());
+  Tensor out(Shape::mat(m, n));
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // b and out, which is the cache-friendly choice for row-major data.
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) {
+        continue;
+      }
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "matmul_at needs rank-2 operands");
+  const int64_t k = a.shape().dim(0);
+  const int64_t m = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  ROADFUSION_CHECK(b.shape().dim(0) == k, "matmul_at inner dims mismatch: "
+                                              << a.shape().str() << "^T x "
+                                              << b.shape().str());
+  Tensor out(Shape::mat(m, n));
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* a_row = pa + kk * m;
+    const float* b_row = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = a_row[i];
+      if (aki == 0.0f) {
+        continue;
+      }
+      float* out_row = po + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        out_row[j] += aki * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "matmul_bt needs rank-2 operands");
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(0);
+  ROADFUSION_CHECK(b.shape().dim(1) == k, "matmul_bt inner dims mismatch: "
+                                              << a.shape().str() << " x "
+                                              << b.shape().str() << "^T");
+  Tensor out(Shape::mat(m, n));
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = pa + i * k;
+    float* out_row = po + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = pb + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a_row[kk]) * b_row[kk];
+      }
+      out_row[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  ROADFUSION_CHECK(a.shape().rank() == 2, "transpose needs rank-2 operand");
+  const int64_t m = a.shape().dim(0);
+  const int64_t n = a.shape().dim(1);
+  Tensor out(Shape::mat(n, m));
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      po[j * m + i] = pa[i * n + j];
+    }
+  }
+  return out;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double acc = 0.0;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(pa[i]) * pb[i];
+  }
+  return acc;
+}
+
+double sum_squares(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(pa[i]) * pa[i];
+  }
+  return acc;
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mse");
+  double acc = 0.0;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    acc += d * d;
+  }
+  return a.numel() == 0 ? 0.0 : acc / static_cast<double>(a.numel());
+}
+
+}  // namespace roadfusion::tensor

@@ -1,0 +1,57 @@
+// Raw (non-autograd) tensor math used by kernels, metrics and data
+// generation. Every function checks its shape contracts; all results are
+// freshly allocated unless the name says "inplace" / "into".
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::tensor {
+
+/// Elementwise a + b. Shapes must match.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b. Shapes must match.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b (Hadamard product). Shapes must match.
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// In-place y += alpha * x. Shapes must match.
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x);
+
+/// In-place elementwise clamp to [lo, hi].
+void clamp_inplace(Tensor& t, float lo, float hi);
+
+/// Applies `fn` elementwise, returning a new tensor.
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Dense matrix multiply: a is (m, k), b is (k, n); result is (m, n).
+/// Simple blocked kernel tuned for the small GEMMs produced by im2col.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Matrix multiply with the first operand transposed: a is (k, m) used as
+/// (m, k); b is (k, n); result is (m, n).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// Matrix multiply with the second operand transposed: a is (m, k); b is
+/// (n, k) used as (k, n); result is (m, n).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose of a (m, n) matrix.
+Tensor transpose(const Tensor& a);
+
+/// Dot product of two tensors of identical shape.
+double dot(const Tensor& a, const Tensor& b);
+
+/// Sum of squared elements.
+double sum_squares(const Tensor& a);
+
+/// Mean squared difference between two same-shape tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+}  // namespace roadfusion::tensor

@@ -1,0 +1,92 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 mix(seed);
+  for (auto& word : state_) {
+    word = mix.next();
+  }
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ROADFUSION_CHECK(lo <= hi, "uniform range inverted: " << lo << " > " << hi);
+  return lo + (hi - lo) * uniform();
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  ROADFUSION_CHECK(lo <= hi,
+                   "uniform_int range inverted: " << lo << " > " << hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine at our scales; bias is < 2^-40 for any
+  // span below 2^24, far below experimental noise.
+  return lo + static_cast<int64_t>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ROADFUSION_CHECK(stddev >= 0.0, "negative stddev " << stddev);
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork() {
+  // Mix the parent seed with a per-fork counter so each child stream is
+  // independent yet fully determined by (seed, fork index).
+  SplitMix64 mix(seed_ ^ (0xabcdef1234567890ULL + 0x9e3779b97f4a7c15ULL *
+                                                      (++fork_counter_)));
+  return Rng(mix.next());
+}
+
+}  // namespace roadfusion::tensor

@@ -1,0 +1,122 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+constexpr char kTensorMagic[4] = {'R', 'F', 'T', '1'};
+constexpr char kCheckpointMagic[4] = {'R', 'F', 'C', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  ROADFUSION_CHECK(static_cast<bool>(in), "truncated tensor stream");
+  return value;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kTensorMagic, sizeof(kTensorMagic));
+  write_pod<int32_t>(out, t.shape().rank());
+  for (int axis = 0; axis < t.shape().rank(); ++axis) {
+    write_pod<int64_t>(out, t.shape().dim(axis));
+  }
+  out.write(reinterpret_cast<const char*>(t.raw()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  ROADFUSION_CHECK(static_cast<bool>(out), "tensor write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  ROADFUSION_CHECK(static_cast<bool>(in) &&
+                       std::memcmp(magic, kTensorMagic, 4) == 0,
+                   "bad tensor magic");
+  const int32_t rank = read_pod<int32_t>(in);
+  ROADFUSION_CHECK(rank >= 0 && rank <= kMaxRank, "bad tensor rank " << rank);
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  int64_t numel = 1;
+  for (auto& d : dims) {
+    d = read_pod<int64_t>(in);
+    ROADFUSION_CHECK(d > 0 && d < (int64_t{1} << 32), "bad dim " << d);
+    numel *= d;
+  }
+  Shape shape;
+  switch (rank) {
+    case 0:
+      shape = Shape::scalar();
+      break;
+    case 1:
+      shape = Shape::vec(dims[0]);
+      break;
+    case 2:
+      shape = Shape::mat(dims[0], dims[1]);
+      break;
+    case 3:
+      shape = Shape::chw(dims[0], dims[1], dims[2]);
+      break;
+    case 4:
+      shape = Shape::nchw(dims[0], dims[1], dims[2], dims[3]);
+      break;
+    default:
+      ROADFUSION_FAIL("unreachable rank");
+  }
+  std::vector<float> values(static_cast<size_t>(numel));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  ROADFUSION_CHECK(static_cast<bool>(in), "truncated tensor payload");
+  return Tensor(shape, std::move(values));
+}
+
+void save_checkpoint(const std::string& path, const NamedTensors& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  ROADFUSION_CHECK(out.is_open(), "cannot open checkpoint for write: " << path);
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  write_pod<int32_t>(out, static_cast<int32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_pod<int32_t>(out, static_cast<int32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(out, t);
+  }
+  ROADFUSION_CHECK(static_cast<bool>(out), "checkpoint write failed: " << path);
+}
+
+NamedTensors load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ROADFUSION_CHECK(in.is_open(), "cannot open checkpoint for read: " << path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  ROADFUSION_CHECK(static_cast<bool>(in) &&
+                       std::memcmp(magic, kCheckpointMagic, 4) == 0,
+                   "bad checkpoint magic in " << path);
+  const int32_t count = read_pod<int32_t>(in);
+  ROADFUSION_CHECK(count >= 0 && count < 100000,
+                   "implausible checkpoint entry count " << count);
+  NamedTensors tensors;
+  tensors.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    const int32_t name_len = read_pod<int32_t>(in);
+    ROADFUSION_CHECK(name_len >= 0 && name_len < 4096,
+                     "implausible tensor name length " << name_len);
+    std::string name(static_cast<size_t>(name_len), '\0');
+    in.read(name.data(), name_len);
+    ROADFUSION_CHECK(static_cast<bool>(in), "truncated checkpoint name");
+    tensors.emplace_back(std::move(name), read_tensor(in));
+  }
+  return tensors;
+}
+
+}  // namespace roadfusion::tensor

@@ -1,0 +1,34 @@
+// Binary tensor (de)serialization for checkpoints.
+//
+// File format (little-endian):
+//   magic "RFT1" | int32 rank | int64 dims[rank] | float32 data[numel]
+// A checkpoint is a sequence of named tensors:
+//   magic "RFC1" | int32 count | { int32 name_len | name | tensor }*
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::tensor {
+
+/// Writes one tensor to the stream in RFT1 format.
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Reads one RFT1 tensor from the stream. Throws on malformed input.
+Tensor read_tensor(std::istream& in);
+
+/// Named-tensor map serialized in checkpoint files (order-preserving).
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+/// Writes a named-tensor checkpoint to `path`. Throws on I/O failure.
+void save_checkpoint(const std::string& path, const NamedTensors& tensors);
+
+/// Reads a named-tensor checkpoint from `path`. Throws on I/O or format
+/// failure.
+NamedTensors load_checkpoint(const std::string& path);
+
+}  // namespace roadfusion::tensor

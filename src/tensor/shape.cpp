@@ -1,0 +1,84 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace roadfusion::tensor {
+
+Shape::Shape(std::initializer_list<int64_t> dims) {
+  ROADFUSION_CHECK(static_cast<int>(dims.size()) <= kMaxRank,
+                   "rank " << dims.size() << " exceeds kMaxRank");
+  rank_ = static_cast<int>(dims.size());
+  int axis = 0;
+  for (int64_t d : dims) {
+    ROADFUSION_CHECK(d > 0, "dimension " << axis << " must be positive, got "
+                                         << d);
+    dims_[static_cast<size_t>(axis++)] = d;
+  }
+}
+
+Shape Shape::scalar() { return Shape{}; }
+Shape Shape::vec(int64_t n) { return Shape{n}; }
+Shape Shape::mat(int64_t rows, int64_t cols) { return Shape{rows, cols}; }
+Shape Shape::chw(int64_t c, int64_t h, int64_t w) { return Shape{c, h, w}; }
+Shape Shape::nchw(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return Shape{n, c, h, w};
+}
+
+int64_t Shape::dim(int axis) const {
+  ROADFUSION_CHECK(axis >= 0 && axis < rank_,
+                   "axis " << axis << " out of range for rank " << rank_);
+  return dims_[static_cast<size_t>(axis)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int axis = 0; axis < rank_; ++axis) {
+    n *= dims_[static_cast<size_t>(axis)];
+  }
+  return n;
+}
+
+int64_t Shape::stride(int axis) const {
+  ROADFUSION_CHECK(axis >= 0 && axis < rank_,
+                   "axis " << axis << " out of range for rank " << rank_);
+  int64_t s = 1;
+  for (int a = axis + 1; a < rank_; ++a) {
+    s *= dims_[static_cast<size_t>(a)];
+  }
+  return s;
+}
+
+int64_t Shape::offset4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  ROADFUSION_CHECK(rank_ == 4, "offset4 requires rank 4, shape is " << str());
+  return ((n * dims_[1] + c) * dims_[2] + h) * dims_[3] + w;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) {
+    return false;
+  }
+  for (int axis = 0; axis < rank_; ++axis) {
+    if (dims_[static_cast<size_t>(axis)] !=
+        other.dims_[static_cast<size_t>(axis)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Shape::str() const {
+  std::ostringstream out;
+  out << "[";
+  for (int axis = 0; axis < rank_; ++axis) {
+    if (axis > 0) {
+      out << ", ";
+    }
+    out << dims_[static_cast<size_t>(axis)];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace roadfusion::tensor

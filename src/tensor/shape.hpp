@@ -1,0 +1,67 @@
+// Shape: dimension bookkeeping for dense row-major tensors.
+//
+// RoadFusion tensors are at most 4-D and follow the NCHW layout convention
+// used throughout the DCNN stack: (batch, channels, height, width). Lower
+// ranks are plain prefixes: a 2-D shape is (rows, cols), a 1-D shape is
+// (n). Shape is a small value type with cheap copies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace roadfusion::tensor {
+
+/// Maximum tensor rank supported by the library.
+inline constexpr int kMaxRank = 4;
+
+/// Dense row-major shape of up to kMaxRank dimensions.
+class Shape {
+ public:
+  /// Rank-0 (scalar) shape; numel() == 1.
+  Shape() = default;
+
+  /// Builds a shape from the given extents. Each extent must be positive.
+  Shape(std::initializer_list<int64_t> dims);
+
+  /// Named constructors for the common ranks.
+  static Shape scalar();
+  static Shape vec(int64_t n);
+  static Shape mat(int64_t rows, int64_t cols);
+  static Shape chw(int64_t c, int64_t h, int64_t w);
+  static Shape nchw(int64_t n, int64_t c, int64_t h, int64_t w);
+
+  int rank() const { return rank_; }
+
+  /// Extent of dimension `axis` (0-based; must be < rank()).
+  int64_t dim(int axis) const;
+
+  /// Total number of elements (1 for a scalar shape).
+  int64_t numel() const;
+
+  /// Row-major stride of dimension `axis` in elements.
+  int64_t stride(int axis) const;
+
+  /// Flat offset of a 4-D index; the shape must be rank 4.
+  int64_t offset4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  /// Convenience accessors for NCHW tensors (shape must be rank 4).
+  int64_t batch() const { return dim(0); }
+  int64_t channels() const { return dim(1); }
+  int64_t height() const { return dim(2); }
+  int64_t width() const { return dim(3); }
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[2, 3, 32, 96]".
+  std::string str() const;
+
+ private:
+  int rank_ = 0;
+  std::array<int64_t, kMaxRank> dims_{{1, 1, 1, 1}};
+};
+
+}  // namespace roadfusion::tensor

@@ -1,0 +1,143 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace roadfusion::tensor {
+
+Tensor::Tensor() : shape_(Shape::scalar()), data_(1, 0.0f) {}
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(static_cast<size_t>(shape.numel()), 0.0f) {}
+
+Tensor::Tensor(const Shape& shape, float fill)
+    : shape_(shape), data_(static_cast<size_t>(shape.numel()), fill) {}
+
+Tensor::Tensor(const Shape& shape, std::vector<float> values)
+    : shape_(shape), data_(std::move(values)) {
+  ROADFUSION_CHECK(static_cast<int64_t>(data_.size()) == shape.numel(),
+                   "value count " << data_.size() << " != numel of "
+                                  << shape.str());
+}
+
+Tensor Tensor::zeros(const Shape& shape) { return Tensor(shape); }
+Tensor Tensor::ones(const Shape& shape) { return Tensor(shape, 1.0f); }
+Tensor Tensor::full(const Shape& shape, float value) {
+  return Tensor(shape, value);
+}
+Tensor Tensor::scalar(float value) {
+  return Tensor(Shape::scalar(), std::vector<float>{value});
+}
+
+Tensor Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::normal(const Shape& shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(const Shape& shape) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data_[static_cast<size_t>(i)] = static_cast<float>(i);
+  }
+  return t;
+}
+
+float& Tensor::at(int64_t i) {
+  ROADFUSION_CHECK(i >= 0 && i < numel(),
+                   "flat index " << i << " out of range for " << shape_.str());
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  ROADFUSION_CHECK(i >= 0 && i < numel(),
+                   "flat index " << i << " out of range for " << shape_.str());
+  return data_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return data_[static_cast<size_t>(shape_.offset4(n, c, h, w))];
+}
+
+float Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return data_[static_cast<size_t>(shape_.offset4(n, c, h, w))];
+}
+
+Tensor Tensor::reshaped(const Shape& shape) const {
+  ROADFUSION_CHECK(shape.numel() == numel(),
+                   "reshape " << shape_.str() << " -> " << shape.str()
+                              << " changes numel");
+  Tensor out = *this;
+  out.shape_ = shape;
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) {
+    return false;
+  }
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) {
+    acc += x;
+  }
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return numel() == 0 ? 0.0f : sum() / static_cast<float>(numel());
+}
+
+float Tensor::min() const {
+  ROADFUSION_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  ROADFUSION_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string Tensor::str() const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.str() << " {";
+  const int64_t preview = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < preview; ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > preview) {
+    out << ", ...";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace roadfusion::tensor

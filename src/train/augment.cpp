@@ -1,0 +1,85 @@
+#include "train/augment.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace roadfusion::train {
+namespace {
+
+/// Flips sample `s` of an NCHW tensor horizontally.
+void hflip_sample(tensor::Tensor& t, int64_t s) {
+  const int64_t c = t.shape().channels();
+  const int64_t h = t.shape().height();
+  const int64_t w = t.shape().width();
+  float* data = t.raw() + s * c * h * w;
+  for (int64_t plane = 0; plane < c; ++plane) {
+    for (int64_t y = 0; y < h; ++y) {
+      float* row = data + (plane * h + y) * w;
+      for (int64_t x = 0; x < w / 2; ++x) {
+        std::swap(row[x], row[w - 1 - x]);
+      }
+    }
+  }
+}
+
+/// Mirrors the encoded lateral normal component: nx -> -nx is
+/// 0.5 + (v - 0.5) * -1 in the [0, 1] encoding.
+void mirror_nx_sample(tensor::Tensor& depth, int64_t s) {
+  const int64_t c = depth.shape().channels();
+  const int64_t h = depth.shape().height();
+  const int64_t w = depth.shape().width();
+  float* nx = depth.raw() + s * c * h * w;  // channel 0
+  for (int64_t i = 0; i < h * w; ++i) {
+    nx[i] = 1.0f - nx[i];
+  }
+}
+
+}  // namespace
+
+void hflip_inplace(tensor::Tensor& t) {
+  ROADFUSION_CHECK(t.shape().rank() == 4, "hflip_inplace expects NCHW");
+  for (int64_t s = 0; s < t.shape().batch(); ++s) {
+    hflip_sample(t, s);
+  }
+}
+
+kitti::Batch augment_batch(const kitti::Batch& batch,
+                           const AugmentConfig& config, tensor::Rng& rng) {
+  ROADFUSION_CHECK(batch.rgb.shape().rank() == 4,
+                   "augment_batch expects NCHW batches");
+  kitti::Batch out{batch.rgb, batch.depth, batch.label};
+  const int64_t n = out.rgb.shape().batch();
+  const int64_t rgb_plane =
+      out.rgb.shape().channels() * out.rgb.shape().height() *
+      out.rgb.shape().width();
+  for (int64_t s = 0; s < n; ++s) {
+    if (rng.bernoulli(config.p_flip)) {
+      hflip_sample(out.rgb, s);
+      hflip_sample(out.depth, s);
+      hflip_sample(out.label, s);
+      if (config.depth_is_normals) {
+        ROADFUSION_CHECK(out.depth.shape().channels() == 3,
+                         "depth_is_normals set but depth has "
+                             << out.depth.shape().channels() << " channels");
+        mirror_nx_sample(out.depth, s);
+      }
+    }
+    if (config.brightness_jitter > 0.0 || config.contrast_jitter > 0.0) {
+      const float offset = static_cast<float>(
+          rng.uniform(-config.brightness_jitter, config.brightness_jitter));
+      const float gain = static_cast<float>(
+          rng.uniform(1.0 - config.contrast_jitter,
+                      1.0 + config.contrast_jitter));
+      float* rgb = out.rgb.raw() + s * rgb_plane;
+      for (int64_t i = 0; i < rgb_plane; ++i) {
+        rgb[i] = std::clamp((rgb[i] - 0.5f) * gain + 0.5f + offset, 0.0f,
+                            1.0f);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace roadfusion::train

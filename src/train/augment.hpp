@@ -1,0 +1,34 @@
+// Training-time data augmentation.
+//
+// Standard segmentation augmentations, applied per batch sample:
+//  * horizontal flip — geometric; applied identically to RGB, depth and
+//    label. When the depth input carries encoded surface normals, the
+//    lateral component (channel 0) is mirrored as well (nx -> -nx).
+//  * photometric jitter — brightness/contrast perturbation of the RGB
+//    image only, mimicking exposure variation. Depth (active sensing) is
+//    left untouched, consistent with the paper's modality model.
+#pragma once
+
+#include "kitti/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::train {
+
+/// Augmentation options.
+struct AugmentConfig {
+  double p_flip = 0.5;             ///< probability of a horizontal flip
+  double brightness_jitter = 0.12;  ///< +- uniform brightness offset
+  double contrast_jitter = 0.15;    ///< contrast scale in [1-c, 1+c]
+  bool depth_is_normals = false;    ///< mirror the nx channel on flips
+};
+
+/// Returns an augmented copy of the batch; each sample draws its own
+/// transform from `rng`.
+kitti::Batch augment_batch(const kitti::Batch& batch,
+                           const AugmentConfig& config, tensor::Rng& rng);
+
+/// Horizontally mirrors the trailing width axis of every (n, c) plane.
+/// Exposed for testing.
+void hflip_inplace(tensor::Tensor& t);
+
+}  // namespace roadfusion::train

@@ -1,0 +1,61 @@
+#include "train/checkpoint.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "tensor/serialize.hpp"
+
+namespace roadfusion::train {
+
+void save_model(roadseg::RoadSegNet& net, const std::string& path) {
+  tensor::save_checkpoint(path, nn::snapshot_state(net));
+}
+
+void load_model(roadseg::RoadSegNet& net, const std::string& path) {
+  nn::restore_state(net, tensor::load_checkpoint(path));
+}
+
+std::string cache_key(const roadseg::RoadSegConfig& net_config,
+                      const kitti::DatasetConfig& data_config,
+                      const TrainConfig& train_config) {
+  std::ostringstream key;
+  key << core::short_name(net_config.scheme);
+  key << "_c";
+  for (int64_t c : net_config.stage_channels) {
+    key << c << "-";
+  }
+  key << "_img" << data_config.image_height << "x" << data_config.image_width
+      << "_cap" << data_config.max_per_category << "_seed"
+      << data_config.seed;
+  key << "_e" << train_config.epochs << "_b" << train_config.batch_size
+      << "_lr" << train_config.lr << "_a" << train_config.alpha_fd << "_s"
+      << train_config.shuffle_seed << (train_config.use_adam ? "_adam" : "_sgd");
+  key << ".rfc";
+  return key.str();
+}
+
+bool train_or_load(roadseg::RoadSegNet& net, const RoadDataset& dataset,
+                   const TrainConfig& config, const std::string& cache_dir) {
+  if (cache_dir.empty()) {
+    fit(net, dataset, config);
+    return true;
+  }
+  std::filesystem::create_directories(cache_dir);
+  const std::string path =
+      (std::filesystem::path(cache_dir) /
+       cache_key(net.config(), dataset.config(), config))
+          .string();
+  if (std::filesystem::exists(path)) {
+    load_model(net, path);
+    log_info("loaded cached model: ", path);
+    return false;
+  }
+  log_info("training ", core::to_string(net.config().scheme),
+           " (no cache hit at ", path, ")");
+  fit(net, dataset, config);
+  save_model(net, path);
+  return true;
+}
+
+}  // namespace roadfusion::train

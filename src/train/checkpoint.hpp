@@ -1,0 +1,31 @@
+// Model checkpointing and the train-or-load cache used by the benchmark
+// harness so that multiple benches can reuse one trained model.
+#pragma once
+
+#include <string>
+
+#include "roadseg/roadseg_net.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion::train {
+
+/// Saves the network's full state (parameters + batch-norm statistics).
+void save_model(roadseg::RoadSegNet& net, const std::string& path);
+
+/// Restores a state saved by save_model. Shapes must match.
+void load_model(roadseg::RoadSegNet& net, const std::string& path);
+
+/// Returns a cache filename that uniquely identifies (scheme, dataset,
+/// training) settings, so stale checkpoints are never reused across
+/// configurations.
+std::string cache_key(const roadseg::RoadSegConfig& net_config,
+                      const kitti::DatasetConfig& data_config,
+                      const TrainConfig& train_config);
+
+/// Loads the checkpoint if `cache_dir` holds one for this configuration;
+/// otherwise trains the network and saves it. Returns true when training
+/// actually ran. An empty `cache_dir` always trains.
+bool train_or_load(roadseg::RoadSegNet& net, const RoadDataset& dataset,
+                   const TrainConfig& config, const std::string& cache_dir);
+
+}  // namespace roadfusion::train

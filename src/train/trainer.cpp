@@ -1,0 +1,115 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "core/feature_disparity.hpp"
+#include "nn/optim.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::train {
+namespace {
+
+using autograd::Variable;
+
+}  // namespace
+
+TrainHistory fit_indices(SegmentationModel& net, const RoadData& dataset,
+                         const std::vector<int64_t>& indices,
+                         const TrainConfig& config) {
+  ROADFUSION_CHECK(!indices.empty(), "fit: empty training index set");
+  ROADFUSION_CHECK(config.epochs > 0 && config.batch_size > 0,
+                   "fit: bad epochs/batch size");
+
+  net.set_training(true);
+  std::unique_ptr<nn::Optimizer> optimizer;
+  if (config.use_adam) {
+    optimizer = std::make_unique<nn::Adam>(net.parameters(), config.lr, 0.9f,
+                                           0.999f, 1e-8f,
+                                           config.weight_decay);
+  } else {
+    optimizer = std::make_unique<nn::Sgd>(net.parameters(), config.lr,
+                                          config.momentum,
+                                          config.weight_decay);
+  }
+
+  tensor::Rng shuffle_rng(config.shuffle_seed);
+  std::vector<int64_t> order = indices;
+
+  TrainHistory history;
+  float lr = config.lr;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer->set_learning_rate(lr);
+    // Fisher-Yates shuffle driven by the deterministic RNG.
+    for (int64_t i = static_cast<int64_t>(order.size()) - 1; i > 0; --i) {
+      const int64_t j = shuffle_rng.uniform_int(0, i);
+      std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+    }
+
+    EpochStats stats;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(order.size(),
+                                  start + static_cast<size_t>(
+                                              config.batch_size));
+      if (end - start < 2) {
+        // Batch norm in training mode needs more than one value per
+        // channel; fold the runt batch into statistics by skipping it.
+        continue;
+      }
+      const std::vector<int64_t> batch_indices(order.begin() +
+                                                   static_cast<int64_t>(start),
+                                               order.begin() +
+                                                   static_cast<int64_t>(end));
+      kitti::Batch batch = kitti::make_batch(dataset, batch_indices);
+      if (config.augment) {
+        batch = augment_batch(batch, config.augment_config, shuffle_rng);
+      }
+      const Variable rgb = Variable::constant(batch.rgb);
+      const Variable depth = Variable::constant(batch.depth);
+      const Variable target = Variable::constant(batch.label);
+
+      const roadseg::ForwardResult forward = net.forward(rgb, depth);
+      const Variable seg_loss =
+          autograd::bce_with_logits(forward.logits, target);
+      const core::ObjectiveTerms objective = core::combined_objective(
+          seg_loss, forward.fusion_pairs, config.alpha_fd);
+
+      optimizer->zero_grad();
+      objective.total.backward();
+      optimizer->step();
+
+      stats.total_loss += objective.total.value().at(0);
+      stats.seg_loss += objective.segmentation.value().at(0);
+      if (objective.feature_disparity.defined()) {
+        stats.fd_loss += objective.feature_disparity.value().at(0);
+      }
+      ++batches;
+    }
+    if (batches > 0) {
+      stats.total_loss /= static_cast<double>(batches);
+      stats.seg_loss /= static_cast<double>(batches);
+      stats.fd_loss /= static_cast<double>(batches);
+    }
+    history.epochs.push_back(stats);
+    log_verbose("epoch ", epoch + 1, "/", config.epochs,
+                " total=", stats.total_loss, " seg=", stats.seg_loss,
+                " fd=", stats.fd_loss, " lr=", lr);
+    lr *= config.lr_decay;
+  }
+  return history;
+}
+
+TrainHistory fit(SegmentationModel& net, const RoadData& dataset,
+                 const TrainConfig& config) {
+  std::vector<int64_t> indices(static_cast<size_t>(dataset.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  return fit_indices(net, dataset, indices, config);
+}
+
+}  // namespace roadfusion::train

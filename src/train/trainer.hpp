@@ -1,0 +1,57 @@
+// Training loop for RoadSegNet: segmentation BCE loss plus the optional
+// alpha-weighted Feature Disparity loss (the paper's Eq. 3, alpha = 0.3).
+#pragma once
+
+#include <vector>
+
+#include "kitti/dataset.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "train/augment.hpp"
+
+namespace roadfusion::train {
+
+using kitti::RoadData;
+using kitti::RoadDataset;
+using roadseg::RoadSegNet;
+using roadseg::SegmentationModel;
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  int epochs = 6;
+  int64_t batch_size = 4;
+  float lr = 2e-3f;
+  float lr_decay = 0.85f;       ///< multiplicative, per epoch
+  float weight_decay = 1e-4f;
+  bool use_adam = true;
+  float momentum = 0.9f;        ///< SGD only
+  float alpha_fd = 0.0f;        ///< Eq. 3 weight; the paper uses 0.3
+  uint64_t shuffle_seed = 7;
+  bool augment = false;         ///< enable flip + photometric augmentation
+  AugmentConfig augment_config;
+};
+
+/// Per-epoch mean losses.
+struct EpochStats {
+  double total_loss = 0.0;
+  double seg_loss = 0.0;
+  double fd_loss = 0.0;  ///< raw sum_i FD_i before alpha weighting
+};
+
+/// Full run record.
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+};
+
+/// Trains the network in place on the dataset's full index set. The
+/// network is left in training mode; call set_training(false) before
+/// inference.
+TrainHistory fit(roadseg::SegmentationModel& net, const RoadData& dataset,
+                 const TrainConfig& config);
+
+/// Trains on an explicit index subset (used by category-restricted
+/// ablations).
+TrainHistory fit_indices(roadseg::SegmentationModel& net, const RoadData& dataset,
+                         const std::vector<int64_t>& indices,
+                         const TrainConfig& config);
+
+}  // namespace roadfusion::train

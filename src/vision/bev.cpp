@@ -1,0 +1,108 @@
+#include "vision/bev.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+void check_spec(const BevSpec& spec) {
+  ROADFUSION_CHECK(spec.x_max > spec.x_min && spec.z_max > spec.z_min,
+                   "bev: empty metric extent");
+  ROADFUSION_CHECK(spec.out_height > 0 && spec.out_width > 0,
+                   "bev: bad raster size");
+}
+
+/// Ground point of BEV cell (row, col) centres.
+GroundPoint cell_ground(const BevSpec& spec, int64_t row, int64_t col) {
+  const double fz = (static_cast<double>(row) + 0.5) /
+                    static_cast<double>(spec.out_height);
+  const double fx = (static_cast<double>(col) + 0.5) /
+                    static_cast<double>(spec.out_width);
+  GroundPoint g;
+  // Row 0 is the far end so the BEV reads like a map with "up" = forward.
+  g.z = spec.z_max - fz * (spec.z_max - spec.z_min);
+  g.x = spec.x_min + fx * (spec.x_max - spec.x_min);
+  return g;
+}
+
+float bilinear_sample(const float* plane, int64_t h, int64_t w, double u,
+                      double v) {
+  const double x = u - 0.5;
+  const double y = v - 0.5;
+  const int64_t x0 = static_cast<int64_t>(std::floor(x));
+  const int64_t y0 = static_cast<int64_t>(std::floor(y));
+  const double ax = x - static_cast<double>(x0);
+  const double ay = y - static_cast<double>(y0);
+  double acc = 0.0;
+  for (int dy = 0; dy <= 1; ++dy) {
+    for (int dx = 0; dx <= 1; ++dx) {
+      const int64_t xi = x0 + dx;
+      const int64_t yi = y0 + dy;
+      if (xi < 0 || xi >= w || yi < 0 || yi >= h) {
+        continue;
+      }
+      const double weight = (dx == 0 ? 1.0 - ax : ax) *
+                            (dy == 0 ? 1.0 - ay : ay);
+      acc += weight * plane[yi * w + xi];
+    }
+  }
+  return static_cast<float>(acc);
+}
+
+}  // namespace
+
+Tensor bev_warp(const Tensor& perspective, const Camera& camera,
+                const BevSpec& spec) {
+  check_spec(spec);
+  const int rank = perspective.shape().rank();
+  ROADFUSION_CHECK(rank == 2 || rank == 3,
+                   "bev_warp expects (H, W) or (C, H, W), got "
+                       << perspective.shape().str());
+  const int64_t channels = rank == 3 ? perspective.shape().dim(0) : 1;
+  const int64_t h = perspective.shape().dim(rank - 2);
+  const int64_t w = perspective.shape().dim(rank - 1);
+
+  tensor::Shape out_shape =
+      rank == 3 ? tensor::Shape::chw(channels, spec.out_height, spec.out_width)
+                : tensor::Shape::mat(spec.out_height, spec.out_width);
+  Tensor output(out_shape);
+  float* out = output.raw();
+  const float* in = perspective.raw();
+  for (int64_t row = 0; row < spec.out_height; ++row) {
+    for (int64_t col = 0; col < spec.out_width; ++col) {
+      const GroundPoint g = cell_ground(spec, row, col);
+      const auto pixel = camera.ground_to_pixel(g);
+      if (!pixel.has_value()) {
+        continue;
+      }
+      for (int64_t c = 0; c < channels; ++c) {
+        out[(c * spec.out_height + row) * spec.out_width + col] =
+            bilinear_sample(in + c * h * w, h, w, pixel->u, pixel->v);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor bev_visibility_mask(const Camera& camera, const BevSpec& spec,
+                           int64_t image_height, int64_t image_width) {
+  check_spec(spec);
+  Tensor mask(tensor::Shape::mat(spec.out_height, spec.out_width));
+  float* out = mask.raw();
+  for (int64_t row = 0; row < spec.out_height; ++row) {
+    for (int64_t col = 0; col < spec.out_width; ++col) {
+      const GroundPoint g = cell_ground(spec, row, col);
+      const auto pixel = camera.ground_to_pixel(g);
+      if (pixel.has_value() && pixel->u >= 0.0 &&
+          pixel->u < static_cast<double>(image_width) && pixel->v >= 0.0 &&
+          pixel->v < static_cast<double>(image_height)) {
+        out[row * spec.out_width + col] = 1.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace roadfusion::vision

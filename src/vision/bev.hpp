@@ -1,0 +1,37 @@
+// Bird's-eye-view (inverse perspective) warp.
+//
+// The KITTI road benchmark evaluates segmentations after converting them
+// to a metric bird's-eye view of the ground plane; this module implements
+// the same warp against our pinhole camera model. Row 0 of the BEV image
+// is the far end of the z range; columns span the lateral x range.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::vision {
+
+using tensor::Tensor;
+
+/// Metric extent and raster size of the BEV grid.
+struct BevSpec {
+  double x_min = -10.0;  ///< metres, lateral
+  double x_max = 10.0;
+  double z_min = 4.0;  ///< metres, forward
+  double z_max = 40.0;
+  int64_t out_height = 72;  ///< rows (z axis, far -> near)
+  int64_t out_width = 40;   ///< cols (x axis, left -> right)
+};
+
+/// Warps each trailing-2-D plane of `perspective` (rank 2 or 3) into the
+/// BEV grid by bilinear sampling; ground points that project outside the
+/// image produce 0.
+Tensor bev_warp(const Tensor& perspective, const Camera& camera,
+                const BevSpec& spec);
+
+/// 1-valued mask of BEV cells whose ground point projects inside the
+/// perspective image (i.e., where bev_warp carries real data).
+Tensor bev_visibility_mask(const Camera& camera, const BevSpec& spec,
+                           int64_t image_height, int64_t image_width);
+
+}  // namespace roadfusion::vision

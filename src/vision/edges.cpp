@@ -1,0 +1,32 @@
+#include "vision/edges.hpp"
+
+#include "vision/filters.hpp"
+
+namespace roadfusion::vision {
+
+Tensor edge_sketch(const Tensor& input, const EdgeConfig& config) {
+  Tensor work = config.blur_sigma > 0.0
+                    ? gaussian_blur(input, config.blur_sigma)
+                    : input;
+  Tensor magnitude = sobel_magnitude(work);
+  if (config.normalize) {
+    magnitude = normalize_planes(magnitude);
+  }
+  if (config.threshold >= 0.0f) {
+    float* p = magnitude.raw();
+    for (int64_t i = 0; i < magnitude.numel(); ++i) {
+      p[i] = p[i] >= config.threshold ? 1.0f : 0.0f;
+    }
+  }
+  return magnitude;
+}
+
+Tensor binary_edges(const Tensor& input, float threshold, double blur_sigma) {
+  EdgeConfig config;
+  config.blur_sigma = blur_sigma;
+  config.normalize = true;
+  config.threshold = threshold;
+  return edge_sketch(input, config);
+}
+
+}  // namespace roadfusion::vision

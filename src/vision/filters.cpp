@@ -1,0 +1,201 @@
+#include "vision/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+/// Extracts (planes, height, width) from the trailing-2-D convention.
+void plane_geometry(const Tensor& t, int64_t& planes, int64_t& h, int64_t& w) {
+  const int rank = t.shape().rank();
+  ROADFUSION_CHECK(rank >= 2 && rank <= 4,
+                   "plane filter expects rank 2..4, got " << t.shape().str());
+  h = t.shape().dim(rank - 2);
+  w = t.shape().dim(rank - 1);
+  planes = t.numel() / (h * w);
+}
+
+}  // namespace
+
+std::vector<float> gaussian_kernel(double sigma) {
+  ROADFUSION_CHECK(sigma > 0.0, "gaussian_kernel: sigma must be positive");
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(static_cast<size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[static_cast<size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : kernel) {
+    v = static_cast<float>(v / sum);
+  }
+  return kernel;
+}
+
+Tensor gaussian_blur(const Tensor& input, double sigma) {
+  int64_t planes = 0;
+  int64_t h = 0;
+  int64_t w = 0;
+  plane_geometry(input, planes, h, w);
+  const std::vector<float> kernel = gaussian_kernel(sigma);
+  const int64_t radius = static_cast<int64_t>(kernel.size() / 2);
+
+  Tensor horizontal(input.shape());
+  const float* in = input.raw();
+  float* mid = horizontal.raw();
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = in + p * h * w;
+    float* dst = mid + p * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          const int64_t xx = std::clamp<int64_t>(x + k, 0, w - 1);
+          acc += kernel[static_cast<size_t>(k + radius)] * src[y * w + xx];
+        }
+        dst[y * w + x] = static_cast<float>(acc);
+      }
+    }
+  }
+
+  Tensor output(input.shape());
+  float* out = output.raw();
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = mid + p * h * w;
+    float* dst = out + p * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          const int64_t yy = std::clamp<int64_t>(y + k, 0, h - 1);
+          acc += kernel[static_cast<size_t>(k + radius)] * src[yy * w + x];
+        }
+        dst[y * w + x] = static_cast<float>(acc);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor sobel_magnitude(const Tensor& input) {
+  int64_t planes = 0;
+  int64_t h = 0;
+  int64_t w = 0;
+  plane_geometry(input, planes, h, w);
+  // 1/8-scaled Sobel kernels, matching autograd::sobel_edge.
+  static constexpr float kx[9] = {-0.125f, 0.0f, 0.125f, -0.25f, 0.0f,
+                                  0.25f,   -0.125f, 0.0f, 0.125f};
+  static constexpr float ky[9] = {-0.125f, -0.25f, -0.125f, 0.0f, 0.0f,
+                                  0.0f,    0.125f, 0.25f,   0.125f};
+  Tensor output(input.shape());
+  const float* in = input.raw();
+  float* out = output.raw();
+  // Replicate (clamp-to-edge) borders: a constant field then yields a zero
+  // sketch everywhere and a global luminance offset cancels exactly —
+  // properties the Feature Disparity metric depends on.
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = in + p * h * w;
+    float* dst = out + p * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        double gx = 0.0;
+        double gy = 0.0;
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          const int64_t yy = std::clamp<int64_t>(y + dy, 0, h - 1);
+          for (int64_t dx = -1; dx <= 1; ++dx) {
+            const int64_t xx = std::clamp<int64_t>(x + dx, 0, w - 1);
+            const float v = src[yy * w + xx];
+            gx += kx[(dy + 1) * 3 + (dx + 1)] * v;
+            gy += ky[(dy + 1) * 3 + (dx + 1)] * v;
+          }
+        }
+        dst[y * w + x] = static_cast<float>(std::sqrt(gx * gx + gy * gy));
+      }
+    }
+  }
+  return output;
+}
+
+Tensor normalize_planes(const Tensor& input) {
+  int64_t planes = 0;
+  int64_t h = 0;
+  int64_t w = 0;
+  plane_geometry(input, planes, h, w);
+  Tensor output(input.shape());
+  const float* in = input.raw();
+  float* out = output.raw();
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = in + p * h * w;
+    float* dst = out + p * h * w;
+    float lo = src[0];
+    float hi = src[0];
+    for (int64_t i = 0; i < h * w; ++i) {
+      lo = std::min(lo, src[i]);
+      hi = std::max(hi, src[i]);
+    }
+    const float span = hi - lo;
+    if (span < 1e-12f) {
+      std::fill(dst, dst + h * w, 0.0f);
+      continue;
+    }
+    for (int64_t i = 0; i < h * w; ++i) {
+      dst[i] = (src[i] - lo) / span;
+    }
+  }
+  return output;
+}
+
+Tensor downsample(const Tensor& input, int64_t factor) {
+  ROADFUSION_CHECK(factor >= 1, "downsample: factor must be >= 1");
+  if (factor == 1) {
+    return input;
+  }
+  int64_t planes = 0;
+  int64_t h = 0;
+  int64_t w = 0;
+  plane_geometry(input, planes, h, w);
+  ROADFUSION_CHECK(h % factor == 0 && w % factor == 0,
+                   "downsample: " << h << "x" << w << " not divisible by "
+                                  << factor);
+  const int64_t oh = h / factor;
+  const int64_t ow = w / factor;
+  tensor::Shape out_shape;
+  switch (input.shape().rank()) {
+    case 2:
+      out_shape = tensor::Shape::mat(oh, ow);
+      break;
+    case 3:
+      out_shape = tensor::Shape::chw(input.shape().dim(0), oh, ow);
+      break;
+    default:
+      out_shape = tensor::Shape::nchw(input.shape().dim(0),
+                                      input.shape().dim(1), oh, ow);
+      break;
+  }
+  Tensor output(out_shape);
+  const float* in = input.raw();
+  float* out = output.raw();
+  const float inv = 1.0f / static_cast<float>(factor * factor);
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = in + p * h * w;
+    float* dst = out + p * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        double acc = 0.0;
+        for (int64_t dy = 0; dy < factor; ++dy) {
+          for (int64_t dx = 0; dx < factor; ++dx) {
+            acc += src[(y * factor + dy) * w + (x * factor + dx)];
+          }
+        }
+        dst[y * ow + x] = static_cast<float>(acc) * inv;
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace roadfusion::vision

@@ -1,0 +1,38 @@
+// Classic spatial filters (non-differentiable path).
+//
+// Functions operate on the trailing two dimensions of a rank-2..4 tensor,
+// treating everything before them as independent planes; this lets the
+// same code serve single images (H, W), CHW images, and NCHW feature
+// stacks.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::vision {
+
+using tensor::Tensor;
+
+/// Discrete 1-D Gaussian kernel with radius ceil(3 sigma), normalized to
+/// sum 1.
+std::vector<float> gaussian_kernel(double sigma);
+
+/// Separable Gaussian blur over the trailing two dimensions. Border
+/// handling: clamp-to-edge.
+Tensor gaussian_blur(const Tensor& input, double sigma);
+
+/// Sobel gradient magnitude over the trailing two dimensions, with the same
+/// 1/8-scaled kernels as the differentiable autograd op. Border handling:
+/// zero padding.
+Tensor sobel_magnitude(const Tensor& input);
+
+/// Min-max normalizes each trailing-2-D plane independently to [0, 1];
+/// constant planes map to all zeros.
+Tensor normalize_planes(const Tensor& input);
+
+/// Box-downsamples the trailing two dimensions by integer `factor` (plane
+/// extents must be divisible by it).
+Tensor downsample(const Tensor& input, int64_t factor);
+
+}  // namespace roadfusion::vision

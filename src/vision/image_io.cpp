@@ -1,0 +1,134 @@
+#include "vision/image_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+uint8_t quantize(float v) {
+  const float clamped = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<uint8_t>(clamped * 255.0f + 0.5f);
+}
+
+/// Reads the PNM header (magic, width, height, maxval) skipping comments.
+void read_pnm_header(std::ifstream& in, const char* magic, int64_t& width,
+                     int64_t& height) {
+  std::string tag;
+  in >> tag;
+  ROADFUSION_CHECK(tag == magic, "bad PNM magic: expected " << magic
+                                                            << ", got " << tag);
+  auto next_token = [&in]() {
+    std::string token;
+    while (in >> token) {
+      if (token[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return token;
+    }
+    ROADFUSION_FAIL("truncated PNM header");
+  };
+  width = std::stoll(next_token());
+  height = std::stoll(next_token());
+  const int64_t maxval = std::stoll(next_token());
+  ROADFUSION_CHECK(width > 0 && height > 0, "bad PNM size");
+  ROADFUSION_CHECK(maxval == 255, "only 8-bit PNM supported, maxval=" << maxval);
+  in.get();  // single whitespace before binary payload
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const Tensor& rgb) {
+  ROADFUSION_CHECK(rgb.shape().rank() == 3 && rgb.shape().dim(0) == 3,
+                   "write_ppm expects (3, H, W), got " << rgb.shape().str());
+  const int64_t h = rgb.shape().dim(1);
+  const int64_t w = rgb.shape().dim(2);
+  std::ofstream out(path, std::ios::binary);
+  ROADFUSION_CHECK(out.is_open(), "cannot open " << path << " for write");
+  out << "P6\n" << w << " " << h << "\n255\n";
+  std::vector<uint8_t> row(static_cast<size_t>(w) * 3);
+  const float* data = rgb.raw();
+  const int64_t plane = h * w;
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      row[static_cast<size_t>(x) * 3 + 0] = quantize(data[y * w + x]);
+      row[static_cast<size_t>(x) * 3 + 1] = quantize(data[plane + y * w + x]);
+      row[static_cast<size_t>(x) * 3 + 2] =
+          quantize(data[2 * plane + y * w + x]);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  ROADFUSION_CHECK(static_cast<bool>(out), "PPM write failed: " << path);
+}
+
+void write_pgm(const std::string& path, const Tensor& gray) {
+  const bool chw = gray.shape().rank() == 3 && gray.shape().dim(0) == 1;
+  ROADFUSION_CHECK(chw || gray.shape().rank() == 2,
+                   "write_pgm expects (1, H, W) or (H, W), got "
+                       << gray.shape().str());
+  const int64_t h = gray.shape().dim(chw ? 1 : 0);
+  const int64_t w = gray.shape().dim(chw ? 2 : 1);
+  std::ofstream out(path, std::ios::binary);
+  ROADFUSION_CHECK(out.is_open(), "cannot open " << path << " for write");
+  out << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<uint8_t> row(static_cast<size_t>(w));
+  const float* data = gray.raw();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      row[static_cast<size_t>(x)] = quantize(data[y * w + x]);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  ROADFUSION_CHECK(static_cast<bool>(out), "PGM write failed: " << path);
+}
+
+Tensor read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ROADFUSION_CHECK(in.is_open(), "cannot open " << path << " for read");
+  int64_t w = 0;
+  int64_t h = 0;
+  read_pnm_header(in, "P6", w, h);
+  std::vector<uint8_t> raw(static_cast<size_t>(w * h * 3));
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  ROADFUSION_CHECK(static_cast<bool>(in), "truncated PPM payload: " << path);
+  Tensor rgb(tensor::Shape::chw(3, h, w));
+  float* data = rgb.raw();
+  const int64_t plane = h * w;
+  for (int64_t i = 0; i < plane; ++i) {
+    data[i] = static_cast<float>(raw[static_cast<size_t>(i) * 3 + 0]) / 255.0f;
+    data[plane + i] =
+        static_cast<float>(raw[static_cast<size_t>(i) * 3 + 1]) / 255.0f;
+    data[2 * plane + i] =
+        static_cast<float>(raw[static_cast<size_t>(i) * 3 + 2]) / 255.0f;
+  }
+  return rgb;
+}
+
+Tensor read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ROADFUSION_CHECK(in.is_open(), "cannot open " << path << " for read");
+  int64_t w = 0;
+  int64_t h = 0;
+  read_pnm_header(in, "P5", w, h);
+  std::vector<uint8_t> raw(static_cast<size_t>(w * h));
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  ROADFUSION_CHECK(static_cast<bool>(in), "truncated PGM payload: " << path);
+  Tensor gray(tensor::Shape::chw(1, h, w));
+  float* data = gray.raw();
+  for (int64_t i = 0; i < w * h; ++i) {
+    data[i] = static_cast<float>(raw[static_cast<size_t>(i)]) / 255.0f;
+  }
+  return gray;
+}
+
+}  // namespace roadfusion::vision

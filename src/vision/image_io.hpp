@@ -1,0 +1,29 @@
+// Portable pixmap (PPM/PGM) image I/O.
+//
+// Images are Tensors in CHW layout with values in [0, 1]: shape (3, H, W)
+// for RGB and (1, H, W) or (H, W) for grayscale. Binary (P6/P5) formats,
+// 8-bit depth.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::vision {
+
+using tensor::Tensor;
+
+/// Writes an RGB image (3, H, W) as binary PPM. Values are clamped to
+/// [0, 1] before quantization.
+void write_ppm(const std::string& path, const Tensor& rgb);
+
+/// Writes a grayscale image ((1, H, W) or (H, W)) as binary PGM.
+void write_pgm(const std::string& path, const Tensor& gray);
+
+/// Reads a binary PPM into a (3, H, W) tensor with values in [0, 1].
+Tensor read_ppm(const std::string& path);
+
+/// Reads a binary PGM into a (1, H, W) tensor with values in [0, 1].
+Tensor read_pgm(const std::string& path);
+
+}  // namespace roadfusion::vision

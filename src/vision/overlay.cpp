@@ -1,0 +1,86 @@
+#include "vision/overlay.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace roadfusion::vision {
+
+Tensor overlay_segmentation(const Tensor& rgb, const Tensor& probability,
+                            float threshold, float alpha, float color_r,
+                            float color_g, float color_b) {
+  ROADFUSION_CHECK(rgb.shape().rank() == 3 && rgb.shape().dim(0) == 3,
+                   "overlay: rgb must be (3, H, W), got " << rgb.shape().str());
+  const int64_t h = rgb.shape().dim(1);
+  const int64_t w = rgb.shape().dim(2);
+  const int prank = probability.shape().rank();
+  const bool ok =
+      (prank == 2 && probability.shape().dim(0) == h &&
+       probability.shape().dim(1) == w) ||
+      (prank == 3 && probability.shape().dim(0) == 1 &&
+       probability.shape().dim(1) == h && probability.shape().dim(2) == w);
+  ROADFUSION_CHECK(ok, "overlay: probability " << probability.shape().str()
+                                               << " does not match rgb "
+                                               << rgb.shape().str());
+  Tensor out = rgb;
+  float* data = out.raw();
+  const float* prob = probability.raw();
+  const float color[3] = {color_r, color_g, color_b};
+  const int64_t plane = h * w;
+  for (int64_t i = 0; i < plane; ++i) {
+    if (prob[i] >= threshold) {
+      for (int64_t c = 0; c < 3; ++c) {
+        float& v = data[c * plane + i];
+        v = (1.0f - alpha) * v + alpha * color[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor gray_to_rgb(const Tensor& gray) {
+  const int rank = gray.shape().rank();
+  const bool chw = rank == 3 && gray.shape().dim(0) == 1;
+  ROADFUSION_CHECK(chw || rank == 2,
+                   "gray_to_rgb expects (1, H, W) or (H, W), got "
+                       << gray.shape().str());
+  const int64_t h = gray.shape().dim(chw ? 1 : 0);
+  const int64_t w = gray.shape().dim(chw ? 2 : 1);
+  Tensor rgb(tensor::Shape::chw(3, h, w));
+  const float* src = gray.raw();
+  float* dst = rgb.raw();
+  const int64_t plane = h * w;
+  for (int64_t c = 0; c < 3; ++c) {
+    std::copy(src, src + plane, dst + c * plane);
+  }
+  return rgb;
+}
+
+Tensor stack_vertical(const std::vector<Tensor>& images) {
+  ROADFUSION_CHECK(!images.empty(), "stack_vertical: no images");
+  const int64_t w = images.front().shape().dim(2);
+  int64_t total_h = 0;
+  for (const Tensor& img : images) {
+    ROADFUSION_CHECK(img.shape().rank() == 3 && img.shape().dim(0) == 3,
+                     "stack_vertical: images must be (3, H, W)");
+    ROADFUSION_CHECK(img.shape().dim(2) == w,
+                     "stack_vertical: width mismatch");
+    total_h += img.shape().dim(1);
+  }
+  const int64_t separator = 2;
+  total_h += separator * (static_cast<int64_t>(images.size()) - 1);
+  Tensor out(tensor::Shape::chw(3, total_h, w), 1.0f);
+  int64_t row = 0;
+  for (const Tensor& img : images) {
+    const int64_t h = img.shape().dim(1);
+    for (int64_t c = 0; c < 3; ++c) {
+      const float* src = img.raw() + c * h * w;
+      float* dst = out.raw() + c * total_h * w + row * w;
+      std::copy(src, src + h * w, dst);
+    }
+    row += h + separator;
+  }
+  return out;
+}
+
+}  // namespace roadfusion::vision

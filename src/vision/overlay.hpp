@@ -1,0 +1,28 @@
+// Visualization helpers: green drivable-road overlays (Fig. 1 / Fig. 9
+// style) and simple image compositing for qualitative outputs.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::vision {
+
+using tensor::Tensor;
+
+/// Blends the segmentation probability map over an RGB image: pixels with
+/// probability >= `threshold` are tinted with `color` at `alpha` opacity.
+/// rgb: (3, H, W); probability: (H, W) or (1, H, W).
+Tensor overlay_segmentation(const Tensor& rgb, const Tensor& probability,
+                            float threshold = 0.5f, float alpha = 0.45f,
+                            float color_r = 0.0f, float color_g = 1.0f,
+                            float color_b = 0.0f);
+
+/// Converts a single-channel image ((H, W) or (1, H, W)) to a 3-channel
+/// grayscale RGB image for compositing.
+Tensor gray_to_rgb(const Tensor& gray);
+
+/// Stacks same-width RGB images vertically with a 2-pixel separator row.
+Tensor stack_vertical(const std::vector<Tensor>& images);
+
+}  // namespace roadfusion::vision

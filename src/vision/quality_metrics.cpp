@@ -1,0 +1,188 @@
+#include "vision/quality_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+#include "vision/filters.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+/// Validates and extracts the single plane geometry shared by both inputs.
+void check_planes(const Tensor& a, const Tensor& b, int64_t& h, int64_t& w) {
+  ROADFUSION_CHECK(a.shape() == b.shape(),
+                   "metric inputs must share a shape: " << a.shape().str()
+                                                        << " vs "
+                                                        << b.shape().str());
+  const int rank = a.shape().rank();
+  if (rank == 2) {
+    h = a.shape().dim(0);
+    w = a.shape().dim(1);
+  } else if (rank == 3 && a.shape().dim(0) == 1) {
+    h = a.shape().dim(1);
+    w = a.shape().dim(2);
+  } else {
+    ROADFUSION_FAIL("metric inputs must be (H, W) or (1, H, W), got "
+                    << a.shape().str());
+  }
+}
+
+/// Min-max normalized copy of the plane values.
+std::vector<float> normalized_values(const Tensor& t) {
+  std::vector<float> values(t.raw(), t.raw() + t.numel());
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const float lo = *lo_it;
+  const float span = *hi_it - lo;
+  if (span < 1e-12f) {
+    std::fill(values.begin(), values.end(), 0.0f);
+    return values;
+  }
+  for (float& v : values) {
+    v = (v - lo) / span;
+  }
+  return values;
+}
+
+int bin_of(float v, int bins) {
+  const int b = static_cast<int>(v * static_cast<float>(bins));
+  return std::clamp(b, 0, bins - 1);
+}
+
+}  // namespace
+
+double l2_distance(const Tensor& a, const Tensor& b) {
+  int64_t h = 0;
+  int64_t w = 0;
+  check_planes(a, b, h, w);
+  double acc = 0.0;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+double ssim(const Tensor& a, const Tensor& b, double dynamic_range) {
+  int64_t h = 0;
+  int64_t w = 0;
+  check_planes(a, b, h, w);
+  ROADFUSION_CHECK(dynamic_range > 0.0, "ssim: bad dynamic range");
+  const double c1 = std::pow(0.01 * dynamic_range, 2.0);
+  const double c2 = std::pow(0.03 * dynamic_range, 2.0);
+
+  // Local moments through Gaussian filtering (sigma 1.5 — the standard
+  // 11x11 window).
+  const double sigma = 1.5;
+  const Tensor flat_a = a.reshaped(tensor::Shape::mat(h, w));
+  const Tensor flat_b = b.reshaped(tensor::Shape::mat(h, w));
+  const Tensor mu_a = gaussian_blur(flat_a, sigma);
+  const Tensor mu_b = gaussian_blur(flat_b, sigma);
+  const Tensor aa = tensor::mul(flat_a, flat_a);
+  const Tensor bb = tensor::mul(flat_b, flat_b);
+  const Tensor ab = tensor::mul(flat_a, flat_b);
+  const Tensor mu_aa = gaussian_blur(aa, sigma);
+  const Tensor mu_bb = gaussian_blur(bb, sigma);
+  const Tensor mu_ab = gaussian_blur(ab, sigma);
+
+  double acc = 0.0;
+  for (int64_t i = 0; i < flat_a.numel(); ++i) {
+    const double ma = mu_a.at(i);
+    const double mb = mu_b.at(i);
+    const double var_a = std::max(0.0, static_cast<double>(mu_aa.at(i)) -
+                                           ma * ma);
+    const double var_b = std::max(0.0, static_cast<double>(mu_bb.at(i)) -
+                                           mb * mb);
+    const double cov = static_cast<double>(mu_ab.at(i)) - ma * mb;
+    const double numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+    const double denominator =
+        (ma * ma + mb * mb + c1) * (var_a + var_b + c2);
+    acc += numerator / denominator;
+  }
+  return acc / static_cast<double>(flat_a.numel());
+}
+
+double mutual_information(const Tensor& a, const Tensor& b, int bins) {
+  int64_t h = 0;
+  int64_t w = 0;
+  check_planes(a, b, h, w);
+  ROADFUSION_CHECK(bins >= 2 && bins <= 1024, "mutual_information: bad bins");
+  const std::vector<float> va = normalized_values(a);
+  const std::vector<float> vb = normalized_values(b);
+  std::vector<double> joint(static_cast<size_t>(bins) * bins, 0.0);
+  std::vector<double> pa(static_cast<size_t>(bins), 0.0);
+  std::vector<double> pb(static_cast<size_t>(bins), 0.0);
+  const double weight = 1.0 / static_cast<double>(va.size());
+  for (size_t i = 0; i < va.size(); ++i) {
+    const int ba = bin_of(va[i], bins);
+    const int bb = bin_of(vb[i], bins);
+    joint[static_cast<size_t>(ba) * bins + bb] += weight;
+    pa[static_cast<size_t>(ba)] += weight;
+    pb[static_cast<size_t>(bb)] += weight;
+  }
+  double mi = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    for (int j = 0; j < bins; ++j) {
+      const double p = joint[static_cast<size_t>(i) * bins + j];
+      if (p > 0.0 && pa[static_cast<size_t>(i)] > 0.0 &&
+          pb[static_cast<size_t>(j)] > 0.0) {
+        mi += p * std::log2(p / (pa[static_cast<size_t>(i)] *
+                                 pb[static_cast<size_t>(j)]));
+      }
+    }
+  }
+  return mi;
+}
+
+double diffusion_distance(const Tensor& a, const Tensor& b, int bins) {
+  int64_t h = 0;
+  int64_t w = 0;
+  check_planes(a, b, h, w);
+  ROADFUSION_CHECK(bins >= 4 && bins <= 1024, "diffusion_distance: bad bins");
+  const std::vector<float> va = normalized_values(a);
+  const std::vector<float> vb = normalized_values(b);
+  std::vector<double> diff(static_cast<size_t>(bins), 0.0);
+  const double weight = 1.0 / static_cast<double>(va.size());
+  for (size_t i = 0; i < va.size(); ++i) {
+    diff[static_cast<size_t>(bin_of(va[i], bins))] += weight;
+    diff[static_cast<size_t>(bin_of(vb[i], bins))] -= weight;
+  }
+  // Diffusion: repeatedly smooth the signed difference with a small
+  // Gaussian and downsample by 2, accumulating the L1 norm of each layer.
+  const double kernel[3] = {0.25, 0.5, 0.25};
+  double distance = 0.0;
+  std::vector<double> layer = diff;
+  while (true) {
+    double l1 = 0.0;
+    for (double v : layer) {
+      l1 += std::fabs(v);
+    }
+    distance += l1;
+    if (layer.size() <= 2) {
+      break;
+    }
+    std::vector<double> smoothed(layer.size(), 0.0);
+    const int64_t n = static_cast<int64_t>(layer.size());
+    for (int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int64_t k = -1; k <= 1; ++k) {
+        const int64_t j = std::clamp<int64_t>(i + k, 0, n - 1);
+        acc += kernel[k + 1] * layer[static_cast<size_t>(j)];
+      }
+      smoothed[static_cast<size_t>(i)] = acc;
+    }
+    std::vector<double> next(static_cast<size_t>((n + 1) / 2), 0.0);
+    for (int64_t i = 0; i < static_cast<int64_t>(next.size()); ++i) {
+      next[static_cast<size_t>(i)] = smoothed[static_cast<size_t>(
+          std::min<int64_t>(2 * i, n - 1))];
+    }
+    layer = std::move(next);
+  }
+  return distance;
+}
+
+}  // namespace roadfusion::vision

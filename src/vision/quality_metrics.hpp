@@ -1,0 +1,36 @@
+// Classic image/feature disparity metrics, used to regenerate the paper's
+// Table I comparison: L2, SSIM (Wang et al. 2004), histogram mutual
+// information (Qu et al. 2002), and the cross-bin diffusion distance
+// (Ling & Okada 2006).
+//
+// All functions operate on single planes: rank-2 (H, W) tensors or rank-3
+// (1, H, W) tensors with values in any range (histogram metrics normalize
+// internally).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::vision {
+
+using tensor::Tensor;
+
+/// Mean squared pixel difference (the "standard L2 metric").
+double l2_distance(const Tensor& a, const Tensor& b);
+
+/// Mean structural similarity over the plane, computed with an 11x11
+/// Gaussian window (sigma 1.5) per the original SSIM paper. Returns a value
+/// in [-1, 1]; 1 means identical. `dynamic_range` is the value span (1.0
+/// for [0, 1] images).
+double ssim(const Tensor& a, const Tensor& b, double dynamic_range = 1.0);
+
+/// Mutual information of the joint intensity histogram, in bits.
+/// Intensities are min-max normalized per image before binning, matching
+/// the luminance-statistics focus of MI-based fusion metrics.
+double mutual_information(const Tensor& a, const Tensor& b, int bins = 32);
+
+/// Cross-bin diffusion distance between the two intensity histograms:
+/// the L1 norms of the histogram difference accumulated over a Gaussian
+/// pyramid (Ling & Okada). Smaller means more similar.
+double diffusion_distance(const Tensor& a, const Tensor& b, int bins = 32);
+
+}  // namespace roadfusion::vision

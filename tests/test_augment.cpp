@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "kitti/dataset.hpp"
+#include "train/augment.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion::train {
+namespace {
+
+using kitti::Batch;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Batch make_test_batch(Rng& rng, int64_t depth_channels = 1) {
+  Batch batch{Tensor::uniform(Shape::nchw(2, 3, 4, 6), rng),
+              Tensor::uniform(Shape::nchw(2, depth_channels, 4, 6), rng),
+              Tensor::zeros(Shape::nchw(2, 1, 4, 6))};
+  // Asymmetric label so flips are observable.
+  batch.label.at4(0, 0, 2, 0) = 1.0f;
+  batch.label.at4(1, 0, 1, 5) = 1.0f;
+  return batch;
+}
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform(Shape::nchw(2, 3, 4, 6), rng);
+  Tensor twice = t;
+  hflip_inplace(twice);
+  hflip_inplace(twice);
+  EXPECT_TRUE(twice.allclose(t, 0.0f));
+}
+
+TEST(Augment, HflipMirrorsColumns) {
+  Tensor t = Tensor::arange(Shape::nchw(1, 1, 1, 4));
+  hflip_inplace(t);
+  EXPECT_FLOAT_EQ(t.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(3), 0.0f);
+}
+
+TEST(Augment, FlipAppliedConsistentlyAcrossModalities) {
+  Rng data_rng(2);
+  const Batch original = make_test_batch(data_rng);
+  AugmentConfig config;
+  config.p_flip = 1.0;  // always flip
+  config.brightness_jitter = 0.0;
+  config.contrast_jitter = 0.0;
+  Rng rng(3);
+  const Batch augmented = augment_batch(original, config, rng);
+  // Every modality mirrored: verify via the label landmark.
+  EXPECT_FLOAT_EQ(augmented.label.at4(0, 0, 2, 5), 1.0f);
+  EXPECT_FLOAT_EQ(augmented.label.at4(0, 0, 2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(augmented.rgb.at4(0, 1, 1, 0),
+                  original.rgb.at4(0, 1, 1, 5));
+  EXPECT_FLOAT_EQ(augmented.depth.at4(0, 0, 3, 2),
+                  original.depth.at4(0, 0, 3, 3));
+}
+
+TEST(Augment, NoFlipNoJitterIsIdentity) {
+  Rng data_rng(4);
+  const Batch original = make_test_batch(data_rng);
+  AugmentConfig config;
+  config.p_flip = 0.0;
+  config.brightness_jitter = 0.0;
+  config.contrast_jitter = 0.0;
+  Rng rng(5);
+  const Batch augmented = augment_batch(original, config, rng);
+  EXPECT_TRUE(augmented.rgb.allclose(original.rgb, 0.0f));
+  EXPECT_TRUE(augmented.depth.allclose(original.depth, 0.0f));
+  EXPECT_TRUE(augmented.label.allclose(original.label, 0.0f));
+}
+
+TEST(Augment, PhotometricJitterTouchesOnlyRgb) {
+  Rng data_rng(6);
+  const Batch original = make_test_batch(data_rng);
+  AugmentConfig config;
+  config.p_flip = 0.0;
+  Rng rng(7);
+  const Batch augmented = augment_batch(original, config, rng);
+  EXPECT_FALSE(augmented.rgb.allclose(original.rgb, 1e-4f));
+  EXPECT_TRUE(augmented.depth.allclose(original.depth, 0.0f));
+  EXPECT_TRUE(augmented.label.allclose(original.label, 0.0f));
+}
+
+TEST(Augment, RgbStaysInUnitRange) {
+  Rng data_rng(8);
+  Batch batch = make_test_batch(data_rng);
+  AugmentConfig config;
+  config.brightness_jitter = 0.5;
+  config.contrast_jitter = 0.5;
+  Rng rng(9);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    const Batch augmented = augment_batch(batch, config, rng);
+    EXPECT_GE(augmented.rgb.min(), 0.0f);
+    EXPECT_LE(augmented.rgb.max(), 1.0f);
+  }
+}
+
+TEST(Augment, NormalsLateralComponentMirrored) {
+  Rng data_rng(10);
+  const Batch original = make_test_batch(data_rng, /*depth_channels=*/3);
+  AugmentConfig config;
+  config.p_flip = 1.0;
+  config.brightness_jitter = 0.0;
+  config.contrast_jitter = 0.0;
+  config.depth_is_normals = true;
+  Rng rng(11);
+  const Batch augmented = augment_batch(original, config, rng);
+  // Channel 0 (nx): mirrored position AND sign-flipped encoding.
+  EXPECT_NEAR(augmented.depth.at4(0, 0, 1, 0),
+              1.0f - original.depth.at4(0, 0, 1, 5), 1e-6f);
+  // Channel 1 (ny): mirrored position only.
+  EXPECT_FLOAT_EQ(augmented.depth.at4(0, 1, 1, 0),
+                  original.depth.at4(0, 1, 1, 5));
+}
+
+TEST(Augment, NormalsFlagRequiresThreeChannels) {
+  Rng data_rng(12);
+  const Batch original = make_test_batch(data_rng, /*depth_channels=*/1);
+  AugmentConfig config;
+  config.p_flip = 1.0;
+  config.depth_is_normals = true;
+  Rng rng(13);
+  EXPECT_THROW(augment_batch(original, config, rng), Error);
+}
+
+TEST(Augment, TrainerRunsWithAugmentation) {
+  kitti::DatasetConfig data;
+  data.max_per_category = 4;
+  const kitti::RoadDataset dataset(data, kitti::Split::kTrain);
+  tensor::Rng rng(14);
+  roadseg::RoadSegConfig net_config;
+  net_config.stage_channels = {4, 6, 8, 10, 12};
+  roadseg::RoadSegNet net(net_config, rng);
+  TrainConfig config;
+  config.epochs = 1;
+  config.augment = true;
+  EXPECT_NO_THROW(fit(net, dataset, config));
+}
+
+}  // namespace
+}  // namespace roadfusion::train

@@ -1,0 +1,256 @@
+// Structural autograd tests: tape construction, gradient accumulation,
+// requires_grad propagation, forward values of the ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace roadfusion::autograd {
+namespace {
+
+namespace t = roadfusion::tensor;
+using t::Rng;
+using t::Shape;
+using t::Tensor;
+
+TEST(Variable, LeafBasics) {
+  Variable v = Variable::leaf(Tensor::ones(Shape::vec(3)), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FLOAT_EQ(v.value().sum(), 3.0f);
+  EXPECT_FLOAT_EQ(v.grad().sum(), 0.0f);  // lazily zero
+}
+
+TEST(Variable, ConstantHasNoGrad) {
+  Variable c = Variable::constant(Tensor::ones(Shape::vec(2)));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(Variable, UndefinedAccessorsThrow) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+  EXPECT_THROW(v.value(), Error);
+  EXPECT_THROW(v.backward(), Error);
+}
+
+TEST(Variable, RequiresGradPropagates) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  Variable b = Variable::constant(Tensor::ones(Shape::vec(2)));
+  EXPECT_TRUE(add(a, b).requires_grad());
+  EXPECT_FALSE(add(b, b).requires_grad());
+}
+
+TEST(Variable, BackwardWithoutSeedRequiresScalar) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  Variable sum = add(a, a);
+  EXPECT_THROW(sum.backward(), Error);
+  EXPECT_NO_THROW(sum_all(sum).backward());
+}
+
+TEST(Variable, GradAccumulatesAcrossBackwardCalls) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  sum_all(a).backward();
+  sum_all(a).backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 2.0f);
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 0.0f);
+}
+
+TEST(Variable, SeededBackward) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  Variable doubled = scale(a, 2.0f);
+  const Tensor seed(Shape::vec(2), {3.0f, 5.0f});
+  doubled.backward(&seed);
+  EXPECT_FLOAT_EQ(a.grad().at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.grad().at(1), 10.0f);
+}
+
+TEST(Variable, MutableValueOnlyOnLeaves) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  EXPECT_NO_THROW(a.mutable_value());
+  Variable b = scale(a, 2.0f);
+  EXPECT_THROW(b.mutable_value(), Error);
+}
+
+TEST(Ops, ForwardValues) {
+  const Variable a = Variable::constant(Tensor(Shape::vec(3), {1, -2, 3}));
+  const Variable b = Variable::constant(Tensor(Shape::vec(3), {2, 2, 2}));
+  EXPECT_TRUE(add(a, b).value().allclose(Tensor(Shape::vec(3), {3, 0, 5})));
+  EXPECT_TRUE(sub(a, b).value().allclose(Tensor(Shape::vec(3), {-1, -4, 1})));
+  EXPECT_TRUE(mul(a, b).value().allclose(Tensor(Shape::vec(3), {2, -4, 6})));
+  EXPECT_TRUE(relu(a).value().allclose(Tensor(Shape::vec(3), {1, 0, 3})));
+  EXPECT_NEAR(sigmoid(a).value().at(0), 0.7310586f, 1e-5f);
+  EXPECT_FLOAT_EQ(mean_all(a).value().at(0), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(sum_all(a).value().at(0), 2.0f);
+}
+
+TEST(Ops, DetachBlocksGradient) {
+  Variable a = Variable::leaf(Tensor::ones(Shape::vec(2)), true);
+  Variable d = detach(scale(a, 2.0f));
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.value().at(0), 2.0f);
+}
+
+TEST(Ops, Conv2dOutputShape) {
+  Rng rng(1);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 3, 8, 10), rng));
+  const Variable w =
+      Variable::constant(Tensor::normal(Shape::nchw(5, 3, 3, 3), rng));
+  const Variable y = conv2d(x, w, Variable(), ConvGeometry{3, 2, 1});
+  EXPECT_EQ(y.shape(), Shape::nchw(2, 5, 4, 5));
+}
+
+TEST(Ops, Conv2dIdentityKernel) {
+  // A 1x1 kernel with weight 1 reproduces the input channel.
+  const Variable x = Variable::constant(Tensor::arange(Shape::nchw(1, 1, 2, 3)));
+  const Variable w = Variable::constant(Tensor::ones(Shape::nchw(1, 1, 1, 1)));
+  const Variable y = conv2d(x, w, Variable(), ConvGeometry{1, 1, 0});
+  EXPECT_TRUE(y.value().allclose(x.value()));
+}
+
+TEST(Ops, Conv2dKnownValue) {
+  // 3x3 all-ones kernel over an all-ones 3x3 input with zero padding:
+  // center tap sees 9 ones, corners see 4.
+  const Variable x = Variable::constant(Tensor::ones(Shape::nchw(1, 1, 3, 3)));
+  const Variable w = Variable::constant(Tensor::ones(Shape::nchw(1, 1, 3, 3)));
+  const Variable y = conv2d(x, w, Variable(), ConvGeometry{3, 1, 1});
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 0, 1), 6.0f);
+}
+
+TEST(Ops, ConvTransposeInvertsPoolingGeometry) {
+  Rng rng(2);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 4, 3, 5), rng));
+  const Variable w =
+      Variable::constant(Tensor::normal(Shape::nchw(4, 2, 2, 2), rng));
+  const Variable y = conv_transpose2d(x, w, Variable(), ConvGeometry{2, 2, 0});
+  EXPECT_EQ(y.shape(), Shape::nchw(1, 2, 6, 10));
+}
+
+TEST(Ops, ConvTransposeRejectsDegenerateGeometry) {
+  Rng rng(3);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 1, 1, 1), rng));
+  const Variable w =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 1, 1, 1), rng));
+  // kernel 1 stride 1 padding 1 on a 1x1 input yields a negative extent.
+  EXPECT_THROW(conv_transpose2d(x, w, Variable(), ConvGeometry{1, 1, 1}),
+               roadfusion::Error);
+}
+
+TEST(Ops, BatchNormNormalizesTraining) {
+  Rng rng(4);
+  auto state = std::make_shared<BatchNormState>();
+  state->running_mean = Tensor::zeros(Shape::vec(2));
+  state->running_var = Tensor::ones(Shape::vec(2));
+  const Variable x = Variable::constant(
+      Tensor::normal(Shape::nchw(4, 2, 5, 5), rng, 3.0f, 2.0f));
+  const Variable gamma = Variable::constant(Tensor::ones(Shape::vec(2)));
+  const Variable beta = Variable::constant(Tensor::zeros(Shape::vec(2)));
+  const Variable y = batch_norm2d(x, gamma, beta, state, /*training=*/true);
+  EXPECT_NEAR(y.value().mean(), 0.0f, 1e-4f);
+  double var = 0.0;
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    var += y.value().at(i) * y.value().at(i);
+  }
+  var /= static_cast<double>(y.value().numel());
+  EXPECT_NEAR(var, 1.0, 1e-2);
+  // Running stats moved toward the batch statistics.
+  EXPECT_GT(state->running_mean.at(0), 0.0f);
+}
+
+TEST(Ops, BatchNormEvalUsesRunningStats) {
+  auto state = std::make_shared<BatchNormState>();
+  state->running_mean = Tensor::full(Shape::vec(1), 2.0f);
+  state->running_var = Tensor::full(Shape::vec(1), 4.0f);
+  const Variable x =
+      Variable::constant(Tensor::full(Shape::nchw(1, 1, 2, 2), 4.0f));
+  const Variable gamma = Variable::constant(Tensor::ones(Shape::vec(1)));
+  const Variable beta = Variable::constant(Tensor::zeros(Shape::vec(1)));
+  const Variable y = batch_norm2d(x, gamma, beta, state, /*training=*/false);
+  EXPECT_NEAR(y.value().at(0), 1.0f, 1e-3f);  // (4-2)/sqrt(4)
+}
+
+TEST(Ops, MaxPoolSelectsMaxima) {
+  const Variable x = Variable::constant(Tensor::arange(Shape::nchw(1, 1, 4, 4)));
+  const Variable y = max_pool2d(x, 2, 2);
+  EXPECT_EQ(y.shape(), Shape::nchw(1, 1, 2, 2));
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(Ops, GlobalAvgPoolValue) {
+  const Variable x = Variable::constant(Tensor::arange(Shape::nchw(1, 2, 2, 2)));
+  const Variable y = global_avg_pool(x);
+  EXPECT_EQ(y.shape(), Shape::mat(1, 2));
+  EXPECT_FLOAT_EQ(y.value().at(0), 1.5f);
+  EXPECT_FLOAT_EQ(y.value().at(1), 5.5f);
+}
+
+TEST(Ops, LinearValue) {
+  const Variable x = Variable::constant(Tensor(Shape::mat(1, 2), {1, 2}));
+  const Variable w = Variable::constant(Tensor(Shape::mat(2, 2), {1, 0, 0, 1}));
+  const Variable b = Variable::constant(Tensor(Shape::vec(2), {10, 20}));
+  const Variable y = linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.value().at(0), 11.0f);
+  EXPECT_FLOAT_EQ(y.value().at(1), 22.0f);
+}
+
+TEST(Ops, SobelEdgeFlatInputIsNearZero) {
+  const Variable x =
+      Variable::constant(Tensor::full(Shape::nchw(1, 1, 6, 6), 0.7f));
+  const Variable e = sobel_edge(x);
+  // Interior responses vanish on a constant field (borders see zero pad).
+  EXPECT_NEAR(e.value().at4(0, 0, 3, 3), 0.0f, 1e-3f);
+}
+
+TEST(Ops, SobelEdgeDetectsVerticalStep) {
+  Tensor img = Tensor::zeros(Shape::nchw(1, 1, 5, 8));
+  for (int64_t y = 0; y < 5; ++y) {
+    for (int64_t x = 4; x < 8; ++x) {
+      img.at4(0, 0, y, x) = 1.0f;
+    }
+  }
+  const Variable e = sobel_edge(Variable::constant(img));
+  EXPECT_GT(e.value().at4(0, 0, 2, 3), 0.2f);   // on the step
+  EXPECT_LT(e.value().at4(0, 0, 2, 1), 0.05f);  // flat region
+}
+
+TEST(Ops, BceWithLogitsMatchesClosedForm) {
+  const Variable z =
+      Variable::leaf(Tensor(Shape::nchw(1, 1, 1, 2), {0.0f, 2.0f}), true);
+  const Variable target =
+      Variable::constant(Tensor(Shape::nchw(1, 1, 1, 2), {1.0f, 0.0f}));
+  const Variable loss = bce_with_logits(z, target);
+  const double expected = (std::log(2.0) + (2.0 + std::log1p(std::exp(-2.0)))) / 2.0;
+  EXPECT_NEAR(loss.value().at(0), expected, 1e-5);
+}
+
+TEST(Ops, ScalePerSampleValue) {
+  const Variable x = Variable::constant(Tensor::ones(Shape::nchw(2, 1, 2, 2)));
+  const Variable w = Variable::constant(Tensor(Shape::vec(2), {2.0f, -1.0f}));
+  const Variable y = scale_per_sample(x, w);
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(1, 0, 1, 1), -1.0f);
+}
+
+TEST(Ops, ShapeContractsEnforced) {
+  Rng rng(5);
+  const Variable a = Variable::constant(Tensor::normal(Shape::vec(3), rng));
+  const Variable b = Variable::constant(Tensor::normal(Shape::vec(4), rng));
+  EXPECT_THROW(add(a, b), roadfusion::Error);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 3, 4, 4), rng));
+  const Variable w =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 4, 3, 3), rng));
+  EXPECT_THROW(conv2d(x, w, Variable(), ConvGeometry{3, 1, 1}),
+               roadfusion::Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::autograd

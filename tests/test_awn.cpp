@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "core/awn.hpp"
+
+namespace roadfusion::core {
+namespace {
+
+namespace ag = roadfusion::autograd;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Awn, WeightShapeAndRange) {
+  Rng rng(1);
+  const AuxiliaryWeightNetwork awn("awn", 8, rng);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(3, 8, 2, 6), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(3, 8, 2, 6), rng));
+  const ag::Variable w = awn.weight(a, b);
+  EXPECT_EQ(w.shape(), Shape::mat(3, 1));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(w.value().at(i), 0.0f);
+    EXPECT_LT(w.value().at(i), 2.0f);
+  }
+}
+
+TEST(Awn, IdenticalFeaturesGiveWeightNearOne) {
+  // Zero difference -> zero pooled input -> fc output is the bias path;
+  // with zero-initialized biases the sigmoid sits at 0.5 -> weight 1.
+  Rng rng(2);
+  const AuxiliaryWeightNetwork awn("awn", 4, rng);
+  const ag::Variable f =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(2, 4, 3, 3), rng));
+  const ag::Variable w = awn.weight(f, f);
+  EXPECT_NEAR(w.value().at(0), 1.0f, 1e-5f);
+}
+
+TEST(Awn, FuseAppliesPerSampleWeight) {
+  Rng rng(3);
+  const AuxiliaryWeightNetwork awn("awn", 4, rng);
+  const Tensor rgb_t = Tensor::normal(Shape::nchw(2, 4, 3, 3), rng);
+  const Tensor depth_t = Tensor::normal(Shape::nchw(2, 4, 3, 3), rng);
+  const ag::Variable rgb = ag::Variable::constant(rgb_t);
+  const ag::Variable depth = ag::Variable::constant(depth_t);
+  const Tensor fused = awn.fuse(rgb, depth).value();
+  const Tensor w = awn.weight(rgb, depth).value();
+  // Spot-check: fused = rgb + w[n] * depth per sample.
+  for (int64_t n = 0; n < 2; ++n) {
+    const float expected = rgb_t.at4(n, 1, 1, 1) +
+                           w.at(n) * depth_t.at4(n, 1, 1, 1);
+    EXPECT_NEAR(fused.at4(n, 1, 1, 1), expected, 1e-5f);
+  }
+}
+
+TEST(Awn, WeightDependsOnInput) {
+  Rng rng(4);
+  const AuxiliaryWeightNetwork awn("awn", 6, rng);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, 6, 4, 4), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, 6, 4, 4), rng));
+  const ag::Variable c = ag::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 6, 4, 4), rng, 2.0f, 1.0f));
+  const float w_ab = awn.weight(a, b).value().at(0);
+  const float w_ac = awn.weight(a, c).value().at(0);
+  EXPECT_NE(w_ab, w_ac);
+}
+
+TEST(Awn, GradientsReachFcParameters) {
+  Rng rng(5);
+  AuxiliaryWeightNetwork awn("awn", 4, rng);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(2, 4, 3, 3), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(2, 4, 3, 3), rng));
+  ag::mean_all(awn.fuse(a, b)).backward();
+  int with_grad = 0;
+  for (const auto& p : awn.parameters()) {
+    const Tensor g = p->var.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      if (g.at(i) != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(with_grad, 3);  // both weights + at least one bias
+}
+
+TEST(Awn, ParameterAndComplexityAccounting) {
+  Rng rng(6);
+  const AuxiliaryWeightNetwork awn("awn", 8, rng);  // hidden = 4
+  EXPECT_EQ(awn.parameter_count(), 8 * 4 + 4 + 4 * 1 + 1);
+  EXPECT_EQ(awn.complexity().macs, 8 * 4 + 4);
+  const AuxiliaryWeightNetwork custom("awn2", 8, rng, 16);
+  EXPECT_EQ(custom.parameter_count(), 8 * 16 + 16 + 16 + 1);
+}
+
+TEST(Awn, RejectsMismatchedShapes) {
+  Rng rng(7);
+  const AuxiliaryWeightNetwork awn("awn", 4, rng);
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, 4, 3, 3), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::normal(Shape::nchw(1, 4, 3, 4), rng));
+  EXPECT_THROW(awn.weight(a, b), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::core

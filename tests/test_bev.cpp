@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "vision/bev.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+BevSpec small_spec() {
+  BevSpec spec;
+  spec.x_min = -8.0;
+  spec.x_max = 8.0;
+  spec.z_min = 4.0;
+  spec.z_max = 30.0;
+  spec.out_height = 26;
+  spec.out_width = 32;
+  return spec;
+}
+
+TEST(Bev, OutputShape) {
+  const Camera cam = test_camera();
+  const Tensor plane = Tensor::ones(Shape::mat(32, 96));
+  const Tensor bev = bev_warp(plane, cam, small_spec());
+  EXPECT_EQ(bev.shape(), Shape::mat(26, 32));
+  const Tensor chw = Tensor::ones(Shape::chw(3, 32, 96));
+  EXPECT_EQ(bev_warp(chw, cam, small_spec()).shape(), Shape::chw(3, 26, 32));
+}
+
+TEST(Bev, ConstantImageStaysConstantInVisibleRegion) {
+  const Camera cam = test_camera();
+  const BevSpec spec = small_spec();
+  const Tensor plane = Tensor::full(Shape::mat(32, 96), 0.7f);
+  const Tensor bev = bev_warp(plane, cam, spec);
+  const Tensor mask = bev_visibility_mask(cam, spec, 32, 96);
+  int visible = 0;
+  for (int64_t i = 0; i < bev.numel(); ++i) {
+    if (mask.at(i) > 0.5f) {
+      // Interior samples reproduce the constant; cells straddling the
+      // image border blend with zero padding, so allow those through the
+      // visibility test only loosely.
+      EXPECT_NEAR(bev.at(i), 0.7f, 0.36f);
+      ++visible;
+    }
+  }
+  EXPECT_GT(visible, bev.numel() / 4);
+}
+
+TEST(Bev, VisibilityMaskIsBinaryAndNonTrivial) {
+  const Camera cam = test_camera();
+  const BevSpec spec = small_spec();
+  const Tensor mask = bev_visibility_mask(cam, spec, 32, 96);
+  int ones = 0;
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    EXPECT_TRUE(mask.at(i) == 0.0f || mask.at(i) == 1.0f);
+    ones += mask.at(i) > 0.5f ? 1 : 0;
+  }
+  EXPECT_GT(ones, 0);
+  EXPECT_LT(ones, mask.numel());
+}
+
+TEST(Bev, LateralStructurePreserved) {
+  // Paint the left half of the image bright; after warping, left BEV
+  // columns should be brighter than right ones.
+  const Camera cam = test_camera();
+  const BevSpec spec = small_spec();
+  Tensor plane = Tensor::zeros(Shape::mat(32, 96));
+  for (int64_t y = 0; y < 32; ++y) {
+    for (int64_t x = 0; x < 48; ++x) {
+      plane.at(y * 96 + x) = 1.0f;
+    }
+  }
+  const Tensor bev = bev_warp(plane, cam, spec);
+  const Tensor mask = bev_visibility_mask(cam, spec, 32, 96);
+  double left = 0.0;
+  double right = 0.0;
+  int left_count = 0;
+  int right_count = 0;
+  for (int64_t row = 0; row < spec.out_height; ++row) {
+    for (int64_t col = 0; col < spec.out_width; ++col) {
+      const int64_t i = row * spec.out_width + col;
+      if (mask.at(i) < 0.5f) {
+        continue;
+      }
+      if (col < spec.out_width / 2) {
+        left += bev.at(i);
+        ++left_count;
+      } else {
+        right += bev.at(i);
+        ++right_count;
+      }
+    }
+  }
+  ASSERT_GT(left_count, 0);
+  ASSERT_GT(right_count, 0);
+  EXPECT_GT(left / left_count, right / right_count + 0.3);
+}
+
+TEST(Bev, RowZeroIsFarthest) {
+  // A bright band at the image's far range (just below the horizon) must
+  // land in the upper BEV rows.
+  const Camera cam = test_camera();
+  const BevSpec spec = small_spec();
+  Tensor plane = Tensor::zeros(Shape::mat(32, 96));
+  for (int64_t y = 12; y < 16; ++y) {  // far band (just under the horizon)
+    for (int64_t x = 0; x < 96; ++x) {
+      plane.at(y * 96 + x) = 1.0f;
+    }
+  }
+  const Tensor bev = bev_warp(plane, cam, spec);
+  double top = 0.0;
+  double bottom = 0.0;
+  for (int64_t col = 0; col < spec.out_width; ++col) {
+    for (int64_t row = 0; row < 6; ++row) {
+      top += bev.at(row * spec.out_width + col);
+    }
+    for (int64_t row = spec.out_height - 6; row < spec.out_height; ++row) {
+      bottom += bev.at(row * spec.out_width + col);
+    }
+  }
+  EXPECT_GT(top, bottom);
+}
+
+TEST(Bev, RejectsBadSpecs) {
+  const Camera cam = test_camera();
+  BevSpec bad = small_spec();
+  bad.z_min = bad.z_max;
+  EXPECT_THROW(bev_warp(Tensor(Shape::mat(32, 96)), cam, bad), Error);
+  BevSpec bad2 = small_spec();
+  bad2.out_height = 0;
+  EXPECT_THROW(bev_visibility_mask(cam, bad2, 32, 96), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "vision/camera.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+TEST(Camera, ConstructorValidation) {
+  EXPECT_THROW(Camera(0, 32, 90.0, 1.6, 0.1), Error);
+  EXPECT_THROW(Camera(96, 32, 0.5, 1.6, 0.1), Error);
+  EXPECT_THROW(Camera(96, 32, 90.0, -1.0, 0.1), Error);
+}
+
+TEST(Camera, CenterRayPointsForwardAndDown) {
+  const Camera cam = test_camera();
+  const Vec3 ray = cam.pixel_ray(48.0, 16.0);
+  EXPECT_NEAR(ray.x, 0.0, 1e-9);
+  EXPECT_LT(ray.y, 0.0);  // pitched down
+  EXPECT_GT(ray.z, 0.9);
+  const double norm = std::sqrt(ray.x * ray.x + ray.y * ray.y + ray.z * ray.z);
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Camera, GroundProjectRoundTrip) {
+  const Camera cam = test_camera();
+  for (double u : {20.0, 48.0, 70.0}) {
+    for (double v : {22.0, 26.0, 30.0}) {
+      const auto ground = cam.pixel_to_ground(u, v);
+      ASSERT_TRUE(ground.has_value()) << "pixel " << u << "," << v;
+      const auto pixel = cam.ground_to_pixel(*ground);
+      ASSERT_TRUE(pixel.has_value());
+      EXPECT_NEAR(pixel->u, u, 1e-6);
+      EXPECT_NEAR(pixel->v, v, 1e-6);
+    }
+  }
+}
+
+TEST(Camera, AboveHorizonHasNoGroundPoint) {
+  const Camera cam = test_camera();
+  EXPECT_FALSE(cam.pixel_to_ground(48.0, 0.5).has_value());
+}
+
+TEST(Camera, LowerPixelsAreNearer) {
+  const Camera cam = test_camera();
+  const auto far = cam.pixel_to_ground(48.0, 20.0);
+  const auto near = cam.pixel_to_ground(48.0, 30.0);
+  ASSERT_TRUE(far.has_value());
+  ASSERT_TRUE(near.has_value());
+  EXPECT_GT(far->z, near->z);
+}
+
+TEST(Camera, LateralSignMatchesImageSide) {
+  const Camera cam = test_camera();
+  const auto left = cam.pixel_to_ground(10.0, 28.0);
+  const auto right = cam.pixel_to_ground(86.0, 28.0);
+  ASSERT_TRUE(left.has_value());
+  ASSERT_TRUE(right.has_value());
+  EXPECT_LT(left->x, 0.0);
+  EXPECT_GT(right->x, 0.0);
+}
+
+TEST(Camera, ProjectBehindCameraRejected) {
+  const Camera cam = test_camera();
+  EXPECT_FALSE(cam.project(Vec3{0.0, 0.0, -5.0}).has_value());
+}
+
+TEST(Camera, ElevatedPointProjectsAboveItsGroundContact) {
+  const Camera cam = test_camera();
+  const auto base = cam.project(Vec3{1.0, 0.0, 10.0});
+  const auto top = cam.project(Vec3{1.0, 1.5, 10.0});
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(top.has_value());
+  EXPECT_LT(top->v, base->v);  // image v grows downward
+  // A pitched camera mixes height into the forward axis, so u shifts only
+  // slightly between the base and the top of the pole.
+  EXPECT_NEAR(top->u, base->u, 0.5);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

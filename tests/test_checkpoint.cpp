@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "train/checkpoint.hpp"
+
+namespace roadfusion::train {
+namespace {
+
+using core::FusionScheme;
+using kitti::DatasetConfig;
+using kitti::RoadDataset;
+using kitti::Split;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rf_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  RoadSegConfig net_config(FusionScheme scheme = FusionScheme::kBaseline) {
+    RoadSegConfig config;
+    config.scheme = scheme;
+    config.stage_channels = {4, 6, 8, 10, 12};
+    return config;
+  }
+
+  DatasetConfig data_config() {
+    DatasetConfig config;
+    config.max_per_category = 3;
+    return config;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, SaveLoadPreservesPredictions) {
+  Rng rng(1);
+  RoadSegNet net(net_config(), rng);
+  net.set_training(false);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 16, 32), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 16, 32), rng);
+  const Tensor before = net.predict(rgb, depth);
+
+  const std::string path = (dir_ / "model.rfc").string();
+  save_model(net, path);
+
+  Rng rng2(999);  // different init
+  RoadSegNet restored(net_config(), rng2);
+  restored.set_training(false);
+  EXPECT_FALSE(restored.predict(rgb, depth).allclose(before, 1e-4f));
+  load_model(restored, path);
+  EXPECT_TRUE(restored.predict(rgb, depth).allclose(before, 1e-6f));
+}
+
+TEST_F(CheckpointTest, SharedSchemesRoundTrip) {
+  Rng rng(2);
+  RoadSegNet net(net_config(FusionScheme::kWeightedSharing), rng);
+  net.set_training(false);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 16, 32), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 16, 32), rng);
+  const Tensor before = net.predict(rgb, depth);
+  const std::string path = (dir_ / "ws.rfc").string();
+  save_model(net, path);
+  Rng rng2(3);
+  RoadSegNet restored(net_config(FusionScheme::kWeightedSharing), rng2);
+  restored.set_training(false);
+  load_model(restored, path);
+  EXPECT_TRUE(restored.predict(rgb, depth).allclose(before, 1e-6f));
+}
+
+TEST_F(CheckpointTest, CacheKeyDistinguishesConfigurations) {
+  const DatasetConfig data = data_config();
+  TrainConfig train_a;
+  TrainConfig train_b;
+  train_b.alpha_fd = 0.3f;
+  const std::string key_a = cache_key(net_config(), data, train_a);
+  const std::string key_b = cache_key(net_config(), data, train_b);
+  EXPECT_NE(key_a, key_b);
+  EXPECT_NE(cache_key(net_config(FusionScheme::kAllFilterU), data, train_a),
+            key_a);
+  DatasetConfig other_data = data;
+  other_data.seed = 77;
+  EXPECT_NE(cache_key(net_config(), other_data, train_a), key_a);
+}
+
+TEST_F(CheckpointTest, TrainOrLoadTrainsThenCaches) {
+  RoadDataset dataset(data_config(), Split::kTrain);
+  TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 4;
+
+  Rng rng(4);
+  RoadSegNet net(net_config(), rng);
+  EXPECT_TRUE(train_or_load(net, dataset, config, dir_.string()));
+
+  Rng rng2(5);
+  RoadSegNet net2(net_config(), rng2);
+  EXPECT_FALSE(train_or_load(net2, dataset, config, dir_.string()));
+
+  // Both nets now agree on predictions.
+  net.set_training(false);
+  net2.set_training(false);
+  const kitti::Sample& sample = dataset.sample(0);
+  EXPECT_TRUE(net2.predict(sample.rgb, sample.depth)
+                  .allclose(net.predict(sample.rgb, sample.depth), 1e-6f));
+}
+
+TEST_F(CheckpointTest, EmptyCacheDirAlwaysTrains) {
+  RoadDataset dataset(data_config(), Split::kTrain);
+  TrainConfig config;
+  config.epochs = 1;
+  Rng rng(6);
+  RoadSegNet net(net_config(), rng);
+  EXPECT_TRUE(train_or_load(net, dataset, config, ""));
+  EXPECT_TRUE(train_or_load(net, dataset, config, ""));
+}
+
+}  // namespace
+}  // namespace roadfusion::train

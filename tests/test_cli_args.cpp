@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+// The CLI argument parser lives in tools/; include it directly (it is a
+// header-only utility).
+#include "../tools/cli_args.hpp"
+
+namespace roadfusion::cli {
+namespace {
+
+/// Builds an argv array from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(CliArgs, ParsesKeyValueOptions) {
+  Argv argv({"prog", "--scheme", "WS", "--epochs", "8"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_EQ(args.get("scheme", "?"), "WS");
+  EXPECT_EQ(args.get_int("epochs", 0), 8);
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliArgs, BooleanFlags) {
+  Argv argv({"prog", "--normals", "--cap", "5", "--augment"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.has("normals"));
+  EXPECT_TRUE(args.has("augment"));
+  EXPECT_EQ(args.get_int("cap", 0), 5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, FlagFollowedByOptionIsFlag) {
+  Argv argv({"prog", "--verbose", "--out", "file.rfc"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "fallback"), "fallback");  // empty value
+  EXPECT_EQ(args.get("out", "?"), "file.rfc");
+}
+
+TEST(CliArgs, PositionalArgumentsCollected) {
+  Argv argv({"prog", "first", "--k", "v", "second"});
+  const Args args(argv.argc(), argv.argv());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(CliArgs, StartOffsetSkipsSubcommand) {
+  Argv argv({"prog", "train", "--epochs", "3"});
+  const Args args(argv.argc(), argv.argv(), 2);
+  EXPECT_EQ(args.get_int("epochs", 0), 3);
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliArgs, NumericParsing) {
+  Argv argv({"prog", "--alpha", "0.25", "--count", "-4"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.25);
+  EXPECT_EQ(args.get_int("count", 0), -4);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+TEST(CliArgs, MalformedNumbersThrow) {
+  Argv argv({"prog", "--epochs", "eight"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_THROW(args.get_int("epochs", 0), Error);
+  EXPECT_THROW(args.get_double("epochs", 0.0), Error);
+}
+
+TEST(CliArgs, AllowOnlyCatchesTypos) {
+  Argv argv({"prog", "--schem", "WS"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_THROW(args.allow_only({"scheme", "epochs"}), Error);
+  Argv good({"prog", "--scheme", "WS"});
+  const Args good_args(good.argc(), good.argv());
+  EXPECT_NO_THROW(good_args.allow_only({"scheme", "epochs"}));
+}
+
+}  // namespace
+}  // namespace roadfusion::cli

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "kitti/dataset.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Shape;
+
+DatasetConfig small_config() {
+  DatasetConfig config;
+  config.max_per_category = 4;
+  return config;
+}
+
+TEST(Dataset, KittiSplitCounts) {
+  DatasetConfig config;  // full counts
+  const RoadDataset train(config, Split::kTrain);
+  const RoadDataset test(config, Split::kTest);
+  EXPECT_EQ(train.size(), 289);
+  EXPECT_EQ(test.size(), 290);
+  EXPECT_EQ(train.indices_of(RoadCategory::kUM).size(), 95u);
+  EXPECT_EQ(train.indices_of(RoadCategory::kUMM).size(), 96u);
+  EXPECT_EQ(train.indices_of(RoadCategory::kUU).size(), 98u);
+  EXPECT_EQ(test.indices_of(RoadCategory::kUM).size(), 96u);
+  EXPECT_EQ(test.indices_of(RoadCategory::kUMM).size(), 94u);
+  EXPECT_EQ(test.indices_of(RoadCategory::kUU).size(), 100u);
+}
+
+TEST(Dataset, CapLimitsPerCategory) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  EXPECT_EQ(dataset.size(), 12);
+  EXPECT_EQ(dataset.indices_of(RoadCategory::kUM).size(), 4u);
+}
+
+TEST(Dataset, SampleShapesMatchConfig) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  const Sample& sample = dataset.sample(0);
+  EXPECT_EQ(sample.rgb.shape(), Shape::chw(3, 32, 96));
+  EXPECT_EQ(sample.depth.shape(), Shape::chw(1, 32, 96));
+  EXPECT_EQ(sample.label.shape(), Shape::chw(1, 32, 96));
+}
+
+TEST(Dataset, SamplesAreDeterministicAcrossInstances) {
+  const RoadDataset a(small_config(), Split::kTrain);
+  const RoadDataset b(small_config(), Split::kTrain);
+  for (int64_t i = 0; i < a.size(); i += 5) {
+    EXPECT_TRUE(a.sample(i).rgb.allclose(b.sample(i).rgb, 0.0f));
+    EXPECT_TRUE(a.sample(i).depth.allclose(b.sample(i).depth, 0.0f));
+  }
+}
+
+TEST(Dataset, TrainAndTestDiffer) {
+  const RoadDataset train(small_config(), Split::kTrain);
+  const RoadDataset test(small_config(), Split::kTest);
+  EXPECT_FALSE(train.sample(0).rgb.allclose(test.sample(0).rgb, 1e-3f));
+}
+
+TEST(Dataset, SeedChangesData) {
+  DatasetConfig other = small_config();
+  other.seed = 123;
+  const RoadDataset a(small_config(), Split::kTrain);
+  const RoadDataset b(other, Split::kTrain);
+  EXPECT_FALSE(a.sample(0).rgb.allclose(b.sample(0).rgb, 1e-3f));
+}
+
+TEST(Dataset, CategoriesOrderedUmUmmUu) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  EXPECT_EQ(dataset.sample(0).category, RoadCategory::kUM);
+  EXPECT_EQ(dataset.sample(4).category, RoadCategory::kUMM);
+  EXPECT_EQ(dataset.sample(8).category, RoadCategory::kUU);
+}
+
+TEST(Dataset, LightingMixContainsAdverseConditions) {
+  DatasetConfig config;
+  config.max_per_category = 40;
+  const RoadDataset dataset(config, Split::kTrain);
+  int adverse = 0;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.sample(i).lighting != Lighting::kDay) {
+      ++adverse;
+    }
+  }
+  // ~45% of samples should carry an adverse condition.
+  EXPECT_GT(adverse, dataset.size() / 5);
+  EXPECT_LT(adverse, dataset.size() * 4 / 5);
+}
+
+TEST(Dataset, OutOfRangeIndexThrows) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  EXPECT_THROW(dataset.sample(-1), Error);
+  EXPECT_THROW(dataset.sample(dataset.size()), Error);
+}
+
+TEST(Dataset, MakeBatchPacksSamples) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  const Batch batch = make_batch(dataset, {0, 3, 7});
+  EXPECT_EQ(batch.rgb.shape(), Shape::nchw(3, 3, 32, 96));
+  EXPECT_EQ(batch.depth.shape(), Shape::nchw(3, 1, 32, 96));
+  EXPECT_EQ(batch.label.shape(), Shape::nchw(3, 1, 32, 96));
+  // First sample round-trips exactly.
+  const Sample& s0 = dataset.sample(0);
+  for (int64_t i = 0; i < 3 * 32 * 96; ++i) {
+    ASSERT_FLOAT_EQ(batch.rgb.at(i), s0.rgb.at(i));
+  }
+}
+
+TEST(Dataset, MakeBatchRejectsEmpty) {
+  const RoadDataset dataset(small_config(), Split::kTrain);
+  EXPECT_THROW(make_batch(dataset, {}), Error);
+}
+
+TEST(Dataset, DepthIsLightingInvariantButRgbIsNot) {
+  // Find a night sample; its depth statistics should look like day
+  // samples' depth, while its RGB is much darker.
+  DatasetConfig config;
+  config.max_per_category = 30;
+  const RoadDataset dataset(config, Split::kTrain);
+  double night_rgb = 0.0;
+  double day_rgb = 0.0;
+  double night_depth = 0.0;
+  double day_depth = 0.0;
+  int nights = 0;
+  int days = 0;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Sample& s = dataset.sample(i);
+    if (s.lighting == Lighting::kNight) {
+      night_rgb += s.rgb.mean();
+      night_depth += s.depth.mean();
+      ++nights;
+    } else if (s.lighting == Lighting::kDay) {
+      day_rgb += s.rgb.mean();
+      day_depth += s.depth.mean();
+      ++days;
+    }
+  }
+  ASSERT_GT(nights, 0);
+  ASSERT_GT(days, 0);
+  EXPECT_LT(night_rgb / nights, day_rgb / days * 0.7);
+  EXPECT_NEAR(night_depth / nights, day_depth / days, 0.1);
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "roadseg/decoder.hpp"
+#include "roadseg/encoder.hpp"
+
+namespace roadfusion::roadseg {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+const std::vector<int64_t> kChannels = {8, 12, 16, 24, 32};
+
+std::vector<autograd::Variable> make_skips(Rng& rng, int64_t n, int64_t h,
+                                           int64_t w) {
+  std::vector<autograd::Variable> skips;
+  for (size_t stage = 0; stage < kChannels.size(); ++stage) {
+    const int64_t sh = Encoder::stage_extent(static_cast<int>(stage), h);
+    const int64_t sw = Encoder::stage_extent(static_cast<int>(stage), w);
+    skips.push_back(autograd::Variable::constant(
+        Tensor::normal(Shape::nchw(n, kChannels[stage], sh, sw), rng)));
+  }
+  return skips;
+}
+
+TEST(Decoder, ProducesFullResolutionLogits) {
+  Rng rng(1);
+  const Decoder decoder("d", kChannels, rng);
+  const auto skips = make_skips(rng, 2, 32, 96);
+  const autograd::Variable logits = decoder.forward(skips);
+  EXPECT_EQ(logits.shape(), Shape::nchw(2, 1, 32, 96));
+}
+
+TEST(Decoder, RejectsWrongSkipCount) {
+  Rng rng(2);
+  const Decoder decoder("d", kChannels, rng);
+  auto skips = make_skips(rng, 1, 32, 96);
+  skips.pop_back();
+  EXPECT_THROW(decoder.forward(skips), Error);
+}
+
+TEST(Decoder, GradientsFlowToAllSkips) {
+  Rng rng(3);
+  const Decoder decoder("d", kChannels, rng);
+  std::vector<autograd::Variable> skips;
+  for (size_t stage = 0; stage < kChannels.size(); ++stage) {
+    const int64_t sh = Encoder::stage_extent(static_cast<int>(stage), 32);
+    const int64_t sw = Encoder::stage_extent(static_cast<int>(stage), 96);
+    skips.push_back(autograd::Variable::leaf(
+        Tensor::normal(Shape::nchw(2, kChannels[stage], sh, sw), rng), true));
+  }
+  autograd::mean_all(decoder.forward(skips)).backward();
+  for (size_t stage = 0; stage < skips.size(); ++stage) {
+    EXPECT_GT(std::fabs(skips[stage].grad().sum()), 0.0f)
+        << "no gradient reached skip " << stage;
+  }
+}
+
+TEST(Decoder, ParameterCountPositiveAndStable) {
+  Rng rng(4);
+  const Decoder decoder("d", kChannels, rng);
+  const int64_t count = decoder.parameter_count();
+  EXPECT_GT(count, 0);
+  EXPECT_EQ(count, decoder.parameter_count());
+}
+
+TEST(Decoder, ComplexityPositive) {
+  Rng rng(5);
+  const Decoder decoder("d", kChannels, rng);
+  const nn::Complexity c = decoder.complexity(32, 96);
+  EXPECT_GT(c.macs, 0);
+  EXPECT_GT(c.params, 0);
+  EXPECT_EQ(c.params, decoder.parameter_count());
+}
+
+TEST(Decoder, RequiresAtLeastTwoStages) {
+  Rng rng(6);
+  EXPECT_THROW(Decoder("d", {8}, rng), Error);
+}
+
+TEST(Decoder, WorksWithThreeStagePyramid) {
+  Rng rng(7);
+  const std::vector<int64_t> channels = {4, 8, 12};
+  const Decoder decoder("d", channels, rng);
+  std::vector<autograd::Variable> skips;
+  const int64_t h = 16;
+  const int64_t w = 24;
+  for (size_t stage = 0; stage < channels.size(); ++stage) {
+    const int64_t sh = Encoder::stage_extent(static_cast<int>(stage), h);
+    const int64_t sw = Encoder::stage_extent(static_cast<int>(stage), w);
+    skips.push_back(autograd::Variable::constant(
+        Tensor::normal(Shape::nchw(1, channels[stage], sh, sw), rng)));
+  }
+  EXPECT_EQ(decoder.forward(skips).shape(), Shape::nchw(1, 1, 16, 24));
+}
+
+}  // namespace
+}  // namespace roadfusion::roadseg

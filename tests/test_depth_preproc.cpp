@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "kitti/depth_preproc.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor sparse_grid(int64_t h, int64_t w, int64_t stride, float range) {
+  Tensor t(Shape::chw(1, h, w));
+  for (int64_t y = 0; y < h; y += stride) {
+    for (int64_t x = 0; x < w; x += stride) {
+      t.at(y * w + x) = range;
+    }
+  }
+  return t;
+}
+
+TEST(DepthPreproc, DensifyFillsGaps) {
+  const Tensor sparse = sparse_grid(8, 16, 3, 12.0f);
+  const Tensor dense = densify_range(sparse);
+  int64_t holes = 0;
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    holes += dense.at(i) == 0.0f ? 1 : 0;
+  }
+  EXPECT_EQ(holes, 0);
+}
+
+TEST(DepthPreproc, DensifyPreservesConstantRanges) {
+  const Tensor sparse = sparse_grid(8, 16, 2, 20.0f);
+  const Tensor dense = densify_range(sparse);
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    EXPECT_NEAR(dense.at(i), 20.0f, 1e-4f);
+  }
+}
+
+TEST(DepthPreproc, DensifyKeepsOriginalReturnsExact) {
+  Tensor sparse(Shape::chw(1, 4, 4));
+  sparse.at(5) = 7.5f;
+  const Tensor dense = densify_range(sparse);
+  EXPECT_FLOAT_EQ(dense.at(5), 7.5f);
+}
+
+TEST(DepthPreproc, FewIterationsMayLeaveHoles) {
+  DepthPreprocConfig config;
+  config.fill_iterations = 1;
+  Tensor sparse(Shape::chw(1, 12, 12));
+  sparse.at(0) = 5.0f;  // single far-corner return
+  const Tensor dense = densify_range(sparse, config);
+  EXPECT_FLOAT_EQ(dense.at(11 * 12 + 11), 0.0f);
+}
+
+TEST(DepthPreproc, InverseDepthMapping) {
+  DepthPreprocConfig config;
+  config.min_range = 1.0;
+  config.max_range = 60.0;
+  Tensor range(Shape::chw(1, 1, 3));
+  range.at(0) = 1.0f;   // nearest -> 1
+  range.at(1) = 60.0f;  // farthest -> 0
+  range.at(2) = 0.0f;   // empty -> 0
+  const Tensor inverse = range_to_inverse_depth(range, config);
+  EXPECT_NEAR(inverse.at(0), 1.0f, 1e-6f);
+  EXPECT_NEAR(inverse.at(1), 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(inverse.at(2), 0.0f);
+}
+
+TEST(DepthPreproc, InverseDepthMonotonicallyDecreasesWithRange) {
+  Tensor range(Shape::chw(1, 1, 4));
+  range.at(0) = 2.0f;
+  range.at(1) = 5.0f;
+  range.at(2) = 15.0f;
+  range.at(3) = 40.0f;
+  const Tensor inverse = range_to_inverse_depth(range);
+  EXPECT_GT(inverse.at(0), inverse.at(1));
+  EXPECT_GT(inverse.at(1), inverse.at(2));
+  EXPECT_GT(inverse.at(2), inverse.at(3));
+}
+
+TEST(DepthPreproc, RangesOutsideBoundsClamped) {
+  Tensor range(Shape::chw(1, 1, 2));
+  range.at(0) = 0.2f;    // below min
+  range.at(1) = 500.0f;  // beyond max
+  const Tensor inverse = range_to_inverse_depth(range);
+  EXPECT_NEAR(inverse.at(0), 1.0f, 1e-6f);
+  EXPECT_NEAR(inverse.at(1), 0.0f, 1e-6f);
+}
+
+TEST(DepthPreproc, FullPipelineOutputInUnitRange) {
+  const Tensor sparse = sparse_grid(16, 24, 4, 8.0f);
+  const Tensor processed = preprocess_depth(sparse);
+  EXPECT_EQ(processed.shape(), sparse.shape());
+  EXPECT_GE(processed.min(), 0.0f);
+  EXPECT_LE(processed.max(), 1.0f);
+}
+
+TEST(DepthPreproc, RejectsBadShapesAndBounds) {
+  EXPECT_THROW(densify_range(Tensor(Shape::mat(4, 4))), Error);
+  DepthPreprocConfig bad;
+  bad.min_range = 10.0;
+  bad.max_range = 5.0;
+  EXPECT_THROW(range_to_inverse_depth(Tensor(Shape::chw(1, 2, 2)), bad),
+               Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

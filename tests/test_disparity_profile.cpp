@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "eval/disparity_profile.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion::eval {
+namespace {
+
+using core::FusionScheme;
+using kitti::DatasetConfig;
+using kitti::RoadDataset;
+using kitti::Split;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+
+RoadSegNet small_net(FusionScheme scheme, uint64_t seed = 1) {
+  Rng rng(seed);
+  RoadSegConfig config;
+  config.scheme = scheme;
+  config.stage_channels = {4, 6, 8, 10, 12};
+  return RoadSegNet(config, rng);
+}
+
+RoadDataset small_data(int64_t cap = 6) {
+  DatasetConfig config;
+  config.max_per_category = cap;
+  return RoadDataset(config, Split::kTest);
+}
+
+TEST(DisparityProfile, OneEntryPerStage) {
+  RoadDataset dataset = small_data();
+  RoadSegNet net = small_net(FusionScheme::kBaseline);
+  const DisparityProfile profile = profile_disparity(net, dataset);
+  EXPECT_EQ(profile.per_stage.size(), 5u);
+  EXPECT_EQ(profile.samples, 10);
+  for (double v : profile.per_stage) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(DisparityProfile, RespectsMaxSamples) {
+  RoadDataset dataset = small_data();
+  RoadSegNet net = small_net(FusionScheme::kBaseline);
+  DisparityProfileConfig config;
+  config.max_samples = 3;
+  EXPECT_EQ(profile_disparity(net, dataset, config).samples, 3);
+}
+
+TEST(DisparityProfile, SampleCountCappedByDataset) {
+  RoadDataset dataset = small_data(1);  // 3 samples total
+  RoadSegNet net = small_net(FusionScheme::kBaseline);
+  const DisparityProfile profile = profile_disparity(net, dataset);
+  EXPECT_EQ(profile.samples, 3);
+}
+
+TEST(DisparityProfile, SummariesConsistent) {
+  DisparityProfile profile;
+  profile.per_stage = {1.0, 2.0, 3.0, 4.0, 5.0};
+  profile.samples = 1;
+  EXPECT_DOUBLE_EQ(profile.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(profile.deep_mean(2), 4.5);
+  EXPECT_DOUBLE_EQ(profile.mid_mean(2), 2.5);
+  EXPECT_THROW(profile.deep_mean(0), Error);
+  EXPECT_THROW(profile.deep_mean(6), Error);
+}
+
+TEST(DisparityProfile, DeterministicForFixedNet) {
+  RoadDataset dataset = small_data();
+  RoadSegNet net = small_net(FusionScheme::kAllFilterU);
+  const DisparityProfile a = profile_disparity(net, dataset);
+  const DisparityProfile b = profile_disparity(net, dataset);
+  ASSERT_EQ(a.per_stage.size(), b.per_stage.size());
+  for (size_t i = 0; i < a.per_stage.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_stage[i], b.per_stage[i]);
+  }
+}
+
+TEST(DisparityProfile, FdLossTrainingLowersProfileMean) {
+  DatasetConfig data;
+  data.max_per_category = 8;
+  const RoadDataset train_set(data, Split::kTrain);
+  RoadDataset test_set = small_data();
+
+  auto train_profile = [&](float alpha) {
+    RoadSegNet net = small_net(FusionScheme::kBaseline, 3);
+    train::TrainConfig config;
+    config.epochs = 3;
+    config.alpha_fd = alpha;
+    train::fit(net, train_set, config);
+    return profile_disparity(net, test_set).mean();
+  };
+  EXPECT_LT(train_profile(0.3f), train_profile(0.0f));
+}
+
+}  // namespace
+}  // namespace roadfusion::eval

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "vision/edges.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor step_image(float low, float high) {
+  Tensor img(Shape::mat(8, 16));
+  for (int64_t y = 0; y < 8; ++y) {
+    for (int64_t x = 0; x < 16; ++x) {
+      img.at(y * 16 + x) = x < 8 ? low : high;
+    }
+  }
+  return img;
+}
+
+TEST(EdgeSketch, HighlightsBoundary) {
+  const Tensor sketch = edge_sketch(step_image(0.0f, 1.0f));
+  // Normalized sketch peaks at the boundary column.
+  float boundary = 0.0f;
+  float flat = 0.0f;
+  for (int64_t y = 2; y < 6; ++y) {
+    boundary = std::max(boundary, sketch.at(y * 16 + 8));
+    flat = std::max(flat, sketch.at(y * 16 + 2));
+  }
+  EXPECT_GT(boundary, 0.5f);
+  EXPECT_LT(flat, 0.2f);
+}
+
+TEST(EdgeSketch, LuminanceShiftInvariantWhenNormalized) {
+  // The same structure under a global brightness offset yields nearly the
+  // same sketch — the property the Feature Disparity metric needs.
+  const Tensor dark = edge_sketch(step_image(0.0f, 0.4f));
+  const Tensor bright = edge_sketch(step_image(0.5f, 0.9f));
+  EXPECT_TRUE(dark.allclose(bright, 0.05f));
+}
+
+TEST(EdgeSketch, ThresholdBinarizes) {
+  EdgeConfig config;
+  config.threshold = 0.5f;
+  const Tensor sketch = edge_sketch(step_image(0.0f, 1.0f), config);
+  for (int64_t i = 0; i < sketch.numel(); ++i) {
+    EXPECT_TRUE(sketch.at(i) == 0.0f || sketch.at(i) == 1.0f);
+  }
+}
+
+TEST(EdgeSketch, NoBlurOptionRuns) {
+  EdgeConfig config;
+  config.blur_sigma = 0.0;
+  EXPECT_NO_THROW(edge_sketch(step_image(0.0f, 1.0f), config));
+}
+
+TEST(EdgeSketch, WorksOnFeatureStacks) {
+  Rng rng(1);
+  const Tensor stack = Tensor::uniform(Shape::nchw(2, 3, 8, 8), rng);
+  const Tensor sketch = edge_sketch(stack);
+  EXPECT_EQ(sketch.shape(), stack.shape());
+}
+
+TEST(BinaryEdges, StepProducesOneEdgeBand) {
+  const Tensor edges = binary_edges(step_image(0.0f, 1.0f), 0.5f);
+  // The edge band sits around column 8; count edge pixels per column.
+  int edge_cols = 0;
+  for (int64_t x = 0; x < 16; ++x) {
+    bool any = false;
+    for (int64_t y = 0; y < 8; ++y) {
+      any = any || edges.at(y * 16 + x) > 0.5f;
+    }
+    if (any) {
+      ++edge_cols;
+    }
+  }
+  EXPECT_GE(edge_cols, 1);
+  EXPECT_LE(edge_cols, 6);
+}
+
+TEST(EdgeSketch, ConstantInputProducesZeroSketch) {
+  const Tensor sketch = edge_sketch(tensor::Tensor::full(Shape::mat(8, 8), 0.3f));
+  EXPECT_FLOAT_EQ(sketch.max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "roadseg/encoder.hpp"
+
+namespace roadfusion::roadseg {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+const std::vector<int64_t> kChannels = {8, 12, 16, 24, 32};
+
+TEST(Encoder, StageOutputShapes) {
+  Rng rng(1);
+  const Encoder encoder("e", 3, kChannels, rng);
+  autograd::Variable x = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(2, 3, 32, 96), rng));
+  x = encoder.forward_stage(0, x);
+  EXPECT_EQ(x.shape(), Shape::nchw(2, 8, 32, 96));
+  x = encoder.forward_stage(1, x);
+  EXPECT_EQ(x.shape(), Shape::nchw(2, 12, 16, 48));
+  x = encoder.forward_stage(2, x);
+  EXPECT_EQ(x.shape(), Shape::nchw(2, 16, 8, 24));
+  x = encoder.forward_stage(3, x);
+  EXPECT_EQ(x.shape(), Shape::nchw(2, 24, 4, 12));
+  x = encoder.forward_stage(4, x);
+  EXPECT_EQ(x.shape(), Shape::nchw(2, 32, 2, 6));
+}
+
+TEST(Encoder, StageExtentHelper) {
+  EXPECT_EQ(Encoder::stage_extent(0, 32), 32);
+  EXPECT_EQ(Encoder::stage_extent(1, 32), 16);
+  EXPECT_EQ(Encoder::stage_extent(4, 32), 2);
+  EXPECT_EQ(Encoder::stage_extent(2, 96), 24);
+}
+
+TEST(Encoder, ChannelsAccessor) {
+  Rng rng(2);
+  const Encoder encoder("e", 1, kChannels, rng);
+  EXPECT_EQ(encoder.num_stages(), 5);
+  EXPECT_EQ(encoder.stage_channels(0), 8);
+  EXPECT_EQ(encoder.stage_channels(4), 32);
+  EXPECT_THROW(encoder.stage_channels(5), Error);
+}
+
+TEST(Encoder, SharingFromLastStage) {
+  Rng rng(3);
+  const Encoder donor("rgb", 3, kChannels, rng);
+  const Encoder shared("depth", 1, kChannels, donor, 4, rng);
+  // Shared encoder has the donor's deepest-stage parameters; its own
+  // earlier stages are distinct.
+  auto donor_params = donor.parameters();
+  auto shared_params = shared.parameters();
+  int common = 0;
+  for (const auto& p : shared_params) {
+    for (const auto& q : donor_params) {
+      if (p.get() == q.get()) {
+        ++common;
+      }
+    }
+  }
+  EXPECT_GT(common, 0);
+  EXPECT_LT(common, static_cast<int>(shared_params.size()));
+}
+
+TEST(Encoder, SharedStageCountsOnceInCombinedParams) {
+  Rng rng(4);
+  const Encoder donor("rgb", 3, kChannels, rng);
+  const Encoder fresh("depth_fresh", 1, kChannels, rng);
+  const Encoder shared("depth_shared", 1, kChannels, donor, 4, rng);
+  // Collect combined unique parameter counts for both pairings.
+  auto count_unique = [](const Encoder& a, const Encoder& b) {
+    std::vector<nn::ParameterPtr> all;
+    a.collect_parameters(all);
+    b.collect_parameters(all);
+    std::set<const nn::Parameter*> unique;
+    int64_t total = 0;
+    for (const auto& p : all) {
+      if (unique.insert(p.get()).second) {
+        total += p->var.value().numel();
+      }
+    }
+    return total;
+  };
+  EXPECT_LT(count_unique(donor, shared), count_unique(donor, fresh));
+}
+
+TEST(Encoder, SharingValidatesArguments) {
+  Rng rng(5);
+  const Encoder donor("rgb", 3, kChannels, rng);
+  EXPECT_THROW(Encoder("d", 1, kChannels, donor, 0, rng), Error);
+  EXPECT_THROW(Encoder("d", 1, kChannels, donor, 5, rng), Error);
+  const std::vector<int64_t> other = {8, 12, 16, 24, 40};
+  EXPECT_THROW(Encoder("d", 1, other, donor, 4, rng), Error);
+}
+
+TEST(Encoder, StageComplexityPositiveAndOrdered) {
+  Rng rng(6);
+  const Encoder encoder("e", 3, kChannels, rng);
+  for (int stage = 0; stage < encoder.num_stages(); ++stage) {
+    const int64_t h = Encoder::stage_extent(stage == 0 ? 0 : stage - 1, 32);
+    const int64_t w = Encoder::stage_extent(stage == 0 ? 0 : stage - 1, 96);
+    const nn::Complexity c = encoder.stage_complexity(stage, h, w);
+    EXPECT_GT(c.macs, 0);
+    EXPECT_GT(c.params, 0);
+  }
+}
+
+TEST(Encoder, RequiresAtLeastTwoStages) {
+  Rng rng(7);
+  EXPECT_THROW(Encoder("e", 3, {8}, rng), Error);
+}
+
+TEST(Encoder, EvalModeDeterministic) {
+  Rng rng(8);
+  Encoder encoder("e", 3, kChannels, rng);
+  encoder.set_training(false);
+  const autograd::Variable x = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 3, 16, 32), rng));
+  const Tensor a = encoder.forward_stage(0, x).value();
+  const Tensor b = encoder.forward_stage(0, x).value();
+  EXPECT_TRUE(a.allclose(b, 0.0f));
+}
+
+}  // namespace
+}  // namespace roadfusion::roadseg

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "core/feature_disparity.hpp"
+
+namespace roadfusion::core {
+namespace {
+
+namespace ag = roadfusion::autograd;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor vertical_step(int64_t c, int64_t h, int64_t w, int64_t at) {
+  Tensor t(Shape::chw(c, h, w));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = at; x < w; ++x) {
+        t.at((ch * h + y) * w + x) = 1.0f;
+      }
+    }
+  }
+  return t;
+}
+
+TEST(FeatureDisparity, ZeroForIdenticalFeatures) {
+  Rng rng(1);
+  const Tensor f = Tensor::uniform(Shape::chw(4, 8, 8), rng);
+  EXPECT_NEAR(feature_disparity(f, f), 0.0, 1e-12);
+}
+
+TEST(FeatureDisparity, LowForLuminanceShiftedFeatures) {
+  // Same structure, different global luminance: disparity stays near zero
+  // (the property separating FD from L2/SSIM/MI in Table I).
+  const Tensor a = vertical_step(2, 8, 16, 8);
+  Tensor b = a;
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = b.at(i) * 1.0f + 0.4f;  // +0.4 brightness offset
+  }
+  const double shifted = feature_disparity(a, b);
+  EXPECT_LT(shifted, 1e-6);
+}
+
+TEST(FeatureDisparity, HighForStructuralMismatch) {
+  const Tensor a = vertical_step(2, 8, 16, 4);
+  const Tensor b = vertical_step(2, 8, 16, 12);
+  const double mismatched = feature_disparity(a, b);
+  const double matched = feature_disparity(a, a);
+  EXPECT_GT(mismatched, matched + 1e-3);
+}
+
+TEST(FeatureDisparity, AcceptsBatchedStacks) {
+  Rng rng(2);
+  const Tensor a = Tensor::uniform(Shape::nchw(2, 3, 6, 6), rng);
+  const Tensor b = Tensor::uniform(Shape::nchw(2, 3, 6, 6), rng);
+  EXPECT_GT(feature_disparity(a, b), 0.0);
+}
+
+TEST(FeatureDisparity, RejectsShapeMismatch) {
+  EXPECT_THROW(feature_disparity(Tensor(Shape::chw(2, 4, 4)),
+                                 Tensor(Shape::chw(3, 4, 4))),
+               Error);
+  EXPECT_THROW(feature_disparity(Tensor(Shape::mat(4, 4)),
+                                 Tensor(Shape::mat(4, 4))),
+               Error);
+}
+
+TEST(FeatureDisparityLoss, MatchesMetricDirection) {
+  // The differentiable loss and the measurement metric must agree on
+  // ordering: mismatched pairs score higher than matched pairs.
+  const Tensor a = vertical_step(1, 8, 16, 4);
+  const Tensor b = vertical_step(1, 8, 16, 12);
+  const auto v = [](const Tensor& t) {
+    return ag::Variable::constant(t.reshaped(Shape::nchw(1, 1, 8, 16)));
+  };
+  const float matched = feature_disparity_loss(v(a), v(a)).value().at(0);
+  const float mismatched = feature_disparity_loss(v(a), v(b)).value().at(0);
+  EXPECT_GT(mismatched, matched);
+  EXPECT_NEAR(matched, 0.0f, 1e-6f);
+}
+
+TEST(FeatureDisparityLoss, ProvidesGradients) {
+  Rng rng(3);
+  ag::Variable a =
+      ag::Variable::leaf(Tensor::uniform(Shape::nchw(1, 2, 6, 6), rng), true);
+  ag::Variable b =
+      ag::Variable::leaf(Tensor::uniform(Shape::nchw(1, 2, 6, 6), rng), true);
+  feature_disparity_loss(a, b).backward();
+  EXPECT_GT(std::fabs(a.grad().sum()) + std::fabs(b.grad().sum()), 0.0f);
+}
+
+TEST(CombinedObjective, AlphaZeroIsPureSegmentation) {
+  Rng rng(4);
+  const ag::Variable seg = ag::Variable::constant(Tensor::scalar(0.7f));
+  const ag::Variable f1 =
+      ag::Variable::constant(Tensor::uniform(Shape::nchw(1, 2, 4, 4), rng));
+  const ObjectiveTerms terms = combined_objective(seg, {{f1, f1}}, 0.0f);
+  EXPECT_FLOAT_EQ(terms.total.value().at(0), 0.7f);
+  EXPECT_FALSE(terms.feature_disparity.defined());
+}
+
+TEST(CombinedObjective, AddsWeightedFdTerms) {
+  Rng rng(5);
+  const ag::Variable seg = ag::Variable::constant(Tensor::scalar(1.0f));
+  const ag::Variable a =
+      ag::Variable::constant(Tensor::uniform(Shape::nchw(1, 2, 6, 6), rng));
+  const ag::Variable b =
+      ag::Variable::constant(Tensor::uniform(Shape::nchw(1, 2, 6, 6), rng));
+  const ObjectiveTerms terms =
+      combined_objective(seg, {{a, b}, {a, b}}, 0.3f);
+  ASSERT_TRUE(terms.feature_disparity.defined());
+  const float fd = terms.feature_disparity.value().at(0);
+  EXPECT_GT(fd, 0.0f);
+  EXPECT_NEAR(terms.total.value().at(0), 1.0f + 0.3f * fd, 1e-5f);
+}
+
+TEST(CombinedObjective, SkipsUndefinedPairs) {
+  const ag::Variable seg = ag::Variable::constant(Tensor::scalar(0.5f));
+  const ObjectiveTerms terms =
+      combined_objective(seg, {{ag::Variable(), ag::Variable()}}, 0.3f);
+  EXPECT_FLOAT_EQ(terms.total.value().at(0), 0.5f);
+  EXPECT_FALSE(terms.feature_disparity.defined());
+}
+
+TEST(CombinedObjective, RequiresSegmentationLoss) {
+  EXPECT_THROW(combined_objective(ag::Variable(), {}, 0.3f), Error);
+}
+
+TEST(FeatureMapEdgeConfig, IsRawAndBlurred) {
+  const vision::EdgeConfig config = feature_map_edge_config();
+  EXPECT_FALSE(config.normalize);
+  EXPECT_GT(config.blur_sigma, 0.0);
+  EXPECT_LT(config.threshold, 0.0f);
+}
+
+}  // namespace
+}  // namespace roadfusion::core

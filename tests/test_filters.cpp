@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "vision/filters.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(GaussianKernel, NormalizedAndSymmetric) {
+  const auto kernel = gaussian_kernel(1.2);
+  double sum = 0.0;
+  for (float v : kernel) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (size_t i = 0; i < kernel.size() / 2; ++i) {
+    EXPECT_FLOAT_EQ(kernel[i], kernel[kernel.size() - 1 - i]);
+  }
+  EXPECT_THROW(gaussian_kernel(0.0), Error);
+}
+
+TEST(GaussianBlur, PreservesConstantField) {
+  const Tensor flat = Tensor::full(Shape::mat(6, 8), 0.4f);
+  const Tensor blurred = gaussian_blur(flat, 1.5);
+  EXPECT_TRUE(blurred.allclose(flat, 1e-5f));
+}
+
+TEST(GaussianBlur, ReducesVariance) {
+  Rng rng(1);
+  const Tensor noisy = Tensor::uniform(Shape::mat(16, 16), rng);
+  const Tensor blurred = gaussian_blur(noisy, 1.0);
+  auto variance = [](const Tensor& t) {
+    const float mean = t.mean();
+    double acc = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      acc += (t.at(i) - mean) * (t.at(i) - mean);
+    }
+    return acc / static_cast<double>(t.numel());
+  };
+  EXPECT_LT(variance(blurred), variance(noisy) * 0.5);
+}
+
+TEST(GaussianBlur, WorksOnAllSupportedRanks) {
+  Rng rng(2);
+  EXPECT_NO_THROW(gaussian_blur(Tensor::uniform(Shape::mat(4, 4), rng), 1.0));
+  EXPECT_NO_THROW(
+      gaussian_blur(Tensor::uniform(Shape::chw(3, 4, 4), rng), 1.0));
+  EXPECT_NO_THROW(
+      gaussian_blur(Tensor::uniform(Shape::nchw(2, 3, 4, 4), rng), 1.0));
+  EXPECT_THROW(gaussian_blur(Tensor::uniform(Shape::vec(4), rng), 1.0), Error);
+}
+
+TEST(SobelMagnitude, ZeroOnFlatInterior) {
+  const Tensor flat = Tensor::full(Shape::mat(7, 7), 0.9f);
+  const Tensor magnitude = sobel_magnitude(flat);
+  EXPECT_NEAR(magnitude.at(3 * 7 + 3), 0.0f, 1e-6f);
+}
+
+TEST(SobelMagnitude, RespondsToStepEdge) {
+  Tensor step = Tensor::zeros(Shape::mat(6, 10));
+  for (int64_t y = 0; y < 6; ++y) {
+    for (int64_t x = 5; x < 10; ++x) {
+      step.at(y * 10 + x) = 1.0f;
+    }
+  }
+  const Tensor magnitude = sobel_magnitude(step);
+  EXPECT_GT(magnitude.at(3 * 10 + 4), 0.2f);
+  EXPECT_LT(magnitude.at(3 * 10 + 1), 1e-6f);
+}
+
+TEST(NormalizePlanes, MapsToUnitRange) {
+  const Tensor t(Shape::mat(2, 2), {2.0f, 4.0f, 6.0f, 10.0f});
+  const Tensor n = normalize_planes(t);
+  EXPECT_FLOAT_EQ(n.min(), 0.0f);
+  EXPECT_FLOAT_EQ(n.max(), 1.0f);
+  EXPECT_FLOAT_EQ(n.at(1), 0.25f);
+}
+
+TEST(NormalizePlanes, ConstantPlaneBecomesZero) {
+  const Tensor t = Tensor::full(Shape::chw(2, 3, 3), 5.0f);
+  EXPECT_FLOAT_EQ(normalize_planes(t).max(), 0.0f);
+}
+
+TEST(NormalizePlanes, PlanesIndependent) {
+  Tensor t = Tensor::zeros(Shape::chw(2, 1, 2));
+  t.at(0) = 0.0f;
+  t.at(1) = 10.0f;  // plane 0 spans [0, 10]
+  t.at(2) = 5.0f;
+  t.at(3) = 6.0f;  // plane 1 spans [5, 6]
+  const Tensor n = normalize_planes(t);
+  EXPECT_FLOAT_EQ(n.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(n.at(3), 1.0f);
+}
+
+TEST(Downsample, AveragesBlocks) {
+  const Tensor t = Tensor::arange(Shape::mat(2, 4));
+  const Tensor d = downsample(t, 2);
+  EXPECT_EQ(d.shape(), Shape::mat(1, 2));
+  EXPECT_FLOAT_EQ(d.at(0), (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(d.at(1), (2 + 3 + 6 + 7) / 4.0f);
+}
+
+TEST(Downsample, FactorOneIsIdentity) {
+  Rng rng(3);
+  const Tensor t = Tensor::uniform(Shape::chw(2, 4, 4), rng);
+  EXPECT_TRUE(downsample(t, 1).allclose(t, 0.0f));
+}
+
+TEST(Downsample, RejectsNonDivisible) {
+  EXPECT_THROW(downsample(Tensor(Shape::mat(3, 4)), 2), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/fusion_scheme.hpp"
+
+namespace roadfusion::core {
+namespace {
+
+TEST(FusionScheme, AllSchemesEnumerated) {
+  const auto schemes = all_fusion_schemes();
+  EXPECT_EQ(schemes.size(), 5u);
+  EXPECT_EQ(schemes[0], FusionScheme::kBaseline);
+  EXPECT_EQ(schemes[4], FusionScheme::kWeightedSharing);
+}
+
+TEST(FusionScheme, NamesMatchPaper) {
+  EXPECT_STREQ(to_string(FusionScheme::kBaseline), "Baseline");
+  EXPECT_STREQ(to_string(FusionScheme::kAllFilterU), "AllFilter_U");
+  EXPECT_STREQ(to_string(FusionScheme::kAllFilterB), "AllFilter_B");
+  EXPECT_STREQ(to_string(FusionScheme::kBaseSharing), "BaseSharing");
+  EXPECT_STREQ(to_string(FusionScheme::kWeightedSharing), "WeightedSharing");
+}
+
+TEST(FusionScheme, ShortNamesMatchPaperTables) {
+  EXPECT_STREQ(short_name(FusionScheme::kAllFilterU), "AU");
+  EXPECT_STREQ(short_name(FusionScheme::kAllFilterB), "AB");
+  EXPECT_STREQ(short_name(FusionScheme::kBaseSharing), "BS");
+  EXPECT_STREQ(short_name(FusionScheme::kWeightedSharing), "WS");
+}
+
+TEST(FusionScheme, ParseAcceptsBothForms) {
+  EXPECT_EQ(fusion_scheme_from_string("AllFilter_U"),
+            FusionScheme::kAllFilterU);
+  EXPECT_EQ(fusion_scheme_from_string("AU"), FusionScheme::kAllFilterU);
+  EXPECT_EQ(fusion_scheme_from_string("Baseline"), FusionScheme::kBaseline);
+  EXPECT_EQ(fusion_scheme_from_string("WS"), FusionScheme::kWeightedSharing);
+}
+
+TEST(FusionScheme, ParseRejectsUnknown) {
+  EXPECT_THROW(fusion_scheme_from_string("NotAScheme"), Error);
+  EXPECT_THROW(fusion_scheme_from_string(""), Error);
+}
+
+TEST(FusionScheme, PredicateTaxonomy) {
+  EXPECT_FALSE(uses_fusion_filters(FusionScheme::kBaseline));
+  EXPECT_TRUE(uses_fusion_filters(FusionScheme::kAllFilterU));
+  EXPECT_TRUE(uses_fusion_filters(FusionScheme::kAllFilterB));
+  EXPECT_FALSE(uses_fusion_filters(FusionScheme::kBaseSharing));
+  EXPECT_FALSE(uses_fusion_filters(FusionScheme::kWeightedSharing));
+
+  EXPECT_FALSE(uses_layer_sharing(FusionScheme::kBaseline));
+  EXPECT_FALSE(uses_layer_sharing(FusionScheme::kAllFilterU));
+  EXPECT_FALSE(uses_layer_sharing(FusionScheme::kAllFilterB));
+  EXPECT_TRUE(uses_layer_sharing(FusionScheme::kBaseSharing));
+  EXPECT_TRUE(uses_layer_sharing(FusionScheme::kWeightedSharing));
+}
+
+TEST(FusionScheme, RoundTripAllSchemes) {
+  for (FusionScheme scheme : all_fusion_schemes()) {
+    EXPECT_EQ(fusion_scheme_from_string(to_string(scheme)), scheme);
+    EXPECT_EQ(fusion_scheme_from_string(short_name(scheme)), scheme);
+  }
+}
+
+}  // namespace
+}  // namespace roadfusion::core

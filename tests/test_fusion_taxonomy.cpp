@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "roadseg/fusion_taxonomy.hpp"
+#include "roadseg/roadseg_net.hpp"
+
+namespace roadfusion::roadseg {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TaxonomyConfig small_config() {
+  TaxonomyConfig config;
+  config.stage_channels = {4, 6, 8, 10, 12};
+  return config;
+}
+
+TEST(EarlyFusionNet, ForwardShape) {
+  Rng rng(1);
+  EarlyFusionNet net(small_config(), rng);
+  const auto rgb = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(2, 3, 16, 32), rng));
+  const auto depth = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(2, 1, 16, 32), rng));
+  const ForwardResult result = net.forward(rgb, depth);
+  EXPECT_EQ(result.logits.shape(), Shape::nchw(2, 1, 16, 32));
+  EXPECT_TRUE(result.fusion_pairs.empty());  // no middle fusion points
+  EXPECT_FALSE(result.awn_weight.defined());
+}
+
+TEST(EarlyFusionNet, SingleEncoderHalvesBranchCost) {
+  Rng rng(2);
+  EarlyFusionNet early(small_config(), rng);
+  RoadSegConfig middle_config;
+  middle_config.stage_channels = small_config().stage_channels;
+  RoadSegNet middle(middle_config, rng);
+  // Early fusion has one encoder (over 4 input channels) vs the middle
+  // net's two; its MAC count must be clearly lower.
+  EXPECT_LT(early.complexity(32, 96).macs,
+            middle.complexity(32, 96).macs * 3 / 4);
+}
+
+TEST(EarlyFusionNet, GradientsReachAllParameters) {
+  Rng rng(3);
+  EarlyFusionNet net(small_config(), rng);
+  const auto rgb = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(2, 3, 16, 32), rng));
+  const auto depth = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(2, 1, 16, 32), rng));
+  autograd::mean_all(net.forward(rgb, depth).logits).backward();
+  for (const auto& p : net.parameters()) {
+    bool any = false;
+    const Tensor g = p->var.grad();
+    for (int64_t i = 0; i < g.numel() && !any; ++i) {
+      any = g.at(i) != 0.0f;
+    }
+    EXPECT_TRUE(any) << "no gradient reached " << p->name;
+  }
+}
+
+TEST(LateFusionNet, ForwardShapeAndAveraging) {
+  Rng rng(4);
+  LateFusionNet net(small_config(), rng);
+  net.set_training(false);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 16, 32), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 16, 32), rng);
+  const Tensor prob = net.predict(rgb, depth);
+  EXPECT_EQ(prob.shape(), Shape::chw(1, 16, 32));
+  EXPECT_GE(prob.min(), 0.0f);
+  EXPECT_LE(prob.max(), 1.0f);
+}
+
+TEST(LateFusionNet, TwoFullNetworksCostMoreParams) {
+  Rng rng(5);
+  LateFusionNet late(small_config(), rng);
+  RoadSegConfig middle_config;
+  middle_config.stage_channels = small_config().stage_channels;
+  RoadSegNet middle(middle_config, rng);
+  // Late fusion carries two decoders; the middle-fusion net shares one.
+  EXPECT_GT(late.complexity(32, 96).params,
+            middle.complexity(32, 96).params);
+}
+
+TEST(LateFusionNet, StateRoundTrip) {
+  Rng rng(6);
+  LateFusionNet net(small_config(), rng);
+  net.set_training(false);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 16, 32), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 16, 32), rng);
+  const Tensor before = net.predict(rgb, depth);
+  const auto snapshot = nn::snapshot_state(net);
+  for (auto& p : net.parameters()) {
+    p->var.mutable_value().fill(0.25f);
+  }
+  nn::restore_state(net, snapshot);
+  EXPECT_TRUE(net.predict(rgb, depth).allclose(before, 1e-6f));
+}
+
+TEST(TaxonomyNets, GeometryMismatchRejected) {
+  Rng rng(7);
+  EarlyFusionNet net(small_config(), rng);
+  const auto rgb = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 3, 16, 32), rng));
+  const auto depth = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 1, 16, 16), rng));
+  EXPECT_THROW(net.forward(rgb, depth), Error);
+}
+
+TEST(TaxonomyNets, SupportNormalsDepth) {
+  Rng rng(8);
+  TaxonomyConfig config = small_config();
+  config.depth_channels = 3;
+  EarlyFusionNet early(config, rng);
+  LateFusionNet late(config, rng);
+  const auto rgb = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 3, 16, 32), rng));
+  const auto normals = autograd::Variable::constant(
+      Tensor::normal(Shape::nchw(1, 3, 16, 32), rng));
+  EXPECT_EQ(early.forward(rgb, normals).logits.shape(),
+            Shape::nchw(1, 1, 16, 32));
+  EXPECT_EQ(late.forward(rgb, normals).logits.shape(),
+            Shape::nchw(1, 1, 16, 32));
+}
+
+}  // namespace
+}  // namespace roadfusion::roadseg

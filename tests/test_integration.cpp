@@ -1,0 +1,172 @@
+// End-to-end integration tests: train briefly on the synthetic KITTI road
+// dataset and verify the learned model beats trivial baselines, plus the
+// paper-level invariants that survive even short training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "core/feature_disparity.hpp"
+#include "eval/evaluator.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion {
+namespace {
+
+using core::FusionScheme;
+using eval::EvaluationResult;
+using kitti::DatasetConfig;
+using kitti::RoadDataset;
+using kitti::Split;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+DatasetConfig data_config(int64_t cap) {
+  DatasetConfig config;
+  config.max_per_category = cap;
+  return config;
+}
+
+RoadSegConfig net_config(FusionScheme scheme) {
+  RoadSegConfig config;
+  config.scheme = scheme;
+  config.stage_channels = {6, 8, 12, 16, 20};
+  return config;
+}
+
+TEST(Integration, TrainingBeatsUntrainedAndConstant) {
+  RoadDataset train_set(data_config(10), Split::kTrain);
+  RoadDataset test_set(data_config(6), Split::kTest);
+
+  Rng rng(1);
+  RoadSegNet net(net_config(FusionScheme::kBaseline), rng);
+  eval::EvalConfig eval_config;
+
+  Rng rng_fresh(2);
+  RoadSegNet untrained(net_config(FusionScheme::kBaseline), rng_fresh);
+  const EvaluationResult before = eval::evaluate(untrained, test_set, eval_config);
+
+  train::TrainConfig train_config;
+  train_config.epochs = 6;
+  train::fit(net, train_set, train_config);
+  const EvaluationResult after = eval::evaluate(net, test_set, eval_config);
+
+  // AP is threshold-free, so it separates a trained model from an
+  // untrained one even when MaxF degenerates to the all-positive point.
+  EXPECT_GT(after.overall.ap, before.overall.ap + 5.0);
+  // UMM (wide, well-marked roads) is the easiest category and clears a
+  // comfortable margin even at this abbreviated training budget.
+  EXPECT_GT(after.per_category.at(kitti::RoadCategory::kUMM).f_score, 70.0);
+}
+
+TEST(Integration, FdLossReducesMeasuredDisparity) {
+  // The paper's Fig. 3a/8 mechanism: training with the Feature Disparity
+  // loss yields lower measured FD at the fusion points than training
+  // without it.
+  RoadDataset train_set(data_config(8), Split::kTrain);
+  RoadDataset test_set(data_config(4), Split::kTest);
+
+  auto train_with_alpha = [&](float alpha) {
+    Rng rng(3);
+    RoadSegNet net(net_config(FusionScheme::kBaseline), rng);
+    train::TrainConfig config;
+    config.epochs = 4;
+    config.alpha_fd = alpha;
+    train::fit(net, train_set, config);
+    net.set_training(false);
+    double fd = 0.0;
+    for (int64_t i = 0; i < test_set.size(); i += 3) {
+      const kitti::Sample& sample = test_set.sample(i);
+      const auto result = net.forward(
+          autograd::Variable::constant(sample.rgb.reshaped(
+              Shape::nchw(1, 3, 32, 96))),
+          autograd::Variable::constant(sample.depth.reshaped(
+              Shape::nchw(1, 1, 32, 96))));
+      for (const auto& [r, d] : result.fusion_pairs) {
+        fd += core::feature_disparity(r.value(), d.value());
+      }
+    }
+    return fd;
+  };
+
+  const double fd_without = train_with_alpha(0.0f);
+  const double fd_with = train_with_alpha(0.3f);
+  EXPECT_LT(fd_with, fd_without);
+}
+
+TEST(Integration, SharedStageStaysSharedAfterTraining) {
+  RoadDataset train_set(data_config(4), Split::kTrain);
+  Rng rng(4);
+  RoadSegNet net(net_config(FusionScheme::kBaseSharing), rng);
+  train::TrainConfig config;
+  config.epochs = 1;
+  train::fit(net, train_set, config);
+  // After optimization, the two branches' deepest stages still alias one
+  // parameter set: unique parameter count equals the pre-training count.
+  EXPECT_TRUE(net.stage_is_shared(4));
+  const int64_t params = net.parameter_count();
+  Rng rng2(5);
+  RoadSegNet fresh(net_config(FusionScheme::kBaseSharing), rng2);
+  EXPECT_EQ(params, fresh.parameter_count());
+}
+
+TEST(Integration, FusionBeatsSingleModalityUnderAdverseLighting) {
+  // The paper's motivating claim: under night/over-exposure the RGB-only
+  // view degrades while depth stays stable, so fused inputs win. Proxy
+  // check at the data level: RGB pixel statistics shift heavily with
+  // lighting while depth statistics stay put (the network-level benefit
+  // is exercised by the bench suite).
+  DatasetConfig config = data_config(20);
+  config.p_night = 0.5;
+  config.p_overexposure = 0.0;
+  config.p_shadows = 0.0;
+  RoadDataset dataset(config, Split::kTrain);
+  double day_rgb = 0.0;
+  double night_rgb = 0.0;
+  double day_depth = 0.0;
+  double night_depth = 0.0;
+  int days = 0;
+  int nights = 0;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const kitti::Sample& sample = dataset.sample(i);
+    if (sample.lighting == kitti::Lighting::kNight) {
+      night_rgb += sample.rgb.mean();
+      night_depth += sample.depth.mean();
+      ++nights;
+    } else if (sample.lighting == kitti::Lighting::kDay) {
+      day_rgb += sample.rgb.mean();
+      day_depth += sample.depth.mean();
+      ++days;
+    }
+  }
+  ASSERT_GT(days, 0);
+  ASSERT_GT(nights, 0);
+  const double rgb_shift = std::fabs(day_rgb / days - night_rgb / nights);
+  const double depth_shift =
+      std::fabs(day_depth / days - night_depth / nights);
+  EXPECT_GT(rgb_shift, 5.0 * depth_shift);
+}
+
+TEST(Integration, CheckpointedModelReproducesEvaluation) {
+  RoadDataset train_set(data_config(4), Split::kTrain);
+  RoadDataset test_set(data_config(3), Split::kTest);
+  Rng rng(6);
+  RoadSegNet net(net_config(FusionScheme::kAllFilterU), rng);
+  train::TrainConfig config;
+  config.epochs = 1;
+  train::fit(net, train_set, config);
+
+  const EvaluationResult direct = eval::evaluate(net, test_set, {});
+  const auto snapshot = nn::snapshot_state(net);
+  Rng rng2(7);
+  RoadSegNet restored(net_config(FusionScheme::kAllFilterU), rng2);
+  nn::restore_state(restored, snapshot);
+  const EvaluationResult roundtrip = eval::evaluate(restored, test_set, {});
+  EXPECT_DOUBLE_EQ(direct.overall.f_score, roundtrip.overall.f_score);
+}
+
+}  // namespace
+}  // namespace roadfusion

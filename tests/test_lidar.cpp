@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "kitti/lidar.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+using vision::Camera;
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+TEST(Lidar, ScanProducesPoints) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 1);
+  Rng rng(1);
+  const auto points = scan(scene, LidarConfig{}, rng);
+  EXPECT_GT(points.size(), 500u);
+}
+
+TEST(Lidar, PointsLieNearSurfaces) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 2);
+  LidarConfig config;
+  config.range_noise_sigma = 0.0;
+  config.dropout = 0.0;
+  Rng rng(2);
+  for (const LidarPoint& point : scan(scene, config, rng)) {
+    // Every noiseless return is on the ground plane (y ~ 0) or on an
+    // obstacle (0 <= y <= obstacle height <= 5).
+    EXPECT_GE(point.y, -1e-6);
+    EXPECT_LE(point.y, 5.0 + 1e-6);
+    EXPECT_GT(point.z, 0.0);
+    EXPECT_LE(point.range, config.max_range + 1e-6);
+  }
+}
+
+TEST(Lidar, DropoutReducesReturns) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 3);
+  LidarConfig low;
+  low.dropout = 0.0;
+  LidarConfig high;
+  high.dropout = 0.5;
+  Rng rng1(3);
+  Rng rng2(3);
+  const auto full = scan(scene, low, rng1);
+  const auto sparse = scan(scene, high, rng2);
+  EXPECT_LT(sparse.size(), full.size() * 0.7);
+}
+
+TEST(Lidar, LightingDoesNotAffectGeometry) {
+  // LiDAR is active sensing: identical geometry regardless of lighting.
+  const Scene day = Scene::generate(RoadCategory::kUM, Lighting::kDay, 4);
+  const Scene night = Scene::generate(RoadCategory::kUM, Lighting::kNight, 4);
+  LidarConfig config;
+  config.range_noise_sigma = 0.0;
+  config.dropout = 0.0;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto a = scan(day, config, rng1);
+  const auto b = scan(night, config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].range, b[i].range, 1e-12);
+  }
+}
+
+TEST(Lidar, ProjectionKeepsNearestReturn) {
+  std::vector<LidarPoint> points;
+  // Two points projecting to (roughly) the same pixel, different ranges.
+  points.push_back({0.0, 0.5, 10.0, 10.0});
+  points.push_back({0.0, 0.5, 10.0, 10.0});
+  points[1].range = 5.0;
+  points[1].z = 10.0;
+  const Tensor depth = project_to_sparse_depth(points, test_camera());
+  float nonzero = 0.0f;
+  for (int64_t i = 0; i < depth.numel(); ++i) {
+    if (depth.at(i) != 0.0f) {
+      nonzero = depth.at(i);
+    }
+  }
+  EXPECT_FLOAT_EQ(nonzero, 5.0f);
+}
+
+TEST(Lidar, SparseDepthShapeAndSparsity) {
+  const Scene scene = Scene::generate(RoadCategory::kUMM, Lighting::kDay, 6);
+  Rng rng(7);
+  const auto points = scan(scene, LidarConfig{}, rng);
+  const Tensor depth = project_to_sparse_depth(points, test_camera());
+  EXPECT_EQ(depth.shape(), Shape::chw(1, 32, 96));
+  int64_t filled = 0;
+  for (int64_t i = 0; i < depth.numel(); ++i) {
+    filled += depth.at(i) != 0.0f ? 1 : 0;
+  }
+  EXPECT_GT(filled, 100);
+  EXPECT_LT(filled, depth.numel());  // genuinely sparse
+}
+
+TEST(Lidar, InvalidConfigsRejected) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 8);
+  Rng rng(8);
+  LidarConfig bad;
+  bad.beams = 0;
+  EXPECT_THROW(scan(scene, bad, rng), Error);
+  LidarConfig bad2;
+  bad2.elevation_min_deg = 5.0;
+  bad2.elevation_max_deg = -5.0;
+  EXPECT_THROW(scan(scene, bad2, rng), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "nn/blocks.hpp"
+
+namespace roadfusion::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ConvBnRelu, ForwardShapeAndNonNegativity) {
+  Rng rng(1);
+  ConvBnRelu block("b", 3, 6, 3, 1, 1, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 3, 6, 8), rng));
+  const Variable y = block.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(2, 6, 6, 8));
+  EXPECT_GE(y.value().min(), 0.0f);  // ReLU output
+}
+
+TEST(ConvBnRelu, SharingProducesIdenticalOutputs) {
+  Rng rng(2);
+  ConvBnRelu a("a", 2, 4, 3, 2, 1, rng);
+  ConvBnRelu b("b", a);
+  a.set_training(false);
+  b.set_training(false);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 2, 8, 8), rng));
+  EXPECT_TRUE(b.forward(x).value().allclose(a.forward(x).value()));
+  EXPECT_EQ(a.parameters()[0].get(), b.parameters()[0].get());
+}
+
+TEST(ConvBnRelu, ComplexityAccumulates) {
+  Rng rng(3);
+  ConvBnRelu block("b", 3, 6, 3, 1, 1, rng);
+  const Complexity c = block.complexity(4, 4);
+  EXPECT_EQ(c.macs, 6 * 3 * 9 * 16 + 2 * 6 * 16);
+  EXPECT_EQ(c.params, 3 * 6 * 9 + 12);
+}
+
+TEST(ResidualBlock, IdentityShortcutWhenShapesMatch) {
+  Rng rng(4);
+  ResidualBlock block("r", 4, 4, 1, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 4, 6, 6), rng));
+  EXPECT_EQ(block.forward(x).shape(), Shape::nchw(1, 4, 6, 6));
+  // No projection: parameter count is exactly the two conv-bn pairs.
+  EXPECT_EQ(block.parameter_count(),
+            /*conv1*/ 4 * 4 * 9 + 8 + /*conv2*/ 4 * 4 * 9 + /*bn2*/ 8);
+}
+
+TEST(ResidualBlock, ProjectionAddedOnStrideOrChannelChange) {
+  Rng rng(5);
+  ResidualBlock strided("r", 4, 4, 2, rng);
+  ResidualBlock widened("r", 4, 8, 1, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 4, 6, 6), rng));
+  EXPECT_EQ(strided.forward(x).shape(), Shape::nchw(1, 4, 3, 3));
+  EXPECT_EQ(widened.forward(x).shape(), Shape::nchw(1, 8, 6, 6));
+}
+
+TEST(ResidualBlock, GradientFlowsToAllParameters) {
+  Rng rng(6);
+  ResidualBlock block("r", 3, 6, 2, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 3, 8, 8), rng));
+  autograd::mean_all(block.forward(x)).backward();
+  for (const auto& p : block.parameters()) {
+    bool any_nonzero = false;
+    const Tensor grad = p->var.grad();
+    for (int64_t i = 0; i < grad.numel() && !any_nonzero; ++i) {
+      any_nonzero = grad.at(i) != 0.0f;
+    }
+    EXPECT_TRUE(any_nonzero) << "no gradient reached " << p->name;
+  }
+}
+
+TEST(ResidualBlock, SharingCoversProjection) {
+  Rng rng(7);
+  ResidualBlock a("a", 3, 6, 2, rng);
+  ResidualBlock b("b", a);
+  EXPECT_EQ(a.parameters().size(), b.parameters().size());
+  for (size_t i = 0; i < a.parameters().size(); ++i) {
+    EXPECT_EQ(a.parameters()[i].get(), b.parameters()[i].get());
+  }
+}
+
+TEST(ResidualBlock, OutChannelsReported) {
+  Rng rng(8);
+  ResidualBlock block("r", 3, 7, 2, rng);
+  EXPECT_EQ(block.out_channels(), 7);
+}
+
+TEST(ResidualBlock, EvalModeIsDeterministic) {
+  Rng rng(9);
+  ResidualBlock block("r", 2, 4, 1, rng);
+  block.set_training(false);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 2, 5, 5), rng));
+  const Tensor first = block.forward(x).value();
+  const Tensor second = block.forward(x).value();
+  EXPECT_TRUE(first.allclose(second, 0.0f));
+}
+
+}  // namespace
+}  // namespace roadfusion::nn

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "nn/layers.hpp"
+
+namespace roadfusion::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Conv2dLayer, ForwardShapeAndParams) {
+  Rng rng(1);
+  const Conv2d conv("c", 3, 8, 3, 2, 1, /*bias=*/true, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 3, 8, 12), rng));
+  EXPECT_EQ(conv.forward(x).shape(), Shape::nchw(2, 8, 4, 6));
+  EXPECT_EQ(conv.parameter_count(), 3 * 8 * 9 + 8);
+}
+
+TEST(Conv2dLayer, NoBiasVariant) {
+  Rng rng(2);
+  const Conv2d conv("c", 2, 4, 1, 1, 0, /*bias=*/false, rng);
+  EXPECT_EQ(conv.parameter_count(), 2 * 4);
+}
+
+TEST(Conv2dLayer, SharingAliasesParameters) {
+  Rng rng(3);
+  const Conv2d original("a", 4, 4, 3, 1, 1, false, rng);
+  const Conv2d shared("b", original);
+  EXPECT_TRUE(shared.shares_parameters_with(original));
+  // Forward outputs are identical for identical inputs.
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 4, 5, 5), rng));
+  EXPECT_TRUE(shared.forward(x).value().allclose(original.forward(x).value()));
+}
+
+TEST(Conv2dLayer, SharedGradientAccumulatesOnce) {
+  Rng rng(4);
+  const Conv2d original("a", 2, 2, 1, 1, 0, false, rng);
+  const Conv2d shared("b", original);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 2, 3, 3), rng));
+  const Variable y =
+      autograd::add(original.forward(x), shared.forward(x));
+  autograd::sum_all(y).backward();
+  // Both paths feed one parameter; its gradient holds both contributions.
+  auto params = original.parameters();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_GT(std::fabs(params[0]->var.grad().sum()), 0.0f);
+  // The shared view exposes the same parameter object.
+  auto shared_params = shared.parameters();
+  EXPECT_EQ(params[0].get(), shared_params[0].get());
+}
+
+TEST(Conv2dLayer, ComplexityFormula) {
+  Rng rng(5);
+  const Conv2d conv("c", 3, 8, 3, 1, 1, true, rng);
+  const Complexity c = conv.complexity(10, 20);
+  EXPECT_EQ(c.macs, 8 * 3 * 9 * 10 * 20);
+  EXPECT_EQ(c.params, 3 * 8 * 9 + 8);
+}
+
+TEST(Conv2dLayer, RejectsBadGeometry) {
+  Rng rng(6);
+  EXPECT_THROW(Conv2d("c", 0, 4, 3, 1, 1, true, rng), Error);
+  EXPECT_THROW(Conv2d("c", 3, 4, 3, 0, 1, true, rng), Error);
+}
+
+TEST(ConvTranspose2dLayer, UpsamplesByStride) {
+  Rng rng(7);
+  const ConvTranspose2d up("u", 6, 3, 2, 2, 0, false, rng);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 6, 4, 5), rng));
+  EXPECT_EQ(up.forward(x).shape(), Shape::nchw(1, 3, 8, 10));
+  EXPECT_EQ(up.out_channels(), 3);
+}
+
+TEST(BatchNorm2dLayer, TrainEvalToggle) {
+  Rng rng(8);
+  BatchNorm2d bn("bn", 3);
+  EXPECT_TRUE(bn.training());
+  bn.set_training(false);
+  EXPECT_FALSE(bn.training());
+  EXPECT_EQ(bn.parameter_count(), 6);
+}
+
+TEST(BatchNorm2dLayer, SharingAliasesRunningStats) {
+  Rng rng(9);
+  BatchNorm2d original("a", 2);
+  BatchNorm2d shared("b", original);
+  // Forward through the original in training mode mutates running stats
+  // visible through the shared instance.
+  const Variable x = Variable::constant(
+      Tensor::normal(Shape::nchw(4, 2, 4, 4), rng, 5.0f, 1.0f));
+  (void)original.forward(x);
+  shared.set_training(false);
+  const Variable y = shared.forward(x);
+  // Eval output via shared stats is not centred at zero mean=5 normalized
+  // by partially updated stats; just check the state is genuinely shared:
+  std::vector<StateEntry> state_a = original.state();
+  std::vector<StateEntry> state_b = shared.state();
+  ASSERT_EQ(state_a.size(), state_b.size());
+  for (size_t i = 0; i < state_a.size(); ++i) {
+    EXPECT_EQ(state_a[i].tensor, state_b[i].tensor);
+  }
+  (void)y;
+}
+
+TEST(LinearLayer, ForwardShape) {
+  Rng rng(10);
+  const Linear fc("fc", 6, 3, true, rng);
+  const Variable x = Variable::constant(Tensor::normal(Shape::mat(4, 6), rng));
+  EXPECT_EQ(fc.forward(x).shape(), Shape::mat(4, 3));
+  EXPECT_EQ(fc.parameter_count(), 6 * 3 + 3);
+  EXPECT_EQ(fc.complexity().macs, 18);
+}
+
+TEST(Module, StateNamesAreUnique) {
+  Rng rng(11);
+  Conv2d conv("layer", 2, 3, 3, 1, 1, true, rng);
+  auto state = conv.state("net.");
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_EQ(state[0].name, "net.layer.weight");
+}
+
+TEST(Module, SnapshotRestoreRoundTrip) {
+  Rng rng(12);
+  Conv2d conv("c", 2, 2, 3, 1, 1, true, rng);
+  const auto snapshot = snapshot_state(conv);
+  // Perturb, then restore.
+  conv.parameters()[0]->var.mutable_value().fill(0.0f);
+  restore_state(conv, snapshot);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, 2, 4, 4), rng));
+  // The restored layer must produce nonzero output again.
+  EXPECT_GT(std::fabs(conv.forward(x).value().sum()), 0.0f);
+}
+
+TEST(Module, RestoreRejectsMissingOrMismatched) {
+  Rng rng(13);
+  Conv2d conv("c", 2, 2, 3, 1, 1, false, rng);
+  EXPECT_THROW(restore_state(conv, {}), Error);
+  auto snapshot = snapshot_state(conv);
+  snapshot[0].second = Tensor::zeros(Shape::vec(3));
+  EXPECT_THROW(restore_state(conv, snapshot), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::nn

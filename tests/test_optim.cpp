@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "nn/optim.hpp"
+
+namespace roadfusion::nn {
+namespace {
+
+namespace ag = roadfusion::autograd;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Builds a parameter initialized to `value`.
+ParameterPtr make_param(float value, int64_t n = 4) {
+  return std::make_shared<Parameter>("p", Tensor::full(Shape::vec(n), value));
+}
+
+/// One optimization step on the quadratic loss mean((p - target)^2).
+float quadratic_step(Optimizer& opt, ParameterPtr& p, float target) {
+  const Variable diff = ag::sub(
+      p->var, Variable::constant(Tensor::full(p->var.value().shape(), target)));
+  const Variable loss = ag::mean_all(ag::mul(diff, diff));
+  opt.zero_grad();
+  loss.backward();
+  opt.step();
+  return loss.value().at(0);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  auto p = make_param(5.0f);
+  Sgd opt({p}, /*lr=*/0.3f, /*momentum=*/0.0f);
+  float last = 1e9f;
+  for (int i = 0; i < 50; ++i) {
+    last = quadratic_step(opt, p, 1.0f);
+  }
+  EXPECT_LT(last, 1e-4f);
+  EXPECT_NEAR(p->var.value().at(0), 1.0f, 1e-2f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  auto plain_p = make_param(5.0f);
+  auto mom_p = make_param(5.0f);
+  Sgd plain({plain_p}, 0.05f, 0.0f);
+  Sgd momentum({mom_p}, 0.05f, 0.9f);
+  for (int i = 0; i < 10; ++i) {
+    quadratic_step(plain, plain_p, 0.0f);
+    quadratic_step(momentum, mom_p, 0.0f);
+  }
+  EXPECT_LT(std::fabs(mom_p->var.value().at(0)),
+            std::fabs(plain_p->var.value().at(0)));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  auto p = make_param(1.0f);
+  Sgd opt({p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient; only decay acts.
+  opt.zero_grad();
+  const Variable loss = ag::mean_all(ag::scale(p->var, 0.0f));
+  loss.backward();
+  opt.step();
+  EXPECT_LT(p->var.value().at(0), 1.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  auto p = make_param(-3.0f);
+  Adam opt({p}, 0.2f);
+  for (int i = 0; i < 100; ++i) {
+    quadratic_step(opt, p, 2.0f);
+  }
+  EXPECT_NEAR(p->var.value().at(0), 2.0f, 0.05f);
+}
+
+TEST(Adam, HandlesSparseGradientScales) {
+  // Two parameters with gradients of very different scale converge at
+  // comparable rates thanks to per-parameter normalization.
+  auto big = make_param(1.0f, 1);
+  auto small = make_param(1.0f, 1);
+  Adam opt({big, small}, 0.1f);
+  for (int i = 0; i < 60; ++i) {
+    const Variable loss = ag::add(
+        ag::mean_all(ag::mul(big->var, big->var)),
+        ag::scale(ag::mean_all(ag::mul(small->var, small->var)), 1e-4f));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(big->var.value().at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(small->var.value().at(0), 0.0f, 0.2f);
+}
+
+TEST(Optimizer, SetLearningRate) {
+  auto p = make_param(1.0f);
+  Sgd opt({p}, 0.5f);
+  opt.set_learning_rate(0.0f);
+  quadratic_step(opt, p, 0.0f);
+  EXPECT_FLOAT_EQ(p->var.value().at(0), 1.0f);  // lr 0: no movement
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  auto p = make_param(1.0f);
+  Sgd opt({p}, 0.1f);
+  const Variable loss = ag::mean_all(ag::mul(p->var, p->var));
+  loss.backward();
+  EXPECT_GT(std::fabs(p->var.grad().sum()), 0.0f);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p->var.grad().sum(), 0.0f);
+}
+
+TEST(Optimizer, SharedParameterUpdatedOnce) {
+  // The same parameter registered once but fed by two branches gets one
+  // update of the combined gradient — the layer-sharing contract.
+  auto p = make_param(2.0f, 1);
+  Sgd opt({p}, 0.1f, 0.0f);
+  const Variable doubled = ag::add(p->var, p->var);  // dL/dp = 2
+  opt.zero_grad();
+  ag::mean_all(doubled).backward();
+  opt.step();
+  EXPECT_NEAR(p->var.value().at(0), 2.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace roadfusion::nn

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "vision/overlay.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Overlay, TintsOnlyAboveThreshold) {
+  const Tensor rgb = Tensor::full(Shape::chw(3, 2, 2), 0.5f);
+  Tensor prob = Tensor::zeros(Shape::mat(2, 2));
+  prob.at(0) = 0.9f;
+  const Tensor out = overlay_segmentation(rgb, prob, 0.5f, 1.0f);
+  // Pixel 0 fully green; pixel 1 untouched.
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);            // R of pixel 0
+  EXPECT_FLOAT_EQ(out.at(4), 1.0f);            // G of pixel 0
+  EXPECT_FLOAT_EQ(out.at(1), 0.5f);            // R of pixel 1 unchanged
+}
+
+TEST(Overlay, AlphaBlends) {
+  const Tensor rgb = Tensor::full(Shape::chw(3, 1, 1), 0.5f);
+  const Tensor prob = Tensor::ones(Shape::mat(1, 1));
+  const Tensor out = overlay_segmentation(rgb, prob, 0.5f, 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0), 0.25f);  // R: 0.5*(0.5) + 0.5*0
+  EXPECT_FLOAT_EQ(out.at(1), 0.75f);  // G: 0.5*0.5 + 0.5*1
+}
+
+TEST(Overlay, AcceptsChwProbability) {
+  const Tensor rgb = Tensor::full(Shape::chw(3, 2, 3), 0.2f);
+  const Tensor prob = Tensor::ones(Shape::chw(1, 2, 3));
+  EXPECT_NO_THROW(overlay_segmentation(rgb, prob));
+}
+
+TEST(Overlay, RejectsMismatchedShapes) {
+  const Tensor rgb = Tensor::full(Shape::chw(3, 2, 2), 0.2f);
+  EXPECT_THROW(overlay_segmentation(rgb, Tensor(Shape::mat(3, 3))), Error);
+  EXPECT_THROW(overlay_segmentation(Tensor(Shape::chw(1, 2, 2)),
+                                    Tensor(Shape::mat(2, 2))),
+               Error);
+}
+
+TEST(GrayToRgb, ReplicatesChannels) {
+  Tensor gray(Shape::mat(1, 2), {0.3f, 0.8f});
+  const Tensor rgb = gray_to_rgb(gray);
+  EXPECT_EQ(rgb.shape(), Shape::chw(3, 1, 2));
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(rgb.at(c * 2 + 0), 0.3f);
+    EXPECT_FLOAT_EQ(rgb.at(c * 2 + 1), 0.8f);
+  }
+}
+
+TEST(StackVertical, ComposesWithSeparators) {
+  const Tensor a = Tensor::full(Shape::chw(3, 2, 4), 0.1f);
+  const Tensor b = Tensor::full(Shape::chw(3, 3, 4), 0.9f);
+  const Tensor stacked = stack_vertical({a, b});
+  EXPECT_EQ(stacked.shape(), Shape::chw(3, 2 + 2 + 3, 4));
+  EXPECT_FLOAT_EQ(stacked.at(0 * 4 + 0), 0.1f);  // row 0: first image
+  EXPECT_FLOAT_EQ(stacked.at(2 * 4 + 0), 1.0f);  // row 2: white separator
+  EXPECT_FLOAT_EQ(stacked.at(4 * 4 + 0), 0.9f);  // row 4: second image
+}
+
+TEST(StackVertical, RejectsMismatchedWidths) {
+  const Tensor a = Tensor::full(Shape::chw(3, 2, 4), 0.1f);
+  const Tensor b = Tensor::full(Shape::chw(3, 2, 5), 0.1f);
+  EXPECT_THROW(stack_vertical({a, b}), Error);
+  EXPECT_THROW(stack_vertical({}), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

@@ -1,0 +1,167 @@
+// Property tests over the convolution family: gradient checks across a
+// sweep of geometries, plus the adjoint identity that ties conv2d and
+// conv_transpose2d together:  <conv(x), y> == <x, convT(y)> when both use
+// the same weights and geometry.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "autograd/ops.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace roadfusion {
+namespace {
+
+namespace ag = autograd;
+using autograd::Variable;
+using roadfusion::testing::expect_gradients_match;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// (kernel, stride, padding, in_channels, out_channels, height, width)
+using ConvCase = std::tuple<int, int, int, int, int, int, int>;
+
+class ConvGeometrySweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometrySweep, GradientMatchesFiniteDifference) {
+  const auto [k, s, p, cin, cout, h, w] = GetParam();
+  Rng rng(static_cast<uint64_t>(k * 1000 + s * 100 + p * 10 + cin));
+  const ag::ConvGeometry geom{k, s, p};
+  expect_gradients_match(
+      [geom](const std::vector<Variable>& v) {
+        return ag::mean_all(ag::conv2d(v[0], v[1], v[2], geom));
+      },
+      {Tensor::normal(Shape::nchw(2, cin, h, w), rng),
+       Tensor::normal(Shape::nchw(cout, cin, k, k), rng),
+       Tensor::normal(Shape::vec(cout), rng)});
+}
+
+TEST_P(ConvGeometrySweep, OutputShapeMatchesFormula) {
+  const auto [k, s, p, cin, cout, h, w] = GetParam();
+  Rng rng(7);
+  const ag::ConvGeometry geom{k, s, p};
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(1, cin, h, w), rng));
+  const Variable weight =
+      Variable::constant(Tensor::normal(Shape::nchw(cout, cin, k, k), rng));
+  const Variable y = ag::conv2d(x, weight, Variable(), geom);
+  EXPECT_EQ(y.shape().dim(2), (h + 2 * p - k) / s + 1);
+  EXPECT_EQ(y.shape().dim(3), (w + 2 * p - k) / s + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometrySweep,
+    ::testing::Values(ConvCase{1, 1, 0, 2, 3, 5, 6},
+                      ConvCase{3, 1, 1, 2, 2, 5, 5},
+                      ConvCase{3, 2, 1, 3, 2, 6, 8},
+                      ConvCase{3, 1, 0, 1, 4, 5, 5},
+                      ConvCase{5, 1, 2, 2, 2, 7, 7},
+                      ConvCase{2, 2, 0, 3, 3, 6, 6}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param)) + "p" +
+             std::to_string(std::get<2>(info.param)) + "c" +
+             std::to_string(std::get<3>(info.param)) + "x" +
+             std::to_string(std::get<4>(info.param)) + "hw" +
+             std::to_string(std::get<5>(info.param)) +
+             std::to_string(std::get<6>(info.param));
+    });
+
+// Adjoint identity: for zero-padding correlation, conv_transpose2d with
+// the same (transposed-layout) weights is the adjoint of conv2d, so
+// <conv(x), y> == <x, convT(y)>.
+using AdjointCase = std::tuple<int, int, int, int>;  // k, s, cin, cout
+
+class ConvAdjointSweep : public ::testing::TestWithParam<AdjointCase> {};
+
+TEST_P(ConvAdjointSweep, TransposeIsAdjointOfConv) {
+  const auto [k, s, cin, cout] = GetParam();
+  Rng rng(static_cast<uint64_t>(k * 17 + s * 5 + cin));
+  // Choose an input size where the geometry is exactly invertible.
+  const int64_t out_h = 4;
+  const int64_t out_w = 3;
+  const ag::ConvGeometry geom{k, s, 0};
+  const int64_t h = geom.transposed_out_extent(out_h);
+  const int64_t w = geom.transposed_out_extent(out_w);
+
+  const Tensor x_t = Tensor::normal(Shape::nchw(1, cin, h, w), rng);
+  const Tensor y_t = Tensor::normal(Shape::nchw(1, cout, out_h, out_w), rng);
+  // conv weight layout (cout, cin, k, k); convT weight layout (cout, cin,
+  // k, k) means convT maps cout -> cin with the SAME storage.
+  const Tensor w_t = Tensor::normal(Shape::nchw(cout, cin, k, k), rng);
+
+  const Variable conv_x = ag::conv2d(
+      Variable::constant(x_t), Variable::constant(w_t), Variable(), geom);
+  const Variable convt_y = ag::conv_transpose2d(
+      Variable::constant(y_t), Variable::constant(w_t), Variable(), geom);
+
+  ASSERT_EQ(conv_x.shape(), y_t.shape());
+  ASSERT_EQ(convt_y.shape(), x_t.shape());
+  const double lhs = tensor::dot(conv_x.value(), y_t);
+  const double rhs = tensor::dot(x_t, convt_y.value());
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Adjoint, ConvAdjointSweep,
+                         ::testing::Values(AdjointCase{2, 2, 2, 3},
+                                           AdjointCase{3, 1, 1, 2},
+                                           AdjointCase{3, 3, 2, 2},
+                                           AdjointCase{4, 2, 3, 1},
+                                           AdjointCase{1, 1, 4, 4}),
+                         [](const ::testing::TestParamInfo<AdjointCase>& i) {
+                           return "k" + std::to_string(std::get<0>(i.param)) +
+                                  "s" + std::to_string(std::get<1>(i.param)) +
+                                  "c" + std::to_string(std::get<2>(i.param)) +
+                                  "x" + std::to_string(std::get<3>(i.param));
+                         });
+
+// Linearity property: conv(a x1 + b x2) == a conv(x1) + b conv(x2).
+TEST(ConvProperties, LinearInInput) {
+  Rng rng(11);
+  const ag::ConvGeometry geom{3, 1, 1};
+  const Tensor w_t = Tensor::normal(Shape::nchw(3, 2, 3, 3), rng);
+  const Tensor x1 = Tensor::normal(Shape::nchw(1, 2, 6, 6), rng);
+  const Tensor x2 = Tensor::normal(Shape::nchw(1, 2, 6, 6), rng);
+  auto conv = [&](const Tensor& x) {
+    return ag::conv2d(Variable::constant(x), Variable::constant(w_t),
+                      Variable(), geom)
+        .value();
+  };
+  const Tensor combined = conv(tensor::add(tensor::scale(x1, 2.0f),
+                                           tensor::scale(x2, -0.5f)));
+  const Tensor separate = tensor::add(tensor::scale(conv(x1), 2.0f),
+                                      tensor::scale(conv(x2), -0.5f));
+  EXPECT_TRUE(combined.allclose(separate, 1e-4f));
+}
+
+// Translation equivariance (stride 1, interior): shifting the input by
+// one pixel shifts the output by one pixel away from the borders.
+TEST(ConvProperties, TranslationEquivariantInterior) {
+  Rng rng(12);
+  const ag::ConvGeometry geom{3, 1, 1};
+  const Tensor w_t = Tensor::normal(Shape::nchw(1, 1, 3, 3), rng);
+  Tensor x = Tensor::normal(Shape::nchw(1, 1, 8, 8), rng);
+  Tensor x_shifted(x.shape());
+  for (int64_t y = 0; y < 8; ++y) {
+    for (int64_t col = 1; col < 8; ++col) {
+      x_shifted.at4(0, 0, y, col) = x.at4(0, 0, y, col - 1);
+    }
+  }
+  auto conv = [&](const Tensor& input) {
+    return ag::conv2d(Variable::constant(input), Variable::constant(w_t),
+                      Variable(), geom)
+        .value();
+  };
+  const Tensor y0 = conv(x);
+  const Tensor y1 = conv(x_shifted);
+  for (int64_t y = 2; y < 6; ++y) {
+    for (int64_t col = 3; col < 6; ++col) {
+      EXPECT_NEAR(y1.at4(0, 0, y, col), y0.at4(0, 0, y, col - 1), 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roadfusion

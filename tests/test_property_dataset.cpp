@@ -1,0 +1,120 @@
+// Property tests over the full (category x lighting) grid of the
+// synthetic data substrate: rendering invariants that must hold for every
+// combination, parameterized with TEST_P.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kitti/depth_preproc.hpp"
+#include "kitti/lidar.hpp"
+#include "kitti/render.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+using vision::Camera;
+
+using GridCase = std::tuple<RoadCategory, Lighting>;
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+class SceneGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(SceneGrid, RgbStaysInUnitRange) {
+  const auto [category, lighting] = GetParam();
+  for (uint64_t seed : {1ULL, 99ULL}) {
+    const Scene scene = Scene::generate(category, lighting, seed);
+    Rng rng(seed);
+    const Tensor rgb = render_rgb(scene, test_camera(), rng);
+    EXPECT_GE(rgb.min(), 0.0f);
+    EXPECT_LE(rgb.max(), 1.0f);
+  }
+}
+
+TEST_P(SceneGrid, GroundTruthBinaryWithPlausibleCoverage) {
+  const auto [category, lighting] = GetParam();
+  const Scene scene = Scene::generate(category, lighting, 7);
+  const Tensor gt = render_ground_truth(scene, test_camera());
+  int64_t road = 0;
+  for (int64_t i = 0; i < gt.numel(); ++i) {
+    ASSERT_TRUE(gt.at(i) == 0.0f || gt.at(i) == 1.0f);
+    road += gt.at(i) > 0.5f;
+  }
+  const double fraction = static_cast<double>(road) / gt.numel();
+  EXPECT_GT(fraction, 0.05) << "no road visible";
+  EXPECT_LT(fraction, 0.85) << "implausibly road-dominated frame";
+}
+
+TEST_P(SceneGrid, DepthPipelineProducesDenseUnitRange) {
+  const auto [category, lighting] = GetParam();
+  const Scene scene = Scene::generate(category, lighting, 13);
+  Rng rng(13);
+  const Camera camera = test_camera();
+  const auto points = scan(scene, LidarConfig{}, rng);
+  const Tensor depth =
+      preprocess_depth(project_to_sparse_depth(points, camera));
+  EXPECT_GE(depth.min(), 0.0f);
+  EXPECT_LE(depth.max(), 1.0f);
+  // The road region ahead must have returns: check the bottom half is
+  // mostly non-zero after densification.
+  int64_t filled = 0;
+  int64_t counted = 0;
+  for (int64_t y = 16; y < 32; ++y) {
+    for (int64_t x = 0; x < 96; ++x) {
+      filled += depth.at(y * 96 + x) > 0.0f;
+      ++counted;
+    }
+  }
+  EXPECT_GT(static_cast<double>(filled) / counted, 0.7);
+}
+
+TEST_P(SceneGrid, LabelIndependentOfLighting) {
+  const auto [category, lighting] = GetParam();
+  const Camera camera = test_camera();
+  const Scene lit = Scene::generate(category, lighting, 21);
+  const Scene day = Scene::generate(category, Lighting::kDay, 21);
+  EXPECT_TRUE(render_ground_truth(lit, camera)
+                  .allclose(render_ground_truth(day, camera), 0.0f));
+}
+
+TEST_P(SceneGrid, NearRowsCloserThanFarRows) {
+  // Monotone depth cue: in the densified inverse-depth image, the bottom
+  // (near) rows must on average read brighter than the rows just below
+  // the horizon (far).
+  const auto [category, lighting] = GetParam();
+  const Scene scene = Scene::generate(category, lighting, 31);
+  Rng rng(31);
+  const Camera camera = test_camera();
+  const auto points = scan(scene, LidarConfig{}, rng);
+  const Tensor depth =
+      preprocess_depth(project_to_sparse_depth(points, camera));
+  double near = 0.0;
+  double far = 0.0;
+  for (int64_t x = 0; x < 96; ++x) {
+    for (int64_t y = 28; y < 32; ++y) {
+      near += depth.at(y * 96 + x);
+    }
+    for (int64_t y = 14; y < 18; ++y) {
+      far += depth.at(y * 96 + x);
+    }
+  }
+  EXPECT_GT(near, far);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, SceneGrid,
+    ::testing::Combine(::testing::Values(RoadCategory::kUM,
+                                         RoadCategory::kUMM,
+                                         RoadCategory::kUU),
+                       ::testing::Values(Lighting::kDay, Lighting::kNight,
+                                         Lighting::kOverexposure,
+                                         Lighting::kShadows)),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace roadfusion::kitti

@@ -1,0 +1,198 @@
+// Parameterized property sweeps over the remaining NN ops: pooling
+// geometries, batch-norm shapes, and linear layers — gradient checks and
+// structural invariants across the parameter grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "autograd/ops.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace roadfusion {
+namespace {
+
+namespace ag = autograd;
+using autograd::Variable;
+using roadfusion::testing::expect_gradients_match;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Max pooling sweep: (kernel, stride, h, w)
+// ---------------------------------------------------------------------------
+
+using PoolCase = std::tuple<int, int, int, int>;
+
+class PoolSweep : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolSweep, GradientMatchesFiniteDifference) {
+  const auto [k, s, h, w] = GetParam();
+  // Well-separated values avoid argmax ties under perturbation.
+  Tensor x = Tensor::arange(Shape::nchw(1, 2, h, w));
+  Rng rng(static_cast<uint64_t>(k * 31 + s));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = x.at(i) * 0.37f + static_cast<float>(rng.uniform(0.0, 0.02));
+  }
+  expect_gradients_match(
+      [k2 = k, s2 = s](const std::vector<Variable>& v) {
+        return ag::mean_all(ag::max_pool2d(v[0], k2, s2));
+      },
+      {x});
+}
+
+TEST_P(PoolSweep, OutputNeverExceedsInputMax) {
+  const auto [k, s, h, w] = GetParam();
+  Rng rng(9);
+  const Variable x =
+      Variable::constant(Tensor::normal(Shape::nchw(2, 3, h, w), rng));
+  const Variable y = ag::max_pool2d(x, k, s);
+  EXPECT_LE(y.value().max(), x.value().max());
+  EXPECT_GE(y.value().min(), x.value().min());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PoolSweep,
+                         ::testing::Values(PoolCase{2, 2, 4, 6},
+                                           PoolCase{2, 1, 5, 5},
+                                           PoolCase{3, 3, 9, 6},
+                                           PoolCase{3, 2, 7, 7}),
+                         [](const ::testing::TestParamInfo<PoolCase>& i) {
+                           return "k" + std::to_string(std::get<0>(i.param)) +
+                                  "s" + std::to_string(std::get<1>(i.param)) +
+                                  "h" + std::to_string(std::get<2>(i.param)) +
+                                  "w" + std::to_string(std::get<3>(i.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Batch-norm sweep over (channels, spatial extent, batch)
+// ---------------------------------------------------------------------------
+
+using BnCase = std::tuple<int, int, int>;
+
+class BatchNormSweep : public ::testing::TestWithParam<BnCase> {};
+
+TEST_P(BatchNormSweep, TrainingOutputIsNormalizedPerChannel) {
+  const auto [c, hw, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(c * 7 + hw));
+  auto state = std::make_shared<ag::BatchNormState>();
+  state->running_mean = Tensor::zeros(Shape::vec(c));
+  state->running_var = Tensor::ones(Shape::vec(c));
+  const Variable x = Variable::constant(
+      Tensor::normal(Shape::nchw(n, c, hw, hw), rng, 2.0f, 3.0f));
+  const Variable gamma = Variable::constant(Tensor::ones(Shape::vec(c)));
+  const Variable beta = Variable::constant(Tensor::zeros(Shape::vec(c)));
+  const Variable y = ag::batch_norm2d(x, gamma, beta, state, true);
+  // Per-channel mean ~ 0 and variance ~ 1.
+  const int64_t plane = hw * hw;
+  for (int64_t channel = 0; channel < c; ++channel) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t s = 0; s < n; ++s) {
+      for (int64_t i = 0; i < plane; ++i) {
+        mean += y.value().at4(s, channel, i / hw, i % hw);
+      }
+    }
+    mean /= static_cast<double>(n * plane);
+    for (int64_t s = 0; s < n; ++s) {
+      for (int64_t i = 0; i < plane; ++i) {
+        const double d = y.value().at4(s, channel, i / hw, i % hw) - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(n * plane);
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 5e-2);
+  }
+}
+
+TEST_P(BatchNormSweep, RunningStatsConvergeTowardBatchStats) {
+  const auto [c, hw, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(c + hw * 13));
+  auto state = std::make_shared<ag::BatchNormState>();
+  state->running_mean = Tensor::zeros(Shape::vec(c));
+  state->running_var = Tensor::ones(Shape::vec(c));
+  const Variable gamma = Variable::constant(Tensor::ones(Shape::vec(c)));
+  const Variable beta = Variable::constant(Tensor::zeros(Shape::vec(c)));
+  const Tensor data =
+      Tensor::normal(Shape::nchw(n, c, hw, hw), rng, 4.0f, 1.0f);
+  for (int step = 0; step < 60; ++step) {
+    (void)ag::batch_norm2d(Variable::constant(data), gamma, beta, state,
+                           true);
+  }
+  // The running mean converges to the empirical batch mean per channel.
+  const int64_t plane = hw * hw;
+  for (int64_t channel = 0; channel < c; ++channel) {
+    double batch_mean = 0.0;
+    for (int64_t s = 0; s < n; ++s) {
+      for (int64_t i = 0; i < plane; ++i) {
+        batch_mean += data.at4(s, channel, i / hw, i % hw);
+      }
+    }
+    batch_mean /= static_cast<double>(n * plane);
+    EXPECT_NEAR(state->running_mean.at(channel), batch_mean, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BatchNormSweep,
+                         ::testing::Values(BnCase{1, 4, 2}, BnCase{3, 3, 4},
+                                           BnCase{5, 2, 3},
+                                           BnCase{2, 6, 2}),
+                         [](const ::testing::TestParamInfo<BnCase>& i) {
+                           return "c" + std::to_string(std::get<0>(i.param)) +
+                                  "hw" + std::to_string(std::get<1>(i.param)) +
+                                  "n" + std::to_string(std::get<2>(i.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Linear layer sweep
+// ---------------------------------------------------------------------------
+
+using LinearCase = std::tuple<int, int, int>;  // batch, in, out
+
+class LinearSweep : public ::testing::TestWithParam<LinearCase> {};
+
+TEST_P(LinearSweep, GradientMatchesFiniteDifference) {
+  const auto [n, in, out] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 100 + in * 10 + out));
+  expect_gradients_match(
+      [](const std::vector<Variable>& v) {
+        return ag::mean_all(ag::linear(v[0], v[1], v[2]));
+      },
+      {Tensor::normal(Shape::mat(n, in), rng),
+       Tensor::normal(Shape::mat(out, in), rng),
+       Tensor::normal(Shape::vec(out), rng)});
+}
+
+TEST_P(LinearSweep, IsAffineInInput) {
+  const auto [n, in, out] = GetParam();
+  Rng rng(static_cast<uint64_t>(n + in + out));
+  const Tensor w = Tensor::normal(Shape::mat(out, in), rng);
+  const Tensor b = Tensor::normal(Shape::vec(out), rng);
+  const Tensor x1 = Tensor::normal(Shape::mat(n, in), rng);
+  const Tensor x2 = Tensor::normal(Shape::mat(n, in), rng);
+  auto f = [&](const Tensor& x) {
+    return ag::linear(Variable::constant(x), Variable::constant(w),
+                      Variable::constant(b))
+        .value();
+  };
+  // f(x1) + f(x2) - f(0.5 x1 + 0.5 x2) * 2 == b-dependent constant 0:
+  // affine maps satisfy midpoint linearity.
+  const Tensor mid = f(tensor::scale(tensor::add(x1, x2), 0.5f));
+  const Tensor avg = tensor::scale(tensor::add(f(x1), f(x2)), 0.5f);
+  EXPECT_TRUE(mid.allclose(avg, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearSweep,
+                         ::testing::Values(LinearCase{1, 3, 2},
+                                           LinearCase{4, 6, 1},
+                                           LinearCase{2, 2, 5},
+                                           LinearCase{3, 8, 8}),
+                         [](const ::testing::TestParamInfo<LinearCase>& i) {
+                           return "n" + std::to_string(std::get<0>(i.param)) +
+                                  "i" + std::to_string(std::get<1>(i.param)) +
+                                  "o" + std::to_string(std::get<2>(i.param));
+                         });
+
+}  // namespace
+}  // namespace roadfusion

@@ -1,0 +1,139 @@
+// Tests of the classic disparity metrics — including the Table I
+// properties: sensitivity to spatial structure and (in)sensitivity to
+// global luminance shifts.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "vision/edges.hpp"
+#include "vision/quality_metrics.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor checkerboard(int64_t h, int64_t w, int64_t cell, float phase = 0.0f) {
+  Tensor img(Shape::mat(h, w));
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+      img.at(y * w + x) = (on ? 1.0f : 0.0f) * (1.0f - phase) + phase * 0.5f;
+    }
+  }
+  return img;
+}
+
+Tensor shifted(const Tensor& img, float offset) {
+  Tensor out = img;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out.at(i) += offset;
+  }
+  return out;
+}
+
+TEST(L2, ZeroForIdenticalImages) {
+  const Tensor img = checkerboard(16, 16, 4);
+  EXPECT_DOUBLE_EQ(l2_distance(img, img), 0.0);
+}
+
+TEST(L2, SensitiveToLuminanceShift) {
+  const Tensor img = checkerboard(16, 16, 4);
+  EXPECT_GT(l2_distance(img, shifted(img, 0.3f)), 0.05);
+}
+
+TEST(Ssim, OneForIdenticalImages) {
+  Rng rng(1);
+  const Tensor img = Tensor::uniform(Shape::mat(16, 16), rng);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-6);
+}
+
+TEST(Ssim, DropsUnderLuminanceShift) {
+  // Table I: SSIM favours pixel-level intensity similarity, so a pure
+  // brightness offset lowers it even though structure is identical.
+  const Tensor img = checkerboard(24, 24, 4);
+  const double same = ssim(img, img);
+  const double shifted_score = ssim(img, shifted(img, 0.4f));
+  EXPECT_LT(shifted_score, same - 0.05);
+}
+
+TEST(Ssim, DropsForDifferentStructure) {
+  const Tensor a = checkerboard(24, 24, 4);
+  const Tensor b = checkerboard(24, 24, 8);
+  EXPECT_LT(ssim(a, b), 0.9);
+}
+
+TEST(MutualInformation, HighForIdenticalImages) {
+  Rng rng(2);
+  const Tensor img = Tensor::uniform(Shape::mat(32, 32), rng);
+  const double self_mi = mutual_information(img, img);
+  Tensor noise = Tensor::uniform(Shape::mat(32, 32), rng);
+  const double cross_mi = mutual_information(img, noise);
+  EXPECT_GT(self_mi, cross_mi + 0.5);
+}
+
+TEST(MutualInformation, BlindToSpatialScrambling) {
+  // Table I: MI lacks spatial information — permuting pixels identically
+  // in both images leaves the joint histogram, hence MI, unchanged.
+  const Tensor a = checkerboard(16, 16, 4);
+  const Tensor b = shifted(a, 0.0f);
+  // Scramble both by reversing the flat order (same permutation).
+  Tensor a_scrambled(a.shape());
+  Tensor b_scrambled(b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a_scrambled.at(i) = a.at(a.numel() - 1 - i);
+    b_scrambled.at(i) = b.at(b.numel() - 1 - i);
+  }
+  EXPECT_NEAR(mutual_information(a, b),
+              mutual_information(a_scrambled, b_scrambled), 1e-9);
+}
+
+TEST(MutualInformation, InvalidBinsRejected) {
+  const Tensor img = checkerboard(8, 8, 2);
+  EXPECT_THROW(mutual_information(img, img, 1), Error);
+}
+
+TEST(DiffusionDistance, ZeroForIdenticalHistograms) {
+  const Tensor img = checkerboard(16, 16, 4);
+  EXPECT_NEAR(diffusion_distance(img, img), 0.0, 1e-9);
+}
+
+TEST(DiffusionDistance, GrowsWithHistogramDivergence) {
+  Rng rng(3);
+  const Tensor uniform_img = Tensor::uniform(Shape::mat(32, 32), rng);
+  Tensor bimodal(Shape::mat(32, 32));
+  for (int64_t i = 0; i < bimodal.numel(); ++i) {
+    bimodal.at(i) = (i % 2 == 0) ? 0.05f : 0.95f;
+  }
+  const double close = diffusion_distance(uniform_img, uniform_img);
+  const double far = diffusion_distance(uniform_img, bimodal);
+  EXPECT_GT(far, close + 0.1);
+}
+
+TEST(DiffusionDistance, BlindToSpatialStructure) {
+  // Same marginal histogram, different layout -> distance ~ 0 (the
+  // cross-bin metric sees only intensity distributions).
+  const Tensor a = checkerboard(16, 16, 2);
+  const Tensor b = checkerboard(16, 16, 8);
+  EXPECT_NEAR(diffusion_distance(a, b), 0.0, 1e-6);
+}
+
+TEST(Metrics, RejectMismatchedShapes) {
+  const Tensor a(Shape::mat(4, 4));
+  const Tensor b(Shape::mat(4, 5));
+  EXPECT_THROW(l2_distance(a, b), Error);
+  EXPECT_THROW(ssim(a, b), Error);
+  EXPECT_THROW(mutual_information(a, b), Error);
+  EXPECT_THROW(diffusion_distance(a, b), Error);
+}
+
+TEST(Metrics, AcceptSingleChannelChw) {
+  Rng rng(4);
+  const Tensor a = Tensor::uniform(Shape::chw(1, 8, 8), rng);
+  EXPECT_NO_THROW(l2_distance(a, a));
+  EXPECT_NO_THROW(ssim(a, a));
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

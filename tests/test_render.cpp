@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kitti/render.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+using vision::Camera;
+using vision::Vec3;
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+TEST(CastRay, GroundHitBelowHorizon) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 1);
+  const Vec3 origin{0.0, 1.6, 0.0};
+  const Vec3 down_forward{0.0, -0.3, 0.95};
+  const RayHit hit = cast_ray(scene, origin, down_forward);
+  EXPECT_EQ(hit.surface, RayHit::Surface::kGround);
+  EXPECT_GT(hit.ground_z, 0.0);
+  EXPECT_NEAR(hit.ground_x, 0.0, 1e-9);
+}
+
+TEST(CastRay, SkyAboveHorizon) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 1);
+  const Vec3 origin{0.0, 1.6, 0.0};
+  const Vec3 up{0.0, 0.3, 0.95};
+  EXPECT_EQ(cast_ray(scene, origin, up).surface, RayHit::Surface::kSky);
+}
+
+TEST(CastRay, ObstacleOccludesGround) {
+  Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 2);
+  // Find a scene with at least one obstacle and aim straight at it.
+  for (uint64_t seed = 2; scene.obstacles().empty(); ++seed) {
+    scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, seed);
+  }
+  const Obstacle& target = scene.obstacles().front();
+  const Vec3 origin{0.0, target.height / 2.0, 0.0};
+  const double norm = std::sqrt(target.x * target.x + target.z * target.z);
+  const Vec3 direction{target.x / norm, 0.0, target.z / norm};
+  const RayHit hit = cast_ray(scene, origin, direction);
+  // Some obstacle (the target or one standing in front of it) blocks the
+  // ray before it can reach the target's centre distance.
+  EXPECT_EQ(hit.surface, RayHit::Surface::kObstacle);
+  EXPECT_NE(hit.obstacle, nullptr);
+  EXPECT_LT(hit.range, norm);
+}
+
+TEST(RenderRgb, ShapeAndRange) {
+  const Scene scene = Scene::generate(RoadCategory::kUMM, Lighting::kDay, 3);
+  Rng rng(1);
+  const Tensor rgb = render_rgb(scene, test_camera(), rng);
+  EXPECT_EQ(rgb.shape(), Shape::chw(3, 32, 96));
+  EXPECT_GE(rgb.min(), 0.0f);
+  EXPECT_LE(rgb.max(), 1.0f);
+}
+
+TEST(RenderRgb, NightIsDarkerThanDay) {
+  const Scene day = Scene::generate(RoadCategory::kUM, Lighting::kDay, 4);
+  const Scene night = Scene::generate(RoadCategory::kUM, Lighting::kNight, 4);
+  Rng rng1(1);
+  Rng rng2(1);
+  const Camera cam = test_camera();
+  EXPECT_LT(render_rgb(night, cam, rng2).mean(),
+            render_rgb(day, cam, rng1).mean() * 0.7f);
+}
+
+TEST(RenderRgb, OverexposureIsBrighter) {
+  const Scene day = Scene::generate(RoadCategory::kUM, Lighting::kDay, 5);
+  const Scene over =
+      Scene::generate(RoadCategory::kUM, Lighting::kOverexposure, 5);
+  Rng rng1(1);
+  Rng rng2(1);
+  const Camera cam = test_camera();
+  EXPECT_GT(render_rgb(over, cam, rng2).mean(),
+            render_rgb(day, cam, rng1).mean());
+}
+
+TEST(RenderRgb, SkyAtTopGroundAtBottom) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 6);
+  Rng rng(1);
+  const Tensor rgb = render_rgb(scene, test_camera(), rng);
+  // Top row: sky blue dominates (B > R); bottom row: asphalt (B ~ R).
+  const int64_t w = 96;
+  const int64_t plane = 32 * 96;
+  double top_b = 0.0;
+  double top_r = 0.0;
+  for (int64_t x = 0; x < w; ++x) {
+    top_r += rgb.at(x);
+    top_b += rgb.at(2 * plane + x);
+  }
+  EXPECT_GT(top_b, top_r * 1.1);
+}
+
+TEST(RenderGroundTruth, BinaryAndPlausibleCoverage) {
+  const Scene scene = Scene::generate(RoadCategory::kUMM, Lighting::kDay, 7);
+  const Tensor gt = render_ground_truth(scene, test_camera());
+  EXPECT_EQ(gt.shape(), Shape::chw(1, 32, 96));
+  int64_t road = 0;
+  for (int64_t i = 0; i < gt.numel(); ++i) {
+    EXPECT_TRUE(gt.at(i) == 0.0f || gt.at(i) == 1.0f);
+    road += gt.at(i) > 0.5f ? 1 : 0;
+  }
+  const double fraction =
+      static_cast<double>(road) / static_cast<double>(gt.numel());
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.8);
+}
+
+TEST(RenderGroundTruth, UpperRegionIsNeverRoad) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 8);
+  const Tensor gt = render_ground_truth(scene, test_camera());
+  for (int64_t y = 0; y < 8; ++y) {  // above the horizon
+    for (int64_t x = 0; x < 96; ++x) {
+      EXPECT_FLOAT_EQ(gt.at(y * 96 + x), 0.0f);
+    }
+  }
+}
+
+TEST(RenderGroundTruth, LightingDoesNotChangeGeometry) {
+  const Scene day = Scene::generate(RoadCategory::kUM, Lighting::kDay, 9);
+  const Scene night = Scene::generate(RoadCategory::kUM, Lighting::kNight, 9);
+  const Camera cam = test_camera();
+  // Same seed, different lighting: shadows lists may differ but road
+  // geometry and thus labels are identical.
+  EXPECT_TRUE(render_ground_truth(day, cam)
+                  .allclose(render_ground_truth(night, cam), 0.0f));
+}
+
+TEST(RenderRgb, DeterministicGivenSeeds) {
+  const Scene scene = Scene::generate(RoadCategory::kUU, Lighting::kDay, 10);
+  const Camera cam = test_camera();
+  Rng rng1(77);
+  Rng rng2(77);
+  EXPECT_TRUE(render_rgb(scene, cam, rng1)
+                  .allclose(render_rgb(scene, cam, rng2), 0.0f));
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

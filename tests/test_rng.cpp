@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(4);
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, RejectsInvertedRanges) {
+  Rng rng(6);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.uniform_int(5, 2), Error);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentDeterministicStreams) {
+  Rng parent1(42);
+  Rng parent2(42);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+  // Consecutive forks differ from each other and from the parent.
+  Rng sibling = parent1.fork();
+  EXPECT_NE(child1.next_u64(), sibling.next_u64());
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 mix(0);
+  const uint64_t first = mix.next();
+  SplitMix64 again(0);
+  EXPECT_EQ(again.next(), first);
+  EXPECT_NE(mix.next(), first);
+}
+
+}  // namespace
+}  // namespace roadfusion::tensor

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kitti/scene.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+TEST(Scene, DeterministicGeneration) {
+  const Scene a = Scene::generate(RoadCategory::kUM, Lighting::kDay, 42);
+  const Scene b = Scene::generate(RoadCategory::kUM, Lighting::kDay, 42);
+  for (double z : {5.0, 15.0, 30.0}) {
+    EXPECT_DOUBLE_EQ(a.road_center(z), b.road_center(z));
+    EXPECT_DOUBLE_EQ(a.road_half_width(z, 1.0), b.road_half_width(z, 1.0));
+  }
+  EXPECT_EQ(a.obstacles().size(), b.obstacles().size());
+}
+
+TEST(Scene, DifferentSeedsGiveDifferentRoads) {
+  const Scene a = Scene::generate(RoadCategory::kUM, Lighting::kDay, 1);
+  const Scene b = Scene::generate(RoadCategory::kUM, Lighting::kDay, 2);
+  EXPECT_NE(a.road_center(20.0), b.road_center(20.0));
+}
+
+TEST(Scene, CategoryWidthOrdering) {
+  // UMM (multi-lane) roads are substantially wider than UM and UU.
+  double umm_width = 0.0;
+  double um_width = 0.0;
+  double uu_width = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    umm_width += Scene::generate(RoadCategory::kUMM, Lighting::kDay, seed)
+                     .road_half_width(10.0, 1.0);
+    um_width += Scene::generate(RoadCategory::kUM, Lighting::kDay, seed)
+                    .road_half_width(10.0, 1.0);
+    uu_width += Scene::generate(RoadCategory::kUU, Lighting::kDay, seed)
+                    .road_half_width(10.0, 1.0);
+  }
+  EXPECT_GT(umm_width, um_width * 1.4);
+  EXPECT_GT(um_width, uu_width * 0.9);
+}
+
+TEST(Scene, OnRoadConsistentWithWidth) {
+  const Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 3);
+  const double z = 12.0;
+  const double center = scene.road_center(z);
+  const double half = scene.road_half_width(z, 1.0);
+  EXPECT_TRUE(scene.on_road(center, z));
+  EXPECT_TRUE(scene.on_road(center + half - 0.05, z));
+  EXPECT_FALSE(scene.on_road(center + half + 0.5, z));
+  EXPECT_FALSE(scene.on_road(center, -1.0));
+}
+
+TEST(Scene, MarkingsOnlyOnMarkedCategories) {
+  int um_hits = 0;
+  int uu_hits = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Scene um = Scene::generate(RoadCategory::kUM, Lighting::kDay, seed);
+    const Scene uu = Scene::generate(RoadCategory::kUU, Lighting::kDay, seed);
+    for (double z = 4.0; z < 40.0; z += 0.25) {
+      for (double dx = -4.0; dx <= 4.0; dx += 0.05) {
+        if (um.on_marking(um.road_center(z) + dx, z)) {
+          ++um_hits;
+        }
+        if (uu.on_marking(uu.road_center(z) + dx, z)) {
+          ++uu_hits;
+        }
+      }
+    }
+  }
+  EXPECT_GT(um_hits, 100);
+  EXPECT_EQ(uu_hits, 0);
+}
+
+TEST(Scene, UMMHasMoreMarkingsThanUM) {
+  int um_hits = 0;
+  int umm_hits = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Scene um = Scene::generate(RoadCategory::kUM, Lighting::kDay, seed);
+    const Scene umm =
+        Scene::generate(RoadCategory::kUMM, Lighting::kDay, seed);
+    for (double z = 4.0; z < 40.0; z += 0.5) {
+      for (double dx = -7.0; dx <= 7.0; dx += 0.05) {
+        um_hits += um.on_marking(um.road_center(z) + dx, z) ? 1 : 0;
+        umm_hits += umm.on_marking(umm.road_center(z) + dx, z) ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GT(umm_hits, um_hits);
+}
+
+TEST(Scene, UUEdgesWobble) {
+  const Scene uu = Scene::generate(RoadCategory::kUU, Lighting::kDay, 7);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double z = 4.0; z < 40.0; z += 0.5) {
+    const double w = uu.road_half_width(z, 1.0);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GT(hi - lo, 0.3);  // irregular edges
+  const Scene um = Scene::generate(RoadCategory::kUM, Lighting::kDay, 7);
+  EXPECT_DOUBLE_EQ(um.road_half_width(5.0, 1.0),
+                   um.road_half_width(35.0, 1.0));
+}
+
+TEST(Scene, ObstaclesPlacedOffRoad) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Scene scene =
+        Scene::generate(RoadCategory::kUMM, Lighting::kDay, seed);
+    for (const Obstacle& obstacle : scene.obstacles()) {
+      EXPECT_FALSE(scene.on_road(obstacle.x, obstacle.z))
+          << "seed " << seed << ": obstacle at x=" << obstacle.x
+          << " z=" << obstacle.z << " sits on the road";
+    }
+  }
+}
+
+TEST(Scene, ShadowConditionAddsShadows) {
+  int with = 0;
+  int without = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    with += static_cast<int>(
+        Scene::generate(RoadCategory::kUM, Lighting::kShadows, seed)
+            .shadows()
+            .size());
+    without += static_cast<int>(
+        Scene::generate(RoadCategory::kUM, Lighting::kDay, seed)
+            .shadows()
+            .size());
+  }
+  EXPECT_GT(with, without);
+}
+
+TEST(Scene, ShadowFactorInsideEllipseBelowOne) {
+  const Scene scene =
+      Scene::generate(RoadCategory::kUM, Lighting::kShadows, 11);
+  ASSERT_FALSE(scene.shadows().empty());
+  const GroundShadow& shadow = scene.shadows().front();
+  EXPECT_LT(scene.shadow_factor(shadow.x, shadow.z), 1.0f);
+  EXPECT_FLOAT_EQ(scene.shadow_factor(shadow.x + 100.0, shadow.z), 1.0f);
+}
+
+TEST(Scene, GroundNoiseBoundedAndDeterministic) {
+  const Scene scene = Scene::generate(RoadCategory::kUU, Lighting::kDay, 5);
+  for (double z = 1.0; z < 30.0; z += 3.1) {
+    for (double x = -8.0; x < 8.0; x += 1.7) {
+      const float n = scene.ground_noise(x, z);
+      EXPECT_GE(n, -1.5f);
+      EXPECT_LE(n, 1.5f);
+      EXPECT_FLOAT_EQ(n, scene.ground_noise(x, z));
+    }
+  }
+}
+
+TEST(Scene, ToStringCoversAllEnums) {
+  EXPECT_STREQ(to_string(RoadCategory::kUM), "UM");
+  EXPECT_STREQ(to_string(RoadCategory::kUMM), "UMM");
+  EXPECT_STREQ(to_string(RoadCategory::kUU), "UU");
+  EXPECT_STREQ(to_string(Lighting::kDay), "day");
+  EXPECT_STREQ(to_string(Lighting::kNight), "night");
+  EXPECT_STREQ(to_string(Lighting::kOverexposure), "overexposure");
+  EXPECT_STREQ(to_string(Lighting::kShadows), "shadows");
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

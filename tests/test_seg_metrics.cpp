@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "eval/seg_metrics.hpp"
+
+namespace roadfusion::eval {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SegMetrics, PerfectPredictionScores100) {
+  Tensor label(Shape::mat(8, 8));
+  for (int64_t i = 0; i < 32; ++i) {
+    label.at(i) = 1.0f;
+  }
+  Tensor prob = label;  // probabilities 0 / 1 exactly
+  const SegmentationScores scores = score_single(prob, label);
+  EXPECT_NEAR(scores.f_score, 100.0, 1e-6);
+  EXPECT_NEAR(scores.precision, 100.0, 1e-6);
+  EXPECT_NEAR(scores.recall, 100.0, 1e-6);
+  EXPECT_NEAR(scores.iou, 100.0, 1e-6);
+  EXPECT_GT(scores.ap, 99.0);
+}
+
+TEST(SegMetrics, InvertedPredictionScoresLow) {
+  Tensor label(Shape::mat(4, 4));
+  Tensor prob(Shape::mat(4, 4));
+  for (int64_t i = 0; i < 16; ++i) {
+    label.at(i) = i < 8 ? 1.0f : 0.0f;
+    prob.at(i) = i < 8 ? 0.1f : 0.9f;
+  }
+  const SegmentationScores scores = score_single(prob, label);
+  // The best threshold will be the degenerate "everything positive" one.
+  EXPECT_LT(scores.precision, 60.0);
+}
+
+TEST(SegMetrics, KnownConfusionCounts) {
+  // 3 TP, 1 FN, 1 FP, 3 TN at threshold 0.5.
+  Tensor label(Shape::vec(8), {1, 1, 1, 1, 0, 0, 0, 0});
+  Tensor prob(Shape::vec(8), {0.9f, 0.8f, 0.7f, 0.2f, 0.6f, 0.1f, 0.1f, 0.1f});
+  PrAccumulator acc(100);
+  acc.add(prob, label);
+  const SegmentationScores s = acc.scores();
+  // MaxF threshold will sit at 0.6..0.7 boundary; verify F is sensible.
+  EXPECT_GT(s.f_score, 70.0);
+  EXPECT_LE(s.f_score, 100.0);
+  EXPECT_EQ(acc.total_count(), 8);
+}
+
+TEST(SegMetrics, ValidMaskRestrictsCounting) {
+  Tensor label(Shape::vec(4), {1, 1, 0, 0});
+  Tensor prob(Shape::vec(4), {0.9f, 0.1f, 0.9f, 0.1f});
+  Tensor mask(Shape::vec(4), {1, 0, 0, 1});  // keep only elements 0 and 3
+  PrAccumulator acc(100);
+  acc.add(prob, label, &mask);
+  EXPECT_EQ(acc.total_count(), 2);
+  const SegmentationScores s = acc.scores();
+  EXPECT_NEAR(s.f_score, 100.0, 1e-6);  // the kept elements are both correct
+}
+
+TEST(SegMetrics, AccumulatesAcrossImages) {
+  Tensor label_a(Shape::vec(2), {1, 0});
+  Tensor prob_a(Shape::vec(2), {0.8f, 0.2f});
+  Tensor label_b(Shape::vec(2), {1, 0});
+  Tensor prob_b(Shape::vec(2), {0.3f, 0.7f});
+  PrAccumulator acc(100);
+  acc.add(prob_a, label_a);
+  acc.add(prob_b, label_b);
+  EXPECT_EQ(acc.total_count(), 4);
+  const SegmentationScores s = acc.scores();
+  EXPECT_LT(s.f_score, 100.0);
+  EXPECT_GT(s.f_score, 30.0);
+}
+
+TEST(SegMetrics, EmptyAccumulatorYieldsZeros) {
+  PrAccumulator acc(50);
+  const SegmentationScores s = acc.scores();
+  EXPECT_EQ(s.f_score, 0.0);
+  EXPECT_EQ(s.ap, 0.0);
+}
+
+TEST(SegMetrics, NoPositivesYieldsZeros) {
+  Tensor label = Tensor::zeros(Shape::vec(10));
+  Tensor prob = Tensor::full(Shape::vec(10), 0.4f);
+  const SegmentationScores s = score_single(prob, label);
+  EXPECT_EQ(s.f_score, 0.0);
+}
+
+TEST(SegMetrics, BetterSeparationScoresHigher) {
+  Rng rng(1);
+  Tensor label(Shape::vec(1000));
+  Tensor good(Shape::vec(1000));
+  Tensor bad(Shape::vec(1000));
+  for (int64_t i = 0; i < 1000; ++i) {
+    const bool pos = rng.bernoulli(0.4);
+    label.at(i) = pos ? 1.0f : 0.0f;
+    good.at(i) = static_cast<float>(
+        std::clamp(rng.normal(pos ? 0.8 : 0.2, 0.1), 0.0, 1.0));
+    bad.at(i) = static_cast<float>(
+        std::clamp(rng.normal(pos ? 0.6 : 0.4, 0.25), 0.0, 1.0));
+  }
+  const SegmentationScores good_s = score_single(good, label);
+  const SegmentationScores bad_s = score_single(bad, label);
+  EXPECT_GT(good_s.f_score, bad_s.f_score);
+  EXPECT_GT(good_s.ap, bad_s.ap);
+  EXPECT_GT(good_s.iou, bad_s.iou);
+}
+
+TEST(SegMetrics, PrCurveMonotoneRecall) {
+  Rng rng(2);
+  Tensor label(Shape::vec(500));
+  Tensor prob(Shape::vec(500));
+  for (int64_t i = 0; i < 500; ++i) {
+    label.at(i) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    prob.at(i) = static_cast<float>(rng.uniform());
+  }
+  PrAccumulator acc(64);
+  acc.add(prob, label);
+  const auto curve = acc.pr_curve();
+  ASSERT_FALSE(curve.empty());
+  // Recall decreases (or stays) as the threshold rises along the curve.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].second, curve[i - 1].second + 1e-12);
+  }
+}
+
+TEST(SegMetrics, ThresholdReported) {
+  Tensor label(Shape::vec(4), {1, 1, 0, 0});
+  Tensor prob(Shape::vec(4), {0.9f, 0.8f, 0.3f, 0.2f});
+  const SegmentationScores s = score_single(prob, label);
+  EXPECT_GT(s.threshold, 0.3);
+  EXPECT_LE(s.threshold, 0.8);
+}
+
+TEST(SegMetrics, InvalidConstructionRejected) {
+  EXPECT_THROW(PrAccumulator(1), Error);
+  PrAccumulator acc(10);
+  EXPECT_THROW(acc.add(Tensor(Shape::vec(3)), Tensor(Shape::vec(4))), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::eval

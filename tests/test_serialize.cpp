@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "tensor/serialize.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rf_serialize_test_" + std::to_string(::getpid()) + ".rfc"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(SerializeTest, TensorRoundTripAllRanks) {
+  Rng rng(1);
+  for (const Shape& shape :
+       {Shape::scalar(), Shape::vec(7), Shape::mat(3, 4), Shape::chw(2, 3, 4),
+        Shape::nchw(2, 1, 3, 2)}) {
+    const Tensor original = Tensor::normal(shape, rng);
+    std::stringstream stream;
+    write_tensor(stream, original);
+    const Tensor loaded = read_tensor(stream);
+    EXPECT_EQ(loaded.shape(), original.shape());
+    EXPECT_TRUE(loaded.allclose(original, 0.0f));
+  }
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  std::stringstream stream;
+  stream << "JUNKxxxx";
+  EXPECT_THROW(read_tensor(stream), Error);
+}
+
+TEST_F(SerializeTest, TruncatedPayloadRejected) {
+  std::stringstream stream;
+  write_tensor(stream, Tensor::ones(Shape::vec(100)));
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  EXPECT_THROW(read_tensor(truncated), Error);
+}
+
+TEST_F(SerializeTest, CheckpointRoundTrip) {
+  Rng rng(2);
+  NamedTensors tensors;
+  tensors.emplace_back("encoder.weight", Tensor::normal(Shape::nchw(4, 3, 3, 3), rng));
+  tensors.emplace_back("encoder.bias", Tensor::normal(Shape::vec(4), rng));
+  tensors.emplace_back("bn.running_mean", Tensor::zeros(Shape::vec(4)));
+  save_checkpoint(path_, tensors);
+  const NamedTensors loaded = load_checkpoint(path_);
+  ASSERT_EQ(loaded.size(), tensors.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    EXPECT_EQ(loaded[i].first, tensors[i].first);
+    EXPECT_TRUE(loaded[i].second.allclose(tensors[i].second, 0.0f));
+  }
+}
+
+TEST_F(SerializeTest, EmptyCheckpointRoundTrip) {
+  save_checkpoint(path_, {});
+  EXPECT_TRUE(load_checkpoint(path_).empty());
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/rf.ckpt"), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::tensor

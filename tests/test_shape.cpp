@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/shape.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+TEST(Shape, ScalarDefaults) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.str(), "[]");
+}
+
+TEST(Shape, NamedConstructors) {
+  EXPECT_EQ(Shape::vec(5).rank(), 1);
+  EXPECT_EQ(Shape::vec(5).numel(), 5);
+  EXPECT_EQ(Shape::mat(2, 3).numel(), 6);
+  EXPECT_EQ(Shape::chw(3, 4, 5).numel(), 60);
+  EXPECT_EQ(Shape::nchw(2, 3, 4, 5).numel(), 120);
+}
+
+TEST(Shape, NchwAccessors) {
+  const Shape s = Shape::nchw(2, 3, 4, 5);
+  EXPECT_EQ(s.batch(), 2);
+  EXPECT_EQ(s.channels(), 3);
+  EXPECT_EQ(s.height(), 4);
+  EXPECT_EQ(s.width(), 5);
+}
+
+TEST(Shape, Strides) {
+  const Shape s = Shape::nchw(2, 3, 4, 5);
+  EXPECT_EQ(s.stride(3), 1);
+  EXPECT_EQ(s.stride(2), 5);
+  EXPECT_EQ(s.stride(1), 20);
+  EXPECT_EQ(s.stride(0), 60);
+}
+
+TEST(Shape, Offset4MatchesStrides) {
+  const Shape s = Shape::nchw(2, 3, 4, 5);
+  EXPECT_EQ(s.offset4(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.offset4(1, 2, 3, 4), 60 + 40 + 15 + 4);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape::mat(2, 3), Shape::mat(2, 3));
+  EXPECT_NE(Shape::mat(2, 3), Shape::mat(3, 2));
+  EXPECT_NE(Shape::vec(6), Shape::mat(2, 3));
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW(Shape({2, 0}), Error);
+  EXPECT_THROW(Shape({-1}), Error);
+}
+
+TEST(Shape, RejectsOutOfRangeAxis) {
+  const Shape s = Shape::mat(2, 3);
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.stride(-1), Error);
+}
+
+TEST(Shape, Offset4RequiresRank4) {
+  EXPECT_THROW(Shape::mat(2, 3).offset4(0, 0, 0, 0), Error);
+}
+
+TEST(Shape, StringForm) {
+  EXPECT_EQ(Shape::nchw(1, 2, 3, 4).str(), "[1, 2, 3, 4]");
+}
+
+}  // namespace
+}  // namespace roadfusion::tensor

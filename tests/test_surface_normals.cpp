@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "kitti/depth_preproc.hpp"
+#include "kitti/lidar.hpp"
+#include "kitti/render.hpp"
+#include "kitti/dataset.hpp"
+#include "kitti/surface_normals.hpp"
+
+namespace roadfusion::kitti {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+using vision::Camera;
+
+Camera test_camera() { return Camera(96, 32, 90.0, 1.6, 0.12); }
+
+/// Range image of the bare ground plane seen through the camera.
+Tensor ground_plane_range(const Camera& camera) {
+  Tensor range(Shape::chw(1, camera.height(), camera.width()));
+  for (int64_t y = 0; y < camera.height(); ++y) {
+    for (int64_t x = 0; x < camera.width(); ++x) {
+      const auto ray = camera.pixel_ray(x + 0.5, y + 0.5);
+      if (ray.y < -1e-6) {
+        range.at(y * camera.width() + x) =
+            static_cast<float>(camera.cam_height() / -ray.y);
+      }
+    }
+  }
+  return range;
+}
+
+TEST(SurfaceNormals, OutputShapeAndRange) {
+  const Camera camera = test_camera();
+  const Tensor normals = normals_from_range(ground_plane_range(camera),
+                                            camera);
+  EXPECT_EQ(normals.shape(), Shape::chw(3, 32, 96));
+  EXPECT_GE(normals.min(), 0.0f);
+  EXPECT_LE(normals.max(), 1.0f);
+}
+
+TEST(SurfaceNormals, GroundPlanePointsUp) {
+  const Camera camera = test_camera();
+  const Tensor normals = normals_from_range(ground_plane_range(camera),
+                                            camera);
+  const int64_t plane = 32 * 96;
+  // Sample interior ground pixels (lower half of the image).
+  for (int64_t y = 24; y < 30; ++y) {
+    for (int64_t x = 20; x < 76; x += 8) {
+      const int64_t i = y * 96 + x;
+      const double nx = normals.at(i) * 2.0 - 1.0;
+      const double ny = normals.at(plane + i) * 2.0 - 1.0;
+      const double nz = normals.at(2 * plane + i) * 2.0 - 1.0;
+      EXPECT_GT(ny, 0.9) << "pixel " << x << "," << y;
+      EXPECT_NEAR(nx, 0.0, 0.25);
+      EXPECT_NEAR(nz, 0.0, 0.25);
+    }
+  }
+}
+
+TEST(SurfaceNormals, NormalsAreUnitLength) {
+  const Camera camera = test_camera();
+  const Tensor normals = normals_from_range(ground_plane_range(camera),
+                                            camera);
+  const int64_t plane = 32 * 96;
+  for (int64_t i = 0; i < plane; i += 17) {
+    const double nx = normals.at(i) * 2.0 - 1.0;
+    const double ny = normals.at(plane + i) * 2.0 - 1.0;
+    const double nz = normals.at(2 * plane + i) * 2.0 - 1.0;
+    EXPECT_NEAR(std::sqrt(nx * nx + ny * ny + nz * nz), 1.0, 1e-3);
+  }
+}
+
+TEST(SurfaceNormals, MissingDataDefaultsToUp) {
+  const Camera camera = test_camera();
+  const Tensor empty(Shape::chw(1, 32, 96));  // no returns anywhere
+  const Tensor normals = normals_from_range(empty, camera);
+  const int64_t plane = 32 * 96;
+  EXPECT_NEAR(normals.at(0), 0.5f, 1e-6f);           // nx -> 0
+  EXPECT_NEAR(normals.at(plane), 1.0f, 1e-6f);       // ny -> +1
+  EXPECT_NEAR(normals.at(2 * plane), 0.5f, 1e-6f);   // nz -> 0
+}
+
+TEST(SurfaceNormals, ObstacleFacesDifferFromGround) {
+  // Real scene: render the LiDAR pipeline and check that normals on a
+  // vertical surface are not straight-up.
+  Scene scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, 5);
+  for (uint64_t seed = 5; scene.obstacles().empty(); ++seed) {
+    scene = Scene::generate(RoadCategory::kUM, Lighting::kDay, seed);
+  }
+  const Camera camera = test_camera();
+  LidarConfig lidar;
+  lidar.range_noise_sigma = 0.0;
+  lidar.dropout = 0.0;
+  Rng rng(5);
+  const auto points = scan(scene, lidar, rng);
+  const Tensor dense = densify_range(project_to_sparse_depth(points, camera));
+  const Tensor normals = normals_from_range(dense, camera);
+  const int64_t plane = 32 * 96;
+  // Collect the minimum ny over all pixels: vertical surfaces (obstacles)
+  // push ny toward 0 while ground pixels sit near 1.
+  float min_ny = 1.0f;
+  float max_ny = -1.0f;
+  for (int64_t i = 0; i < plane; ++i) {
+    const float ny = normals.at(plane + i) * 2.0f - 1.0f;
+    min_ny = std::min(min_ny, ny);
+    max_ny = std::max(max_ny, ny);
+  }
+  EXPECT_GT(max_ny, 0.9f);  // ground present
+  EXPECT_LT(min_ny, 0.6f);  // some non-horizontal structure present
+}
+
+TEST(SurfaceNormals, RejectsBadShapes) {
+  const Camera camera = test_camera();
+  EXPECT_THROW(normals_from_range(Tensor(Shape::mat(32, 96)), camera),
+               Error);
+  EXPECT_THROW(normals_from_range(Tensor(Shape::chw(1, 16, 96)), camera),
+               Error);
+}
+
+TEST(SurfaceNormalsDataset, ProducesThreeChannelDepth) {
+  DatasetConfig config;
+  config.max_per_category = 2;
+  config.use_surface_normals = true;
+  const RoadDataset dataset(config, Split::kTrain);
+  const Sample& sample = dataset.sample(0);
+  EXPECT_EQ(sample.depth.shape(), Shape::chw(3, 32, 96));
+  const Batch batch = make_batch(dataset, {0, 1});
+  EXPECT_EQ(batch.depth.shape(), Shape::nchw(2, 3, 32, 96));
+}
+
+TEST(SurfaceNormalsDataset, RoadPixelsPointUpObstaclesDoNot) {
+  DatasetConfig config;
+  config.max_per_category = 2;
+  config.use_surface_normals = true;
+  const RoadDataset dataset(config, Split::kTrain);
+  const Sample& sample = dataset.sample(0);
+  // Average ny over labelled road pixels must be close to straight-up.
+  const int64_t plane = 32 * 96;
+  double road_ny = 0.0;
+  int road_count = 0;
+  for (int64_t i = 0; i < plane; ++i) {
+    if (sample.label.at(i) > 0.5f) {
+      road_ny += sample.depth.at(plane + i) * 2.0 - 1.0;
+      ++road_count;
+    }
+  }
+  ASSERT_GT(road_count, 0);
+  // LiDAR range noise tilts far-range normal estimates, so the mean sits
+  // well below the ideal 1.0 while staying clearly "up".
+  EXPECT_GT(road_ny / road_count, 0.6);
+}
+
+}  // namespace
+}  // namespace roadfusion::kitti

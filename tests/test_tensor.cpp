@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  const Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(Shape::mat(2, 2)).sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(Shape::mat(2, 2)).sum(), 4.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(Shape::vec(3), 2.5f).sum(), 7.5f);
+}
+
+TEST(Tensor, FromValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape::vec(3), {1.0f, 2.0f, 3.0f}));
+  EXPECT_THROW(Tensor(Shape::vec(3), {1.0f, 2.0f}), Error);
+}
+
+TEST(Tensor, At4MatchesFlatLayout) {
+  Tensor t = Tensor::arange(Shape::nchw(2, 2, 2, 2));
+  EXPECT_FLOAT_EQ(t.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at4(1, 1, 1, 1), 15.0f);
+  EXPECT_FLOAT_EQ(t.at4(1, 0, 1, 0), 10.0f);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t(Shape::vec(3));
+  EXPECT_THROW(t.at(3), Error);
+  EXPECT_THROW(t.at(-1), Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t = Tensor::arange(Shape::mat(2, 6));
+  const Tensor r = t.reshaped(Shape::chw(3, 2, 2));
+  EXPECT_EQ(r.shape(), Shape::chw(3, 2, 2));
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_FLOAT_EQ(r.at(i), static_cast<float>(i));
+  }
+}
+
+TEST(Tensor, ReshapeRejectsNumelChange) {
+  EXPECT_THROW(Tensor(Shape::vec(4)).reshaped(Shape::vec(5)), Error);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape::vec(4), {1.0f, -2.0f, 3.0f, 2.0f});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+}
+
+TEST(Tensor, AllClose) {
+  const Tensor a(Shape::vec(2), {1.0f, 2.0f});
+  Tensor b = a;
+  EXPECT_TRUE(a.allclose(b));
+  b.at(1) += 1e-7f;
+  EXPECT_TRUE(a.allclose(b));
+  b.at(1) += 1.0f;
+  EXPECT_FALSE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor(Shape::vec(3))));
+}
+
+TEST(Tensor, CopiesAreDeep) {
+  Tensor a = Tensor::ones(Shape::vec(3));
+  Tensor b = a;
+  b.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 1.0f);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  Rng rng1(99);
+  Rng rng2(99);
+  const Tensor a = Tensor::uniform(Shape::vec(10), rng1);
+  const Tensor b = Tensor::uniform(Shape::vec(10), rng2);
+  EXPECT_TRUE(a.allclose(b, 0.0f));
+}
+
+TEST(Tensor, NormalMoments) {
+  Rng rng(7);
+  const Tensor t = Tensor::normal(Shape::vec(20000), rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const double d = t.at(i) - t.mean();
+    var += d * d;
+  }
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Tensor, FillAndStr) {
+  Tensor t(Shape::vec(3));
+  t.fill(2.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 6.0f);
+  EXPECT_NE(t.str().find("Tensor[3]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadfusion::tensor

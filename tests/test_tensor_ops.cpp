@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace roadfusion::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  Tensor out(Shape::mat(m, n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i * k + kk)) * b.at(kk * n + j);
+      }
+      out.at(i * n + j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(TensorOps, AddSubMul) {
+  const Tensor a(Shape::vec(3), {1.0f, 2.0f, 3.0f});
+  const Tensor b(Shape::vec(3), {4.0f, -1.0f, 0.5f});
+  EXPECT_TRUE(add(a, b).allclose(Tensor(Shape::vec(3), {5.0f, 1.0f, 3.5f})));
+  EXPECT_TRUE(sub(a, b).allclose(Tensor(Shape::vec(3), {-3.0f, 3.0f, 2.5f})));
+  EXPECT_TRUE(mul(a, b).allclose(Tensor(Shape::vec(3), {4.0f, -2.0f, 1.5f})));
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor(Shape::vec(2)), Tensor(Shape::vec(3))), Error);
+  EXPECT_THROW(mse(Tensor(Shape::vec(2)), Tensor(Shape::vec(3))), Error);
+}
+
+TEST(TensorOps, ScaleAndAxpy) {
+  const Tensor a(Shape::vec(2), {1.0f, -2.0f});
+  EXPECT_TRUE(scale(a, 3.0f).allclose(Tensor(Shape::vec(2), {3.0f, -6.0f})));
+  Tensor y = Tensor::ones(Shape::vec(2));
+  axpy_inplace(y, 2.0f, a);
+  EXPECT_TRUE(y.allclose(Tensor(Shape::vec(2), {3.0f, -3.0f})));
+}
+
+TEST(TensorOps, ClampInplace) {
+  Tensor t(Shape::vec(4), {-2.0f, 0.3f, 0.9f, 5.0f});
+  clamp_inplace(t, 0.0f, 1.0f);
+  EXPECT_TRUE(t.allclose(Tensor(Shape::vec(4), {0.0f, 0.3f, 0.9f, 1.0f})));
+}
+
+TEST(TensorOps, MapApplies) {
+  const Tensor t(Shape::vec(3), {1.0f, 2.0f, 3.0f});
+  const Tensor squared = map(t, [](float v) { return v * v; });
+  EXPECT_TRUE(squared.allclose(Tensor(Shape::vec(3), {1.0f, 4.0f, 9.0f})));
+}
+
+TEST(TensorOps, MatmulMatchesNaive) {
+  Rng rng(17);
+  const Tensor a = Tensor::normal(Shape::mat(7, 5), rng);
+  const Tensor b = Tensor::normal(Shape::mat(5, 9), rng);
+  EXPECT_TRUE(matmul(a, b).allclose(naive_matmul(a, b), 1e-4f));
+}
+
+TEST(TensorOps, MatmulAtMatchesTransposed) {
+  Rng rng(18);
+  const Tensor a = Tensor::normal(Shape::mat(6, 4), rng);
+  const Tensor b = Tensor::normal(Shape::mat(6, 5), rng);
+  EXPECT_TRUE(matmul_at(a, b).allclose(naive_matmul(transpose(a), b), 1e-4f));
+}
+
+TEST(TensorOps, MatmulBtMatchesTransposed) {
+  Rng rng(19);
+  const Tensor a = Tensor::normal(Shape::mat(3, 8), rng);
+  const Tensor b = Tensor::normal(Shape::mat(6, 8), rng);
+  EXPECT_TRUE(matmul_bt(a, b).allclose(naive_matmul(a, transpose(b)), 1e-4f));
+}
+
+TEST(TensorOps, MatmulInnerDimChecked) {
+  EXPECT_THROW(matmul(Tensor(Shape::mat(2, 3)), Tensor(Shape::mat(4, 2))),
+               Error);
+  EXPECT_THROW(matmul_at(Tensor(Shape::mat(2, 3)), Tensor(Shape::mat(3, 2))),
+               Error);
+  EXPECT_THROW(matmul_bt(Tensor(Shape::mat(2, 3)), Tensor(Shape::mat(2, 4))),
+               Error);
+}
+
+TEST(TensorOps, TransposeRoundTrip) {
+  Rng rng(20);
+  const Tensor a = Tensor::normal(Shape::mat(4, 7), rng);
+  EXPECT_TRUE(transpose(transpose(a)).allclose(a, 0.0f));
+}
+
+TEST(TensorOps, DotAndSumSquares) {
+  const Tensor a(Shape::vec(3), {1.0f, 2.0f, 3.0f});
+  const Tensor b(Shape::vec(3), {2.0f, 0.0f, -1.0f});
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+  EXPECT_DOUBLE_EQ(sum_squares(a), 14.0);
+}
+
+TEST(TensorOps, MseZeroForIdentical) {
+  Rng rng(21);
+  const Tensor a = Tensor::normal(Shape::mat(5, 5), rng);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  Tensor b = a;
+  b.at(0) += 5.0f;
+  EXPECT_NEAR(mse(a, b), 25.0 / 25.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace roadfusion::tensor

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion::train {
+namespace {
+
+using core::FusionScheme;
+using kitti::DatasetConfig;
+using kitti::RoadDataset;
+using kitti::Split;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+
+DatasetConfig tiny_data(int64_t cap = 6) {
+  DatasetConfig config;
+  config.max_per_category = cap;
+  return config;
+}
+
+RoadSegConfig tiny_net_config(FusionScheme scheme) {
+  RoadSegConfig config;
+  config.scheme = scheme;
+  config.stage_channels = {4, 6, 8, 10, 12};
+  return config;
+}
+
+TrainConfig quick_train(int epochs = 2) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 4;
+  return config;
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(1);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  const TrainHistory history = fit(net, dataset, quick_train(4));
+  ASSERT_EQ(history.epochs.size(), 4u);
+  EXPECT_LT(history.epochs.back().total_loss,
+            history.epochs.front().total_loss);
+}
+
+TEST(Trainer, FdLossTrackedWhenAlphaPositive) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(2);
+  RoadSegNet net(tiny_net_config(FusionScheme::kAllFilterU), rng);
+  TrainConfig config = quick_train(2);
+  config.alpha_fd = 0.3f;
+  const TrainHistory history = fit(net, dataset, config);
+  for (const EpochStats& stats : history.epochs) {
+    EXPECT_GT(stats.fd_loss, 0.0);
+    EXPECT_NEAR(stats.total_loss, stats.seg_loss + 0.3 * stats.fd_loss, 1e-4);
+  }
+}
+
+TEST(Trainer, FdLossZeroWhenAlphaZero) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(3);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  const TrainHistory history = fit(net, dataset, quick_train(1));
+  EXPECT_EQ(history.epochs.front().fd_loss, 0.0);
+  EXPECT_DOUBLE_EQ(history.epochs.front().total_loss,
+                   history.epochs.front().seg_loss);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  RoadSegNet net_a(tiny_net_config(FusionScheme::kBaseline), rng_a);
+  RoadSegNet net_b(tiny_net_config(FusionScheme::kBaseline), rng_b);
+  const TrainHistory ha = fit(net_a, dataset, quick_train(2));
+  const TrainHistory hb = fit(net_b, dataset, quick_train(2));
+  for (size_t i = 0; i < ha.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha.epochs[i].total_loss, hb.epochs[i].total_loss);
+  }
+}
+
+TEST(Trainer, SgdPathWorks) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(4);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  TrainConfig config = quick_train(2);
+  config.use_adam = false;
+  config.lr = 0.05f;
+  const TrainHistory history = fit(net, dataset, config);
+  EXPECT_LE(history.epochs.back().total_loss,
+            history.epochs.front().total_loss * 1.5);
+}
+
+TEST(Trainer, FitIndicesRestrictsToSubset) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(5);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  const std::vector<int64_t> subset = dataset.indices_of(
+      kitti::RoadCategory::kUM);
+  EXPECT_NO_THROW(fit_indices(net, dataset, subset, quick_train(1)));
+}
+
+TEST(Trainer, RejectsBadConfigs) {
+  RoadDataset dataset(tiny_data(), Split::kTrain);
+  Rng rng(6);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  TrainConfig bad = quick_train(0);
+  EXPECT_THROW(fit(net, dataset, bad), Error);
+  EXPECT_THROW(fit_indices(net, dataset, {}, quick_train(1)), Error);
+}
+
+TEST(Trainer, AllSchemesTrainOneEpoch) {
+  RoadDataset dataset(tiny_data(3), Split::kTrain);
+  for (FusionScheme scheme : core::all_fusion_schemes()) {
+    Rng rng(8);
+    RoadSegNet net(tiny_net_config(scheme), rng);
+    TrainConfig config = quick_train(1);
+    config.alpha_fd = 0.3f;
+    EXPECT_NO_THROW(fit(net, dataset, config))
+        << core::to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace roadfusion::train

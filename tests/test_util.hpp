@@ -1,0 +1,71 @@
+// Shared test helpers: numerical gradient checking for autograd ops.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.hpp"
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::testing {
+
+using autograd::Variable;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A forward function mapping leaf Variables to one scalar Variable.
+using ScalarFn =
+    std::function<Variable(const std::vector<Variable>& leaves)>;
+
+/// Checks the analytic gradient of `fn` with respect to every leaf against
+/// a central finite difference. `fn` must be a pure function of the leaf
+/// values (no mutable captured state such as batch-norm running stats in
+/// training mode — pass eval-mode closures for those).
+inline void expect_gradients_match(const ScalarFn& fn,
+                                   std::vector<Tensor> leaf_values,
+                                   float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  std::vector<Variable> leaves;
+  leaves.reserve(leaf_values.size());
+  for (Tensor& value : leaf_values) {
+    leaves.push_back(Variable::leaf(value, /*requires_grad=*/true));
+  }
+  Variable output = fn(leaves);
+  ASSERT_EQ(output.value().numel(), 1) << "gradcheck needs a scalar output";
+  output.backward();
+
+  for (size_t leaf_index = 0; leaf_index < leaves.size(); ++leaf_index) {
+    const Tensor analytic = leaves[leaf_index].grad();
+    Tensor perturbed = leaf_values[leaf_index];
+    for (int64_t i = 0; i < perturbed.numel(); ++i) {
+      const float original = perturbed.at(i);
+
+      auto eval_at = [&](float v) {
+        perturbed.at(i) = v;
+        std::vector<Variable> probe;
+        probe.reserve(leaf_values.size());
+        for (size_t k = 0; k < leaf_values.size(); ++k) {
+          probe.push_back(Variable::constant(
+              k == leaf_index ? perturbed : leaf_values[k]));
+        }
+        return fn(probe).value().at(0);
+      };
+
+      const float plus = eval_at(original + eps);
+      const float minus = eval_at(original - eps);
+      perturbed.at(i) = original;
+
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float a = analytic.at(i);
+      const float scale =
+          std::max({1.0f, std::fabs(numeric), std::fabs(a)});
+      EXPECT_NEAR(a, numeric, tol * scale)
+          << "leaf " << leaf_index << " element " << i;
+    }
+  }
+}
+
+}  // namespace roadfusion::testing

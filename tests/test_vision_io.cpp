@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "vision/image_io.hpp"
+
+namespace roadfusion::vision {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+class ImageIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rf_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ImageIoTest, PpmRoundTripWithinQuantization) {
+  Rng rng(1);
+  const Tensor original = Tensor::uniform(Shape::chw(3, 7, 11), rng);
+  write_ppm(path("img.ppm"), original);
+  const Tensor loaded = read_ppm(path("img.ppm"));
+  EXPECT_EQ(loaded.shape(), original.shape());
+  EXPECT_TRUE(loaded.allclose(original, 1.0f / 255.0f + 1e-4f));
+}
+
+TEST_F(ImageIoTest, PgmRoundTripChwAndHw) {
+  Rng rng(2);
+  const Tensor chw = Tensor::uniform(Shape::chw(1, 5, 9), rng);
+  write_pgm(path("a.pgm"), chw);
+  EXPECT_TRUE(read_pgm(path("a.pgm")).allclose(chw, 1.0f / 255.0f + 1e-4f));
+
+  const Tensor hw = Tensor::uniform(Shape::mat(4, 6), rng);
+  write_pgm(path("b.pgm"), hw);
+  const Tensor loaded = read_pgm(path("b.pgm"));
+  EXPECT_EQ(loaded.shape(), Shape::chw(1, 4, 6));
+}
+
+TEST_F(ImageIoTest, ValuesClampedOnWrite) {
+  Tensor out_of_range(Shape::chw(3, 1, 2), {-1.0f, 2.0f, 0.5f, 0.5f, 0.5f,
+                                            0.5f});
+  write_ppm(path("c.ppm"), out_of_range);
+  const Tensor loaded = read_ppm(path("c.ppm"));
+  EXPECT_FLOAT_EQ(loaded.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(loaded.at(1), 1.0f);
+}
+
+TEST_F(ImageIoTest, RejectsWrongShapes) {
+  EXPECT_THROW(write_ppm(path("x.ppm"), Tensor(Shape::chw(1, 2, 2))), Error);
+  EXPECT_THROW(write_pgm(path("x.pgm"), Tensor(Shape::chw(3, 2, 2))), Error);
+}
+
+TEST_F(ImageIoTest, RejectsMissingFiles) {
+  EXPECT_THROW(read_ppm(path("missing.ppm")), Error);
+  EXPECT_THROW(read_pgm(path("missing.pgm")), Error);
+}
+
+TEST_F(ImageIoTest, RejectsWrongMagic) {
+  write_pgm(path("gray.pgm"), Tensor(Shape::mat(2, 2)));
+  EXPECT_THROW(read_ppm(path("gray.pgm")), Error);
+}
+
+}  // namespace
+}  // namespace roadfusion::vision

@@ -1,0 +1,90 @@
+// Minimal command-line argument parsing for the roadfusion CLI.
+//
+// Supports `--key value` options and bare `--flag` switches; positional
+// arguments are collected in order. No external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace roadfusion::cli {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv[start..). Tokens beginning with "--" become options;
+  /// an option's value is the following token unless that also begins
+  /// with "--" (then it is a boolean flag).
+  Args(int argc, char** argv, int start = 1) {
+    for (int i = start; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";
+        }
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options_.find(key);
+    return it != options_.end() && !it->second.empty() ? it->second
+                                                       : fallback;
+  }
+
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) {
+      return fallback;
+    }
+    try {
+      return std::stoll(it->second);
+    } catch (const std::exception&) {
+      ROADFUSION_FAIL("option --" << key << " expects an integer, got '"
+                                  << it->second << "'");
+    }
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) {
+      return fallback;
+    }
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      ROADFUSION_FAIL("option --" << key << " expects a number, got '"
+                                  << it->second << "'");
+    }
+  }
+
+  /// Errors out on unknown option names (catches typos).
+  void allow_only(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : options_) {
+      bool ok = false;
+      for (const std::string& k : known) {
+        ok = ok || k == key;
+      }
+      ROADFUSION_CHECK(ok, "unknown option --" << key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace roadfusion::cli

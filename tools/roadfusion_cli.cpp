@@ -1,0 +1,366 @@
+// roadfusion — command-line front end for the RoadFusion library.
+//
+// Subcommands:
+//   info                         architecture / complexity overview
+//   train    [options]           train a model and save a checkpoint
+//   eval     [options]           evaluate a checkpoint per road scene
+//   infer    [options]           run one scene and write overlay images
+//   profile  [options]           per-stage Feature Disparity of a model
+//   dataset  [options]           export synthetic samples as PPM/PGM
+//
+// Run `roadfusion <command> --help` for the options of each command.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cli_args.hpp"
+#include "eval/disparity_profile.hpp"
+#include "eval/evaluator.hpp"
+#include "kitti/dataset.hpp"
+#include "kitti/directory_dataset.hpp"
+#include "kitti/surface_normals.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "train/checkpoint.hpp"
+#include "train/trainer.hpp"
+#include "vision/image_io.hpp"
+#include "vision/overlay.hpp"
+
+namespace {
+
+using namespace roadfusion;
+
+// ---------------------------------------------------------------------------
+// Shared option handling
+// ---------------------------------------------------------------------------
+
+kitti::DatasetConfig dataset_config(const cli::Args& args) {
+  kitti::DatasetConfig config;
+  config.max_per_category = args.get_int("cap", 30);
+  config.seed = static_cast<uint64_t>(args.get_int("data-seed", 42));
+  config.use_surface_normals = args.has("normals");
+  return config;
+}
+
+/// Builds the requested sample source: a file-backed dataset when --data
+/// names a directory, the synthetic generator otherwise.
+std::unique_ptr<kitti::RoadData> make_data(const cli::Args& args,
+                                           kitti::Split split) {
+  if (args.has("data")) {
+    kitti::DirectoryDatasetConfig config;
+    config.directory = args.get("data", "");
+    return std::make_unique<kitti::DirectoryDataset>(config);
+  }
+  return std::make_unique<kitti::RoadDataset>(dataset_config(args), split);
+}
+
+roadseg::RoadSegConfig net_config(const cli::Args& args) {
+  roadseg::RoadSegConfig config;
+  config.scheme = core::fusion_scheme_from_string(args.get("scheme", "WS"));
+  config.depth_channels = args.has("normals") ? 3 : 1;
+  return config;
+}
+
+void print_scores(const char* tag, const eval::SegmentationScores& scores) {
+  std::printf("  %-8s MaxF %6.2f  AP %6.2f  PRE %6.2f  REC %6.2f  IOU %6.2f\n",
+              tag, scores.f_score, scores.ap, scores.precision, scores.recall,
+              scores.iou);
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+int cmd_info(const cli::Args& args) {
+  args.allow_only({"help"});
+  std::printf("%-16s %-10s %-10s %-28s\n", "scheme", "params(K)", "MACs(M)",
+              "techniques");
+  for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+    roadseg::RoadSegConfig config;
+    config.scheme = scheme;
+    tensor::Rng rng(1);
+    roadseg::RoadSegNet net(config, rng);
+    const nn::Complexity complexity = net.complexity(32, 96);
+    std::string techniques;
+    if (core::uses_fusion_filters(scheme)) {
+      techniques += "fusion-filters ";
+    }
+    if (core::uses_layer_sharing(scheme)) {
+      techniques += "layer-sharing ";
+    }
+    if (scheme == core::FusionScheme::kWeightedSharing) {
+      techniques += "AWN";
+    }
+    if (techniques.empty()) {
+      techniques = "element-wise sum";
+    }
+    std::printf("%-16s %-10.1f %-10.2f %-28s\n", core::to_string(scheme),
+                complexity.params / 1e3, complexity.macs / 1e6,
+                techniques.c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion train [--scheme Baseline|AU|AB|BS|WS] [--alpha A]\n"
+        "                 [--epochs N] [--cap N] [--normals] [--augment]\n"
+        "                 [--seed N] [--data dir] [--out model.rfc]\n");
+    return 0;
+  }
+  args.allow_only({"scheme", "alpha", "epochs", "cap", "normals", "augment",
+                   "seed", "out", "data", "data-seed", "help"});
+  const auto train_set = make_data(args, kitti::Split::kTrain);
+
+  tensor::Rng rng(static_cast<uint64_t>(args.get_int("seed", 42)));
+  roadseg::RoadSegNet net(net_config(args), rng);
+  train::TrainConfig config;
+  config.epochs = static_cast<int>(args.get_int("epochs", 8));
+  config.alpha_fd = static_cast<float>(args.get_double("alpha", 0.1));
+  config.augment = args.has("augment");
+  config.augment_config.depth_is_normals = args.has("normals");
+
+  std::printf("training %s on %lld samples (alpha=%.2f, %d epochs)...\n",
+              core::to_string(net.config().scheme),
+              static_cast<long long>(train_set->size()), config.alpha_fd,
+              config.epochs);
+  const train::TrainHistory history = train::fit(net, *train_set, config);
+  std::printf("loss: %.4f -> %.4f\n", history.epochs.front().total_loss,
+              history.epochs.back().total_loss);
+
+  const std::string out = args.get("out", "model.rfc");
+  train::save_model(net, out);
+  std::printf("saved %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion eval --model model.rfc [--scheme WS] [--cap N]\n"
+        "                [--normals] [--image-space] [--data dir]\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "cap", "normals", "image-space",
+                   "data", "data-seed", "help"});
+  const auto test_set = make_data(args, kitti::Split::kTest);
+
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  train::load_model(net, args.get("model", "model.rfc"));
+
+  eval::EvalConfig config;
+  config.use_bev = !args.has("image-space");
+  const eval::EvaluationResult result = evaluate(net, *test_set, config);
+  std::printf("evaluation (%s space):\n",
+              config.use_bev ? "bird's-eye" : "image");
+  for (const auto& [category, scores] : result.per_category) {
+    print_scores(kitti::to_string(category), scores);
+  }
+  print_scores("overall", result.overall);
+  return 0;
+}
+
+int cmd_infer(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion infer --model model.rfc [--scheme WS]\n"
+        "                 [--category UM|UMM|UU] [--lighting day|night|"
+        "overexposure|shadows]\n"
+        "                 [--scene-seed N] [--normals] [--out dir]\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
+                   "normals", "out", "help"});
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  train::load_model(net, args.get("model", "model.rfc"));
+  net.set_training(false);
+
+  const std::string category_name = args.get("category", "UM");
+  kitti::RoadCategory category = kitti::RoadCategory::kUM;
+  if (category_name == "UMM") {
+    category = kitti::RoadCategory::kUMM;
+  } else if (category_name == "UU") {
+    category = kitti::RoadCategory::kUU;
+  } else {
+    ROADFUSION_CHECK(category_name == "UM",
+                     "unknown category " << category_name);
+  }
+  const std::string lighting_name = args.get("lighting", "day");
+  kitti::Lighting lighting = kitti::Lighting::kDay;
+  if (lighting_name == "night") {
+    lighting = kitti::Lighting::kNight;
+  } else if (lighting_name == "overexposure") {
+    lighting = kitti::Lighting::kOverexposure;
+  } else if (lighting_name == "shadows") {
+    lighting = kitti::Lighting::kShadows;
+  } else {
+    ROADFUSION_CHECK(lighting_name == "day",
+                     "unknown lighting " << lighting_name);
+  }
+
+  const kitti::DatasetConfig data = dataset_config(args);
+  const vision::Camera camera(data.image_width, data.image_height,
+                              data.fov_deg, data.cam_height, data.cam_pitch);
+  const uint64_t scene_seed =
+      static_cast<uint64_t>(args.get_int("scene-seed", 1));
+  const kitti::Scene scene =
+      kitti::Scene::generate(category, lighting, scene_seed);
+  tensor::Rng noise(scene_seed ^ 0x5eedULL);
+  const tensor::Tensor rgb = kitti::render_rgb(scene, camera, noise);
+  const auto points = kitti::scan(scene, data.lidar, noise);
+  const tensor::Tensor sparse =
+      kitti::project_to_sparse_depth(points, camera);
+  const tensor::Tensor depth =
+      data.use_surface_normals
+          ? kitti::normals_from_range(
+                kitti::densify_range(sparse, data.depth), camera)
+          : kitti::preprocess_depth(sparse, data.depth);
+  const tensor::Tensor label = kitti::render_ground_truth(scene, camera);
+
+  const tensor::Tensor probability = net.predict(rgb, depth);
+  const auto scores = eval::score_sample(probability, label, camera, {});
+  std::printf("%s / %s (seed %llu): MaxF %.2f IOU %.2f\n",
+              kitti::to_string(category), kitti::to_string(lighting),
+              static_cast<unsigned long long>(scene_seed), scores.f_score,
+              scores.iou);
+
+  const std::filesystem::path out_dir(args.get("out", "infer_out"));
+  std::filesystem::create_directories(out_dir);
+  vision::write_ppm((out_dir / "rgb.ppm").string(), rgb);
+  if (!data.use_surface_normals) {
+    vision::write_pgm((out_dir / "depth.pgm").string(), depth);
+  } else {
+    vision::write_ppm((out_dir / "normals.ppm").string(), depth);
+  }
+  vision::write_ppm(
+      (out_dir / "overlay.ppm").string(),
+      vision::overlay_segmentation(
+          rgb, probability.reshaped(tensor::Shape::mat(camera.height(),
+                                                       camera.width()))));
+  std::printf("wrote %s/{rgb.ppm, %s, overlay.ppm}\n", out_dir.c_str(),
+              data.use_surface_normals ? "normals.ppm" : "depth.pgm");
+  return 0;
+}
+
+int cmd_profile(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion profile --model model.rfc [--scheme WS] [--cap N]\n"
+        "                   [--samples N] [--normals]\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "cap", "samples", "normals", "data",
+                   "data-seed", "help"});
+  const auto test_set = make_data(args, kitti::Split::kTest);
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  train::load_model(net, args.get("model", "model.rfc"));
+
+  eval::DisparityProfileConfig config;
+  config.max_samples = static_cast<int>(args.get_int("samples", 10));
+  const eval::DisparityProfile profile =
+      eval::profile_disparity(net, *test_set, config);
+  std::printf("Feature Disparity per fusion stage (%d samples):\n",
+              profile.samples);
+  for (size_t stage = 0; stage < profile.per_stage.size(); ++stage) {
+    std::printf("  stage %zu: %.4f\n", stage + 1, profile.per_stage[stage]);
+  }
+  std::printf("  mean %.4f (mid %.4f, deep %.4f)\n", profile.mean(),
+              profile.mid_mean(), profile.deep_mean());
+  return 0;
+}
+
+int cmd_dataset(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion dataset [--split train|test] [--count N] [--normals]\n"
+        "                   [--out dir]\n");
+    return 0;
+  }
+  args.allow_only({"split", "count", "normals", "out", "cap", "data-seed",
+                   "help"});
+  kitti::DatasetConfig data = dataset_config(args);
+  const kitti::Split split =
+      args.get("split", "train") == "test" ? kitti::Split::kTest
+                                           : kitti::Split::kTrain;
+  const kitti::RoadDataset dataset(data, split);
+  const int64_t count =
+      std::min<int64_t>(dataset.size(), args.get_int("count", 9));
+  const std::filesystem::path out_dir(args.get("out", "dataset_out"));
+  std::filesystem::create_directories(out_dir);
+  for (int64_t i = 0; i < count; ++i) {
+    const kitti::Sample& sample =
+        dataset.sample(i * std::max<int64_t>(1, dataset.size() / count));
+    const std::string stem = std::string(kitti::to_string(sample.category)) +
+                             "_" + kitti::to_string(sample.lighting) + "_" +
+                             std::to_string(i);
+    vision::write_ppm((out_dir / (stem + "_rgb.ppm")).string(), sample.rgb);
+    if (sample.depth.shape().dim(0) == 1) {
+      vision::write_pgm((out_dir / (stem + "_depth.pgm")).string(),
+                        sample.depth);
+    } else {
+      vision::write_ppm((out_dir / (stem + "_normals.ppm")).string(),
+                        sample.depth);
+    }
+    vision::write_pgm((out_dir / (stem + "_label.pgm")).string(),
+                      sample.label.reshaped(tensor::Shape::mat(
+                          data.image_height, data.image_width)));
+  }
+  std::printf("wrote %lld sample triples to %s\n",
+              static_cast<long long>(count), out_dir.c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "roadfusion — camera/LiDAR fusion road segmentation (DAC'22 "
+      "reproduction)\n\n"
+      "usage: roadfusion <command> [options]\n\n"
+      "commands:\n"
+      "  info      architecture / complexity overview of the 5 schemes\n"
+      "  train     train a model on the synthetic KITTI-road dataset\n"
+      "  eval      evaluate a checkpoint per road scene (BEV)\n"
+      "  infer     run one scene, write rgb/depth/overlay images\n"
+      "  profile   per-stage Feature Disparity of a trained model\n"
+      "  dataset   export synthetic samples as PPM/PGM files\n\n"
+      "run 'roadfusion <command> --help' for per-command options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const cli::Args args(argc, argv, 2);
+    if (command == "info") {
+      return cmd_info(args);
+    }
+    if (command == "train") {
+      return cmd_train(args);
+    }
+    if (command == "eval") {
+      return cmd_eval(args);
+    }
+    if (command == "infer") {
+      return cmd_infer(args);
+    }
+    if (command == "profile") {
+      return cmd_profile(args);
+    }
+    if (command == "dataset") {
+      return cmd_dataset(args);
+    }
+    std::printf("unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 2;
+  } catch (const roadfusion::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
