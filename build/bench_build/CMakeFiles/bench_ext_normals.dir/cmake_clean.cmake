@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_normals"
+  "../bench/bench_ext_normals.pdb"
+  "CMakeFiles/bench_ext_normals.dir/bench_ext_normals.cpp.o"
+  "CMakeFiles/bench_ext_normals.dir/bench_ext_normals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_normals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

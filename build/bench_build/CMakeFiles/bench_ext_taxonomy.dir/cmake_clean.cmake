@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_taxonomy"
+  "../bench/bench_ext_taxonomy.pdb"
+  "CMakeFiles/bench_ext_taxonomy.dir/bench_ext_taxonomy.cpp.o"
+  "CMakeFiles/bench_ext_taxonomy.dir/bench_ext_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_disparity"
+  "../bench/bench_fig3_disparity.pdb"
+  "CMakeFiles/bench_fig3_disparity.dir/bench_fig3_disparity.cpp.o"
+  "CMakeFiles/bench_fig3_disparity.dir/bench_fig3_disparity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librf_bench_common.a"
+)

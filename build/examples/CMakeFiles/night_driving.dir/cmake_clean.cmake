@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/night_driving.dir/night_driving.cpp.o"
+  "CMakeFiles/night_driving.dir/night_driving.cpp.o.d"
+  "night_driving"
+  "night_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/night_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

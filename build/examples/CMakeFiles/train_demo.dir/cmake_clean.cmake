@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_demo.dir/train_demo.cpp.o"
+  "CMakeFiles/train_demo.dir/train_demo.cpp.o.d"
+  "train_demo"
+  "train_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_autograd.dir/kernels.cpp.o"
+  "CMakeFiles/rf_autograd.dir/kernels.cpp.o.d"
+  "CMakeFiles/rf_autograd.dir/ops.cpp.o"
+  "CMakeFiles/rf_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/rf_autograd.dir/variable.cpp.o"
+  "CMakeFiles/rf_autograd.dir/variable.cpp.o.d"
+  "librf_autograd.a"
+  "librf_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

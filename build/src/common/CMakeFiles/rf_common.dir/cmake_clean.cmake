@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_common.dir/check.cpp.o"
+  "CMakeFiles/rf_common.dir/check.cpp.o.d"
+  "CMakeFiles/rf_common.dir/env.cpp.o"
+  "CMakeFiles/rf_common.dir/env.cpp.o.d"
+  "CMakeFiles/rf_common.dir/logging.cpp.o"
+  "CMakeFiles/rf_common.dir/logging.cpp.o.d"
+  "librf_common.a"
+  "librf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/awn.cpp" "src/core/CMakeFiles/rf_core.dir/awn.cpp.o" "gcc" "src/core/CMakeFiles/rf_core.dir/awn.cpp.o.d"
+  "/root/repo/src/core/feature_disparity.cpp" "src/core/CMakeFiles/rf_core.dir/feature_disparity.cpp.o" "gcc" "src/core/CMakeFiles/rf_core.dir/feature_disparity.cpp.o.d"
+  "/root/repo/src/core/fusion_filter.cpp" "src/core/CMakeFiles/rf_core.dir/fusion_filter.cpp.o" "gcc" "src/core/CMakeFiles/rf_core.dir/fusion_filter.cpp.o.d"
+  "/root/repo/src/core/fusion_scheme.cpp" "src/core/CMakeFiles/rf_core.dir/fusion_scheme.cpp.o" "gcc" "src/core/CMakeFiles/rf_core.dir/fusion_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rf_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

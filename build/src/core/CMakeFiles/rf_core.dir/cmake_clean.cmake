@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_core.dir/awn.cpp.o"
+  "CMakeFiles/rf_core.dir/awn.cpp.o.d"
+  "CMakeFiles/rf_core.dir/feature_disparity.cpp.o"
+  "CMakeFiles/rf_core.dir/feature_disparity.cpp.o.d"
+  "CMakeFiles/rf_core.dir/fusion_filter.cpp.o"
+  "CMakeFiles/rf_core.dir/fusion_filter.cpp.o.d"
+  "CMakeFiles/rf_core.dir/fusion_scheme.cpp.o"
+  "CMakeFiles/rf_core.dir/fusion_scheme.cpp.o.d"
+  "librf_core.a"
+  "librf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_eval.dir/disparity_profile.cpp.o"
+  "CMakeFiles/rf_eval.dir/disparity_profile.cpp.o.d"
+  "CMakeFiles/rf_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/rf_eval.dir/evaluator.cpp.o.d"
+  "CMakeFiles/rf_eval.dir/seg_metrics.cpp.o"
+  "CMakeFiles/rf_eval.dir/seg_metrics.cpp.o.d"
+  "librf_eval.a"
+  "librf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kitti/dataset.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/dataset.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/dataset.cpp.o.d"
+  "/root/repo/src/kitti/depth_preproc.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/depth_preproc.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/depth_preproc.cpp.o.d"
+  "/root/repo/src/kitti/directory_dataset.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/directory_dataset.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/directory_dataset.cpp.o.d"
+  "/root/repo/src/kitti/lidar.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/lidar.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/lidar.cpp.o.d"
+  "/root/repo/src/kitti/render.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/render.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/render.cpp.o.d"
+  "/root/repo/src/kitti/scene.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/scene.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/scene.cpp.o.d"
+  "/root/repo/src/kitti/surface_normals.cpp" "src/kitti/CMakeFiles/rf_kitti.dir/surface_normals.cpp.o" "gcc" "src/kitti/CMakeFiles/rf_kitti.dir/surface_normals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/rf_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_kitti.dir/dataset.cpp.o"
+  "CMakeFiles/rf_kitti.dir/dataset.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/depth_preproc.cpp.o"
+  "CMakeFiles/rf_kitti.dir/depth_preproc.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/directory_dataset.cpp.o"
+  "CMakeFiles/rf_kitti.dir/directory_dataset.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/lidar.cpp.o"
+  "CMakeFiles/rf_kitti.dir/lidar.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/render.cpp.o"
+  "CMakeFiles/rf_kitti.dir/render.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/scene.cpp.o"
+  "CMakeFiles/rf_kitti.dir/scene.cpp.o.d"
+  "CMakeFiles/rf_kitti.dir/surface_normals.cpp.o"
+  "CMakeFiles/rf_kitti.dir/surface_normals.cpp.o.d"
+  "librf_kitti.a"
+  "librf_kitti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_kitti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_nn.dir/blocks.cpp.o"
+  "CMakeFiles/rf_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/rf_nn.dir/layers.cpp.o"
+  "CMakeFiles/rf_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/rf_nn.dir/module.cpp.o"
+  "CMakeFiles/rf_nn.dir/module.cpp.o.d"
+  "CMakeFiles/rf_nn.dir/optim.cpp.o"
+  "CMakeFiles/rf_nn.dir/optim.cpp.o.d"
+  "librf_nn.a"
+  "librf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadseg/decoder.cpp" "src/roadseg/CMakeFiles/rf_roadseg.dir/decoder.cpp.o" "gcc" "src/roadseg/CMakeFiles/rf_roadseg.dir/decoder.cpp.o.d"
+  "/root/repo/src/roadseg/encoder.cpp" "src/roadseg/CMakeFiles/rf_roadseg.dir/encoder.cpp.o" "gcc" "src/roadseg/CMakeFiles/rf_roadseg.dir/encoder.cpp.o.d"
+  "/root/repo/src/roadseg/fusion_taxonomy.cpp" "src/roadseg/CMakeFiles/rf_roadseg.dir/fusion_taxonomy.cpp.o" "gcc" "src/roadseg/CMakeFiles/rf_roadseg.dir/fusion_taxonomy.cpp.o.d"
+  "/root/repo/src/roadseg/roadseg_net.cpp" "src/roadseg/CMakeFiles/rf_roadseg.dir/roadseg_net.cpp.o" "gcc" "src/roadseg/CMakeFiles/rf_roadseg.dir/roadseg_net.cpp.o.d"
+  "/root/repo/src/roadseg/segmentation_model.cpp" "src/roadseg/CMakeFiles/rf_roadseg.dir/segmentation_model.cpp.o" "gcc" "src/roadseg/CMakeFiles/rf_roadseg.dir/segmentation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rf_vision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_roadseg.dir/decoder.cpp.o"
+  "CMakeFiles/rf_roadseg.dir/decoder.cpp.o.d"
+  "CMakeFiles/rf_roadseg.dir/encoder.cpp.o"
+  "CMakeFiles/rf_roadseg.dir/encoder.cpp.o.d"
+  "CMakeFiles/rf_roadseg.dir/fusion_taxonomy.cpp.o"
+  "CMakeFiles/rf_roadseg.dir/fusion_taxonomy.cpp.o.d"
+  "CMakeFiles/rf_roadseg.dir/roadseg_net.cpp.o"
+  "CMakeFiles/rf_roadseg.dir/roadseg_net.cpp.o.d"
+  "CMakeFiles/rf_roadseg.dir/segmentation_model.cpp.o"
+  "CMakeFiles/rf_roadseg.dir/segmentation_model.cpp.o.d"
+  "librf_roadseg.a"
+  "librf_roadseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_roadseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tensor.dir/ops.cpp.o"
+  "CMakeFiles/rf_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/rf_tensor.dir/rng.cpp.o"
+  "CMakeFiles/rf_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/rf_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/rf_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/rf_tensor.dir/shape.cpp.o"
+  "CMakeFiles/rf_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/rf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rf_tensor.dir/tensor.cpp.o.d"
+  "librf_tensor.a"
+  "librf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_train.dir/augment.cpp.o"
+  "CMakeFiles/rf_train.dir/augment.cpp.o.d"
+  "CMakeFiles/rf_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/rf_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/rf_train.dir/trainer.cpp.o"
+  "CMakeFiles/rf_train.dir/trainer.cpp.o.d"
+  "librf_train.a"
+  "librf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

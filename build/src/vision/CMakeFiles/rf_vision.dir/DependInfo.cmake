@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/bev.cpp" "src/vision/CMakeFiles/rf_vision.dir/bev.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/bev.cpp.o.d"
+  "/root/repo/src/vision/camera.cpp" "src/vision/CMakeFiles/rf_vision.dir/camera.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/camera.cpp.o.d"
+  "/root/repo/src/vision/edges.cpp" "src/vision/CMakeFiles/rf_vision.dir/edges.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/edges.cpp.o.d"
+  "/root/repo/src/vision/filters.cpp" "src/vision/CMakeFiles/rf_vision.dir/filters.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/filters.cpp.o.d"
+  "/root/repo/src/vision/image_io.cpp" "src/vision/CMakeFiles/rf_vision.dir/image_io.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/image_io.cpp.o.d"
+  "/root/repo/src/vision/overlay.cpp" "src/vision/CMakeFiles/rf_vision.dir/overlay.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/overlay.cpp.o.d"
+  "/root/repo/src/vision/quality_metrics.cpp" "src/vision/CMakeFiles/rf_vision.dir/quality_metrics.cpp.o" "gcc" "src/vision/CMakeFiles/rf_vision.dir/quality_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_vision.dir/bev.cpp.o"
+  "CMakeFiles/rf_vision.dir/bev.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/camera.cpp.o"
+  "CMakeFiles/rf_vision.dir/camera.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/edges.cpp.o"
+  "CMakeFiles/rf_vision.dir/edges.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/filters.cpp.o"
+  "CMakeFiles/rf_vision.dir/filters.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/image_io.cpp.o"
+  "CMakeFiles/rf_vision.dir/image_io.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/overlay.cpp.o"
+  "CMakeFiles/rf_vision.dir/overlay.cpp.o.d"
+  "CMakeFiles/rf_vision.dir/quality_metrics.cpp.o"
+  "CMakeFiles/rf_vision.dir/quality_metrics.cpp.o.d"
+  "librf_vision.a"
+  "librf_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd_basic.dir/test_autograd_basic.cpp.o"
+  "CMakeFiles/test_autograd_basic.dir/test_autograd_basic.cpp.o.d"
+  "test_autograd_basic"
+  "test_autograd_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

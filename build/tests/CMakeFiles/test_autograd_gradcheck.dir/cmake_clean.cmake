@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd_gradcheck.dir/test_autograd_gradcheck.cpp.o"
+  "CMakeFiles/test_autograd_gradcheck.dir/test_autograd_gradcheck.cpp.o.d"
+  "test_autograd_gradcheck"
+  "test_autograd_gradcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_awn.dir/test_awn.cpp.o"
+  "CMakeFiles/test_awn.dir/test_awn.cpp.o.d"
+  "test_awn"
+  "test_awn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_awn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

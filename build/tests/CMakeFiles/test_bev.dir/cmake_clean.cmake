@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bev.dir/test_bev.cpp.o"
+  "CMakeFiles/test_bev.dir/test_bev.cpp.o.d"
+  "test_bev"
+  "test_bev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

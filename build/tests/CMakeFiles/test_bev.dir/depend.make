@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bev.
+# This may be replaced when dependencies are built.

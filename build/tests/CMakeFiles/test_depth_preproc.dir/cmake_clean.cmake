@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depth_preproc.dir/test_depth_preproc.cpp.o"
+  "CMakeFiles/test_depth_preproc.dir/test_depth_preproc.cpp.o.d"
+  "test_depth_preproc"
+  "test_depth_preproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depth_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

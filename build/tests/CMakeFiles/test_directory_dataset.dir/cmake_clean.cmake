@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directory_dataset.dir/test_directory_dataset.cpp.o"
+  "CMakeFiles/test_directory_dataset.dir/test_directory_dataset.cpp.o.d"
+  "test_directory_dataset"
+  "test_directory_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directory_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

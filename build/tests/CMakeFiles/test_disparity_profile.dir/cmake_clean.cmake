@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disparity_profile.dir/test_disparity_profile.cpp.o"
+  "CMakeFiles/test_disparity_profile.dir/test_disparity_profile.cpp.o.d"
+  "test_disparity_profile"
+  "test_disparity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disparity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

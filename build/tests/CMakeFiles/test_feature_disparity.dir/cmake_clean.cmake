@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_disparity.dir/test_feature_disparity.cpp.o"
+  "CMakeFiles/test_feature_disparity.dir/test_feature_disparity.cpp.o.d"
+  "test_feature_disparity"
+  "test_feature_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

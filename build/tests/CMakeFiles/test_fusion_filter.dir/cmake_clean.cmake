@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_filter.dir/test_fusion_filter.cpp.o"
+  "CMakeFiles/test_fusion_filter.dir/test_fusion_filter.cpp.o.d"
+  "test_fusion_filter"
+  "test_fusion_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

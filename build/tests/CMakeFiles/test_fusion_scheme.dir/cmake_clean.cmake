@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_scheme.dir/test_fusion_scheme.cpp.o"
+  "CMakeFiles/test_fusion_scheme.dir/test_fusion_scheme.cpp.o.d"
+  "test_fusion_scheme"
+  "test_fusion_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

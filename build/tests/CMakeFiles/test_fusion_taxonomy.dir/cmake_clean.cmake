@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_taxonomy.dir/test_fusion_taxonomy.cpp.o"
+  "CMakeFiles/test_fusion_taxonomy.dir/test_fusion_taxonomy.cpp.o.d"
+  "test_fusion_taxonomy"
+  "test_fusion_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

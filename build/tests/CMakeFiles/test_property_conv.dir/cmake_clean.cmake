@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_conv.dir/test_property_conv.cpp.o"
+  "CMakeFiles/test_property_conv.dir/test_property_conv.cpp.o.d"
+  "test_property_conv"
+  "test_property_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

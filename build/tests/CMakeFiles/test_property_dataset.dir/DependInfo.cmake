@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property_dataset.cpp" "tests/CMakeFiles/test_property_dataset.dir/test_property_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_property_dataset.dir/test_property_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/rf_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/rf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadseg/CMakeFiles/rf_roadseg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kitti/CMakeFiles/rf_kitti.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/rf_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

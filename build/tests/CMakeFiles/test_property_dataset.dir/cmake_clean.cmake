@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_dataset.dir/test_property_dataset.cpp.o"
+  "CMakeFiles/test_property_dataset.dir/test_property_dataset.cpp.o.d"
+  "test_property_dataset"
+  "test_property_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_metrics.dir/test_property_metrics.cpp.o"
+  "CMakeFiles/test_property_metrics.dir/test_property_metrics.cpp.o.d"
+  "test_property_metrics"
+  "test_property_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

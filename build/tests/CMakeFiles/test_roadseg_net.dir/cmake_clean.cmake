@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roadseg_net.dir/test_roadseg_net.cpp.o"
+  "CMakeFiles/test_roadseg_net.dir/test_roadseg_net.cpp.o.d"
+  "test_roadseg_net"
+  "test_roadseg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roadseg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seg_metrics.dir/test_seg_metrics.cpp.o"
+  "CMakeFiles/test_seg_metrics.dir/test_seg_metrics.cpp.o.d"
+  "test_seg_metrics"
+  "test_seg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

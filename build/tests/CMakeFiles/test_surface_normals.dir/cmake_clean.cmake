@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_normals.dir/test_surface_normals.cpp.o"
+  "CMakeFiles/test_surface_normals.dir/test_surface_normals.cpp.o.d"
+  "test_surface_normals"
+  "test_surface_normals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_normals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vision_io.dir/test_vision_io.cpp.o"
+  "CMakeFiles/test_vision_io.dir/test_vision_io.cpp.o.d"
+  "test_vision_io"
+  "test_vision_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vision_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

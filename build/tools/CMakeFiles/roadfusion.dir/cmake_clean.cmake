@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadfusion.dir/roadfusion_cli.cpp.o"
+  "CMakeFiles/roadfusion.dir/roadfusion_cli.cpp.o.d"
+  "roadfusion"
+  "roadfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
