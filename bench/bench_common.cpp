@@ -75,4 +75,109 @@ std::string fmt(double value, int decimals) {
   return buffer;
 }
 
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Escapes the characters that can appear in our keys/values (paths,
+/// scheme names); no exotic control characters expected.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::prefix(const std::string& key) {
+  if (needs_comma_) {
+    out_ += ",";
+  }
+  if (!key.empty()) {
+    out_ += '"';
+    out_ += json_escape(key);
+    out_ += "\":";
+  }
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  prefix(key);
+  out_ += "{";
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "}";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  prefix(key);
+  out_ += "[";
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += "]";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value,
+                              int decimals) {
+  prefix(key);
+  out_ += fmt(value, decimals);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, int64_t value) {
+  prefix(key);
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              const std::string& value) {
+  prefix(key);
+  out_ += '"';
+  out_ += json_escape(value);
+  out_ += '"';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+  prefix(key);
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_; }
+
 }  // namespace roadfusion::bench

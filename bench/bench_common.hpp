@@ -68,4 +68,32 @@ void print_row(const std::vector<std::string>& cells, int width = 12);
 /// Formats a double with the paper's two decimals.
 std::string fmt(double value, int decimals = 2);
 
+/// Minimal streaming JSON builder for machine-readable bench output
+/// (bench_throughput and future serving benches). Usage:
+///   JsonWriter json;
+///   json.begin_object().field("threads", 4).begin_array("runs")
+///       .begin_object().field("scenes_per_sec", 12.5).end_object()
+///       .end_array().end_object();
+///   std::puts(json.str().c_str());
+class JsonWriter {
+ public:
+  JsonWriter& begin_object(const std::string& key = "");
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
+  JsonWriter& field(const std::string& key, double value, int decimals = 3);
+  JsonWriter& field(const std::string& key, int64_t value);
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, bool value);
+
+  /// The JSON text accumulated so far.
+  std::string str() const;
+
+ private:
+  void prefix(const std::string& key);
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
+
 }  // namespace roadfusion::bench

@@ -1,0 +1,144 @@
+// Serving throughput of the batched multi-threaded inference runtime
+// (supporting measurement; the DAC'22 paper's efficiency story measured
+// per-model MACs — this bench measures the serving layer built on top).
+//
+// Sweeps worker-thread counts over the same scene stream and reports
+// scenes/sec plus engine metrics as one JSON object on stdout (prefixed
+// by the usual human-readable header). Model weights are a seeded random
+// initialization: forward cost does not depend on the weight values, so
+// throughput needs no trained checkpoint.
+//
+// Scaling expectation: workers run independent batches concurrently over
+// the shared read-only model, so scenes/sec scales with physical cores
+// (on a single-core container every thread count measures the same
+// sequential rate; `hardware_concurrency` in the JSON gives the context).
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace roadfusion;
+using Clock = std::chrono::steady_clock;
+
+struct ThroughputResult {
+  int threads = 0;
+  int scenes = 0;
+  double scenes_per_sec = 0.0;
+  runtime::RuntimeStats stats;
+};
+
+ThroughputResult measure(roadseg::RoadSegNet& net,
+                         const std::vector<const kitti::Sample*>& stream,
+                         int threads, int max_batch) {
+  runtime::EngineConfig config;
+  config.threads = threads;
+  config.max_batch = max_batch;
+  config.max_wait_us = 200;
+  config.queue_capacity = stream.size();
+  runtime::InferenceEngine engine(net, config);
+
+  // Warm-up: one scene through the full path (cold caches, first-touch).
+  (void)engine.submit(stream[0]->rgb, stream[0]->depth).get();
+
+  const auto start = Clock::now();
+  std::vector<std::future<tensor::Tensor>> futures;
+  futures.reserve(stream.size());
+  for (const kitti::Sample* sample : stream) {
+    futures.push_back(engine.submit(sample->rgb, sample->depth));
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ThroughputResult result;
+  result.threads = threads;
+  result.scenes = static_cast<int>(stream.size());
+  result.scenes_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(stream.size()) / elapsed_s : 0.0;
+  engine.shutdown(runtime::ShutdownMode::kDrain);
+  result.stats = engine.stats();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchSettings config = bench::settings();
+  bench::print_header(
+      "Inference runtime throughput (scenes/sec vs worker threads)",
+      "batched multi-threaded serving over one shared model; JSON below");
+
+  kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
+  roadseg::RoadSegConfig net_config = config.net;
+  net_config.scheme = core::FusionScheme::kWeightedSharing;
+  tensor::Rng rng(42);
+  roadseg::RoadSegNet net(net_config, rng);
+  net.set_training(false);
+
+  // Scene stream: a handful of distinct scenes repeated round-robin.
+  const int distinct = static_cast<int>(
+      std::min<int64_t>(test_set.size(), config.full ? 16 : 8));
+  const int rounds = config.full ? 6 : 3;
+  std::vector<const kitti::Sample*> stream;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < distinct; ++i) {
+      stream.push_back(&test_set.sample(i));
+    }
+  }
+
+  const int max_batch = 4;
+  const std::vector<int> thread_counts = {1, 2, 4};
+  bench::print_row({"threads", "scenes/s", "mean batch", "p50 ms", "p99 ms"},
+                   12);
+  std::vector<ThroughputResult> results;
+  for (int threads : thread_counts) {
+    results.push_back(measure(net, stream, threads, max_batch));
+    const ThroughputResult& r = results.back();
+    bench::print_row({std::to_string(r.threads),
+                      bench::fmt(r.scenes_per_sec, 2),
+                      bench::fmt(r.stats.mean_batch_size, 2),
+                      bench::fmt(r.stats.p50_latency_ms, 2),
+                      bench::fmt(r.stats.p99_latency_ms, 2)},
+                     12);
+  }
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", std::string("throughput"))
+      .field("scheme", std::string(core::to_string(net_config.scheme)))
+      .field("image_height", config.test_data.image_height)
+      .field("image_width", config.test_data.image_width)
+      .field("max_batch", static_cast<int64_t>(max_batch))
+      .field("hardware_concurrency",
+             static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .begin_array("results");
+  for (const ThroughputResult& r : results) {
+    json.begin_object()
+        .field("threads", static_cast<int64_t>(r.threads))
+        .field("scenes", static_cast<int64_t>(r.scenes))
+        .field("scenes_per_sec", r.scenes_per_sec)
+        .field("batches_formed",
+               static_cast<int64_t>(r.stats.batches_formed))
+        .field("mean_batch_size", r.stats.mean_batch_size)
+        .field("mean_latency_ms", r.stats.mean_latency_ms)
+        .field("p50_latency_ms", r.stats.p50_latency_ms)
+        .field("p99_latency_ms", r.stats.p99_latency_ms)
+        .end_object();
+  }
+  json.end_array()
+      .field("speedup_4_vs_1",
+             results.front().scenes_per_sec > 0.0
+                 ? results.back().scenes_per_sec /
+                       results.front().scenes_per_sec
+                 : 0.0)
+      .end_object();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/shape.hpp"
+
+namespace roadfusion::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+InferenceEngine::InferenceEngine(roadseg::SegmentationModel& model,
+                                 const EngineConfig& config)
+    : model_(model), config_(config), queue_(config.queue_capacity) {
+  ROADFUSION_CHECK(config.threads >= 1,
+                   "engine needs >= 1 worker thread, got " << config.threads);
+  ROADFUSION_CHECK(config.max_batch >= 1,
+                   "engine needs max_batch >= 1, got " << config.max_batch);
+  ROADFUSION_CHECK(config.queue_capacity >= 1,
+                   "engine needs queue_capacity >= 1, got "
+                       << config.queue_capacity);
+  ROADFUSION_CHECK(config.max_wait_us >= 0,
+                   "engine needs max_wait_us >= 0, got "
+                       << config.max_wait_us);
+  model.set_training(false);
+  workers_.reserve(static_cast<size_t>(config.threads));
+  for (int i = 0; i < config.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(ShutdownMode::kDrain); }
+
+std::future<Tensor> InferenceEngine::submit(Tensor rgb, Tensor depth) {
+  ROADFUSION_CHECK(rgb.shape().rank() == 3,
+                   "submit expects CHW rgb, got " << rgb.shape().str());
+  ROADFUSION_CHECK(depth.shape().rank() == 3,
+                   "submit expects CHW depth, got " << depth.shape().str());
+  ROADFUSION_CHECK(rgb.shape().dim(1) == depth.shape().dim(1) &&
+                       rgb.shape().dim(2) == depth.shape().dim(2),
+                   "submit: rgb " << rgb.shape().str() << " and depth "
+                                  << depth.shape().str()
+                                  << " disagree on H x W");
+  Request request;
+  request.rgb = std::move(rgb);
+  request.depth = std::move(depth);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.result.get_future();
+
+  const PushResult pushed = config_.overflow == OverflowPolicy::kBlock
+                                ? queue_.push(std::move(request))
+                                : queue_.try_push(std::move(request));
+  switch (pushed) {
+    case PushResult::kOk:
+      stats_.record_submitted();
+      return future;
+    case PushResult::kFull:
+      stats_.record_rejection();
+      throw QueueFullError("inference queue full (capacity " +
+                           std::to_string(queue_.capacity()) + ")");
+    case PushResult::kClosed:
+      throw EngineStoppedError("engine is shut down");
+  }
+  throw EngineStoppedError("unreachable");  // silences -Wreturn-type
+}
+
+void InferenceEngine::shutdown(ShutdownMode mode) {
+  std::call_once(shutdown_once_, [&] {
+    queue_.close();
+    if (mode == ShutdownMode::kCancel) {
+      std::vector<Request> pending = queue_.drain();
+      for (Request& request : pending) {
+        request.result.set_exception(std::make_exception_ptr(
+            RequestCancelledError("request cancelled by engine shutdown")));
+      }
+      stats_.record_cancelled(pending.size());
+    }
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  });
+}
+
+void InferenceEngine::worker_loop() {
+  const auto compatible = [](const Request& head, const Request& next) {
+    return head.rgb.shape() == next.rgb.shape() &&
+           head.depth.shape() == next.depth.shape();
+  };
+  while (true) {
+    std::vector<Request> batch = queue_.pop_batch(
+        static_cast<size_t>(config_.max_batch),
+        std::chrono::microseconds(config_.max_wait_us), compatible);
+    if (batch.empty()) {
+      return;  // closed and drained
+    }
+    serve_batch(batch);
+  }
+}
+
+void InferenceEngine::serve_batch(std::vector<Request>& batch) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const Shape& rgb_shape = batch.front().rgb.shape();
+  const Shape& depth_shape = batch.front().depth.shape();
+  const int64_t height = rgb_shape.dim(1);
+  const int64_t width = rgb_shape.dim(2);
+  stats_.record_batch(batch.size());
+  try {
+    // Collate (C, H, W) requests into one (N, C, H, W) pair; batch
+    // elements are contiguous planes, so each request copies in flat.
+    Tensor rgb(Shape::nchw(n, rgb_shape.dim(0), height, width));
+    Tensor depth(Shape::nchw(n, depth_shape.dim(0), height, width));
+    const int64_t rgb_plane = rgb_shape.numel();
+    const int64_t depth_plane = depth_shape.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      std::copy(batch[i].rgb.data().begin(), batch[i].rgb.data().end(),
+                rgb.data().begin() + i * rgb_plane);
+      std::copy(batch[i].depth.data().begin(), batch[i].depth.data().end(),
+                depth.data().begin() + i * depth_plane);
+    }
+
+    const Tensor probability = model_.predict(rgb, depth);  // (N, 1, H, W)
+    const int64_t out_plane = height * width;
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<float> values(
+          probability.data().begin() + i * out_plane,
+          probability.data().begin() + (i + 1) * out_plane);
+      Tensor result(Shape::chw(1, height, width), std::move(values));
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - batch[i].enqueue_time)
+              .count();
+      // Record before fulfilling: once the future is ready, a stats
+      // snapshot must already count this request as served.
+      stats_.record_served(latency_ms);
+      batch[i].result.set_value(std::move(result));
+    }
+  } catch (...) {
+    // A model failure (e.g. indivisible H/W) fails every request of the
+    // batch; the engine itself stays alive for subsequent batches.
+    const std::exception_ptr error = std::current_exception();
+    for (Request& request : batch) {
+      try {
+        request.result.set_exception(error);
+      } catch (const std::future_error&) {
+        // promise already satisfied before the failure — nothing to do
+      }
+    }
+  }
+}
+
+}  // namespace roadfusion::runtime

@@ -1,0 +1,132 @@
+// InferenceEngine: the batched multi-threaded serving runtime.
+//
+//   submit()            worker pool (N threads)
+//      │                     │
+//      ▼                     ▼
+//   BoundedQueue ──► pop_batch (micro-batcher: up to max_batch
+//   (backpressure)    compatible requests, max_wait_us straggler window)
+//                          │
+//                          ▼
+//                collate CHW → (N, C, H, W) ──► model.predict ──► split
+//                          │
+//                          ▼
+//                 per-request std::future<Tensor>
+//
+// Correctness contract: because every kernel in this repository processes
+// batch elements independently (convolutions loop per sample, batch norm
+// in eval mode uses per-channel running statistics), a batched forward is
+// bit-identical per scene to a sequential `predict` — the golden test in
+// tests/test_runtime_engine.cpp pins this down with exact equality.
+//
+// Thread-safety: `SegmentationModel::forward` is const and touches no
+// shared mutable state in eval mode, so workers run batches concurrently
+// over one shared model. The engine forces eval mode at construction.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "roadseg/segmentation_model.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::runtime {
+
+/// Thrown by submit() when the queue is full under the reject policy.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by submit() after shutdown began.
+class EngineStoppedError : public Error {
+ public:
+  explicit EngineStoppedError(const std::string& what) : Error(what) {}
+};
+
+/// Set on a pending request's future by a cancel-mode shutdown.
+class RequestCancelledError : public Error {
+ public:
+  explicit RequestCancelledError(const std::string& what) : Error(what) {}
+};
+
+/// What submit() does when the queue is at capacity.
+enum class OverflowPolicy {
+  kBlock,   ///< wait for space (backpressure propagates to the producer)
+  kReject,  ///< fail fast with QueueFullError
+};
+
+/// How shutdown treats requests still in the queue.
+enum class ShutdownMode {
+  kDrain,   ///< serve everything already accepted, then stop
+  kCancel,  ///< fail pending futures with RequestCancelledError, then stop
+};
+
+/// Engine knobs.
+struct EngineConfig {
+  int threads = 1;            ///< worker threads executing batched forwards
+  int max_batch = 4;          ///< max requests collated into one forward
+  int64_t max_wait_us = 200;  ///< straggler window once a batch has a head
+  size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+/// Batched multi-threaded inference runtime over one segmentation model.
+class InferenceEngine {
+ public:
+  /// Takes shared ownership of nothing: `model` must outlive the engine.
+  /// Switches the model to eval mode (inference must not update batch-norm
+  /// running statistics, and eval mode is what makes concurrent forwards
+  /// safe).
+  InferenceEngine(roadseg::SegmentationModel& model,
+                  const EngineConfig& config);
+
+  /// Drains and joins (shutdown(kDrain)) unless already shut down.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Submits one scene. rgb: (3, H, W); depth: (C_d, H, W). The future
+  /// yields the (1, H, W) road-probability tensor, bit-identical to
+  /// `model.predict(rgb, depth)`. Throws QueueFullError (reject policy,
+  /// queue full) or EngineStoppedError (after shutdown).
+  std::future<tensor::Tensor> submit(tensor::Tensor rgb,
+                                     tensor::Tensor depth);
+
+  /// Stops the engine. kDrain serves every accepted request first; kCancel
+  /// fails still-queued requests deterministically (every future then
+  /// holds either a value or a RequestCancelledError). Idempotent.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Consistent metrics snapshot; callable at any time, including after
+  /// shutdown.
+  RuntimeStats stats() const { return stats_.snapshot(); }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    tensor::Tensor rgb;    // (C, H, W)
+    tensor::Tensor depth;  // (C_d, H, W)
+    std::promise<tensor::Tensor> result;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void worker_loop();
+  void serve_batch(std::vector<Request>& batch);
+
+  const roadseg::SegmentationModel& model_;
+  EngineConfig config_;
+  BoundedQueue<Request> queue_;
+  StatsCollector stats_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace roadfusion::runtime

@@ -1,0 +1,176 @@
+// BoundedQueue: the bounded MPMC work queue behind the inference runtime.
+//
+// Producers are request submitters (any thread calling
+// `InferenceEngine::submit`); consumers are the engine's worker threads.
+// Backpressure comes in two flavours selected by the caller:
+//   * `try_push` — reject immediately when the queue is full (the caller
+//     counts the rejection and reports it upstream);
+//   * `push`     — block until space frees up or the queue closes.
+// Consumers use `pop_batch`, which blocks for the first item and then
+// opportunistically gathers further *compatible* items (same tensor
+// geometry) up to `max_batch`, waiting at most `max_wait` for stragglers —
+// the micro-batching heart of the runtime.
+//
+// `close()` makes the shutdown order deterministic: every later push
+// returns `kClosed`, blocked producers wake with `kClosed`, and consumers
+// drain the remaining items before `pop`/`pop_batch` return empty.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace roadfusion::runtime {
+
+/// Outcome of a push attempt.
+enum class PushResult {
+  kOk,      ///< item enqueued
+  kFull,    ///< rejected: queue at capacity (try_push only)
+  kClosed,  ///< rejected: queue closed for new work
+};
+
+/// Bounded multi-producer / multi-consumer FIFO.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue; `kFull` when at capacity.
+  PushResult try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return PushResult::kClosed;
+      }
+      if (items_.size() >= capacity_) {
+        return PushResult::kFull;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking enqueue; waits for space. `kClosed` when the queue closed
+  /// before space became available.
+  PushResult push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return PushResult::kClosed;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking dequeue of a single item; empty optional once the queue is
+  /// closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking micro-batch dequeue. Waits for a first item, then keeps
+  /// taking front items for which `compatible(head, item)` holds, up to
+  /// `max_batch` items, waiting at most `max_wait` past the first item for
+  /// more to arrive. An incompatible front item stays queued for the next
+  /// batch. Returns an empty vector once the queue is closed and drained.
+  template <typename Compatible>
+  std::vector<T> pop_batch(size_t max_batch,
+                           std::chrono::microseconds max_wait,
+                           Compatible&& compatible) {
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return batch;
+    }
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (batch.size() < max_batch) {
+      if (items_.empty()) {
+        // Once closed no further items can arrive; don't wait for them.
+        if (closed_ ||
+            !not_empty_.wait_until(lock, deadline, [&] {
+              return closed_ || !items_.empty();
+            }) ||
+            items_.empty()) {
+          break;
+        }
+      }
+      if (!compatible(batch.front(), items_.front())) {
+        break;
+      }
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return batch;
+  }
+
+  /// Removes and returns every queued item (cancel-style shutdown).
+  std::vector<T> drain() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Closes the queue: later pushes fail, blocked callers wake.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace roadfusion::runtime

@@ -1,0 +1,81 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadfusion::runtime {
+
+namespace {
+
+/// Nearest-rank percentile of an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+StatsCollector::StatsCollector() : start_(std::chrono::steady_clock::now()) {}
+
+void StatsCollector::record_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.requests_submitted;
+}
+
+void StatsCollector::record_rejection() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.queue_full_rejections;
+}
+
+void StatsCollector::record_batch(size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.batches_formed;
+  batched_requests_ += batch_size;
+}
+
+void StatsCollector::record_served(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.requests_served;
+  latencies_ms_.push_back(latency_ms);
+}
+
+void StatsCollector::record_cancelled(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.requests_cancelled += count;
+}
+
+RuntimeStats StatsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuntimeStats out = totals_;
+  if (out.batches_formed > 0) {
+    out.mean_batch_size = static_cast<double>(batched_requests_) /
+                          static_cast<double>(out.batches_formed);
+  }
+  if (!latencies_ms_.empty()) {
+    double sum = 0.0;
+    for (double v : latencies_ms_) {
+      sum += v;
+    }
+    out.mean_latency_ms = sum / static_cast<double>(latencies_ms_.size());
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    out.p50_latency_ms = percentile(sorted, 0.50);
+    out.p99_latency_ms = percentile(sorted, 0.99);
+  }
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  if (out.elapsed_s > 0.0) {
+    out.throughput_rps =
+        static_cast<double>(out.requests_served) / out.elapsed_s;
+  }
+  return out;
+}
+
+}  // namespace roadfusion::runtime

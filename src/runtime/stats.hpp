@@ -1,0 +1,56 @@
+// Runtime metrics: counters and latency distribution of the inference
+// engine, exposed as immutable snapshots so callers never observe a
+// half-updated view.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace roadfusion::runtime {
+
+/// One consistent snapshot of the engine's lifetime metrics.
+struct RuntimeStats {
+  uint64_t requests_submitted = 0;  ///< accepted into the queue
+  uint64_t requests_served = 0;     ///< futures fulfilled with a result
+  uint64_t requests_cancelled = 0;  ///< futures failed by cancel shutdown
+  uint64_t queue_full_rejections = 0;
+  uint64_t batches_formed = 0;
+
+  /// Mean number of requests per formed batch (0 when no batch yet).
+  double mean_batch_size = 0.0;
+
+  /// Submit-to-completion latency over served requests, milliseconds.
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  /// Served requests per second of engine lifetime.
+  double throughput_rps = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// Thread-safe metrics accumulator feeding `RuntimeStats` snapshots.
+class StatsCollector {
+ public:
+  StatsCollector();
+
+  void record_submitted();
+  void record_rejection();
+  void record_batch(size_t batch_size);
+  void record_served(double latency_ms);
+  void record_cancelled(size_t count);
+
+  /// Consistent copy of all metrics at this instant.
+  RuntimeStats snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  RuntimeStats totals_;
+  uint64_t batched_requests_ = 0;
+  std::vector<double> latencies_ms_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace roadfusion::runtime

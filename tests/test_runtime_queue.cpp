@@ -1,0 +1,183 @@
+// BoundedQueue behaviour: backpressure in both policies (reject and
+// block), micro-batch gathering with compatibility fencing, and the
+// deterministic close/drain shutdown protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/request_queue.hpp"
+
+namespace roadfusion::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+const auto kAnyCompatible = [](int, int) { return true; };
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), PushResult::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // Popping frees a slot; the next try_push succeeds again.
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.try_push(3), PushResult::kOk);
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFreesUp) {
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.push(1), PushResult::kOk);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push(2), PushResult::kOk);  // blocks: queue is full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 1);  // frees the slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PushAfterCloseReturnsClosed) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_EQ(queue.push(1), PushResult::kClosed);
+  EXPECT_EQ(queue.try_push(1), PushResult::kClosed);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.push(1), PushResult::kOk);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push(2), PushResult::kClosed);  // blocked, then woken
+  });
+  std::this_thread::sleep_for(20ms);
+  queue.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, PopDrainsRemainingItemsAfterClose) {
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(queue.push(1), PushResult::kOk);
+  ASSERT_EQ(queue.push(2), PushResult::kOk);
+  queue.close();
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(20ms);
+  queue.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, PopBatchGathersUpToMax) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.push(i), PushResult::kOk);
+  }
+  const std::vector<int> batch = queue.pop_batch(3, 0us, kAnyCompatible);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, PopBatchStopsAtIncompatibleItem) {
+  BoundedQueue<int> queue(8);
+  for (int value : {2, 4, 7, 6}) {
+    ASSERT_EQ(queue.push(value), PushResult::kOk);
+  }
+  const auto same_parity = [](int head, int next) {
+    return head % 2 == next % 2;
+  };
+  // 7 fences off the batch; it stays queued as the next batch's head.
+  EXPECT_EQ(queue.pop_batch(4, 0us, same_parity),
+            (std::vector<int>{2, 4}));
+  EXPECT_EQ(queue.pop_batch(4, 0us, same_parity), (std::vector<int>{7}));
+  EXPECT_EQ(queue.pop_batch(4, 0us, same_parity), (std::vector<int>{6}));
+}
+
+TEST(BoundedQueue, PopBatchWaitsForStragglers) {
+  BoundedQueue<int> queue(8);
+  ASSERT_EQ(queue.push(1), PushResult::kOk);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    EXPECT_EQ(queue.push(2), PushResult::kOk);
+  });
+  // Generous straggler window: the late item joins the batch.
+  const std::vector<int> batch =
+      queue.pop_batch(2, std::chrono::microseconds(2'000'000),
+                      kAnyCompatible);
+  producer.join();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, PopBatchReturnsEmptyAfterCloseAndDrain) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_TRUE(queue.pop_batch(4, 0us, kAnyCompatible).empty());
+}
+
+TEST(BoundedQueue, DrainReturnsEverythingQueued) {
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(queue.push(1), PushResult::kOk);
+  ASSERT_EQ(queue.push(2), PushResult::kOk);
+  queue.close();
+  EXPECT_EQ(queue.drain(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 50;
+  BoundedQueue<int> queue(8);
+  std::atomic<int> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        const std::vector<int> batch =
+            queue.pop_batch(4, 100us, kAnyCompatible);
+        if (batch.empty()) {
+          return;
+        }
+        for (int value : batch) {
+          sum += value;
+          ++count;
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(queue.push(p * kPerProducer + i), PushResult::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace roadfusion::runtime

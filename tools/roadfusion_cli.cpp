@@ -2,16 +2,21 @@
 //
 // Subcommands:
 //   info                         architecture / complexity overview
-//   train    [options]           train a model and save a checkpoint
-//   eval     [options]           evaluate a checkpoint per road scene
-//   infer    [options]           run one scene and write overlay images
-//   profile  [options]           per-stage Feature Disparity of a model
-//   dataset  [options]           export synthetic samples as PPM/PGM
+//   train       [options]        train a model and save a checkpoint
+//   eval        [options]        evaluate a checkpoint per road scene
+//   infer       [options]        run one scene and write overlay images
+//   batch-infer [options]        run a whole dataset through the batched
+//                                multi-threaded inference runtime
+//   profile     [options]        per-stage Feature Disparity of a model
+//   dataset     [options]        export synthetic samples as PPM/PGM
 //
 // Run `roadfusion <command> --help` for the options of each command.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "cli_args.hpp"
 #include "eval/disparity_profile.hpp"
@@ -20,6 +25,7 @@
 #include "kitti/directory_dataset.hpp"
 #include "kitti/surface_normals.hpp"
 #include "roadseg/roadseg_net.hpp"
+#include "runtime/engine.hpp"
 #include "train/checkpoint.hpp"
 #include "train/trainer.hpp"
 #include "vision/image_io.hpp"
@@ -58,6 +64,32 @@ roadseg::RoadSegConfig net_config(const cli::Args& args) {
   config.scheme = core::fusion_scheme_from_string(args.get("scheme", "WS"));
   config.depth_channels = args.has("normals") ? 3 : 1;
   return config;
+}
+
+/// Engine knobs shared by `infer` and `batch-infer`; both commands go
+/// through the runtime so single-scene and batched inference exercise one
+/// code path.
+runtime::EngineConfig engine_config(const cli::Args& args) {
+  runtime::EngineConfig config;
+  config.threads = static_cast<int>(args.get_int("threads", 1));
+  config.max_batch = static_cast<int>(args.get_int("max-batch", 4));
+  config.max_wait_us = args.get_int("max-wait-us", 200);
+  config.queue_capacity =
+      static_cast<size_t>(args.get_int("queue-cap", 64));
+  return config;
+}
+
+void print_runtime_stats(const runtime::RuntimeStats& stats) {
+  std::printf(
+      "runtime: %llu served / %llu batches (mean batch %.2f), "
+      "%llu rejected\n"
+      "latency ms: mean %.2f  p50 %.2f  p99 %.2f   throughput %.2f req/s\n",
+      static_cast<unsigned long long>(stats.requests_served),
+      static_cast<unsigned long long>(stats.batches_formed),
+      stats.mean_batch_size,
+      static_cast<unsigned long long>(stats.queue_full_rejections),
+      stats.mean_latency_ms, stats.p50_latency_ms, stats.p99_latency_ms,
+      stats.throughput_rps);
 }
 
 void print_scores(const char* tag, const eval::SegmentationScores& scores) {
@@ -167,11 +199,12 @@ int cmd_infer(const cli::Args& args) {
         "roadfusion infer --model model.rfc [--scheme WS]\n"
         "                 [--category UM|UMM|UU] [--lighting day|night|"
         "overexposure|shadows]\n"
-        "                 [--scene-seed N] [--normals] [--out dir]\n");
+        "                 [--scene-seed N] [--normals] [--threads N]\n"
+        "                 [--out dir]\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
-                   "normals", "out", "help"});
+                   "normals", "threads", "out", "help"});
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
   train::load_model(net, args.get("model", "model.rfc"));
@@ -219,7 +252,10 @@ int cmd_infer(const cli::Args& args) {
           : kitti::preprocess_depth(sparse, data.depth);
   const tensor::Tensor label = kitti::render_ground_truth(scene, camera);
 
-  const tensor::Tensor probability = net.predict(rgb, depth);
+  // Single-scene inference rides the same runtime as batch-infer: one
+  // engine, one submitted request, one awaited future.
+  runtime::InferenceEngine engine(net, engine_config(args));
+  const tensor::Tensor probability = engine.submit(rgb, depth).get();
   const auto scores = eval::score_sample(probability, label, camera, {});
   std::printf("%s / %s (seed %llu): MaxF %.2f IOU %.2f\n",
               kitti::to_string(category), kitti::to_string(lighting),
@@ -241,6 +277,75 @@ int cmd_infer(const cli::Args& args) {
                                                        camera.width()))));
   std::printf("wrote %s/{rgb.ppm, %s, overlay.ppm}\n", out_dir.c_str(),
               data.use_surface_normals ? "normals.ppm" : "depth.pgm");
+  return 0;
+}
+
+int cmd_batch_infer(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion batch-infer --model model.rfc [--scheme WS]\n"
+        "                       [--data dir | --cap N] [--count N] "
+        "[--normals]\n"
+        "                       [--threads N] [--max-batch N] "
+        "[--max-wait-us N]\n"
+        "                       [--queue-cap N] [--out dir]\n\n"
+        "Runs every scene of a dataset (a directory of PPM/PGM triples\n"
+        "via --data, or the synthetic test split) through the batched\n"
+        "multi-threaded inference runtime and writes one overlay per\n"
+        "scene.\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
+                   "data-seed", "threads", "max-batch", "max-wait-us",
+                   "queue-cap", "out", "help"});
+  const auto scenes = make_data(args, kitti::Split::kTest);
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  train::load_model(net, args.get("model", "model.rfc"));
+  net.set_training(false);
+
+  const int64_t count =
+      std::min<int64_t>(scenes->size(), args.get_int("count", scenes->size()));
+  const std::filesystem::path out_dir(args.get("out", "infer_out"));
+  std::filesystem::create_directories(out_dir);
+
+  const runtime::EngineConfig engine_cfg = engine_config(args);
+  runtime::InferenceEngine engine(net, engine_cfg);
+  std::printf("batch-infer: %lld scenes, %d threads, max batch %d\n",
+              static_cast<long long>(count), engine_cfg.threads,
+              engine_cfg.max_batch);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<tensor::Tensor>> futures;
+  futures.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const kitti::Sample& sample = scenes->sample(i);
+    futures.push_back(engine.submit(sample.rgb, sample.depth));
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    const kitti::Sample& sample = scenes->sample(i);
+    const tensor::Tensor probability = futures[static_cast<size_t>(i)].get();
+    const int64_t height = sample.rgb.shape().dim(1);
+    const int64_t width = sample.rgb.shape().dim(2);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s_%04lld_overlay.ppm",
+                  kitti::to_string(sample.category),
+                  static_cast<long long>(i));
+    vision::write_ppm(
+        (out_dir / name).string(),
+        vision::overlay_segmentation(
+            sample.rgb,
+            probability.reshaped(tensor::Shape::mat(height, width))));
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  engine.shutdown(runtime::ShutdownMode::kDrain);
+
+  print_runtime_stats(engine.stats());
+  std::printf("wrote %lld overlays to %s (%.2f scenes/s)\n",
+              static_cast<long long>(count), out_dir.c_str(),
+              elapsed_s > 0.0 ? static_cast<double>(count) / elapsed_s : 0.0);
   return 0;
 }
 
@@ -313,18 +418,20 @@ int cmd_dataset(const cli::Args& args) {
   return 0;
 }
 
-void print_usage() {
-  std::printf(
+void print_usage(std::FILE* stream) {
+  std::fprintf(
+      stream,
       "roadfusion — camera/LiDAR fusion road segmentation (DAC'22 "
       "reproduction)\n\n"
       "usage: roadfusion <command> [options]\n\n"
       "commands:\n"
-      "  info      architecture / complexity overview of the 5 schemes\n"
-      "  train     train a model on the synthetic KITTI-road dataset\n"
-      "  eval      evaluate a checkpoint per road scene (BEV)\n"
-      "  infer     run one scene, write rgb/depth/overlay images\n"
-      "  profile   per-stage Feature Disparity of a trained model\n"
-      "  dataset   export synthetic samples as PPM/PGM files\n\n"
+      "  info         architecture / complexity overview of the 5 schemes\n"
+      "  train        train a model on the synthetic KITTI-road dataset\n"
+      "  eval         evaluate a checkpoint per road scene (BEV)\n"
+      "  infer        run one scene, write rgb/depth/overlay images\n"
+      "  batch-infer  run a dataset through the batched inference runtime\n"
+      "  profile      per-stage Feature Disparity of a trained model\n"
+      "  dataset      export synthetic samples as PPM/PGM files\n\n"
       "run 'roadfusion <command> --help' for per-command options\n");
 }
 
@@ -332,7 +439,7 @@ void print_usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    print_usage();
+    print_usage(stderr);
     return 2;
   }
   const std::string command = argv[1];
@@ -350,14 +457,17 @@ int main(int argc, char** argv) {
     if (command == "infer") {
       return cmd_infer(args);
     }
+    if (command == "batch-infer") {
+      return cmd_batch_infer(args);
+    }
     if (command == "profile") {
       return cmd_profile(args);
     }
     if (command == "dataset") {
       return cmd_dataset(args);
     }
-    std::printf("unknown command '%s'\n\n", command.c_str());
-    print_usage();
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    print_usage(stderr);
     return 2;
   } catch (const roadfusion::Error& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify driver (see ROADMAP.md): configure, build, ctest.
+#
+#   tools/run_tier1.sh          # the documented tier-1 line
+#   tools/run_tier1.sh --tsan   # additionally build the runtime tests
+#                               # under ThreadSanitizer and run them
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) tsan=1 ;;
+    *)
+      echo "usage: tools/run_tier1.sh [--tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$tsan" == 1 ]]; then
+  echo "== ThreadSanitizer pass over the runtime tests =="
+  cmake -B build-tsan -S . -DROADFUSION_SANITIZE=thread
+  cmake --build build-tsan -j \
+    --target test_runtime_queue test_runtime_engine
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime')
+fi
