@@ -1,11 +1,29 @@
-// Operator-level micro-benchmarks (google-benchmark).
+// Operator-level micro-benchmarks (google-benchmark) plus the kernel
+// backend comparison.
 //
 // Not a paper figure: supporting measurements for the overhead discussion
 // in Sec. IV-B — what a Fusion-filter, the AWN, the edge extractor and the
-// Feature Disparity metric cost relative to the network's backbone convs.
+// Feature Disparity metric cost relative to the network's backbone convs —
+// and, since the blocked-GEMM backend landed, the machine-readable
+// reference-vs-blocked comparison over the RoadSeg encoder conv shapes:
+//
+//   bench_ops --kernels-json              JSON to stdout, skip the
+//                                         google-benchmark suite
+//   bench_ops --kernels-json=FILE         additionally write FILE
+//                                         (the committed BENCH_kernels.json
+//                                         snapshot is produced this way)
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "autograd/kernels.hpp"
 #include "autograd/ops.hpp"
+#include "bench_common.hpp"
 #include "core/awn.hpp"
 #include "core/feature_disparity.hpp"
 #include "core/fusion_filter.hpp"
@@ -21,7 +39,9 @@ using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
 
-void BM_Conv3x3Forward(benchmark::State& state) {
+void conv_forward_with_backend(benchmark::State& state, const char* backend) {
+  const std::string previous = ag::kernels::backend_name();
+  ag::kernels::set_backend(backend);
   Rng rng(1);
   const int64_t c = state.range(0);
   const ag::Variable x =
@@ -32,8 +52,18 @@ void BM_Conv3x3Forward(benchmark::State& state) {
     benchmark::DoNotOptimize(
         ag::conv2d(x, w, ag::Variable(), ag::ConvGeometry{3, 1, 1}));
   }
+  ag::kernels::set_backend(previous);
+}
+
+void BM_Conv3x3Forward(benchmark::State& state) {
+  conv_forward_with_backend(state, "reference");
 }
 BENCHMARK(BM_Conv3x3Forward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv3x3ForwardBlocked(benchmark::State& state) {
+  conv_forward_with_backend(state, "blocked");
+}
+BENCHMARK(BM_Conv3x3ForwardBlocked)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_Conv3x3Backward(benchmark::State& state) {
   Rng rng(2);
@@ -136,6 +166,149 @@ void BM_DatasetSampleGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_DatasetSampleGeneration);
 
+// ---------------------------------------------------------------------------
+// Kernel backend comparison (reference vs blocked) over the conv shapes of
+// the RoadSeg encoder at the default 32x96 bench resolution, emitted as
+// JSON so the perf trajectory across PRs is machine-readable.
+// ---------------------------------------------------------------------------
+
+struct ConvShape {
+  const char* name;  ///< encoder layer the shape comes from
+  int64_t cin, cout, kernel, stride, padding, height, width;
+};
+
+// stage_channels {8, 12, 16, 24, 32}: the stem plus conv1/conv2/projection
+// of every residual stage (see roadseg/encoder.cpp, nn/blocks.cpp).
+constexpr ConvShape kEncoderShapes[] = {
+    {"stem_rgb", 3, 8, 3, 1, 1, 32, 96},
+    {"stem_depth", 1, 8, 3, 1, 1, 32, 96},
+    {"stage1.conv1", 8, 12, 3, 2, 1, 32, 96},
+    {"stage1.conv2", 12, 12, 3, 1, 1, 16, 48},
+    {"stage1.proj", 8, 12, 1, 2, 0, 32, 96},
+    {"stage2.conv1", 12, 16, 3, 2, 1, 16, 48},
+    {"stage2.conv2", 16, 16, 3, 1, 1, 8, 24},
+    {"stage3.conv1", 16, 24, 3, 2, 1, 8, 24},
+    {"stage3.conv2", 24, 24, 3, 1, 1, 4, 12},
+    {"stage4.conv1", 24, 32, 3, 2, 1, 4, 12},
+    {"stage4.conv2", 32, 32, 3, 1, 1, 2, 6},
+};
+
+/// Seconds per forward GEMM of `shape` under the active backend (mean over
+/// an adaptive iteration count, 2 warmup runs). Times the (cout, cin*k*k) x
+/// (cin*k*k, ho*wo) product the conv lowers to — the part the backend
+/// actually implements; the im2col lowering is shared code outside the
+/// dispatch, so it is done once up front and excluded.
+double time_conv_gemm(const ConvShape& shape) {
+  Rng rng(17);
+  const Tensor x = Tensor::normal(
+      Shape::chw(shape.cin, shape.height, shape.width), rng);
+  const ag::ConvGeometry geom{shape.kernel, shape.stride, shape.padding};
+  const Tensor columns =
+      ag::kernels::im2col(x.raw(), shape.cin, shape.height, shape.width, geom);
+  const Tensor wmat = Tensor::normal(
+      Shape::mat(shape.cout, shape.cin * shape.kernel * shape.kernel), rng);
+  auto run = [&] {
+    benchmark::DoNotOptimize(ag::kernels::gemm(wmat, columns));
+  };
+  run();
+  run();
+  using clock = std::chrono::steady_clock;
+  int64_t iters = 0;
+  const clock::time_point start = clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.12 || iters < 8) {
+    run();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return elapsed / static_cast<double>(iters);
+}
+
+int64_t conv_macs(const ConvShape& shape) {
+  const ag::ConvGeometry geom{shape.kernel, shape.stride, shape.padding};
+  return shape.cout * shape.cin * shape.kernel * shape.kernel *
+         geom.out_extent(shape.height) * geom.out_extent(shape.width);
+}
+
+/// Runs both backends over the encoder shapes and returns the JSON report.
+std::string kernel_comparison_json() {
+  const std::string previous = ag::kernels::backend_name();
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", std::string("bench_ops/kernels"))
+      .field("resolution", std::string("32x96"))
+      .field("threads", static_cast<int64_t>(1));
+  json.begin_array("shapes");
+  double speedup_log_sum = 0.0;
+  int64_t shape_count = 0;
+  for (const ConvShape& shape : kEncoderShapes) {
+    const double gflop = 2.0 * static_cast<double>(conv_macs(shape)) / 1e9;
+    ag::kernels::set_backend("reference");
+    const double reference_s = time_conv_gemm(shape);
+    ag::kernels::set_backend("blocked");
+    const double blocked_s = time_conv_gemm(shape);
+    json.begin_object()
+        .field("name", std::string(shape.name))
+        .field("cin", shape.cin)
+        .field("cout", shape.cout)
+        .field("kernel", shape.kernel)
+        .field("stride", shape.stride)
+        .field("h", shape.height)
+        .field("w", shape.width)
+        .field("macs", conv_macs(shape));
+    json.begin_object("reference")
+        .field("ms", reference_s * 1e3, 4)
+        .field("gflops", gflop / reference_s, 3)
+        .end_object();
+    json.begin_object("blocked")
+        .field("ms", blocked_s * 1e3, 4)
+        .field("gflops", gflop / blocked_s, 3)
+        .end_object();
+    json.field("speedup", reference_s / blocked_s, 3).end_object();
+    speedup_log_sum += std::log(reference_s / blocked_s);
+    ++shape_count;
+  }
+  json.end_array()
+      .field("geomean_speedup",
+             std::exp(speedup_log_sum / static_cast<double>(shape_count)), 3)
+      .end_object();
+  ag::kernels::set_backend(previous);
+  return json.str();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out --kernels-json[=FILE] before google-benchmark sees argv.
+  bool kernels_only = false;
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--kernels-json";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      kernels_only = true;
+      const char* rest = argv[i] + std::strlen(kFlag);
+      if (rest[0] == '=') {
+        json_path = rest + 1;
+      }
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+  if (!kernels_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const std::string json = kernel_comparison_json();
+  std::printf("%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+  }
+  return 0;
+}

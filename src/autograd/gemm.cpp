@@ -1,0 +1,271 @@
+#include "autograd/gemm.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/shape.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define ROADFUSION_GEMM_SSE2 1
+#endif
+
+namespace roadfusion::autograd::kernels {
+namespace {
+
+using tensor::Shape;
+
+// Register tile. 4x8 float accumulators occupy 8 of the 16 XMM registers
+// guaranteed on baseline x86-64 (SSE2), leaving room for the two B loads
+// and the A broadcast, so the whole tile lives in registers for the k loop.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 8;
+
+/// Strided read-only view of a logical (rows, cols) matrix. Lets the same
+/// packing routines serve A, A^T, B and B^T without copies.
+struct MatView {
+  const float* data;
+  int64_t row_stride;
+  int64_t col_stride;
+
+  float at(int64_t r, int64_t c) const {
+    return data[r * row_stride + c * col_stride];
+  }
+};
+
+int64_t round_up(int64_t value, int64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+/// Packs the (mb, kb) block of A at (i0, p0) into kMr-row panels,
+/// reduction-major within each panel. Rows beyond mb pad with zeros so the
+/// micro-kernel never branches on the row remainder.
+void pack_a(const MatView& a, int64_t i0, int64_t mb, int64_t p0, int64_t kb,
+            float* dst) {
+  for (int64_t ip = 0; ip < mb; ip += kMr) {
+    const int64_t rows = std::min<int64_t>(kMr, mb - ip);
+    for (int64_t p = 0; p < kb; ++p) {
+      for (int64_t r = 0; r < kMr; ++r) {
+        *dst++ = r < rows ? a.at(i0 + ip + r, p0 + p) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs the (kb, nb) block of B at (p0, j0) into kNr-column panels,
+/// reduction-major within each panel, zero-padded to full panel width.
+void pack_b(const MatView& b, int64_t p0, int64_t kb, int64_t j0, int64_t nb,
+            float* dst) {
+  for (int64_t jp = 0; jp < nb; jp += kNr) {
+    const int64_t cols = std::min<int64_t>(kNr, nb - jp);
+    for (int64_t p = 0; p < kb; ++p) {
+      for (int64_t j = 0; j < kNr; ++j) {
+        *dst++ = j < cols ? b.at(p0 + p, j0 + jp + j) : 0.0f;
+      }
+    }
+  }
+}
+
+/// kMr x kNr register-tiled micro-kernel:
+/// C[0:mrem, 0:nrem] += sum_p a_panel[p] (x) b_row(p). A is always a packed
+/// kMr-wide panel (reduction-major, zero-padded rows). B is addressed as
+/// `b + p * b_stride`: either a packed kNr panel (b_stride == kNr) or, on
+/// the no-copy fast path, a row-major source row (b_stride == ldb). The
+/// accumulators live in registers for the whole kb loop; C is touched once.
+void micro_kernel(int64_t kb, const float* a_panel, const float* b,
+                  int64_t b_stride, float* c, int64_t ldc, int64_t mrem,
+                  int64_t nrem) {
+#if defined(ROADFUSION_GEMM_SSE2)
+  if (nrem == kNr) {
+    // Full-width tile: 8 accumulator vectors, A rows beyond mrem are packed
+    // zeros so all four rows compute unconditionally and only mrem store.
+    __m128 c00 = _mm_setzero_ps(), c01 = _mm_setzero_ps();
+    __m128 c10 = _mm_setzero_ps(), c11 = _mm_setzero_ps();
+    __m128 c20 = _mm_setzero_ps(), c21 = _mm_setzero_ps();
+    __m128 c30 = _mm_setzero_ps(), c31 = _mm_setzero_ps();
+    for (int64_t p = 0; p < kb; ++p) {
+      const float* ap = a_panel + p * kMr;
+      const float* bp = b + p * b_stride;
+      const __m128 b0 = _mm_loadu_ps(bp);
+      const __m128 b1 = _mm_loadu_ps(bp + 4);
+      __m128 a = _mm_set1_ps(ap[0]);
+      c00 = _mm_add_ps(c00, _mm_mul_ps(a, b0));
+      c01 = _mm_add_ps(c01, _mm_mul_ps(a, b1));
+      a = _mm_set1_ps(ap[1]);
+      c10 = _mm_add_ps(c10, _mm_mul_ps(a, b0));
+      c11 = _mm_add_ps(c11, _mm_mul_ps(a, b1));
+      a = _mm_set1_ps(ap[2]);
+      c20 = _mm_add_ps(c20, _mm_mul_ps(a, b0));
+      c21 = _mm_add_ps(c21, _mm_mul_ps(a, b1));
+      a = _mm_set1_ps(ap[3]);
+      c30 = _mm_add_ps(c30, _mm_mul_ps(a, b0));
+      c31 = _mm_add_ps(c31, _mm_mul_ps(a, b1));
+    }
+    const __m128 acc[kMr][2] = {
+        {c00, c01}, {c10, c11}, {c20, c21}, {c30, c31}};
+    for (int64_t i = 0; i < mrem; ++i) {
+      float* c_row = c + i * ldc;
+      _mm_storeu_ps(c_row, _mm_add_ps(_mm_loadu_ps(c_row), acc[i][0]));
+      _mm_storeu_ps(c_row + 4, _mm_add_ps(_mm_loadu_ps(c_row + 4), acc[i][1]));
+    }
+    return;
+  }
+#endif
+  // Scalar path: non-SSE builds and the right-edge partial tiles. Bounds
+  // the B reads by nrem — on the direct-B path the tile's tail columns
+  // do not exist in the source matrix.
+  float acc[kMr][kNr] = {};
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* ap = a_panel + p * kMr;
+    const float* bp = b + p * b_stride;
+    for (int64_t i = 0; i < mrem; ++i) {
+      const float av = ap[i];
+      for (int64_t j = 0; j < nrem; ++j) {
+        acc[i][j] += av * bp[j];
+      }
+    }
+  }
+  for (int64_t i = 0; i < mrem; ++i) {
+    float* c_row = c + i * ldc;
+    for (int64_t j = 0; j < nrem; ++j) {
+      c_row[j] += acc[i][j];
+    }
+  }
+}
+
+/// Runs the full blocked loop nest over C[0:m, 0:n] (row stride ldc, must
+/// be zero-initialized). Each call owns its packing buffers, so concurrent
+/// calls on disjoint row ranges share nothing.
+void gemm_block_loop(const MatView& a, const MatView& b, float* c,
+                     int64_t ldc, int64_t m, int64_t n, int64_t k,
+                     const BlockedGemmConfig& config) {
+  const int64_t mc = std::min(config.mc, m);
+  const int64_t kc = std::min(config.kc, k);
+  const int64_t nc = std::min(config.nc, n);
+  // B is consumed in-place when its rows are contiguous (matmul / matmul_at)
+  // and the whole reduction fits one Kc block: the micro-kernel then streams
+  // 8-wide loads straight from the source and pack_b's full k x n copy —
+  // as large as the im2col matrix itself on conv shapes — is skipped.
+  // matmul_bt (col_stride == k) always packs, as does a k that spans
+  // multiple Kc blocks where packing buys the cache residency back.
+  const bool direct_b = b.col_stride == 1 && k <= kc;
+  std::vector<float> a_pack(
+      static_cast<size_t>(round_up(mc, kMr) * kc));
+  std::vector<float> b_pack(
+      direct_b ? 0 : static_cast<size_t>(round_up(nc, kNr) * kc));
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t nb = std::min(nc, n - j0);
+    for (int64_t p0 = 0; p0 < k; p0 += kc) {
+      const int64_t kb = std::min(kc, k - p0);
+      if (!direct_b) {
+        pack_b(b, p0, kb, j0, nb, b_pack.data());
+      }
+      for (int64_t i0 = 0; i0 < m; i0 += mc) {
+        const int64_t mb = std::min(mc, m - i0);
+        pack_a(a, i0, mb, p0, kb, a_pack.data());
+        for (int64_t jp = 0; jp < nb; jp += kNr) {
+          const float* b_tile =
+              direct_b ? b.data + p0 * b.row_stride + j0 + jp
+                       : b_pack.data() + (jp / kNr) * kb * kNr;
+          const int64_t b_stride = direct_b ? b.row_stride : kNr;
+          const int64_t nrem = std::min<int64_t>(kNr, nb - jp);
+          for (int64_t ip = 0; ip < mb; ip += kMr) {
+            micro_kernel(kb, a_pack.data() + (ip / kMr) * kb * kMr, b_tile,
+                         b_stride, c + (i0 + ip) * ldc + j0 + jp, ldc,
+                         std::min<int64_t>(kMr, mb - ip), nrem);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Entry point shared by the three GEMM forms: allocates C, optionally
+/// splits the rows across `config.threads` workers.
+Tensor blocked_gemm(const MatView& a, const MatView& b, int64_t m, int64_t n,
+                    int64_t k, const BlockedGemmConfig& config) {
+  ROADFUSION_CHECK(config.mc >= 1 && config.kc >= 1 && config.nc >= 1 &&
+                       config.threads >= 1,
+                   "blocked_gemm: invalid blocking config (mc "
+                       << config.mc << ", kc " << config.kc << ", nc "
+                       << config.nc << ", threads " << config.threads << ")");
+  Tensor out(Shape::mat(m, n));  // zero-initialized
+  float* c = out.raw();
+  // Chunk rows to register-tile multiples so no tile straddles two workers.
+  const int64_t max_workers = (m + kMr - 1) / kMr;
+  const int64_t workers =
+      std::min<int64_t>(config.threads, std::max<int64_t>(1, max_workers));
+  if (workers <= 1) {
+    gemm_block_loop(a, b, c, n, m, n, k, config);
+    return out;
+  }
+  const int64_t chunk = round_up((m + workers - 1) / workers, kMr);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int64_t w = 0; w < workers; ++w) {
+    const int64_t r0 = w * chunk;
+    const int64_t r1 = std::min(m, r0 + chunk);
+    if (r0 >= r1) {
+      break;
+    }
+    threads.emplace_back([&, r0, r1] {
+      const MatView a_rows{a.data + r0 * a.row_stride, a.row_stride,
+                           a.col_stride};
+      gemm_block_loop(a_rows, b, c + r0 * n, n, r1 - r0, n, k, config);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockedGemmConfig& blocked_gemm_config() {
+  static BlockedGemmConfig config;
+  return config;
+}
+
+Tensor blocked_matmul(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "blocked_matmul needs rank-2 operands");
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  ROADFUSION_CHECK(b.shape().dim(0) == k,
+                   "blocked_matmul inner dims mismatch: "
+                       << a.shape().str() << " x " << b.shape().str());
+  return blocked_gemm({a.raw(), k, 1}, {b.raw(), n, 1}, m, n, k,
+                      blocked_gemm_config());
+}
+
+Tensor blocked_matmul_at(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "blocked_matmul_at needs rank-2 operands");
+  const int64_t k = a.shape().dim(0);
+  const int64_t m = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  ROADFUSION_CHECK(b.shape().dim(0) == k,
+                   "blocked_matmul_at inner dims mismatch: "
+                       << a.shape().str() << "^T x " << b.shape().str());
+  return blocked_gemm({a.raw(), 1, m}, {b.raw(), n, 1}, m, n, k,
+                      blocked_gemm_config());
+}
+
+Tensor blocked_matmul_bt(const Tensor& a, const Tensor& b) {
+  ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                   "blocked_matmul_bt needs rank-2 operands");
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(0);
+  ROADFUSION_CHECK(b.shape().dim(1) == k,
+                   "blocked_matmul_bt inner dims mismatch: "
+                       << a.shape().str() << " x " << b.shape().str() << "^T");
+  return blocked_gemm({a.raw(), k, 1}, {b.raw(), 1, k}, m, n, k,
+                      blocked_gemm_config());
+}
+
+}  // namespace roadfusion::autograd::kernels

@@ -1,0 +1,56 @@
+// Cache-blocked, register-tiled GEMM — the "blocked" convolution backend.
+//
+// The classic three-level blocking scheme (BLIS/GotoBLAS style): the
+// operands are cut into Mc x Kc and Kc x Nc blocks that fit the cache
+// hierarchy, each block is packed into contiguous panels, and a small
+// register-tiled micro-kernel (kMr x kNr accumulators) does the arithmetic
+// with no C traffic inside the K loop. Strided views let one macro-kernel
+// serve all three GEMM forms the convolution ops need (A*B, A^T*B, A*B^T)
+// without materializing transposes.
+//
+// Row-parallelism: when `BlockedGemmConfig::threads > 1` the rows of C are
+// split into contiguous chunks (aligned to the register tile) and each
+// chunk runs the full blocked loop on its own std::thread with private
+// packing buffers — no shared mutable state, so the path is trivially
+// race-free (pinned by the ThreadSanitizer leg of tools/run_tier1.sh).
+//
+// Selected at runtime through the backend registry in kernels.hpp
+// (`kernels::set_backend("blocked")`, env ROADFUSION_KERNEL_BACKEND).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::autograd::kernels {
+
+using tensor::Tensor;
+
+/// Cache-blocking parameters of the blocked GEMM. Defaults are sized for
+/// the small-M / long-N GEMMs produced by im2col on this repository's
+/// encoder shapes (M = Cout <= 64, K = Cin*K*K <= a few hundred,
+/// N = Ho*Wo up to a few thousand): Kc covers a whole 3x3 reduction in one
+/// block and Nc keeps B streaming panel-by-panel through L1.
+struct BlockedGemmConfig {
+  int64_t mc = 128;  ///< rows of A packed per block (L2 resident)
+  int64_t kc = 384;  ///< reduction depth per block (panel height)
+  int64_t nc = 4096; ///< columns of B per block (streamed in kNr panels)
+  int threads = 1;   ///< row-parallel workers; 1 = run on the caller
+};
+
+/// Mutable process-wide blocking configuration. Mutate only while no GEMM
+/// is in flight (tests and benches tune it between runs); the defaults are
+/// read concurrently by worker threads, which is safe because reads do not
+/// mutate.
+BlockedGemmConfig& blocked_gemm_config();
+
+/// C = A * B with A (m, k), B (k, n), both row-major.
+Tensor blocked_matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B with A stored (k, m), B (k, n).
+Tensor blocked_matmul_at(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T with A (m, k), B stored (n, k).
+Tensor blocked_matmul_bt(const Tensor& a, const Tensor& b);
+
+}  // namespace roadfusion::autograd::kernels

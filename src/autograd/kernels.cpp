@@ -1,13 +1,147 @@
 #include "autograd/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 
+#include "autograd/gemm.hpp"
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "tensor/ops.hpp"
 
 namespace roadfusion::autograd::kernels {
+namespace {
+
+namespace t = roadfusion::tensor;
+
+/// Registry storage. Entries are heap-allocated so the active-backend
+/// pointer stays valid when the vector grows.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<GemmBackend>> backends;
+  std::atomic<const GemmBackend*> active{nullptr};
+
+  /// Caller must hold `mutex`.
+  const GemmBackend* find_locked(const std::string& name) const {
+    for (const auto& backend : backends) {
+      if (backend->name == name) {
+        return backend.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& r = instance;
+    r.backends.push_back(std::make_unique<GemmBackend>(GemmBackend{
+        "reference", &t::matmul, &t::matmul_at, &t::matmul_bt}));
+    r.backends.push_back(std::make_unique<GemmBackend>(
+        GemmBackend{"blocked", &blocked_matmul, &blocked_matmul_at,
+                    &blocked_matmul_bt}));
+    const std::string requested =
+        env_string("ROADFUSION_KERNEL_BACKEND", "reference");
+    const GemmBackend* initial = r.find_locked(requested);
+    ROADFUSION_CHECK(initial != nullptr,
+                     "ROADFUSION_KERNEL_BACKEND names unknown backend '"
+                         << requested << "'");
+    r.active.store(initial, std::memory_order_release);
+    const int threads = env_int("ROADFUSION_KERNEL_THREADS", 1);
+    ROADFUSION_CHECK(threads >= 1,
+                     "ROADFUSION_KERNEL_THREADS must be >= 1, got "
+                         << threads);
+    blocked_gemm_config().threads = threads;
+  });
+  return instance;
+}
+
+const GemmBackend& active_backend() {
+  return *registry().active.load(std::memory_order_acquire);
+}
+
+std::atomic<uint64_t> im2col_calls{0};
+
+}  // namespace
+
+void register_gemm_backend(const GemmBackend& backend) {
+  ROADFUSION_CHECK(!backend.name.empty() && backend.matmul != nullptr &&
+                       backend.matmul_at != nullptr &&
+                       backend.matmul_bt != nullptr,
+                   "register_gemm_backend: incomplete backend");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& existing : r.backends) {
+    if (existing->name == backend.name) {
+      ROADFUSION_CHECK(r.active.load(std::memory_order_acquire) !=
+                           existing.get(),
+                       "register_gemm_backend: cannot replace the active "
+                       "backend '"
+                           << backend.name << "'");
+      *existing = backend;
+      return;
+    }
+  }
+  r.backends.push_back(std::make_unique<GemmBackend>(backend));
+}
+
+void set_backend(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const GemmBackend* backend = r.find_locked(name);
+  ROADFUSION_CHECK(backend != nullptr,
+                   "set_backend: unknown kernel backend '"
+                       << name << "' (registered: "
+                       << [&r] {
+                            std::string names;
+                            for (const auto& b : r.backends) {
+                              names += names.empty() ? b->name
+                                                     : ", " + b->name;
+                            }
+                            return names;
+                          }() << ")");
+  r.active.store(backend, std::memory_order_release);
+}
+
+std::string backend_name() { return active_backend().name; }
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (const auto& backend : r.backends) {
+    names.push_back(backend->name);
+  }
+  return names;
+}
+
+Tensor gemm(const Tensor& a, const Tensor& b) {
+  return active_backend().matmul(a, b);
+}
+
+Tensor gemm_at(const Tensor& a, const Tensor& b) {
+  return active_backend().matmul_at(a, b);
+}
+
+Tensor gemm_bt(const Tensor& a, const Tensor& b) {
+  return active_backend().matmul_bt(a, b);
+}
+
+uint64_t im2col_call_count() {
+  return im2col_calls.load(std::memory_order_relaxed);
+}
+
+void reset_im2col_call_count() {
+  im2col_calls.store(0, std::memory_order_relaxed);
+}
 
 Tensor im2col(const float* image, int64_t channels, int64_t height,
               int64_t width, const ConvGeometry& geom) {
+  im2col_calls.fetch_add(1, std::memory_order_relaxed);
   const int64_t k = geom.kernel;
   const int64_t out_h = geom.out_extent(height);
   const int64_t out_w = geom.out_extent(width);

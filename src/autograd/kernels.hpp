@@ -1,10 +1,12 @@
 // Raw numeric kernels behind the autograd ops: im2col/col2im lowering for
-// convolutions, depthwise 3x3 correlation for the Sobel edge op, and
-// max-pool index bookkeeping. All functions operate on plain Tensors; the
-// autograd layer in ops.cpp composes them into differentiable ops.
+// convolutions, the GEMM backend registry the conv ops dispatch through,
+// depthwise 3x3 correlation for the Sobel edge op, and max-pool index
+// bookkeeping. All functions operate on plain Tensors; the autograd layer
+// in ops.cpp composes them into differentiable ops.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -13,6 +15,57 @@ namespace roadfusion::autograd::kernels {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// GEMM backend registry
+// ---------------------------------------------------------------------------
+//
+// The convolution family lowers to three GEMM forms; a backend supplies
+// all three. Two backends ship built in:
+//   "reference" — the always-available triple-loop kernels in tensor/ops
+//   "blocked"   — cache-blocked, register-tiled GEMM (gemm.hpp)
+// Selection order: register_gemm_backend()/set_backend() calls, with the
+// initial backend taken from ROADFUSION_KERNEL_BACKEND (default
+// "reference"). The active backend is a process-wide atomic; switching it
+// while forwards are in flight is safe (each GEMM call reads it once) but
+// mixes backends across ops, so runtimes set it before serving.
+
+/// One GEMM implementation set. All functions take row-major rank-2
+/// tensors and return a freshly allocated result.
+struct GemmBackend {
+  std::string name;
+  Tensor (*matmul)(const Tensor& a, const Tensor& b);     ///< (m,k)x(k,n)
+  Tensor (*matmul_at)(const Tensor& a, const Tensor& b);  ///< (k,m)^T x (k,n)
+  Tensor (*matmul_bt)(const Tensor& a, const Tensor& b);  ///< (m,k) x (n,k)^T
+};
+
+/// Registers (or replaces, by name) a backend. The registered backend is
+/// not activated; call set_backend() to switch to it.
+void register_gemm_backend(const GemmBackend& backend);
+
+/// Switches the active backend; throws on an unknown name.
+void set_backend(const std::string& name);
+
+/// Name of the active backend ("reference" | "blocked" | registered).
+std::string backend_name();
+
+/// Names of every registered backend, registration order.
+std::vector<std::string> backend_names();
+
+/// Dispatching entry points used by the conv/conv-transpose ops.
+Tensor gemm(const Tensor& a, const Tensor& b);
+Tensor gemm_at(const Tensor& a, const Tensor& b);
+Tensor gemm_bt(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------------
+
+/// Number of im2col invocations since the last reset (process-wide,
+/// atomic). Test hook: the conv backward reuses the forward's cached
+/// columns, and tests pin "one im2col per conv per sample per step" here.
+uint64_t im2col_call_count();
+void reset_im2col_call_count();
 
 /// Geometry of a 2-D convolution (square kernel/stride/padding).
 struct ConvGeometry {

@@ -219,10 +219,19 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
 
   Tensor out(Shape::nchw(batch, cout, out_h, out_w));
   const Tensor wmat = w.value().reshaped(Shape::mat(cout, ckk));
+  // The weight gradient needs the same column matrices the forward GEMM
+  // consumed, so they are carried to the backward pass (and freed there)
+  // instead of being re-lowered from the input. Only kept when a weight
+  // gradient can actually be requested.
+  const bool keep_columns = w.requires_grad();
+  auto cached_columns = std::make_shared<std::vector<Tensor>>();
+  if (keep_columns) {
+    cached_columns->reserve(static_cast<size_t>(batch));
+  }
   for (int64_t s = 0; s < batch; ++s) {
-    const Tensor columns = kernels::im2col(
+    Tensor columns = kernels::im2col(
         x.value().raw() + s * cin * h * width, cin, h, width, geom);
-    Tensor res = t::matmul(wmat, columns);
+    Tensor res = kernels::gemm(wmat, columns);
     float* dst = out.raw() + s * cout * out_plane;
     std::memcpy(dst, res.raw(),
                 static_cast<size_t>(cout * out_plane) * sizeof(float));
@@ -235,6 +244,9 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
         }
       }
     }
+    if (keep_columns) {
+      cached_columns->push_back(std::move(columns));
+    }
   }
 
   std::vector<Variable> parents = {x, w};
@@ -242,7 +254,7 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
     parents.push_back(b);
   }
   auto backward = [batch, cin, h, width, cout, geom, ckk, out_plane,
-                   has_bias](Node& node) {
+                   has_bias, cached_columns](Node& node) {
     Node& xn = *node.parents[0];
     Node& wn = *node.parents[1];
     const Tensor wmat_b = wn.value.reshaped(Shape::mat(cout, ckk));
@@ -252,19 +264,30 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
       const Tensor gout_mat =
           copy_mat(node.grad.raw() + s * cout * out_plane, cout, out_plane);
       if (wn.requires_grad) {
-        // im2col is recomputed here instead of cached from the forward pass
-        // to keep activation memory flat across deep graphs.
-        const Tensor columns = kernels::im2col(
-            xn.value.raw() + s * cin * h * width, cin, h, width, geom);
-        const Tensor dw_s = t::matmul_bt(gout_mat, columns);
+        // First backward uses the cached forward columns; a repeated
+        // backward (the cache is freed below) falls back to re-lowering.
+        const bool cached =
+            static_cast<size_t>(s) < cached_columns->size();
+        Tensor recomputed;
+        if (!cached) {
+          recomputed = kernels::im2col(
+              xn.value.raw() + s * cin * h * width, cin, h, width, geom);
+        }
+        const Tensor& columns =
+            cached ? (*cached_columns)[static_cast<size_t>(s)] : recomputed;
+        const Tensor dw_s = kernels::gemm_bt(gout_mat, columns);
         t::axpy_inplace(dw, 1.0f, dw_s);
       }
       if (xn.requires_grad) {
-        const Tensor dcol = t::matmul_at(wmat_b, gout_mat);
+        const Tensor dcol = kernels::gemm_at(wmat_b, gout_mat);
         kernels::col2im_accumulate(dcol, cin, h, width, geom,
                                    dx.raw() + s * cin * h * width);
       }
     }
+    // The columns were only needed for dw; release them now so the cache
+    // lives exactly from forward to backward.
+    cached_columns->clear();
+    cached_columns->shrink_to_fit();
     if (xn.requires_grad) {
       xn.accumulate_grad(dx);
     }
@@ -338,7 +361,7 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
   for (int64_t s = 0; s < batch; ++s) {
     const Tensor x_mat =
         copy_mat(x.value().raw() + s * cin * in_plane, cin, in_plane);
-    const Tensor columns = t::matmul_at(wmat, x_mat);  // (ckk, in_plane)
+    const Tensor columns = kernels::gemm_at(wmat, x_mat);  // (ckk, in_plane)
     kernels::col2im_accumulate(columns, cout, out_h, out_w, geom,
                                out.raw() + s * cout * out_plane);
     if (has_bias) {
@@ -368,14 +391,14 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
       const Tensor grad_columns = kernels::im2col(
           node.grad.raw() + s * cout * out_plane, cout, out_h, out_w, geom);
       if (xn.requires_grad) {
-        const Tensor dx_mat = t::matmul(wmat_b, grad_columns);
+        const Tensor dx_mat = kernels::gemm(wmat_b, grad_columns);
         std::memcpy(dx.raw() + s * cin * in_plane, dx_mat.raw(),
                     static_cast<size_t>(cin * in_plane) * sizeof(float));
       }
       if (wn.requires_grad) {
         const Tensor x_mat =
             copy_mat(xn.value.raw() + s * cin * in_plane, cin, in_plane);
-        const Tensor dw_s = t::matmul_bt(x_mat, grad_columns);
+        const Tensor dw_s = kernels::gemm_bt(x_mat, grad_columns);
         t::axpy_inplace(dw, 1.0f, dw_s);
       }
     }

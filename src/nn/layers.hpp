@@ -34,7 +34,10 @@ struct Complexity {
 };
 
 /// 2-D convolution layer with optional bias. Weight layout (Cout,Cin,K,K);
-/// He-normal initialization.
+/// He-normal initialization. The forward lowers to im2col + GEMM and
+/// dispatches through the kernel backend registry (autograd/kernels.hpp),
+/// so `kernels::set_backend` / ROADFUSION_KERNEL_BACKEND selects the GEMM
+/// implementation for every Conv2d in the process.
 class Conv2d : public Module {
  public:
   Conv2d(const std::string& name, int64_t in_channels, int64_t out_channels,

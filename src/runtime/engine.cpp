@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "autograd/kernels.hpp"
 #include "tensor/shape.hpp"
 
 namespace roadfusion::runtime {
@@ -24,6 +25,11 @@ InferenceEngine::InferenceEngine(roadseg::SegmentationModel& model,
                    "engine needs max_wait_us >= 0, got "
                        << config.max_wait_us);
   model.set_training(false);
+  if (!config.kernel_backend.empty()) {
+    // Process-wide selection; done before the workers start so every
+    // batched forward runs the requested backend from the first request.
+    autograd::kernels::set_backend(config.kernel_backend);
+  }
   workers_.reserve(static_cast<size_t>(config.threads));
   for (int i = 0; i < config.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

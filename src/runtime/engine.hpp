@@ -26,6 +26,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -74,6 +75,10 @@ struct EngineConfig {
   int64_t max_wait_us = 200;  ///< straggler window once a batch has a head
   size_t queue_capacity = 64;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Conv kernel backend activated at engine construction ("reference",
+  /// "blocked", or any registered name — see autograd/kernels.hpp). The
+  /// selection is process-wide; empty keeps the current backend.
+  std::string kernel_backend;
 };
 
 /// Batched multi-threaded inference runtime over one segmentation model.

@@ -1,0 +1,313 @@
+// Differential kernel-parity suite: the blocked GEMM backend must agree
+// with the reference backend on every conv geometry the repository can
+// express — forward, input gradient, and weight gradient — plus the three
+// raw GEMM forms at sizes that straddle the register-tile and cache-block
+// boundaries. A seeded fuzz loop sweeps ~200 random geometries on top of
+// the hand-picked grid.
+//
+// Tolerance: the reference matmul_bt accumulates in double while the
+// blocked kernel accumulates in float, so exact equality is out; parity is
+// |diff| <= 1e-5 * max(1, max|reference|) elementwise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "autograd/gemm.hpp"
+#include "autograd/kernels.hpp"
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::autograd {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr float kTol = 1e-5f;
+
+/// Restores the active backend and the blocked-GEMM blocking parameters on
+/// scope exit, so a failing test cannot leak state into later tests.
+class BackendGuard {
+ public:
+  BackendGuard()
+      : backend_(kernels::backend_name()),
+        config_(kernels::blocked_gemm_config()) {}
+  ~BackendGuard() {
+    kernels::set_backend(backend_);
+    kernels::blocked_gemm_config() = config_;
+  }
+
+ private:
+  std::string backend_;
+  kernels::BlockedGemmConfig config_;
+};
+
+void expect_allclose(const Tensor& reference, const Tensor& actual,
+                     const std::string& what) {
+  ASSERT_EQ(reference.shape(), actual.shape()) << what;
+  float max_abs = 1.0f;
+  for (int64_t i = 0; i < reference.numel(); ++i) {
+    max_abs = std::max(max_abs, std::abs(reference.at(i)));
+  }
+  const float tol = kTol * max_abs;
+  for (int64_t i = 0; i < reference.numel(); ++i) {
+    ASSERT_NEAR(reference.at(i), actual.at(i), tol)
+        << what << " diverges at flat index " << i;
+  }
+}
+
+struct ConvCase {
+  int64_t n, cin, cout, h, w, kernel, stride, padding;
+
+  std::string str() const {
+    return "n" + std::to_string(n) + "_c" + std::to_string(cin) + "to" +
+           std::to_string(cout) + "_" + std::to_string(h) + "x" +
+           std::to_string(w) + "_k" + std::to_string(kernel) + "s" +
+           std::to_string(stride) + "p" + std::to_string(padding);
+  }
+};
+
+struct ConvResult {
+  Tensor y, dx, dw, db;
+};
+
+/// Runs conv2d forward + backward under `backend`. The loss is a fixed
+/// random weighting of the output (sum(y * r)) so every output position
+/// feeds a distinct gradient — a plain sum would hide kernels that permute
+/// output columns.
+ConvResult run_conv(const std::string& backend, const ConvCase& c,
+                    const Tensor& x_t, const Tensor& w_t, const Tensor& b_t,
+                    const Tensor& weighting) {
+  kernels::set_backend(backend);
+  Variable x = Variable::leaf(x_t, /*requires_grad=*/true);
+  Variable w = Variable::leaf(w_t, /*requires_grad=*/true);
+  Variable b = Variable::leaf(b_t, /*requires_grad=*/true);
+  const ConvGeometry geom{c.kernel, c.stride, c.padding};
+  const Variable y = conv2d(x, w, b, geom);
+  sum_all(mul(y, Variable::constant(weighting))).backward();
+  return {y.value(), x.grad(), w.grad(), b.grad()};
+}
+
+void expect_conv_parity(const ConvCase& c) {
+  SCOPED_TRACE(c.str());
+  BackendGuard guard;
+  Rng rng(91);
+  const Tensor x_t = Tensor::normal(Shape::nchw(c.n, c.cin, c.h, c.w), rng);
+  const Tensor w_t =
+      Tensor::normal(Shape::nchw(c.cout, c.cin, c.kernel, c.kernel), rng);
+  const Tensor b_t = Tensor::normal(Shape::vec(c.cout), rng);
+  const ConvGeometry geom{c.kernel, c.stride, c.padding};
+  const Tensor weighting = Tensor::normal(
+      Shape::nchw(c.n, c.cout, geom.out_extent(c.h), geom.out_extent(c.w)),
+      rng);
+
+  const ConvResult reference =
+      run_conv("reference", c, x_t, w_t, b_t, weighting);
+  const ConvResult blocked = run_conv("blocked", c, x_t, w_t, b_t, weighting);
+  expect_allclose(reference.y, blocked.y, "forward");
+  expect_allclose(reference.dx, blocked.dx, "input-grad");
+  expect_allclose(reference.dw, blocked.dw, "weight-grad");
+  expect_allclose(reference.db, blocked.db, "bias-grad");
+}
+
+// ---------------------------------------------------------------------------
+// Hand-picked geometry grid
+// ---------------------------------------------------------------------------
+
+TEST(KernelParity, ConvGeometrySweep) {
+  const std::vector<ConvCase> cases = {
+      // kernel 1 / 3 / 7, stride 1 / 2, paddings 0..3
+      {1, 3, 8, 12, 16, 1, 1, 0},
+      {1, 3, 8, 12, 16, 3, 1, 1},
+      {1, 3, 8, 13, 17, 3, 2, 1},
+      {1, 4, 6, 14, 14, 7, 1, 3},
+      {1, 4, 6, 14, 14, 7, 2, 3},
+      {2, 2, 4, 9, 9, 3, 1, 0},
+      {2, 2, 4, 9, 9, 3, 1, 2},
+      {2, 2, 4, 9, 9, 3, 2, 3},
+      // channel counts off the kMr=4 / kNr=8 register-tile multiples
+      {1, 1, 1, 8, 8, 3, 1, 1},
+      {1, 5, 13, 10, 10, 3, 1, 1},
+      {1, 7, 3, 10, 10, 1, 1, 0},
+      {3, 3, 5, 7, 11, 3, 2, 1},
+      // RoadSeg encoder shapes (stem + one stage)
+      {1, 3, 8, 32, 96, 3, 1, 1},
+      {2, 8, 12, 32, 96, 3, 2, 1},
+      {1, 8, 12, 32, 96, 1, 2, 0},
+      // degenerate spatial extents
+      {1, 3, 4, 1, 1, 1, 1, 0},
+      {1, 2, 3, 1, 1, 3, 1, 1},
+      {2, 5, 9, 1, 7, 3, 2, 1},
+  };
+  for (const ConvCase& c : cases) {
+    expect_conv_parity(c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz sweep
+// ---------------------------------------------------------------------------
+
+TEST(KernelParity, ConvFuzz200Cases) {
+  std::mt19937 gen(20220705);  // fixed seed: failures must reproduce
+  std::uniform_int_distribution<int> kernel_pick(0, 4);
+  std::uniform_int_distribution<int64_t> stride_dist(1, 2);
+  std::uniform_int_distribution<int64_t> padding_dist(0, 3);
+  std::uniform_int_distribution<int64_t> batch_dist(1, 3);
+  std::uniform_int_distribution<int64_t> cin_dist(1, 9);
+  std::uniform_int_distribution<int64_t> cout_dist(1, 17);
+  std::uniform_int_distribution<int64_t> extent_dist(1, 14);
+  const int64_t kernels[] = {1, 2, 3, 5, 7};
+  int accepted = 0;
+  while (accepted < 200) {
+    ConvCase c;
+    c.kernel = kernels[kernel_pick(gen)];
+    c.stride = stride_dist(gen);
+    c.padding = padding_dist(gen);
+    c.n = batch_dist(gen);
+    c.cin = cin_dist(gen);
+    c.cout = cout_dist(gen);
+    c.h = extent_dist(gen);
+    c.w = extent_dist(gen);
+    // Geometry must yield at least one output position.
+    if (c.h + 2 * c.padding < c.kernel || c.w + 2 * c.padding < c.kernel) {
+      continue;
+    }
+    ++accepted;
+    expect_conv_parity(c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw GEMM forms at block-boundary sizes
+// ---------------------------------------------------------------------------
+
+struct GemmCase {
+  int64_t m, k, n;
+};
+
+void expect_gemm_parity(const GemmCase& g) {
+  SCOPED_TRACE("m" + std::to_string(g.m) + "_k" + std::to_string(g.k) + "_n" +
+               std::to_string(g.n));
+  Rng rng(7);
+  const Tensor a = Tensor::normal(Shape::mat(g.m, g.k), rng);
+  const Tensor b = Tensor::normal(Shape::mat(g.k, g.n), rng);
+  expect_allclose(tensor::matmul(a, b), kernels::blocked_matmul(a, b),
+                  "matmul");
+  const Tensor at = Tensor::normal(Shape::mat(g.k, g.m), rng);
+  expect_allclose(tensor::matmul_at(at, b), kernels::blocked_matmul_at(at, b),
+                  "matmul_at");
+  const Tensor bt = Tensor::normal(Shape::mat(g.n, g.k), rng);
+  expect_allclose(tensor::matmul_bt(a, bt), kernels::blocked_matmul_bt(a, bt),
+                  "matmul_bt");
+}
+
+TEST(KernelParity, GemmBlockBoundaries) {
+  const std::vector<GemmCase> cases = {
+      {1, 1, 1},    {1, 1, 9},    {3, 5, 7},    {4, 8, 8},
+      {5, 9, 17},   {8, 16, 24},  {12, 108, 768},  // stage1.conv2 shape
+      {33, 130, 100},  // crosses kMr/kNr remainders in both dimensions
+  };
+  for (const GemmCase& g : cases) {
+    expect_gemm_parity(g);
+  }
+}
+
+TEST(KernelParity, GemmMultipleCacheBlocks) {
+  // Shrink the cache blocks so a modest problem spans several Mc/Kc/Nc
+  // iterations, exercising the packed multi-block accumulation path.
+  BackendGuard guard;
+  kernels::BlockedGemmConfig& config = kernels::blocked_gemm_config();
+  config.mc = 8;
+  config.kc = 16;
+  config.nc = 24;
+  expect_gemm_parity({21, 70, 55});
+  expect_gemm_parity({8, 16, 24});
+  expect_gemm_parity({9, 17, 25});
+}
+
+TEST(KernelParity, GemmThreadedRowSplit) {
+  BackendGuard guard;
+  kernels::blocked_gemm_config().threads = 4;
+  expect_gemm_parity({64, 50, 40});
+  expect_gemm_parity({6, 20, 30});   // fewer row tiles than workers
+  expect_gemm_parity({1, 300, 5});   // single row: collapses to one worker
+}
+
+TEST(KernelParity, ConvThreadedMatchesSingleThread) {
+  BackendGuard guard;
+  kernels::blocked_gemm_config().threads = 3;
+  expect_conv_parity({2, 8, 12, 32, 96, 3, 2, 1});
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(KernelRegistry, BuiltinsRegistered) {
+  const std::vector<std::string> names = kernels::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "blocked"), names.end());
+}
+
+TEST(KernelRegistry, SetBackendRoundTrip) {
+  BackendGuard guard;
+  kernels::set_backend("blocked");
+  EXPECT_EQ(kernels::backend_name(), "blocked");
+  kernels::set_backend("reference");
+  EXPECT_EQ(kernels::backend_name(), "reference");
+}
+
+TEST(KernelRegistry, UnknownBackendThrows) {
+  EXPECT_THROW(kernels::set_backend("simd9000"), Error);
+}
+
+TEST(KernelRegistry, CannotReplaceActiveBackend) {
+  BackendGuard guard;
+  kernels::set_backend("reference");
+  kernels::GemmBackend impostor{"reference", &tensor::matmul,
+                                &tensor::matmul_at, &tensor::matmul_bt};
+  EXPECT_THROW(kernels::register_gemm_backend(impostor), Error);
+}
+
+// ---------------------------------------------------------------------------
+// im2col caching: forward columns must be reused by backward
+// ---------------------------------------------------------------------------
+
+TEST(Im2colCache, OneLoweringPerConvPerSamplePerStep) {
+  BackendGuard guard;
+  kernels::set_backend("blocked");
+  Rng rng(5);
+  const int64_t batch = 3;
+  Variable x = Variable::leaf(
+      Tensor::normal(Shape::nchw(batch, 3, 10, 12), rng), true);
+  Variable w1 = Variable::leaf(Tensor::normal(Shape::nchw(6, 3, 3, 3), rng),
+                               true);
+  Variable w2 = Variable::leaf(Tensor::normal(Shape::nchw(4, 6, 3, 3), rng),
+                               true);
+  const ConvGeometry geom{3, 1, 1};
+
+  kernels::reset_im2col_call_count();
+  const Variable y = conv2d(conv2d(x, w1, Variable(), geom), w2, Variable(),
+                            geom);
+  const uint64_t after_forward = kernels::im2col_call_count();
+  EXPECT_EQ(after_forward, static_cast<uint64_t>(2 * batch))
+      << "forward must lower each conv input exactly once per sample";
+
+  sum_all(y).backward();
+  EXPECT_EQ(kernels::im2col_call_count(), after_forward)
+      << "backward must reuse the forward's cached columns, not re-lower";
+  EXPECT_EQ(w1.grad().shape(), Shape::nchw(6, 3, 3, 3));
+  EXPECT_EQ(x.grad().shape(), Shape::nchw(batch, 3, 10, 12));
+}
+
+}  // namespace
+}  // namespace roadfusion::autograd

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/kernels.hpp"
 #include "cli_args.hpp"
 #include "eval/disparity_profile.hpp"
 #include "eval/evaluator.hpp"
@@ -76,7 +77,18 @@ runtime::EngineConfig engine_config(const cli::Args& args) {
   config.max_wait_us = args.get_int("max-wait-us", 200);
   config.queue_capacity =
       static_cast<size_t>(args.get_int("queue-cap", 64));
+  config.kernel_backend = args.get("kernel-backend", "");
   return config;
+}
+
+/// Applies --kernel-backend for commands that drive the model directly
+/// (no engine in between). Default: keep the process-wide selection
+/// (ROADFUSION_KERNEL_BACKEND or "reference").
+void apply_kernel_backend(const cli::Args& args) {
+  const std::string backend = args.get("kernel-backend", "");
+  if (!backend.empty()) {
+    autograd::kernels::set_backend(backend);
+  }
 }
 
 void print_runtime_stats(const runtime::RuntimeStats& stats) {
@@ -137,11 +149,14 @@ int cmd_train(const cli::Args& args) {
     std::printf(
         "roadfusion train [--scheme Baseline|AU|AB|BS|WS] [--alpha A]\n"
         "                 [--epochs N] [--cap N] [--normals] [--augment]\n"
-        "                 [--seed N] [--data dir] [--out model.rfc]\n");
+        "                 [--seed N] [--data dir] [--out model.rfc]\n"
+        "                 [--kernel-backend reference|blocked]\n");
     return 0;
   }
   args.allow_only({"scheme", "alpha", "epochs", "cap", "normals", "augment",
-                   "seed", "out", "data", "data-seed", "help"});
+                   "seed", "out", "data", "data-seed", "kernel-backend",
+                   "help"});
+  apply_kernel_backend(args);
   const auto train_set = make_data(args, kitti::Split::kTrain);
 
   tensor::Rng rng(static_cast<uint64_t>(args.get_int("seed", 42)));
@@ -200,11 +215,11 @@ int cmd_infer(const cli::Args& args) {
         "                 [--category UM|UMM|UU] [--lighting day|night|"
         "overexposure|shadows]\n"
         "                 [--scene-seed N] [--normals] [--threads N]\n"
-        "                 [--out dir]\n");
+        "                 [--kernel-backend reference|blocked] [--out dir]\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
-                   "normals", "threads", "out", "help"});
+                   "normals", "threads", "kernel-backend", "out", "help"});
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
   train::load_model(net, args.get("model", "model.rfc"));
@@ -288,7 +303,9 @@ int cmd_batch_infer(const cli::Args& args) {
         "[--normals]\n"
         "                       [--threads N] [--max-batch N] "
         "[--max-wait-us N]\n"
-        "                       [--queue-cap N] [--out dir]\n\n"
+        "                       [--queue-cap N] "
+        "[--kernel-backend reference|blocked]\n"
+        "                       [--out dir]\n\n"
         "Runs every scene of a dataset (a directory of PPM/PGM triples\n"
         "via --data, or the synthetic test split) through the batched\n"
         "multi-threaded inference runtime and writes one overlay per\n"
@@ -297,7 +314,7 @@ int cmd_batch_infer(const cli::Args& args) {
   }
   args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
                    "data-seed", "threads", "max-batch", "max-wait-us",
-                   "queue-cap", "out", "help"});
+                   "queue-cap", "kernel-backend", "out", "help"});
   const auto scenes = make_data(args, kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
