@@ -12,13 +12,25 @@
 // the shared read-only model, so scenes/sec scales with physical cores
 // (on a single-core container every thread count measures the same
 // sequential rate; `hardware_concurrency` in the JSON gives the context).
+//
+// Fault-tolerance leg (`--fault-rate R [--fault-seed N]`): instead of the
+// thread sweep, streams scenes through one engine while a deterministic
+// FaultInjector corrupts a fraction R of the requests (NaN depth, dead
+// scanlines, bad shapes, stride-breaking geometry, slow batches — the
+// throwing-forward kind is excluded because an armed throw fails whatever
+// batch it lands on, including innocent requests). The leg asserts the
+// availability contract: every non-faulted request must succeed; exit
+// status is non-zero otherwise or when availability drops below 90%.
 #include <chrono>
+#include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace {
 
@@ -46,7 +58,7 @@ ThroughputResult measure(roadseg::RoadSegNet& net,
   (void)engine.submit(stream[0]->rgb, stream[0]->depth).get();
 
   const auto start = Clock::now();
-  std::vector<std::future<tensor::Tensor>> futures;
+  std::vector<std::future<runtime::InferenceResult>> futures;
   futures.reserve(stream.size());
   for (const kitti::Sample* sample : stream) {
     futures.push_back(engine.submit(sample->rgb, sample->depth));
@@ -67,13 +79,167 @@ ThroughputResult measure(roadseg::RoadSegNet& net,
   return result;
 }
 
+int run_fault_leg(roadseg::RoadSegNet& net,
+                  const std::vector<const kitti::Sample*>& stream,
+                  double fault_rate, uint64_t fault_seed) {
+  runtime::FaultSpec spec;
+  spec.rate = fault_rate;
+  spec.seed = fault_seed;
+  spec.kinds = {runtime::FaultKind::kNanDepth,
+                runtime::FaultKind::kScanlineDropout,
+                runtime::FaultKind::kBadShape,
+                runtime::FaultKind::kIndivisibleShape,
+                runtime::FaultKind::kSlowBatch};
+  runtime::FaultInjector injector(spec);
+
+  runtime::EngineConfig config;
+  config.threads = 2;
+  config.max_batch = 4;
+  config.max_wait_us = 200;
+  config.queue_capacity = stream.size();
+  config.pre_forward_hook = injector.engine_hook();
+  runtime::InferenceEngine engine(net, config);
+
+  struct Outcome {
+    bool faulted = false;
+    bool rejected_at_submit = false;
+    std::future<runtime::InferenceResult> future;
+  };
+  const auto start = Clock::now();
+  std::vector<Outcome> outcomes(stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    tensor::Tensor rgb = stream[i]->rgb;
+    tensor::Tensor depth = stream[i]->depth;
+    if (const auto kind = injector.draw()) {
+      outcomes[i].faulted = true;
+      injector.apply(*kind, rgb, depth);
+    }
+    try {
+      outcomes[i].future = engine.submit(std::move(rgb), std::move(depth));
+    } catch (const runtime::InvalidInputError&) {
+      outcomes[i].rejected_at_submit = true;
+    }
+  }
+
+  int64_t succeeded = 0;
+  int64_t degraded = 0;
+  int64_t errors = 0;
+  int64_t invalid_rejected = 0;
+  int64_t timeouts = 0;
+  int64_t clean_failures = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Outcome& o = outcomes[i];
+    if (o.rejected_at_submit) {
+      ++invalid_rejected;
+      if (!o.faulted) {
+        ++clean_failures;
+      }
+      continue;
+    }
+    try {
+      const runtime::InferenceResult result = o.future.get();
+      ++succeeded;
+      if (result.degraded) {
+        ++degraded;
+      }
+    } catch (const runtime::DeadlineExceededError&) {
+      ++timeouts;
+      if (!o.faulted) {
+        ++clean_failures;
+      }
+    } catch (const roadfusion::Error&) {
+      ++errors;
+      if (!o.faulted) {
+        ++clean_failures;
+      }
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  engine.shutdown(runtime::ShutdownMode::kDrain);
+  const runtime::RuntimeStats stats = engine.stats();
+
+  const int64_t total = static_cast<int64_t>(stream.size());
+  const double availability =
+      total > 0 ? static_cast<double>(succeeded) / static_cast<double>(total)
+                : 0.0;
+
+  bench::print_row({"requests", "faulted", "ok", "degraded", "errors",
+                    "availability"},
+                   12);
+  bench::print_row({std::to_string(total),
+                    std::to_string(injector.faulted()),
+                    std::to_string(succeeded), std::to_string(degraded),
+                    std::to_string(errors + invalid_rejected + timeouts),
+                    bench::fmt(availability * 100.0, 1) + "%"},
+                   12);
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", std::string("throughput_faults"))
+      .field("fault_rate", fault_rate)
+      .field("fault_seed", static_cast<int64_t>(fault_seed))
+      .field("requests", total)
+      .field("faulted", static_cast<int64_t>(injector.faulted()))
+      .field("succeeded", succeeded)
+      .field("degraded", degraded)
+      .field("errors", errors)
+      .field("timeouts", timeouts)
+      .field("invalid_rejected", invalid_rejected)
+      .field("clean_failures", clean_failures)
+      .field("availability", availability)
+      .field("scenes_per_sec",
+             elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s : 0.0)
+      .field("stats_served", static_cast<int64_t>(stats.requests_served))
+      .field("stats_degraded", static_cast<int64_t>(stats.requests_degraded))
+      .field("stats_failed", static_cast<int64_t>(stats.requests_failed))
+      .field("stats_timed_out",
+             static_cast<int64_t>(stats.requests_timed_out))
+      .field("stats_invalid_rejections",
+             static_cast<int64_t>(stats.invalid_input_rejections))
+      .field("mean_batch_size", stats.mean_batch_size)
+      .field("p99_latency_ms", stats.p99_latency_ms)
+      .end_object();
+  std::printf("%s\n", json.str().c_str());
+
+  if (clean_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld non-faulted requests did not succeed\n",
+                 static_cast<long long>(clean_failures));
+    return 1;
+  }
+  if (availability < 0.9) {
+    std::fprintf(stderr, "FAIL: availability %.3f below 0.9\n", availability);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      fault_rate = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = static_cast<uint64_t>(std::stoull(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--fault-rate R] "
+                   "[--fault-seed N]\n");
+      return 2;
+    }
+  }
+
   const bench::BenchSettings config = bench::settings();
   bench::print_header(
       "Inference runtime throughput (scenes/sec vs worker threads)",
-      "batched multi-threaded serving over one shared model; JSON below");
+      fault_rate > 0.0
+          ? "fault-injected serving availability; JSON below"
+          : "batched multi-threaded serving over one shared model; JSON "
+            "below");
 
   kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
   roadseg::RoadSegConfig net_config = config.net;
@@ -91,6 +257,10 @@ int main() {
     for (int i = 0; i < distinct; ++i) {
       stream.push_back(&test_set.sample(i));
     }
+  }
+
+  if (fault_rate > 0.0) {
+    return run_fault_leg(net, stream, fault_rate, fault_seed);
   }
 
   const int max_batch = 4;

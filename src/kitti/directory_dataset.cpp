@@ -94,30 +94,50 @@ std::vector<int64_t> DirectoryDataset::indices_of(
 Sample DirectoryDataset::load(int64_t index) const {
   const fs::path base = fs::path(config_.directory) /
                         stems_[static_cast<size_t>(index)];
+  // Files can vanish or rot between the constructor's scan and this lazy
+  // load; wrap every read so the error names the exact file and sample.
+  const auto read_file = [&](const std::string& path,
+                             bool color) -> tensor::Tensor {
+    try {
+      return color ? vision::read_ppm(path) : vision::read_pgm(path);
+    } catch (const Error& e) {
+      throw DatasetLoadError("DirectoryDataset: failed to load sample " +
+                             std::to_string(index) + " from " + path + ": " +
+                             e.what());
+    }
+  };
   Sample sample;
   sample.category = categories_[static_cast<size_t>(index)];
-  sample.rgb = vision::read_ppm(base.string() + "_rgb.ppm");
+  sample.rgb = read_file(base.string() + "_rgb.ppm", /*color=*/true);
   if (has_normals_[static_cast<size_t>(index)]) {
-    sample.depth = vision::read_ppm(base.string() + "_normals.ppm");
+    sample.depth = read_file(base.string() + "_normals.ppm", /*color=*/true);
   } else {
-    sample.depth = vision::read_pgm(base.string() + "_depth.pgm");
+    sample.depth = read_file(base.string() + "_depth.pgm", /*color=*/false);
   }
-  tensor::Tensor label = vision::read_pgm(base.string() + "_label.pgm");
+  tensor::Tensor label =
+      read_file(base.string() + "_label.pgm", /*color=*/false);
   // Quantized masks may carry intermediate values; re-binarize.
   float* data = label.raw();
   for (int64_t i = 0; i < label.numel(); ++i) {
     data[i] = data[i] >= 0.5f ? 1.0f : 0.0f;
   }
   sample.label = label;
-  ROADFUSION_CHECK(sample.rgb.shape().dim(1) == camera_->height() &&
-                       sample.rgb.shape().dim(2) == camera_->width(),
-                   "DirectoryDataset: sample '"
-                       << stems_[static_cast<size_t>(index)]
-                       << "' size differs from the first sample");
-  ROADFUSION_CHECK(sample.depth.shape().dim(1) == camera_->height() &&
-                       sample.label.shape().dim(1) == camera_->height(),
-                   "DirectoryDataset: modality size mismatch in '"
-                       << stems_[static_cast<size_t>(index)] << "'");
+  if (!(sample.rgb.shape().dim(1) == camera_->height() &&
+        sample.rgb.shape().dim(2) == camera_->width())) {
+    throw DatasetLoadError(
+        "DirectoryDataset: sample " + std::to_string(index) + " (" +
+        base.string() + "_rgb.ppm) has size " +
+        std::to_string(sample.rgb.shape().dim(1)) + "x" +
+        std::to_string(sample.rgb.shape().dim(2)) +
+        " but the first sample defined " + std::to_string(camera_->height()) +
+        "x" + std::to_string(camera_->width()));
+  }
+  if (!(sample.depth.shape().dim(1) == camera_->height() &&
+        sample.label.shape().dim(1) == camera_->height())) {
+    throw DatasetLoadError("DirectoryDataset: modality size mismatch in sample " +
+                           std::to_string(index) + " (" + base.string() +
+                           "_*)");
+  }
   return sample;
 }
 

@@ -18,10 +18,20 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "kitti/data_interface.hpp"
 #include "kitti/dataset.hpp"
 
 namespace roadfusion::kitti {
+
+/// Thrown when a sample file is missing or undecodable at load time. The
+/// message names the full path of the offending file and the sample
+/// index, so a corrupt file deep in a real dataset can be located without
+/// re-running under a debugger.
+class DatasetLoadError : public Error {
+ public:
+  explicit DatasetLoadError(const std::string& what) : Error(what) {}
+};
 
 /// Camera parameters associated with a file-backed dataset (needed for
 /// the BEV evaluation warp); image size is read from the files.

@@ -1,0 +1,114 @@
+#include "kitti/sensor_health.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace roadfusion::kitti {
+
+namespace {
+
+int64_t count_nonfinite(const tensor::Tensor& t) {
+  int64_t count = 0;
+  for (const float v : t.data()) {
+    if (!std::isfinite(v)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* to_string(SensorStatus status) {
+  switch (status) {
+    case SensorStatus::kHealthy:
+      return "healthy";
+    case SensorStatus::kDegraded:
+      return "degraded";
+    case SensorStatus::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+SensorHealthReport check_sensor_health(const tensor::Tensor& rgb,
+                                       const tensor::Tensor& depth,
+                                       const SensorHealthConfig& config) {
+  SensorHealthReport report;
+  const auto invalid = [&report](const std::string& why) {
+    report.status = SensorStatus::kInvalid;
+    report.detail = why;
+    return report;
+  };
+
+  if (rgb.shape().rank() != 3 || depth.shape().rank() != 3) {
+    std::ostringstream why;
+    why << "expected CHW rgb and depth, got rgb " << rgb.shape().str()
+        << " and depth " << depth.shape().str();
+    return invalid(why.str());
+  }
+  if (rgb.shape().dim(0) != 3) {
+    std::ostringstream why;
+    why << "rgb must have 3 channels, got " << rgb.shape().str();
+    return invalid(why.str());
+  }
+  if (depth.shape().dim(0) != 1 && depth.shape().dim(0) != 3) {
+    std::ostringstream why;
+    why << "depth must have 1 (inverse depth) or 3 (surface normals) "
+           "channels, got "
+        << depth.shape().str();
+    return invalid(why.str());
+  }
+  if (rgb.shape().dim(1) != depth.shape().dim(1) ||
+      rgb.shape().dim(2) != depth.shape().dim(2)) {
+    std::ostringstream why;
+    why << "rgb " << rgb.shape().str() << " and depth " << depth.shape().str()
+        << " disagree on H x W";
+    return invalid(why.str());
+  }
+  if (rgb.numel() == 0 || depth.numel() == 0) {
+    return invalid("empty sensor tensor");
+  }
+
+  report.nonfinite_rgb = count_nonfinite(rgb);
+  if (report.nonfinite_rgb > 0) {
+    // RGB is the primary modality: without it there is nothing to serve.
+    std::ostringstream why;
+    why << report.nonfinite_rgb << " non-finite rgb values";
+    return invalid(why.str());
+  }
+
+  report.nonfinite_depth = count_nonfinite(depth);
+  int64_t dead = 0;
+  for (const float v : depth.data()) {
+    if (v == 0.0f) {
+      ++dead;
+    }
+  }
+  report.dead_depth_fraction =
+      static_cast<float>(dead) / static_cast<float>(depth.numel());
+
+  if (report.nonfinite_depth > 0) {
+    if (!config.degrade_on_nonfinite_depth) {
+      std::ostringstream why;
+      why << report.nonfinite_depth << " non-finite depth values";
+      return invalid(why.str());
+    }
+    report.status = SensorStatus::kDegraded;
+    std::ostringstream why;
+    why << report.nonfinite_depth << " non-finite depth values";
+    report.detail = why.str();
+    return report;
+  }
+  if (report.dead_depth_fraction > config.max_dead_depth_fraction) {
+    report.status = SensorStatus::kDegraded;
+    std::ostringstream why;
+    why << "dead depth fraction " << report.dead_depth_fraction
+        << " exceeds threshold " << config.max_dead_depth_fraction;
+    report.detail = why.str();
+    return report;
+  }
+  return report;
+}
+
+}  // namespace roadfusion::kitti

@@ -1,0 +1,63 @@
+// Sensor health classification for incoming rgb/depth request pairs.
+//
+// Real LiDAR drops returns, produces NaN or zero regions, and occasionally
+// delivers garbage frames; cameras fail harder but rarer. Before a request
+// reaches the serving engine, `check_sensor_health` classifies the pair:
+//
+//   kHealthy  — both modalities usable, serve the normal fused forward;
+//   kDegraded — RGB is fine but depth is unusable (non-finite values or a
+//               dead/zero region above threshold): serve RGB-only via the
+//               fusion_weight = 0 path so one bad sensor degrades accuracy
+//               instead of availability;
+//   kInvalid  — the request cannot be served at all (malformed shapes,
+//               modality geometry mismatch, non-finite RGB): reject with a
+//               typed error at submission.
+//
+// The thresholds mirror the paper's framing: the AWN down-weights
+// unreliable depth features with a scalar weight; this check is the
+// serving-time analogue that decides when that weight must be exactly 0.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::kitti {
+
+/// Outcome class of a sensor health check.
+enum class SensorStatus {
+  kHealthy,   ///< serve normally
+  kDegraded,  ///< depth unusable; serve RGB-only (fusion_weight = 0)
+  kInvalid,   ///< reject: the request cannot produce a meaningful output
+};
+
+const char* to_string(SensorStatus status);
+
+/// Knobs of the health classification.
+struct SensorHealthConfig {
+  /// Fraction of exactly-zero depth pixels above which the depth image
+  /// counts as dead (LiDAR dropout). Densified depth maps are near-fully
+  /// populated, so a majority-zero map means the sensor is gone.
+  float max_dead_depth_fraction = 0.6f;
+  /// When false, any non-finite depth value makes the pair kInvalid
+  /// instead of kDegraded (strict mode for offline pipelines).
+  bool degrade_on_nonfinite_depth = true;
+};
+
+/// Everything the check measured, plus the verdict.
+struct SensorHealthReport {
+  SensorStatus status = SensorStatus::kHealthy;
+  int64_t nonfinite_rgb = 0;        ///< NaN/Inf values in the rgb tensor
+  int64_t nonfinite_depth = 0;      ///< NaN/Inf values in the depth tensor
+  float dead_depth_fraction = 0.0f; ///< exactly-zero depth pixels / total
+  std::string detail;               ///< human-readable reason (empty when healthy)
+};
+
+/// Classifies one rgb/depth pair. rgb must be (3, H, W); depth must be
+/// (1, H, W) or (3, H, W) with matching H x W. Never throws: malformed
+/// input yields kInvalid with the reason in `detail`.
+SensorHealthReport check_sensor_health(const tensor::Tensor& rgb,
+                                       const tensor::Tensor& depth,
+                                       const SensorHealthConfig& config = {});
+
+}  // namespace roadfusion::kitti

@@ -60,6 +60,12 @@ bool RoadSegNet::stage_is_shared(int stage) const {
 
 ForwardResult RoadSegNet::forward(const autograd::Variable& rgb,
                                   const autograd::Variable& depth) const {
+  return forward_fused(rgb, depth, 1.0f);
+}
+
+ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
+                                        const autograd::Variable& depth,
+                                        float fusion_weight) const {
   ROADFUSION_CHECK(rgb.shape().rank() == 4 && depth.shape().rank() == 4,
                    "RoadSegNet::forward expects NCHW inputs");
   ROADFUSION_CHECK(rgb.shape().batch() == depth.shape().batch() &&
@@ -68,6 +74,8 @@ ForwardResult RoadSegNet::forward(const autograd::Variable& rgb,
                    "RoadSegNet::forward: rgb " << rgb.shape().str()
                                                << " vs depth "
                                                << depth.shape().str());
+  ROADFUSION_CHECK(fusion_weight >= 0.0f && fusion_weight <= 1.0f,
+                   "fusion_weight must be in [0, 1], got " << fusion_weight);
   const int stages = num_stages();
   const int64_t stride = int64_t{1} << (stages - 1);
   ROADFUSION_CHECK(rgb.shape().height() % stride == 0 &&
@@ -79,27 +87,46 @@ ForwardResult RoadSegNet::forward(const autograd::Variable& rgb,
   ForwardResult result;
   std::vector<autograd::Variable> skips;
   autograd::Variable rgb_in = rgb;
+
+  if (fusion_weight == 0.0f) {
+    // RGB-only degraded mode: the depth branch is never executed and the
+    // depth values are never read, so a NaN-poisoned tensor from a dead
+    // sensor cannot contaminate the output. Each fusion point contributes
+    // zero matched features (fused_i = r_i).
+    for (int stage = 0; stage < stages; ++stage) {
+      const autograd::Variable r_i =
+          rgb_encoder_->forward_stage(stage, rgb_in);
+      result.fusion_pairs.emplace_back(
+          r_i, autograd::Variable::constant(
+                   tensor::Tensor(r_i.shape())));
+      skips.push_back(r_i);
+      rgb_in = r_i;
+    }
+    result.logits = decoder_->forward(skips);
+    return result;
+  }
+
   autograd::Variable depth_in = depth;
   for (int stage = 0; stage < stages; ++stage) {
     const autograd::Variable r_i = rgb_encoder_->forward_stage(stage, rgb_in);
     const autograd::Variable d_i =
         depth_encoder_->forward_stage(stage, depth_in);
 
+    // Every scheme reduces to fused_i = r_i + matched_i; the schemes
+    // differ only in how `matched` is derived from d_i (identity, fusion
+    // filter, AWN weighting) and whether the depth branch is updated in
+    // reverse (AllFilter_B).
     autograd::Variable matched = d_i;
-    autograd::Variable fused_rgb;
     autograd::Variable next_depth = d_i;
     switch (config_.scheme) {
       case FusionScheme::kBaseline:
       case FusionScheme::kBaseSharing:
-        fused_rgb = ag::add(r_i, d_i);
         break;
       case FusionScheme::kAllFilterU:
         matched = depth_to_rgb_filters_[static_cast<size_t>(stage)].match(d_i);
-        fused_rgb = ag::add(r_i, matched);
         break;
       case FusionScheme::kAllFilterB: {
         matched = depth_to_rgb_filters_[static_cast<size_t>(stage)].match(d_i);
-        fused_rgb = ag::add(r_i, matched);
         if (stage < stages - 1) {
           const autograd::Variable matched_rgb =
               rgb_to_depth_filters_[static_cast<size_t>(stage)].match(r_i);
@@ -112,14 +139,18 @@ ForwardResult RoadSegNet::forward(const autograd::Variable& rgb,
           const autograd::Variable w = awn_->weight(r_i, d_i);
           result.awn_weight = w;
           matched = ag::scale_per_sample(d_i, w);
-          fused_rgb = ag::add(r_i, matched);
-        } else {
-          fused_rgb = ag::add(r_i, d_i);
         }
         break;
       }
     }
 
+    // The serving-time fusion weight composes with the scheme's own
+    // matching (including the AWN weight); at 1 the extra scale is
+    // skipped so the path stays bit-identical to the plain forward.
+    const autograd::Variable fused_rgb =
+        fusion_weight == 1.0f
+            ? ag::add(r_i, matched)
+            : ag::add(r_i, ag::scale(matched, fusion_weight));
     result.fusion_pairs.emplace_back(r_i, matched);
     skips.push_back(fused_rgb);
     rgb_in = fused_rgb;

@@ -50,6 +50,15 @@ class RoadSegNet : public SegmentationModel {
   ForwardResult forward(const autograd::Variable& rgb,
                         const autograd::Variable& depth) const override;
 
+  /// Scales the matched depth features by `fusion_weight` at every fusion
+  /// point (fused_i = r_i + w * matched_i), the serving-time analogue of
+  /// the AWN scalar weight. w = 1 is bit-identical to `forward`; w = 0
+  /// skips the depth encoder entirely and never reads the depth values
+  /// (the RGB-only degraded mode — safe for NaN-poisoned depth).
+  ForwardResult forward_fused(const autograd::Variable& rgb,
+                              const autograd::Variable& depth,
+                              float fusion_weight) const override;
+
   /// MAC / parameter budget for the given input size. Parameters are
   /// deduplicated (shared stages count once); MACs count actual execution
   /// (a shared stage still runs twice).

@@ -5,8 +5,29 @@
 
 namespace roadfusion::roadseg {
 
-tensor::Tensor SegmentationModel::predict(const tensor::Tensor& rgb,
-                                          const tensor::Tensor& depth) const {
+ForwardResult SegmentationModel::forward_fused(const autograd::Variable& rgb,
+                                               const autograd::Variable& depth,
+                                               float fusion_weight) const {
+  ROADFUSION_CHECK(fusion_weight >= 0.0f && fusion_weight <= 1.0f,
+                   "fusion_weight must be in [0, 1], got " << fusion_weight);
+  if (fusion_weight == 1.0f) {
+    return forward(rgb, depth);
+  }
+  if (fusion_weight == 0.0f) {
+    // Never touch the depth values: a zero tensor of the same geometry is
+    // the NaN-safe neutral element for every fusion family (summation,
+    // concatenation, decision averaging all see "no depth evidence").
+    return forward(rgb, autograd::Variable::constant(
+                            tensor::Tensor(depth.shape())));
+  }
+  return forward(rgb, autograd::scale(depth, fusion_weight));
+}
+
+namespace {
+
+tensor::Tensor run_predict(const SegmentationModel& model,
+                           const tensor::Tensor& rgb,
+                           const tensor::Tensor& depth, float fusion_weight) {
   tensor::Tensor rgb4 = rgb;
   tensor::Tensor depth4 = depth;
   const bool chw = rgb.shape().rank() == 3;
@@ -22,14 +43,28 @@ tensor::Tensor SegmentationModel::predict(const tensor::Tensor& rgb,
                                                 depth.shape().dim(2)));
   }
   const ForwardResult result =
-      forward(autograd::Variable::constant(rgb4),
-              autograd::Variable::constant(depth4));
+      model.forward_fused(autograd::Variable::constant(rgb4),
+                          autograd::Variable::constant(depth4),
+                          fusion_weight);
   tensor::Tensor out = autograd::sigmoid(result.logits).value();
   if (chw) {
     out = out.reshaped(tensor::Shape::chw(1, rgb.shape().dim(1),
                                           rgb.shape().dim(2)));
   }
   return out;
+}
+
+}  // namespace
+
+tensor::Tensor SegmentationModel::predict(const tensor::Tensor& rgb,
+                                          const tensor::Tensor& depth) const {
+  return run_predict(*this, rgb, depth, 1.0f);
+}
+
+tensor::Tensor SegmentationModel::predict_fused(const tensor::Tensor& rgb,
+                                                const tensor::Tensor& depth,
+                                                float fusion_weight) const {
+  return run_predict(*this, rgb, depth, fusion_weight);
 }
 
 }  // namespace roadfusion::roadseg

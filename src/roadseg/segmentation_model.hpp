@@ -31,6 +31,18 @@ class SegmentationModel : public nn::Module {
   virtual ForwardResult forward(const autograd::Variable& rgb,
                                 const autograd::Variable& depth) const = 0;
 
+  /// Forward pass with the depth contribution scaled by `fusion_weight`
+  /// in [0, 1] — the serving-time analogue of the paper's AWN scalar
+  /// fusion weight. Contract: fusion_weight == 1 is exactly `forward`;
+  /// fusion_weight == 0 is the RGB-only degraded mode and MUST NOT read
+  /// `depth`'s values (the caller may pass NaN-poisoned data from a dead
+  /// sensor). The default neutralizes the depth input itself (zeros at
+  /// weight 0, a scaled copy otherwise); networks with explicit fusion
+  /// points override this to weight each point instead.
+  virtual ForwardResult forward_fused(const autograd::Variable& rgb,
+                                      const autograd::Variable& depth,
+                                      float fusion_weight) const;
+
   /// MAC / parameter budget for the given input size.
   virtual nn::Complexity complexity(int64_t height, int64_t width) const = 0;
 
@@ -38,6 +50,12 @@ class SegmentationModel : public nn::Module {
   /// probabilities of matching rank. Call set_training(false) first.
   tensor::Tensor predict(const tensor::Tensor& rgb,
                          const tensor::Tensor& depth) const;
+
+  /// `predict` through `forward_fused`; fusion_weight = 0 serves RGB-only
+  /// without reading depth values (safe for corrupt depth tensors).
+  tensor::Tensor predict_fused(const tensor::Tensor& rgb,
+                               const tensor::Tensor& depth,
+                               float fusion_weight) const;
 };
 
 }  // namespace roadfusion::roadseg

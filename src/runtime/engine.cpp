@@ -24,6 +24,9 @@ InferenceEngine::InferenceEngine(roadseg::SegmentationModel& model,
   ROADFUSION_CHECK(config.max_wait_us >= 0,
                    "engine needs max_wait_us >= 0, got "
                        << config.max_wait_us);
+  ROADFUSION_CHECK(config.default_deadline_ms >= 0,
+                   "engine needs default_deadline_ms >= 0, got "
+                       << config.default_deadline_ms);
   model.set_training(false);
   if (!config.kernel_backend.empty()) {
     // Process-wide selection; done before the workers start so every
@@ -38,21 +41,40 @@ InferenceEngine::InferenceEngine(roadseg::SegmentationModel& model,
 
 InferenceEngine::~InferenceEngine() { shutdown(ShutdownMode::kDrain); }
 
-std::future<Tensor> InferenceEngine::submit(Tensor rgb, Tensor depth) {
-  ROADFUSION_CHECK(rgb.shape().rank() == 3,
-                   "submit expects CHW rgb, got " << rgb.shape().str());
-  ROADFUSION_CHECK(depth.shape().rank() == 3,
-                   "submit expects CHW depth, got " << depth.shape().str());
-  ROADFUSION_CHECK(rgb.shape().dim(1) == depth.shape().dim(1) &&
-                       rgb.shape().dim(2) == depth.shape().dim(2),
-                   "submit: rgb " << rgb.shape().str() << " and depth "
-                                  << depth.shape().str()
-                                  << " disagree on H x W");
+std::future<InferenceResult> InferenceEngine::submit(
+    Tensor rgb, Tensor depth, const SubmitOptions& options) {
   Request request;
+  if (config_.validate_inputs) {
+    const kitti::SensorHealthReport health =
+        kitti::check_sensor_health(rgb, depth, config_.health);
+    if (health.status == kitti::SensorStatus::kInvalid) {
+      stats_.record_invalid_input();
+      throw InvalidInputError("rejected sensor input: " + health.detail);
+    }
+    request.degraded = health.status == kitti::SensorStatus::kDegraded;
+  } else {
+    ROADFUSION_CHECK(rgb.shape().rank() == 3,
+                     "submit expects CHW rgb, got " << rgb.shape().str());
+    ROADFUSION_CHECK(depth.shape().rank() == 3,
+                     "submit expects CHW depth, got " << depth.shape().str());
+    ROADFUSION_CHECK(rgb.shape().dim(1) == depth.shape().dim(1) &&
+                         rgb.shape().dim(2) == depth.shape().dim(2),
+                     "submit: rgb " << rgb.shape().str() << " and depth "
+                                    << depth.shape().str()
+                                    << " disagree on H x W");
+  }
   request.rgb = std::move(rgb);
   request.depth = std::move(depth);
   request.enqueue_time = std::chrono::steady_clock::now();
-  std::future<Tensor> future = request.result.get_future();
+  const int64_t deadline_ms = options.deadline_ms != 0
+                                  ? options.deadline_ms
+                                  : config_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    request.has_deadline = true;
+    request.deadline =
+        request.enqueue_time + std::chrono::milliseconds(deadline_ms);
+  }
+  std::future<InferenceResult> future = request.result.get_future();
 
   const PushResult pushed = config_.overflow == OverflowPolicy::kBlock
                                 ? queue_.push(std::move(request))
@@ -89,9 +111,12 @@ void InferenceEngine::shutdown(ShutdownMode mode) {
 }
 
 void InferenceEngine::worker_loop() {
+  // Degraded requests run a different forward (fusion_weight = 0), so a
+  // batch is homogeneous in both geometry and degradation mode.
   const auto compatible = [](const Request& head, const Request& next) {
     return head.rgb.shape() == next.rgb.shape() &&
-           head.depth.shape() == next.depth.shape();
+           head.depth.shape() == next.depth.shape() &&
+           head.degraded == next.degraded;
   };
   while (true) {
     std::vector<Request> batch = queue_.pop_batch(
@@ -105,13 +130,43 @@ void InferenceEngine::worker_loop() {
 }
 
 void InferenceEngine::serve_batch(std::vector<Request>& batch) {
-  const int64_t n = static_cast<int64_t>(batch.size());
-  const Shape& rgb_shape = batch.front().rgb.shape();
-  const Shape& depth_shape = batch.front().depth.shape();
+  // Expire deadlines first: a request whose queue wait already exceeded
+  // its budget fails fast instead of consuming a slot in the forward.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  size_t expired = 0;
+  for (Request& request : batch) {
+    if (request.has_deadline && now > request.deadline) {
+      const double waited_ms = std::chrono::duration<double, std::milli>(
+                                   now - request.enqueue_time)
+                                   .count();
+      request.result.set_exception(std::make_exception_ptr(
+          DeadlineExceededError("request deadline exceeded after waiting " +
+                                std::to_string(waited_ms) + " ms")));
+      ++expired;
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (expired > 0) {
+    stats_.record_timed_out(expired);
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  const int64_t n = static_cast<int64_t>(live.size());
+  const Shape& rgb_shape = live.front().rgb.shape();
+  const Shape& depth_shape = live.front().depth.shape();
   const int64_t height = rgb_shape.dim(1);
   const int64_t width = rgb_shape.dim(2);
-  stats_.record_batch(batch.size());
+  const bool degraded = live.front().degraded;
+  stats_.record_batch(live.size());
   try {
+    if (config_.pre_forward_hook) {
+      config_.pre_forward_hook(live.size());
+    }
     // Collate (C, H, W) requests into one (N, C, H, W) pair; batch
     // elements are contiguous planes, so each request copies in flat.
     Tensor rgb(Shape::nchw(n, rgb_shape.dim(0), height, width));
@@ -119,39 +174,59 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
     const int64_t rgb_plane = rgb_shape.numel();
     const int64_t depth_plane = depth_shape.numel();
     for (int64_t i = 0; i < n; ++i) {
-      std::copy(batch[i].rgb.data().begin(), batch[i].rgb.data().end(),
+      std::copy(live[i].rgb.data().begin(), live[i].rgb.data().end(),
                 rgb.data().begin() + i * rgb_plane);
-      std::copy(batch[i].depth.data().begin(), batch[i].depth.data().end(),
+      std::copy(live[i].depth.data().begin(), live[i].depth.data().end(),
                 depth.data().begin() + i * depth_plane);
     }
 
-    const Tensor probability = model_.predict(rgb, depth);  // (N, 1, H, W)
+    // Degraded batches go through the RGB-only path: fusion_weight = 0
+    // never reads the (possibly NaN-poisoned) depth values.
+    const Tensor probability =
+        degraded ? model_.predict_fused(rgb, depth, 0.0f)
+                 : model_.predict(rgb, depth);  // (N, 1, H, W)
     const int64_t out_plane = height * width;
     for (int64_t i = 0; i < n; ++i) {
       std::vector<float> values(
           probability.data().begin() + i * out_plane,
           probability.data().begin() + (i + 1) * out_plane);
-      Tensor result(Shape::chw(1, height, width), std::move(values));
+      InferenceResult result;
+      result.output = Tensor(Shape::chw(1, height, width), std::move(values));
+      result.degraded = degraded;
       const double latency_ms =
           std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - batch[i].enqueue_time)
+              std::chrono::steady_clock::now() - live[i].enqueue_time)
               .count();
       // Record before fulfilling: once the future is ready, a stats
       // snapshot must already count this request as served.
-      stats_.record_served(latency_ms);
-      batch[i].result.set_value(std::move(result));
+      stats_.record_served(latency_ms, degraded);
+      live[i].result.set_value(std::move(result));
     }
   } catch (...) {
-    // A model failure (e.g. indivisible H/W) fails every request of the
-    // batch; the engine itself stays alive for subsequent batches.
-    const std::exception_ptr error = std::current_exception();
-    for (Request& request : batch) {
+    // A forward failure (model error, injected fault, bad geometry) fails
+    // every request of this batch with a typed InferenceError; the worker
+    // itself stays alive for subsequent batches.
+    std::string why = "batched forward failed";
+    try {
+      throw;
+    } catch (const std::exception& error) {
+      why += ": ";
+      why += error.what();
+    } catch (...) {
+      why += ": unknown exception";
+    }
+    const std::exception_ptr error =
+        std::make_exception_ptr(InferenceError(why));
+    size_t failed = 0;
+    for (Request& request : live) {
       try {
         request.result.set_exception(error);
+        ++failed;
       } catch (const std::future_error&) {
         // promise already satisfied before the failure — nothing to do
       }
     }
+    stats_.record_failed(failed);
   }
 }
 

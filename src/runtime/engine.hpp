@@ -3,14 +3,13 @@
 //   submit()            worker pool (N threads)
 //      │                     │
 //      ▼                     ▼
-//   BoundedQueue ──► pop_batch (micro-batcher: up to max_batch
-//   (backpressure)    compatible requests, max_wait_us straggler window)
-//                          │
-//                          ▼
-//                collate CHW → (N, C, H, W) ──► model.predict ──► split
-//                          │
-//                          ▼
-//                 per-request std::future<Tensor>
+//   SensorHealth check   BoundedQueue ──► pop_batch (micro-batcher: up to
+//   (reject invalid,     (backpressure)   max_batch compatible requests,
+//    flag degraded)                       max_wait_us straggler window)
+//                                             │ expire deadlines
+//                                             ▼
+//                collate CHW → (N, C, H, W) ──► model.predict[_fused] ──►
+//                split into per-request std::future<InferenceResult>
 //
 // Correctness contract: because every kernel in this repository processes
 // batch elements independently (convolutions loop per sample, batch norm
@@ -18,12 +17,22 @@
 // bit-identical per scene to a sequential `predict` — the golden test in
 // tests/test_runtime_engine.cpp pins this down with exact equality.
 //
+// Fault tolerance (see DESIGN.md §9): malformed requests are rejected at
+// submit with InvalidInputError; requests with unhealthy-but-present
+// depth are served RGB-only through the fusion_weight = 0 path and
+// flagged `degraded`; a forward-pass failure fails only its own batch's
+// futures with InferenceError while the worker keeps serving; expired
+// per-request deadlines resolve with DeadlineExceededError. Every
+// accepted future resolves — with a value or a typed error — under both
+// shutdown modes.
+//
 // Thread-safety: `SegmentationModel::forward` is const and touches no
 // shared mutable state in eval mode, so workers run batches concurrently
 // over one shared model. The engine forces eval mode at construction.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "kitti/sensor_health.hpp"
 #include "roadseg/segmentation_model.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/stats.hpp"
@@ -56,6 +66,27 @@ class RequestCancelledError : public Error {
   explicit RequestCancelledError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by submit() when the sensor health check classifies the
+/// request as unservable (malformed shapes, non-finite RGB).
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+/// Set on a request's future when its queue wait exceeded the deadline
+/// before a worker picked it up.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : Error(what) {}
+};
+
+/// Set on every future of a batch whose forward pass threw; wraps the
+/// underlying failure message. The worker survives and keeps serving.
+class InferenceError : public Error {
+ public:
+  explicit InferenceError(const std::string& what) : Error(what) {}
+};
+
 /// What submit() does when the queue is at capacity.
 enum class OverflowPolicy {
   kBlock,   ///< wait for space (backpressure propagates to the producer)
@@ -79,6 +110,36 @@ struct EngineConfig {
   /// "blocked", or any registered name — see autograd/kernels.hpp). The
   /// selection is process-wide; empty keeps the current backend.
   std::string kernel_backend;
+  /// Run the sensor health check on every submit: invalid requests throw
+  /// InvalidInputError, degraded ones serve RGB-only. Off restores the
+  /// PR-1 behaviour (shape checks only, garbage flows into the model).
+  bool validate_inputs = true;
+  kitti::SensorHealthConfig health;
+  /// Deadline applied to requests submitted without an explicit one;
+  /// 0 means no deadline.
+  int64_t default_deadline_ms = 0;
+  /// Test / fault-injection seam: invoked by the serving worker right
+  /// before each batched forward with the live batch size. May sleep
+  /// (slow-batch faults) or throw (the throw fails that batch's futures
+  /// exactly like a model failure). Leave empty in production.
+  std::function<void(size_t)> pre_forward_hook;
+};
+
+/// Per-request submit options.
+struct SubmitOptions {
+  /// Queue-wait budget in milliseconds; a request still queued past this
+  /// resolves with DeadlineExceededError. 0 inherits
+  /// EngineConfig::default_deadline_ms; negative disables the deadline
+  /// for this request.
+  int64_t deadline_ms = 0;
+};
+
+/// What a fulfilled future carries.
+struct InferenceResult {
+  tensor::Tensor output;  ///< (1, H, W) road-probability tensor
+  /// True when depth was flagged unhealthy and the scene was served
+  /// RGB-only (fusion_weight = 0).
+  bool degraded = false;
 };
 
 /// Batched multi-threaded inference runtime over one segmentation model.
@@ -99,10 +160,13 @@ class InferenceEngine {
 
   /// Submits one scene. rgb: (3, H, W); depth: (C_d, H, W). The future
   /// yields the (1, H, W) road-probability tensor, bit-identical to
-  /// `model.predict(rgb, depth)`. Throws QueueFullError (reject policy,
-  /// queue full) or EngineStoppedError (after shutdown).
-  std::future<tensor::Tensor> submit(tensor::Tensor rgb,
-                                     tensor::Tensor depth);
+  /// `model.predict(rgb, depth)` (or `predict_fused(..., 0)` when the
+  /// result is flagged degraded). Throws InvalidInputError (health check
+  /// rejected the pair), QueueFullError (reject policy, queue full) or
+  /// EngineStoppedError (after shutdown).
+  std::future<InferenceResult> submit(tensor::Tensor rgb,
+                                      tensor::Tensor depth,
+                                      const SubmitOptions& options = {});
 
   /// Stops the engine. kDrain serves every accepted request first; kCancel
   /// fails still-queued requests deterministically (every future then
@@ -119,8 +183,11 @@ class InferenceEngine {
   struct Request {
     tensor::Tensor rgb;    // (C, H, W)
     tensor::Tensor depth;  // (C_d, H, W)
-    std::promise<tensor::Tensor> result;
+    std::promise<InferenceResult> result;
     std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    bool degraded = false;  // serve RGB-only (fusion_weight = 0)
   };
 
   void worker_loop();

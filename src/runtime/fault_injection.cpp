@@ -1,0 +1,261 @@
+#include "runtime/fault_injection.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "tensor/shape.hpp"
+
+namespace roadfusion::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanDepth:
+      return "nan";
+    case FaultKind::kScanlineDropout:
+      return "scanline";
+    case FaultKind::kBadShape:
+      return "shape";
+    case FaultKind::kIndivisibleShape:
+      return "stride";
+    case FaultKind::kSlowBatch:
+      return "slow";
+    case FaultKind::kThrowingForward:
+      return "throw";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind kind_from_string(const std::string& name) {
+  for (FaultKind kind : {FaultKind::kNanDepth, FaultKind::kScanlineDropout,
+                         FaultKind::kBadShape, FaultKind::kIndivisibleShape,
+                         FaultKind::kSlowBatch, FaultKind::kThrowingForward}) {
+    if (name == to_string(kind)) {
+      return kind;
+    }
+  }
+  ROADFUSION_FAIL("unknown fault kind '"
+                  << name
+                  << "' (expected nan|scanline|shape|stride|slow|throw)");
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// Crops a CHW tensor to (C, new_h, new_w), keeping the top-left corner.
+Tensor crop_chw(const Tensor& t, int64_t new_h, int64_t new_w) {
+  const int64_t channels = t.shape().dim(0);
+  const int64_t height = t.shape().dim(1);
+  const int64_t width = t.shape().dim(2);
+  ROADFUSION_CHECK(new_h <= height && new_w <= width,
+                   "crop larger than source");
+  Tensor out(Shape::chw(channels, new_h, new_w));
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t h = 0; h < new_h; ++h) {
+      const float* src = t.raw() + (c * height + h) * width;
+      float* dst = out.raw() + (c * new_h + h) * new_w;
+      std::copy(src, src + new_w, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty()) {
+    return spec;
+  }
+  for (const std::string& pair : split(text, ',')) {
+    if (pair.empty()) {
+      continue;
+    }
+    const size_t eq = pair.find('=');
+    ROADFUSION_CHECK(eq != std::string::npos,
+                     "fault spec entry '" << pair << "' is not key=value");
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    try {
+      if (key == "rate") {
+        spec.rate = std::stod(value);
+        ROADFUSION_CHECK(spec.rate >= 0.0 && spec.rate <= 1.0,
+                         "fault rate must be in [0, 1], got " << spec.rate);
+      } else if (key == "seed") {
+        spec.seed = static_cast<uint64_t>(std::stoull(value));
+      } else if (key == "slow-ms") {
+        spec.slow_batch_ms = std::stoll(value);
+        ROADFUSION_CHECK(spec.slow_batch_ms >= 0,
+                         "slow-ms must be >= 0, got " << spec.slow_batch_ms);
+      } else if (key == "kinds") {
+        spec.kinds.clear();
+        for (const std::string& name : split(value, '+')) {
+          if (!name.empty()) {
+            spec.kinds.push_back(kind_from_string(name));
+          }
+        }
+        ROADFUSION_CHECK(!spec.kinds.empty(),
+                         "fault spec kinds list is empty");
+      } else {
+        ROADFUSION_FAIL("unknown fault spec key '"
+                        << key
+                        << "' (expected rate|seed|slow-ms|kinds)");
+      }
+    } catch (const std::invalid_argument&) {
+      ROADFUSION_FAIL("fault spec value '" << value << "' for key '" << key
+                                           << "' is not a number");
+    } catch (const std::out_of_range&) {
+      ROADFUSION_FAIL("fault spec value '" << value << "' for key '" << key
+                                           << "' is out of range");
+    }
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+std::optional<FaultKind> FaultInjector::draw() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++drawn_;
+  if (spec_.kinds.empty() || !rng_.bernoulli(spec_.rate)) {
+    return std::nullopt;
+  }
+  ++faulted_;
+  const int64_t index = rng_.uniform_int(
+      0, static_cast<int64_t>(spec_.kinds.size()) - 1);
+  return spec_.kinds[static_cast<size_t>(index)];
+}
+
+void FaultInjector::apply(FaultKind kind, Tensor& rgb, Tensor& depth) {
+  switch (kind) {
+    case FaultKind::kNanDepth: {
+      // Rectangular NaN block covering roughly a quarter of the image at
+      // a seeded position — the classic dead-sensor-region signature.
+      const int64_t height = depth.shape().dim(1);
+      const int64_t width = depth.shape().dim(2);
+      int64_t top;
+      int64_t left;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        top = rng_.uniform_int(0, std::max<int64_t>(0, height / 2 - 1));
+        left = rng_.uniform_int(0, std::max<int64_t>(0, width / 2 - 1));
+      }
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      for (int64_t c = 0; c < depth.shape().dim(0); ++c) {
+        for (int64_t h = top; h < std::min(height, top + height / 2 + 1);
+             ++h) {
+          float* row = depth.raw() + (c * height + h) * width;
+          for (int64_t w = left;
+               w < std::min(width, left + width / 2 + 1); ++w) {
+            row[w] = nan;
+          }
+        }
+      }
+      return;
+    }
+    case FaultKind::kScanlineDropout: {
+      // Zero three of every four scanlines: the dead fraction lands well
+      // above any sane SensorHealthConfig threshold, so the request is
+      // flagged degraded rather than served with garbage.
+      const int64_t height = depth.shape().dim(1);
+      const int64_t width = depth.shape().dim(2);
+      for (int64_t c = 0; c < depth.shape().dim(0); ++c) {
+        for (int64_t h = 0; h < height; ++h) {
+          if (h % 4 != 0) {
+            float* row = depth.raw() + (c * height + h) * width;
+            std::fill(row, row + width, 0.0f);
+          }
+        }
+      }
+      return;
+    }
+    case FaultKind::kBadShape: {
+      // Halve the depth width: the H x W mismatch with rgb is exactly the
+      // malformed-request class the health check must reject at submit.
+      depth = crop_chw(depth, depth.shape().dim(1),
+                       std::max<int64_t>(1, depth.shape().dim(2) / 2));
+      return;
+    }
+    case FaultKind::kIndivisibleShape: {
+      // Trim one row and column off both modalities: the pair stays
+      // internally consistent (passes the health check) but no longer
+      // divides by the network stride, so the forward itself throws —
+      // a genuine in-worker failure.
+      const int64_t new_h = std::max<int64_t>(1, rgb.shape().dim(1) - 1);
+      const int64_t new_w = std::max<int64_t>(1, rgb.shape().dim(2) - 1);
+      rgb = crop_chw(rgb, new_h, new_w);
+      depth = crop_chw(depth, new_h, new_w);
+      return;
+    }
+    case FaultKind::kSlowBatch:
+    case FaultKind::kThrowingForward:
+      arm(kind);
+      return;
+  }
+  ROADFUSION_FAIL("unhandled fault kind");
+}
+
+void FaultInjector::arm(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (kind == FaultKind::kSlowBatch) {
+    ++armed_slow_;
+  } else {
+    ++armed_throw_;
+  }
+}
+
+std::function<void(size_t)> FaultInjector::engine_hook() {
+  return [this](size_t batch_size) {
+    bool do_throw = false;
+    bool do_sleep = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (armed_throw_ > 0) {
+        --armed_throw_;
+        do_throw = true;
+      } else if (armed_slow_ > 0) {
+        --armed_slow_;
+        do_sleep = true;
+      }
+    }
+    if (do_throw) {
+      throw InjectedFaultError("injected forward fault (batch of " +
+                               std::to_string(batch_size) + ")");
+    }
+    if (do_sleep) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec_.slow_batch_ms));
+    }
+  };
+}
+
+uint64_t FaultInjector::drawn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drawn_;
+}
+
+uint64_t FaultInjector::faulted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faulted_;
+}
+
+}  // namespace roadfusion::runtime

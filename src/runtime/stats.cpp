@@ -39,10 +39,28 @@ void StatsCollector::record_batch(size_t batch_size) {
   batched_requests_ += batch_size;
 }
 
-void StatsCollector::record_served(double latency_ms) {
+void StatsCollector::record_invalid_input() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.invalid_input_rejections;
+}
+
+void StatsCollector::record_served(double latency_ms, bool degraded) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.requests_served;
+  if (degraded) {
+    ++totals_.requests_degraded;
+  }
   latencies_ms_.push_back(latency_ms);
+}
+
+void StatsCollector::record_failed(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.requests_failed += count;
+}
+
+void StatsCollector::record_timed_out(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.requests_timed_out += count;
 }
 
 void StatsCollector::record_cancelled(size_t count) {

@@ -14,8 +14,12 @@ namespace roadfusion::runtime {
 struct RuntimeStats {
   uint64_t requests_submitted = 0;  ///< accepted into the queue
   uint64_t requests_served = 0;     ///< futures fulfilled with a result
+  uint64_t requests_degraded = 0;   ///< served RGB-only (depth unhealthy)
+  uint64_t requests_failed = 0;     ///< futures failed by a forward error
+  uint64_t requests_timed_out = 0;  ///< futures failed by deadline expiry
   uint64_t requests_cancelled = 0;  ///< futures failed by cancel shutdown
   uint64_t queue_full_rejections = 0;
+  uint64_t invalid_input_rejections = 0;  ///< rejected at submit (health)
   uint64_t batches_formed = 0;
 
   /// Mean number of requests per formed batch (0 when no batch yet).
@@ -38,8 +42,11 @@ class StatsCollector {
 
   void record_submitted();
   void record_rejection();
+  void record_invalid_input();
   void record_batch(size_t batch_size);
-  void record_served(double latency_ms);
+  void record_served(double latency_ms, bool degraded = false);
+  void record_failed(size_t count);
+  void record_timed_out(size_t count);
   void record_cancelled(size_t count);
 
   /// Consistent copy of all metrics at this instant.

@@ -81,9 +81,7 @@ Tensor read_tensor(std::istream& in) {
   return Tensor(shape, std::move(values));
 }
 
-void save_checkpoint(const std::string& path, const NamedTensors& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  ROADFUSION_CHECK(out.is_open(), "cannot open checkpoint for write: " << path);
+void write_checkpoint(std::ostream& out, const NamedTensors& tensors) {
   out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
   write_pod<int32_t>(out, static_cast<int32_t>(tensors.size()));
   for (const auto& [name, t] : tensors) {
@@ -91,32 +89,46 @@ void save_checkpoint(const std::string& path, const NamedTensors& tensors) {
     out.write(name.data(), static_cast<std::streamsize>(name.size()));
     write_tensor(out, t);
   }
+  ROADFUSION_CHECK(static_cast<bool>(out), "checkpoint write failed");
+}
+
+NamedTensors read_checkpoint(std::istream& in, const std::string& context) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  ROADFUSION_CHECK(static_cast<bool>(in) &&
+                       std::memcmp(magic, kCheckpointMagic, 4) == 0,
+                   "bad checkpoint magic in " << context);
+  const int32_t count = read_pod<int32_t>(in);
+  ROADFUSION_CHECK(count >= 0 && count < 100000,
+                   "implausible checkpoint entry count " << count << " in "
+                                                         << context);
+  NamedTensors tensors;
+  tensors.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    const int32_t name_len = read_pod<int32_t>(in);
+    ROADFUSION_CHECK(name_len >= 0 && name_len < 4096,
+                     "implausible tensor name length " << name_len << " in "
+                                                       << context);
+    std::string name(static_cast<size_t>(name_len), '\0');
+    in.read(name.data(), name_len);
+    ROADFUSION_CHECK(static_cast<bool>(in),
+                     "truncated checkpoint name in " << context);
+    tensors.emplace_back(std::move(name), read_tensor(in));
+  }
+  return tensors;
+}
+
+void save_checkpoint(const std::string& path, const NamedTensors& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  ROADFUSION_CHECK(out.is_open(), "cannot open checkpoint for write: " << path);
+  write_checkpoint(out, tensors);
   ROADFUSION_CHECK(static_cast<bool>(out), "checkpoint write failed: " << path);
 }
 
 NamedTensors load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   ROADFUSION_CHECK(in.is_open(), "cannot open checkpoint for read: " << path);
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  ROADFUSION_CHECK(static_cast<bool>(in) &&
-                       std::memcmp(magic, kCheckpointMagic, 4) == 0,
-                   "bad checkpoint magic in " << path);
-  const int32_t count = read_pod<int32_t>(in);
-  ROADFUSION_CHECK(count >= 0 && count < 100000,
-                   "implausible checkpoint entry count " << count);
-  NamedTensors tensors;
-  tensors.reserve(static_cast<size_t>(count));
-  for (int32_t i = 0; i < count; ++i) {
-    const int32_t name_len = read_pod<int32_t>(in);
-    ROADFUSION_CHECK(name_len >= 0 && name_len < 4096,
-                     "implausible tensor name length " << name_len);
-    std::string name(static_cast<size_t>(name_len), '\0');
-    in.read(name.data(), name_len);
-    ROADFUSION_CHECK(static_cast<bool>(in), "truncated checkpoint name");
-    tensors.emplace_back(std::move(name), read_tensor(in));
-  }
-  return tensors;
+  return read_checkpoint(in, path);
 }
 
 }  // namespace roadfusion::tensor

@@ -31,4 +31,11 @@ void save_checkpoint(const std::string& path, const NamedTensors& tensors);
 /// failure.
 NamedTensors load_checkpoint(const std::string& path);
 
+/// Stream forms of the above, for callers that frame the RFC1 payload
+/// inside their own container format (e.g. the RFM1 model-file header in
+/// train/checkpoint). `context` names the source (typically the path) in
+/// error messages.
+void write_checkpoint(std::ostream& out, const NamedTensors& tensors);
+NamedTensors read_checkpoint(std::istream& in, const std::string& context);
+
 }  // namespace roadfusion::tensor

@@ -1,5 +1,15 @@
 // Model checkpointing and the train-or-load cache used by the benchmark
 // harness so that multiple benches can reuse one trained model.
+//
+// Model file format (since PR 3):
+//   magic "RFM1" | int32 format_version | RFC1 named-tensor checkpoint
+// Legacy headerless files (a bare RFC1 checkpoint, as written before the
+// header existed) are still readable; load_model warns and continues.
+// Every load validates the payload tensor-by-tensor against the target
+// network (unknown names, missing names, shape mismatches) before any
+// state is overwritten, so a truncated or architecture-mismatched file
+// fails with a CheckpointError naming the path and the offending
+// parameter instead of half-restoring garbage.
 #pragma once
 
 #include <string>
@@ -9,10 +19,20 @@
 
 namespace roadfusion::train {
 
-/// Saves the network's full state (parameters + batch-norm statistics).
+/// Thrown by load_model on an unreadable, truncated or mismatched model
+/// file; the message names the path and, where applicable, the parameter.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Saves the network's full state (parameters + batch-norm statistics)
+/// with the RFM1 header.
 void save_model(roadseg::RoadSegNet& net, const std::string& path);
 
-/// Restores a state saved by save_model. Shapes must match.
+/// Restores a state saved by save_model (or a legacy headerless RFC1
+/// file, behind a warning). Throws CheckpointError on unreadable input or
+/// any per-tensor name/shape mismatch with `net`.
 void load_model(roadseg::RoadSegNet& net, const std::string& path);
 
 /// Returns a cache filename that uniquely identifies (scheme, dataset,

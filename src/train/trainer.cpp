@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 
@@ -79,6 +80,17 @@ TrainHistory fit_indices(SegmentationModel& net, const RoadData& dataset,
           autograd::bce_with_logits(forward.logits, target);
       const core::ObjectiveTerms objective = core::combined_objective(
           seg_loss, forward.fusion_pairs, config.alpha_fd);
+
+      const float loss_value = objective.total.value().at(0);
+      if (!std::isfinite(loss_value)) {
+        throw NonFiniteLossError(
+            "non-finite training loss " + std::to_string(loss_value) +
+            " at epoch " + std::to_string(epoch + 1) + "/" +
+            std::to_string(config.epochs) + ", step " +
+            std::to_string(batches + 1) +
+            " (aborting before backward to keep parameters inspectable; "
+            "check input data and learning rate)");
+      }
 
       optimizer->zero_grad();
       objective.total.backward();

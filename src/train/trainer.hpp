@@ -4,11 +4,21 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "kitti/dataset.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "train/augment.hpp"
 
 namespace roadfusion::train {
+
+/// Thrown when the training loss goes NaN/Inf. Aborting at the first
+/// non-finite loss (before the backward pass can poison every parameter)
+/// keeps the model state inspectable; the message carries epoch, step and
+/// the loss value.
+class NonFiniteLossError : public Error {
+ public:
+  explicit NonFiniteLossError(const std::string& what) : Error(what) {}
+};
 
 using kitti::RoadData;
 using kitti::RoadDataset;

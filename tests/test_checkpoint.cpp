@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
+#include "nn/module.hpp"
+#include "tensor/serialize.hpp"
 #include "train/checkpoint.hpp"
 
 namespace roadfusion::train {
@@ -76,6 +79,98 @@ TEST_F(CheckpointTest, SharedSchemesRoundTrip) {
   restored.set_training(false);
   load_model(restored, path);
   EXPECT_TRUE(restored.predict(rgb, depth).allclose(before, 1e-6f));
+}
+
+TEST_F(CheckpointTest, ModelFileStartsWithVersionedMagic) {
+  Rng rng(41);
+  RoadSegNet net(net_config(), rng);
+  const std::string path = (dir_ / "header.rfc").string();
+  save_model(net, path);
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  int32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  ASSERT_TRUE(static_cast<bool>(in));
+  EXPECT_EQ(std::string(magic, 4), "RFM1");
+  EXPECT_EQ(version, 1);
+}
+
+TEST_F(CheckpointTest, LegacyHeaderlessFileStillLoads) {
+  Rng rng(42);
+  RoadSegNet net(net_config(), rng);
+  net.set_training(false);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 16, 32), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 16, 32), rng);
+  const Tensor before = net.predict(rgb, depth);
+
+  // A pre-header model file is a bare RFC1 checkpoint on disk.
+  const std::string path = (dir_ / "legacy.rfc").string();
+  tensor::save_checkpoint(path, nn::snapshot_state(net));
+
+  Rng rng2(43);
+  RoadSegNet restored(net_config(), rng2);
+  restored.set_training(false);
+  load_model(restored, path);
+  EXPECT_TRUE(restored.predict(rgb, depth).allclose(before, 1e-6f));
+}
+
+TEST_F(CheckpointTest, TruncatedFileFailsWithPathInError) {
+  Rng rng(44);
+  RoadSegNet net(net_config(), rng);
+  const std::string path = (dir_ / "truncated.rfc").string();
+  save_model(net, path);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+
+  RoadSegNet victim(net_config(), rng);
+  try {
+    load_model(victim, path);
+    FAIL() << "truncated file loaded without error";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error does not name the file: " << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, ArchitectureMismatchNamesTheParameter) {
+  Rng rng(45);
+  RoadSegNet net(net_config(), rng);
+  const std::string path = (dir_ / "mismatch.rfc").string();
+  save_model(net, path);
+
+  // A different channel plan: same parameter names, different shapes.
+  RoadSegConfig other = net_config();
+  other.stage_channels = {6, 8, 10, 12, 14};
+  RoadSegNet victim(other, rng);
+  try {
+    load_model(victim, path);
+    FAIL() << "architecture mismatch loaded without error";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "error does not name the file: " << what;
+    EXPECT_NE(what.find("parameter '"), std::string::npos)
+        << "error does not name the parameter: " << what;
+  }
+}
+
+TEST_F(CheckpointTest, GarbageMagicIsRejected) {
+  const std::string path = (dir_ / "garbage.rfc").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a model file at all";
+  }
+  Rng rng(46);
+  RoadSegNet net(net_config(), rng);
+  EXPECT_THROW(load_model(net, path), CheckpointError);
+}
+
+TEST_F(CheckpointTest, MissingFileFailsWithTypedError) {
+  Rng rng(47);
+  RoadSegNet net(net_config(), rng);
+  EXPECT_THROW(load_model(net, (dir_ / "nonexistent.rfc").string()),
+               CheckpointError);
 }
 
 TEST_F(CheckpointTest, CacheKeyDistinguishesConfigurations) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
 #include "common/check.hpp"
@@ -116,6 +117,59 @@ TEST_F(DirectoryDatasetTest, OutOfRangeIndexRejected) {
   const DirectoryDataset dataset(config());
   EXPECT_THROW(dataset.sample(-1), Error);
   EXPECT_THROW(dataset.sample(dataset.size()), Error);
+}
+
+TEST_F(DirectoryDatasetTest, CorruptImageNamesFullPathAndIndex) {
+  const DirectoryDataset dataset(config());
+  // Find the index whose stem is UM_sample_0, then corrupt its rgb file
+  // after the constructor's scan (lazy loading reads it on first access).
+  int64_t index = -1;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.stems()[static_cast<size_t>(i)] == "UM_sample_0") {
+      index = i;
+    }
+  }
+  ASSERT_GE(index, 0);
+  const fs::path corrupted = dir_ / "UM_sample_0_rgb.ppm";
+  {
+    std::ofstream out(corrupted, std::ios::binary | std::ios::trunc);
+    out << "P6\n96 32\n255\n";  // header promises pixels, payload absent
+  }
+  try {
+    (void)dataset.sample(index);
+    FAIL() << "corrupt image loaded without error";
+  } catch (const DatasetLoadError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(corrupted.string()), std::string::npos)
+        << "error does not name the full path: " << what;
+    EXPECT_NE(what.find("sample " + std::to_string(index)),
+              std::string::npos)
+        << "error does not name the sample index: " << what;
+  }
+}
+
+TEST_F(DirectoryDatasetTest, FileDeletedAfterScanNamesFullPathAndIndex) {
+  const DirectoryDataset dataset(config());
+  int64_t index = -1;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.stems()[static_cast<size_t>(i)] == "UU_sample_4") {
+      index = i;
+    }
+  }
+  ASSERT_GE(index, 0);
+  const fs::path removed = dir_ / "UU_sample_4_label.pgm";
+  fs::remove(removed);
+  try {
+    (void)dataset.sample(index);
+    FAIL() << "missing file loaded without error";
+  } catch (const DatasetLoadError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(removed.string()), std::string::npos)
+        << "error does not name the full path: " << what;
+    EXPECT_NE(what.find("sample " + std::to_string(index)),
+              std::string::npos)
+        << "error does not name the sample index: " << what;
+  }
 }
 
 }  // namespace

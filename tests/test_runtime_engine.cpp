@@ -77,12 +77,12 @@ TEST(InferenceEngine, GoldenBatchedOutputBitIdenticalToSequential) {
     config.max_batch = 4;
     config.max_wait_us = 2000;
     InferenceEngine engine(net, config);
-    std::vector<std::future<Tensor>> futures;
+    std::vector<std::future<InferenceResult>> futures;
     for (const ScenePair& scene : scenes) {
       futures.push_back(engine.submit(scene.rgb, scene.depth));
     }
     for (size_t i = 0; i < futures.size(); ++i) {
-      expect_bit_identical(futures[i].get(), expected[i]);
+      expect_bit_identical(futures[i].get().output, expected[i]);
     }
   }
 }
@@ -95,13 +95,13 @@ TEST(InferenceEngine, ShutdownDrainServesEveryAcceptedRequest) {
   config.max_batch = 2;
   InferenceEngine engine(net, config);
   const std::vector<ScenePair> scenes = make_scenes(5, 21);
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<InferenceResult>> futures;
   for (const ScenePair& scene : scenes) {
     futures.push_back(engine.submit(scene.rgb, scene.depth));
   }
   engine.shutdown(ShutdownMode::kDrain);
   for (auto& future : futures) {
-    EXPECT_EQ(future.get().shape(), Shape::chw(1, kHeight, kWidth));
+    EXPECT_EQ(future.get().output.shape(), Shape::chw(1, kHeight, kWidth));
   }
   const RuntimeStats stats = engine.stats();
   EXPECT_EQ(stats.requests_served, 5u);
@@ -119,7 +119,7 @@ TEST(InferenceEngine, ShutdownCancelResolvesEveryFutureDeterministically) {
   config.max_batch = 1;
   InferenceEngine engine(net, config);
   const std::vector<ScenePair> scenes = make_scenes(8, 31);
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<InferenceResult>> futures;
   for (const ScenePair& scene : scenes) {
     futures.push_back(engine.submit(scene.rgb, scene.depth));
   }
@@ -151,7 +151,7 @@ TEST(InferenceEngine, RejectPolicyCountsQueueFullRejections) {
   config.overflow = OverflowPolicy::kReject;
   InferenceEngine engine(net, config);
   const std::vector<ScenePair> scenes = make_scenes(1, 41);
-  std::vector<std::future<Tensor>> accepted;
+  std::vector<std::future<InferenceResult>> accepted;
   uint64_t rejected = 0;
   // The single worker cannot keep up with a tight submission loop against
   // a capacity-1 queue, so rejections must occur.
@@ -165,7 +165,7 @@ TEST(InferenceEngine, RejectPolicyCountsQueueFullRejections) {
   engine.shutdown(ShutdownMode::kDrain);
   EXPECT_GT(rejected, 0u);
   for (auto& future : accepted) {
-    EXPECT_EQ(future.get().shape(), Shape::chw(1, kHeight, kWidth));
+    EXPECT_EQ(future.get().output.shape(), Shape::chw(1, kHeight, kWidth));
   }
   const RuntimeStats stats = engine.stats();
   EXPECT_EQ(stats.queue_full_rejections, rejected);
@@ -185,7 +185,7 @@ TEST(InferenceEngine, ModelFailureFailsTheRequestNotTheEngine) {
   EXPECT_THROW((void)bad.get(), Error);
   // The engine survives and keeps serving good requests.
   const std::vector<ScenePair> scenes = make_scenes(1, 51);
-  EXPECT_EQ(engine.submit(scenes[0].rgb, scenes[0].depth).get().shape(),
+  EXPECT_EQ(engine.submit(scenes[0].rgb, scenes[0].depth).get().output.shape(),
             Shape::chw(1, kHeight, kWidth));
 }
 
@@ -209,7 +209,7 @@ TEST(InferenceEngine, MultiProducerStressServesAllBitIdentical) {
   InferenceEngine engine(net, config);
 
   std::vector<std::thread> producers;
-  std::vector<std::vector<std::pair<size_t, std::future<Tensor>>>>
+  std::vector<std::vector<std::pair<size_t, std::future<InferenceResult>>>>
       per_producer(kProducers);
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
@@ -226,7 +226,7 @@ TEST(InferenceEngine, MultiProducerStressServesAllBitIdentical) {
   }
   for (auto& futures : per_producer) {
     for (auto& [scene_index, future] : futures) {
-      expect_bit_identical(future.get(), expected[scene_index]);
+      expect_bit_identical(future.get().output, expected[scene_index]);
     }
   }
   const RuntimeStats stats = engine.stats();

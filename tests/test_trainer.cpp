@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <algorithm>
+#include <limits>
+#include <string>
 
 #include "common/check.hpp"
 #include "train/trainer.hpp"
@@ -111,6 +113,55 @@ TEST(Trainer, RejectsBadConfigs) {
   TrainConfig bad = quick_train(0);
   EXPECT_THROW(fit(net, dataset, bad), Error);
   EXPECT_THROW(fit_indices(net, dataset, {}, quick_train(1)), Error);
+}
+
+// Wraps a dataset and poisons every sample's label with one NaN pixel:
+// it flows into the BCE loss unconditionally (ReLU clamps NaN activations
+// from the input path to zero, so corrupt labels are the reliable way a
+// non-finite loss arises here), and the trainer's guard must catch it
+// before the backward pass.
+class NanPoisonedData : public kitti::RoadData {
+ public:
+  explicit NanPoisonedData(const RoadDataset& source) : source_(source) {
+    for (int64_t i = 0; i < source.size(); ++i) {
+      kitti::Sample sample = source.sample(i);
+      sample.label.raw()[0] = std::numeric_limits<float>::quiet_NaN();
+      samples_.push_back(std::move(sample));
+    }
+  }
+  int64_t size() const override {
+    return static_cast<int64_t>(samples_.size());
+  }
+  const kitti::Sample& sample(int64_t index) const override {
+    return samples_[static_cast<size_t>(index)];
+  }
+  std::vector<int64_t> indices_of(kitti::RoadCategory category) const override {
+    return source_.indices_of(category);
+  }
+  const vision::Camera& camera() const override { return source_.camera(); }
+
+ private:
+  const RoadDataset& source_;
+  std::vector<kitti::Sample> samples_;
+};
+
+TEST(Trainer, NonFiniteLossAbortsWithContext) {
+  RoadDataset source(tiny_data(3), Split::kTrain);
+  NanPoisonedData dataset(source);
+  Rng rng(9);
+  RoadSegNet net(tiny_net_config(FusionScheme::kBaseline), rng);
+  try {
+    fit(net, dataset, quick_train(2));
+    FAIL() << "NaN loss did not abort training";
+  } catch (const NonFiniteLossError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("epoch 1/2"), std::string::npos)
+        << "error lacks epoch context: " << what;
+    EXPECT_NE(what.find("step 1"), std::string::npos)
+        << "error lacks step context: " << what;
+    EXPECT_NE(what.find("nan"), std::string::npos)
+        << "error lacks the loss value: " << what;
+  }
 }
 
 TEST(Trainer, AllSchemesTrainOneEpoch) {

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autograd/kernels.hpp"
@@ -27,6 +28,7 @@
 #include "kitti/surface_normals.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fault_injection.hpp"
 #include "train/checkpoint.hpp"
 #include "train/trainer.hpp"
 #include "vision/image_io.hpp"
@@ -95,11 +97,17 @@ void print_runtime_stats(const runtime::RuntimeStats& stats) {
   std::printf(
       "runtime: %llu served / %llu batches (mean batch %.2f), "
       "%llu rejected\n"
+      "faults:  %llu degraded  %llu failed  %llu timed out  "
+      "%llu invalid rejected\n"
       "latency ms: mean %.2f  p50 %.2f  p99 %.2f   throughput %.2f req/s\n",
       static_cast<unsigned long long>(stats.requests_served),
       static_cast<unsigned long long>(stats.batches_formed),
       stats.mean_batch_size,
       static_cast<unsigned long long>(stats.queue_full_rejections),
+      static_cast<unsigned long long>(stats.requests_degraded),
+      static_cast<unsigned long long>(stats.requests_failed),
+      static_cast<unsigned long long>(stats.requests_timed_out),
+      static_cast<unsigned long long>(stats.invalid_input_rejections),
       stats.mean_latency_ms, stats.p50_latency_ms, stats.p99_latency_ms,
       stats.throughput_rps);
 }
@@ -270,7 +278,7 @@ int cmd_infer(const cli::Args& args) {
   // Single-scene inference rides the same runtime as batch-infer: one
   // engine, one submitted request, one awaited future.
   runtime::InferenceEngine engine(net, engine_config(args));
-  const tensor::Tensor probability = engine.submit(rgb, depth).get();
+  const tensor::Tensor probability = engine.submit(rgb, depth).get().output;
   const auto scores = eval::score_sample(probability, label, camera, {});
   std::printf("%s / %s (seed %llu): MaxF %.2f IOU %.2f\n",
               kitti::to_string(category), kitti::to_string(lighting),
@@ -305,16 +313,25 @@ int cmd_batch_infer(const cli::Args& args) {
         "[--max-wait-us N]\n"
         "                       [--queue-cap N] "
         "[--kernel-backend reference|blocked]\n"
-        "                       [--out dir]\n\n"
+        "                       [--deadline-ms N] [--max-retries N]\n"
+        "                       [--inject-faults SPEC] [--out dir]\n\n"
         "Runs every scene of a dataset (a directory of PPM/PGM triples\n"
         "via --data, or the synthetic test split) through the batched\n"
         "multi-threaded inference runtime and writes one overlay per\n"
-        "scene.\n");
+        "scene.\n\n"
+        "  --deadline-ms N    per-request queue-wait budget; expired\n"
+        "                     requests fail with DeadlineExceededError\n"
+        "  --max-retries N    resubmits on queue-full / deadline failures\n"
+        "                     with exponential backoff (default 0)\n"
+        "  --inject-faults    deterministic fault spec, e.g.\n"
+        "                     rate=0.1,seed=7,kinds=nan+slow (see DESIGN.md"
+        " §9)\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
                    "data-seed", "threads", "max-batch", "max-wait-us",
-                   "queue-cap", "kernel-backend", "out", "help"});
+                   "queue-cap", "kernel-backend", "deadline-ms",
+                   "max-retries", "inject-faults", "out", "help"});
   const auto scenes = make_data(args, kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -326,22 +343,113 @@ int cmd_batch_infer(const cli::Args& args) {
   const std::filesystem::path out_dir(args.get("out", "infer_out"));
   std::filesystem::create_directories(out_dir);
 
-  const runtime::EngineConfig engine_cfg = engine_config(args);
-  runtime::InferenceEngine engine(net, engine_cfg);
-  std::printf("batch-infer: %lld scenes, %d threads, max batch %d\n",
-              static_cast<long long>(count), engine_cfg.threads,
-              engine_cfg.max_batch);
+  runtime::EngineConfig engine_cfg = engine_config(args);
+  engine_cfg.default_deadline_ms = args.get_int("deadline-ms", 0);
+  const int max_retries = static_cast<int>(args.get_int("max-retries", 0));
+  ROADFUSION_CHECK(max_retries >= 0, "--max-retries must be >= 0");
 
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<tensor::Tensor>> futures;
-  futures.reserve(static_cast<size_t>(count));
-  for (int64_t i = 0; i < count; ++i) {
-    const kitti::Sample& sample = scenes->sample(i);
-    futures.push_back(engine.submit(sample.rgb, sample.depth));
+  std::unique_ptr<runtime::FaultInjector> injector;
+  if (args.has("inject-faults")) {
+    injector = std::make_unique<runtime::FaultInjector>(
+        runtime::parse_fault_spec(args.get("inject-faults", "")));
+    engine_cfg.pre_forward_hook = injector->engine_hook();
   }
-  for (int64_t i = 0; i < count; ++i) {
+
+  runtime::InferenceEngine engine(net, engine_cfg);
+  std::printf("batch-infer: %lld scenes, %d threads, max batch %d%s\n",
+              static_cast<long long>(count), engine_cfg.threads,
+              engine_cfg.max_batch,
+              injector ? " (fault injection on)" : "");
+
+  // One request at a time in flight per scene, but all scenes submitted
+  // before any future is awaited, so batching still forms. A failed
+  // request is resubmitted (fresh tensors, no fault re-applied) up to
+  // --max-retries times with exponential backoff.
+  const auto start = std::chrono::steady_clock::now();
+  struct Pending {
+    std::future<runtime::InferenceResult> future;
+    bool submit_failed = false;
+    std::string submit_error;
+  };
+  const auto submit_once = [&](int64_t i, bool with_fault) -> Pending {
     const kitti::Sample& sample = scenes->sample(i);
-    const tensor::Tensor probability = futures[static_cast<size_t>(i)].get();
+    tensor::Tensor rgb = sample.rgb;
+    tensor::Tensor depth = sample.depth;
+    if (with_fault && injector) {
+      if (const auto kind = injector->draw()) {
+        std::printf("  injecting %s fault into scene %lld\n",
+                    runtime::to_string(*kind), static_cast<long long>(i));
+        injector->apply(*kind, rgb, depth);
+      }
+    }
+    Pending pending;
+    int backoff_ms = 1;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        pending.future = engine.submit(std::move(rgb), std::move(depth));
+        return pending;
+      } catch (const runtime::QueueFullError& e) {
+        if (attempt >= max_retries) {
+          pending.submit_failed = true;
+          pending.submit_error = e.what();
+          return pending;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+        // submit moved from the tensors only on success; reload them.
+        rgb = sample.rgb;
+        depth = sample.depth;
+      } catch (const runtime::InvalidInputError& e) {
+        pending.submit_failed = true;
+        pending.submit_error = e.what();
+        return pending;
+      }
+    }
+  };
+
+  std::vector<Pending> pending;
+  pending.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    pending.push_back(submit_once(i, /*with_fault=*/true));
+  }
+
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    Pending& p = pending[static_cast<size_t>(i)];
+    tensor::Tensor probability;
+    bool served = false;
+    for (int attempt = 0; attempt <= max_retries && !served; ++attempt) {
+      if (p.submit_failed) {
+        break;
+      }
+      try {
+        runtime::InferenceResult result = p.future.get();
+        if (result.degraded) {
+          ++degraded;
+        }
+        probability = std::move(result.output);
+        served = true;
+      } catch (const runtime::DeadlineExceededError&) {
+        if (attempt < max_retries) {
+          p = submit_once(i, /*with_fault=*/false);  // retry clean
+        }
+      } catch (const roadfusion::Error& e) {
+        p.submit_failed = true;
+        p.submit_error = e.what();
+      }
+    }
+    if (!served) {
+      ++failed;
+      std::fprintf(stderr, "scene %lld failed: %s\n",
+                   static_cast<long long>(i),
+                   p.submit_error.empty() ? "deadline exceeded after retries"
+                                          : p.submit_error.c_str());
+      continue;
+    }
+    ++ok;
+    const kitti::Sample& sample = scenes->sample(i);
     const int64_t height = sample.rgb.shape().dim(1);
     const int64_t width = sample.rgb.shape().dim(2);
     char name[64];
@@ -360,10 +468,14 @@ int cmd_batch_infer(const cli::Args& args) {
   engine.shutdown(runtime::ShutdownMode::kDrain);
 
   print_runtime_stats(engine.stats());
-  std::printf("wrote %lld overlays to %s (%.2f scenes/s)\n",
-              static_cast<long long>(count), out_dir.c_str(),
-              elapsed_s > 0.0 ? static_cast<double>(count) / elapsed_s : 0.0);
-  return 0;
+  std::printf(
+      "wrote %lld overlays to %s (%.2f scenes/s); %lld ok, %lld degraded, "
+      "%lld failed\n",
+      static_cast<long long>(ok), out_dir.c_str(),
+      elapsed_s > 0.0 ? static_cast<double>(count) / elapsed_s : 0.0,
+      static_cast<long long>(ok), static_cast<long long>(degraded),
+      static_cast<long long>(failed));
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_profile(const cli::Args& args) {

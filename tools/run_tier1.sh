@@ -2,25 +2,33 @@
 # Tier-1 verify driver (see ROADMAP.md): configure, build, ctest.
 #
 #   tools/run_tier1.sh          # the documented tier-1 line
-#   tools/run_tier1.sh --tsan   # additionally build the runtime + kernel
-#                               # parity tests under ThreadSanitizer and
-#                               # run them (parity runs the threaded
-#                               # blocked-GEMM path)
+#   tools/run_tier1.sh --tsan   # additionally build the runtime + fault
+#                               # tolerance + kernel parity tests under
+#                               # ThreadSanitizer and run them (parity
+#                               # runs the threaded blocked-GEMM path)
 #   tools/run_tier1.sh --asan   # additionally build the kernel parity +
-#                               # golden tests under AddressSanitizer and
-#                               # run them (packing buffers, panel edges)
+#                               # golden + fault tolerance tests under
+#                               # AddressSanitizer and run them (packing
+#                               # buffers, panel edges, fault paths)
+#   tools/run_tier1.sh --ubsan  # additionally build the runtime + fault
+#                               # tolerance + serialization tests under
+#                               # UndefinedBehaviorSanitizer and run them
+#                               # (checkpoint header parsing, fault
+#                               # injection arithmetic)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 tsan=0
 asan=0
+ubsan=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
     --asan) asan=1 ;;
+    --ubsan) ubsan=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan]" >&2
       exit 2
       ;;
   esac
@@ -31,17 +39,27 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$tsan" == 1 ]]; then
-  echo "== ThreadSanitizer pass over the runtime + kernel parity tests =="
+  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity tests =="
   cmake -B build-tsan -S . -DROADFUSION_SANITIZE=thread
   cmake --build build-tsan -j \
-    --target test_runtime_queue test_runtime_engine test_kernel_parity
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_kernel_parity')
+    --target test_runtime_queue test_runtime_engine test_fault_tolerance \
+             test_kernel_parity
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity')
 fi
 
 if [[ "$asan" == 1 ]]; then
-  echo "== AddressSanitizer pass over the kernel parity + golden tests =="
+  echo "== AddressSanitizer pass over the kernel parity + golden + fault tolerance tests =="
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
-    --target test_kernel_parity test_golden_inference
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference')
+    --target test_kernel_parity test_golden_inference test_fault_tolerance
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance')
+fi
+
+if [[ "$ubsan" == 1 ]]; then
+  echo "== UndefinedBehaviorSanitizer pass over the runtime + fault tolerance + serialization tests =="
+  cmake -B build-ubsan -S . -DROADFUSION_SANITIZE=undefined
+  cmake --build build-ubsan -j \
+    --target test_runtime_queue test_runtime_engine test_fault_tolerance \
+             test_serialize test_checkpoint
+  (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint')
 fi
