@@ -81,12 +81,13 @@ std::string fmt(double value, int decimals) {
 
 namespace {
 
-/// Escapes the characters that can appear in our keys/values (paths,
-/// scheme names); no exotic control characters expected.
+/// RFC 8259 string escaping: quotes, backslashes, the common short
+/// escapes, and every remaining control character as \u00XX.
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -100,8 +101,23 @@ std::string json_escape(const std::string& text) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
     }
   }
   return out;

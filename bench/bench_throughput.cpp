@@ -21,6 +21,9 @@
 // batch it lands on, including innocent requests). The leg asserts the
 // availability contract: every non-faulted request must succeed; exit
 // status is non-zero otherwise or when availability drops below 90%.
+//
+// `--metrics-json` appends the process-wide obs::MetricsRegistry as one
+// JSON object after the bench's own output (either leg).
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault_injection.hpp"
 
@@ -36,6 +40,37 @@ namespace {
 
 using namespace roadfusion;
 using Clock = std::chrono::steady_clock;
+
+/// `--metrics-json`: the process-wide metrics registry as one JSON object
+/// (counters/gauges as numbers, histograms as {buckets, count, sum}) —
+/// machine-readable companion to `roadfusion metrics-dump`'s Prometheus
+/// text.
+void print_metrics_json() {
+  bench::JsonWriter json;
+  json.begin_object();
+  for (const obs::MetricSnapshot& sample :
+       obs::MetricsRegistry::global().snapshot()) {
+    if (sample.kind == obs::MetricSnapshot::Kind::kHistogram) {
+      json.begin_object(sample.name);
+      json.begin_array("bounds");
+      for (double bound : sample.bounds) {
+        json.field("", bound, 6);  // empty key = bare array element
+      }
+      json.end_array().begin_array("buckets");
+      for (uint64_t bucket : sample.buckets) {
+        json.field("", static_cast<int64_t>(bucket));
+      }
+      json.end_array()
+          .field("count", static_cast<int64_t>(sample.count))
+          .field("sum", sample.sum, 6)
+          .end_object();
+      continue;
+    }
+    json.field(sample.name, sample.value, 6);
+  }
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+}
 
 struct ThroughputResult {
   int threads = 0;
@@ -220,15 +255,18 @@ int run_fault_leg(roadseg::RoadSegNet& net,
 int main(int argc, char** argv) {
   double fault_rate = 0.0;
   uint64_t fault_seed = 7;
+  bool metrics_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
       fault_rate = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       fault_seed = static_cast<uint64_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--fault-rate R] "
-                   "[--fault-seed N]\n");
+                   "[--fault-seed N] [--metrics-json]\n");
       return 2;
     }
   }
@@ -260,7 +298,11 @@ int main(int argc, char** argv) {
   }
 
   if (fault_rate > 0.0) {
-    return run_fault_leg(net, stream, fault_rate, fault_seed);
+    const int status = run_fault_leg(net, stream, fault_rate, fault_seed);
+    if (metrics_json) {
+      print_metrics_json();
+    }
+    return status;
   }
 
   const int max_batch = 4;
@@ -310,5 +352,8 @@ int main(int argc, char** argv) {
                  : 0.0)
       .end_object();
   std::printf("%s\n", json.str().c_str());
+  if (metrics_json) {
+    print_metrics_json();
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/shape.hpp"
 
 #if defined(__SSE2__) || defined(_M_X64)
@@ -160,11 +161,18 @@ void gemm_block_loop(const MatView& a, const MatView& b, float* c,
     for (int64_t p0 = 0; p0 < k; p0 += kc) {
       const int64_t kb = std::min(kc, k - p0);
       if (!direct_b) {
+        // Spans are per cache-block, not per register tile, so tracing
+        // overhead stays far off the micro-kernel's critical path.
+        obs::ScopedSpan pack_span("gemm.pack_b");
         pack_b(b, p0, kb, j0, nb, b_pack.data());
       }
       for (int64_t i0 = 0; i0 < m; i0 += mc) {
         const int64_t mb = std::min(mc, m - i0);
-        pack_a(a, i0, mb, p0, kb, a_pack.data());
+        {
+          obs::ScopedSpan pack_span("gemm.pack_a");
+          pack_a(a, i0, mb, p0, kb, a_pack.data());
+        }
+        obs::ScopedSpan kernel_span("gemm.kernel");
         for (int64_t jp = 0; jp < nb; jp += kNr) {
           const float* b_tile =
               direct_b ? b.data + p0 * b.row_stride + j0 + jp

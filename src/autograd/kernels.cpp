@@ -8,6 +8,7 @@
 #include "autograd/gemm.hpp"
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace roadfusion::autograd::kernels {
@@ -64,6 +65,18 @@ const GemmBackend& active_backend() {
 }
 
 std::atomic<uint64_t> im2col_calls{0};
+
+// Surfaces the ad-hoc im2col counter through the metrics registry without
+// moving its storage: a callback gauge sampled at render time. Registered
+// once at static-init (gauge because reset_im2col_call_count can lower it).
+[[maybe_unused]] const bool im2col_gauge_registered = [] {
+  obs::MetricsRegistry::global().gauge_callback(
+      "roadfusion_autograd_im2col_calls",
+      [] { return static_cast<double>(
+               im2col_calls.load(std::memory_order_relaxed)); },
+      "Lifetime im2col invocations");
+  return true;
+}();
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace roadfusion::core {
 
@@ -10,6 +11,7 @@ FusionFilter::FusionFilter(const std::string& name, int64_t channels, Rng& rng)
             /*stride=*/1, /*padding=*/0, /*bias=*/true, rng) {}
 
 Variable FusionFilter::match(const Variable& source_features) const {
+  obs::ScopedSpan span("fusion_filter.match");
   return conv_.forward(source_features);
 }
 

@@ -1,0 +1,26 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace roadfusion::obs {
+
+namespace {
+
+std::atomic<Clock*> g_clock{nullptr};
+
+}  // namespace
+
+void set_clock(Clock* clock) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+int64_t now_us() {
+  if (Clock* clock = g_clock.load(std::memory_order_acquire)) {
+    return clock->now_us();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace roadfusion::obs

@@ -1,0 +1,53 @@
+// Observability clock: every span timestamp and duration in src/obs goes
+// through one process-wide clock so tests can substitute a VirtualClock
+// and assert exact, deterministic timings (the tracer never calls
+// steady_clock directly).
+//
+// The active clock is a raw pointer the caller owns; `set_clock(nullptr)`
+// restores the real monotonic clock. Swapping clocks while spans are open
+// is allowed (the pointer is atomic) but mixes time bases, so tests swap
+// only between traced regions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace roadfusion::obs {
+
+/// Microsecond clock behind all tracing timestamps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t now_us() const = 0;
+};
+
+/// Manually advanced clock for deterministic tests.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_us = 0) : now_us_(start_us) {}
+
+  int64_t now_us() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+
+  void advance_us(int64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
+
+  void set_us(int64_t now_us) {
+    now_us_.store(now_us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+/// Installs `clock` as the process-wide observability clock; the caller
+/// keeps ownership and must outlive every span. nullptr restores the real
+/// monotonic clock.
+void set_clock(Clock* clock);
+
+/// Microseconds on the active clock (monotonic steady_clock by default).
+int64_t now_us();
+
+}  // namespace roadfusion::obs

@@ -1,0 +1,151 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms, rendered in Prometheus text exposition format.
+//
+// Design:
+//  * Instruments are lock-free atomics — safe to bump from any thread,
+//    TSan-clean, no lock on the hot path. The registry's mutex guards
+//    only name lookup/creation and rendering.
+//  * Instruments are get-or-create by name and never deleted, so a
+//    `Counter&` obtained once (e.g. by StatsCollector at construction)
+//    stays valid for the process lifetime; `reset()` zeroes values in
+//    place without invalidating references.
+//  * Histograms have fixed bucket bounds chosen at registration
+//    (Prometheus `le` semantics: an observation equal to a bound falls
+//    into that bound's bucket).
+//  * Callback gauges sample a value at render time — used to surface
+//    pre-existing ad-hoc counters (e.g. kernels::im2col_call_count)
+//    without moving their storage.
+//
+// Naming convention (DESIGN.md §10): roadfusion_<area>_<what>[_<unit>]
+// with counters suffixed `_total`, e.g. roadfusion_engine_requests_served_
+// total, roadfusion_engine_request_latency_ms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace roadfusion::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i] (Prometheus `le`); one extra overflow
+/// bucket catches v > bounds.back(). Bounds are strictly increasing and
+/// immutable after registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the
+  /// last entry being the overflow (+Inf) bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One metric's state at a point in time (render/export input).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter / gauge value
+  // Histogram-only fields:
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  ///< per-bucket counts, overflow last
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Named instrument registry. `global()` is the process-wide instance the
+/// runtime publishes into; tests construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Throws roadfusion::Error on an invalid metric name or
+  /// when the name is already registered as a different kind (or, for
+  /// histograms, with different bounds).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Registers a gauge whose value is sampled at snapshot/render time.
+  /// Re-registering the same name replaces the callback.
+  void gauge_callback(const std::string& name, std::function<double()> fn,
+                      const std::string& help = "");
+
+  /// Consistent copy of every metric, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Prometheus text exposition format (# HELP / # TYPE + samples),
+  /// metrics sorted by name — deterministic for golden tests.
+  std::string render_prometheus() const;
+
+  /// Zeroes every counter/gauge/histogram in place (callback gauges are
+  /// re-sampled, not reset). References stay valid.
+  void reset();
+
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  ///< gauge-kind only, may be empty
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Formats a metric sample value the way render_prometheus does: integral
+/// values print as integers, others with 6 significant digits.
+std::string format_metric_value(double value);
+
+}  // namespace roadfusion::obs

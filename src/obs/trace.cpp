@@ -1,0 +1,254 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace roadfusion::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 8192;
+
+/// Fixed-capacity event ring owned by one recording thread. The mutex is
+/// only contended when an exporter reads a live thread's ring.
+class Ring {
+ public:
+  Ring(size_t capacity, uint32_t tid) : slots_(capacity), tid_(tid) {}
+
+  void record(const char* name, int64_t start_us, int64_t duration_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent& event = slots_[recorded_ % slots_.size()];
+    std::strncpy(event.name, name, kMaxSpanName);
+    event.name[kMaxSpanName] = '\0';
+    event.start_us = start_us;
+    event.duration_us = duration_us;
+    event.tid = tid_;
+    event.seq = recorded_;
+    ++recorded_;
+  }
+
+  void collect(std::vector<TraceEvent>& out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t capacity = slots_.size();
+    const uint64_t first = recorded_ > capacity ? recorded_ - capacity : 0;
+    for (uint64_t i = first; i < recorded_; ++i) {
+      out.push_back(slots_[i % capacity]);
+    }
+  }
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t capacity = slots_.size();
+    return recorded_ > capacity ? recorded_ - capacity : 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> slots_;
+  uint64_t recorded_ = 0;
+  uint32_t tid_;
+};
+
+/// Registry of every thread's ring. Rings are shared_ptrs so they survive
+/// their thread's exit (spans of a joined worker pool stay exportable).
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  uint32_t next_tid = 0;
+  size_t capacity = kDefaultRingCapacity;
+  /// Bumped by reset_tracing(); threads holding a ring from an older
+  /// generation re-register on their next record.
+  std::atomic<uint64_t> generation{0};
+};
+
+TraceState& state() {
+  static TraceState* instance = new TraceState();
+  return *instance;
+}
+
+struct LocalRing {
+  std::shared_ptr<Ring> ring;
+  uint64_t generation = ~uint64_t{0};
+};
+
+thread_local LocalRing t_ring;
+
+Ring& local_ring() {
+  TraceState& s = state();
+  const uint64_t generation = s.generation.load(std::memory_order_acquire);
+  if (!t_ring.ring || t_ring.generation != generation) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto ring = std::make_shared<Ring>(s.capacity, s.next_tid++);
+    s.rings.push_back(ring);
+    t_ring.ring = std::move(ring);
+    t_ring.generation = s.generation.load(std::memory_order_relaxed);
+  }
+  return *t_ring.ring;
+}
+
+/// JSON string escaping for span names (quotes, backslashes, control
+/// characters as \u00XX).
+void append_json_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record(const char* name, int64_t start_us, int64_t duration_us) {
+  local_ring().record(name, start_us, duration_us);
+}
+
+}  // namespace detail
+
+void ScopedSpan::copy_name(const char* name) {
+  std::strncpy(name_, name, kMaxSpanName);
+  name_[kMaxSpanName] = '\0';
+}
+
+void ScopedSpan::format_name(const char* prefix, int index) {
+  std::snprintf(name_, sizeof(name_), "%s%d", prefix, index);
+}
+
+void set_tracing_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_ring_capacity(size_t capacity) {
+  ROADFUSION_CHECK(capacity >= 1, "trace ring capacity must be >= 1, got "
+                                      << capacity);
+  std::lock_guard<std::mutex> lock(state().mutex);
+  state().capacity = capacity;
+}
+
+size_t ring_capacity() {
+  std::lock_guard<std::mutex> lock(state().mutex);
+  return state().capacity;
+}
+
+void reset_tracing() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.rings.clear();
+  s.next_tid = 0;
+  s.generation.fetch_add(1, std::memory_order_release);
+}
+
+void record_event(const char* name, int64_t start_us, int64_t duration_us) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  detail::record(name, start_us, duration_us);
+}
+
+std::vector<TraceEvent> collect_events() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    rings = s.rings;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    ring->collect(events);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) {
+                return a.start_us < b.start_us;
+              }
+              if (a.tid != b.tid) {
+                return a.tid < b.tid;
+              }
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+uint64_t dropped_event_count() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    rings = s.rings;
+  }
+  uint64_t dropped = 0;
+  for (const auto& ring : rings) {
+    dropped += ring->dropped();
+  }
+  return dropped;
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = collect_events();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  uint32_t max_tid = 0;
+  char buffer[128];
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, event.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"cat\":\"roadfusion\",\"ph\":\"X\",\"ts\":%lld,"
+                  "\"dur\":%lld,\"pid\":1,\"tid\":%u}",
+                  static_cast<long long>(event.start_us),
+                  static_cast<long long>(event.duration_us), event.tid);
+    out += buffer;
+    max_tid = std::max(max_tid, event.tid);
+  }
+  // Thread-name metadata so the chrome://tracing rows read as ours.
+  for (uint32_t tid = 0; !events.empty() && tid <= max_tid; ++tid) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"roadfusion-%u\"}}",
+                  tid, tid);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  ROADFUSION_CHECK(file.good(), "cannot open trace file " << path);
+  const std::string json = chrome_trace_json();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  ROADFUSION_CHECK(file.good(), "failed writing trace file " << path);
+}
+
+}  // namespace roadfusion::obs

@@ -1,0 +1,123 @@
+// Low-overhead span tracer over thread-local ring buffers.
+//
+// Hot-path contract: when tracing is disabled, a ScopedSpan costs exactly
+// one relaxed atomic load and a branch — no clock read, no allocation, no
+// lock. When enabled, the constructor reads the obs clock and the
+// destructor appends one fixed-size event to the calling thread's ring
+// buffer (a mutex guards each ring, but it is only ever contended during
+// an export, so the common case is an uncontended lock).
+//
+// Every thread that records gets its own ring with a small sequential
+// thread id (0, 1, 2, ... in registration order — stable for tests,
+// unlike OS thread ids). Rings outlive their threads: a worker pool can
+// be joined and its spans exported afterwards. The ring has fixed
+// capacity; when it wraps, the oldest events are overwritten and counted
+// in `dropped_event_count()` — tracing never blocks or grows unboundedly.
+//
+// Export is Chrome trace-event JSON ("X" complete events, microsecond
+// timestamps), loadable in chrome://tracing or ui.perfetto.dev. See
+// DESIGN.md §10 for the span taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace roadfusion::obs {
+
+/// Longest span name stored (longer names are truncated, not rejected).
+inline constexpr size_t kMaxSpanName = 47;
+
+/// One completed span.
+struct TraceEvent {
+  char name[kMaxSpanName + 1];
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  uint32_t tid = 0;   ///< sequential ring id, not the OS thread id
+  uint64_t seq = 0;   ///< per-thread record index (monotonic across wraps)
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Appends one completed span to the calling thread's ring buffer.
+void record(const char* name, int64_t start_us, int64_t duration_us);
+}  // namespace detail
+
+/// True when spans are being recorded.
+inline bool tracing_enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled);
+
+/// Ring capacity (events per thread) for rings created afterwards; call
+/// `reset_tracing()` first to re-create existing rings at the new size.
+void set_ring_capacity(size_t capacity);
+size_t ring_capacity();
+
+/// Drops every recorded event and every ring; threads re-register on
+/// their next recorded span. Does not change the enabled flag.
+void reset_tracing();
+
+/// Records a completed span with explicit timing — for phases whose start
+/// is observed on a different thread than their end (e.g. queue wait:
+/// stamped at submit, recorded by the worker that popped the request).
+void record_event(const char* name, int64_t start_us, int64_t duration_us);
+
+/// Every retained event across all threads, ordered by
+/// (start_us, tid, seq) — a stable chronological order under both the
+/// real and the virtual clock.
+std::vector<TraceEvent> collect_events();
+
+/// Events overwritten by ring wraparound since the last reset.
+uint64_t dropped_event_count();
+
+/// Chrome trace-event JSON of `collect_events()` plus thread-name
+/// metadata. Load the string (or the file) in chrome://tracing.
+std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+/// RAII span: measures construction-to-destruction on the obs clock.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : enabled_(tracing_enabled()) {
+    if (enabled_) {
+      copy_name(name);
+      start_us_ = now_us();
+    }
+  }
+
+  /// Span named "<prefix><index>" (e.g. "rgb_encoder.stage" + 2); the
+  /// formatting only happens when tracing is enabled.
+  ScopedSpan(const char* prefix, int index)
+      : enabled_(tracing_enabled()) {
+    if (enabled_) {
+      format_name(prefix, index);
+      start_us_ = now_us();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (enabled_) {
+      detail::record(name_, start_us_, now_us() - start_us_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void copy_name(const char* name);
+  void format_name(const char* prefix, int index);
+
+  bool enabled_;
+  int64_t start_us_ = 0;
+  char name_[kMaxSpanName + 1];
+};
+
+}  // namespace roadfusion::obs

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace roadfusion::roadseg {
 
@@ -31,11 +32,13 @@ Variable Decoder::forward(const std::vector<Variable>& skips) const {
                                         << " skips, got " << skips.size());
   Variable x = skips.back();
   for (size_t step = 0; step < up_.size(); ++step) {
+    obs::ScopedSpan step_span("decoder.up", static_cast<int>(step));
     const size_t target_stage = stage_channels_.size() - 2 - step;
     x = up_[step].forward(x);
     x = autograd::add(x, skips[target_stage]);
     x = refine_[step].forward(x);
   }
+  obs::ScopedSpan head_span("decoder.head");
   return head_.forward(x);
 }
 

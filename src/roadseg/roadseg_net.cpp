@@ -2,6 +2,7 @@
 
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace roadfusion::roadseg {
 
@@ -92,8 +93,12 @@ ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
     // RGB-only degraded mode: the depth branch is never executed and the
     // depth values are never read, so a NaN-poisoned tensor from a dead
     // sensor cannot contaminate the output. Each fusion point contributes
-    // zero matched features (fused_i = r_i).
+    // zero matched features (fused_i = r_i). The `rgb_only` span marks the
+    // degraded path in traces; no `depth_encoder.*` span ever appears
+    // inside it.
+    obs::ScopedSpan rgb_only_span("rgb_only");
     for (int stage = 0; stage < stages; ++stage) {
+      obs::ScopedSpan stage_span("rgb_encoder.stage", stage);
       const autograd::Variable r_i =
           rgb_encoder_->forward_stage(stage, rgb_in);
       result.fusion_pairs.emplace_back(
@@ -102,20 +107,28 @@ ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
       skips.push_back(r_i);
       rgb_in = r_i;
     }
+    obs::ScopedSpan decoder_span("decoder");
     result.logits = decoder_->forward(skips);
     return result;
   }
 
   autograd::Variable depth_in = depth;
   for (int stage = 0; stage < stages; ++stage) {
-    const autograd::Variable r_i = rgb_encoder_->forward_stage(stage, rgb_in);
-    const autograd::Variable d_i =
-        depth_encoder_->forward_stage(stage, depth_in);
+    autograd::Variable r_i, d_i;
+    {
+      obs::ScopedSpan stage_span("rgb_encoder.stage", stage);
+      r_i = rgb_encoder_->forward_stage(stage, rgb_in);
+    }
+    {
+      obs::ScopedSpan stage_span("depth_encoder.stage", stage);
+      d_i = depth_encoder_->forward_stage(stage, depth_in);
+    }
 
     // Every scheme reduces to fused_i = r_i + matched_i; the schemes
     // differ only in how `matched` is derived from d_i (identity, fusion
     // filter, AWN weighting) and whether the depth branch is updated in
     // reverse (AllFilter_B).
+    obs::ScopedSpan fusion_span("fusion.stage", stage);
     autograd::Variable matched = d_i;
     autograd::Variable next_depth = d_i;
     switch (config_.scheme) {
@@ -136,6 +149,7 @@ ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
       }
       case FusionScheme::kWeightedSharing: {
         if (stage == stages - 1) {
+          obs::ScopedSpan awn_span("awn.weight");
           const autograd::Variable w = awn_->weight(r_i, d_i);
           result.awn_weight = w;
           matched = ag::scale_per_sample(d_i, w);
@@ -157,6 +171,7 @@ ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
     depth_in = next_depth;
   }
 
+  obs::ScopedSpan decoder_span("decoder");
   result.logits = decoder_->forward(skips);
   return result;
 }

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "autograd/kernels.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "tensor/shape.hpp"
 
 namespace roadfusion::runtime {
@@ -66,6 +68,9 @@ std::future<InferenceResult> InferenceEngine::submit(
   request.rgb = std::move(rgb);
   request.depth = std::move(depth);
   request.enqueue_time = std::chrono::steady_clock::now();
+  if (obs::tracing_enabled()) {
+    request.trace_submit_us = obs::now_us();
+  }
   const int64_t deadline_ms = options.deadline_ms != 0
                                   ? options.deadline_ms
                                   : config_.default_deadline_ms;
@@ -163,6 +168,18 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
   const int64_t width = rgb_shape.dim(2);
   const bool degraded = live.front().degraded;
   stats_.record_batch(live.size());
+  if (obs::tracing_enabled()) {
+    // Queue-wait spans use explicit timestamps: the interval began on the
+    // submitting thread but is recorded here, on the worker that picked
+    // the request up, so the span lands on the serving thread's track.
+    const int64_t picked_up_us = obs::now_us();
+    for (const Request& request : live) {
+      if (request.trace_submit_us != 0) {
+        obs::record_event("engine.queue_wait", request.trace_submit_us,
+                          picked_up_us - request.trace_submit_us);
+      }
+    }
+  }
   try {
     if (config_.pre_forward_hook) {
       config_.pre_forward_hook(live.size());
@@ -171,20 +188,24 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
     // elements are contiguous planes, so each request copies in flat.
     Tensor rgb(Shape::nchw(n, rgb_shape.dim(0), height, width));
     Tensor depth(Shape::nchw(n, depth_shape.dim(0), height, width));
-    const int64_t rgb_plane = rgb_shape.numel();
-    const int64_t depth_plane = depth_shape.numel();
-    for (int64_t i = 0; i < n; ++i) {
-      std::copy(live[i].rgb.data().begin(), live[i].rgb.data().end(),
-                rgb.data().begin() + i * rgb_plane);
-      std::copy(live[i].depth.data().begin(), live[i].depth.data().end(),
-                depth.data().begin() + i * depth_plane);
-    }
+    Tensor probability;
+    {
+      obs::ScopedSpan forward_span("engine.forward");
+      const int64_t rgb_plane = rgb_shape.numel();
+      const int64_t depth_plane = depth_shape.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        std::copy(live[i].rgb.data().begin(), live[i].rgb.data().end(),
+                  rgb.data().begin() + i * rgb_plane);
+        std::copy(live[i].depth.data().begin(), live[i].depth.data().end(),
+                  depth.data().begin() + i * depth_plane);
+      }
 
-    // Degraded batches go through the RGB-only path: fusion_weight = 0
-    // never reads the (possibly NaN-poisoned) depth values.
-    const Tensor probability =
-        degraded ? model_.predict_fused(rgb, depth, 0.0f)
-                 : model_.predict(rgb, depth);  // (N, 1, H, W)
+      // Degraded batches go through the RGB-only path: fusion_weight = 0
+      // never reads the (possibly NaN-poisoned) depth values.
+      probability = degraded ? model_.predict_fused(rgb, depth, 0.0f)
+                             : model_.predict(rgb, depth);  // (N, 1, H, W)
+    }
+    obs::ScopedSpan respond_span("engine.respond");
     const int64_t out_plane = height * width;
     for (int64_t i = 0; i < n; ++i) {
       std::vector<float> values(

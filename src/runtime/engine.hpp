@@ -186,6 +186,10 @@ class InferenceEngine {
     std::promise<InferenceResult> result;
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;
+    /// obs::now_us() at submit, stamped only while tracing is enabled
+    /// (0 otherwise); lets serve_batch emit `engine.queue_wait` spans on
+    /// the tracing clock (real or virtual).
+    int64_t trace_submit_us = 0;
     bool has_deadline = false;
     bool degraded = false;  // serve RGB-only (fusion_weight = 0)
   };

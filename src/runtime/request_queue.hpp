@@ -23,6 +23,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace roadfusion::runtime {
 
 /// Outcome of a push attempt.
@@ -105,6 +107,9 @@ class BoundedQueue {
     }
     batch.push_back(std::move(items_.front()));
     items_.pop_front();
+    // Span covers the straggler-gathering window only, not the idle wait
+    // for the batch head — an idle worker is not "forming a batch".
+    obs::ScopedSpan batch_form_span("engine.batch_form");
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     while (batch.size() < max_batch) {
       if (items_.empty()) {

@@ -21,30 +21,73 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
-StatsCollector::StatsCollector() : start_(std::chrono::steady_clock::now()) {}
+const std::vector<double>& latency_bucket_bounds_ms() {
+  static const std::vector<double> kBounds = {0.5, 1,   2.5, 5,   10,   25,
+                                              50,  100, 250, 500, 1000, 2500};
+  return kBounds;
+}
+
+StatsCollector::StatsCollector() : StatsCollector(obs::MetricsRegistry::global()) {}
+
+StatsCollector::StatsCollector(obs::MetricsRegistry& registry)
+    : start_(std::chrono::steady_clock::now()),
+      m_submitted_(registry.counter("roadfusion_engine_requests_submitted_total",
+                                    "Requests accepted into the queue")),
+      m_served_(registry.counter("roadfusion_engine_requests_served_total",
+                                 "Futures fulfilled with a result")),
+      m_degraded_(registry.counter("roadfusion_engine_requests_degraded_total",
+                                   "Requests served RGB-only")),
+      m_failed_(registry.counter("roadfusion_engine_requests_failed_total",
+                                 "Futures failed by a forward error")),
+      m_timed_out_(registry.counter("roadfusion_engine_requests_timed_out_total",
+                                    "Futures failed by deadline expiry")),
+      m_cancelled_(registry.counter("roadfusion_engine_requests_cancelled_total",
+                                    "Futures failed by cancel shutdown")),
+      m_queue_full_(registry.counter("roadfusion_engine_queue_full_rejections_total",
+                                     "Submissions rejected on a full queue")),
+      m_invalid_(registry.counter("roadfusion_engine_invalid_input_rejections_total",
+                                  "Submissions rejected by input validation")),
+      m_batches_(registry.counter("roadfusion_engine_batches_formed_total",
+                                  "Micro-batches formed by the worker pool")),
+      m_batched_requests_(registry.counter("roadfusion_engine_batched_requests_total",
+                                           "Requests placed into formed batches")),
+      m_latency_ms_(registry.histogram("roadfusion_engine_request_latency_ms",
+                                       latency_bucket_bounds_ms(),
+                                       "Submit-to-completion latency, served "
+                                       "requests, milliseconds")) {}
 
 void StatsCollector::record_submitted() {
+  m_submitted_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.requests_submitted;
 }
 
 void StatsCollector::record_rejection() {
+  m_queue_full_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.queue_full_rejections;
 }
 
 void StatsCollector::record_batch(size_t batch_size) {
+  m_batches_.inc();
+  m_batched_requests_.inc(batch_size);
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.batches_formed;
   batched_requests_ += batch_size;
 }
 
 void StatsCollector::record_invalid_input() {
+  m_invalid_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.invalid_input_rejections;
 }
 
 void StatsCollector::record_served(double latency_ms, bool degraded) {
+  m_served_.inc();
+  if (degraded) {
+    m_degraded_.inc();
+  }
+  m_latency_ms_.observe(latency_ms);
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.requests_served;
   if (degraded) {
@@ -54,16 +97,19 @@ void StatsCollector::record_served(double latency_ms, bool degraded) {
 }
 
 void StatsCollector::record_failed(size_t count) {
+  m_failed_.inc(count);
   std::lock_guard<std::mutex> lock(mutex_);
   totals_.requests_failed += count;
 }
 
 void StatsCollector::record_timed_out(size_t count) {
+  m_timed_out_.inc(count);
   std::lock_guard<std::mutex> lock(mutex_);
   totals_.requests_timed_out += count;
 }
 
 void StatsCollector::record_cancelled(size_t count) {
+  m_cancelled_.inc(count);
   std::lock_guard<std::mutex> lock(mutex_);
   totals_.requests_cancelled += count;
 }

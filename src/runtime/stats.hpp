@@ -1,12 +1,18 @@
 // Runtime metrics: counters and latency distribution of the inference
 // engine, exposed as immutable snapshots so callers never observe a
-// half-updated view.
+// half-updated view. Every recording additionally publishes into an
+// obs::MetricsRegistry (the process-wide one by default), so the same
+// numbers are scrapeable as Prometheus text via `roadfusion metrics-dump`
+// — RuntimeStats snapshots stay per-engine, the registry aggregates
+// across engines.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace roadfusion::runtime {
 
@@ -35,10 +41,17 @@ struct RuntimeStats {
   double elapsed_s = 0.0;
 };
 
+/// Fixed latency bucket bounds (milliseconds) of the engine's request
+/// latency histogram in the metrics registry.
+const std::vector<double>& latency_bucket_bounds_ms();
+
 /// Thread-safe metrics accumulator feeding `RuntimeStats` snapshots.
 class StatsCollector {
  public:
+  /// Publishes into `registry` alongside the per-engine totals; defaults
+  /// to the process-wide obs::MetricsRegistry::global().
   StatsCollector();
+  explicit StatsCollector(obs::MetricsRegistry& registry);
 
   void record_submitted();
   void record_rejection();
@@ -58,6 +71,19 @@ class StatsCollector {
   uint64_t batched_requests_ = 0;
   std::vector<double> latencies_ms_;
   std::chrono::steady_clock::time_point start_;
+
+  // Registry instruments (registry-owned, process-lifetime references).
+  obs::Counter& m_submitted_;
+  obs::Counter& m_served_;
+  obs::Counter& m_degraded_;
+  obs::Counter& m_failed_;
+  obs::Counter& m_timed_out_;
+  obs::Counter& m_cancelled_;
+  obs::Counter& m_queue_full_;
+  obs::Counter& m_invalid_;
+  obs::Counter& m_batches_;
+  obs::Counter& m_batched_requests_;
+  obs::Histogram& m_latency_ms_;
 };
 
 }  // namespace roadfusion::runtime

@@ -10,6 +10,8 @@
 #include "common/logging.hpp"
 #include "core/feature_disparity.hpp"
 #include "nn/optim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace roadfusion::train {
@@ -41,9 +43,13 @@ TrainHistory fit_indices(SegmentationModel& net, const RoadData& dataset,
   tensor::Rng shuffle_rng(config.shuffle_seed);
   std::vector<int64_t> order = indices;
 
+  obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
+      "roadfusion_train_epochs_total", "Training epochs completed");
+
   TrainHistory history;
   float lr = config.lr;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("train.epoch", epoch);
     optimizer->set_learning_rate(lr);
     // Fisher-Yates shuffle driven by the deterministic RNG.
     for (int64_t i = static_cast<int64_t>(order.size()) - 1; i > 0; --i) {
@@ -109,6 +115,7 @@ TrainHistory fit_indices(SegmentationModel& net, const RoadData& dataset,
       stats.fd_loss /= static_cast<double>(batches);
     }
     history.epochs.push_back(stats);
+    epochs_total.inc();
     log_verbose("epoch ", epoch + 1, "/", config.epochs,
                 " total=", stats.total_loss, " seg=", stats.seg_loss,
                 " fd=", stats.fd_loss, " lr=", lr);

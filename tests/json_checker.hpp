@@ -1,0 +1,153 @@
+// Minimal recursive-descent JSON syntax checker for tests: validates that
+// a string is one well-formed JSON value (objects, arrays, strings with
+// escapes, numeric/keyword literals). Syntax only — no semantics, no
+// number grammar beyond "literal characters" — enough to catch unbalanced
+// braces, broken escaping and trailing commas in generated output.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace roadfusion::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      default:
+        return literal();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;  // skip the escaped character
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      // Raw control characters are illegal inside JSON strings.
+      if (static_cast<unsigned char>(text_[pos_]) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool literal() {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return pos_ > start;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace roadfusion::testing

@@ -1,0 +1,137 @@
+// Unit tests of the bench-side streaming JsonWriter (bench/bench_common.*):
+// RFC 8259 escaping, nesting, bare array elements, and numeric formatting.
+// Everything is cross-checked with the shared JsonChecker validator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "json_checker.hpp"
+
+namespace roadfusion::bench {
+namespace {
+
+using roadfusion::testing::JsonChecker;
+
+std::string build_and_check(JsonWriter& json) {
+  const std::string text = json.str();
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.valid()) << text;
+  return text;
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter object;
+  object.begin_object().end_object();
+  EXPECT_EQ(build_and_check(object), "{}");
+
+  JsonWriter array;
+  array.begin_array().end_array();
+  EXPECT_EQ(build_and_check(array), "[]");
+}
+
+TEST(JsonWriterTest, ScalarFieldsAndCommas) {
+  JsonWriter json;
+  json.begin_object()
+      .field("count", static_cast<int64_t>(42))
+      .field("label", std::string("ok"))
+      .field("flag", true)
+      .field("off", false)
+      .end_object();
+  EXPECT_EQ(build_and_check(json),
+            "{\"count\":42,\"label\":\"ok\",\"flag\":true,\"off\":false}");
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndShortEscapes) {
+  JsonWriter json;
+  json.begin_object()
+      .field("text", std::string("a\"b\\c\nd\te\rf\bg\fh"))
+      .end_object();
+  EXPECT_EQ(build_and_check(json),
+            "{\"text\":\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\"}");
+}
+
+TEST(JsonWriterTest, EscapesRemainingControlCharsAsUnicode) {
+  JsonWriter json;
+  json.begin_object()
+      .field("ctrl", std::string("x\x01y\x1fz"))
+      .end_object();
+  EXPECT_EQ(build_and_check(json), "{\"ctrl\":\"x\\u0001y\\u001fz\"}");
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  JsonWriter json;
+  json.begin_object()
+      .field("weird\"key", static_cast<int64_t>(1))
+      .end_object();
+  EXPECT_EQ(build_and_check(json), "{\"weird\\\"key\":1}");
+}
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.begin_object()
+      .begin_array("runs")
+      .begin_object()
+      .field("scenes_per_sec", 12.5, 1)
+      .end_object()
+      .begin_object()
+      .field("scenes_per_sec", 13.0, 1)
+      .end_object()
+      .end_array()
+      .begin_object("meta")
+      .field("threads", static_cast<int64_t>(4))
+      .end_object()
+      .end_object();
+  EXPECT_EQ(build_and_check(json),
+            "{\"runs\":[{\"scenes_per_sec\":12.5},{\"scenes_per_sec\":13.0}],"
+            "\"meta\":{\"threads\":4}}");
+}
+
+TEST(JsonWriterTest, EmptyKeyEmitsBareArrayElements) {
+  // bench_throughput's --metrics-json uses field("") for histogram bound
+  // arrays — the empty key must emit only the comma separator.
+  JsonWriter json;
+  json.begin_array()
+      .field("", 0.5, 6)
+      .field("", 1.0, 6)
+      .field("", static_cast<int64_t>(7))
+      .end_array();
+  EXPECT_EQ(build_and_check(json), "[0.500000,1.000000,7]");
+}
+
+TEST(JsonWriterTest, DoubleFieldsRoundTripAtRequestedPrecision) {
+  JsonWriter json;
+  json.begin_object().field("pi", 3.14159265, 4).end_object();
+  const std::string text = build_and_check(json);
+  EXPECT_EQ(text, "{\"pi\":3.1416}");
+  // The emitted literal parses back to the rounded value.
+  const std::string literal = text.substr(text.find(':') + 1);
+  EXPECT_DOUBLE_EQ(std::strtod(literal.c_str(), nullptr), 3.1416);
+}
+
+TEST(JsonWriterTest, NegativeAndLargeIntegers) {
+  JsonWriter json;
+  json.begin_object()
+      .field("neg", static_cast<int64_t>(-12345))
+      .field("big", static_cast<int64_t>(1) << 53)
+      .end_object();
+  EXPECT_EQ(build_and_check(json),
+            "{\"neg\":-12345,\"big\":9007199254740992}");
+}
+
+TEST(JsonWriterTest, SiblingContainersAreCommaSeparated) {
+  JsonWriter json;
+  json.begin_object()
+      .begin_array("a")
+      .end_array()
+      .begin_array("b")
+      .field("", static_cast<int64_t>(1))
+      .end_array()
+      .end_object();
+  EXPECT_EQ(build_and_check(json), "{\"a\":[],\"b\":[1]}");
+}
+
+}  // namespace
+}  // namespace roadfusion::bench

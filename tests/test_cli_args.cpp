@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "json_checker.hpp"
 
 // The CLI argument parser lives in tools/; include it directly (it is a
 // header-only utility).
@@ -89,6 +96,120 @@ TEST(CliArgs, AllowOnlyCatchesTypos) {
   Argv good({"prog", "--scheme", "WS"});
   const Args good_args(good.argc(), good.argv());
   EXPECT_NO_THROW(good_args.allow_only({"scheme", "epochs"}));
+}
+
+TEST(CliArgs, UnknownOptionThrowsUsageError) {
+  Argv argv({"prog", "--bogus-flag"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_THROW(args.allow_only({"scheme"}), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Binary-level tests: drive the installed `roadfusion` CLI end to end.
+// ROADFUSION_CLI_BIN is injected by tests/CMakeLists.txt.
+// ---------------------------------------------------------------------------
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the CLI with `arguments` through the shell, capturing the exit
+/// code and (per the redirection baked into `arguments`) its output.
+CliRun run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(ROADFUSION_CLI_BIN) + " " + arguments;
+  CliRun run;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return run;
+  }
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    run.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+  }
+  return run;
+}
+
+TEST(CliBinary, EveryVerbRejectsUnknownFlagsWithExitTwo) {
+  const std::vector<std::string> verbs = {
+      "info",    "train",   "eval",    "infer",
+      "batch-infer", "profile", "dataset", "metrics-dump"};
+  for (const std::string& verb : verbs) {
+    const CliRun run = run_cli(verb + " --bogus-flag 2>&1");
+    EXPECT_EQ(run.exit_code, 2) << verb << ": " << run.output;
+    EXPECT_NE(run.output.find("unknown option --bogus-flag"),
+              std::string::npos)
+        << verb << ": " << run.output;
+    EXPECT_NE(run.output.find("usage: roadfusion"), std::string::npos)
+        << verb << ": " << run.output;
+  }
+}
+
+TEST(CliBinary, NoCommandPrintsUsageAndExitsTwo) {
+  const CliRun run = run_cli("2>&1");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("usage: roadfusion"), std::string::npos);
+}
+
+TEST(CliBinary, UnknownCommandExitsTwo) {
+  const CliRun run = run_cli("frobnicate 2>&1");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown command 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(CliBinary, HelpFlagsExitZero) {
+  EXPECT_EQ(run_cli("train --help 2>&1").exit_code, 0);
+  EXPECT_EQ(run_cli("metrics-dump --help 2>&1").exit_code, 0);
+}
+
+TEST(CliBinary, MetricsDumpPrintsPrometheusTextOnStdout) {
+  // stderr dropped: stdout must be pure Prometheus exposition text.
+  const CliRun run =
+      run_cli("metrics-dump --count 2 --cap 2 --threads 1 2>/dev/null");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find(
+                "# TYPE roadfusion_engine_requests_served_total counter"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("roadfusion_engine_requests_served_total 2"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find(
+          "# TYPE roadfusion_engine_request_latency_ms histogram"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << run.output;
+}
+
+TEST(CliBinary, MetricsDumpTraceFlagWritesChromeTrace) {
+  const std::string path =
+      ::testing::TempDir() + "roadfusion_cli_trace.json";
+  const CliRun run = run_cli("metrics-dump --count 2 --cap 2 --threads 1 "
+                             "--trace " +
+                             path + " 2>&1 >/dev/null");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good()) << "trace file not written: " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  roadfusion::testing::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+  EXPECT_NE(json.find("\"rgb_encoder.stage0\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Deterministic tests of the metrics registry (src/obs/metrics.*):
+// counter/gauge/histogram semantics, exact bucket-boundary behaviour, a
+// Prometheus-text golden, registration conflicts, and concurrent
+// increments (the suite runs TSan-clean under run_tier1.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace roadfusion::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  // A value equal to a bound lands in that bound's bucket (`le`).
+  histogram.observe(0.5);  // le=1
+  histogram.observe(1.0);  // le=1 (boundary!)
+  histogram.observe(1.0001);  // le=2
+  histogram.observe(2.0);  // le=2 (boundary!)
+  histogram.observe(5.0);  // le=5 (boundary!)
+  histogram.observe(5.0001);  // overflow
+  histogram.observe(1e9);  // overflow
+  const std::vector<uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(histogram.count(), 7u);
+}
+
+TEST(HistogramTest, NanLandsInOverflowBucket) {
+  Histogram histogram({1.0});
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  const std::vector<uint64_t> buckets = histogram.bucket_counts();
+  EXPECT_EQ(buckets[0], 0u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(HistogramTest, SumAndReset) {
+  Histogram histogram({10.0});
+  histogram.observe(1.5);
+  histogram.observe(2.5);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 4.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.bucket_counts()[0], 0u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test_total");
+  Counter& b = registry.counter("test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, KindConflictsThrow) {
+  MetricsRegistry registry;
+  registry.counter("as_counter");
+  registry.gauge("as_gauge");
+  registry.histogram("as_histogram", {1.0});
+  EXPECT_THROW(registry.gauge("as_counter"), Error);
+  EXPECT_THROW(registry.histogram("as_counter", {1.0}), Error);
+  EXPECT_THROW(registry.counter("as_gauge"), Error);
+  EXPECT_THROW(registry.counter("as_histogram"), Error);
+  EXPECT_THROW(
+      registry.gauge_callback("as_counter", [] { return 0.0; }), Error);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMustMatchOnReRegistration) {
+  MetricsRegistry registry;
+  registry.histogram("latency", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("latency", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("latency", {1.0, 3.0}), Error);
+}
+
+TEST(MetricsRegistry, InvalidNamesThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), Error);
+  EXPECT_THROW(registry.counter("1starts_with_digit"), Error);
+  EXPECT_THROW(registry.counter("has space"), Error);
+  EXPECT_THROW(registry.counter("has-dash"), Error);
+  EXPECT_NO_THROW(registry.counter("ok_name:with_colon_total"));
+  EXPECT_NO_THROW(registry.counter("_leading_underscore"));
+}
+
+TEST(MetricsRegistry, CallbackGaugeSampledAtRender) {
+  MetricsRegistry registry;
+  double live = 1.0;
+  registry.gauge_callback("sampled", [&live] { return live; });
+  EXPECT_NE(registry.render_prometheus().find("sampled 1"),
+            std::string::npos);
+  live = 7.5;
+  EXPECT_NE(registry.render_prometheus().find("sampled 7.5"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.counter("test_requests_total", "Total requests").inc(3);
+  registry.gauge("test_queue_depth", "Current queue depth").set(2.5);
+  Histogram& histogram =
+      registry.histogram("test_latency_ms", {1.0, 2.0, 5.0}, "Latency");
+  histogram.observe(0.5);
+  histogram.observe(1.0);
+  histogram.observe(3.0);
+  histogram.observe(9.0);
+
+  // Metrics render name-sorted; histogram buckets are cumulative.
+  const std::string expected =
+      "# HELP test_latency_ms Latency\n"
+      "# TYPE test_latency_ms histogram\n"
+      "test_latency_ms_bucket{le=\"1\"} 2\n"
+      "test_latency_ms_bucket{le=\"2\"} 2\n"
+      "test_latency_ms_bucket{le=\"5\"} 3\n"
+      "test_latency_ms_bucket{le=\"+Inf\"} 4\n"
+      "test_latency_ms_sum 13.5\n"
+      "test_latency_ms_count 4\n"
+      "# HELP test_queue_depth Current queue depth\n"
+      "# TYPE test_queue_depth gauge\n"
+      "test_queue_depth 2.5\n"
+      "# HELP test_requests_total Total requests\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total 3\n";
+  EXPECT_EQ(registry.render_prometheus(), expected);
+}
+
+TEST(MetricsRegistry, HelpLineOmittedWhenEmpty) {
+  MetricsRegistry registry;
+  registry.counter("no_help_total").inc();
+  const std::string text = registry.render_prometheus();
+  EXPECT_EQ(text.find("# HELP"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE no_help_total counter"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesHistogramState) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h", {1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(3.0);
+  const std::vector<MetricSnapshot> snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snapshot[0].bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(snapshot[0].buckets, (std::vector<uint64_t>{1, 0, 1}));
+  EXPECT_EQ(snapshot[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[0].sum, 3.5);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceWithoutInvalidatingReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c_total");
+  Histogram& histogram = registry.histogram("h_ms", {1.0});
+  counter.inc(5);
+  histogram.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  counter.inc();  // the old reference still feeds the registry
+  EXPECT_NE(registry.render_prometheus().find("c_total 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("racy_total");
+  Histogram& histogram = registry.histogram("racy_ms", {10.0, 20.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(static_cast<double>(t * 10));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  const std::vector<uint64_t> buckets = histogram.bucket_counts();
+  EXPECT_EQ(buckets[0], static_cast<uint64_t>(2 * kPerThread));  // 0, 10
+  EXPECT_EQ(buckets[1], static_cast<uint64_t>(kPerThread));      // 20
+  EXPECT_EQ(buckets[2], static_cast<uint64_t>(kPerThread));      // 30
+}
+
+TEST(FormatMetricValue, IntegralValuesPrintAsIntegers) {
+  EXPECT_EQ(format_metric_value(3.0), "3");
+  EXPECT_EQ(format_metric_value(0.0), "0");
+  EXPECT_EQ(format_metric_value(-17.0), "-17");
+  EXPECT_EQ(format_metric_value(2.5), "2.5");
+  EXPECT_EQ(format_metric_value(0.125), "0.125");
+  EXPECT_EQ(format_metric_value(1e300), "1e+300");
+}
+
+TEST(GlobalRegistry, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace roadfusion::obs

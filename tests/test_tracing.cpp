@@ -1,0 +1,247 @@
+// Deterministic tests of the span tracer (src/obs/trace.*): nesting and
+// ordering under a virtual clock, ring wraparound, Chrome-JSON validity,
+// and thread-id separation across a worker pool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <latch>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+
+namespace roadfusion::obs {
+namespace {
+
+/// Fresh tracing state per test: virtual clock installed, rings cleared,
+/// recording on; everything restored on teardown.
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    set_ring_capacity(1024);
+    reset_tracing();
+    set_clock(&clock_);
+    set_tracing_enabled(true);
+  }
+
+  void TearDown() override {
+    set_tracing_enabled(false);
+    set_clock(nullptr);
+    reset_tracing();
+  }
+
+  VirtualClock clock_;
+};
+
+TEST_F(TracingTest, DisabledRecordsNothing) {
+  set_tracing_enabled(false);
+  {
+    ScopedSpan span("never_recorded");
+    clock_.advance_us(10);
+  }
+  EXPECT_TRUE(collect_events().empty());
+  EXPECT_EQ(dropped_event_count(), 0u);
+}
+
+TEST_F(TracingTest, NestedSpansHaveExactVirtualTimings) {
+  clock_.set_us(0);
+  {
+    ScopedSpan outer("outer");
+    clock_.advance_us(10);
+    {
+      ScopedSpan inner("inner");
+      clock_.advance_us(5);
+    }  // inner: start 10, duration 5
+    clock_.advance_us(5);
+  }  // outer: start 0, duration 20
+
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: the outer span leads even though it was
+  // recorded second (spans are recorded at destruction).
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].start_us, 0);
+  EXPECT_EQ(events[0].duration_us, 20);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].start_us, 10);
+  EXPECT_EQ(events[1].duration_us, 5);
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_LE(events[1].start_us + events[1].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST_F(TracingTest, SequentialSpansOrderByStartTime) {
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("step", i);
+    clock_.advance_us(7);
+  }
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "step0");
+  EXPECT_STREQ(events[1].name, "step1");
+  EXPECT_STREQ(events[2].name, "step2");
+  EXPECT_EQ(events[0].start_us, 0);
+  EXPECT_EQ(events[1].start_us, 7);
+  EXPECT_EQ(events[2].start_us, 14);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+}
+
+TEST_F(TracingTest, LongNamesAreTruncatedNotRejected) {
+  const std::string longname(2 * kMaxSpanName, 'x');
+  {
+    ScopedSpan span(longname.c_str());
+  }
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), std::string(kMaxSpanName, 'x'));
+}
+
+TEST_F(TracingTest, RecordEventUsesExplicitTiming) {
+  clock_.set_us(500);  // the clock is irrelevant to explicit events
+  record_event("engine.queue_wait", 100, 42);
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "engine.queue_wait");
+  EXPECT_EQ(events[0].start_us, 100);
+  EXPECT_EQ(events[0].duration_us, 42);
+}
+
+TEST_F(TracingTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  set_ring_capacity(8);
+  reset_tracing();  // re-create this thread's ring at the new capacity
+  for (int i = 0; i < 12; ++i) {
+    ScopedSpan span("event", i);
+    clock_.advance_us(1);
+  }
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 8u);
+  // The oldest four were overwritten; events 4..11 survive in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::string(events[static_cast<size_t>(i)].name),
+              "event" + std::to_string(i + 4));
+  }
+  EXPECT_EQ(dropped_event_count(), 4u);
+}
+
+TEST_F(TracingTest, ResetDropsAllEvents) {
+  {
+    ScopedSpan span("gone");
+  }
+  ASSERT_EQ(collect_events().size(), 1u);
+  reset_tracing();
+  EXPECT_TRUE(collect_events().empty());
+  EXPECT_EQ(dropped_event_count(), 0u);
+  {
+    ScopedSpan span("fresh");
+  }
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "fresh");
+}
+
+TEST_F(TracingTest, ChromeJsonIsValidAndComplete) {
+  {
+    ScopedSpan span("alpha");
+    clock_.advance_us(3);
+  }
+  {
+    // A name needing escaping must not break the JSON.
+    ScopedSpan span("with\"quote\\and\ttab");
+    clock_.advance_us(1);
+  }
+  const std::string json = chrome_trace_json();
+  testing::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // The escaped name round-trips as escaped text.
+  EXPECT_NE(json.find("with\\\"quote\\\\and\\u0009tab"), std::string::npos);
+}
+
+TEST_F(TracingTest, EmptyTraceIsStillValidJson) {
+  const std::string json = chrome_trace_json();
+  testing::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST_F(TracingTest, WriteChromeTraceRoundTripsThroughAFile) {
+  {
+    ScopedSpan span("file_span");
+    clock_.advance_us(2);
+  }
+  const std::string path =
+      ::testing::TempDir() + "roadfusion_trace_test.json";
+  write_chrome_trace(path);
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), chrome_trace_json());
+  std::remove(path.c_str());
+}
+
+TEST_F(TracingTest, ThreadsGetSeparateSequentialIds) {
+  // Two barrier-synced raw threads: both must be registered (and therefore
+  // hold distinct rings) regardless of how the scheduler interleaves them.
+  std::latch both_ready(2);
+  auto worker = [&](int index) {
+    both_ready.arrive_and_wait();
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan span(index == 0 ? "worker_a" : "worker_b");
+      clock_.advance_us(1);
+    }
+  };
+  std::thread a(worker, 0);
+  std::thread b(worker, 1);
+  a.join();
+  b.join();
+
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 6u);
+  uint32_t tid_a = ~0u;
+  uint32_t tid_b = ~0u;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "worker_a") {
+      tid_a = event.tid;
+    } else {
+      tid_b = event.tid;
+    }
+  }
+  EXPECT_NE(tid_a, tid_b);
+  // Sequential registration ids, not OS thread ids.
+  EXPECT_LT(tid_a, 2u);
+  EXPECT_LT(tid_b, 2u);
+  // Each thread's events all carry that thread's id.
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.tid,
+              std::string(event.name) == "worker_a" ? tid_a : tid_b);
+  }
+}
+
+TEST_F(TracingTest, JoinedThreadSpansStayExportable) {
+  std::thread worker([&] {
+    ScopedSpan span("from_dead_thread");
+    clock_.advance_us(4);
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "from_dead_thread");
+  EXPECT_EQ(events[0].duration_us, 4);
+}
+
+}  // namespace
+}  // namespace roadfusion::obs

@@ -13,6 +13,13 @@
 
 namespace roadfusion::cli {
 
+/// Raised for malformed invocations (unknown flags). Subclasses Error so
+/// existing catch sites keep working; main() maps it to usage + exit 2.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 /// Parsed command line.
 class Args {
  public:
@@ -71,14 +78,17 @@ class Args {
     }
   }
 
-  /// Errors out on unknown option names (catches typos).
+  /// Throws UsageError on unknown option names (catches typos); the CLI
+  /// maps it to a usage message and exit code 2.
   void allow_only(const std::vector<std::string>& known) const {
     for (const auto& [key, value] : options_) {
       bool ok = false;
       for (const std::string& k : known) {
         ok = ok || k == key;
       }
-      ROADFUSION_CHECK(ok, "unknown option --" << key);
+      if (!ok) {
+        throw UsageError("unknown option --" + key);
+      }
     }
   }
 

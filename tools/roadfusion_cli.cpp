@@ -9,6 +9,11 @@
 //                                multi-threaded inference runtime
 //   profile     [options]        per-stage Feature Disparity of a model
 //   dataset     [options]        export synthetic samples as PPM/PGM
+//   metrics-dump [options]       run a synthetic workload, print the
+//                                process metrics as Prometheus text
+//
+// `infer`, `batch-infer` and `metrics-dump` accept `--trace FILE` to
+// write a Chrome trace-event JSON of the run (chrome://tracing).
 //
 // Run `roadfusion <command> --help` for the options of each command.
 #include <chrono>
@@ -26,6 +31,8 @@
 #include "kitti/dataset.hpp"
 #include "kitti/directory_dataset.hpp"
 #include "kitti/surface_normals.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault_injection.hpp"
@@ -90,6 +97,29 @@ void apply_kernel_backend(const cli::Args& args) {
   const std::string backend = args.get("kernel-backend", "");
   if (!backend.empty()) {
     autograd::kernels::set_backend(backend);
+  }
+}
+
+/// Enables span recording when --trace FILE was given. Call before the
+/// traced work; pair with finish_trace() after it.
+void start_trace(const cli::Args& args) {
+  if (args.has("trace")) {
+    ROADFUSION_CHECK(!args.get("trace", "").empty(),
+                     "--trace needs a file path");
+    obs::set_tracing_enabled(true);
+  }
+}
+
+/// Stops recording and writes the Chrome trace-event JSON.
+void finish_trace(const cli::Args& args) {
+  if (args.has("trace")) {
+    obs::set_tracing_enabled(false);
+    const std::string path = args.get("trace", "");
+    obs::write_chrome_trace(path);
+    std::fprintf(stderr,
+                 "wrote Chrome trace to %s (open in chrome://tracing or "
+                 "ui.perfetto.dev)\n",
+                 path.c_str());
   }
 }
 
@@ -223,11 +253,13 @@ int cmd_infer(const cli::Args& args) {
         "                 [--category UM|UMM|UU] [--lighting day|night|"
         "overexposure|shadows]\n"
         "                 [--scene-seed N] [--normals] [--threads N]\n"
-        "                 [--kernel-backend reference|blocked] [--out dir]\n");
+        "                 [--kernel-backend reference|blocked] [--out dir]\n"
+        "                 [--trace trace.json]\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
-                   "normals", "threads", "kernel-backend", "out", "help"});
+                   "normals", "threads", "kernel-backend", "out", "trace",
+                   "help"});
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
   train::load_model(net, args.get("model", "model.rfc"));
@@ -277,8 +309,10 @@ int cmd_infer(const cli::Args& args) {
 
   // Single-scene inference rides the same runtime as batch-infer: one
   // engine, one submitted request, one awaited future.
+  start_trace(args);
   runtime::InferenceEngine engine(net, engine_config(args));
   const tensor::Tensor probability = engine.submit(rgb, depth).get().output;
+  finish_trace(args);
   const auto scores = eval::score_sample(probability, label, camera, {});
   std::printf("%s / %s (seed %llu): MaxF %.2f IOU %.2f\n",
               kitti::to_string(category), kitti::to_string(lighting),
@@ -325,13 +359,14 @@ int cmd_batch_infer(const cli::Args& args) {
         "                     with exponential backoff (default 0)\n"
         "  --inject-faults    deterministic fault spec, e.g.\n"
         "                     rate=0.1,seed=7,kinds=nan+slow (see DESIGN.md"
-        " §9)\n");
+        " §9)\n"
+        "  --trace FILE       write a Chrome trace-event JSON of the run\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
                    "data-seed", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "kernel-backend", "deadline-ms",
-                   "max-retries", "inject-faults", "out", "help"});
+                   "max-retries", "inject-faults", "out", "trace", "help"});
   const auto scenes = make_data(args, kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -355,6 +390,7 @@ int cmd_batch_infer(const cli::Args& args) {
     engine_cfg.pre_forward_hook = injector->engine_hook();
   }
 
+  start_trace(args);
   runtime::InferenceEngine engine(net, engine_cfg);
   std::printf("batch-infer: %lld scenes, %d threads, max batch %d%s\n",
               static_cast<long long>(count), engine_cfg.threads,
@@ -466,6 +502,7 @@ int cmd_batch_infer(const cli::Args& args) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   engine.shutdown(runtime::ShutdownMode::kDrain);
+  finish_trace(args);
 
   print_runtime_stats(engine.stats());
   std::printf(
@@ -547,6 +584,54 @@ int cmd_dataset(const cli::Args& args) {
   return 0;
 }
 
+int cmd_metrics_dump(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion metrics-dump [--count N] [--threads N] [--max-batch N]\n"
+        "                        [--max-wait-us N] [--queue-cap N]\n"
+        "                        [--scheme Baseline|AU|AB|BS|WS] [--normals]\n"
+        "                        [--cap N] [--data-seed N]\n"
+        "                        [--kernel-backend reference|blocked]\n"
+        "                        [--trace trace.json]\n\n"
+        "Runs N synthetic scenes (untrained weights — no checkpoint needed)\n"
+        "through the batched inference runtime, then prints every metric of\n"
+        "the process-wide registry in Prometheus text exposition format on\n"
+        "stdout. Informational output goes to stderr so stdout stays\n"
+        "machine-parseable.\n");
+    return 0;
+  }
+  args.allow_only({"count", "threads", "max-batch", "max-wait-us",
+                   "queue-cap", "scheme", "normals", "cap", "data-seed",
+                   "kernel-backend", "trace", "help"});
+  const kitti::RoadDataset scenes(dataset_config(args), kitti::Split::kTest);
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  net.set_training(false);
+
+  const int64_t count =
+      std::min<int64_t>(scenes.size(), args.get_int("count", 4));
+  start_trace(args);
+  {
+    runtime::InferenceEngine engine(net, engine_config(args));
+    std::vector<std::future<runtime::InferenceResult>> futures;
+    futures.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      const kitti::Sample& sample = scenes.sample(i);
+      futures.push_back(engine.submit(sample.rgb, sample.depth));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+    engine.shutdown(runtime::ShutdownMode::kDrain);
+  }
+  finish_trace(args);
+  std::fprintf(stderr, "metrics after %lld synthetic scenes:\n",
+               static_cast<long long>(count));
+  const std::string text = obs::MetricsRegistry::global().render_prometheus();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
 void print_usage(std::FILE* stream) {
   std::fprintf(
       stream,
@@ -560,7 +645,8 @@ void print_usage(std::FILE* stream) {
       "  infer        run one scene, write rgb/depth/overlay images\n"
       "  batch-infer  run a dataset through the batched inference runtime\n"
       "  profile      per-stage Feature Disparity of a trained model\n"
-      "  dataset      export synthetic samples as PPM/PGM files\n\n"
+      "  dataset      export synthetic samples as PPM/PGM files\n"
+      "  metrics-dump run a synthetic workload, print Prometheus metrics\n\n"
       "run 'roadfusion <command> --help' for per-command options\n");
 }
 
@@ -595,7 +681,14 @@ int main(int argc, char** argv) {
     if (command == "dataset") {
       return cmd_dataset(args);
     }
+    if (command == "metrics-dump") {
+      return cmd_metrics_dump(args);
+    }
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    print_usage(stderr);
+    return 2;
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "error: %s\n\n", error.what());
     print_usage(stderr);
     return 2;
   } catch (const roadfusion::Error& error) {

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify driver (see ROADMAP.md): configure, build, ctest.
 #
-#   tools/run_tier1.sh          # the documented tier-1 line
-#   tools/run_tier1.sh --tsan   # additionally build the runtime + fault
-#                               # tolerance + kernel parity tests under
-#                               # ThreadSanitizer and run them (parity
-#                               # runs the threaded blocked-GEMM path)
-#   tools/run_tier1.sh --asan   # additionally build the kernel parity +
-#                               # golden + fault tolerance tests under
-#                               # AddressSanitizer and run them (packing
-#                               # buffers, panel edges, fault paths)
-#   tools/run_tier1.sh --ubsan  # additionally build the runtime + fault
-#                               # tolerance + serialization tests under
-#                               # UndefinedBehaviorSanitizer and run them
-#                               # (checkpoint header parsing, fault
-#                               # injection arithmetic)
+#   tools/run_tier1.sh            # the documented tier-1 line
+#   tools/run_tier1.sh --tsan     # additionally build the runtime + fault
+#                                 # tolerance + kernel parity + observability
+#                                 # tests under ThreadSanitizer and run them
+#                                 # (parity runs the threaded blocked-GEMM
+#                                 # path; tracing/metrics are lock-free hot
+#                                 # paths)
+#   tools/run_tier1.sh --asan     # additionally build the kernel parity +
+#                                 # golden + fault tolerance tests under
+#                                 # AddressSanitizer and run them (packing
+#                                 # buffers, panel edges, fault paths)
+#   tools/run_tier1.sh --ubsan    # additionally build the runtime + fault
+#                                 # tolerance + serialization tests under
+#                                 # UndefinedBehaviorSanitizer and run them
+#                                 # (checkpoint header parsing, fault
+#                                 # injection arithmetic)
+#   tools/run_tier1.sh --coverage # additionally build with gcov
+#                                 # instrumentation, run the observability
+#                                 # suite, and fail if line coverage of
+#                                 # src/obs drops below 70%
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,13 +28,15 @@ cd "$(dirname "$0")/.."
 tsan=0
 asan=0
 ubsan=0
+coverage=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
     --asan) asan=1 ;;
     --ubsan) ubsan=1 ;;
+    --coverage) coverage=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage]" >&2
       exit 2
       ;;
   esac
@@ -39,12 +47,12 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$tsan" == 1 ]]; then
-  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity tests =="
+  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity + observability tests =="
   cmake -B build-tsan -S . -DROADFUSION_SANITIZE=thread
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
-             test_kernel_parity
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity')
+             test_kernel_parity test_tracing test_metrics test_runtime_stats
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics')
 fi
 
 if [[ "$asan" == 1 ]]; then
@@ -62,4 +70,45 @@ if [[ "$ubsan" == 1 ]]; then
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_serialize test_checkpoint
   (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint')
+fi
+
+if [[ "$coverage" == 1 ]]; then
+  echo "== Coverage pass over the observability suite (src/obs floor: 70% lines) =="
+  cmake -B build-cov -S . -DROADFUSION_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-cov -j \
+    --target test_tracing test_metrics test_runtime_stats test_obs_e2e
+  # Fresh counters per run: stale .gcda from a previous invocation would
+  # inflate (or deflate, after edits) the measured coverage.
+  find build-cov -name '*.gcda' -delete
+  (cd build-cov && ctest --output-on-failure -R 'test_tracing|test_metrics|test_runtime_stats|test_obs_e2e')
+
+  objdir="build-cov/src/obs/CMakeFiles/rf_obs.dir"
+  if command -v gcovr >/dev/null 2>&1; then
+    gcovr -r . --filter 'src/obs/' --fail-under-line 70 "$objdir"
+  else
+    # gcov fallback: aggregate "Lines executed" over the src/obs sources
+    # (headers included in other blocks are filtered by path).
+    gcov -n "$objdir"/*.gcno 2>/dev/null |
+      awk '
+        /^File / { keep = (index($0, "src/obs/") > 0) }
+        /^Lines executed:/ && keep {
+          split($0, halves, ":")
+          split(halves[2], parts, "% of ")
+          covered += parts[1] * parts[2] / 100.0
+          total += parts[2]
+        }
+        END {
+          if (total == 0) {
+            print "coverage: no gcov data for src/obs" > "/dev/stderr"
+            exit 1
+          }
+          pct = 100.0 * covered / total
+          printf "src/obs line coverage: %.1f%% (%.0f of %d lines)\n", \
+                 pct, covered, total
+          if (pct < 70.0) {
+            printf "coverage below the 70%% floor\n" > "/dev/stderr"
+            exit 1
+          }
+        }'
+  fi
 fi
