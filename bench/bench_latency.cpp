@@ -6,9 +6,31 @@
 //    trained with and without the loss;
 //  * Fusion-filters add inference work (Sec. IV-B), while Layer-sharing
 //    does not change MACs — shown by the per-scheme latency table.
+//
+// Since DESIGN.md §11 it also quantifies the zero-allocation steady
+// state: the graph predict path (the pre-§11 implementation: Variable
+// graph, per-call heap allocations) against the planned path (raw
+// forward inside a workspace arena, pre-packed weights, fused
+// epilogues), on both kernel backends, with per-call heap-allocation
+// counts measured by the operator-new hooks from tests/alloc_hooks.cpp.
+//
+// Flags:
+//   --smoke        seconds-fast mode: path comparison only, few repeats,
+//                  an untrained (seeded) model — used by tools/run_tier1.sh
+//   --json FILE    also write the machine-readable result (the committed
+//                  BENCH_latency.json) to FILE
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "alloc_hooks.hpp"
+#include "autograd/kernels.hpp"
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
 #include "bench_common.hpp"
+#include "tensor/shape.hpp"
 
 namespace {
 
@@ -30,15 +52,182 @@ double measure_latency_ms(roadseg::SegmentationModel& net,
          repeats;
 }
 
+/// The graph predict path — the exact op sequence `predict` ran before
+/// the planned path existed: build the Variable graph, sigmoid, reshape.
+tensor::Tensor graph_predict(const roadseg::SegmentationModel& net,
+                             const tensor::Tensor& rgb,
+                             const tensor::Tensor& depth) {
+  const tensor::Tensor rgb4 = rgb.reshaped(tensor::Shape::nchw(
+      1, rgb.shape().dim(0), rgb.shape().dim(1), rgb.shape().dim(2)));
+  const tensor::Tensor depth4 = depth.reshaped(tensor::Shape::nchw(
+      1, depth.shape().dim(0), depth.shape().dim(1), depth.shape().dim(2)));
+  const roadseg::ForwardResult result =
+      net.forward_fused(autograd::Variable::constant(rgb4),
+                        autograd::Variable::constant(depth4), 1.0f);
+  return autograd::sigmoid(result.logits).value();
+}
+
+/// One (backend, path) cell of the steady-state comparison.
+struct PathMeasurement {
+  double latency_ms = 0.0;
+  double allocs_per_call = 0.0;
+  double bytes_per_call = 0.0;
+};
+
+template <typename Fn>
+PathMeasurement measure_path(Fn&& call, int repeats) {
+  // Two warm-up calls: the first populates caches/arenas, the second
+  // proves the workload fits them.
+  call();
+  call();
+  testhooks::reset_thread_alloc_counters();
+  const auto start = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    call();
+  }
+  const auto stop = Clock::now();
+  const testhooks::AllocCounters counters = testhooks::thread_alloc_counters();
+  PathMeasurement m;
+  m.latency_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count() /
+      repeats;
+  m.allocs_per_call =
+      static_cast<double>(counters.allocations) / repeats;
+  m.bytes_per_call = static_cast<double>(counters.bytes) / repeats;
+  return m;
+}
+
+struct PathRow {
+  std::string backend;
+  std::string path;
+  PathMeasurement m;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using bench::fmt;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_latency [--smoke] [--json FILE]\n");
+      return 2;
+    }
+  }
+
   const bench::BenchSettings config = bench::settings();
   bench::print_header(
       "Inference latency per fusion scheme",
       "single-core per-image forward latency; FD loss is training-only");
 
+  // -------------------------------------------------------------------
+  // Steady-state path comparison (DESIGN.md §11): graph vs planned,
+  // both backends, with per-call heap-allocation counts. Weight values
+  // do not affect latency, so a seeded untrained model keeps this
+  // section deterministic and cache-independent.
+  // -------------------------------------------------------------------
+  const int path_repeats = smoke ? 5 : 50;
+  const int64_t height = config.test_data.image_height;
+  const int64_t width = config.test_data.image_width;
+  tensor::Rng scene_rng(7);
+  const tensor::Tensor rgb =
+      tensor::Tensor::uniform(tensor::Shape::chw(3, height, width), scene_rng);
+  const tensor::Tensor depth =
+      tensor::Tensor::uniform(tensor::Shape::chw(1, height, width), scene_rng);
+  tensor::Rng model_rng(2022);
+  roadseg::RoadSegNet net(config.net, model_rng);
+  net.set_training(false);
+  net.prepare_inference();
+
+  std::vector<PathRow> rows;
+  const std::string previous_backend = autograd::kernels::backend_name();
+  for (const char* backend : {"reference", "blocked"}) {
+    autograd::kernels::set_backend(backend);
+    rows.push_back({backend, "graph",
+                    measure_path([&] { (void)graph_predict(net, rgb, depth); },
+                                 path_repeats)});
+    rows.push_back({backend, "planned",
+                    measure_path([&] { (void)net.predict(rgb, depth); },
+                                 path_repeats)});
+  }
+  autograd::kernels::set_backend(previous_backend);
+
+  std::printf("\nSteady-state predict: graph path vs planned path (%lldx%lld, "
+              "%d repeats)\n",
+              static_cast<long long>(height), static_cast<long long>(width),
+              path_repeats);
+  bench::print_row({"backend", "path", "latency(ms)", "allocs/call",
+                    "KiB/call"},
+                   14);
+  for (const PathRow& row : rows) {
+    bench::print_row({row.backend, row.path, fmt(row.m.latency_ms, 3),
+                      fmt(row.m.allocs_per_call, 1),
+                      fmt(row.m.bytes_per_call / 1024.0, 1)},
+                     14);
+  }
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", std::string("latency"))
+      .field("smoke", smoke)
+      .field("repeats", static_cast<int64_t>(path_repeats))
+      .field("image_height", static_cast<int64_t>(height))
+      .field("image_width", static_cast<int64_t>(width))
+      .begin_array("paths");
+  for (const PathRow& row : rows) {
+    json.begin_object()
+        .field("backend", row.backend)
+        .field("path", row.path)
+        .field("latency_ms", row.m.latency_ms, 4)
+        .field("allocs_per_call", row.m.allocs_per_call, 1)
+        .field("bytes_per_call", row.m.bytes_per_call, 1)
+        .end_object();
+  }
+  json.end_array().begin_object("speedup_graph_to_planned");
+  for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+    // rows come in (graph, planned) pairs per backend
+    json.field(rows[i].backend,
+               rows[i].m.latency_ms / rows[i + 1].m.latency_ms, 3);
+    std::printf("%s: planned is %.2fx the graph path\n",
+                rows[i].backend.c_str(),
+                rows[i].m.latency_ms / rows[i + 1].m.latency_ms);
+  }
+  json.end_object().end_object();
+  std::printf("%s\n", json.str().c_str());
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+  }
+  if (smoke) {
+    // Smoke mode is a check, not just a report: fail if the planned path
+    // regressed into allocating. (It also skips the training-heavy
+    // scheme table below.)
+    for (const PathRow& row : rows) {
+      if (row.path == "planned" && row.m.allocs_per_call != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: planned path on %s backend allocates %.1f "
+                     "times per call (expected 0)\n",
+                     row.backend.c_str(), row.m.allocs_per_call);
+        return 1;
+      }
+    }
+    std::printf("smoke check passed: planned path allocation-free on both "
+                "backends\n");
+    return 0;
+  }
+
+  // -------------------------------------------------------------------
+  // Per-scheme latency table (trained models).
+  // -------------------------------------------------------------------
   kitti::RoadDataset test_set(config.test_data, kitti::Split::kTest);
   const kitti::Sample& sample = test_set.sample(0);
   const int repeats = 20;
@@ -48,15 +237,15 @@ int main() {
   for (core::FusionScheme scheme : core::all_fusion_schemes()) {
     const float alpha =
         scheme == core::FusionScheme::kBaseline ? 0.0f : config.alpha_fd;
-    roadseg::RoadSegNet net = bench::trained_model(config, scheme, alpha);
-    const double ms = measure_latency_ms(net, sample, repeats);
+    roadseg::RoadSegNet trained = bench::trained_model(config, scheme, alpha);
+    const double ms = measure_latency_ms(trained, sample, repeats);
     if (scheme == core::FusionScheme::kBaseline) {
       baseline_ms = ms;
     }
     bench::print_row(
         {core::to_string(scheme), fmt(ms, 3),
-         fmt(net.complexity(config.test_data.image_height,
-                            config.test_data.image_width).macs /
+         fmt(trained.complexity(config.test_data.image_height,
+                                config.test_data.image_width).macs /
                  1e6,
              3)},
         18);

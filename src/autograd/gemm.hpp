@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -52,5 +53,60 @@ Tensor blocked_matmul_at(const Tensor& a, const Tensor& b);
 
 /// C = A * B^T with A (m, k), B stored (n, k).
 Tensor blocked_matmul_bt(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Inference fast path: pre-packed A operands and fused conv epilogues.
+// ---------------------------------------------------------------------------
+
+/// Per-output-channel epilogue fused into the GEMM's C store. The fields
+/// are applied per element in exactly the order of the legacy op chain —
+/// bias add, then eval-mode batch-norm affine, then ReLU — with the same
+/// single-precision operation sequence, so the fused result is
+/// bit-identical to running the separate ops. The channel index is the C
+/// row. Null pointers skip a stage; the four bn_* arrays are set together.
+struct ConvEpilogue {
+  const float* bias = nullptr;       ///< v += bias[c]
+  const float* bn_mean = nullptr;    ///< xh = (v - mean[c]) * invstd[c]
+  const float* bn_invstd = nullptr;  ///< (invstd precomputed per channel)
+  const float* bn_gamma = nullptr;   ///< v = gamma[c] * xh + beta[c]
+  const float* bn_beta = nullptr;
+  bool relu = false;                 ///< v = v > 0 ? v : 0
+};
+
+/// An A operand packed once into the blocked GEMM's kMr-row panel layout
+/// (reduction-major, zero-padded rows) — what `pack_a` produces per cache
+/// block, hoisted out of the hot loop entirely. Only valid for operands
+/// that the blocked loop would cover in a single (Mc, Kc) block; see
+/// `prepack_viable`.
+struct PackedA {
+  std::vector<float> panels;  ///< round_up(m, kMr) x k packed floats
+  int64_t m = 0;
+  int64_t k = 0;
+};
+
+/// True when an (m, k) A operand fits a single cache block of the current
+/// blocking config — the precondition for `prepack_a` / `gemm_prepacked`
+/// producing bits identical to the legacy blocked loop.
+bool prepack_viable(int64_t m, int64_t k);
+
+/// Packs a strided (m, k) A view into panel layout (one-time, load-path
+/// cost; traced as "gemm.prepack"). `row_stride`/`col_stride` address the
+/// source like MatView, so a transposed weight view packs without an
+/// intermediate copy.
+PackedA prepack_a(const float* a, int64_t row_stride, int64_t col_stride,
+                  int64_t m, int64_t k);
+
+/// C = A * B with a pre-packed A and row-major B ((k, n), row stride
+/// `ldb`), writing C (row stride `ldc`) by OVERWRITE — C need not be
+/// zeroed and is touched exactly once per element. `epi`, when non-null,
+/// is applied to each C tile while it still sits in registers. Requires
+/// the single-block precondition of `prepack_viable`; bit-identical to
+/// blocked_matmul followed by `apply_epilogue`.
+void gemm_prepacked(const PackedA& a, const float* b, int64_t ldb, int64_t n,
+                    float* c, int64_t ldc, const ConvEpilogue* epi);
+
+/// Standalone epilogue pass over a row-major (m, n) C — the reference /
+/// fallback counterpart of the fused store, same per-element op sequence.
+void apply_epilogue(float* c, int64_t m, int64_t n, const ConvEpilogue& epi);
 
 }  // namespace roadfusion::autograd::kernels

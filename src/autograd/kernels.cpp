@@ -10,6 +10,7 @@
 #include "common/env.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::autograd::kernels {
 namespace {
@@ -78,6 +79,23 @@ std::atomic<uint64_t> im2col_calls{0};
   return true;
 }();
 
+// Workspace arena gauges (DESIGN.md §11). The tensor library cannot
+// depend on obs, so the bridge lives here: sampled over every live
+// Workspace at render time.
+[[maybe_unused]] const bool arena_gauges_registered = [] {
+  obs::MetricsRegistry::global().gauge_callback(
+      "roadfusion_arena_reserved_bytes",
+      [] { return static_cast<double>(
+               t::Workspace::global_stats().reserved_bytes); },
+      "Total bytes reserved across live workspace arenas");
+  obs::MetricsRegistry::global().gauge_callback(
+      "roadfusion_arena_peak_bytes",
+      [] { return static_cast<double>(
+               t::Workspace::global_stats().peak_bytes); },
+      "Summed high-water marks of live workspace arenas");
+  return true;
+}();
+
 }  // namespace
 
 void register_gemm_backend(const GemmBackend& backend) {
@@ -121,6 +139,10 @@ void set_backend(const std::string& name) {
 
 std::string backend_name() { return active_backend().name; }
 
+bool backend_is(std::string_view name) {
+  return active_backend().name == name;
+}
+
 std::vector<std::string> backend_names() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
@@ -162,7 +184,10 @@ Tensor im2col(const float* image, int64_t channels, int64_t height,
                    "im2col: non-positive output extent for input " << height
                                                                    << "x"
                                                                    << width);
-  Tensor columns(Shape::mat(channels * k * k, out_h * out_w));
+  // Every element below is written (zero padding included), so the
+  // zero-fill of Tensor(shape) would be pure overhead on the hot path.
+  Tensor columns = Tensor::uninitialized(Shape::mat(channels * k * k,
+                                                    out_h * out_w));
   float* col = columns.raw();
   for (int64_t c = 0; c < channels; ++c) {
     const float* plane = image + c * height * width;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -48,6 +49,9 @@ void set_backend(const std::string& name);
 
 /// Name of the active backend ("reference" | "blocked" | registered).
 std::string backend_name();
+
+/// Allocation-free name check of the active backend (hot-path safe).
+bool backend_is(std::string_view name);
 
 /// Names of every registered backend, registration order.
 std::vector<std::string> backend_names();

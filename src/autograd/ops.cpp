@@ -222,8 +222,9 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
   // The weight gradient needs the same column matrices the forward GEMM
   // consumed, so they are carried to the backward pass (and freed there)
   // instead of being re-lowered from the input. Only kept when a weight
-  // gradient can actually be requested.
-  const bool keep_columns = w.requires_grad();
+  // gradient can actually be requested — which also demands grad recording
+  // to be on, or no backward pass will ever consume them.
+  const bool keep_columns = w.requires_grad() && GradMode::enabled();
   auto cached_columns = std::make_shared<std::vector<Tensor>>();
   if (keep_columns) {
     cached_columns->reserve(static_cast<size_t>(batch));

@@ -7,6 +7,13 @@
 
 namespace roadfusion::autograd {
 
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradMode::enabled() { return g_grad_enabled; }
+void GradMode::set_enabled(bool enabled) { g_grad_enabled = enabled; }
+
 Node::Node(Tensor value_in, bool requires_grad_in, std::string op_name_in)
     : value(std::move(value_in)),
       requires_grad(requires_grad_in),
@@ -118,6 +125,12 @@ void Variable::backward(const Tensor* seed) const {
 
 Variable make_op(Tensor value, std::vector<Variable> parents,
                  std::function<void(Node&)> backward_fn, std::string op_name) {
+  if (!GradMode::enabled()) {
+    // No tape: the result is a free-standing constant, parents are
+    // released as soon as their last consumer finishes.
+    return Variable(std::make_shared<Node>(std::move(value), false,
+                                           std::move(op_name)));
+  }
   bool requires_grad = false;
   std::vector<NodePtr> parent_nodes;
   parent_nodes.reserve(parents.size());

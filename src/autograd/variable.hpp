@@ -26,6 +26,31 @@ using tensor::Tensor;
 class Node;
 using NodePtr = std::shared_ptr<Node>;
 
+/// Thread-local switch for gradient recording. While disabled, `make_op`
+/// creates parent-less nodes with no backward closure, so the forward pass
+/// builds no tape and intermediate values die as soon as their consumers
+/// finish — the lightweight half of inference mode (the raw
+/// `forward_infer` path skips Variables entirely).
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool enabled);
+};
+
+/// RAII guard disabling gradient recording on the current thread.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard() : previous_(GradMode::enabled()) {
+    GradMode::set_enabled(false);
+  }
+  ~InferenceModeGuard() { GradMode::set_enabled(previous_); }
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// One vertex of the autograd tape.
 class Node {
  public:

@@ -1,6 +1,7 @@
 #include "core/awn.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
@@ -29,6 +30,54 @@ Variable AuxiliaryWeightNetwork::weight(const Variable& rgb_features,
   const Variable raw = fc2_.forward(hidden);  // (N, 1)
   // 2 * sigmoid keeps the weight positive and centred near 1 at init.
   return autograd::scale(autograd::sigmoid(raw), 2.0f);
+}
+
+tensor::Tensor AuxiliaryWeightNetwork::weight_infer(
+    const tensor::Tensor& rgb_features,
+    const tensor::Tensor& depth_features) const {
+  ROADFUSION_CHECK(rgb_features.shape() == depth_features.shape(),
+                   "AWN: shape mismatch " << rgb_features.shape().str()
+                                          << " vs "
+                                          << depth_features.shape().str());
+  ROADFUSION_CHECK(rgb_features.shape().rank() == 4,
+                   "AWN expects NCHW, got " << rgb_features.shape().str());
+  const int64_t batch = rgb_features.shape().batch();
+  const int64_t channels = rgb_features.shape().channels();
+  const int64_t plane =
+      rgb_features.shape().height() * rgb_features.shape().width();
+  // global_avg_pool(sub(r, d)) with the subtraction folded into the
+  // accumulation: each difference is still rounded to float before it
+  // enters the double accumulator, so the bits match the two-op path.
+  tensor::Tensor pooled =
+      tensor::Tensor::uninitialized(tensor::Shape::mat(batch, channels));
+  const float* pr = rgb_features.raw();
+  const float* pd = depth_features.raw();
+  float* pp = pooled.raw();
+  for (int64_t s = 0; s < batch; ++s) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const int64_t base = (s * channels + c) * plane;
+      double acc = 0.0;
+      for (int64_t i = 0; i < plane; ++i) {
+        const float diff = pr[base + i] - pd[base + i];
+        acc += diff;
+      }
+      pp[s * channels + c] = static_cast<float>(acc / plane);
+    }
+  }
+  tensor::Tensor hidden = fc1_.forward_infer(pooled);
+  float* ph = hidden.raw();
+  for (int64_t i = 0; i < hidden.numel(); ++i) {
+    ph[i] = ph[i] > 0.0f ? ph[i] : 0.0f;
+  }
+  tensor::Tensor raw = fc2_.forward_infer(hidden);  // (N, 1)
+  float* po = raw.raw();
+  for (int64_t i = 0; i < raw.numel(); ++i) {
+    const float v = po[i];
+    const float sig = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                                : std::exp(v) / (1.0f + std::exp(v));
+    po[i] = sig * 2.0f;
+  }
+  return raw;
 }
 
 Variable AuxiliaryWeightNetwork::fuse(const Variable& rgb_features,

@@ -39,6 +39,12 @@ class AuxiliaryWeightNetwork : public nn::Module {
   Variable fuse(const Variable& rgb_features,
                 const Variable& depth_features) const;
 
+  /// Raw no-graph inference analogue of `weight` (DESIGN.md §11): same
+  /// pooled-difference -> FC -> 2*sigmoid arithmetic, bit-identical, with
+  /// the difference folded into the pooling loop (no full-size temp).
+  tensor::Tensor weight_infer(const tensor::Tensor& rgb_features,
+                              const tensor::Tensor& depth_features) const;
+
   void collect_parameters(std::vector<nn::ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,
                      std::vector<nn::StateEntry>& out) override;

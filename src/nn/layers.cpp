@@ -1,11 +1,20 @@
 #include "nn/layers.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
+#include "autograd/kernels.hpp"
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::nn {
 namespace {
+
+namespace kernels = roadfusion::autograd::kernels;
+namespace t = roadfusion::tensor;
 
 /// He-normal initialization: stddev = sqrt(2 / fan_in).
 Tensor he_normal(const Shape& shape, int64_t fan_in, Rng& rng) {
@@ -13,6 +22,33 @@ Tensor he_normal(const Shape& shape, int64_t fan_in, Rng& rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
   return Tensor::normal(shape, rng, 0.0f, stddev);
 }
+
+// Pre-pack cache effectiveness counters (DESIGN.md §11): a hit is a conv
+// inference call served by the fused pre-packed path, a miss fell back to
+// the dispatching GEMM (reference backend, or a weight too large for a
+// single cache block). References cached so the hot path pays one atomic
+// increment, not a registry lookup.
+obs::Counter& prepack_hits() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "roadfusion_prepack_hits",
+      "Conv inference calls served by the pre-packed weight cache");
+  return counter;
+}
+
+obs::Counter& prepack_misses() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "roadfusion_prepack_misses",
+      "Conv inference calls that fell back to the dispatching GEMM");
+  return counter;
+}
+
+// Eager registration so the counters show up in metrics dumps (and keep a
+// stable zero) even before the first inference call.
+[[maybe_unused]] const bool prepack_counters_registered = [] {
+  prepack_hits();
+  prepack_misses();
+  return true;
+}();
 
 }  // namespace
 
@@ -52,6 +88,75 @@ Conv2d::Conv2d(const std::string& name, const Conv2d& other)
 Variable Conv2d::forward(const Variable& x) const {
   return autograd::conv2d(x, weight_->var,
                           bias_ ? bias_->var : Variable(), geom_);
+}
+
+std::shared_ptr<const Conv2d::InferCache> Conv2d::infer_cache() const {
+  const uint64_t epoch = current_inference_epoch();
+  std::shared_ptr<const InferCache> cache = std::atomic_load(&cache_);
+  if (cache != nullptr && cache->epoch == epoch) {
+    return cache;
+  }
+  // Cache tensors outlive any forward pass, so they must not draw from
+  // the ambient inference pool.
+  t::NoWorkspaceScope no_pool;
+  const int64_t ckk = in_channels_ * geom_.kernel * geom_.kernel;
+  auto fresh = std::make_shared<InferCache>();
+  fresh->epoch = epoch;
+  fresh->wmat =
+      weight_->var.value().reshaped(Shape::mat(out_channels_, ckk));
+  if (kernels::prepack_viable(out_channels_, ckk)) {
+    fresh->packed =
+        kernels::prepack_a(fresh->wmat.raw(), ckk, 1, out_channels_, ckk);
+    fresh->prepacked = true;
+  }
+  std::shared_ptr<const InferCache> ready = std::move(fresh);
+  std::atomic_store(&cache_, ready);
+  return ready;
+}
+
+void Conv2d::prepare_inference() { infer_cache(); }
+
+Tensor Conv2d::forward_infer(const Tensor& x,
+                             autograd::kernels::ConvEpilogue epi) const {
+  ROADFUSION_CHECK(x.shape().rank() == 4 &&
+                       x.shape().channels() == in_channels_,
+                   "Conv2d::forward_infer: bad input " << x.shape().str());
+  const int64_t batch = x.shape().batch();
+  const int64_t h = x.shape().height();
+  const int64_t w = x.shape().width();
+  const int64_t out_h = geom_.out_extent(h);
+  const int64_t out_w = geom_.out_extent(w);
+  const int64_t out_plane = out_h * out_w;
+  const std::shared_ptr<const InferCache> cache = infer_cache();
+  epi.bias = bias_ ? bias_->var.value().raw() : nullptr;
+  const bool has_epi =
+      epi.bias != nullptr || epi.bn_mean != nullptr || epi.relu;
+  // The fused path is only bit-identical to the legacy chain when the
+  // active backend is the blocked GEMM the panels were packed for.
+  const bool fused = cache->prepacked && kernels::backend_is("blocked");
+  Tensor out = Tensor::uninitialized(
+      Shape::nchw(batch, out_channels_, out_h, out_w));
+  for (int64_t s = 0; s < batch; ++s) {
+    const Tensor columns = kernels::im2col(
+        x.raw() + s * in_channels_ * h * w, in_channels_, h, w, geom_);
+    float* dst = out.raw() + s * out_channels_ * out_plane;
+    if (fused) {
+      kernels::gemm_prepacked(cache->packed, columns.raw(), out_plane,
+                              out_plane, dst, out_plane,
+                              has_epi ? &epi : nullptr);
+      prepack_hits().inc();
+    } else {
+      const Tensor res = kernels::gemm(cache->wmat, columns);
+      std::memcpy(dst, res.raw(),
+                  static_cast<size_t>(out_channels_ * out_plane) *
+                      sizeof(float));
+      if (has_epi) {
+        kernels::apply_epilogue(dst, out_channels_, out_plane, epi);
+      }
+      prepack_misses().inc();
+    }
+  }
+  return out;
 }
 
 void Conv2d::collect_parameters(std::vector<ParameterPtr>& out) const {
@@ -110,6 +215,83 @@ Variable ConvTranspose2d::forward(const Variable& x) const {
                                     bias_ ? bias_->var : Variable(), geom_);
 }
 
+std::shared_ptr<const ConvTranspose2d::InferCache>
+ConvTranspose2d::infer_cache() const {
+  const uint64_t epoch = current_inference_epoch();
+  std::shared_ptr<const InferCache> cache = std::atomic_load(&cache_);
+  if (cache != nullptr && cache->epoch == epoch) {
+    return cache;
+  }
+  t::NoWorkspaceScope no_pool;
+  const int64_t ckk = out_channels_ * geom_.kernel * geom_.kernel;
+  auto fresh = std::make_shared<InferCache>();
+  fresh->epoch = epoch;
+  fresh->wmat = weight_->var.value().reshaped(Shape::mat(in_channels_, ckk));
+  if (kernels::prepack_viable(ckk, in_channels_)) {
+    // A^T view of the (Cin, Cout*K*K) matrix: logical (ckk, cin) with
+    // row stride 1 — exactly what blocked_matmul_at feeds pack_a.
+    fresh->packed =
+        kernels::prepack_a(fresh->wmat.raw(), 1, ckk, ckk, in_channels_);
+    fresh->prepacked = true;
+  }
+  std::shared_ptr<const InferCache> ready = std::move(fresh);
+  std::atomic_store(&cache_, ready);
+  return ready;
+}
+
+void ConvTranspose2d::prepare_inference() { infer_cache(); }
+
+Tensor ConvTranspose2d::forward_infer(const Tensor& x) const {
+  ROADFUSION_CHECK(x.shape().rank() == 4 &&
+                       x.shape().channels() == in_channels_,
+                   "ConvTranspose2d::forward_infer: bad input "
+                       << x.shape().str());
+  const int64_t batch = x.shape().batch();
+  const int64_t h = x.shape().height();
+  const int64_t w = x.shape().width();
+  const int64_t out_h = geom_.transposed_out_extent(h);
+  const int64_t out_w = geom_.transposed_out_extent(w);
+  const int64_t in_plane = h * w;
+  const int64_t out_plane = out_h * out_w;
+  const int64_t ckk = out_channels_ * geom_.kernel * geom_.kernel;
+  const std::shared_ptr<const InferCache> cache = infer_cache();
+  const bool fused = cache->prepacked && kernels::backend_is("blocked");
+  // col2im accumulates, so the output must start zeroed.
+  Tensor out(Shape::nchw(batch, out_channels_, out_h, out_w));
+  for (int64_t s = 0; s < batch; ++s) {
+    const float* x_plane = x.raw() + s * in_channels_ * in_plane;
+    Tensor columns;
+    if (fused) {
+      // The sample plane is already a row-major (Cin, in_plane) matrix, so
+      // the legacy path's copy into x_mat disappears entirely.
+      columns = Tensor::uninitialized(Shape::mat(ckk, in_plane));
+      kernels::gemm_prepacked(cache->packed, x_plane, in_plane, in_plane,
+                              columns.raw(), in_plane, nullptr);
+      prepack_hits().inc();
+    } else {
+      Tensor x_mat = Tensor::uninitialized(Shape::mat(in_channels_, in_plane));
+      std::memcpy(x_mat.raw(), x_plane,
+                  static_cast<size_t>(in_channels_ * in_plane) *
+                      sizeof(float));
+      columns = kernels::gemm_at(cache->wmat, x_mat);
+      prepack_misses().inc();
+    }
+    kernels::col2im_accumulate(columns, out_channels_, out_h, out_w, geom_,
+                               out.raw() + s * out_channels_ * out_plane);
+    if (bias_) {
+      const float* pb = bias_->var.value().raw();
+      float* dst = out.raw() + s * out_channels_ * out_plane;
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        float* row = dst + c * out_plane;
+        for (int64_t i = 0; i < out_plane; ++i) {
+          row[i] += pb[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
 void ConvTranspose2d::collect_parameters(std::vector<ParameterPtr>& out) const {
   out.push_back(weight_);
   if (bias_) {
@@ -164,6 +346,49 @@ Variable BatchNorm2d::forward(const Variable& x) const {
   return autograd::batch_norm2d(x, gamma_->var, beta_->var, state_, training_);
 }
 
+std::shared_ptr<const BatchNorm2d::InferParams>
+BatchNorm2d::infer_params() const {
+  const uint64_t epoch = current_inference_epoch();
+  std::shared_ptr<const InferParams> cache = std::atomic_load(&cache_);
+  if (cache != nullptr && cache->epoch == epoch) {
+    return cache;
+  }
+  t::NoWorkspaceScope no_pool;
+  auto fresh = std::make_shared<InferParams>();
+  fresh->epoch = epoch;
+  fresh->invstd = Tensor::uninitialized(Shape::vec(channels_));
+  // Exactly the batch_norm2d eval formula (float eps promoted to double),
+  // so the fused affine reproduces the op's bits.
+  const float eps = 1e-5f;
+  float* inv = fresh->invstd.raw();
+  for (int64_t c = 0; c < channels_; ++c) {
+    inv[c] = static_cast<float>(
+        1.0 / std::sqrt(static_cast<double>(state_->running_var.at(c)) +
+                        eps));
+  }
+  std::shared_ptr<const InferParams> ready = std::move(fresh);
+  std::atomic_store(&cache_, ready);
+  return ready;
+}
+
+std::shared_ptr<const BatchNorm2d::InferParams> BatchNorm2d::fill_epilogue(
+    autograd::kernels::ConvEpilogue& epi) const {
+  ROADFUSION_CHECK(!training_,
+                   "BatchNorm2d epilogue fusion requires eval mode");
+  std::shared_ptr<const InferParams> params = infer_params();
+  epi.bn_mean = state_->running_mean.raw();
+  epi.bn_invstd = params->invstd.raw();
+  epi.bn_gamma = gamma_->var.value().raw();
+  epi.bn_beta = beta_->var.value().raw();
+  return params;
+}
+
+void BatchNorm2d::prepare_inference() {
+  if (!training_) {
+    infer_params();
+  }
+}
+
 void BatchNorm2d::collect_parameters(std::vector<ParameterPtr>& out) const {
   out.push_back(gamma_);
   out.push_back(beta_);
@@ -179,7 +404,14 @@ void BatchNorm2d::collect_state(const std::string& prefix,
                  &state_->running_var});
 }
 
-void BatchNorm2d::set_training(bool training) { training_ = training; }
+void BatchNorm2d::set_training(bool training) {
+  if (training != training_) {
+    // Training forwards mutate the running statistics the cached invstd
+    // was derived from; mode flips are the cheap place to invalidate.
+    invalidate_inference_caches();
+  }
+  training_ = training;
+}
 
 Complexity BatchNorm2d::complexity(int64_t in_h, int64_t in_w) const {
   Complexity c;
@@ -208,6 +440,25 @@ Linear::Linear(const std::string& name, int64_t in_features,
 
 Variable Linear::forward(const Variable& x) const {
   return autograd::linear(x, weight_->var, bias_ ? bias_->var : Variable());
+}
+
+Tensor Linear::forward_infer(const Tensor& x) const {
+  ROADFUSION_CHECK(x.shape().rank() == 2 &&
+                       x.shape().dim(1) == in_features_,
+                   "Linear::forward_infer: bad input " << x.shape().str());
+  // Same arithmetic as the linear op's forward: x @ W^T, then bias rows.
+  Tensor out = t::matmul_bt(x, weight_->var.value());
+  if (bias_) {
+    const int64_t batch = x.shape().dim(0);
+    const float* pb = bias_->var.value().raw();
+    float* po = out.raw();
+    for (int64_t s = 0; s < batch; ++s) {
+      for (int64_t o = 0; o < out_features_; ++o) {
+        po[s * out_features_ + o] += pb[o];
+      }
+    }
+  }
+  return out;
 }
 
 void Linear::collect_parameters(std::vector<ParameterPtr>& out) const {

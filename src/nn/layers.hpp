@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "autograd/gemm.hpp"
 #include "autograd/ops.hpp"
 #include "nn/module.hpp"
 #include "tensor/rng.hpp"
@@ -48,6 +49,20 @@ class Conv2d : public Module {
 
   Variable forward(const Variable& x) const;
 
+  /// Raw no-graph inference forward (DESIGN.md §11). `epi` carries the
+  /// caller's fused post-ops (eval batch-norm affine, ReLU); this layer's
+  /// own bias is folded in automatically — do not set `epi.bias`. Uses the
+  /// pre-packed weight cache when the blocked backend is active and the
+  /// weight fits a single GEMM cache block; bit-identical to
+  /// forward + the separate post-ops either way. Allocation-free in the
+  /// steady state under an active WorkspaceScope.
+  Tensor forward_infer(const Tensor& x,
+                       autograd::kernels::ConvEpilogue epi = {}) const;
+
+  /// Builds (or refreshes) the inference cache eagerly so serving threads
+  /// never race a rebuild.
+  void prepare_inference() override;
+
   void collect_parameters(std::vector<ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,
                      std::vector<StateEntry>& out) override;
@@ -65,11 +80,23 @@ class Conv2d : public Module {
   }
 
  private:
+  /// Load-time products of the weight: the (Cout, Cin*K*K) matrix view
+  /// copy and, when viable, the blocked GEMM's packed A panels. Immutable
+  /// once built; swapped atomically on epoch change.
+  struct InferCache {
+    uint64_t epoch = 0;
+    Tensor wmat;
+    autograd::kernels::PackedA packed;
+    bool prepacked = false;
+  };
+  std::shared_ptr<const InferCache> infer_cache() const;
+
   int64_t in_channels_;
   int64_t out_channels_;
   ConvGeometry geom_;
   ParameterPtr weight_;
   ParameterPtr bias_;  // null when bias disabled
+  mutable std::shared_ptr<const InferCache> cache_;
 };
 
 /// 2-D transposed convolution (decoder upsampling). Weight layout
@@ -82,6 +109,12 @@ class ConvTranspose2d : public Module {
 
   Variable forward(const Variable& x) const;
 
+  /// Raw no-graph inference forward; bias handled internally. Uses a
+  /// pre-packed A^T view of the weight on the blocked backend when viable.
+  Tensor forward_infer(const Tensor& x) const;
+
+  void prepare_inference() override;
+
   void collect_parameters(std::vector<ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,
                      std::vector<StateEntry>& out) override;
@@ -92,11 +125,20 @@ class ConvTranspose2d : public Module {
   int64_t out_channels() const { return out_channels_; }
 
  private:
+  struct InferCache {
+    uint64_t epoch = 0;
+    Tensor wmat;  ///< (Cin, Cout*K*K) matrix copy of the weight
+    autograd::kernels::PackedA packed;  ///< A^T panels: (Cout*K*K, Cin)
+    bool prepacked = false;
+  };
+  std::shared_ptr<const InferCache> infer_cache() const;
+
   int64_t in_channels_;
   int64_t out_channels_;
   ConvGeometry geom_;
   ParameterPtr weight_;
   ParameterPtr bias_;
+  mutable std::shared_ptr<const InferCache> cache_;
 };
 
 /// Batch normalization with affine parameters and running statistics.
@@ -109,6 +151,22 @@ class BatchNorm2d : public Module {
 
   Variable forward(const Variable& x) const;
 
+  /// Eval-mode per-channel factors cached for epilogue fusion: invstd is
+  /// precomputed with exactly the batch_norm2d eval formula.
+  struct InferParams {
+    uint64_t epoch = 0;
+    Tensor invstd;
+  };
+
+  /// Fills the eval BN fields of `epi` from this layer's running
+  /// statistics, affine parameters and cached invstd. The returned handle
+  /// keeps invstd alive — hold it for the duration of the fused call.
+  /// Only valid in eval mode.
+  std::shared_ptr<const InferParams> fill_epilogue(
+      autograd::kernels::ConvEpilogue& epi) const;
+
+  void prepare_inference() override;
+
   void collect_parameters(std::vector<ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,
                      std::vector<StateEntry>& out) override;
@@ -120,11 +178,14 @@ class BatchNorm2d : public Module {
   bool training() const { return training_; }
 
  private:
+  std::shared_ptr<const InferParams> infer_params() const;
+
   int64_t channels_;
   ParameterPtr gamma_;
   ParameterPtr beta_;
   std::shared_ptr<autograd::BatchNormState> state_;
   bool training_ = true;
+  mutable std::shared_ptr<const InferParams> cache_;
 };
 
 /// Fully connected layer; weight layout (Out, In).
@@ -134,6 +195,9 @@ class Linear : public Module {
          bool bias, Rng& rng);
 
   Variable forward(const Variable& x) const;
+
+  /// Raw no-graph inference forward, same arithmetic as the linear op.
+  Tensor forward_infer(const Tensor& x) const;
 
   void collect_parameters(std::vector<ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,

@@ -1,5 +1,6 @@
 #include "nn/module.hpp"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -7,7 +8,21 @@
 
 namespace roadfusion::nn {
 
+namespace {
+std::atomic<uint64_t> g_inference_epoch{1};
+}  // namespace
+
+uint64_t current_inference_epoch() {
+  return g_inference_epoch.load(std::memory_order_acquire);
+}
+
+void invalidate_inference_caches() {
+  g_inference_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
 void Module::set_training(bool) {}
+
+void Module::prepare_inference() {}
 
 std::vector<ParameterPtr> Module::parameters() const {
   std::vector<ParameterPtr> all;
@@ -75,6 +90,8 @@ void restore_state(
                          << entry.tensor->shape().str());
     *entry.tensor = *it->second;
   }
+  // Loaded values replace whatever the inference caches were packed from.
+  invalidate_inference_caches();
 }
 
 }  // namespace roadfusion::nn

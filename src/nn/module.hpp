@@ -56,6 +56,11 @@ class Module {
   /// Switches training/eval behaviour (batch norm). Default: no-op.
   virtual void set_training(bool training);
 
+  /// Eagerly builds this module's inference-only caches (pre-packed
+  /// weights, cached batch-norm invstd) at the current epoch, so the hot
+  /// path never rebuilds. Composites forward to children. Default: no-op.
+  virtual void prepare_inference();
+
   /// Unique parameters of this module (shared parameters appear once).
   std::vector<ParameterPtr> parameters() const;
 
@@ -68,6 +73,15 @@ class Module {
   /// Clears gradients of all parameters.
   void zero_grad();
 };
+
+/// Global invalidation epoch for inference-only caches (pre-packed conv
+/// weights, cached batch-norm invstd — DESIGN.md §11). Caches stamp the
+/// epoch when built and lazily rebuild when it has moved on. Bumped by
+/// anything that may change parameter or running-statistic values outside
+/// a cache's view: restore_state (model loads), optimizer steps, and
+/// switching a network into training mode.
+uint64_t current_inference_epoch();
+void invalidate_inference_caches();
 
 /// Copies a module's state into a named-tensor list (for save_checkpoint).
 std::vector<std::pair<std::string, Tensor>> snapshot_state(Module& module);

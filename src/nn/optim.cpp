@@ -50,6 +50,8 @@ void Sgd::step() {
       tensor::axpy_inplace(value, -lr_, grad);
     }
   }
+  // Parameter values moved; pre-packed inference caches are now stale.
+  invalidate_inference_caches();
 }
 
 Adam::Adam(std::vector<ParameterPtr> params, float lr, float beta1,
@@ -87,6 +89,7 @@ void Adam::step() {
       px[i] -= lr_ * update;
     }
   }
+  invalidate_inference_caches();
 }
 
 }  // namespace roadfusion::nn

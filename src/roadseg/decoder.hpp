@@ -24,6 +24,14 @@ class Decoder : public nn::Module {
   /// road logits of shape (N, 1, H, W) at stage-0 resolution.
   Variable forward(const std::vector<Variable>& skips) const;
 
+  /// Raw no-graph inference analogue of `forward` over `count` skip
+  /// tensors (stage 0 first). Takes a pointer + count rather than a
+  /// container so callers can hand over fixed-size storage without a
+  /// per-call vector. Bit-identical to the Variable path.
+  tensor::Tensor forward_infer(const tensor::Tensor* skips, int count) const;
+
+  void prepare_inference() override;
+
   void collect_parameters(std::vector<nn::ParameterPtr>& out) const override;
   void collect_state(const std::string& prefix,
                      std::vector<nn::StateEntry>& out) override;

@@ -1,5 +1,7 @@
 #include "roadseg/roadseg_net.hpp"
 
+#include <array>
+
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
 #include "obs/trace.hpp"
@@ -7,6 +9,14 @@
 namespace roadfusion::roadseg {
 
 namespace ag = roadfusion::autograd;
+
+namespace {
+
+/// Upper bound on encoder stages the raw inference path supports — the
+/// skip pyramid lives in a fixed array so no per-call vector is needed.
+constexpr int kMaxInferStages = 8;
+
+}  // namespace
 
 RoadSegNet::RoadSegNet(const RoadSegConfig& config, Rng& rng)
     : config_(config) {
@@ -176,6 +186,158 @@ ForwardResult RoadSegNet::forward_fused(const autograd::Variable& rgb,
   return result;
 }
 
+bool RoadSegNet::supports_raw_inference() const {
+  return !training_ && num_stages() <= kMaxInferStages;
+}
+
+tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
+                                        const tensor::Tensor& depth,
+                                        float fusion_weight) const {
+  ROADFUSION_CHECK(rgb.shape().rank() == 4 && depth.shape().rank() == 4,
+                   "RoadSegNet::infer_logits expects NCHW inputs");
+  ROADFUSION_CHECK(rgb.shape().batch() == depth.shape().batch() &&
+                       rgb.shape().height() == depth.shape().height() &&
+                       rgb.shape().width() == depth.shape().width(),
+                   "RoadSegNet::infer_logits: rgb " << rgb.shape().str()
+                                                    << " vs depth "
+                                                    << depth.shape().str());
+  ROADFUSION_CHECK(fusion_weight >= 0.0f && fusion_weight <= 1.0f,
+                   "fusion_weight must be in [0, 1], got " << fusion_weight);
+  const int stages = num_stages();
+  ROADFUSION_CHECK(stages <= kMaxInferStages,
+                   "raw inference supports at most " << kMaxInferStages
+                                                     << " stages, got "
+                                                     << stages);
+  const int64_t stride = int64_t{1} << (stages - 1);
+  ROADFUSION_CHECK(rgb.shape().height() % stride == 0 &&
+                       rgb.shape().width() % stride == 0,
+                   "input " << rgb.shape().str()
+                            << " not divisible by the network stride "
+                            << stride);
+
+  std::array<tensor::Tensor, kMaxInferStages> skips;
+
+  if (fusion_weight == 0.0f) {
+    // RGB-only degraded mode, mirroring forward_fused: the depth branch
+    // never runs and the depth values are never read.
+    obs::ScopedSpan rgb_only_span("rgb_only");
+    const tensor::Tensor* rgb_in = &rgb;
+    for (int stage = 0; stage < stages; ++stage) {
+      obs::ScopedSpan stage_span("rgb_encoder.stage", stage);
+      skips[static_cast<size_t>(stage)] =
+          rgb_encoder_->forward_stage_infer(stage, *rgb_in);
+      rgb_in = &skips[static_cast<size_t>(stage)];
+    }
+    obs::ScopedSpan decoder_span("decoder");
+    return decoder_->forward_infer(skips.data(), stages);
+  }
+
+  // fused = r += w * matched, in place; the scale-then-add float order
+  // matches the legacy scale + add op pair exactly (w == 1 skips the
+  // scale, like forward_fused does).
+  const auto accumulate = [fusion_weight](tensor::Tensor& r,
+                                          const tensor::Tensor& m) {
+    float* pr = r.raw();
+    const float* pm = m.raw();
+    const int64_t n = r.numel();
+    if (fusion_weight == 1.0f) {
+      for (int64_t i = 0; i < n; ++i) {
+        pr[i] += pm[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        const float scaled = pm[i] * fusion_weight;
+        pr[i] += scaled;
+      }
+    }
+  };
+
+  tensor::Tensor depth_store;
+  const tensor::Tensor* rgb_in = &rgb;
+  const tensor::Tensor* depth_in = &depth;
+  for (int stage = 0; stage < stages; ++stage) {
+    tensor::Tensor r_i = [&] {
+      obs::ScopedSpan stage_span("rgb_encoder.stage", stage);
+      return rgb_encoder_->forward_stage_infer(stage, *rgb_in);
+    }();
+    tensor::Tensor d_i = [&] {
+      obs::ScopedSpan stage_span("depth_encoder.stage", stage);
+      return depth_encoder_->forward_stage_infer(stage, *depth_in);
+    }();
+
+    obs::ScopedSpan fusion_span("fusion.stage", stage);
+    switch (config_.scheme) {
+      case FusionScheme::kBaseline:
+      case FusionScheme::kBaseSharing:
+        accumulate(r_i, d_i);
+        break;
+      case FusionScheme::kAllFilterU: {
+        const tensor::Tensor matched =
+            depth_to_rgb_filters_[static_cast<size_t>(stage)].match_infer(d_i);
+        accumulate(r_i, matched);
+        break;
+      }
+      case FusionScheme::kAllFilterB: {
+        const tensor::Tensor matched =
+            depth_to_rgb_filters_[static_cast<size_t>(stage)].match_infer(d_i);
+        if (stage < stages - 1) {
+          // next_depth = d_i + match(r_i), before r_i is fused in place.
+          const tensor::Tensor matched_rgb =
+              rgb_to_depth_filters_[static_cast<size_t>(stage)].match_infer(
+                  r_i);
+          float* pd = d_i.raw();
+          const float* pm = matched_rgb.raw();
+          const int64_t n = d_i.numel();
+          for (int64_t i = 0; i < n; ++i) {
+            pd[i] += pm[i];
+          }
+        }
+        accumulate(r_i, matched);
+        break;
+      }
+      case FusionScheme::kWeightedSharing:
+        if (stage == stages - 1) {
+          obs::ScopedSpan awn_span("awn.weight");
+          const tensor::Tensor w = awn_->weight_infer(r_i, d_i);
+          // matched = w (per sample) * d_i, in place; ws * x order as in
+          // scale_per_sample.
+          const int64_t batch = d_i.shape().batch();
+          const int64_t per_sample = d_i.numel() / batch;
+          float* pd = d_i.raw();
+          const float* pw = w.raw();
+          for (int64_t s = 0; s < batch; ++s) {
+            const float ws = pw[s];
+            for (int64_t i = 0; i < per_sample; ++i) {
+              pd[s * per_sample + i] = ws * pd[s * per_sample + i];
+            }
+          }
+        }
+        accumulate(r_i, d_i);
+        break;
+    }
+
+    skips[static_cast<size_t>(stage)] = std::move(r_i);
+    rgb_in = &skips[static_cast<size_t>(stage)];
+    depth_store = std::move(d_i);
+    depth_in = &depth_store;
+  }
+
+  obs::ScopedSpan decoder_span("decoder");
+  return decoder_->forward_infer(skips.data(), stages);
+}
+
+void RoadSegNet::prepare_inference() {
+  rgb_encoder_->prepare_inference();
+  depth_encoder_->prepare_inference();
+  for (auto& filter : depth_to_rgb_filters_) {
+    filter.prepare_inference();
+  }
+  for (auto& filter : rgb_to_depth_filters_) {
+    filter.prepare_inference();
+  }
+  decoder_->prepare_inference();
+}
+
 nn::Complexity RoadSegNet::complexity(int64_t height, int64_t width) const {
   nn::Complexity total;
   // Encoders: MACs for both branches (shared stages still execute twice).
@@ -243,6 +405,7 @@ void RoadSegNet::collect_state(const std::string& prefix,
 }
 
 void RoadSegNet::set_training(bool training) {
+  training_ = training;
   rgb_encoder_->set_training(training);
   depth_encoder_->set_training(training);
   decoder_->set_training(training);

@@ -64,6 +64,19 @@ class RoadSegNet : public SegmentationModel {
   /// (a shared stage still runs twice).
   nn::Complexity complexity(int64_t height, int64_t width) const override;
 
+  /// Raw planned-inference path (DESIGN.md §11): the exact data flow of
+  /// `forward_fused` on raw tensors — no graph, no per-call containers —
+  /// with bit-identical logits. Available once the network is in eval
+  /// mode (`set_training(false)`).
+  bool supports_raw_inference() const override;
+  tensor::Tensor infer_logits(const tensor::Tensor& rgb,
+                              const tensor::Tensor& depth,
+                              float fusion_weight) const override;
+
+  /// Eagerly builds every layer's inference cache (packed weights, eval
+  /// BN factors) so serving threads never race a lazy rebuild.
+  void prepare_inference() override;
+
   const RoadSegConfig& config() const { return config_; }
   int num_stages() const { return rgb_encoder_->num_stages(); }
 
@@ -79,6 +92,7 @@ class RoadSegNet : public SegmentationModel {
   int resolved_share_from() const;
 
   RoadSegConfig config_;
+  bool training_ = true;
   std::unique_ptr<Encoder> rgb_encoder_;
   std::unique_ptr<Encoder> depth_encoder_;
   std::vector<core::FusionFilter> depth_to_rgb_filters_;  // AU / AB

@@ -1,7 +1,12 @@
 #include "roadseg/segmentation_model.hpp"
 
+#include <cmath>
+#include <cstdlib>
+
 #include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
 #include "common/check.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::roadseg {
 
@@ -23,11 +28,87 @@ ForwardResult SegmentationModel::forward_fused(const autograd::Variable& rgb,
   return forward(rgb, autograd::scale(depth, fusion_weight));
 }
 
+tensor::Tensor SegmentationModel::infer_logits(const tensor::Tensor& rgb,
+                                               const tensor::Tensor& depth,
+                                               float fusion_weight) const {
+  (void)rgb;
+  (void)depth;
+  (void)fusion_weight;
+  ROADFUSION_CHECK(false,
+                   "infer_logits called on a model without a raw inference "
+                   "path (supports_raw_inference() is false)");
+}
+
 namespace {
+
+/// ROADFUSION_PLANNED_INFERENCE=0 falls back to the Variable-graph
+/// predict path; anything else (including unset) keeps the planned
+/// zero-allocation path on.
+bool planned_inference_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("ROADFUSION_PLANNED_INFERENCE");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+/// The raw path body; the caller has already installed a WorkspaceScope,
+/// so every transient below (input reshapes, feature maps, the output)
+/// draws from the arena.
+tensor::Tensor raw_predict(const SegmentationModel& model,
+                           const tensor::Tensor& rgb,
+                           const tensor::Tensor& depth, float fusion_weight) {
+  const bool chw = rgb.shape().rank() == 3;
+  const tensor::Tensor* rgb4 = &rgb;
+  const tensor::Tensor* depth4 = &depth;
+  tensor::Tensor rgb_storage;
+  tensor::Tensor depth_storage;
+  if (chw) {
+    ROADFUSION_CHECK(depth.shape().rank() == 3,
+                     "predict: rgb is CHW but depth is "
+                         << depth.shape().str());
+    rgb_storage = rgb.reshaped(tensor::Shape::nchw(1, rgb.shape().dim(0),
+                                                   rgb.shape().dim(1),
+                                                   rgb.shape().dim(2)));
+    depth_storage = depth.reshaped(tensor::Shape::nchw(
+        1, depth.shape().dim(0), depth.shape().dim(1), depth.shape().dim(2)));
+    rgb4 = &rgb_storage;
+    depth4 = &depth_storage;
+  }
+  tensor::Tensor out = model.infer_logits(*rgb4, *depth4, fusion_weight);
+  // Sigmoid in place, with the numerically-stable two-branch formula of
+  // autograd::sigmoid — bit-identical to the graph path.
+  float* po = out.raw();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = po[i];
+    po[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                      : std::exp(v) / (1.0f + std::exp(v));
+  }
+  if (chw) {
+    out = out.reshaped(tensor::Shape::chw(1, rgb.shape().dim(1),
+                                          rgb.shape().dim(2)));
+  }
+  return out;
+}
 
 tensor::Tensor run_predict(const SegmentationModel& model,
                            const tensor::Tensor& rgb,
                            const tensor::Tensor& depth, float fusion_weight) {
+  // Inference never needs the graph: with GradMode off, any fallback
+  // through the Variable path skips backward closures and the conv im2col
+  // cache.
+  const autograd::InferenceModeGuard no_grad;
+  if (planned_inference_enabled() && model.supports_raw_inference()) {
+    if (tensor::Workspace::current() != nullptr) {
+      return raw_predict(model, rgb, depth, fusion_weight);
+    }
+    // Direct callers get a per-thread arena: the first predict on a
+    // thread populates it, every later one is allocation-free.
+    thread_local tensor::Workspace workspace;
+    const tensor::WorkspaceScope scope(workspace);
+    return raw_predict(model, rgb, depth, fusion_weight);
+  }
   tensor::Tensor rgb4 = rgb;
   tensor::Tensor depth4 = depth;
   const bool chw = rgb.shape().rank() == 3;

@@ -46,6 +46,20 @@ class SegmentationModel : public nn::Module {
   /// MAC / parameter budget for the given input size.
   virtual nn::Complexity complexity(int64_t height, int64_t width) const = 0;
 
+  /// True when this model implements the raw planned-inference path
+  /// (`infer_logits`) and is ready to serve it (eval mode). Models without
+  /// a raw path keep the default `false` and `predict` falls back to the
+  /// Variable graph.
+  virtual bool supports_raw_inference() const { return false; }
+
+  /// Raw no-graph logits (N, 1, H, W) for NCHW inputs — the
+  /// zero-allocation steady-state path (DESIGN.md §11). Must be
+  /// bit-identical to `forward_fused(...).logits`. Only called when
+  /// `supports_raw_inference()` returns true.
+  virtual tensor::Tensor infer_logits(const tensor::Tensor& rgb,
+                                      const tensor::Tensor& depth,
+                                      float fusion_weight) const;
+
   /// Convenience inference: accepts CHW or NCHW tensors and returns road
   /// probabilities of matching rank. Call set_training(false) first.
   tensor::Tensor predict(const tensor::Tensor& rgb,

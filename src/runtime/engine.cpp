@@ -7,6 +7,7 @@
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
 #include "tensor/shape.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::runtime {
 
@@ -35,6 +36,9 @@ InferenceEngine::InferenceEngine(roadseg::SegmentationModel& model,
     // batched forward runs the requested backend from the first request.
     autograd::kernels::set_backend(config.kernel_backend);
   }
+  // Build every layer's inference cache (packed weights, eval BN factors)
+  // up front so the workers never race a lazy rebuild on the first batch.
+  model.prepare_inference();
   workers_.reserve(static_cast<size_t>(config.threads));
   for (int i = 0; i < config.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -116,6 +120,12 @@ void InferenceEngine::shutdown(ShutdownMode mode) {
 }
 
 void InferenceEngine::worker_loop() {
+  // One arena per worker (DESIGN.md §11): the first batch populates it,
+  // every later batch of the same geometry reuses the blocks — the serving
+  // steady state allocates nothing. Result tensors escape to client
+  // threads safely; their blocks flow back into this arena on release.
+  tensor::Workspace workspace;
+  const tensor::WorkspaceScope scope(workspace);
   // Degraded requests run a different forward (fusion_weight = 0), so a
   // batch is homogeneous in both geometry and degradation mode.
   const auto compatible = [](const Request& head, const Request& next) {

@@ -2,26 +2,118 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::tensor {
 
-Tensor::Tensor() : shape_(Shape::scalar()), data_(1, 0.0f) {}
+void Tensor::allocate() {
+  size_ = static_cast<size_t>(shape_.numel());
+  if (size_ == 0) {
+    data_ = nullptr;
+    pooled_ = false;
+    return;
+  }
+  Workspace* pool = Workspace::current();
+  if (pool != nullptr) {
+    data_ = pool->acquire(size_);
+    pooled_ = true;
+  } else {
+    data_ = new float[size_];
+    pooled_ = false;
+  }
+}
 
-Tensor::Tensor(const Shape& shape)
-    : shape_(shape), data_(static_cast<size_t>(shape.numel()), 0.0f) {}
+void Tensor::deallocate() noexcept {
+  if (data_ == nullptr) {
+    return;
+  }
+  if (pooled_) {
+    Workspace::release(data_);
+  } else {
+    delete[] data_;
+  }
+  data_ = nullptr;
+  size_ = 0;
+  pooled_ = false;
+}
 
-Tensor::Tensor(const Shape& shape, float fill)
-    : shape_(shape), data_(static_cast<size_t>(shape.numel()), fill) {}
+Tensor::Tensor() : shape_(Shape::scalar()) {
+  allocate();
+  data_[0] = 0.0f;
+}
+
+Tensor::Tensor(const Shape& shape) : shape_(shape) {
+  allocate();
+  std::memset(data_, 0, size_ * sizeof(float));
+}
+
+Tensor::Tensor(const Shape& shape, float fill) : shape_(shape) {
+  allocate();
+  std::fill(data_, data_ + size_, fill);
+}
 
 Tensor::Tensor(const Shape& shape, std::vector<float> values)
-    : shape_(shape), data_(std::move(values)) {
-  ROADFUSION_CHECK(static_cast<int64_t>(data_.size()) == shape.numel(),
-                   "value count " << data_.size() << " != numel of "
+    : shape_(shape) {
+  ROADFUSION_CHECK(static_cast<int64_t>(values.size()) == shape.numel(),
+                   "value count " << values.size() << " != numel of "
                                   << shape.str());
+  allocate();
+  std::memcpy(data_, values.data(), size_ * sizeof(float));
 }
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  allocate();
+  std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      data_(other.data_),
+      size_(other.size_),
+      pooled_(other.pooled_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.pooled_ = false;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) {
+    return *this;
+  }
+  if (size_ == static_cast<size_t>(other.shape_.numel()) && data_ != nullptr) {
+    // Same element count: overwrite in place, keeping this tensor's
+    // (possibly pooled) storage.
+    shape_ = other.shape_;
+    std::memcpy(data_, other.data_, size_ * sizeof(float));
+    return *this;
+  }
+  deallocate();
+  shape_ = other.shape_;
+  allocate();
+  std::memcpy(data_, other.data_, size_ * sizeof(float));
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  deallocate();
+  shape_ = other.shape_;
+  data_ = other.data_;
+  size_ = other.size_;
+  pooled_ = other.pooled_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.pooled_ = false;
+  return *this;
+}
+
+Tensor::~Tensor() { deallocate(); }
 
 Tensor Tensor::zeros(const Shape& shape) { return Tensor(shape); }
 Tensor Tensor::ones(const Shape& shape) { return Tensor(shape, 1.0f); }
@@ -29,27 +121,35 @@ Tensor Tensor::full(const Shape& shape, float value) {
   return Tensor(shape, value);
 }
 Tensor Tensor::scalar(float value) {
-  return Tensor(Shape::scalar(), std::vector<float>{value});
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor::Tensor(const Shape& shape, Uninit) : shape_(shape) { allocate(); }
+
+Tensor Tensor::uninitialized(const Shape& shape) {
+  return Tensor(shape, Uninit{});
 }
 
 Tensor Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi) {
-  Tensor t(shape);
-  for (float& x : t.data_) {
-    x = static_cast<float>(rng.uniform(lo, hi));
+  Tensor t = uninitialized(shape);
+  for (size_t i = 0; i < t.size_; ++i) {
+    t.data_[i] = static_cast<float>(rng.uniform(lo, hi));
   }
   return t;
 }
 
 Tensor Tensor::normal(const Shape& shape, Rng& rng, float mean, float stddev) {
-  Tensor t(shape);
-  for (float& x : t.data_) {
-    x = static_cast<float>(rng.normal(mean, stddev));
+  Tensor t = uninitialized(shape);
+  for (size_t i = 0; i < t.size_; ++i) {
+    t.data_[i] = static_cast<float>(rng.normal(mean, stddev));
   }
   return t;
 }
 
 Tensor Tensor::arange(const Shape& shape) {
-  Tensor t(shape);
+  Tensor t = uninitialized(shape);
   for (int64_t i = 0; i < t.numel(); ++i) {
     t.data_[static_cast<size_t>(i)] = static_cast<float>(i);
   }
@@ -85,15 +185,13 @@ Tensor Tensor::reshaped(const Shape& shape) const {
   return out;
 }
 
-void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
+void Tensor::fill(float value) { std::fill(data_, data_ + size_, value); }
 
 bool Tensor::allclose(const Tensor& other, float tol) const {
   if (shape_ != other.shape_) {
     return false;
   }
-  for (size_t i = 0; i < data_.size(); ++i) {
+  for (size_t i = 0; i < size_; ++i) {
     if (std::fabs(data_[i] - other.data_[i]) > tol) {
       return false;
     }
@@ -103,8 +201,8 @@ bool Tensor::allclose(const Tensor& other, float tol) const {
 
 float Tensor::sum() const {
   double acc = 0.0;
-  for (float x : data_) {
-    acc += x;
+  for (size_t i = 0; i < size_; ++i) {
+    acc += data_[i];
   }
   return static_cast<float>(acc);
 }
@@ -114,13 +212,13 @@ float Tensor::mean() const {
 }
 
 float Tensor::min() const {
-  ROADFUSION_CHECK(!data_.empty(), "min of empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  ROADFUSION_CHECK(size_ > 0, "min of empty tensor");
+  return *std::min_element(data_, data_ + size_);
 }
 
 float Tensor::max() const {
-  ROADFUSION_CHECK(!data_.empty(), "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  ROADFUSION_CHECK(size_ > 0, "max of empty tensor");
+  return *std::max_element(data_, data_ + size_);
 }
 
 std::string Tensor::str() const {

@@ -1,0 +1,61 @@
+#include "alloc_hooks.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace roadfusion::testhooks {
+namespace {
+
+thread_local AllocCounters g_counters;
+
+void* allocate(std::size_t size) {
+  g_counters.allocations += 1;
+  g_counters.bytes += size;
+  void* pointer = std::malloc(size != 0 ? size : 1);
+  if (pointer == nullptr) {
+    throw std::bad_alloc();
+  }
+  return pointer;
+}
+
+void deallocate(void* pointer) noexcept {
+  if (pointer != nullptr) {
+    g_counters.deallocations += 1;
+    std::free(pointer);
+  }
+}
+
+}  // namespace
+
+AllocCounters thread_alloc_counters() { return g_counters; }
+
+void reset_thread_alloc_counters() { g_counters = AllocCounters{}; }
+
+}  // namespace roadfusion::testhooks
+
+// Global overrides: every new/delete in the linking binary routes through
+// the counters. malloc/free underneath keeps sanitizer interception
+// (ASan/TSan wrap malloc) fully functional.
+void* operator new(std::size_t size) {
+  return roadfusion::testhooks::allocate(size);
+}
+
+void* operator new[](std::size_t size) {
+  return roadfusion::testhooks::allocate(size);
+}
+
+void operator delete(void* pointer) noexcept {
+  roadfusion::testhooks::deallocate(pointer);
+}
+
+void operator delete[](void* pointer) noexcept {
+  roadfusion::testhooks::deallocate(pointer);
+}
+
+void operator delete(void* pointer, std::size_t) noexcept {
+  roadfusion::testhooks::deallocate(pointer);
+}
+
+void operator delete[](void* pointer, std::size_t) noexcept {
+  roadfusion::testhooks::deallocate(pointer);
+}

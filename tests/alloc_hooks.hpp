@@ -1,0 +1,27 @@
+// Test-only heap instrumentation: per-thread allocation counters fed by
+// global operator new/delete overrides (alloc_hooks.cpp). Link the .cpp
+// into a test binary and the counters observe every heap allocation made
+// by that binary — the proof mechanism behind the zero-allocation
+// steady-state inference tests (tests/test_workspace.cpp).
+//
+// The counters are thread-local: concurrent test helpers (engine workers,
+// gtest internals on other threads) never perturb the measuring thread.
+#pragma once
+
+#include <cstdint>
+
+namespace roadfusion::testhooks {
+
+struct AllocCounters {
+  uint64_t allocations = 0;    ///< operator new calls on this thread
+  uint64_t deallocations = 0;  ///< operator delete calls on this thread
+  uint64_t bytes = 0;          ///< total bytes requested via operator new
+};
+
+/// Counters for the calling thread since the last reset (or thread start).
+AllocCounters thread_alloc_counters();
+
+/// Zeroes the calling thread's counters.
+void reset_thread_alloc_counters();
+
+}  // namespace roadfusion::testhooks

@@ -9,9 +9,10 @@
 #                                 # path; tracing/metrics are lock-free hot
 #                                 # paths)
 #   tools/run_tier1.sh --asan     # additionally build the kernel parity +
-#                                 # golden + fault tolerance tests under
-#                                 # AddressSanitizer and run them (packing
-#                                 # buffers, panel edges, fault paths)
+#                                 # golden + fault tolerance + workspace
+#                                 # tests under AddressSanitizer and run
+#                                 # them (packing buffers, panel edges,
+#                                 # fault paths, arena block lifetimes)
 #   tools/run_tier1.sh --ubsan    # additionally build the runtime + fault
 #                                 # tolerance + serialization tests under
 #                                 # UndefinedBehaviorSanitizer and run them
@@ -21,6 +22,11 @@
 #                                 # instrumentation, run the observability
 #                                 # suite, and fail if line coverage of
 #                                 # src/obs drops below 70%
+#   tools/run_tier1.sh --bench-smoke
+#                                 # additionally run bench_latency --smoke:
+#                                 # a seconds-fast check that the planned
+#                                 # inference path still reports zero
+#                                 # per-call heap allocations
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,14 +35,16 @@ tsan=0
 asan=0
 ubsan=0
 coverage=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
     --asan) asan=1 ;;
     --ubsan) ubsan=1 ;;
     --coverage) coverage=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke]" >&2
       exit 2
       ;;
   esac
@@ -47,20 +55,22 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$tsan" == 1 ]]; then
-  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity + observability tests =="
+  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity + observability + workspace tests =="
   cmake -B build-tsan -S . -DROADFUSION_SANITIZE=thread
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
-             test_kernel_parity test_tracing test_metrics test_runtime_stats
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics')
+             test_kernel_parity test_tracing test_metrics test_runtime_stats \
+             test_workspace
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace')
 fi
 
 if [[ "$asan" == 1 ]]; then
-  echo "== AddressSanitizer pass over the kernel parity + golden + fault tolerance tests =="
+  echo "== AddressSanitizer pass over the kernel parity + golden + fault tolerance + workspace tests =="
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
-    --target test_kernel_parity test_golden_inference test_fault_tolerance
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance')
+    --target test_kernel_parity test_golden_inference test_fault_tolerance \
+             test_workspace
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -70,6 +80,12 @@ if [[ "$ubsan" == 1 ]]; then
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_serialize test_checkpoint
   (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint')
+fi
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "== Bench smoke: planned inference stays zero-allocation =="
+  cmake --build build -j --target bench_latency
+  (cd build && ./bench/bench_latency --smoke)
 fi
 
 if [[ "$coverage" == 1 ]]; then
