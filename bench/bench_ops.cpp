@@ -5,7 +5,8 @@
 // in Sec. IV-B — what a Fusion-filter, the AWN, the edge extractor and the
 // Feature Disparity metric cost relative to the network's backbone convs —
 // and, since the blocked-GEMM backend landed, the machine-readable
-// reference-vs-blocked comparison over the RoadSeg encoder conv shapes:
+// reference-vs-blocked comparison over the RoadSeg encoder conv shapes —
+// now with a per-solver GFLOP/s block per shape (see src/tune/):
 //
 //   bench_ops --kernels-json              JSON to stdout, skip the
 //                                         google-benchmark suite
@@ -28,6 +29,8 @@
 #include "core/feature_disparity.hpp"
 #include "core/fusion_filter.hpp"
 #include "kitti/dataset.hpp"
+#include "tune/problem.hpp"
+#include "tune/tuner.hpp"
 #include "vision/bev.hpp"
 #include "vision/edges.hpp"
 
@@ -230,9 +233,27 @@ int64_t conv_macs(const ConvShape& shape) {
          geom.out_extent(shape.height) * geom.out_extent(shape.width);
 }
 
-/// Runs both backends over the encoder shapes and returns the JSON report.
+tune::ConvProblem shape_problem(const ConvShape& shape) {
+  tune::ConvProblem problem;
+  problem.c = shape.cin;
+  problem.h = shape.height;
+  problem.w = shape.width;
+  problem.k = shape.cout;
+  problem.r = shape.kernel;
+  problem.s = shape.kernel;
+  problem.stride = shape.stride;
+  problem.pad = shape.padding;
+  return problem;
+}
+
+/// Runs both legacy backends plus every registered solver (best over its
+/// parameter candidates) over the encoder shapes and returns the JSON
+/// report. The reference/blocked columns still time kernels::gemm()
+/// directly, so their numbers stay comparable with earlier snapshots; the
+/// "solvers" block goes through the tune subsystem's measurement loop.
 std::string kernel_comparison_json() {
   const std::string previous = ag::kernels::backend_name();
+  const tune::TuneOptions tune_options;  // full floors, same as legacy
   bench::JsonWriter json;
   json.begin_object()
       .field("bench", std::string("bench_ops/kernels"))
@@ -240,6 +261,7 @@ std::string kernel_comparison_json() {
       .field("threads", static_cast<int64_t>(1));
   json.begin_array("shapes");
   double speedup_log_sum = 0.0;
+  double tuned_log_sum = 0.0;
   int64_t shape_count = 0;
   for (const ConvShape& shape : kEncoderShapes) {
     const double gflop = 2.0 * static_cast<double>(conv_macs(shape)) / 1e9;
@@ -247,6 +269,8 @@ std::string kernel_comparison_json() {
     const double reference_s = time_conv_gemm(shape);
     ag::kernels::set_backend("blocked");
     const double blocked_s = time_conv_gemm(shape);
+    const tune::ProblemTuneResult tuned =
+        tune::tune_problem(shape_problem(shape), tune_options);
     json.begin_object()
         .field("name", std::string(shape.name))
         .field("cin", shape.cin)
@@ -264,13 +288,47 @@ std::string kernel_comparison_json() {
         .field("ms", blocked_s * 1e3, 4)
         .field("gflops", gflop / blocked_s, 3)
         .end_object();
-    json.field("speedup", reference_s / blocked_s, 3).end_object();
+    // Best GFLOP/s per solver across its parameter candidates, in registry
+    // order for a stable column layout.
+    json.begin_object("solvers");
+    for (const tune::Solver* solver : tune::solvers()) {
+      double best = 0.0;
+      for (const tune::SolverMeasurement& m : tuned.measurements) {
+        if (m.solver == solver->name()) {
+          best = std::max(best, m.gflops);
+        }
+      }
+      if (best > 0.0) {
+        json.field(solver->name(), best, 3);
+      }
+    }
+    json.end_object();
+    const tune::SolverMeasurement& winner = tuned.best();
+    // tuned_vs_blocked compares within the solver measurement harness (the
+    // default-parameter blocked solver as the baseline) so the ratio is not
+    // polluted by the legacy column's per-call allocation; >= 1.0 for every
+    // shape where the blocked solver applies, by construction.
+    const tune::SolverMeasurement* blocked_solver = tuned.find("blocked");
+    const double blocked_gflops = blocked_solver != nullptr
+                                      ? blocked_solver->gflops
+                                      : gflop / blocked_s;
+    json.field("best_solver",
+               winner.params.empty()
+                   ? winner.solver
+                   : winner.solver + "[" + winner.params + "]")
+        .field("best_gflops", winner.gflops, 3);
+    json.field("speedup", reference_s / blocked_s, 3);
+    json.field("tuned_vs_blocked", winner.gflops / blocked_gflops, 3)
+        .end_object();
     speedup_log_sum += std::log(reference_s / blocked_s);
+    tuned_log_sum += std::log(winner.gflops / blocked_gflops);
     ++shape_count;
   }
   json.end_array()
       .field("geomean_speedup",
              std::exp(speedup_log_sum / static_cast<double>(shape_count)), 3)
+      .field("geomean_tuned_vs_blocked",
+             std::exp(tuned_log_sum / static_cast<double>(shape_count)), 3)
       .end_object();
   ag::kernels::set_backend(previous);
   return json.str();

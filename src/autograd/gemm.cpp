@@ -21,7 +21,7 @@ using tensor::Shape;
 // Register tile. 4x8 float accumulators occupy 8 of the 16 XMM registers
 // guaranteed on baseline x86-64 (SSE2), leaving room for the two B loads
 // and the A broadcast, so the whole tile lives in registers for the k loop.
-constexpr int64_t kMr = 4;
+constexpr int64_t kMr = kMicroTileRows;
 constexpr int64_t kNr = 8;
 
 /// Strided read-only view of a logical (rows, cols) matrix. Lets the same
@@ -349,6 +349,11 @@ BlockedGemmConfig& blocked_gemm_config() {
 }
 
 Tensor blocked_matmul(const Tensor& a, const Tensor& b) {
+  return blocked_matmul(a, b, blocked_gemm_config());
+}
+
+Tensor blocked_matmul(const Tensor& a, const Tensor& b,
+                      const BlockedGemmConfig& config) {
   ROADFUSION_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
                    "blocked_matmul needs rank-2 operands");
   const int64_t m = a.shape().dim(0);
@@ -357,8 +362,7 @@ Tensor blocked_matmul(const Tensor& a, const Tensor& b) {
   ROADFUSION_CHECK(b.shape().dim(0) == k,
                    "blocked_matmul inner dims mismatch: "
                        << a.shape().str() << " x " << b.shape().str());
-  return blocked_gemm({a.raw(), k, 1}, {b.raw(), n, 1}, m, n, k,
-                      blocked_gemm_config());
+  return blocked_gemm({a.raw(), k, 1}, {b.raw(), n, 1}, m, n, k, config);
 }
 
 Tensor blocked_matmul_at(const Tensor& a, const Tensor& b) {

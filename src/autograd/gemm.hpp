@@ -45,8 +45,19 @@ struct BlockedGemmConfig {
 /// mutate.
 BlockedGemmConfig& blocked_gemm_config();
 
+/// Register-tile row height of the micro-kernel. Row-parallel work splits
+/// in multiples of this, so a solver is only worth `threads` workers when
+/// M covers at least `threads * kMicroTileRows` rows.
+inline constexpr int64_t kMicroTileRows = 4;
+
 /// C = A * B with A (m, k), B (k, n), both row-major.
 Tensor blocked_matmul(const Tensor& a, const Tensor& b);
+
+/// Same, under an explicit blocking configuration instead of the process
+/// global — the solver registry runs per-shape tuned Mc/Kc/Nc/threads
+/// through this without mutating state other callers read.
+Tensor blocked_matmul(const Tensor& a, const Tensor& b,
+                      const BlockedGemmConfig& config);
 
 /// C = A^T * B with A stored (k, m), B (k, n).
 Tensor blocked_matmul_at(const Tensor& a, const Tensor& b);

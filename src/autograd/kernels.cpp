@@ -49,14 +49,13 @@ Registry& registry() {
         env_string("ROADFUSION_KERNEL_BACKEND", "reference");
     const GemmBackend* initial = r.find_locked(requested);
     ROADFUSION_CHECK(initial != nullptr,
-                     "ROADFUSION_KERNEL_BACKEND names unknown backend '"
-                         << requested << "'");
+                     "ROADFUSION_KERNEL_BACKEND='"
+                         << requested
+                         << "' names an unknown backend (registered: "
+                            "reference, blocked)");
     r.active.store(initial, std::memory_order_release);
-    const int threads = env_int("ROADFUSION_KERNEL_THREADS", 1);
-    ROADFUSION_CHECK(threads >= 1,
-                     "ROADFUSION_KERNEL_THREADS must be >= 1, got "
-                         << threads);
-    blocked_gemm_config().threads = threads;
+    blocked_gemm_config().threads =
+        env_int_checked("ROADFUSION_KERNEL_THREADS", 1, 1);
   });
   return instance;
 }
@@ -66,6 +65,10 @@ const GemmBackend& active_backend() {
 }
 
 std::atomic<uint64_t> im2col_calls{0};
+
+// Constant-initialized, so installation from another translation unit's
+// static initializer is ordered-safe.
+std::atomic<ConvForwardHook> conv_hook{nullptr};
 
 // Surfaces the ad-hoc im2col counter through the metrics registry without
 // moving its storage: a callback gauge sampled at render time. Registered
@@ -164,6 +167,14 @@ Tensor gemm_at(const Tensor& a, const Tensor& b) {
 
 Tensor gemm_bt(const Tensor& a, const Tensor& b) {
   return active_backend().matmul_bt(a, b);
+}
+
+void set_conv_forward_hook(ConvForwardHook hook) {
+  conv_hook.store(hook, std::memory_order_release);
+}
+
+ConvForwardHook conv_forward_hook() {
+  return conv_hook.load(std::memory_order_acquire);
 }
 
 uint64_t im2col_call_count() {

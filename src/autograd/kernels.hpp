@@ -62,6 +62,38 @@ Tensor gemm_at(const Tensor& a, const Tensor& b);
 Tensor gemm_bt(const Tensor& a, const Tensor& b);
 
 // ---------------------------------------------------------------------------
+// Conv-forward dispatch hook (solver-registry bridge)
+// ---------------------------------------------------------------------------
+//
+// The per-shape solver registry lives in src/tune, which links against this
+// library — so the conv op cannot call it directly. Instead the registry
+// installs a function pointer here at static-init time; the op offers each
+// lowered forward GEMM to the hook and falls back to the legacy gemm()
+// dispatch when no hook is installed or the hook declines. The hook slot is
+// a constant-initialized atomic, safe to read before main().
+
+struct ConvEpilogue;  // gemm.hpp
+
+/// One sample's lowered conv-forward GEMM: out = wmat * columns (+ epi).
+struct ConvForwardCall {
+  int64_t cin = 0;            ///< input channels of the conv
+  int64_t h = 0, w = 0;       ///< input spatial extents
+  int64_t cout = 0;           ///< output channels (GEMM M)
+  int64_t kernel = 1, stride = 1, padding = 0;
+  const Tensor* wmat = nullptr;     ///< (cout, cin*kernel^2) weights
+  const Tensor* columns = nullptr;  ///< im2col matrix (cin*kernel^2, Ho*Wo)
+  float* out = nullptr;             ///< (cout, Ho*Wo), overwritten if handled
+  const ConvEpilogue* epi = nullptr;  ///< optional fused post-ops
+};
+
+/// Returns true when it executed the GEMM (+ epilogue) into `call.out`;
+/// false means "run the legacy path".
+using ConvForwardHook = bool (*)(const ConvForwardCall& call);
+
+void set_conv_forward_hook(ConvForwardHook hook);
+ConvForwardHook conv_forward_hook();
+
+// ---------------------------------------------------------------------------
 // im2col / col2im
 // ---------------------------------------------------------------------------
 

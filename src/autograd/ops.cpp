@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "autograd/gemm.hpp"
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
 
@@ -229,19 +230,41 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
   if (keep_columns) {
     cached_columns->reserve(static_cast<size_t>(batch));
   }
+  // The per-shape solver registry (src/tune), when linked, takes each
+  // sample's GEMM through the hook; the bias rides along as an epilogue
+  // (same add sequence as the legacy loop below, so results are
+  // bit-identical). A null or declining hook runs the legacy backend
+  // dispatch unchanged.
+  const kernels::ConvForwardHook hook = kernels::conv_forward_hook();
+  kernels::ConvEpilogue epi;
+  epi.bias = has_bias ? b.value().raw() : nullptr;
   for (int64_t s = 0; s < batch; ++s) {
     Tensor columns = kernels::im2col(
         x.value().raw() + s * cin * h * width, cin, h, width, geom);
-    Tensor res = kernels::gemm(wmat, columns);
     float* dst = out.raw() + s * cout * out_plane;
-    std::memcpy(dst, res.raw(),
-                static_cast<size_t>(cout * out_plane) * sizeof(float));
-    if (has_bias) {
-      const float* pb = b.value().raw();
-      for (int64_t c = 0; c < cout; ++c) {
-        float* row = dst + c * out_plane;
-        for (int64_t i = 0; i < out_plane; ++i) {
-          row[i] += pb[c];
+    kernels::ConvForwardCall call;
+    call.cin = cin;
+    call.h = h;
+    call.w = width;
+    call.cout = cout;
+    call.kernel = geom.kernel;
+    call.stride = geom.stride;
+    call.padding = geom.padding;
+    call.wmat = &wmat;
+    call.columns = &columns;
+    call.out = dst;
+    call.epi = has_bias ? &epi : nullptr;
+    if (hook == nullptr || !hook(call)) {
+      Tensor res = kernels::gemm(wmat, columns);
+      std::memcpy(dst, res.raw(),
+                  static_cast<size_t>(cout * out_plane) * sizeof(float));
+      if (has_bias) {
+        const float* pb = b.value().raw();
+        for (int64_t c = 0; c < cout; ++c) {
+          float* row = dst + c * out_plane;
+          for (int64_t i = 0; i < out_plane; ++i) {
+            row[i] += pb[c];
+          }
         }
       }
     }

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
+#include "tune/dispatch.hpp"
 
 namespace roadfusion::nn {
 namespace {
@@ -131,11 +132,46 @@ Tensor Conv2d::forward_infer(const Tensor& x,
   epi.bias = bias_ ? bias_->var.value().raw() : nullptr;
   const bool has_epi =
       epi.bias != nullptr || epi.bn_mean != nullptr || epi.relu;
-  // The fused path is only bit-identical to the legacy chain when the
-  // active backend is the blocked GEMM the panels were packed for.
-  const bool fused = cache->prepacked && kernels::backend_is("blocked");
   Tensor out = Tensor::uninitialized(
       Shape::nchw(batch, out_channels_, out_h, out_w));
+  // Per-shape solver binding (src/tune): forced solver > perf DB record >
+  // heuristic. The binding is cached per problem, so the steady state pays
+  // one hash lookup — no allocation. GEMMs run per sample, so the problem
+  // is keyed with n = 1.
+  tune::ConvProblem problem;
+  problem.c = in_channels_;
+  problem.h = h;
+  problem.w = w;
+  problem.k = out_channels_;
+  problem.r = geom_.kernel;
+  problem.s = geom_.kernel;
+  problem.stride = geom_.stride;
+  problem.pad = geom_.padding;
+  const std::shared_ptr<const tune::Binding> binding =
+      tune::bind(problem, cache->prepacked);
+  if (binding->solver != nullptr) {
+    tune::SolverArgs args;
+    args.wmat = &cache->wmat;
+    args.packed = cache->prepacked ? &cache->packed : nullptr;
+    args.epi = has_epi ? &epi : nullptr;
+    // "Hit" keeps its DESIGN.md §11 meaning: served by the fused
+    // pre-packed path (which only the prepacked solver runs).
+    obs::Counter& counter = binding->solver->wants_packed()
+                                ? prepack_hits()
+                                : prepack_misses();
+    for (int64_t s = 0; s < batch; ++s) {
+      const Tensor columns = kernels::im2col(
+          x.raw() + s * in_channels_ * h * w, in_channels_, h, w, geom_);
+      args.columns = &columns;
+      args.out = out.raw() + s * out_channels_ * out_plane;
+      tune::run(*binding, problem, args);
+      counter.inc();
+    }
+    return out;
+  }
+  // Null binding: a GemmBackend other than reference/blocked is active —
+  // honor it through the legacy dispatch (the compatibility shim).
+  const bool fused = cache->prepacked && kernels::backend_is("blocked");
   for (int64_t s = 0; s < batch; ++s) {
     const Tensor columns = kernels::im2col(
         x.raw() + s * in_channels_ * h * w, in_channels_, h, w, geom_);

@@ -12,7 +12,7 @@ namespace roadfusion::obs {
 namespace {
 
 /// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
-bool valid_metric_name(const std::string& name) {
+bool valid_base_name(const std::string& name) {
   if (name.empty()) {
     return false;
   }
@@ -28,6 +28,65 @@ bool valid_metric_name(const std::string& name) {
     }
   }
   return true;
+}
+
+/// Accepts a plain base name or `base{key="value",...}` — labeled series
+/// (e.g. the solver registry's roadfusion_solver_selected_total{solver=...})
+/// register one instrument per label set, keyed by the full sample string.
+/// Label keys follow [a-zA-Z_][a-zA-Z0-9_]*; values take any printable
+/// character except '"' and '\'.
+bool valid_metric_name(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return valid_base_name(name);
+  }
+  if (name.back() != '}' || !valid_base_name(name.substr(0, brace))) {
+    return false;
+  }
+  size_t pos = brace + 1;
+  const size_t end = name.size() - 1;
+  if (pos == end) {
+    return false;  // empty label set: use the bare name instead
+  }
+  const auto key_char = [](char c, bool head) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           (!head && std::isdigit(static_cast<unsigned char>(c)));
+  };
+  while (pos < end) {
+    const size_t key_start = pos;
+    while (pos < end && key_char(name[pos], pos == key_start)) {
+      ++pos;
+    }
+    if (pos == key_start || pos + 1 >= end || name[pos] != '=' ||
+        name[pos + 1] != '"') {
+      return false;
+    }
+    pos += 2;
+    while (pos < end && name[pos] != '"') {
+      const char c = name[pos];
+      if (c == '\\' || !std::isprint(static_cast<unsigned char>(c))) {
+        return false;
+      }
+      ++pos;
+    }
+    if (pos >= end) {
+      return false;  // unterminated label value
+    }
+    ++pos;  // closing quote
+    if (pos < end) {
+      if (name[pos] != ',' || pos + 1 == end) {
+        return false;
+      }
+      ++pos;
+    }
+  }
+  return true;
+}
+
+/// Metric family of a sample name: everything before the label set.
+std::string family_of(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
 const char* kind_name(MetricSnapshot::Kind kind) {
@@ -150,6 +209,10 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help) {
   ROADFUSION_CHECK(valid_metric_name(name), "invalid metric name '" << name
                                                                     << "'");
+  // Histogram exposition appends _bucket/_sum/_count to the sample name,
+  // which would land after a label set; labels stay counter/gauge-only.
+  ROADFUSION_CHECK(name.find('{') == std::string::npos,
+                   "histogram '" << name << "' cannot carry labels");
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[name];
   if (!entry.histogram) {
@@ -213,13 +276,21 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 std::string MetricsRegistry::render_prometheus() const {
   const std::vector<MetricSnapshot> samples = snapshot();
   std::string out;
+  // HELP/TYPE describe the metric family (the name sans labels) and are
+  // emitted once per family. Labeled series of one family are adjacent in
+  // the name-sorted snapshot, so tracking the previous family suffices.
+  std::string last_family;
   for (const MetricSnapshot& sample : samples) {
-    if (!sample.help.empty()) {
-      out += "# HELP " + sample.name + " " + sample.help + "\n";
+    const std::string family = family_of(sample.name);
+    if (family != last_family) {
+      if (!sample.help.empty()) {
+        out += "# HELP " + family + " " + sample.help + "\n";
+      }
+      out += "# TYPE " + family + " ";
+      out += kind_name(sample.kind);
+      out += "\n";
+      last_family = family;
     }
-    out += "# TYPE " + sample.name + " ";
-    out += kind_name(sample.kind);
-    out += "\n";
     if (sample.kind != MetricSnapshot::Kind::kHistogram) {
       out += sample.name + " " + format_metric_value(sample.value) + "\n";
       continue;

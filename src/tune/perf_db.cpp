@@ -1,0 +1,173 @@
+#include "tune/perf_db.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tune/problem.hpp"
+
+namespace roadfusion::tune {
+namespace {
+
+constexpr const char* kMagic = "RFPD1";
+
+/// Splits one record line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parses "<tag>=<value>" into `out`; false when the token has another tag.
+bool tagged_value(const std::string& token, const char* tag,
+                  std::string& out) {
+  const size_t tag_len = std::char_traits<char>::length(tag);
+  if (token.size() <= tag_len || token.compare(0, tag_len, tag) != 0 ||
+      token[tag_len] != '=') {
+    return false;
+  }
+  out = token.substr(tag_len + 1);
+  return true;
+}
+
+}  // namespace
+
+void PerfDb::set(const std::string& problem_key, PerfRecord record) {
+  records_[problem_key] = std::move(record);
+}
+
+const PerfRecord* PerfDb::find(const std::string& problem_key) const {
+  const auto it = records_.find(problem_key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string PerfDb::serialize() const {
+  std::ostringstream out;
+  out << kMagic << " cpu=" << cpu_signature() << "\n";
+  for (const auto& [key, record] : records_) {
+    out << key << " solver=" << record.solver;
+    if (!record.params.empty()) {
+      out << " params=" << record.params;
+    }
+    char gflops[32];
+    std::snprintf(gflops, sizeof(gflops), "%.3f", record.gflops);
+    out << " gflops=" << gflops << "\n";
+  }
+  return out.str();
+}
+
+void PerfDb::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    ROADFUSION_CHECK(out.good(), "perf DB: cannot open '" << tmp
+                                                          << "' for writing");
+    out << serialize();
+    out.flush();
+    ROADFUSION_CHECK(out.good(), "perf DB: write to '" << tmp << "' failed");
+  }
+  ROADFUSION_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "perf DB: rename '" << tmp << "' -> '" << path
+                                       << "' failed");
+}
+
+PerfDbLoad load_perf_db_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return {};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_perf_db(text.str());
+}
+
+PerfDbLoad parse_perf_db(const std::string& text) {
+  PerfDbLoad result;
+  result.found = true;  // the text is on hand; only file reads can miss
+  std::istringstream stream(text);
+  std::string line;
+
+  // Header: "RFPD1 cpu=<signature>".
+  if (!std::getline(stream, line)) {
+    result.version_mismatch = true;
+    return result;
+  }
+  const std::vector<std::string> header = tokenize(line);
+  if (header.size() < 2 || header[0] != kMagic) {
+    result.version_mismatch = true;
+    return result;
+  }
+  std::string cpu;
+  if (!tagged_value(header[1], "cpu", cpu) || cpu != cpu_signature()) {
+    result.cpu_mismatch = true;
+    return result;
+  }
+
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (!ConvProblem::parse_key(tokens[0]).has_value()) {
+      ++result.skipped_lines;
+      continue;
+    }
+    PerfRecord record;
+    bool have_solver = false;
+    bool corrupt = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      std::string value;
+      if (tagged_value(tokens[i], "solver", value)) {
+        record.solver = value;
+        have_solver = !value.empty();
+      } else if (tagged_value(tokens[i], "params", value)) {
+        record.params = value;
+      } else if (tagged_value(tokens[i], "gflops", value)) {
+        try {
+          record.gflops = std::stod(value);
+        } catch (...) {
+          corrupt = true;
+        }
+      } else {
+        corrupt = true;  // unknown field: treat the line as damaged
+      }
+    }
+    if (!have_solver || corrupt) {
+      ++result.skipped_lines;
+      continue;
+    }
+    result.db.set(tokens[0], std::move(record));
+  }
+  return result;
+}
+
+std::string cpu_signature() {
+#if defined(__x86_64__) || defined(_M_X64)
+  const char* arch = "x86_64";
+#elif defined(__aarch64__)
+  const char* arch = "aarch64";
+#else
+  const char* arch = "unknown";
+#endif
+#if defined(__SSE2__) || defined(_M_X64)
+  const char* simd = "sse2";
+#else
+  const char* simd = "scalar";
+#endif
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  return std::string(arch) + "-" + simd + "-hc" + std::to_string(cores);
+}
+
+}  // namespace roadfusion::tune

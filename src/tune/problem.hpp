@@ -1,0 +1,65 @@
+// ConvProblem: the canonical per-shape key of the solver registry.
+//
+// Mirrors MIOpen's ProblemDescription: a convolution instance is identified
+// by its input tensor (N/C/H/W), output channels (K), filter extents (R/S),
+// stride/pad and element type. Solvers declare applicability against this
+// key, the tuner benchmarks per key, and the perf DB stores one record per
+// key string. The repository's convolutions are square (R == S, one stride
+// and pad for both axes) and execute their GEMM per sample, so bindings are
+// keyed with n == 1 regardless of batch size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace roadfusion::tune {
+
+struct ConvProblem {
+  int64_t n = 1;         ///< batch size (per-sample GEMM: always keyed as 1)
+  int64_t c = 0;         ///< input channels
+  int64_t h = 0;         ///< input height
+  int64_t w = 0;         ///< input width
+  int64_t k = 0;         ///< output channels
+  int64_t r = 3;         ///< filter height
+  int64_t s = 3;         ///< filter width (== r for this repository)
+  int64_t stride = 1;
+  int64_t pad = 0;
+  // Element type tag. Only "fp32" exists today; the field is part of the
+  // key so int8/NCHWc solvers (ROADMAP items 1 and 5) slot in without a DB
+  // format change. Always short enough for SSO — constructing a ConvProblem
+  // on the inference hot path does not allocate.
+  std::string dtype = "fp32";
+
+  int64_t out_h() const { return (h + 2 * pad - r) / stride + 1; }
+  int64_t out_w() const { return (w + 2 * pad - s) / stride + 1; }
+
+  /// The GEMM this conv lowers to: (k, c*r*s) x (c*r*s, out_h*out_w).
+  int64_t gemm_m() const { return k; }
+  int64_t gemm_k() const { return c * r * s; }
+  int64_t gemm_n() const { return out_h() * out_w(); }
+
+  /// Multiply-accumulates of one sample's GEMM.
+  int64_t macs() const { return gemm_m() * gemm_k() * gemm_n(); }
+
+  /// All extents positive and the geometry yields a non-empty output.
+  bool valid() const;
+
+  /// Canonical key string, e.g. "conv-n1-c3-h32-w96-k8-r3-s3-st1-p1-fp32".
+  /// This is the perf DB's record key; it contains no whitespace.
+  std::string key() const;
+
+  /// Inverse of key(); nullopt on any malformed or non-"conv-" string.
+  static std::optional<ConvProblem> parse_key(const std::string& key);
+
+  bool operator==(const ConvProblem& other) const = default;
+};
+
+/// Hash over every key field — the binding cache's map hasher.
+struct ConvProblemHash {
+  size_t operator()(const ConvProblem& p) const;
+};
+
+}  // namespace roadfusion::tune

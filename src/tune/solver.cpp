@@ -1,0 +1,214 @@
+#include "tune/solver.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace roadfusion::tune {
+namespace {
+
+namespace ag = roadfusion::autograd::kernels;
+namespace t = roadfusion::tensor;
+
+/// Extracts `key` from a "k1=v1,k2=v2" parameter string; `fallback` when
+/// the key is absent or its value is not a positive integer. Malformed
+/// fragments are skipped, never fatal — a stale DB must not crash serving.
+int64_t parse_param(const std::string& params, const char* key,
+                    int64_t fallback) {
+  const std::string tag = std::string(key) + "=";
+  size_t pos = 0;
+  while (pos < params.size()) {
+    const size_t end = params.find(',', pos);
+    const size_t len = (end == std::string::npos ? params.size() : end) - pos;
+    if (len > tag.size() && params.compare(pos, tag.size(), tag) == 0) {
+      const char* start = params.c_str() + pos + tag.size();
+      char* parsed_end = nullptr;
+      const long long value = std::strtoll(start, &parsed_end, 10);
+      if (parsed_end == start + (len - tag.size()) && value >= 1) {
+        return value;
+      }
+    }
+    pos = (end == std::string::npos ? params.size() : end + 1);
+  }
+  return fallback;
+}
+
+/// Copies a freshly allocated (m, n) GEMM result into the caller's output
+/// and applies the epilogue — the same store + post-op sequence as the
+/// legacy non-fused conv paths, so results stay bit-identical to them.
+void store_with_epilogue(const Tensor& res, const ConvProblem& problem,
+                         const SolverArgs& args) {
+  std::memcpy(args.out, res.raw(),
+              sizeof(float) * static_cast<size_t>(res.numel()));
+  if (args.epi != nullptr) {
+    ag::apply_epilogue(args.out, problem.gemm_m(), problem.gemm_n(),
+                       *args.epi);
+  }
+}
+
+bool fp32_and_valid(const ConvProblem& problem) {
+  return problem.dtype == "fp32" && problem.valid();
+}
+
+class ReferenceSolver final : public Solver {
+ public:
+  const char* name() const override { return "reference"; }
+  const char* span_name() const override { return "solver.reference"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_and_valid(problem);
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    // The triple loop has no packing or tiling overhead but roughly half
+    // the arithmetic throughput of the register-tiled kernel.
+    return 1.0 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    store_with_epilogue(t::matmul(*args.wmat, *args.columns), problem, args);
+  }
+};
+
+/// Cache-blocked GEMM at a fixed worker count. threads == 1 is the plain
+/// "blocked" solver with searchable Mc/Kc/Nc; higher counts are the
+/// row-parallel variants (bit-identical: rows accumulate independently).
+class BlockedSolver final : public Solver {
+ public:
+  BlockedSolver(const char* name, const char* span, int threads)
+      : name_(name), span_(span), threads_(threads) {}
+
+  const char* name() const override { return name_; }
+  const char* span_name() const override { return span_; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    // Each worker needs at least one register tile of rows.
+    return fp32_and_valid(problem) &&
+           problem.gemm_m() >= threads_ * ag::kMicroTileRows;
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    // Spawn/join cost is charged WITHOUT assuming idle cores (the serving
+    // container is single-core), so threaded variants never win the
+    // heuristic — they must earn selection through a measured DB record.
+    return 0.45 * static_cast<double>(problem.macs()) +
+           150000.0 * (threads_ - 1);
+  }
+
+  std::vector<std::string> search_space(
+      const ConvProblem& problem) const override {
+    (void)problem;
+    if (threads_ != 1) {
+      return {""};
+    }
+    // Mc/Nc shrink candidates for L1-resident small shapes plus one larger
+    // Kc. run() clamps kc back to >= the reduction depth, so every
+    // candidate stays a single-Kc-block schedule — bit-identical to the
+    // defaults.
+    return {"", "mc=64", "nc=1024", "mc=64,nc=1024", "mc=64,kc=512"};
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    ag::BlockedGemmConfig config = ag::blocked_gemm_config();
+    config.threads = threads_;
+    if (!params.empty()) {
+      config.mc = parse_param(params, "mc", config.mc);
+      config.nc = parse_param(params, "nc", config.nc);
+      // Clamp to one Kc block: splitting the reduction would change the
+      // accumulation order and break the bit-exactness contract.
+      config.kc =
+          std::max(parse_param(params, "kc", config.kc), problem.gemm_k());
+    }
+    store_with_epilogue(
+        ag::blocked_matmul(*args.wmat, *args.columns, config), problem, args);
+  }
+
+ private:
+  const char* name_;
+  const char* span_;
+  int threads_;
+};
+
+/// The fused inference fast path: pre-packed A panels, overwrite store,
+/// epilogue applied in registers. Only binds where the caller holds packed
+/// weights (the planned inference path's per-layer cache).
+class PrepackedSolver final : public Solver {
+ public:
+  const char* name() const override { return "blocked_prepacked"; }
+  const char* span_name() const override { return "solver.blocked_prepacked"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_and_valid(problem) &&
+           ag::prepack_viable(problem.gemm_m(), problem.gemm_k());
+  }
+
+  bool wants_packed() const override { return true; }
+
+  double estimate(const ConvProblem& problem) const override {
+    // Cheapest applicable choice: no per-call A pack, no C zero-fill, and
+    // the epilogue rides the register store.
+    return 0.40 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.packed != nullptr,
+                     "blocked_prepacked bound without packed weights");
+    const int64_t n = args.columns->shape().dim(1);
+    (void)problem;
+    ag::gemm_prepacked(*args.packed, args.columns->raw(), n, n, args.out, n,
+                       args.epi);
+  }
+};
+
+}  // namespace
+
+const std::vector<const Solver*>& solvers() {
+  static const ReferenceSolver reference;
+  static const BlockedSolver blocked{"blocked", "solver.blocked", 1};
+  static const PrepackedSolver prepacked;
+  static const BlockedSolver mt2{"blocked_mt2", "solver.blocked_mt2", 2};
+  static const BlockedSolver mt4{"blocked_mt4", "solver.blocked_mt4", 4};
+  static const std::vector<const Solver*> all{&reference, &blocked, &prepacked,
+                                              &mt2, &mt4};
+  return all;
+}
+
+const Solver* find_solver(std::string_view name) {
+  for (const Solver* solver : solvers()) {
+    if (name == solver->name()) {
+      return solver;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Solver*> applicable_solvers(const ConvProblem& problem,
+                                              bool packed_available) {
+  std::vector<const Solver*> result;
+  for (const Solver* solver : solvers()) {
+    if ((packed_available || !solver->wants_packed()) &&
+        solver->is_applicable(problem)) {
+      result.push_back(solver);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> solver_names() {
+  std::vector<std::string> names;
+  names.reserve(solvers().size());
+  for (const Solver* solver : solvers()) {
+    names.emplace_back(solver->name());
+  }
+  return names;
+}
+
+}  // namespace roadfusion::tune

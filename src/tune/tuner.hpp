@@ -1,0 +1,62 @@
+// Offline tuning: benchmark every applicable solver (and its parameter
+// candidates) per ConvProblem on synthetic operands, and collect the
+// winners into a PerfDb. Used by the `roadfusion tune` CLI verb and by
+// bench_ops' per-solver kernel report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tune/perf_db.hpp"
+#include "tune/problem.hpp"
+#include "tune/solver.hpp"
+
+namespace roadfusion::tune {
+
+struct TuneOptions {
+  /// Smoke mode: a handful of iterations per measurement — seconds for the
+  /// whole model, enough to produce a structurally valid DB for CI.
+  bool smoke = false;
+  double min_seconds = 0.12;  ///< per-measurement wall time floor (full)
+  int min_iters = 8;          ///< per-measurement iteration floor (full)
+
+  double seconds_floor() const { return smoke ? 0.01 : min_seconds; }
+  int iters_floor() const { return smoke ? 3 : min_iters; }
+};
+
+/// One timed (solver, params) run.
+struct SolverMeasurement {
+  std::string solver;
+  std::string params;
+  double gflops = 0.0;
+};
+
+/// Every measurement of one problem, sorted fastest-first.
+struct ProblemTuneResult {
+  ConvProblem problem;
+  std::vector<SolverMeasurement> measurements;
+
+  const SolverMeasurement& best() const { return measurements.front(); }
+  /// Measurement of `solver` with default params; nullptr if absent.
+  const SolverMeasurement* find(const std::string& solver) const;
+};
+
+/// GFLOP/s of `solver` on `problem` with `params`, measured on synthetic
+/// operands (fixed-seed normal weights/columns, pre-packed A provided when
+/// the solver wants it). Caller guarantees applicability.
+double benchmark_solver(const Solver& solver, const ConvProblem& problem,
+                        const std::string& params, const TuneOptions& options);
+
+/// Benchmarks every applicable solver x parameter candidate. Pre-packed
+/// operands are available offline, so wants_packed solvers participate.
+ProblemTuneResult tune_problem(const ConvProblem& problem,
+                               const TuneOptions& options);
+
+/// Tunes each problem and records the winner per key. `on_result`, when
+/// set, observes each problem's full measurement list (progress output).
+PerfDb tune_problems(
+    const std::vector<ConvProblem>& problems, const TuneOptions& options,
+    const std::function<void(const ProblemTuneResult&)>& on_result = nullptr);
+
+}  // namespace roadfusion::tune

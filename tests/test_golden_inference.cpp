@@ -15,6 +15,8 @@
 #include "autograd/kernels.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "tensor/tensor.hpp"
+#include "tune/dispatch.hpp"
+#include "tune/solver.hpp"
 
 namespace roadfusion::roadseg {
 namespace {
@@ -75,6 +77,22 @@ TEST(GoldenInference, MaskMatchesCheckedInChecksum) {
          "update kGoldenMaskHash";
   const std::vector<uint8_t> blocked = predict_mask("blocked");
   EXPECT_EQ(fnv1a(blocked), kGoldenMaskHash);
+}
+
+TEST(GoldenInference, MaskBitStableUnderEveryRegisteredSolver) {
+  // Forcing each fp32 solver globally (the ROADFUSION_SOLVER code path)
+  // must leave the golden mask untouched — the guarantee that lets a perf
+  // DB re-bind kernels per shape without changing served results. Solvers
+  // that are inapplicable to some layer shape fall back per problem, which
+  // is exactly what production dispatch does.
+  for (const std::string& name : tune::solver_names()) {
+    SCOPED_TRACE(name);
+    tune::force_solver(name);
+    const std::vector<uint8_t> mask = predict_mask("blocked");
+    tune::force_solver("");
+    EXPECT_EQ(fnv1a(mask), kGoldenMaskHash)
+        << "solver '" << name << "' changes the golden mask";
+  }
 }
 
 TEST(GoldenInference, MaskIsNontrivial) {

@@ -23,6 +23,8 @@
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
+#include "tune/problem.hpp"
+#include "tune/solver.hpp"
 
 namespace roadfusion::autograd {
 namespace {
@@ -246,6 +248,64 @@ TEST(KernelParity, ConvThreadedMatchesSingleThread) {
   BackendGuard guard;
   kernels::blocked_gemm_config().threads = 3;
   expect_conv_parity({2, 8, 12, 32, 96, 3, 2, 1});
+}
+
+// ---------------------------------------------------------------------------
+// Solver registry parity: every registered solver (every tuned parameter
+// candidate) must agree with the reference matmul on the conv GEMM it
+// serves — the same contract the backend pair above satisfies, extended to
+// the per-shape solvers of src/tune/.
+// ---------------------------------------------------------------------------
+
+void expect_registry_solver_parity(const tune::ConvProblem& p) {
+  SCOPED_TRACE(p.key());
+  Rng rng(47);
+  const Tensor wmat = Tensor::normal(Shape::mat(p.gemm_m(), p.gemm_k()), rng);
+  const Tensor columns =
+      Tensor::normal(Shape::mat(p.gemm_k(), p.gemm_n()), rng);
+  const Tensor expected = tensor::matmul(wmat, columns);
+  const kernels::PackedA packed = kernels::prepack_a(
+      wmat.raw(), p.gemm_k(), 1, p.gemm_m(), p.gemm_k());
+  for (const tune::Solver* solver : tune::applicable_solvers(p, true)) {
+    for (const std::string& params : solver->search_space(p)) {
+      SCOPED_TRACE(std::string(solver->name()) + "[" + params + "]");
+      Tensor out = Tensor::zeros(Shape::mat(p.gemm_m(), p.gemm_n()));
+      tune::SolverArgs args;
+      args.wmat = &wmat;
+      args.packed = &packed;
+      args.columns = &columns;
+      args.out = out.raw();
+      solver->run(p, args, params);
+      expect_allclose(expected, out, solver->name());
+    }
+  }
+}
+
+TEST(KernelParity, AllRegisteredSolversOnEncoderShapes) {
+  std::vector<tune::ConvProblem> problems;
+  {
+    tune::ConvProblem p;  // stem_rgb
+    p.c = 3, p.h = 32, p.w = 96, p.k = 8, p.pad = 1;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // stage1.conv2
+    p.c = 12, p.h = 16, p.w = 48, p.k = 12, p.pad = 1;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // stage3 projection, 1x1 stride 2
+    p.c = 16, p.h = 8, p.w = 24, p.k = 24, p.r = 1, p.s = 1, p.stride = 2;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // score conv: gemm_m == 1, reference-only
+    p.c = 8, p.h = 32, p.w = 96, p.k = 1, p.r = 1, p.s = 1;
+    problems.push_back(p);
+  }
+  for (const tune::ConvProblem& p : problems) {
+    expect_registry_solver_parity(p);
+  }
 }
 
 // ---------------------------------------------------------------------------

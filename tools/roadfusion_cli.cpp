@@ -11,9 +11,12 @@
 //   dataset     [options]        export synthetic samples as PPM/PGM
 //   metrics-dump [options]       run a synthetic workload, print the
 //                                process metrics as Prometheus text
+//   tune        [options]        benchmark conv solvers per model shape,
+//                                write the winners to a perf DB
 //
 // `infer`, `batch-infer` and `metrics-dump` accept `--trace FILE` to
-// write a Chrome trace-event JSON of the run (chrome://tracing).
+// write a Chrome trace-event JSON of the run (chrome://tracing), and
+// `--perf-db FILE` to serve with tuned per-shape solver bindings.
 //
 // Run `roadfusion <command> --help` for the options of each command.
 #include <chrono>
@@ -26,6 +29,7 @@
 
 #include "autograd/kernels.hpp"
 #include "cli_args.hpp"
+#include "common/env.hpp"
 #include "eval/disparity_profile.hpp"
 #include "eval/evaluator.hpp"
 #include "kitti/dataset.hpp"
@@ -38,6 +42,8 @@
 #include "runtime/fault_injection.hpp"
 #include "train/checkpoint.hpp"
 #include "train/trainer.hpp"
+#include "tune/dispatch.hpp"
+#include "tune/tuner.hpp"
 #include "vision/image_io.hpp"
 #include "vision/overlay.hpp"
 
@@ -98,6 +104,21 @@ void apply_kernel_backend(const cli::Args& args) {
   if (!backend.empty()) {
     autograd::kernels::set_backend(backend);
   }
+}
+
+/// Loads --perf-db FILE into the solver registry so serving binds the
+/// tuned per-shape solvers (see `roadfusion tune`). Missing file is an
+/// error here — an explicit flag deserves a loud failure, unlike the
+/// best-effort ROADFUSION_PERF_DB env pickup.
+void apply_perf_db(const cli::Args& args) {
+  const std::string path = args.get("perf-db", "");
+  if (path.empty()) {
+    return;
+  }
+  const tune::PerfDbLoad result = tune::load_perf_db(path);
+  ROADFUSION_CHECK(result.found, "--perf-db '" << path << "' not found");
+  std::fprintf(stderr, "perf DB %s: reloaded %zu tuned record(s)\n",
+               path.c_str(), result.db.size());
 }
 
 /// Enables span recording when --trace FILE was given. Call before the
@@ -254,12 +275,13 @@ int cmd_infer(const cli::Args& args) {
         "overexposure|shadows]\n"
         "                 [--scene-seed N] [--normals] [--threads N]\n"
         "                 [--kernel-backend reference|blocked] [--out dir]\n"
-        "                 [--trace trace.json]\n");
+        "                 [--perf-db FILE] [--trace trace.json]\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
                    "normals", "threads", "kernel-backend", "out", "trace",
-                   "help"});
+                   "perf-db", "help"});
+  apply_perf_db(args);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
   train::load_model(net, args.get("model", "model.rfc"));
@@ -360,13 +382,16 @@ int cmd_batch_infer(const cli::Args& args) {
         "  --inject-faults    deterministic fault spec, e.g.\n"
         "                     rate=0.1,seed=7,kinds=nan+slow (see DESIGN.md"
         " §9)\n"
+        "  --perf-db FILE     serve with tuned per-shape solver bindings\n"
         "  --trace FILE       write a Chrome trace-event JSON of the run\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
                    "data-seed", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "kernel-backend", "deadline-ms",
-                   "max-retries", "inject-faults", "out", "trace", "help"});
+                   "max-retries", "inject-faults", "out", "trace", "perf-db",
+                   "help"});
+  apply_perf_db(args);
   const auto scenes = make_data(args, kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -592,7 +617,7 @@ int cmd_metrics_dump(const cli::Args& args) {
         "                        [--scheme Baseline|AU|AB|BS|WS] [--normals]\n"
         "                        [--cap N] [--data-seed N]\n"
         "                        [--kernel-backend reference|blocked]\n"
-        "                        [--trace trace.json]\n\n"
+        "                        [--perf-db FILE] [--trace trace.json]\n\n"
         "Runs N synthetic scenes (untrained weights — no checkpoint needed)\n"
         "through the batched inference runtime, then prints every metric of\n"
         "the process-wide registry in Prometheus text exposition format on\n"
@@ -602,7 +627,8 @@ int cmd_metrics_dump(const cli::Args& args) {
   }
   args.allow_only({"count", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "scheme", "normals", "cap", "data-seed",
-                   "kernel-backend", "trace", "help"});
+                   "kernel-backend", "trace", "perf-db", "help"});
+  apply_perf_db(args);
   const kitti::RoadDataset scenes(dataset_config(args), kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -632,6 +658,90 @@ int cmd_metrics_dump(const cli::Args& args) {
   return 0;
 }
 
+int cmd_tune(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion tune [--db FILE] [--smoke] [--model model.rfc]\n"
+        "                [--scheme Baseline|AU|AB|BS|WS] [--normals]\n"
+        "                [--cap N] [--data-seed N]\n\n"
+        "Discovers the model's unique conv shapes by running one synthetic\n"
+        "scene, benchmarks every applicable solver (and its parameter\n"
+        "candidates) per shape, and writes the winners to a perf DB keyed\n"
+        "by shape + CPU signature. Serving commands consume it via\n"
+        "--perf-db FILE or ROADFUSION_PERF_DB.\n\n"
+        "  --db FILE   output path (default: $ROADFUSION_PERF_DB or\n"
+        "              roadfusion_perf.db)\n"
+        "  --smoke     few iterations per measurement — fast, CI-grade\n"
+        "  --model     optional checkpoint; shapes only depend on --scheme\n"
+        "              and --normals, so untrained weights work fine\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "normals", "db", "smoke", "cap",
+                   "data-seed", "help"});
+  const kitti::RoadDataset scenes(dataset_config(args), kitti::Split::kTest);
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  if (args.has("model")) {
+    train::load_model(net, args.get("model", "model.rfc"));
+  }
+  net.set_training(false);
+  net.prepare_inference();
+
+  // Discover the conv shapes this configuration actually runs: record every
+  // unique problem bound during one representative predict.
+  tune::clear_recorded_problems();
+  tune::set_problem_recording(true);
+  const kitti::Sample& sample = scenes.sample(0);
+  net.predict(sample.rgb, sample.depth);
+  tune::set_problem_recording(false);
+  const std::vector<tune::ConvProblem> problems = tune::recorded_problems();
+  ROADFUSION_CHECK(!problems.empty(),
+                   "tune: no conv problems recorded — model has no Conv2d "
+                   "layers routed through the solver registry");
+
+  tune::TuneOptions options;
+  options.smoke = args.has("smoke");
+  std::fprintf(stderr, "tuning %zu conv shape(s)%s on cpu=%s\n",
+               problems.size(), options.smoke ? " (smoke)" : "",
+               tune::cpu_signature().c_str());
+  std::printf("%-44s %-20s %10s %9s\n", "problem", "best solver", "GFLOP/s",
+              "vs blocked");
+  const tune::PerfDb db = tune::tune_problems(
+      problems, options, [](const tune::ProblemTuneResult& result) {
+        const tune::SolverMeasurement& best = result.best();
+        const tune::SolverMeasurement* blocked = result.find("blocked");
+        std::string label = best.solver;
+        if (!best.params.empty()) {
+          label += " [" + best.params + "]";
+        }
+        if (blocked != nullptr && blocked->gflops > 0.0) {
+          std::printf("%-44s %-20s %10.2f %8.2fx\n",
+                      result.problem.key().c_str(), label.c_str(), best.gflops,
+                      best.gflops / blocked->gflops);
+        } else {
+          std::printf("%-44s %-20s %10.2f %9s\n", result.problem.key().c_str(),
+                      label.c_str(), best.gflops, "-");
+        }
+        std::fflush(stdout);
+      });
+
+  const std::string path =
+      args.get("db", env_string("ROADFUSION_PERF_DB", "roadfusion_perf.db"));
+  db.save(path);
+  std::printf("wrote %zu tuned record(s) to %s\n", db.size(), path.c_str());
+
+  // Reload through the dispatcher so the freshly written file is verified
+  // end-to-end (header, CPU signature, record syntax) before we report OK.
+  const tune::PerfDbLoad reload = tune::load_perf_db(path);
+  ROADFUSION_CHECK(reload.found && !reload.version_mismatch &&
+                       !reload.cpu_mismatch &&
+                       reload.db.size() == db.size(),
+                   "tune: reloading '" << path << "' failed validation");
+  std::fprintf(stderr, "verified: %s reloads with %zu record(s)\n",
+               path.c_str(), reload.db.size());
+  return 0;
+}
+
 void print_usage(std::FILE* stream) {
   std::fprintf(
       stream,
@@ -646,7 +756,8 @@ void print_usage(std::FILE* stream) {
       "  batch-infer  run a dataset through the batched inference runtime\n"
       "  profile      per-stage Feature Disparity of a trained model\n"
       "  dataset      export synthetic samples as PPM/PGM files\n"
-      "  metrics-dump run a synthetic workload, print Prometheus metrics\n\n"
+      "  metrics-dump run a synthetic workload, print Prometheus metrics\n"
+      "  tune         benchmark conv solvers per shape, write a perf DB\n\n"
       "run 'roadfusion <command> --help' for per-command options\n");
 }
 
@@ -683,6 +794,9 @@ int main(int argc, char** argv) {
     }
     if (command == "metrics-dump") {
       return cmd_metrics_dump(args);
+    }
+    if (command == "tune") {
+      return cmd_tune(args);
     }
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     print_usage(stderr);

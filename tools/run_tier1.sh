@@ -27,6 +27,10 @@
 #                                 # a seconds-fast check that the planned
 #                                 # inference path still reports zero
 #                                 # per-call heap allocations
+#   tools/run_tier1.sh --tune-smoke
+#                                 # additionally run `roadfusion tune --smoke`
+#                                 # and assert the perf DB is produced,
+#                                 # reloaded, and consumed by serving
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +40,7 @@ asan=0
 ubsan=0
 coverage=0
 bench_smoke=0
+tune_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
@@ -43,8 +48,9 @@ for arg in "$@"; do
     --ubsan) ubsan=1 ;;
     --coverage) coverage=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --tune-smoke) tune_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke]" >&2
       exit 2
       ;;
   esac
@@ -60,8 +66,8 @@ if [[ "$tsan" == 1 ]]; then
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_kernel_parity test_tracing test_metrics test_runtime_stats \
-             test_workspace
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace')
+             test_workspace test_tune
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune')
 fi
 
 if [[ "$asan" == 1 ]]; then
@@ -69,8 +75,8 @@ if [[ "$asan" == 1 ]]; then
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
     --target test_kernel_parity test_golden_inference test_fault_tolerance \
-             test_workspace
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace')
+             test_workspace test_tune
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -86,6 +92,27 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== Bench smoke: planned inference stays zero-allocation =="
   cmake --build build -j --target bench_latency
   (cd build && ./bench/bench_latency --smoke)
+fi
+
+if [[ "$tune_smoke" == 1 ]]; then
+  echo "== Tune smoke: offline tuning produces a DB that serving consumes =="
+  cmake --build build -j --target roadfusion
+  tune_db="build/tune_smoke.db"
+  rm -f "$tune_db" "$tune_db.tmp"
+  (cd build && ./tools/roadfusion tune --smoke --db tune_smoke.db --cap 2)
+  [[ -s "$tune_db" ]] || { echo "tune smoke: $tune_db missing or empty" >&2; exit 1; }
+  [[ ! -e "$tune_db.tmp" ]] || { echo "tune smoke: stale $tune_db.tmp left behind" >&2; exit 1; }
+  head -1 "$tune_db" | grep -q '^RFPD1 cpu=' ||
+    { echo "tune smoke: bad DB header" >&2; exit 1; }
+  # One synthetic scene through serving with the DB: the reload line must
+  # appear and the per-solver selection counter must be exported.
+  metrics="$(cd build && ./tools/roadfusion metrics-dump --count 1 \
+      --kernel-backend blocked --perf-db tune_smoke.db 2>&1)"
+  echo "$metrics" | grep -q 'reloaded [1-9][0-9]* tuned record' ||
+    { echo "tune smoke: serving did not reload the DB" >&2; exit 1; }
+  echo "$metrics" | grep -q 'roadfusion_solver_selected_total{solver=' ||
+    { echo "tune smoke: no solver selection metric exported" >&2; exit 1; }
+  echo "tune smoke: OK ($(grep -c ' solver=' "$tune_db") records)"
 fi
 
 if [[ "$coverage" == 1 ]]; then
