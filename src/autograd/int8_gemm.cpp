@@ -1,0 +1,313 @@
+#include "autograd/int8_gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define ROADFUSION_INT8_SSE2 1
+#endif
+
+namespace roadfusion::autograd::kernels {
+namespace {
+
+constexpr int64_t kMr = kMicroTileRows;  // 4 — shared with the fp32 tile
+constexpr int64_t kNr = 8;
+
+int64_t round_up(int64_t value, int64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+int64_t k_pairs(int64_t k) { return (k + 1) / 2; }
+
+#if defined(ROADFUSION_INT8_SSE2)
+/// Quantizes 4 floats to 4 int32 lanes in [-127, 127]: the same
+/// multiply / clamp / round-to-nearest-even sequence as quantize_value.
+inline __m128i quantize4(__m128 x, __m128 inv, __m128 hi, __m128 lo) {
+  __m128 scaled = _mm_mul_ps(x, inv);
+  scaled = _mm_min_ps(scaled, hi);
+  scaled = _mm_max_ps(scaled, lo);
+  return _mm_cvtps_epi32(scaled);
+}
+#endif
+
+}  // namespace
+
+float tensor_absmax(const float* data, int64_t count) {
+  int64_t i = 0;
+  float amax = 0.0f;
+#if defined(ROADFUSION_INT8_SSE2)
+  const __m128 sign_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  __m128 vmax = _mm_setzero_ps();
+  for (; i + 4 <= count; i += 4) {
+    vmax = _mm_max_ps(vmax, _mm_and_ps(_mm_loadu_ps(data + i), sign_mask));
+  }
+  float lanes[4];
+  _mm_storeu_ps(lanes, vmax);
+  amax = std::max(std::max(lanes[0], lanes[1]), std::max(lanes[2], lanes[3]));
+#endif
+  for (; i < count; ++i) {
+    amax = std::max(amax, std::fabs(data[i]));
+  }
+  return amax;
+}
+
+QuantizedWeights quantize_weights(const float* w, int64_t m, int64_t k) {
+  ROADFUSION_CHECK(m >= 1 && k >= 1 && k <= kMaxInt8Depth,
+                   "quantize_weights: (" << m << ", " << k
+                                         << ") outside the int8 envelope");
+  obs::ScopedSpan span("quant.pack_weights");
+  QuantizedWeights q;
+  q.m = m;
+  q.k = k;
+  const int64_t m_pad = round_up(m, kMr);
+  const int64_t pairs = k_pairs(k);
+  q.data.resize(static_cast<size_t>(m * k));
+  q.scales.assign(static_cast<size_t>(m_pad), 0.0f);
+  q.panels.assign(static_cast<size_t>((m_pad / kMr) * pairs * 2 * kMr), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = w + i * k;
+    const float scale = quantize_scale(tensor_absmax(row, k));
+    const float inv = quantize_inv(scale);
+    q.scales[static_cast<size_t>(i)] = scale;
+    int8_t* dst = q.data.data() + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      dst[p] = quantize_value(row[p], inv);
+    }
+  }
+  // Pair-interleaved panels from the row-major image: one 8-lane int16
+  // group per (4-row group, k-pair), rows beyond m stay zero.
+  for (int64_t ip = 0; ip < m; ip += kMr) {
+    int16_t* panel = q.panels.data() + (ip / kMr) * pairs * 2 * kMr;
+    for (int64_t p2 = 0; p2 < pairs; ++p2) {
+      int16_t* unit = panel + p2 * 2 * kMr;
+      const int64_t rows = std::min<int64_t>(kMr, m - ip);
+      for (int64_t r = 0; r < rows; ++r) {
+        const int8_t* src = q.data.data() + (ip + r) * k + 2 * p2;
+        unit[2 * r] = src[0];
+        unit[2 * r + 1] = 2 * p2 + 1 < k ? src[1] : 0;
+      }
+    }
+  }
+  return q;
+}
+
+int64_t packed_activation_units(int64_t k, int64_t n) {
+  return k_pairs(k) * round_up(n, kNr);
+}
+
+void quantize_activations(const float* b, int64_t count, float scale,
+                          int8_t* out) {
+  const float inv = quantize_inv(scale);
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = quantize_value(b[i], inv);
+  }
+}
+
+void pack_activations_int8(const float* b, int64_t k, int64_t n, float scale,
+                           int32_t* out) {
+  const float inv = quantize_inv(scale);
+  const int64_t pairs = k_pairs(k);
+#if defined(ROADFUSION_INT8_SSE2)
+  const __m128 vinv = _mm_set1_ps(inv);
+  const __m128 hi = _mm_set1_ps(127.0f);
+  const __m128 lo = _mm_set1_ps(-127.0f);
+#endif
+  for (int64_t jp = 0; jp < n; jp += kNr) {
+    int32_t* panel = out + (jp / kNr) * pairs * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - jp);
+    for (int64_t p2 = 0; p2 < pairs; ++p2) {
+      const float* row0 = b + (2 * p2) * n + jp;
+      const float* row1 = 2 * p2 + 1 < k ? row0 + n : nullptr;
+      int32_t* unit = panel + p2 * kNr;
+#if defined(ROADFUSION_INT8_SSE2)
+      if (cols == kNr && row1 != nullptr) {
+        for (int64_t jj = 0; jj < kNr; jj += 4) {
+          const __m128i q0 =
+              quantize4(_mm_loadu_ps(row0 + jj), vinv, hi, lo);
+          const __m128i q1 =
+              quantize4(_mm_loadu_ps(row1 + jj), vinv, hi, lo);
+          // int32 -> int16 (exact: already in [-127, 127]), then interleave
+          // the two k-steps of each column into one int32 pair-unit.
+          const __m128i p0 = _mm_packs_epi32(q0, q0);
+          const __m128i p1 = _mm_packs_epi32(q1, q1);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(unit + jj),
+                           _mm_unpacklo_epi16(p0, p1));
+        }
+        continue;
+      }
+#endif
+      for (int64_t jj = 0; jj < kNr; ++jj) {
+        const bool in = jj < cols;
+        const int16_t b0 = in ? quantize_value(row0[jj], inv) : 0;
+        const int16_t b1 =
+            in && row1 != nullptr ? quantize_value(row1[jj], inv) : 0;
+        unit[jj] = static_cast<int32_t>(static_cast<uint16_t>(b0)) |
+                   (static_cast<int32_t>(static_cast<uint16_t>(b1)) << 16);
+      }
+    }
+  }
+}
+
+void int8_gemm_reference(const QuantizedWeights& w, const int8_t* bq,
+                         int64_t n, float act_scale, float* c,
+                         const ConvEpilogue* epi) {
+  const int64_t m = w.m;
+  const int64_t k = w.k;
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* wrow = w.data.data() + i * k;
+    const float dequant = w.scales[static_cast<size_t>(i)] * act_scale;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(wrow[p]) *
+               static_cast<int32_t>(bq[p * n + j]);
+      }
+      c_row[j] = static_cast<float>(acc) * dequant;
+    }
+  }
+  if (epi != nullptr) {
+    apply_epilogue(c, m, n, *epi);
+  }
+}
+
+void int8_gemm_packed(const QuantizedWeights& w, const int32_t* bpack,
+                      int64_t n, float act_scale, float* c,
+                      const ConvEpilogue* epi) {
+  const int64_t m = w.m;
+  const int64_t k = w.k;
+  const int64_t pairs = k_pairs(k);
+#if defined(ROADFUSION_INT8_SSE2)
+  const __m128 vact = _mm_set1_ps(act_scale);
+  for (int64_t jp = 0; jp < n; jp += kNr) {
+    const int32_t* bpanel = bpack + (jp / kNr) * pairs * kNr;
+    const int64_t nrem = std::min<int64_t>(kNr, n - jp);
+    for (int64_t ip = 0; ip < m; ip += kMr) {
+      const int16_t* apanel =
+          w.panels.data() + (ip / kMr) * pairs * 2 * kMr;
+      __m128i a0 = _mm_setzero_si128(), a1 = _mm_setzero_si128();
+      __m128i a2 = _mm_setzero_si128(), a3 = _mm_setzero_si128();
+      __m128i a4 = _mm_setzero_si128(), a5 = _mm_setzero_si128();
+      __m128i a6 = _mm_setzero_si128(), a7 = _mm_setzero_si128();
+      for (int64_t p2 = 0; p2 < pairs; ++p2) {
+        // One A load covers rows ip..ip+3 for this k-pair; each pshufd
+        // broadcast of a B pair-unit feeds all four rows via pmaddwd
+        // (a0*b0 + a1*b1 per int32 lane — the two k steps at once).
+        const __m128i aw = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(apanel + p2 * 2 * kMr));
+        const __m128i bu0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(bpanel + p2 * kNr));
+        const __m128i bu1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(bpanel + p2 * kNr + 4));
+        a0 = _mm_add_epi32(
+            a0, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu0, 0x00)));
+        a1 = _mm_add_epi32(
+            a1, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu0, 0x55)));
+        a2 = _mm_add_epi32(
+            a2, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu0, 0xAA)));
+        a3 = _mm_add_epi32(
+            a3, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu0, 0xFF)));
+        a4 = _mm_add_epi32(
+            a4, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu1, 0x00)));
+        a5 = _mm_add_epi32(
+            a5, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu1, 0x55)));
+        a6 = _mm_add_epi32(
+            a6, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu1, 0xAA)));
+        a7 = _mm_add_epi32(
+            a7, _mm_madd_epi16(aw, _mm_shuffle_epi32(bu1, 0xFF)));
+      }
+      // Dequantize per lane — (float)acc * (w_scale[row] * act_scale),
+      // the exact scalar sequence of the reference kernel — then
+      // transpose the column vectors into row vectors for the store.
+      const __m128 comb = _mm_mul_ps(
+          _mm_loadu_ps(w.scales.data() + ip), vact);
+      __m128 f0 = _mm_mul_ps(_mm_cvtepi32_ps(a0), comb);
+      __m128 f1 = _mm_mul_ps(_mm_cvtepi32_ps(a1), comb);
+      __m128 f2 = _mm_mul_ps(_mm_cvtepi32_ps(a2), comb);
+      __m128 f3 = _mm_mul_ps(_mm_cvtepi32_ps(a3), comb);
+      __m128 f4 = _mm_mul_ps(_mm_cvtepi32_ps(a4), comb);
+      __m128 f5 = _mm_mul_ps(_mm_cvtepi32_ps(a5), comb);
+      __m128 f6 = _mm_mul_ps(_mm_cvtepi32_ps(a6), comb);
+      __m128 f7 = _mm_mul_ps(_mm_cvtepi32_ps(a7), comb);
+      _MM_TRANSPOSE4_PS(f0, f1, f2, f3);
+      _MM_TRANSPOSE4_PS(f4, f5, f6, f7);
+      const __m128 rows[kMr][2] = {{f0, f4}, {f1, f5}, {f2, f6}, {f3, f7}};
+      const int64_t mrem = std::min<int64_t>(kMr, m - ip);
+      for (int64_t i = 0; i < mrem; ++i) {
+        __m128 v0 = rows[i][0];
+        __m128 v1 = rows[i][1];
+        if (epi != nullptr) {
+          // Same vector epilogue stages as the fp32 micro_kernel_infer:
+          // four independent IEEE single ops per stage, bit-identical to
+          // the scalar chain apply_epilogue runs.
+          const int64_t ch = ip + i;
+          if (epi->bias != nullptr) {
+            const __m128 bias = _mm_set1_ps(epi->bias[ch]);
+            v0 = _mm_add_ps(v0, bias);
+            v1 = _mm_add_ps(v1, bias);
+          }
+          if (epi->bn_mean != nullptr) {
+            const __m128 mean = _mm_set1_ps(epi->bn_mean[ch]);
+            const __m128 invstd = _mm_set1_ps(epi->bn_invstd[ch]);
+            const __m128 gamma = _mm_set1_ps(epi->bn_gamma[ch]);
+            const __m128 beta = _mm_set1_ps(epi->bn_beta[ch]);
+            v0 = _mm_add_ps(
+                _mm_mul_ps(gamma, _mm_mul_ps(_mm_sub_ps(v0, mean), invstd)),
+                beta);
+            v1 = _mm_add_ps(
+                _mm_mul_ps(gamma, _mm_mul_ps(_mm_sub_ps(v1, mean), invstd)),
+                beta);
+          }
+          if (epi->relu) {
+            const __m128 zero = _mm_setzero_ps();
+            v0 = _mm_max_ps(v0, zero);
+            v1 = _mm_max_ps(v1, zero);
+          }
+        }
+        float* c_row = c + (ip + i) * n + jp;
+        if (nrem == kNr) {
+          _mm_storeu_ps(c_row, v0);
+          _mm_storeu_ps(c_row + 4, v1);
+        } else {
+          float lanes[kNr];
+          _mm_storeu_ps(lanes, v0);
+          _mm_storeu_ps(lanes + 4, v1);
+          std::memcpy(c_row, lanes, static_cast<size_t>(nrem) * sizeof(float));
+        }
+      }
+    }
+  }
+#else
+  // Scalar fallback: unpack the pair-units and accumulate in int32 — the
+  // identical integer math, then one epilogue pass over C.
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* wrow = w.data.data() + i * k;
+    const float dequant = w.scales[static_cast<size_t>(i)] * act_scale;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const int32_t* bpanel = bpack + (j / kNr) * pairs * kNr + (j % kNr);
+      int32_t acc = 0;
+      for (int64_t p2 = 0; p2 < pairs; ++p2) {
+        const int32_t unit = bpanel[p2 * kNr];
+        const int32_t b0 = static_cast<int16_t>(unit & 0xFFFF);
+        const int32_t b1 = static_cast<int16_t>(
+            static_cast<uint32_t>(unit) >> 16);
+        acc += static_cast<int32_t>(wrow[2 * p2]) * b0;
+        if (2 * p2 + 1 < k) {
+          acc += static_cast<int32_t>(wrow[2 * p2 + 1]) * b1;
+        }
+      }
+      c_row[j] = static_cast<float>(acc) * dequant;
+    }
+  }
+  if (epi != nullptr) {
+    apply_epilogue(c, m, n, *epi);
+  }
+#endif
+}
+
+}  // namespace roadfusion::autograd::kernels

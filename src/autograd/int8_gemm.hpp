@@ -1,0 +1,127 @@
+// Int8 quantized GEMM for the inference hot path (DESIGN.md §13).
+//
+// Symmetric linear quantization: per-output-channel scales for the weight
+// operand (computed once at prepare_inference), one per-tensor scale for
+// the activation operand (dynamic absmax per call, or a calibrated static
+// scale from a quant scale table). Products accumulate in int32 — exact
+// integer arithmetic, so every int8 kernel variant (reference row-major
+// and the SSE2 pmaddwd-tiled one below) produces bit-identical results —
+// and the dequantization multiply `acc * (w_scale[row] * act_scale)` is
+// fused into the same bias + eval-BN + ReLU epilogue the fp32 path uses.
+//
+// The SSE2 kernel processes the reduction in int16 PAIRS: quantized values
+// are widened to int16 at pack time and `_mm_madd_epi16` consumes two k
+// steps per lane (a0*b0 + a1*b1 into an int32 lane). One packed-A load
+// covers a 4-row column of the tile; B pairs are stored as one int32 unit
+// per (k-pair, column) so a single pshufd broadcast feeds all four rows.
+// No intermediate overflow is possible: |a|,|b| <= 127 bounds each madd
+// term by 2*127*127 = 32258, and kMaxInt8Depth keeps the int32 total under
+// 2^24 so the final int32 -> float conversion is exact.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "autograd/gemm.hpp"
+
+namespace roadfusion::autograd::kernels {
+
+/// Largest reduction depth the int8 path accepts: K * 127 * 127 < 2^24
+/// keeps the int32 accumulator exactly representable as float, which the
+/// bitwise reference-vs-tiled parity guarantee relies on. Encoder shapes
+/// top out at K = 32*3*3 = 288, far inside the bound.
+inline constexpr int64_t kMaxInt8Depth = 1040;
+
+/// Symmetric scale for a channel with absolute maximum `amax`. Zero-range
+/// channels get scale 0: every value quantizes to 0 and dequantizes to an
+/// exact 0.0f, no special cases downstream.
+inline float quantize_scale(float amax) {
+  return amax > 0.0f ? amax / 127.0f : 0.0f;
+}
+
+/// Reciprocal used on the quantize side (multiply beats divide in the
+/// packing loops); 0 for zero-range scales so the product stays 0. A
+/// denormal-range channel whose reciprocal would overflow to +inf (and
+/// turn 0 * inv into NaN) also degrades to 0 — everything quantizes to 0
+/// and the round-trip error stays bounded by the (tiny) channel absmax.
+inline float quantize_inv(float scale) {
+  if (scale <= 0.0f) {
+    return 0.0f;
+  }
+  const float inv = 1.0f / scale;
+  return std::isinf(inv) ? 0.0f : inv;
+}
+
+/// Quantizes one value: scale to units of `1/inv`, clamp to the symmetric
+/// int8 range (static calibrated scales may under-cover a sample — values
+/// beyond the calibrated range SATURATE, they do not wrap), then round to
+/// nearest-even — the same rounding `_mm_cvtps_epi32` applies, keeping the
+/// scalar and SSE2 packing paths bit-identical.
+inline int8_t quantize_value(float x, float inv) {
+  float scaled = x * inv;
+  scaled = scaled > 127.0f ? 127.0f : scaled;
+  scaled = scaled < -127.0f ? -127.0f : scaled;
+  return static_cast<int8_t>(std::lrintf(scaled));
+}
+
+/// Absolute maximum over a contiguous buffer (SIMD where available) — the
+/// dynamic activation-range probe and the calibration observer.
+float tensor_absmax(const float* data, int64_t count);
+
+/// A weight matrix quantized once per inference epoch: per-row (= output
+/// channel) scales, a row-major int8 image for the reference kernel, and
+/// the pair-interleaved int16 panels the SSE2 kernel streams.
+///
+/// Panel layout: rows in groups of kMicroTileRows (zero-padded), the
+/// reduction in pairs; each (row-group, k-pair) contributes 8 int16 values
+/// [r0[2p], r0[2p+1], r1[2p], r1[2p+1], ...] — one aligned 16-byte load.
+/// Odd k pads the final pair with zeros. `scales` is padded to the row
+/// group so the dequant store can load 4 scales unconditionally.
+struct QuantizedWeights {
+  std::vector<int8_t> data;    ///< m x k row-major (reference kernel)
+  std::vector<int16_t> panels; ///< round_up(m,4)/4 x pairs(k) x 8 int16
+  std::vector<float> scales;   ///< round_up(m,4) per-row scales (pad: 0)
+  int64_t m = 0;
+  int64_t k = 0;
+};
+
+/// Quantizes a row-major (m, k) fp32 weight matrix with per-row absmax
+/// scales. One-time load-path cost, traced as "quant.pack_weights".
+QuantizedWeights quantize_weights(const float* w, int64_t m, int64_t k);
+
+/// Number of int32 pair-units `pack_activations_int8` writes for a (k, n)
+/// activation operand: ceil(k/2) pairs x round_up(n, 8) panel columns.
+int64_t packed_activation_units(int64_t k, int64_t n);
+
+/// Quantizes a row-major (k, n) fp32 activation matrix at per-tensor
+/// `scale` into the pair-unit layout of the SSE2 kernel: column panels of
+/// 8, each holding ceil(k/2) contiguous groups of 8 int32 units, where
+/// unit (p, j) packs int16 b[2p][j] in the low half and b[2p+1][j] (0 when
+/// 2p+1 == k) in the high half. Tail columns pad with zeros.
+void pack_activations_int8(const float* b, int64_t k, int64_t n, float scale,
+                           int32_t* out);
+
+/// Quantizes a row-major (k, n) fp32 activation matrix into a plain
+/// row-major int8 image — the reference kernel's operand.
+void quantize_activations(const float* b, int64_t count, float scale,
+                          int8_t* out);
+
+/// Reference int8 GEMM: C(m, n) = dequant(Wq x Bq) with Bq row-major
+/// (k, n), int32 accumulation, dequant `(float)acc * (w_scale[i] * act_scale)`
+/// and the epilogue applied scalar per element. The semantic anchor the
+/// tiled kernel must match bit-for-bit.
+void int8_gemm_reference(const QuantizedWeights& w, const int8_t* bq,
+                         int64_t n, float act_scale, float* c,
+                         const ConvEpilogue* epi);
+
+/// Tiled int8 GEMM over pair-packed activations (`pack_activations_int8`
+/// layout): 4x8 int32 accumulator tile via pmaddwd, overwrite store with
+/// the dequant + epilogue applied in registers. Bit-identical to
+/// `int8_gemm_reference` (integer accumulation is exact and the float op
+/// sequence matches). Scalar fallback on non-SSE2 builds.
+void int8_gemm_packed(const QuantizedWeights& w, const int32_t* bpack,
+                      int64_t n, float act_scale, float* c,
+                      const ConvEpilogue* epi);
+
+}  // namespace roadfusion::autograd::kernels

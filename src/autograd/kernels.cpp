@@ -66,6 +66,13 @@ const GemmBackend& active_backend() {
 
 std::atomic<uint64_t> im2col_calls{0};
 
+// Function-local so it is constant-initialized before any set_backend call
+// from another translation unit's static initializer.
+std::atomic<uint64_t>& backend_generation_counter() {
+  static std::atomic<uint64_t> generation{0};
+  return generation;
+}
+
 // Constant-initialized, so installation from another translation unit's
 // static initializer is ordered-safe.
 std::atomic<ConvForwardHook> conv_hook{nullptr};
@@ -138,9 +145,14 @@ void set_backend(const std::string& name) {
                             return names;
                           }() << ")");
   r.active.store(backend, std::memory_order_release);
+  backend_generation_counter().fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string backend_name() { return active_backend().name; }
+
+uint64_t backend_generation() {
+  return backend_generation_counter().load(std::memory_order_relaxed);
+}
 
 bool backend_is(std::string_view name) {
   return active_backend().name == name;

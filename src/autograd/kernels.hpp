@@ -53,6 +53,12 @@ std::string backend_name();
 /// Allocation-free name check of the active backend (hot-path safe).
 bool backend_is(std::string_view name);
 
+/// Monotone counter bumped by every set_backend() call. Caches whose
+/// contents depend on the active backend (the tune binding cache) compare
+/// this against the generation they were built at and drop themselves on
+/// mismatch. One relaxed atomic load — hot-path safe.
+uint64_t backend_generation();
+
 /// Names of every registered backend, registration order.
 std::vector<std::string> backend_names();
 

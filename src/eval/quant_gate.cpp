@@ -1,0 +1,55 @@
+#include "eval/quant_gate.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "quant/runtime.hpp"
+
+namespace roadfusion::eval {
+namespace {
+
+/// Restores process-wide quant state on every exit path (the evaluation
+/// passes run user model code that may throw).
+struct QuantStateReset {
+  ~QuantStateReset() {
+    quant::set_enabled(false);
+    quant::set_calibrating(false);
+    quant::clear_scale_table();
+    quant::clear_calibration();
+  }
+};
+
+}  // namespace
+
+QuantGateResult run_quant_gate(roadseg::SegmentationModel& net,
+                               const RoadData& dataset,
+                               const QuantGateConfig& config,
+                               const quant::ScaleTable* table) {
+  ROADFUSION_CHECK(dataset.size() > 0, "quant gate needs a non-empty split");
+  const QuantStateReset reset;
+
+  // Pass 1 — fp32 golden scores. With no caller-supplied table this pass
+  // doubles as calibration: the fp32 conv path reports every im2col
+  // matrix's absmax per problem key.
+  quant::set_enabled(false);
+  quant::clear_calibration();
+  quant::set_calibrating(table == nullptr);
+  QuantGateResult result;
+  result.fp32 = evaluate(net, dataset, config.eval).overall;
+  quant::set_calibrating(false);
+  result.table = table != nullptr ? *table : quant::calibration_table();
+
+  // Pass 2 — int8 with the scale table active.
+  quant::set_scale_table(result.table);
+  quant::set_enabled(true);
+  result.int8 = evaluate(net, dataset, config.eval).overall;
+
+  result.f_delta = std::abs(result.int8.f_score - result.fp32.f_score);
+  result.iou_delta = std::abs(result.int8.iou - result.fp32.iou);
+  result.passed = result.f_delta <= config.max_f_delta &&
+                  result.iou_delta <= config.max_iou_delta;
+  return result;
+}
+
+}  // namespace roadfusion::eval

@@ -1,0 +1,48 @@
+// Calibration-gated int8 accuracy check (DESIGN.md §13).
+//
+// The int8 inference path only ships behind an accuracy gate: calibrate
+// activation scales over a validation split, score the model fp32 and
+// int8 over the same split, and require the MaxF / IOU deltas to stay
+// within a hard threshold. `roadfusion calibrate` and the committed
+// end-to-end test both drive this one implementation.
+#pragma once
+
+#include "eval/evaluator.hpp"
+#include "quant/scale_table.hpp"
+
+namespace roadfusion::eval {
+
+struct QuantGateConfig {
+  EvalConfig eval;  ///< scoring options shared by both passes
+
+  /// Hard accuracy bounds, in percentage points of the overall score.
+  /// Symmetric int8 with per-channel weight scales loses well under one
+  /// point on the synthetic split; 2.0 leaves headroom for unlucky seeds
+  /// while still failing loudly on any real quantization defect (a
+  /// mis-scaled table shifts MaxF by tens of points — see the negative
+  /// test in tests/test_quant_gate.cpp).
+  double max_f_delta = 2.0;
+  double max_iou_delta = 2.0;
+};
+
+struct QuantGateResult {
+  quant::ScaleTable table;      ///< calibrated (or caller-supplied) scales
+  SegmentationScores fp32;      ///< overall fp32 scores
+  SegmentationScores int8;      ///< overall int8 scores with `table` active
+  double f_delta = 0.0;         ///< |int8 MaxF - fp32 MaxF|
+  double iou_delta = 0.0;       ///< |int8 IOU - fp32 IOU|
+  bool passed = false;          ///< both deltas within the config bounds
+};
+
+/// Runs the full gate: an fp32 evaluation pass over `dataset` (recording
+/// per-layer activation maxima unless `table` is supplied), then an int8
+/// pass with the scale table installed, then the delta check. Process-wide
+/// quant state is restored to "disabled, no table, no calibration" on
+/// return — the caller decides whether to re-enable with result.table.
+/// The network is left in eval mode.
+QuantGateResult run_quant_gate(roadseg::SegmentationModel& net,
+                               const RoadData& dataset,
+                               const QuantGateConfig& config = {},
+                               const quant::ScaleTable* table = nullptr);
+
+}  // namespace roadfusion::eval

@@ -7,6 +7,7 @@
 #include "autograd/kernels.hpp"
 #include "common/check.hpp"
 #include "obs/metrics.hpp"
+#include "quant/runtime.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
 #include "tune/dispatch.hpp"
@@ -43,11 +44,21 @@ obs::Counter& prepack_misses() {
   return counter;
 }
 
+// Conv inference calls served by the int8 quantized solvers (neither a
+// prepack hit nor a miss — quantized weights are their own cache).
+obs::Counter& int8_convs() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "roadfusion_int8_conv_total",
+      "Conv inference calls served by the int8 quantized path");
+  return counter;
+}
+
 // Eager registration so the counters show up in metrics dumps (and keep a
 // stable zero) even before the first inference call.
 [[maybe_unused]] const bool prepack_counters_registered = [] {
   prepack_hits();
   prepack_misses();
+  int8_convs();
   return true;
 }();
 
@@ -93,8 +104,10 @@ Variable Conv2d::forward(const Variable& x) const {
 
 std::shared_ptr<const Conv2d::InferCache> Conv2d::infer_cache() const {
   const uint64_t epoch = current_inference_epoch();
+  const bool quant_on = quant::enabled();
   std::shared_ptr<const InferCache> cache = std::atomic_load(&cache_);
-  if (cache != nullptr && cache->epoch == epoch) {
+  if (cache != nullptr && cache->epoch == epoch &&
+      cache->quantized == quant_on) {
     return cache;
   }
   // Cache tensors outlive any forward pass, so they must not draw from
@@ -109,6 +122,11 @@ std::shared_ptr<const Conv2d::InferCache> Conv2d::infer_cache() const {
     fresh->packed =
         kernels::prepack_a(fresh->wmat.raw(), ckk, 1, out_channels_, ckk);
     fresh->prepacked = true;
+  }
+  fresh->quantized = quant_on;
+  if (quant_on && ckk <= kernels::kMaxInt8Depth) {
+    fresh->qweights =
+        kernels::quantize_weights(fresh->wmat.raw(), out_channels_, ckk);
   }
   std::shared_ptr<const InferCache> ready = std::move(fresh);
   std::atomic_store(&cache_, ready);
@@ -147,6 +165,26 @@ Tensor Conv2d::forward_infer(const Tensor& x,
   problem.s = geom_.kernel;
   problem.stride = geom_.stride;
   problem.pad = geom_.padding;
+  // Calibration (fp32 passes only) and calibrated static scales both key
+  // on the CANONICAL fp32 problem string — the scale table identifies a
+  // layer's activation tensor, which does not depend on the serving dtype,
+  // so the key is built before the int8 re-keying below. Built once per
+  // forward, off the fp32 fast path.
+  const bool use_int8 = cache->quantized && cache->qweights.m > 0;
+  const bool calibrate = !use_int8 && quant::calibrating();
+  std::string problem_key;
+  if (calibrate || (use_int8 && quant::scale_table_size() > 0)) {
+    problem_key = problem.key();
+  }
+  // Quantized mode: key the problem as int8 so the int8 solvers bind.
+  // The reduction-depth guard matches quantize_weights' envelope; a layer
+  // outside it simply stays fp32.
+  if (use_int8) {
+    problem.dtype = "int8";
+  }
+  const float act_scale =
+      use_int8 && !problem_key.empty() ? quant::activation_scale(problem_key)
+                                       : 0.0f;
   const std::shared_ptr<const tune::Binding> binding =
       tune::bind(problem, cache->prepacked);
   if (binding->solver != nullptr) {
@@ -154,14 +192,23 @@ Tensor Conv2d::forward_infer(const Tensor& x,
     args.wmat = &cache->wmat;
     args.packed = cache->prepacked ? &cache->packed : nullptr;
     args.epi = has_epi ? &epi : nullptr;
+    args.qweights = use_int8 ? &cache->qweights : nullptr;
+    args.act_scale = act_scale;
     // "Hit" keeps its DESIGN.md §11 meaning: served by the fused
-    // pre-packed path (which only the prepacked solver runs).
-    obs::Counter& counter = binding->solver->wants_packed()
+    // pre-packed path (which only the prepacked solver runs); int8 calls
+    // count on their own meter.
+    obs::Counter& counter = use_int8 ? int8_convs()
+                            : binding->solver->wants_packed()
                                 ? prepack_hits()
                                 : prepack_misses();
     for (int64_t s = 0; s < batch; ++s) {
       const Tensor columns = kernels::im2col(
           x.raw() + s * in_channels_ * h * w, in_channels_, h, w, geom_);
+      if (calibrate) {
+        quant::observe_activation(
+            problem_key,
+            kernels::tensor_absmax(columns.raw(), columns.numel()));
+      }
       args.columns = &columns;
       args.out = out.raw() + s * out_channels_ * out_plane;
       tune::run(*binding, problem, args);
@@ -175,6 +222,11 @@ Tensor Conv2d::forward_infer(const Tensor& x,
   for (int64_t s = 0; s < batch; ++s) {
     const Tensor columns = kernels::im2col(
         x.raw() + s * in_channels_ * h * w, in_channels_, h, w, geom_);
+    if (calibrate) {
+      quant::observe_activation(
+          problem_key,
+          kernels::tensor_absmax(columns.raw(), columns.numel()));
+    }
     float* dst = out.raw() + s * out_channels_ * out_plane;
     if (fused) {
       kernels::gemm_prepacked(cache->packed, columns.raw(), out_plane,
@@ -292,12 +344,39 @@ Tensor ConvTranspose2d::forward_infer(const Tensor& x) const {
   const int64_t ckk = out_channels_ * geom_.kernel * geom_.kernel;
   const std::shared_ptr<const InferCache> cache = infer_cache();
   const bool fused = cache->prepacked && kernels::backend_is("blocked");
+  // Transposed problems dispatch through the solver registry like forward
+  // convs (tconv_* solvers); the raw B pointer keeps the prepacked
+  // solver's zero-copy plane-in-place path. Null binding = third-party
+  // GemmBackend: honor it through the legacy dispatch below.
+  tune::ConvProblem problem;
+  problem.transposed = true;
+  problem.c = in_channels_;
+  problem.h = h;
+  problem.w = w;
+  problem.k = out_channels_;
+  problem.r = geom_.kernel;
+  problem.s = geom_.kernel;
+  problem.stride = geom_.stride;
+  problem.pad = geom_.padding;
+  const std::shared_ptr<const tune::Binding> binding =
+      tune::bind(problem, cache->prepacked);
   // col2im accumulates, so the output must start zeroed.
   Tensor out(Shape::nchw(batch, out_channels_, out_h, out_w));
   for (int64_t s = 0; s < batch; ++s) {
     const float* x_plane = x.raw() + s * in_channels_ * in_plane;
     Tensor columns;
-    if (fused) {
+    if (binding->solver != nullptr) {
+      columns = Tensor::uninitialized(Shape::mat(ckk, in_plane));
+      tune::SolverArgs args;
+      args.wmat = &cache->wmat;
+      args.packed = cache->prepacked ? &cache->packed : nullptr;
+      args.b = x_plane;
+      args.ldb = in_plane;
+      args.out = columns.raw();
+      tune::run(*binding, problem, args);
+      (binding->solver->wants_packed() ? prepack_hits() : prepack_misses())
+          .inc();
+    } else if (fused) {
       // The sample plane is already a row-major (Cin, in_plane) matrix, so
       // the legacy path's copy into x_mat disappears entirely.
       columns = Tensor::uninitialized(Shape::mat(ckk, in_plane));

@@ -1,0 +1,141 @@
+#include "quant/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "autograd/int8_gemm.hpp"
+#include "common/env.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace roadfusion::quant {
+namespace {
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<bool> calibrating{false};
+  std::shared_ptr<const ScaleTable> table = std::make_shared<ScaleTable>();
+  std::mutex mutex;  // guards table swaps and the calibration map
+  std::map<std::string, float> observed;
+  std::once_flag env_once;
+};
+
+State& state() {
+  static State* instance = new State();
+  return *instance;
+}
+
+void init_from_env(State& s) {
+  const std::string value = env_string("ROADFUSION_QUANT", "");
+  if (value.empty()) {
+    return;
+  }
+  std::string lower = value;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (lower == "1" || lower == "true" || lower == "on" || lower == "yes") {
+    s.enabled.store(true, std::memory_order_relaxed);
+    log_info("quant: int8 inference enabled (dynamic activation scales)");
+    return;
+  }
+  if (lower == "0" || lower == "false" || lower == "off" || lower == "no") {
+    return;
+  }
+  const ScaleTableLoad load = load_scale_table_file(value);
+  if (!load.found || load.version_mismatch) {
+    log_info("quant: ROADFUSION_QUANT='", value,
+             "' is not a readable scale table; using dynamic scales");
+  } else {
+    if (load.skipped_lines > 0) {
+      log_info("quant: scale table '", value, "': skipped ",
+               load.skipped_lines, " corrupted line(s), kept ",
+               load.table.size(), " record(s)");
+    }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::atomic_store(&s.table,
+                      std::make_shared<const ScaleTable>(load.table));
+  }
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool enabled() {
+  State& s = state();
+  std::call_once(s.env_once, [&s] { init_from_env(s); });
+  return s.enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  State& s = state();
+  std::call_once(s.env_once, [&s] { init_from_env(s); });
+  s.enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_scale_table(ScaleTable table) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::atomic_store(&s.table,
+                    std::make_shared<const ScaleTable>(std::move(table)));
+}
+
+void clear_scale_table() { set_scale_table(ScaleTable{}); }
+
+size_t scale_table_size() {
+  State& s = state();
+  return std::atomic_load(&s.table)->size();
+}
+
+float activation_scale(const std::string& problem_key) {
+  State& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) {
+    return 0.0f;
+  }
+  const std::shared_ptr<const ScaleTable> table = std::atomic_load(&s.table);
+  const float* scale = table->find(problem_key);
+  return scale != nullptr ? *scale : 0.0f;
+}
+
+bool calibrating() {
+  return state().calibrating.load(std::memory_order_relaxed);
+}
+
+void set_calibrating(bool on) {
+  state().calibrating.store(on, std::memory_order_relaxed);
+}
+
+void observe_activation(const std::string& problem_key, float amax) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  float& seen = s.observed[problem_key];
+  seen = std::max(seen, amax);
+  obs::MetricsRegistry::global()
+      .counter("roadfusion_quant_calibration_observations_total",
+               "Activation-range observations recorded during calibration")
+      .inc();
+}
+
+std::map<std::string, float> calibration_absmax() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.observed;
+}
+
+void clear_calibration() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.observed.clear();
+}
+
+ScaleTable calibration_table() {
+  ScaleTable table;
+  for (const auto& [key, amax] : calibration_absmax()) {
+    table.set(key, autograd::kernels::quantize_scale(amax));
+  }
+  return table;
+}
+
+}  // namespace roadfusion::quant

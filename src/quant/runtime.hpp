@@ -1,0 +1,59 @@
+// Process-wide int8 quantized-inference state (DESIGN.md §13).
+//
+// Three pieces of state, all safe to read from serving threads:
+//
+//  - the `enabled` flag: when set, Conv2d keys its dispatch problems with
+//    dtype "int8", binding the int8 solvers. Toggling it self-heals the
+//    per-layer inference caches (they remember which mode built them) —
+//    no epoch bump needed.
+//  - the active scale table: calibrated per-tensor activation scales by
+//    conv problem key, swapped atomically (copy-on-write like the
+//    dispatcher's binding map). Layers read it lock-free per call; a key
+//    with no record quantizes dynamically from that call's absmax.
+//  - calibration recording: when on, Conv2d's fp32 path reports each
+//    im2col matrix's absmax per problem key; `calibration_table()` folds
+//    the running maxima into a ScaleTable (absmax/127).
+//
+// Environment pickup (first `enabled()` call, mirrors the dispatcher):
+// ROADFUSION_QUANT=1/true/on/yes enables dynamic-scale quantization; any
+// other non-empty value is a scale-table path to load and enable. The CLI
+// `--quant FILE` flag routes through the same setters, but loudly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "quant/scale_table.hpp"
+
+namespace roadfusion::quant {
+
+/// Whether int8 inference is on. Hot-path cheap (one relaxed atomic load
+/// after the one-time env pickup).
+bool enabled();
+void set_enabled(bool on);
+
+/// Installs/clears the calibrated activation scale table.
+void set_scale_table(ScaleTable table);
+void clear_scale_table();
+size_t scale_table_size();
+
+/// The calibrated per-tensor activation scale for a conv problem key, or
+/// 0 when quantization is disabled, no table is loaded, or the key has no
+/// record — 0 tells the solver to quantize dynamically.
+float activation_scale(const std::string& problem_key);
+
+/// Calibration recording mode. While on, the fp32 inference path calls
+/// observe_activation once per (layer, sample); the table derives from
+/// the running per-key absolute maxima.
+bool calibrating();
+void set_calibrating(bool on);
+void observe_activation(const std::string& problem_key, float amax);
+std::map<std::string, float> calibration_absmax();
+void clear_calibration();
+
+/// Folds the recorded maxima into a scale table: scale = absmax / 127 per
+/// observed key (0 for zero-range keys — dynamic at serve time).
+ScaleTable calibration_table();
+
+}  // namespace roadfusion::quant

@@ -1,0 +1,142 @@
+#include "quant/scale_table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tune/problem.hpp"
+
+namespace roadfusion::quant {
+namespace {
+
+constexpr const char* kMagic = "RFQT1";
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool tagged_value(const std::string& token, const char* tag,
+                  std::string& out) {
+  const size_t tag_len = std::char_traits<char>::length(tag);
+  if (token.size() <= tag_len || token.compare(0, tag_len, tag) != 0 ||
+      token[tag_len] != '=') {
+    return false;
+  }
+  out = token.substr(tag_len + 1);
+  return true;
+}
+
+}  // namespace
+
+void ScaleTable::set(const std::string& problem_key, float scale) {
+  records_[problem_key] = scale;
+}
+
+const float* ScaleTable::find(const std::string& problem_key) const {
+  const auto it = records_.find(problem_key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string ScaleTable::serialize() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  for (const auto& [key, scale] : records_) {
+    // %.9g prints every float exactly — serialize/parse round-trips the
+    // stored value bit-for-bit, which the quant tests pin.
+    char value[48];
+    std::snprintf(value, sizeof(value), "%.9g", static_cast<double>(scale));
+    out << key << " scale=" << value << "\n";
+  }
+  return out.str();
+}
+
+void ScaleTable::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    ROADFUSION_CHECK(out.good(), "scale table: cannot open '"
+                                     << tmp << "' for writing");
+    out << serialize();
+    out.flush();
+    ROADFUSION_CHECK(out.good(), "scale table: write to '" << tmp
+                                                           << "' failed");
+  }
+  ROADFUSION_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "scale table: rename '" << tmp << "' -> '" << path
+                                           << "' failed");
+}
+
+ScaleTableLoad load_scale_table_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return {};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scale_table(text.str());
+}
+
+ScaleTableLoad parse_scale_table(const std::string& text) {
+  ScaleTableLoad result;
+  result.found = true;  // the text is on hand; only file reads can miss
+  std::istringstream stream(text);
+  std::string line;
+
+  if (!std::getline(stream, line)) {
+    result.version_mismatch = true;
+    return result;
+  }
+  const std::vector<std::string> header = tokenize(line);
+  if (header.empty() || header[0] != kMagic) {
+    result.version_mismatch = true;
+    return result;
+  }
+
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (!tune::ConvProblem::parse_key(tokens[0]).has_value()) {
+      ++result.skipped_lines;
+      continue;
+    }
+    bool have_scale = false;
+    bool corrupt = false;
+    float scale = 0.0f;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      std::string value;
+      if (tagged_value(tokens[i], "scale", value)) {
+        try {
+          scale = std::stof(value);
+          have_scale = std::isfinite(scale) && scale >= 0.0f;
+        } catch (...) {
+          corrupt = true;
+        }
+      } else {
+        corrupt = true;  // unknown field: treat the line as damaged
+      }
+    }
+    if (!have_scale || corrupt) {
+      ++result.skipped_lines;
+      continue;
+    }
+    result.table.set(tokens[0], scale);
+  }
+  return result;
+}
+
+}  // namespace roadfusion::quant

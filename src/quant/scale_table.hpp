@@ -1,0 +1,61 @@
+// Versioned activation scale table — the on-disk artifact of calibration.
+//
+// The same deliberately simple text format family as the perf DB
+// (tune/perf_db.hpp), magic RFQT1:
+//
+//   RFQT1
+//   # optional comment lines
+//   <problem-key> scale=<float>
+//
+// One record per conv problem key: the per-tensor symmetric int8 scale of
+// that layer's im2col activations, computed by `roadfusion calibrate` as
+// absmax/127 over the calibration split. Unlike the perf DB there is no
+// CPU signature — scales depend on the model and data, not the machine.
+// Records whose key fails ConvProblem::parse_key or whose scale is
+// missing, non-numeric, negative or non-finite are skipped and counted,
+// never fatal; an unrecognized header invalidates the whole file. Writes
+// go through a temp file + atomic rename. A scale of 0 is valid and means
+// "quantize dynamically" (a zero-range calibration observation).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace roadfusion::quant {
+
+class ScaleTable {
+ public:
+  void set(const std::string& problem_key, float scale);
+  /// nullptr when the key has no calibrated scale.
+  const float* find(const std::string& problem_key) const;
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::map<std::string, float>& records() const { return records_; }
+
+  /// Header + records, sorted by problem key — serialize/parse round-trips
+  /// byte-identically.
+  std::string serialize() const;
+
+  /// Atomic write: serialize to `path + ".tmp"`, then rename over `path`.
+  /// Throws roadfusion::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::map<std::string, float> records_;
+};
+
+struct ScaleTableLoad {
+  ScaleTable table;
+  bool found = false;             ///< the file existed and was readable
+  bool version_mismatch = false;  ///< header magic is not RFQT1
+  size_t skipped_lines = 0;       ///< corrupted record lines dropped
+};
+
+/// Reads `path`; a missing file yields an empty result with found=false.
+ScaleTableLoad load_scale_table_file(const std::string& path);
+
+/// Parses table text (the testable core of load_scale_table_file()).
+ScaleTableLoad parse_scale_table(const std::string& text);
+
+}  // namespace roadfusion::quant

@@ -41,6 +41,11 @@ struct State {
   std::mutex mutex;
   std::shared_ptr<const BindingMap> bindings =
       std::make_shared<const BindingMap>();
+  /// kernels::backend_generation() at which `bindings` was built. Heuristic
+  /// resolution reads the active GemmBackend, so a set_backend() call makes
+  /// every cached binding stale — bind() compares generations and drops the
+  /// map wholesale on mismatch.
+  std::atomic<uint64_t> generation{0};
   PerfDb db;
   std::string forced;
   bool recording = false;
@@ -76,26 +81,9 @@ bool usable(const Solver* solver, const ConvProblem& problem,
          solver->is_applicable(problem);
 }
 
-/// Heuristic fallback, gated on the legacy GemmBackend so existing
-/// configurations keep their exact behavior: "reference" pins the
-/// reference solver, "blocked" picks the cheapest estimate() (the fused
-/// pre-packed path where available, the blocked loop otherwise), and any
-/// other registered backend gets a null binding — the call site then runs
-/// the legacy kernels::gemm() dispatch, which is what keeps third-party
-/// GemmBackend registrations working.
-Binding heuristic_binding(const ConvProblem& problem, bool packed_available) {
+/// Cheapest estimate() among the usable solvers; null when none apply.
+Binding cheapest_binding(const ConvProblem& problem, bool packed_available) {
   Binding binding;
-  if (ag::backend_is("reference")) {
-    const Solver* reference = find_solver("reference");
-    if (usable(reference, problem, packed_available)) {
-      binding.solver = reference;
-      binding.source = BindingSource::kHeuristic;
-    }
-    return binding;
-  }
-  if (!ag::backend_is("blocked")) {
-    return binding;
-  }
   double best_cost = 0.0;
   for (const Solver* solver : solvers()) {
     if (!usable(solver, problem, packed_available)) {
@@ -109,6 +97,36 @@ Binding heuristic_binding(const ConvProblem& problem, bool packed_available) {
     }
   }
   return binding;
+}
+
+/// Heuristic fallback, gated on the legacy GemmBackend so existing
+/// configurations keep their exact behavior: "reference" pins the
+/// reference solver (the transposed-form reference for decoder problems),
+/// "blocked" picks the cheapest estimate() (the fused pre-packed path
+/// where available, the blocked loop otherwise), and any other registered
+/// backend gets a null binding — the call site then runs the legacy
+/// kernels::gemm() dispatch, which is what keeps third-party GemmBackend
+/// registrations working. Int8 problems skip the backend gate entirely:
+/// quantized inference has no legacy path to defer to, so the cheapest
+/// applicable int8 solver binds under every backend.
+Binding heuristic_binding(const ConvProblem& problem, bool packed_available) {
+  if (problem.dtype == "int8") {
+    return cheapest_binding(problem, packed_available);
+  }
+  if (ag::backend_is("reference")) {
+    Binding binding;
+    const Solver* reference =
+        find_solver(problem.transposed ? "tconv_reference" : "reference");
+    if (usable(reference, problem, packed_available)) {
+      binding.solver = reference;
+      binding.source = BindingSource::kHeuristic;
+    }
+    return binding;
+  }
+  if (!ag::backend_is("blocked")) {
+    return Binding{};
+  }
+  return cheapest_binding(problem, packed_available);
 }
 
 /// Caller holds state().mutex. Resolution order: force > DB > heuristic.
@@ -200,6 +218,16 @@ std::shared_ptr<const Binding> bind(const ConvProblem& problem,
                                     bool packed_available) {
   State& s = state();
   std::call_once(s.env_once, [&s] { init_from_env(s); });
+  // A backend switch invalidates every heuristic binding (the resolver is
+  // gated on the active backend). Steady state pays one relaxed load.
+  const uint64_t generation = ag::backend_generation();
+  if (s.generation.load(std::memory_order_acquire) != generation) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.generation.load(std::memory_order_relaxed) != generation) {
+      drop_bindings_locked(s);
+      s.generation.store(generation, std::memory_order_release);
+    }
+  }
   const CacheKey key{problem, packed_available};
   {
     const std::shared_ptr<const BindingMap> map = std::atomic_load(&s.bindings);

@@ -15,8 +15,9 @@
 // Hot-path contract: after the first call per (problem, packed) pair, a
 // bind() is one shared_ptr atomic load plus a hash lookup — no allocation,
 // preserving the zero-allocation steady state pinned by test_workspace.
-// Loading a DB, forcing a solver, or ROADFUSION_PERF_DB changing between
-// runs invalidates the cache wholesale (atomic map swap).
+// Loading a DB, forcing a solver, or switching the legacy GemmBackend
+// invalidates the cache wholesale (atomic map swap): heuristic bindings
+// are gated on the active backend, so they must not outlive it.
 #pragma once
 
 #include <memory>

@@ -42,7 +42,8 @@ bool ConvProblem::valid() const {
 std::string ConvProblem::key() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "conv-n%lld-c%lld-h%lld-w%lld-k%lld-r%lld-s%lld-st%lld-p%lld-%s",
+                "%s-n%lld-c%lld-h%lld-w%lld-k%lld-r%lld-s%lld-st%lld-p%lld-%s",
+                transposed ? "convt" : "conv",
                 static_cast<long long>(n), static_cast<long long>(c),
                 static_cast<long long>(h), static_cast<long long>(w),
                 static_cast<long long>(k), static_cast<long long>(r),
@@ -54,10 +55,14 @@ std::string ConvProblem::key() const {
 std::optional<ConvProblem> ConvProblem::parse_key(const std::string& key) {
   ConvProblem p;
   size_t pos = 0;
-  if (key.compare(pos, 5, "conv-") != 0) {
+  if (key.compare(pos, 6, "convt-") == 0) {
+    p.transposed = true;
+    pos += 6;
+  } else if (key.compare(pos, 5, "conv-") == 0) {
+    pos += 5;
+  } else {
     return std::nullopt;
   }
-  pos += 5;
   if (!consume_field(key, pos, "n", p.n) ||
       !consume_field(key, pos, "c", p.c) ||
       !consume_field(key, pos, "h", p.h) ||
@@ -97,6 +102,7 @@ size_t ConvProblemHash::operator()(const ConvProblem& p) const {
   mix(static_cast<uint64_t>(p.s));
   mix(static_cast<uint64_t>(p.stride));
   mix(static_cast<uint64_t>(p.pad));
+  mix(p.transposed ? 1u : 0u);
   for (const char ch : p.dtype) {
     h ^= static_cast<unsigned char>(ch);
     h *= 1099511628211ull;

@@ -27,19 +27,32 @@ struct ConvProblem {
   int64_t s = 3;         ///< filter width (== r for this repository)
   int64_t stride = 1;
   int64_t pad = 0;
-  // Element type tag. Only "fp32" exists today; the field is part of the
-  // key so int8/NCHWc solvers (ROADMAP items 1 and 5) slot in without a DB
-  // format change. Always short enough for SSO — constructing a ConvProblem
-  // on the inference hot path does not allocate.
+  // Element type tag. "fp32" and "int8" exist today; the field is part of
+  // the key so reduced-precision solvers slot in without a DB format
+  // change. Always short enough for SSO — constructing a ConvProblem on
+  // the inference hot path does not allocate.
   std::string dtype = "fp32";
+  // Transposed convolution (decoder upsampling). Keys get a "convt-"
+  // prefix; c/h/w still describe the INPUT tensor and k the output
+  // channels, but the lowered GEMM flips: wmat^T (c, k*r*s) times the
+  // input plane (c, h*w).
+  bool transposed = false;
 
-  int64_t out_h() const { return (h + 2 * pad - r) / stride + 1; }
-  int64_t out_w() const { return (w + 2 * pad - s) / stride + 1; }
+  int64_t out_h() const {
+    return transposed ? (h - 1) * stride - 2 * pad + r
+                      : (h + 2 * pad - r) / stride + 1;
+  }
+  int64_t out_w() const {
+    return transposed ? (w - 1) * stride - 2 * pad + s
+                      : (w + 2 * pad - s) / stride + 1;
+  }
 
-  /// The GEMM this conv lowers to: (k, c*r*s) x (c*r*s, out_h*out_w).
-  int64_t gemm_m() const { return k; }
-  int64_t gemm_k() const { return c * r * s; }
-  int64_t gemm_n() const { return out_h() * out_w(); }
+  /// The GEMM this conv lowers to. Forward: (k, c*r*s) x (c*r*s, oh*ow).
+  /// Transposed: (k*r*s, c) x (c, h*w) — the columns-producing A^T form,
+  /// whose output col2im then scatters.
+  int64_t gemm_m() const { return transposed ? k * r * s : k; }
+  int64_t gemm_k() const { return transposed ? c : c * r * s; }
+  int64_t gemm_n() const { return transposed ? h * w : out_h() * out_w(); }
 
   /// Multiply-accumulates of one sample's GEMM.
   int64_t macs() const { return gemm_m() * gemm_k() * gemm_n(); }
@@ -47,11 +60,13 @@ struct ConvProblem {
   /// All extents positive and the geometry yields a non-empty output.
   bool valid() const;
 
-  /// Canonical key string, e.g. "conv-n1-c3-h32-w96-k8-r3-s3-st1-p1-fp32".
-  /// This is the perf DB's record key; it contains no whitespace.
+  /// Canonical key string, e.g. "conv-n1-c3-h32-w96-k8-r3-s3-st1-p1-fp32"
+  /// ("convt-..." for transposed problems). This is the perf DB's record
+  /// key; it contains no whitespace.
   std::string key() const;
 
-  /// Inverse of key(); nullopt on any malformed or non-"conv-" string.
+  /// Inverse of key(); nullopt on any malformed string that starts with
+  /// neither "conv-" nor "convt-".
   static std::optional<ConvProblem> parse_key(const std::string& key);
 
   bool operator==(const ConvProblem& other) const = default;

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
 
 namespace roadfusion::tune {
 namespace {
@@ -50,7 +51,46 @@ void store_with_epilogue(const Tensor& res, const ConvProblem& problem,
 }
 
 bool fp32_and_valid(const ConvProblem& problem) {
-  return problem.dtype == "fp32" && problem.valid();
+  return problem.dtype == "fp32" && !problem.transposed && problem.valid();
+}
+
+bool fp32_transposed(const ConvProblem& problem) {
+  return problem.dtype == "fp32" && problem.transposed && problem.valid();
+}
+
+/// Int8 is offered for forward conv problems whose reduction depth keeps
+/// the int32 accumulator exactly float-representable (see kMaxInt8Depth).
+bool int8_and_valid(const ConvProblem& problem) {
+  return problem.dtype == "int8" && !problem.transposed && problem.valid() &&
+         problem.gemm_k() <= ag::kMaxInt8Depth;
+}
+
+/// The per-tensor activation scale of one int8 GEMM call: the calibrated
+/// static scale when the caller has one, else the dynamic absmax of this
+/// call's im2col matrix. Both int8 solvers share this (and the
+/// quantize_value rounding), so their quantized operands — and, with exact
+/// int32 accumulation, their outputs — are bit-identical.
+float int8_activation_scale(const SolverArgs& args) {
+  if (args.act_scale > 0.0f) {
+    return args.act_scale;
+  }
+  return ag::quantize_scale(
+      ag::tensor_absmax(args.columns->raw(), args.columns->numel()));
+}
+
+/// Copies the raw transposed-problem B operand into a contiguous tensor —
+/// the operand shape the legacy (non-fused) decoder GEMMs consumed.
+Tensor materialize_b(const SolverArgs& args, int64_t k, int64_t n) {
+  Tensor b = Tensor::uninitialized(t::Shape::mat(k, n));
+  if (args.ldb == n) {
+    std::memcpy(b.raw(), args.b, sizeof(float) * static_cast<size_t>(k * n));
+  } else {
+    for (int64_t row = 0; row < k; ++row) {
+      std::memcpy(b.raw() + row * n, args.b + row * args.ldb,
+                  sizeof(float) * static_cast<size_t>(n));
+    }
+  }
+  return b;
 }
 
 class ReferenceSolver final : public Solver {
@@ -168,6 +208,155 @@ class PrepackedSolver final : public Solver {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Int8 solvers (DESIGN.md §13). Weights come pre-quantized from the layer
+// cache (args.qweights); each run quantizes this call's activations at the
+// shared per-tensor scale. Exact int32 accumulation makes the two variants
+// bit-identical, so the int8 golden-mask hash is solver-independent.
+// ---------------------------------------------------------------------------
+
+class Int8ReferenceSolver final : public Solver {
+ public:
+  const char* name() const override { return "int8_reference"; }
+  const char* span_name() const override { return "solver.int8_reference"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return int8_and_valid(problem);
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    return 1.0 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.qweights != nullptr,
+                     "int8_reference bound without quantized weights");
+    const int64_t k = problem.gemm_k();
+    const int64_t n = args.columns->shape().dim(1);
+    const float scale = int8_activation_scale(args);
+    // The int8 image rides a float tensor (workspace-arena allocated on
+    // the planned path): k*n bytes fit in ceil(k*n/4) floats.
+    Tensor bq = Tensor::uninitialized(t::Shape::vec((k * n + 3) / 4));
+    int8_t* bq_raw = reinterpret_cast<int8_t*>(bq.raw());
+    ag::quantize_activations(args.columns->raw(), k * n, scale, bq_raw);
+    ag::int8_gemm_reference(*args.qweights, bq_raw, n, scale, args.out,
+                            args.epi);
+  }
+};
+
+class Int8BlockedSolver final : public Solver {
+ public:
+  const char* name() const override { return "int8_blocked"; }
+  const char* span_name() const override { return "solver.int8_blocked"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return int8_and_valid(problem);
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    // pmaddwd retires two k-steps per lane; markedly cheaper than any
+    // fp32 path, but only int8 solvers ever compete on an int8 key.
+    return 0.20 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.qweights != nullptr,
+                     "int8_blocked bound without quantized weights");
+    const int64_t k = problem.gemm_k();
+    const int64_t n = args.columns->shape().dim(1);
+    const float scale = int8_activation_scale(args);
+    const int64_t units = ag::packed_activation_units(k, n);
+    Tensor bpack = Tensor::uninitialized(t::Shape::vec(units));
+    int32_t* bpack_raw = reinterpret_cast<int32_t*>(bpack.raw());
+    ag::pack_activations_int8(args.columns->raw(), k, n, scale, bpack_raw);
+    ag::int8_gemm_packed(*args.qweights, bpack_raw, n, scale, args.out,
+                         args.epi);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Transposed-conv solvers: the decoder's columns = wmat^T (c, k*r*s) x
+// input plane (c, h*w) GEMM, previously hard-wired in ConvTranspose2d.
+// Each wraps one legacy form bit-identically; col2im + bias stay in the
+// layer.
+// ---------------------------------------------------------------------------
+
+class TConvReferenceSolver final : public Solver {
+ public:
+  const char* name() const override { return "tconv_reference"; }
+  const char* span_name() const override { return "solver.tconv_reference"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_transposed(problem);
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    return 1.0 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.b != nullptr, "tconv_reference bound without B");
+    const Tensor b = materialize_b(args, problem.gemm_k(), problem.gemm_n());
+    store_with_epilogue(t::matmul_at(*args.wmat, b), problem, args);
+  }
+};
+
+class TConvBlockedSolver final : public Solver {
+ public:
+  const char* name() const override { return "tconv_blocked"; }
+  const char* span_name() const override { return "solver.tconv_blocked"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_transposed(problem) &&
+           problem.gemm_m() >= ag::kMicroTileRows;
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    return 0.45 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.b != nullptr, "tconv_blocked bound without B");
+    const Tensor b = materialize_b(args, problem.gemm_k(), problem.gemm_n());
+    store_with_epilogue(ag::blocked_matmul_at(*args.wmat, b), problem, args);
+  }
+};
+
+class TConvPrepackedSolver final : public Solver {
+ public:
+  const char* name() const override { return "tconv_prepacked"; }
+  const char* span_name() const override { return "solver.tconv_prepacked"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_transposed(problem) &&
+           ag::prepack_viable(problem.gemm_m(), problem.gemm_k());
+  }
+
+  bool wants_packed() const override { return true; }
+
+  double estimate(const ConvProblem& problem) const override {
+    return 0.40 * static_cast<double>(problem.macs());
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.packed != nullptr && args.b != nullptr,
+                     "tconv_prepacked bound without packed weights or B");
+    const int64_t n = problem.gemm_n();
+    ag::gemm_prepacked(*args.packed, args.b, args.ldb, n, args.out, n,
+                       args.epi);
+  }
+};
+
 }  // namespace
 
 const std::vector<const Solver*>& solvers() {
@@ -176,8 +365,15 @@ const std::vector<const Solver*>& solvers() {
   static const PrepackedSolver prepacked;
   static const BlockedSolver mt2{"blocked_mt2", "solver.blocked_mt2", 2};
   static const BlockedSolver mt4{"blocked_mt4", "solver.blocked_mt4", 4};
-  static const std::vector<const Solver*> all{&reference, &blocked, &prepacked,
-                                              &mt2, &mt4};
+  static const Int8ReferenceSolver int8_reference;
+  static const Int8BlockedSolver int8_blocked;
+  static const TConvReferenceSolver tconv_reference;
+  static const TConvBlockedSolver tconv_blocked;
+  static const TConvPrepackedSolver tconv_prepacked;
+  static const std::vector<const Solver*> all{
+      &reference,       &blocked,      &prepacked,        &mt2,
+      &mt4,             &int8_reference, &int8_blocked,
+      &tconv_reference, &tconv_blocked, &tconv_prepacked};
   return all;
 }
 

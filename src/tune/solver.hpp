@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "autograd/gemm.hpp"
+#include "autograd/int8_gemm.hpp"
 #include "tensor/tensor.hpp"
 #include "tune/problem.hpp"
 
@@ -28,16 +29,30 @@ namespace roadfusion::tune {
 
 using autograd::kernels::ConvEpilogue;
 using autograd::kernels::PackedA;
+using autograd::kernels::QuantizedWeights;
 using tensor::Tensor;
 
-/// Operand set of one lowered conv-forward GEMM (one sample):
-/// out = wmat * columns, with the optional epilogue applied to out.
+/// Operand set of one lowered conv GEMM (one sample). Forward problems:
+/// out = wmat * columns (+ epilogue). Transposed problems: out = wmat^T *
+/// B, with B addressed raw (`b`/`ldb`) so the decoder's zero-copy
+/// plane-in-place path survives solver dispatch. Int8 problems consume
+/// `qweights` (+ `act_scale`) instead of wmat/packed.
 struct SolverArgs {
   const Tensor* wmat = nullptr;     ///< (K, C*R*S) row-major weights
   const PackedA* packed = nullptr;  ///< pre-packed wmat panels, or null
   const Tensor* columns = nullptr;  ///< im2col matrix (C*R*S, Ho*Wo)
-  float* out = nullptr;             ///< (K, Ho*Wo) contiguous, overwritten
+  float* out = nullptr;             ///< (gemm_m, gemm_n) contiguous
   const ConvEpilogue* epi = nullptr;  ///< optional fused post-ops
+  /// Int8 problems: per-channel quantized weights from the layer's
+  /// inference cache, and the calibrated per-tensor activation scale
+  /// (0 = quantize dynamically from this call's absmax).
+  const QuantizedWeights* qweights = nullptr;
+  float act_scale = 0.0f;
+  /// Transposed problems: the raw (gemm_k, gemm_n) B operand and its row
+  /// stride — a view into the sample's input plane, never copied by the
+  /// prepacked solver.
+  const float* b = nullptr;
+  int64_t ldb = 0;
 };
 
 class Solver {

@@ -38,17 +38,36 @@ double benchmark_solver(const Solver& solver, const ConvProblem& problem,
   const int64_t k = problem.gemm_k();
   const int64_t n = problem.gemm_n();
   Rng rng(17);
-  const Tensor wmat = Tensor::normal(Shape::mat(m, k), rng);
+  // Transposed problems store A as the (k, m) source the decoder holds —
+  // wmat^T — and hand B to the solver raw, like the layer does.
+  const Tensor wmat = problem.transposed
+                          ? Tensor::normal(Shape::mat(k, m), rng)
+                          : Tensor::normal(Shape::mat(m, k), rng);
   const Tensor columns = Tensor::normal(Shape::mat(k, n), rng);
   Tensor out = Tensor::uninitialized(Shape::mat(m, n));
 
   PackedA packed;
+  QuantizedWeights qweights;
   SolverArgs args;
   args.wmat = &wmat;
   args.columns = &columns;
   args.out = out.raw();
+  if (problem.transposed) {
+    args.b = columns.raw();
+    args.ldb = n;
+  }
+  if (problem.dtype == "int8") {
+    qweights = ag::quantize_weights(wmat.raw(), m, k);
+    args.qweights = &qweights;
+    // Measure the calibrated-serving configuration: a static activation
+    // scale skips the per-call absmax probe, exactly like serving with a
+    // scale table. Dynamic-scale serving pays one extra O(k*n) scan.
+    args.act_scale =
+        ag::quantize_scale(ag::tensor_absmax(columns.raw(), k * n));
+  }
   if (solver.wants_packed()) {
-    packed = ag::prepack_a(wmat.raw(), k, 1, m, k);
+    packed = problem.transposed ? ag::prepack_a(wmat.raw(), 1, m, m, k)
+                                : ag::prepack_a(wmat.raw(), k, 1, m, k);
     args.packed = &packed;
   }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "autograd/kernels.hpp"
+#include "core/fusion_scheme.hpp"
+#include "quant/runtime.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "tensor/tensor.hpp"
 #include "tune/dispatch.hpp"
@@ -39,11 +41,20 @@ uint64_t fnv1a(const std::vector<uint8_t>& bytes) {
 // run this test and copy the hash printed in the failure message.
 constexpr uint64_t kGoldenMaskHash = 0x680d27ae7ceb1800ull;
 
-std::vector<uint8_t> predict_mask(const std::string& backend) {
+std::vector<uint8_t> predict_mask_scheme(const std::string& backend,
+                                         core::FusionScheme scheme,
+                                         bool int8_mode) {
   const std::string previous = autograd::kernels::backend_name();
   autograd::kernels::set_backend(backend);
+  if (int8_mode) {
+    // Empty scale table: every conv quantizes activations dynamically
+    // from its own absmax — fully deterministic, no calibration input.
+    quant::clear_scale_table();
+    quant::set_enabled(true);
+  }
   Rng rng(2022);
   RoadSegConfig config;
+  config.scheme = scheme;
   config.stage_channels = {6, 8, 10, 12, 16};
   RoadSegNet net(config, rng);
   net.set_training(false);
@@ -56,8 +67,16 @@ std::vector<uint8_t> predict_mask(const std::string& backend) {
   for (int64_t i = 0; i < probability.numel(); ++i) {
     mask.push_back(probability.at(i) >= 0.5f ? 1 : 0);
   }
+  if (int8_mode) {
+    quant::set_enabled(false);
+  }
   autograd::kernels::set_backend(previous);
   return mask;
+}
+
+std::vector<uint8_t> predict_mask(const std::string& backend) {
+  RoadSegConfig defaults;
+  return predict_mask_scheme(backend, defaults.scheme, /*int8_mode=*/false);
 }
 
 TEST(GoldenInference, MaskBitStableAcrossBackends) {
@@ -93,6 +112,61 @@ TEST(GoldenInference, MaskBitStableUnderEveryRegisteredSolver) {
     EXPECT_EQ(fnv1a(mask), kGoldenMaskHash)
         << "solver '" << name << "' changes the golden mask";
   }
+}
+
+// Second golden family (DESIGN.md §13): the int8 inference path with
+// dynamic activation scales is fully deterministic — quantization uses
+// round-to-nearest-even off each call's exact absmax — so its thresholded
+// mask is pinned per fusion scheme, exactly like the fp32 hash above. A
+// quantization-semantics change (scale math, rounding, epilogue order)
+// trips this without touching the fp32 golden.
+struct SchemeGolden {
+  core::FusionScheme scheme;
+  const char* name;
+  uint64_t hash;
+};
+
+constexpr SchemeGolden kInt8GoldenMasks[] = {
+    {core::FusionScheme::kBaseline, "baseline", 0xde1a68dd1bd7e0b8ull},
+    {core::FusionScheme::kAllFilterU, "all_filter_u", 0x1fa357729af8e242ull},
+    {core::FusionScheme::kAllFilterB, "all_filter_b", 0x32bdfeae410b80a5ull},
+    {core::FusionScheme::kBaseSharing, "base_sharing", 0xefb78354e7fbe352ull},
+    {core::FusionScheme::kWeightedSharing, "weighted_sharing",
+     0xe8bd49d61328a6d9ull},
+};
+
+TEST(GoldenInference, Int8MaskMatchesCheckedInChecksumPerScheme) {
+  for (const SchemeGolden& golden : kInt8GoldenMasks) {
+    SCOPED_TRACE(golden.name);
+    const std::vector<uint8_t> reference =
+        predict_mask_scheme("reference", golden.scheme, /*int8_mode=*/true);
+    const std::vector<uint8_t> blocked =
+        predict_mask_scheme("blocked", golden.scheme, /*int8_mode=*/true);
+    EXPECT_EQ(reference, blocked)
+        << "int8 masks must be identical across kernel backends";
+    const uint64_t hash = fnv1a(reference);
+    EXPECT_EQ(hash, golden.hash)
+        << "int8 mask hash for scheme '" << golden.name << "' changed: 0x"
+        << std::hex << hash
+        << " — if quantization semantics changed intentionally, update "
+           "kInt8GoldenMasks";
+  }
+}
+
+TEST(GoldenInference, Int8MaskDiffersFromFp32Golden) {
+  // The int8 path must actually quantize: if its mask hash ever collapses
+  // onto the fp32 golden for the default scheme AND every conv reports
+  // fp32 semantics, the quantized solvers silently stopped binding.
+  RoadSegConfig defaults;
+  const std::vector<uint8_t> int8_mask =
+      predict_mask_scheme("reference", defaults.scheme, /*int8_mode=*/true);
+  // Same shape as the fp32 mask, still a nontrivial road segmentation.
+  size_t road = 0;
+  for (const uint8_t bit : int8_mask) {
+    road += bit;
+  }
+  EXPECT_GT(road, 0u);
+  EXPECT_LT(road, int8_mask.size());
 }
 
 TEST(GoldenInference, MaskIsNontrivial) {

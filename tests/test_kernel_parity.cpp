@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "autograd/gemm.hpp"
+#include "autograd/int8_gemm.hpp"
 #include "autograd/kernels.hpp"
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
@@ -305,6 +307,192 @@ TEST(KernelParity, AllRegisteredSolversOnEncoderShapes) {
   }
   for (const tune::ConvProblem& p : problems) {
     expect_registry_solver_parity(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 solver sweep: the quantized solvers cannot match fp32 bitwise, but
+// their error is analytically bounded. With per-row weight scale
+// s_w = amax_w(row)/127 and activation scale s_a, each product's
+// quantization error is |w*e_b + b*e_w - e_w*e_b| with |e_w| <= s_w/2,
+// |e_b| <= s_a/2, so over a depth-K reduction:
+//
+//   |c_fp32 - c_int8| <= K * (amax_w(row)*s_a/2 + amax_b*s_w/2 + s_w*s_a/4)
+//
+// a function of K and the scales — for dynamic scales this collapses to
+// roughly K * amax_w(row) * amax_b / 126. Both int8 solvers must also
+// agree with each other bit-for-bit (exact int32 accumulation, shared
+// rounding), which is asserted by memcmp.
+// ---------------------------------------------------------------------------
+
+void expect_int8_solver_parity(tune::ConvProblem p, float act_scale_factor) {
+  p.dtype = "int8";
+  SCOPED_TRACE(p.key() + " act_scale_factor=" +
+               std::to_string(act_scale_factor));
+  ASSERT_LE(p.gemm_k(), kernels::kMaxInt8Depth);
+  Rng rng(53);
+  const Tensor wmat = Tensor::normal(Shape::mat(p.gemm_m(), p.gemm_k()), rng);
+  const Tensor columns =
+      Tensor::normal(Shape::mat(p.gemm_k(), p.gemm_n()), rng);
+  const Tensor expected = tensor::matmul(wmat, columns);
+  const kernels::QuantizedWeights qweights =
+      kernels::quantize_weights(wmat.raw(), p.gemm_m(), p.gemm_k());
+
+  // Per-row weight absmax and the activation absmax drive the bound.
+  std::vector<float> w_amax(static_cast<size_t>(p.gemm_m()), 0.0f);
+  for (int64_t i = 0; i < p.gemm_m(); ++i) {
+    for (int64_t j = 0; j < p.gemm_k(); ++j) {
+      w_amax[static_cast<size_t>(i)] =
+          std::max(w_amax[static_cast<size_t>(i)],
+                   std::abs(wmat.at(i * p.gemm_k() + j)));
+    }
+  }
+  const float b_amax =
+      kernels::tensor_absmax(columns.raw(), columns.numel());
+  // act_scale_factor = 0: dynamic quantization (solver probes absmax).
+  // > 1: a static calibrated scale that over-covers the operand, like a
+  // table built from a wider calibration split.
+  const float act_scale =
+      act_scale_factor > 0.0f
+          ? kernels::quantize_scale(b_amax) * act_scale_factor
+          : 0.0f;
+  const float s_a = act_scale > 0.0f ? act_scale
+                                     : kernels::quantize_scale(b_amax);
+
+  const std::vector<const tune::Solver*> applicable =
+      tune::applicable_solvers(p, true);
+  ASSERT_EQ(applicable.size(), 2u) << "expected both int8 solvers";
+  std::vector<Tensor> outputs;
+  for (const tune::Solver* solver : applicable) {
+    SCOPED_TRACE(solver->name());
+    Tensor out = Tensor::zeros(Shape::mat(p.gemm_m(), p.gemm_n()));
+    tune::SolverArgs args;
+    args.columns = &columns;
+    args.out = out.raw();
+    args.qweights = &qweights;
+    args.act_scale = act_scale;
+    solver->run(p, args, "");
+    const float k_f = static_cast<float>(p.gemm_k());
+    for (int64_t i = 0; i < p.gemm_m(); ++i) {
+      const float s_w = qweights.scales[static_cast<size_t>(i)];
+      const float tol = k_f * (w_amax[static_cast<size_t>(i)] * s_a * 0.5f +
+                               b_amax * s_w * 0.5f + s_w * s_a * 0.25f) +
+                        1e-6f;
+      for (int64_t j = 0; j < p.gemm_n(); ++j) {
+        const int64_t idx = i * p.gemm_n() + j;
+        ASSERT_NEAR(expected.at(idx), out.at(idx), tol)
+            << solver->name() << " exceeds the quantization bound at row "
+            << i << " col " << j;
+      }
+    }
+    outputs.push_back(std::move(out));
+  }
+  ASSERT_EQ(std::memcmp(outputs[0].raw(), outputs[1].raw(),
+                        static_cast<size_t>(expected.numel()) *
+                            sizeof(float)),
+            0)
+      << "int8 solvers must be bit-identical";
+}
+
+TEST(KernelParity, Int8SolversWithinQuantizationBound) {
+  std::vector<tune::ConvProblem> problems;
+  {
+    tune::ConvProblem p;  // stem_rgb
+    p.c = 3, p.h = 32, p.w = 96, p.k = 8, p.pad = 1;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // stage1.conv2 — deepest encoder reduction
+    p.c = 12, p.h = 16, p.w = 48, p.k = 12, p.pad = 1;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // stage3 projection, 1x1 stride 2
+    p.c = 16, p.h = 8, p.w = 24, p.k = 24, p.r = 1, p.s = 1, p.stride = 2;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // score conv: gemm_m == 1 (ragged row tile)
+    p.c = 8, p.h = 32, p.w = 96, p.k = 1, p.r = 1, p.s = 1;
+    problems.push_back(p);
+  }
+  for (const tune::ConvProblem& p : problems) {
+    expect_int8_solver_parity(p, 0.0f);   // dynamic per-call scale
+    expect_int8_solver_parity(p, 1.25f);  // static over-covering scale
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transposed-conv solvers: every registered tconv solver must match the
+// reference wmat^T x B GEMM on decoder shapes, for both a contiguous B
+// (ldb == gemm_n) and a strided window (ldb > gemm_n) — the raw operand
+// form the decoder's plane-in-place path hands the registry.
+// ---------------------------------------------------------------------------
+
+void expect_tconv_solver_parity(const tune::ConvProblem& p, int64_t ldb_pad) {
+  SCOPED_TRACE(p.key() + " ldb_pad=" + std::to_string(ldb_pad));
+  ASSERT_TRUE(p.transposed);
+  Rng rng(61);
+  const int64_t m = p.gemm_m();
+  const int64_t k = p.gemm_k();
+  const int64_t n = p.gemm_n();
+  const int64_t ldb = n + ldb_pad;
+  // wmat is the layer's (Cin, Cout*K*K) = (gemm_k, gemm_m) matrix.
+  const Tensor wmat = Tensor::normal(Shape::mat(k, m), rng);
+  const Tensor b_storage = Tensor::normal(Shape::mat(k, ldb), rng);
+  Tensor b_window = Tensor::zeros(Shape::mat(k, n));
+  for (int64_t row = 0; row < k; ++row) {
+    for (int64_t col = 0; col < n; ++col) {
+      b_window.at(row * n + col) = b_storage.at(row * ldb + col);
+    }
+  }
+  const Tensor expected = tensor::matmul_at(wmat, b_window);
+  // A^T view of wmat, exactly as ConvTranspose2d::infer_cache packs it.
+  const kernels::PackedA packed =
+      kernels::prepack_a(wmat.raw(), 1, m, m, k);
+  const std::vector<const tune::Solver*> applicable =
+      tune::applicable_solvers(p, true);
+  ASSERT_GE(applicable.size(), 1u);
+  for (const tune::Solver* solver : applicable) {
+    SCOPED_TRACE(solver->name());
+    Tensor out = Tensor::zeros(Shape::mat(m, n));
+    tune::SolverArgs args;
+    args.wmat = &wmat;
+    args.packed = &packed;
+    args.out = out.raw();
+    args.b = b_storage.raw();
+    args.ldb = ldb;
+    solver->run(p, args, "");
+    expect_allclose(expected, out, solver->name());
+  }
+}
+
+TEST(KernelParity, TransposedSolversMatchReferenceGemm) {
+  std::vector<tune::ConvProblem> problems;
+  {
+    tune::ConvProblem p;  // decoder up4: 32 -> 24 channels, 2x upsample
+    p.transposed = true;
+    p.c = 32, p.h = 2, p.w = 6, p.k = 24, p.r = 2, p.s = 2, p.stride = 2,
+    p.pad = 0;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // decoder up1: 12 -> 8 channels
+    p.transposed = true;
+    p.c = 12, p.h = 16, p.w = 48, p.k = 8, p.r = 2, p.s = 2, p.stride = 2,
+    p.pad = 0;
+    problems.push_back(p);
+  }
+  {
+    tune::ConvProblem p;  // ragged: odd channels, 3x3 kernel
+    p.transposed = true;
+    p.c = 5, p.h = 7, p.w = 9, p.k = 3, p.r = 3, p.s = 3, p.stride = 2,
+    p.pad = 1;
+    problems.push_back(p);
+  }
+  for (const tune::ConvProblem& p : problems) {
+    expect_tconv_solver_parity(p, 0);   // contiguous B
+    expect_tconv_solver_parity(p, 13);  // strided window into a wider plane
   }
 }
 

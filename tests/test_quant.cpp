@@ -1,0 +1,422 @@
+// Int8 quantization unit suite (DESIGN.md §13): quantize/dequantize
+// round-trip properties over seeded value grids (denormal, negative-only
+// and zero-range channels included), per-channel weight scale math, the
+// bitwise reference-vs-packed int8 GEMM contract, RFQT1 scale-table
+// serialization (round-trip determinism, version invalidation,
+// corrupted-line recovery, atomic writes — mirroring the perf DB suite in
+// test_tune.cpp), and the process-wide quant runtime state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autograd/gemm.hpp"
+#include "autograd/int8_gemm.hpp"
+#include "quant/runtime.hpp"
+#include "quant/scale_table.hpp"
+#include "tensor/rng.hpp"
+#include "tune/problem.hpp"
+
+namespace roadfusion::quant {
+namespace {
+
+namespace ag = roadfusion::autograd::kernels;
+using tensor::Rng;
+
+/// Restores process-wide quant state on scope exit so a failing test
+/// cannot leak an enabled flag or a scale table into later tests.
+struct QuantGuard {
+  ~QuantGuard() {
+    set_enabled(false);
+    set_calibrating(false);
+    clear_scale_table();
+    clear_calibration();
+  }
+};
+
+float dequant(int8_t q, float scale) {
+  return static_cast<float>(q) * scale;
+}
+
+float channel_absmax(const std::vector<float>& values) {
+  float amax = 0.0f;
+  for (const float v : values) {
+    amax = std::max(amax, std::abs(v));
+  }
+  return amax;
+}
+
+// ---------------------------------------------------------------------------
+// Quantize / dequantize round-trip properties
+// ---------------------------------------------------------------------------
+
+// Fuzz over seeded channels spanning twelve orders of magnitude: for every
+// in-range value the symmetric round trip must land within half a
+// quantization step (round-to-nearest), and never produce a non-finite.
+TEST(QuantizeRoundTrip, ErrorBoundedByHalfStepAcrossMagnitudes) {
+  Rng rng(2022);
+  for (int channel = 0; channel < 100; ++channel) {
+    const float magnitude =
+        std::pow(10.0f, static_cast<float>(channel % 13) - 6.0f);
+    std::vector<float> values(64);
+    for (float& v : values) {
+      v = (rng.uniform() * 2.0f - 1.0f) * magnitude;
+    }
+    const float scale = ag::quantize_scale(channel_absmax(values));
+    const float inv = ag::quantize_inv(scale);
+    for (const float v : values) {
+      const float rt = dequant(ag::quantize_value(v, inv), scale);
+      ASSERT_TRUE(std::isfinite(rt)) << v;
+      ASSERT_LE(std::abs(rt - v), 0.5f * scale * 1.0001f)
+          << "value " << v << " at scale " << scale;
+    }
+  }
+}
+
+TEST(QuantizeRoundTrip, NegativeOnlyChannelUsesFullRange) {
+  Rng rng(7);
+  std::vector<float> values(128);
+  for (float& v : values) {
+    v = -0.01f - rng.uniform() * 4.0f;  // strictly negative
+  }
+  const float amax = channel_absmax(values);
+  const float scale = ag::quantize_scale(amax);
+  const float inv = ag::quantize_inv(scale);
+  for (const float v : values) {
+    const int8_t q = ag::quantize_value(v, inv);
+    EXPECT_LE(q, 0) << v;
+    EXPECT_GE(q, -127) << v;
+    EXPECT_LE(std::abs(dequant(q, scale) - v), 0.5f * scale * 1.0001f) << v;
+  }
+  // The channel extremum must map to the edge of the symmetric range.
+  EXPECT_EQ(ag::quantize_value(-amax, inv), -127);
+}
+
+TEST(QuantizeRoundTrip, ZeroRangeChannelIsExact) {
+  const float scale = ag::quantize_scale(0.0f);
+  EXPECT_EQ(scale, 0.0f);
+  EXPECT_EQ(ag::quantize_inv(scale), 0.0f);
+  EXPECT_EQ(ag::quantize_value(0.0f, ag::quantize_inv(scale)), 0);
+  EXPECT_EQ(dequant(0, scale), 0.0f);  // exact 0.0f, not merely small
+}
+
+// A denormal-range channel would overflow 1/scale to +inf (and 0 * inf to
+// NaN); quantize_inv degrades such channels to "quantize everything to 0",
+// keeping the round trip finite and bounded by the (tiny) absmax.
+TEST(QuantizeRoundTrip, DenormalChannelStaysFiniteAndBounded) {
+  const std::vector<float> values = {1e-41f, -3e-40f, 0.0f, 8e-42f};
+  const float amax = channel_absmax(values);
+  ASSERT_GT(amax, 0.0f);
+  ASSERT_LT(amax, std::numeric_limits<float>::min());  // truly denormal
+  const float scale = ag::quantize_scale(amax);
+  const float inv = ag::quantize_inv(scale);
+  ASSERT_TRUE(std::isfinite(inv));
+  for (const float v : values) {
+    const float rt = dequant(ag::quantize_value(v, inv), scale);
+    ASSERT_TRUE(std::isfinite(rt)) << v;
+    ASSERT_LE(std::abs(rt - v), amax) << v;
+  }
+}
+
+// Calibrated static scales may under-cover a serving sample; out-of-range
+// values must saturate at +-127, never wrap.
+TEST(QuantizeRoundTrip, OutOfRangeValuesSaturate) {
+  const float scale = ag::quantize_scale(1.0f);
+  const float inv = ag::quantize_inv(scale);
+  EXPECT_EQ(ag::quantize_value(50.0f, inv), 127);
+  EXPECT_EQ(ag::quantize_value(-50.0f, inv), -127);
+  EXPECT_EQ(ag::quantize_value(1.0f, inv), 127);
+  EXPECT_EQ(ag::quantize_value(-1.0f, inv), -127);
+}
+
+// ---------------------------------------------------------------------------
+// Per-channel weight scale math
+// ---------------------------------------------------------------------------
+
+TEST(PerChannelScales, MatchRowAbsmaxOver127) {
+  // Three rows with known extrema, one zero row; k=5 exercises the odd-k
+  // pair padding of the panel layout.
+  const int64_t m = 4;
+  const int64_t k = 5;
+  const std::vector<float> w = {
+      0.5f,  -2.0f, 1.0f,  0.25f, -0.125f,  // absmax 2.0
+      -6.5f, 3.0f,  0.0f,  1.0f,  2.0f,     // absmax 6.5 (negative extremum)
+      1e-3f, 2e-4f, -5e-4f, 0.0f, 1e-4f,    // absmax 1e-3
+      0.0f,  0.0f,  0.0f,  0.0f,  0.0f,     // zero-range row
+  };
+  const ag::QuantizedWeights qw = ag::quantize_weights(w.data(), m, k);
+  EXPECT_EQ(qw.m, m);
+  EXPECT_EQ(qw.k, k);
+  EXPECT_FLOAT_EQ(qw.scales[0], 2.0f / 127.0f);
+  EXPECT_FLOAT_EQ(qw.scales[1], 6.5f / 127.0f);
+  EXPECT_FLOAT_EQ(qw.scales[2], 1e-3f / 127.0f);
+  EXPECT_EQ(qw.scales[3], 0.0f);
+  // The row extremum quantizes to the range edge; the zero row to zeros.
+  EXPECT_EQ(qw.data[0 * k + 1], -127);
+  EXPECT_EQ(qw.data[1 * k + 0], -127);
+  for (int64_t j = 0; j < k; ++j) {
+    EXPECT_EQ(qw.data[3 * k + j], 0);
+  }
+  // Every stored weight round-trips within half a step of its row scale.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      EXPECT_LE(std::abs(dequant(qw.data[i * k + j], qw.scales[i]) -
+                         w[static_cast<size_t>(i * k + j)]),
+                0.5f * qw.scales[i] * 1.0001f);
+    }
+  }
+}
+
+TEST(PerChannelScales, PaddedToRowGroupWithZeros) {
+  const int64_t m = 5;  // not a multiple of the 4-row micro tile
+  const int64_t k = 3;
+  std::vector<float> w(static_cast<size_t>(m * k), 1.0f);
+  const ag::QuantizedWeights qw = ag::quantize_weights(w.data(), m, k);
+  ASSERT_EQ(qw.scales.size(), 8u) << "scales must pad to round_up(m, 4)";
+  EXPECT_EQ(qw.scales[5], 0.0f);
+  EXPECT_EQ(qw.scales[6], 0.0f);
+  EXPECT_EQ(qw.scales[7], 0.0f);
+}
+
+TEST(TensorAbsmax, MatchesScalarScanOnOddLengths) {
+  Rng rng(11);
+  for (const int64_t count : {1, 3, 7, 8, 15, 64, 1001}) {
+    std::vector<float> data(static_cast<size_t>(count));
+    for (float& v : data) {
+      v = (rng.uniform() * 2.0f - 1.0f) * 3.0f;
+    }
+    // Put the extremum in the scalar tail to catch a vector-only scan.
+    data.back() = -4.5f;
+    EXPECT_EQ(ag::tensor_absmax(data.data(), count), 4.5f) << count;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference vs packed int8 GEMM: bitwise identity
+// ---------------------------------------------------------------------------
+
+// Integer accumulation is exact, and the two kernels share quantization
+// rounding and the dequant float-op order — so their outputs must agree
+// bit-for-bit, epilogue or not, on every shape (odd k, ragged m and n).
+TEST(Int8Gemm, ReferenceAndPackedAreBitIdentical) {
+  Rng rng(2022);
+  struct Case {
+    int64_t m, k, n;
+  };
+  for (const Case shape : std::vector<Case>{
+           {4, 8, 8}, {5, 7, 9}, {1, 1, 1}, {3, 2, 17}, {16, 27, 24},
+           {8, 108, 33}}) {
+    std::vector<float> w(static_cast<size_t>(shape.m * shape.k));
+    std::vector<float> b(static_cast<size_t>(shape.k * shape.n));
+    for (float& v : w) {
+      v = (rng.uniform() * 2.0f - 1.0f) * 0.5f;
+    }
+    for (float& v : b) {
+      v = (rng.uniform() * 2.0f - 1.0f) * 2.0f;
+    }
+    const ag::QuantizedWeights qw =
+        ag::quantize_weights(w.data(), shape.m, shape.k);
+    const float act_scale =
+        ag::quantize_scale(ag::tensor_absmax(b.data(), shape.k * shape.n));
+
+    std::vector<int8_t> bq(static_cast<size_t>(shape.k * shape.n));
+    ag::quantize_activations(b.data(), shape.k * shape.n, act_scale,
+                             bq.data());
+    std::vector<int32_t> bpack(static_cast<size_t>(
+        ag::packed_activation_units(shape.k, shape.n)));
+    ag::pack_activations_int8(b.data(), shape.k, shape.n, act_scale,
+                              bpack.data());
+
+    // Epilogue: per-row bias + eval BN + ReLU, the full fused stack.
+    std::vector<float> bias(static_cast<size_t>(shape.m));
+    std::vector<float> bn_mean(static_cast<size_t>(shape.m));
+    std::vector<float> bn_invstd(static_cast<size_t>(shape.m), 1.5f);
+    std::vector<float> bn_gamma(static_cast<size_t>(shape.m), 0.8f);
+    std::vector<float> bn_beta(static_cast<size_t>(shape.m), -0.05f);
+    for (int64_t i = 0; i < shape.m; ++i) {
+      bias[static_cast<size_t>(i)] = 0.01f * static_cast<float>(i);
+      bn_mean[static_cast<size_t>(i)] = 0.02f * static_cast<float>(i);
+    }
+    ag::ConvEpilogue epi;
+    epi.bias = bias.data();
+    epi.bn_mean = bn_mean.data();
+    epi.bn_invstd = bn_invstd.data();
+    epi.bn_gamma = bn_gamma.data();
+    epi.bn_beta = bn_beta.data();
+    epi.relu = true;
+
+    const ag::ConvEpilogue* epilogues[] = {nullptr, &epi};
+    for (const ag::ConvEpilogue* e : epilogues) {
+      std::vector<float> c_ref(static_cast<size_t>(shape.m * shape.n),
+                               -777.0f);
+      std::vector<float> c_packed(static_cast<size_t>(shape.m * shape.n),
+                                  555.0f);
+      ag::int8_gemm_reference(qw, bq.data(), shape.n, act_scale, c_ref.data(),
+                              e);
+      ag::int8_gemm_packed(qw, bpack.data(), shape.n, act_scale,
+                           c_packed.data(), e);
+      EXPECT_EQ(std::memcmp(c_ref.data(), c_packed.data(),
+                            c_ref.size() * sizeof(float)),
+                0)
+          << "m=" << shape.m << " k=" << shape.k << " n=" << shape.n
+          << (e != nullptr ? " with epilogue" : " no epilogue");
+    }
+  }
+}
+
+// The depth cap keeps |acc| < 2^24 so the int32 -> float conversion is
+// exact — the foundation of the bitwise contract above.
+TEST(Int8Gemm, DepthCapKeepsAccumulatorFloatExact) {
+  EXPECT_LT(ag::kMaxInt8Depth * 127 * 127, int64_t{1} << 24);
+  EXPECT_GE(ag::kMaxInt8Depth, 32 * 3 * 3)
+      << "the deepest encoder conv shape must stay inside the int8 path";
+}
+
+// ---------------------------------------------------------------------------
+// RFQT1 scale-table format (mirrors the perf DB suite in test_tune.cpp)
+// ---------------------------------------------------------------------------
+
+std::string sample_key(int64_t c) {
+  tune::ConvProblem p;
+  p.c = c;
+  p.h = 16;
+  p.w = 48;
+  p.k = 12;
+  p.stride = 1;
+  p.pad = 1;
+  return p.key();
+}
+
+ScaleTable sample_table() {
+  ScaleTable table;
+  table.set(sample_key(3), 0.0123456791f);
+  table.set(sample_key(8), 1.5e-4f);
+  table.set(sample_key(12), 0.0f);  // zero-range record is valid
+  return table;
+}
+
+TEST(ScaleTableFormat, SerializeParseRoundTripsByteIdentically) {
+  const ScaleTable table = sample_table();
+  const std::string text = table.serialize();
+  EXPECT_EQ(text.rfind("RFQT1\n", 0), 0u) << text;
+  const ScaleTableLoad load = parse_scale_table(text);
+  EXPECT_TRUE(load.found);
+  EXPECT_FALSE(load.version_mismatch);
+  EXPECT_EQ(load.skipped_lines, 0u);
+  ASSERT_EQ(load.table.size(), table.size());
+  EXPECT_EQ(load.table.serialize(), text);
+  // %.9g gives float a bit-exact text round trip.
+  const float* scale = load.table.find(sample_key(3));
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(*scale, 0.0123456791f);
+  const float* zero = load.table.find(sample_key(12));
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(*zero, 0.0f);
+}
+
+TEST(ScaleTableFormat, UnknownVersionHeaderInvalidatesWholeFile) {
+  const std::string text =
+      "RFQT9\n" + sample_key(3) + " scale=0.5\n";
+  const ScaleTableLoad load = parse_scale_table(text);
+  EXPECT_TRUE(load.version_mismatch);
+  EXPECT_TRUE(load.table.empty());
+}
+
+TEST(ScaleTableFormat, CorruptedLinesAreSkippedNotFatal) {
+  const std::string text =
+      "RFQT1\n"
+      "# comment lines are fine\n" +
+      sample_key(3) + " scale=0.25\n" +
+      "pool-n1-c3-h8-w8-k4-r3-s3-st1-p1-fp32 scale=0.5\n" +  // bad key
+      sample_key(8) + " scale=\n" +                          // missing value
+      sample_key(16) + " scale=not_a_number\n" +             // non-numeric
+      sample_key(24) + " scale=-0.5\n" +                     // negative
+      "garbage that is not a record\n" +
+      sample_key(12) + " scale=0.125\n";
+  const ScaleTableLoad load = parse_scale_table(text);
+  EXPECT_FALSE(load.version_mismatch);
+  EXPECT_EQ(load.skipped_lines, 5u);
+  EXPECT_EQ(load.table.size(), 2u) << "intact records must survive";
+  EXPECT_NE(load.table.find(sample_key(12)), nullptr);
+}
+
+TEST(ScaleTableFormat, TruncatedFileKeepsCompleteRecords) {
+  std::string text = sample_table().serialize();
+  // Chop inside the last record's "scale=" tag (no trailing newline) so
+  // the remainder cannot parse as a shorter-but-valid float.
+  const size_t cut = text.rfind(" scale=");
+  ASSERT_NE(cut, std::string::npos);
+  text.resize(cut + 3);
+  const ScaleTableLoad load = parse_scale_table(text);
+  EXPECT_EQ(load.skipped_lines, 1u);
+  EXPECT_EQ(load.table.size(), sample_table().size() - 1);
+}
+
+TEST(ScaleTablePersistence, AtomicSaveLeavesNoTempFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rf_quant_test_table";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "quant.table").string();
+  sample_table().save(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "save must rename the temp file over the target";
+  const ScaleTableLoad load = load_scale_table_file(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.table.serialize(), sample_table().serialize());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScaleTablePersistence, MissingFileReportsNotFound) {
+  const ScaleTableLoad load =
+      load_scale_table_file("/nonexistent/rf_quant_nowhere/quant.table");
+  EXPECT_FALSE(load.found);
+  EXPECT_TRUE(load.table.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Quant runtime state
+// ---------------------------------------------------------------------------
+
+TEST(QuantRuntime, CalibrationKeepsRunningMaximumPerKey) {
+  QuantGuard guard;
+  clear_calibration();
+  observe_activation(sample_key(3), 1.0f);
+  observe_activation(sample_key(3), 4.0f);
+  observe_activation(sample_key(3), 2.0f);
+  observe_activation(sample_key(8), 0.0f);  // zero-range layer
+  const std::map<std::string, float> absmax = calibration_absmax();
+  ASSERT_EQ(absmax.size(), 2u);
+  EXPECT_EQ(absmax.at(sample_key(3)), 4.0f);
+  const ScaleTable table = calibration_table();
+  const float* scale = table.find(sample_key(3));
+  ASSERT_NE(scale, nullptr);
+  EXPECT_FLOAT_EQ(*scale, 4.0f / 127.0f);
+  const float* zero = table.find(sample_key(8));
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(*zero, 0.0f) << "zero-range keys stay dynamic at serve time";
+}
+
+TEST(QuantRuntime, ActivationScaleRequiresEnabledAndRecord) {
+  QuantGuard guard;
+  ScaleTable table;
+  table.set(sample_key(3), 0.5f);
+  set_scale_table(std::move(table));
+  EXPECT_EQ(scale_table_size(), 1u);
+
+  set_enabled(false);
+  EXPECT_EQ(activation_scale(sample_key(3)), 0.0f)
+      << "disabled quant must never return a static scale";
+  set_enabled(true);
+  EXPECT_EQ(activation_scale(sample_key(3)), 0.5f);
+  EXPECT_EQ(activation_scale(sample_key(8)), 0.0f)
+      << "unknown keys quantize dynamically";
+}
+
+}  // namespace
+}  // namespace roadfusion::quant

@@ -1,0 +1,173 @@
+// End-to-end int8 accuracy gate (DESIGN.md §13): calibrate over the
+// seeded synthetic validation split, serve int8 with the derived scale
+// table, and require the MaxF / IOU deltas vs the fp32 golden pass to
+// stay within the hard threshold. The negative half feeds the gate a
+// deliberately mis-scaled table and requires it to FAIL — proving the
+// gate actually detects quantization defects rather than vacuously
+// passing.
+//
+// The gate only discriminates on a net whose MaxF sits above the
+// trivial all-positive classifier (an untrained net's threshold sweep
+// degenerates to that point, where NO perturbation can move the score —
+// see the AP note in test_integration.cpp). So the suite briefly trains
+// one shared net to ~66 MaxF, a few points clear of the ~61.8 floor,
+// which is exactly the margin the mis-scale test needs to breach the
+// 2.0-point gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "autograd/kernels.hpp"
+#include "eval/quant_gate.hpp"
+#include "kitti/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "quant/runtime.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "tensor/rng.hpp"
+#include "train/trainer.hpp"
+
+namespace roadfusion::eval {
+namespace {
+
+namespace ag = roadfusion::autograd::kernels;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+
+/// Restores backend + quant state on scope exit.
+class GateGuard {
+ public:
+  GateGuard() : backend_(ag::backend_name()) {}
+  ~GateGuard() {
+    ag::set_backend(backend_);
+    quant::set_enabled(false);
+    quant::set_calibrating(false);
+    quant::clear_scale_table();
+    quant::clear_calibration();
+  }
+
+ private:
+  std::string backend_;
+};
+
+kitti::RoadDataset small_split() {
+  kitti::DatasetConfig config;
+  config.max_per_category = 4;
+  return kitti::RoadDataset(config, kitti::Split::kTest);
+}
+
+RoadSegConfig gate_net_config() {
+  RoadSegConfig config;
+  config.scheme = core::FusionScheme::kWeightedSharing;
+  config.stage_channels = {6, 8, 12, 16, 20};
+  return config;
+}
+
+/// One shared net, trained once (~2 s) to lift MaxF clear of the
+/// all-positive floor. Read-only after construction; every test drives
+/// it through run_quant_gate, which restores quant state itself.
+RoadSegNet& trained_net() {
+  static RoadSegNet* net = [] {
+    // Pin the backend for the training pass so the shared weights do not
+    // depend on which test runs first.
+    const std::string previous = ag::backend_name();
+    ag::set_backend("blocked");
+    kitti::DatasetConfig data;
+    data.max_per_category = 10;
+    const kitti::RoadDataset train_split(data, kitti::Split::kTrain);
+    Rng rng(1);
+    auto* fresh = new RoadSegNet(gate_net_config(), rng);
+    train::TrainConfig config;
+    config.epochs = 6;
+    train::fit(*fresh, train_split, config);
+    fresh->set_training(false);
+    fresh->prepare_inference();
+    ag::set_backend(previous);
+    return fresh;
+  }();
+  return *net;
+}
+
+TEST(QuantGate, CalibratedInt8StaysWithinAccuracyThreshold) {
+  GateGuard guard;
+  ag::set_backend("blocked");
+  const kitti::RoadDataset split = small_split();
+  RoadSegNet& net = trained_net();
+
+  const QuantGateConfig config;  // default 2.0-point MaxF / IOU gates
+  const QuantGateResult result = run_quant_gate(net, split, config);
+
+  EXPECT_GT(result.table.size(), 0u)
+      << "calibration must observe every encoder conv shape";
+  // The trained net must sit above the ~61.8 trivial-classifier floor,
+  // or the negative control below is meaningless.
+  EXPECT_GT(result.fp32.f_score, 64.0);
+  EXPECT_LE(result.f_delta, config.max_f_delta)
+      << "fp32 MaxF " << result.fp32.f_score << " vs int8 "
+      << result.int8.f_score;
+  EXPECT_LE(result.iou_delta, config.max_iou_delta)
+      << "fp32 IOU " << result.fp32.iou << " vs int8 " << result.int8.iou;
+  EXPECT_TRUE(result.passed);
+
+  // The gate driver must leave the process in the fp32 default state.
+  EXPECT_FALSE(quant::enabled());
+  EXPECT_EQ(quant::scale_table_size(), 0u);
+
+  // Every calibrated record carries a usable (finite, non-negative) scale.
+  for (const auto& [key, scale] : result.table.records()) {
+    EXPECT_GE(scale, 0.0f) << key;
+  }
+}
+
+// Negative control: a table whose scales are inflated 64x crushes most
+// activations into the two or three lowest quantization levels, which
+// must push the int8 scores far outside the gate. If this test ever
+// starts passing the gate, the gate is no longer measuring anything.
+TEST(QuantGate, MisScaledTableFailsTheGate) {
+  GateGuard guard;
+  ag::set_backend("blocked");
+  const kitti::RoadDataset split = small_split();
+  RoadSegNet& net = trained_net();
+
+  // Calibrate honestly first to learn the real keys, then corrupt.
+  const QuantGateResult honest = run_quant_gate(net, split, {});
+  ASSERT_TRUE(honest.passed);
+  quant::ScaleTable corrupted;
+  for (const auto& [key, scale] : honest.table.records()) {
+    corrupted.set(key, scale > 0.0f ? scale * 64.0f : 1.0f);
+  }
+
+  const QuantGateResult result =
+      run_quant_gate(net, split, {}, &corrupted);
+  EXPECT_FALSE(result.passed)
+      << "mis-scaled table escaped the gate: MaxF delta " << result.f_delta
+      << ", IOU delta " << result.iou_delta;
+  EXPECT_GT(result.f_delta + result.iou_delta, 2.0);
+}
+
+// The reference and blocked backends serve bit-identical int8 results
+// (shared quantized operands, exact int32 accumulation), so with one
+// shared scale table the gate verdict must not depend on the backend.
+TEST(QuantGate, VerdictIsBackendIndependent) {
+  GateGuard guard;
+  const kitti::RoadDataset split = small_split();
+  RoadSegNet& net = trained_net();
+
+  ag::set_backend("blocked");
+  const QuantGateResult calibrated = run_quant_gate(net, split, {});
+  ASSERT_TRUE(calibrated.passed);
+
+  ag::set_backend("reference");
+  const QuantGateResult reference =
+      run_quant_gate(net, split, {}, &calibrated.table);
+  ag::set_backend("blocked");
+  const QuantGateResult blocked =
+      run_quant_gate(net, split, {}, &calibrated.table);
+  EXPECT_TRUE(reference.passed);
+  EXPECT_TRUE(blocked.passed);
+  EXPECT_DOUBLE_EQ(reference.int8.f_score, blocked.int8.f_score);
+  EXPECT_DOUBLE_EQ(reference.int8.iou, blocked.int8.iou);
+}
+
+}  // namespace
+}  // namespace roadfusion::eval

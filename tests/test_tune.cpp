@@ -122,6 +122,56 @@ TEST(ConvProblemKey, GemmDimensions) {
   EXPECT_TRUE(p.valid());
 }
 
+TEST(ConvProblemKey, TransposedCanonicalFormatAndRoundTrip) {
+  ConvProblem p;
+  p.transposed = true;
+  p.c = 32;
+  p.h = 2;
+  p.w = 6;
+  p.k = 24;
+  p.r = 2;
+  p.s = 2;
+  p.stride = 2;
+  p.pad = 0;
+  EXPECT_EQ(p.key(), "convt-n1-c32-h2-w6-k24-r2-s2-st2-p0-fp32");
+  const std::optional<ConvProblem> parsed = ConvProblem::parse_key(p.key());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->transposed);
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(ConvProblemKey, Int8DtypeRoundTrips) {
+  ConvProblem p = stage2_conv2();
+  p.dtype = "int8";
+  EXPECT_EQ(p.key(), "conv-n1-c16-h8-w24-k16-r3-s3-st1-p0-int8");
+  const std::optional<ConvProblem> parsed = ConvProblem::parse_key(p.key());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dtype, "int8");
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(ConvProblemKey, TransposedGemmDimensions) {
+  // Transposed GEMM form: columns (K*R*S, H*W) = wmat^T (K*R*S, C) x
+  // input plane (C, H*W) — the reduction is over input channels, not
+  // C*R*S, and n is the INPUT plane.
+  ConvProblem p;
+  p.transposed = true;
+  p.c = 12;
+  p.h = 16;
+  p.w = 48;
+  p.k = 8;
+  p.r = 2;
+  p.s = 2;
+  p.stride = 2;
+  p.pad = 0;
+  EXPECT_EQ(p.gemm_m(), 8 * 2 * 2);
+  EXPECT_EQ(p.gemm_k(), 12);
+  EXPECT_EQ(p.gemm_n(), 16 * 48);
+  EXPECT_EQ(p.out_h(), 32);
+  EXPECT_EQ(p.out_w(), 96);
+  EXPECT_TRUE(p.valid());
+}
+
 // ---------------------------------------------------------------------------
 // Solver registry
 // ---------------------------------------------------------------------------
@@ -159,6 +209,55 @@ TEST(SolverRegistry, TinyOutputChannelCountExcludesBlockedLoops) {
   const std::vector<const Solver*> applicable = applicable_solvers(p, false);
   ASSERT_EQ(applicable.size(), 1u);
   EXPECT_STREQ(applicable[0]->name(), "reference");
+}
+
+TEST(SolverRegistry, TransposedProblemsGetTconvFamilyOnly) {
+  ConvProblem p;
+  p.transposed = true;
+  p.c = 32;
+  p.h = 2;
+  p.w = 6;
+  p.k = 24;
+  p.r = 2;
+  p.s = 2;
+  p.stride = 2;
+  p.pad = 0;
+  auto names = [](const std::vector<const Solver*>& list) {
+    std::vector<std::string> out;
+    for (const Solver* s : list) {
+      out.push_back(s->name());
+    }
+    return out;
+  };
+  const std::vector<std::string> with = names(applicable_solvers(p, true));
+  EXPECT_EQ(with, (std::vector<std::string>{"tconv_reference",
+                                            "tconv_blocked",
+                                            "tconv_prepacked"}));
+  const std::vector<std::string> without =
+      names(applicable_solvers(p, false));
+  EXPECT_EQ(without, (std::vector<std::string>{"tconv_reference",
+                                               "tconv_blocked"}))
+      << "tconv_prepacked requires pre-packed weights on hand";
+}
+
+TEST(SolverRegistry, Int8ProblemsGetInt8FamilyOnly) {
+  ConvProblem p = stage2_conv2();
+  p.dtype = "int8";
+  std::vector<std::string> names;
+  for (const Solver* s : applicable_solvers(p, true)) {
+    names.push_back(s->name());
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"int8_reference",
+                                             "int8_blocked"}));
+}
+
+TEST(SolverRegistry, Int8BeyondDepthCapHasNoSolver) {
+  ConvProblem p = stage2_conv2();
+  p.dtype = "int8";
+  p.c = 200;  // gemm_k = 200 * 9 = 1800 > kMaxInt8Depth: accumulator
+              // exactness would be lost, so no int8 solver offers itself
+  EXPECT_GT(p.gemm_k(), ag::kMaxInt8Depth);
+  EXPECT_TRUE(applicable_solvers(p, true).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -293,6 +392,72 @@ TEST(Dispatch, HeuristicFollowsLegacyBackendSwitch) {
   ASSERT_NE(packed->solver, nullptr);
   EXPECT_STREQ(packed->solver->name(), "blocked_prepacked")
       << "with packed weights on hand the fused pre-packed path is cheapest";
+}
+
+TEST(Dispatch, BackendSwitchInvalidatesBindingsWithoutManualClear) {
+  // Heuristic bindings are gated on the active backend; set_backend bumps
+  // kernels::backend_generation() and the dispatcher must drop its cache
+  // on its own — no clear_binding_cache() between the two binds here.
+  DispatchGuard guard;
+  clear_perf_db();
+  const ConvProblem p = stage2_conv2();
+
+  ag::set_backend("reference");
+  clear_binding_cache();
+  const auto ref = bind(p, false);
+  ASSERT_NE(ref->solver, nullptr);
+  EXPECT_STREQ(ref->solver->name(), "reference");
+
+  ag::set_backend("blocked");
+  const auto blocked = bind(p, false);
+  ASSERT_NE(blocked->solver, nullptr);
+  EXPECT_STREQ(blocked->solver->name(), "blocked")
+      << "a backend switch must invalidate cached bindings automatically";
+}
+
+TEST(Dispatch, Int8ProblemsBindCheapestInt8SolverUnderAnyBackend) {
+  // The legacy backend gate only governs fp32 solver choice; an int8
+  // problem key has exactly the int8 family to choose from, so the
+  // cheapest one binds even while the reference backend is pinned.
+  DispatchGuard guard;
+  clear_perf_db();
+  ConvProblem p = stage2_conv2();
+  p.dtype = "int8";
+  for (const char* backend : {"reference", "blocked"}) {
+    SCOPED_TRACE(backend);
+    ag::set_backend(backend);
+    const auto binding = bind(p, false);
+    ASSERT_NE(binding->solver, nullptr);
+    EXPECT_STREQ(binding->solver->name(), "int8_blocked");
+  }
+}
+
+TEST(Dispatch, TransposedProblemsFollowBackendLikeForwardOnes) {
+  DispatchGuard guard;
+  clear_perf_db();
+  ConvProblem p;
+  p.transposed = true;
+  p.c = 32;
+  p.h = 2;
+  p.w = 6;
+  p.k = 24;
+  p.r = 2;
+  p.s = 2;
+  p.stride = 2;
+  p.pad = 0;
+
+  ag::set_backend("reference");
+  const auto ref = bind(p, false);
+  ASSERT_NE(ref->solver, nullptr);
+  EXPECT_STREQ(ref->solver->name(), "tconv_reference");
+
+  ag::set_backend("blocked");
+  const auto unpacked = bind(p, false);
+  ASSERT_NE(unpacked->solver, nullptr);
+  EXPECT_STREQ(unpacked->solver->name(), "tconv_blocked");
+  const auto packed = bind(p, true);
+  ASSERT_NE(packed->solver, nullptr);
+  EXPECT_STREQ(packed->solver->name(), "tconv_prepacked");
 }
 
 TEST(Dispatch, DatabaseRecordOverridesHeuristic) {

@@ -13,10 +13,14 @@
 //                                process metrics as Prometheus text
 //   tune        [options]        benchmark conv solvers per model shape,
 //                                write the winners to a perf DB
+//   calibrate   [options]        calibrate int8 activation scales over the
+//                                validation split, gate on fp32 accuracy,
+//                                write a versioned scale table
 //
 // `infer`, `batch-infer` and `metrics-dump` accept `--trace FILE` to
-// write a Chrome trace-event JSON of the run (chrome://tracing), and
-// `--perf-db FILE` to serve with tuned per-shape solver bindings.
+// write a Chrome trace-event JSON of the run (chrome://tracing),
+// `--perf-db FILE` to serve with tuned per-shape solver bindings, and
+// `--quant FILE` to serve int8 with a calibrated scale table.
 //
 // Run `roadfusion <command> --help` for the options of each command.
 #include <chrono>
@@ -32,11 +36,14 @@
 #include "common/env.hpp"
 #include "eval/disparity_profile.hpp"
 #include "eval/evaluator.hpp"
+#include "eval/quant_gate.hpp"
 #include "kitti/dataset.hpp"
 #include "kitti/directory_dataset.hpp"
 #include "kitti/surface_normals.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "quant/runtime.hpp"
+#include "quant/scale_table.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault_injection.hpp"
@@ -119,6 +126,30 @@ void apply_perf_db(const cli::Args& args) {
   ROADFUSION_CHECK(result.found, "--perf-db '" << path << "' not found");
   std::fprintf(stderr, "perf DB %s: reloaded %zu tuned record(s)\n",
                path.c_str(), result.db.size());
+}
+
+/// Loads --quant FILE (a calibrated scale table from `roadfusion
+/// calibrate`) and enables int8 inference. Missing or header-mismatched
+/// files fail loudly — an explicit flag, unlike the best-effort
+/// ROADFUSION_QUANT env pickup.
+void apply_quant(const cli::Args& args) {
+  const std::string path = args.get("quant", "");
+  if (path.empty()) {
+    return;
+  }
+  const quant::ScaleTableLoad result = quant::load_scale_table_file(path);
+  ROADFUSION_CHECK(result.found, "--quant '" << path << "' not found");
+  ROADFUSION_CHECK(!result.version_mismatch,
+                   "--quant '" << path << "' has an unrecognized header");
+  if (result.skipped_lines > 0) {
+    std::fprintf(stderr, "quant: %s: skipped %zu corrupted line(s)\n",
+                 path.c_str(), result.skipped_lines);
+  }
+  const size_t records = result.table.size();
+  quant::set_scale_table(result.table);
+  quant::set_enabled(true);
+  std::fprintf(stderr, "quant: int8 inference enabled (%zu scale record(s))\n",
+               records);
 }
 
 /// Enables span recording when --trace FILE was given. Call before the
@@ -275,13 +306,15 @@ int cmd_infer(const cli::Args& args) {
         "overexposure|shadows]\n"
         "                 [--scene-seed N] [--normals] [--threads N]\n"
         "                 [--kernel-backend reference|blocked] [--out dir]\n"
-        "                 [--perf-db FILE] [--trace trace.json]\n");
+        "                 [--perf-db FILE] [--quant FILE] "
+        "[--trace trace.json]\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
                    "normals", "threads", "kernel-backend", "out", "trace",
-                   "perf-db", "help"});
+                   "perf-db", "quant", "help"});
   apply_perf_db(args);
+  apply_quant(args);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
   train::load_model(net, args.get("model", "model.rfc"));
@@ -383,6 +416,7 @@ int cmd_batch_infer(const cli::Args& args) {
         "                     rate=0.1,seed=7,kinds=nan+slow (see DESIGN.md"
         " §9)\n"
         "  --perf-db FILE     serve with tuned per-shape solver bindings\n"
+        "  --quant FILE       serve int8 with a calibrated scale table\n"
         "  --trace FILE       write a Chrome trace-event JSON of the run\n");
     return 0;
   }
@@ -390,8 +424,9 @@ int cmd_batch_infer(const cli::Args& args) {
                    "data-seed", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "kernel-backend", "deadline-ms",
                    "max-retries", "inject-faults", "out", "trace", "perf-db",
-                   "help"});
+                   "quant", "help"});
   apply_perf_db(args);
+  apply_quant(args);
   const auto scenes = make_data(args, kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -617,7 +652,8 @@ int cmd_metrics_dump(const cli::Args& args) {
         "                        [--scheme Baseline|AU|AB|BS|WS] [--normals]\n"
         "                        [--cap N] [--data-seed N]\n"
         "                        [--kernel-backend reference|blocked]\n"
-        "                        [--perf-db FILE] [--trace trace.json]\n\n"
+        "                        [--perf-db FILE] [--quant FILE]\n"
+        "                        [--trace trace.json]\n\n"
         "Runs N synthetic scenes (untrained weights — no checkpoint needed)\n"
         "through the batched inference runtime, then prints every metric of\n"
         "the process-wide registry in Prometheus text exposition format on\n"
@@ -627,8 +663,9 @@ int cmd_metrics_dump(const cli::Args& args) {
   }
   args.allow_only({"count", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "scheme", "normals", "cap", "data-seed",
-                   "kernel-backend", "trace", "perf-db", "help"});
+                   "kernel-backend", "trace", "perf-db", "quant", "help"});
   apply_perf_db(args);
+  apply_quant(args);
   const kitti::RoadDataset scenes(dataset_config(args), kitti::Split::kTest);
   tensor::Rng rng(1);
   roadseg::RoadSegNet net(net_config(args), rng);
@@ -742,6 +779,74 @@ int cmd_tune(const cli::Args& args) {
   return 0;
 }
 
+int cmd_calibrate(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion calibrate [--out FILE] [--model model.rfc]\n"
+        "                     [--scheme Baseline|AU|AB|BS|WS] [--normals]\n"
+        "                     [--cap N] [--data-seed N]\n"
+        "                     [--max-f-delta X] [--max-iou-delta X]\n"
+        "                     [--kernel-backend reference|blocked]\n\n"
+        "Calibrates int8 activation scales: one fp32 evaluation pass over\n"
+        "the synthetic validation split records each conv layer's im2col\n"
+        "absmax, then the int8 path is scored with the derived scale table\n"
+        "active. The table is only written when the MaxF / IOU deltas stay\n"
+        "within the gate (DESIGN.md §13). Serving commands consume it via\n"
+        "--quant FILE or ROADFUSION_QUANT.\n\n"
+        "  --out FILE        output path (default: roadfusion_quant.table)\n"
+        "  --max-f-delta X   MaxF gate in percentage points (default 2.0)\n"
+        "  --max-iou-delta X IOU gate in percentage points (default 2.0)\n"
+        "  --model           optional checkpoint; untrained weights gate\n"
+        "                    fine (scales track activations, not accuracy)\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "normals", "out", "cap", "data-seed",
+                   "max-f-delta", "max-iou-delta", "kernel-backend", "data",
+                   "help"});
+  apply_kernel_backend(args);
+  const auto split = make_data(args, kitti::Split::kTest);
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_config(args), rng);
+  if (args.has("model")) {
+    train::load_model(net, args.get("model", "model.rfc"));
+  }
+  net.set_training(false);
+  net.prepare_inference();
+
+  eval::QuantGateConfig config;
+  config.max_f_delta = args.get_double("max-f-delta", config.max_f_delta);
+  config.max_iou_delta =
+      args.get_double("max-iou-delta", config.max_iou_delta);
+  std::fprintf(stderr, "calibrating over %lld sample(s)...\n",
+               static_cast<long long>(split->size()));
+  const eval::QuantGateResult result =
+      eval::run_quant_gate(net, *split, config);
+  print_scores("fp32", result.fp32);
+  print_scores("int8", result.int8);
+  std::printf("deltas: MaxF %.3f (gate %.2f)  IOU %.3f (gate %.2f)\n",
+              result.f_delta, config.max_f_delta, result.iou_delta,
+              config.max_iou_delta);
+  ROADFUSION_CHECK(result.passed,
+                   "calibration gate FAILED: int8 accuracy deltas exceed the "
+                   "threshold — scale table not written");
+
+  const std::string path = args.get("out", "roadfusion_quant.table");
+  result.table.save(path);
+  std::printf("gate passed: wrote %zu scale record(s) to %s\n",
+              result.table.size(), path.c_str());
+
+  // Reload through the runtime loader so the freshly written file is
+  // verified end-to-end (header, key syntax) before we report OK.
+  const quant::ScaleTableLoad reload = quant::load_scale_table_file(path);
+  ROADFUSION_CHECK(reload.found && !reload.version_mismatch &&
+                       reload.skipped_lines == 0 &&
+                       reload.table.size() == result.table.size(),
+                   "calibrate: reloading '" << path << "' failed validation");
+  std::fprintf(stderr, "verified: %s reloads with %zu record(s)\n",
+               path.c_str(), reload.table.size());
+  return 0;
+}
+
 void print_usage(std::FILE* stream) {
   std::fprintf(
       stream,
@@ -757,7 +862,9 @@ void print_usage(std::FILE* stream) {
       "  profile      per-stage Feature Disparity of a trained model\n"
       "  dataset      export synthetic samples as PPM/PGM files\n"
       "  metrics-dump run a synthetic workload, print Prometheus metrics\n"
-      "  tune         benchmark conv solvers per shape, write a perf DB\n\n"
+      "  tune         benchmark conv solvers per shape, write a perf DB\n"
+      "  calibrate    calibrate int8 scales, gate on accuracy, write a "
+      "table\n\n"
       "run 'roadfusion <command> --help' for per-command options\n");
 }
 
@@ -797,6 +904,9 @@ int main(int argc, char** argv) {
     }
     if (command == "tune") {
       return cmd_tune(args);
+    }
+    if (command == "calibrate") {
+      return cmd_calibrate(args);
     }
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     print_usage(stderr);

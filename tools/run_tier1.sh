@@ -17,7 +17,8 @@
 #                                 # tolerance + serialization tests under
 #                                 # UndefinedBehaviorSanitizer and run them
 #                                 # (checkpoint header parsing, fault
-#                                 # injection arithmetic)
+#                                 # injection arithmetic, int8 quantize
+#                                 # rounding and saturation)
 #   tools/run_tier1.sh --coverage # additionally build with gcov
 #                                 # instrumentation, run the observability
 #                                 # suite, and fail if line coverage of
@@ -31,6 +32,12 @@
 #                                 # additionally run `roadfusion tune --smoke`
 #                                 # and assert the perf DB is produced,
 #                                 # reloaded, and consumed by serving
+#   tools/run_tier1.sh --quant-smoke
+#                                 # additionally run `roadfusion calibrate`,
+#                                 # assert the RFQT1 scale table is produced
+#                                 # and the accuracy gate passes, then serve
+#                                 # one scene with --quant and assert the
+#                                 # int8 solvers actually bind
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +48,7 @@ ubsan=0
 coverage=0
 bench_smoke=0
 tune_smoke=0
+quant_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
@@ -49,8 +57,9 @@ for arg in "$@"; do
     --coverage) coverage=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --tune-smoke) tune_smoke=1 ;;
+    --quant-smoke) quant_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke]" >&2
       exit 2
       ;;
   esac
@@ -66,8 +75,8 @@ if [[ "$tsan" == 1 ]]; then
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_kernel_parity test_tracing test_metrics test_runtime_stats \
-             test_workspace test_tune
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune')
+             test_workspace test_tune test_quant
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$')
 fi
 
 if [[ "$asan" == 1 ]]; then
@@ -75,8 +84,8 @@ if [[ "$asan" == 1 ]]; then
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
     --target test_kernel_parity test_golden_inference test_fault_tolerance \
-             test_workspace test_tune
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune')
+             test_workspace test_tune test_quant
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -84,8 +93,8 @@ if [[ "$ubsan" == 1 ]]; then
   cmake -B build-ubsan -S . -DROADFUSION_SANITIZE=undefined
   cmake --build build-ubsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
-             test_serialize test_checkpoint
-  (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint')
+             test_serialize test_checkpoint test_quant
+  (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint|test_quant$')
 fi
 
 if [[ "$bench_smoke" == 1 ]]; then
@@ -113,6 +122,30 @@ if [[ "$tune_smoke" == 1 ]]; then
   echo "$metrics" | grep -q 'roadfusion_solver_selected_total{solver=' ||
     { echo "tune smoke: no solver selection metric exported" >&2; exit 1; }
   echo "tune smoke: OK ($(grep -c ' solver=' "$tune_db") records)"
+fi
+
+if [[ "$quant_smoke" == 1 ]]; then
+  echo "== Quant smoke: calibration emits a scale table that serving consumes =="
+  cmake --build build -j --target roadfusion
+  quant_table="build/quant_smoke.table"
+  rm -f "$quant_table" "$quant_table.tmp"
+  (cd build && ./tools/roadfusion calibrate --out quant_smoke.table --cap 2 \
+      --kernel-backend blocked)
+  [[ -s "$quant_table" ]] || { echo "quant smoke: $quant_table missing or empty" >&2; exit 1; }
+  [[ ! -e "$quant_table.tmp" ]] || { echo "quant smoke: stale $quant_table.tmp left behind" >&2; exit 1; }
+  head -1 "$quant_table" | grep -q '^RFQT1$' ||
+    { echo "quant smoke: bad scale-table header" >&2; exit 1; }
+  # One synthetic scene served under --quant: int8 must be announced and
+  # the int8 solvers must actually bind.
+  metrics="$(cd build && ./tools/roadfusion metrics-dump --count 1 \
+      --kernel-backend blocked --quant quant_smoke.table 2>&1)"
+  echo "$metrics" | grep -q 'quant: int8 inference enabled' ||
+    { echo "quant smoke: serving did not enable int8" >&2; exit 1; }
+  echo "$metrics" | grep -q 'roadfusion_solver_selected_total{solver="int8_' ||
+    { echo "quant smoke: no int8 solver bound during serving" >&2; exit 1; }
+  echo "$metrics" | grep -q 'roadfusion_int8_conv_total' ||
+    { echo "quant smoke: int8 conv counter missing" >&2; exit 1; }
+  echo "quant smoke: OK ($(grep -c ' scale=' "$quant_table") scale records)"
 fi
 
 if [[ "$coverage" == 1 ]]; then
