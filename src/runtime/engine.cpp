@@ -57,7 +57,8 @@ std::future<InferenceResult> InferenceEngine::submit(
       stats_.record_invalid_input();
       throw InvalidInputError("rejected sensor input: " + health.detail);
     }
-    request.degraded = health.status == kitti::SensorStatus::kDegraded;
+    request.degraded = health.status == kitti::SensorStatus::kDegraded ||
+                       options.force_degraded;
   } else {
     ROADFUSION_CHECK(rgb.shape().rank() == 3,
                      "submit expects CHW rgb, got " << rgb.shape().str());
@@ -68,6 +69,7 @@ std::future<InferenceResult> InferenceEngine::submit(
                      "submit: rgb " << rgb.shape().str() << " and depth "
                                     << depth.shape().str()
                                     << " disagree on H x W");
+    request.degraded = options.force_degraded;
   }
   request.rgb = std::move(rgb);
   request.depth = std::move(depth);
@@ -151,6 +153,14 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
   std::vector<Request> live;
   live.reserve(batch.size());
   size_t expired = 0;
+  for (const Request& request : batch) {
+    // Queue wait of every popped request — including expired ones, whose
+    // waits are exactly the pressure the front door's brownout ladder must
+    // see (see recent_queue_wait_p99_ms).
+    stats_.record_queue_wait(std::chrono::duration<double, std::milli>(
+                                 now - request.enqueue_time)
+                                 .count());
+  }
   for (Request& request : batch) {
     if (request.has_deadline && now > request.deadline) {
       const double waited_ms = std::chrono::duration<double, std::milli>(
@@ -217,21 +227,42 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
     }
     obs::ScopedSpan respond_span("engine.respond");
     const int64_t out_plane = height * width;
+    size_t late = 0;
     for (int64_t i = 0; i < n; ++i) {
+      // Second deadline check: the pop-time check only catches queue-wait
+      // overruns. A request whose budget expired *during* the forward must
+      // not be delivered silently late — it resolves with the same typed
+      // error and is counted timed_out, so the SLO accounting (and the
+      // soak bench's availability gate) sees every miss.
+      const auto respond_time = std::chrono::steady_clock::now();
+      if (live[i].has_deadline && respond_time > live[i].deadline) {
+        const double waited_ms = std::chrono::duration<double, std::milli>(
+                                     respond_time - live[i].enqueue_time)
+                                     .count();
+        live[i].result.set_exception(std::make_exception_ptr(
+            DeadlineExceededError(
+                "request deadline exceeded mid-flight; response ready "
+                "after " +
+                std::to_string(waited_ms) + " ms")));
+        ++late;
+        continue;
+      }
       std::vector<float> values(
           probability.data().begin() + i * out_plane,
           probability.data().begin() + (i + 1) * out_plane);
       InferenceResult result;
       result.output = Tensor(Shape::chw(1, height, width), std::move(values));
       result.degraded = degraded;
-      const double latency_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - live[i].enqueue_time)
-              .count();
+      const double latency_ms = std::chrono::duration<double, std::milli>(
+                                    respond_time - live[i].enqueue_time)
+                                    .count();
       // Record before fulfilling: once the future is ready, a stats
       // snapshot must already count this request as served.
       stats_.record_served(latency_ms, degraded);
       live[i].result.set_value(std::move(result));
+    }
+    if (late > 0) {
+      stats_.record_timed_out(late);
     }
   } catch (...) {
     // A forward failure (model error, injected fault, bad geometry) fails

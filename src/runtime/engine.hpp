@@ -132,6 +132,10 @@ struct SubmitOptions {
   /// EngineConfig::default_deadline_ms; negative disables the deadline
   /// for this request.
   int64_t deadline_ms = 0;
+  /// Serve RGB-only (fusion_weight = 0) even when depth is healthy — the
+  /// brownout ladder's capacity lever (DESIGN.md §14). The response is
+  /// flagged `degraded` exactly like a health-triggered degradation.
+  bool force_degraded = false;
 };
 
 /// What a fulfilled future carries.
@@ -176,6 +180,18 @@ class InferenceEngine {
   /// Consistent metrics snapshot; callable at any time, including after
   /// shutdown.
   RuntimeStats stats() const { return stats_.snapshot(); }
+
+  /// Requests currently queued (not yet popped into a batch). The front
+  /// door's routing and pressure signals poll this; it is a point-in-time
+  /// sample, racy by nature.
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// p99 queue wait over the most recent window of popped requests,
+  /// milliseconds — the observed half of the front door's brownout
+  /// pressure signal (cheap: fixed window, no full snapshot).
+  double recent_queue_wait_p99_ms() const {
+    return stats_.recent_queue_wait_p99_ms();
+  }
 
   const EngineConfig& config() const { return config_; }
 

@@ -54,7 +54,12 @@ StatsCollector::StatsCollector(obs::MetricsRegistry& registry)
       m_latency_ms_(registry.histogram("roadfusion_engine_request_latency_ms",
                                        latency_bucket_bounds_ms(),
                                        "Submit-to-completion latency, served "
-                                       "requests, milliseconds")) {}
+                                       "requests, milliseconds")),
+      m_queue_wait_ms_(registry.histogram(
+          "roadfusion_engine_queue_wait_ms", latency_bucket_bounds_ms(),
+          "Queue wait of popped requests, milliseconds")) {
+  queue_waits_ms_.reserve(kQueueWaitWindow);
+}
 
 void StatsCollector::record_submitted() {
   m_submitted_.inc();
@@ -114,6 +119,27 @@ void StatsCollector::record_cancelled(size_t count) {
   totals_.requests_cancelled += count;
 }
 
+void StatsCollector::record_queue_wait(double wait_ms) {
+  m_queue_wait_ms_.observe(wait_ms);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_waits_ms_.size() < kQueueWaitWindow) {
+    queue_waits_ms_.push_back(wait_ms);
+  } else {
+    queue_waits_ms_[queue_wait_count_ % kQueueWaitWindow] = wait_ms;
+  }
+  ++queue_wait_count_;
+}
+
+double StatsCollector::recent_queue_wait_p99_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_waits_ms_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = queue_waits_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile(sorted, 0.99);
+}
+
 RuntimeStats StatsCollector::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RuntimeStats out = totals_;
@@ -131,6 +157,11 @@ RuntimeStats StatsCollector::snapshot() const {
     std::sort(sorted.begin(), sorted.end());
     out.p50_latency_ms = percentile(sorted, 0.50);
     out.p99_latency_ms = percentile(sorted, 0.99);
+  }
+  if (!queue_waits_ms_.empty()) {
+    std::vector<double> sorted = queue_waits_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    out.recent_queue_wait_p99_ms = percentile(sorted, 0.99);
   }
   out.elapsed_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)

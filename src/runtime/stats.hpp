@@ -36,6 +36,11 @@ struct RuntimeStats {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
 
+  /// p99 queue wait over the most recent window of popped requests
+  /// (kQueueWaitWindow samples), milliseconds — the observed half of the
+  /// front door's brownout pressure signal (DESIGN.md §14).
+  double recent_queue_wait_p99_ms = 0.0;
+
   /// Served requests per second of engine lifetime.
   double throughput_rps = 0.0;
   double elapsed_s = 0.0;
@@ -44,6 +49,10 @@ struct RuntimeStats {
 /// Fixed latency bucket bounds (milliseconds) of the engine's request
 /// latency histogram in the metrics registry.
 const std::vector<double>& latency_bucket_bounds_ms();
+
+/// Samples in the recent queue-wait window behind
+/// RuntimeStats::recent_queue_wait_p99_ms.
+inline constexpr size_t kQueueWaitWindow = 128;
 
 /// Thread-safe metrics accumulator feeding `RuntimeStats` snapshots.
 class StatsCollector {
@@ -61,6 +70,12 @@ class StatsCollector {
   void record_failed(size_t count);
   void record_timed_out(size_t count);
   void record_cancelled(size_t count);
+  /// Queue wait of one popped request (served, expired or failed alike).
+  void record_queue_wait(double wait_ms);
+
+  /// p99 over the recent queue-wait window; cheap enough for the front
+  /// door to poll on every submit (fixed-size copy, no full snapshot).
+  double recent_queue_wait_p99_ms() const;
 
   /// Consistent copy of all metrics at this instant.
   RuntimeStats snapshot() const;
@@ -70,6 +85,9 @@ class StatsCollector {
   RuntimeStats totals_;
   uint64_t batched_requests_ = 0;
   std::vector<double> latencies_ms_;
+  /// Ring buffer of the last kQueueWaitWindow queue waits (ms).
+  std::vector<double> queue_waits_ms_;
+  size_t queue_wait_count_ = 0;
   std::chrono::steady_clock::time_point start_;
 
   // Registry instruments (registry-owned, process-lifetime references).
@@ -84,6 +102,7 @@ class StatsCollector {
   obs::Counter& m_batches_;
   obs::Counter& m_batched_requests_;
   obs::Histogram& m_latency_ms_;
+  obs::Histogram& m_queue_wait_ms_;
 };
 
 }  // namespace roadfusion::runtime

@@ -1,0 +1,30 @@
+#include "serve/backoff.hpp"
+
+#include <algorithm>
+
+namespace roadfusion::serve {
+
+Backoff::Backoff(const BackoffConfig& config)
+    : config_(config), rng_(config.seed) {
+  ROADFUSION_CHECK(config.base_ms >= 1,
+                   "backoff base_ms must be >= 1, got " << config.base_ms);
+  ROADFUSION_CHECK(config.cap_ms >= config.base_ms,
+                   "backoff cap_ms must be >= base_ms, got "
+                       << config.cap_ms << " < " << config.base_ms);
+}
+
+int64_t Backoff::next_delay_ms(int64_t floor_ms) {
+  // Window doubles per attempt until the cap; shift-guard keeps 2^k from
+  // overflowing long before the cap comparison would.
+  int64_t window = config_.cap_ms;
+  if (attempt_ < 62) {
+    const int64_t doubled = config_.base_ms << attempt_;
+    window = std::min(config_.cap_ms, doubled);
+  }
+  ++attempt_;
+  const int64_t lo = std::max<int64_t>(1, window / 2);
+  const int64_t jittered = rng_.uniform_int(lo, window);
+  return std::max(floor_ms, jittered);
+}
+
+}  // namespace roadfusion::serve

@@ -1,0 +1,48 @@
+// Capped jittered exponential backoff (DESIGN.md §14), shared by the CLI's
+// queue-full retry loop and its RetryAfterError handling.
+//
+// Equal-jitter flavour: attempt k draws a delay uniformly from
+// [window/2, window] with window = min(cap_ms, base_ms * 2^k), so retries
+// always make progress (never a zero sleep) while desynchronizing clients
+// that failed at the same instant. The draw honours a server-supplied
+// floor (RetryAfterError::retry_after_ms): the result is never below it.
+//
+// Determinism: all randomness flows from the seeded xoshiro Rng, so a
+// fixed (seed, attempt sequence) yields a fixed delay sequence — tests pin
+// exact values and the CLI is reproducible under --backoff-seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::serve {
+
+struct BackoffConfig {
+  int64_t base_ms = 1;     ///< window of the first attempt
+  int64_t cap_ms = 1000;   ///< window ceiling (the "capped" part)
+  uint64_t seed = 0x5eed;  ///< jitter stream seed
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& config);
+
+  /// Delay for the next attempt (advances the attempt counter). The result
+  /// is >= max(floor_ms, window/2) and <= max(floor_ms, window).
+  int64_t next_delay_ms(int64_t floor_ms = 0);
+
+  /// Back to attempt 0. The jitter stream is NOT rewound — reset restarts
+  /// the exponential schedule after a success, not the random sequence.
+  void reset() { attempt_ = 0; }
+
+  int attempt() const { return attempt_; }
+
+ private:
+  BackoffConfig config_;
+  tensor::Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace roadfusion::serve

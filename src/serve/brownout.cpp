@@ -1,0 +1,52 @@
+#include "serve/brownout.hpp"
+
+namespace roadfusion::serve {
+
+BrownoutController::BrownoutController(const BrownoutConfig& config)
+    : config_(config) {
+  ROADFUSION_CHECK(config.tier1_exit_ms < config.tier1_enter_ms,
+                   "brownout tier 1 needs exit < enter for hysteresis, got "
+                       << config.tier1_exit_ms << " >= "
+                       << config.tier1_enter_ms);
+  ROADFUSION_CHECK(config.tier2_exit_ms < config.tier2_enter_ms,
+                   "brownout tier 2 needs exit < enter for hysteresis, got "
+                       << config.tier2_exit_ms << " >= "
+                       << config.tier2_enter_ms);
+  ROADFUSION_CHECK(config.tier1_enter_ms < config.tier2_enter_ms,
+                   "brownout tiers must be ordered: tier1_enter ("
+                       << config.tier1_enter_ms << ") < tier2_enter ("
+                       << config.tier2_enter_ms << ")");
+  ROADFUSION_CHECK(config.min_dwell_us >= 0,
+                   "brownout min_dwell_us must be >= 0, got "
+                       << config.min_dwell_us);
+}
+
+void BrownoutController::enter(int tier, int64_t now_us) {
+  tier_ = tier;
+  entered_us_ = now_us;
+  ++entries_[static_cast<size_t>(tier)];
+}
+
+int BrownoutController::observe(double pressure_ms, int64_t now_us) {
+  if (!primed_) {
+    primed_ = true;
+    entered_us_ = now_us;
+  }
+  const int demanded = pressure_ms >= config_.tier2_enter_ms   ? 2
+                       : pressure_ms >= config_.tier1_enter_ms ? 1
+                                                               : 0;
+  if (demanded > tier_) {
+    enter(demanded, now_us);  // escalate immediately, even multi-tier
+    return tier_;
+  }
+  if (demanded < tier_ && now_us - entered_us_ >= config_.min_dwell_us) {
+    const double exit_threshold =
+        tier_ == 2 ? config_.tier2_exit_ms : config_.tier1_exit_ms;
+    if (pressure_ms <= exit_threshold) {
+      enter(tier_ - 1, now_us);  // de-escalate one tier per observation
+    }
+  }
+  return tier_;
+}
+
+}  // namespace roadfusion::serve

@@ -1,0 +1,72 @@
+// Brownout ladder: a hysteresis state machine mapping queue-wait pressure
+// to a serving tier (DESIGN.md §14).
+//
+//   tier 0  — nominal: every admitted request serves its requested fusion
+//   tier 1  — brownout: low-priority requests are forced onto the degraded
+//             RGB-only path (skips the depth encoder — PR 3's degradation
+//             machinery repurposed as a capacity lever)
+//   tier 2  — shed: low-priority requests are rejected with
+//             RetryAfterError; the remainder serves degraded
+//
+// Pressure is an estimated queue wait in milliseconds (FrontDoor feeds the
+// max of depth-derived wait and the shards' observed recent queue-wait
+// p99). Transitions are asymmetric by design:
+//   * upward — immediate, possibly multi-tier: overload must be answered
+//     on the request that observes it, not a dwell period later;
+//   * downward — one tier per observation, only after `min_dwell_us` in
+//     the current tier AND pressure at or below the tier's exit threshold.
+// Exit thresholds sit well below the enter thresholds (hysteresis), so a
+// load hovering at the boundary cannot make the ladder oscillate.
+//
+// The controller is pure state + injected timestamps: no clock, no locks
+// (FrontDoor serializes observations), fully deterministic under a
+// VirtualClock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace roadfusion::serve {
+
+inline constexpr int kTierCount = 3;
+
+struct BrownoutConfig {
+  double tier1_enter_ms = 50.0;
+  double tier1_exit_ms = 20.0;
+  double tier2_enter_ms = 100.0;
+  double tier2_exit_ms = 40.0;
+  /// Minimum stay in a tier before a downward step is considered.
+  int64_t min_dwell_us = 250'000;
+};
+
+class BrownoutController {
+ public:
+  explicit BrownoutController(const BrownoutConfig& config);
+
+  /// Feeds one pressure observation; returns the tier in force for the
+  /// observing request.
+  int observe(double pressure_ms, int64_t now_us);
+
+  int tier() const { return tier_; }
+
+  /// Entries into each tier since construction (tier 0's count excludes
+  /// the initial state). Monotone; the sum is the number of transitions.
+  const std::array<uint64_t, kTierCount>& entries() const {
+    return entries_;
+  }
+
+  const BrownoutConfig& config() const { return config_; }
+
+ private:
+  void enter(int tier, int64_t now_us);
+
+  BrownoutConfig config_;
+  int tier_ = 0;
+  int64_t entered_us_ = 0;
+  bool primed_ = false;  ///< first observation anchors entered_us_
+  std::array<uint64_t, kTierCount> entries_{};
+};
+
+}  // namespace roadfusion::serve

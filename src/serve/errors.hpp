@@ -1,0 +1,42 @@
+// Front-door error taxonomy (DESIGN.md §14). The FrontDoor converts every
+// overload condition into one typed, *actionable* rejection: the caller
+// learns how long to back off instead of guessing from a bare queue-full
+// error. Contract: no raw QueueFullError escapes FrontDoor::submit — a
+// shard spilling over surfaces as RetryAfterError{kOverloaded} too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace roadfusion::serve {
+
+/// Why the front door turned a request away.
+enum class RejectReason {
+  kRateLimited,  ///< the tenant's token bucket is empty (admission control)
+  kOverloaded,   ///< brownout tier 2 shed, or every candidate shard is full
+};
+
+const char* to_string(RejectReason reason);
+
+/// Thrown by FrontDoor::submit for every controlled rejection. Carries the
+/// back-off hint clients must honor (the CLI sleeps
+/// max(retry_after_ms, jittered backoff) before retrying — see
+/// serve::Backoff::next_delay_ms).
+class RetryAfterError : public Error {
+ public:
+  RetryAfterError(RejectReason reason, int64_t retry_after_ms,
+                  const std::string& what)
+      : Error(what), reason_(reason), retry_after_ms_(retry_after_ms) {}
+
+  RejectReason reason() const { return reason_; }
+  /// How long the client should wait before retrying, milliseconds (>= 1).
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  RejectReason reason_;
+  int64_t retry_after_ms_;
+};
+
+}  // namespace roadfusion::serve

@@ -1,0 +1,72 @@
+#include "serve/token_bucket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadfusion::serve {
+
+TokenBucket::TokenBucket(const TenantLimits& limits)
+    : limits_(limits), tokens_(limits.burst) {
+  ROADFUSION_CHECK(!(limits.rate_per_s > 0.0) || limits.burst >= 1.0,
+                   "token bucket burst must be >= 1 when rate limiting is "
+                   "on, got "
+                       << limits.burst);
+}
+
+TokenBucket::Decision TokenBucket::try_acquire(int64_t now_us) {
+  if (!(limits_.rate_per_s > 0.0)) {
+    return {};  // unlimited tenant
+  }
+  if (!primed_) {
+    primed_ = true;
+    last_refill_us_ = now_us;
+  }
+  // Clocks are monotonic here (steady or virtual); guard anyway so a
+  // caller-side regression can't mint tokens from negative elapsed time.
+  const int64_t elapsed_us = std::max<int64_t>(0, now_us - last_refill_us_);
+  last_refill_us_ = now_us;
+  tokens_ = std::min(limits_.burst,
+                     tokens_ + limits_.rate_per_s *
+                                   (static_cast<double>(elapsed_us) / 1e6));
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return {};
+  }
+  Decision decision;
+  decision.admitted = false;
+  const double deficit = 1.0 - tokens_;
+  decision.retry_after_ms = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(deficit / limits_.rate_per_s * 1000.0)));
+  return decision;
+}
+
+TokenBucketTable::TokenBucketTable(
+    const TenantLimits& default_limits,
+    std::map<std::string, TenantLimits> overrides)
+    : default_limits_(default_limits), overrides_(std::move(overrides)) {}
+
+TokenBucket& TokenBucketTable::bucket_locked(
+    const std::string& tenant) const {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    const auto limit_it = overrides_.find(tenant);
+    const TenantLimits& limits =
+        limit_it != overrides_.end() ? limit_it->second : default_limits_;
+    it = buckets_.emplace(tenant, TokenBucket(limits)).first;
+  }
+  return it->second;
+}
+
+TokenBucket::Decision TokenBucketTable::try_acquire(
+    const std::string& tenant, int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bucket_locked(tenant).try_acquire(now_us);
+}
+
+double TokenBucketTable::tokens(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bucket_locked(tenant).tokens();
+}
+
+}  // namespace roadfusion::serve

@@ -1,0 +1,80 @@
+// Token-bucket admission control, one bucket per tenant (DESIGN.md §14).
+//
+// Continuous refill: a bucket holds up to `burst` tokens and regains
+// `rate_per_s` tokens per second of clock time; each admitted request
+// spends one token. A drained bucket answers with the exact wait until the
+// next token matures, which FrontDoor forwards as
+// RetryAfterError::retry_after_ms — admission control is *actionable*, not
+// a bare refusal.
+//
+// Time is injected (microseconds, caller-supplied `now_us`), so tests and
+// the brownout ladder share one virtual clock; the bucket itself never
+// reads a real clock and is trivially deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace roadfusion::serve {
+
+/// Per-tenant admission limits. rate_per_s <= 0 disables limiting for the
+/// tenant (every request admitted, bucket state untouched).
+struct TenantLimits {
+  double rate_per_s = 0.0;  ///< sustained tokens per second
+  double burst = 1.0;       ///< bucket capacity (max tokens banked)
+};
+
+/// One tenant's bucket. Not thread-safe; TokenBucketTable serializes.
+class TokenBucket {
+ public:
+  /// Starts full (a fresh tenant may burst immediately).
+  explicit TokenBucket(const TenantLimits& limits);
+
+  struct Decision {
+    bool admitted = true;
+    /// Milliseconds until one token matures; 0 when admitted. Always >= 1
+    /// on rejection so clients never busy-spin on a zero hint.
+    int64_t retry_after_ms = 0;
+  };
+
+  /// Refills for the elapsed time, then tries to spend one token.
+  Decision try_acquire(int64_t now_us);
+
+  double tokens() const { return tokens_; }
+  const TenantLimits& limits() const { return limits_; }
+
+ private:
+  TenantLimits limits_;
+  double tokens_;
+  int64_t last_refill_us_ = 0;
+  bool primed_ = false;  ///< first acquire anchors last_refill_us_
+};
+
+/// Thread-safe tenant -> bucket map with a default limit for tenants
+/// without an explicit override.
+class TokenBucketTable {
+ public:
+  TokenBucketTable(const TenantLimits& default_limits,
+                   std::map<std::string, TenantLimits> overrides);
+
+  TokenBucket::Decision try_acquire(const std::string& tenant,
+                                    int64_t now_us);
+
+  /// Remaining tokens for a tenant (creates the bucket if absent) —
+  /// test/introspection hook.
+  double tokens(const std::string& tenant) const;
+
+ private:
+  TokenBucket& bucket_locked(const std::string& tenant) const;
+
+  TenantLimits default_limits_;
+  std::map<std::string, TenantLimits> overrides_;
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace roadfusion::serve

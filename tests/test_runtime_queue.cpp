@@ -3,6 +3,7 @@
 // deterministic close/drain shutdown protocol.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -133,6 +134,141 @@ TEST(BoundedQueue, DrainReturnsEverythingQueued) {
   queue.close();
   EXPECT_EQ(queue.drain(), (std::vector<int>{1, 2}));
   EXPECT_EQ(queue.size(), 0u);
+}
+
+// --- close/cancel race coverage (DESIGN.md §14): shutting a serving
+// queue down races live producers and consumers; the contract is that
+// every accepted (kOk) item is delivered exactly once and nothing hangs.
+
+TEST(BoundedQueue, PushRacingCloseNeverLosesAcceptedItems) {
+  // Producers push while another thread closes mid-stream. An item that
+  // got kOk must come out of drain() exactly once; a kClosed push must
+  // leave no trace. Runs several rounds to give the race room (TSan digs
+  // out the data races, the invariant digs out lost/duplicated wakeups).
+  constexpr int kRounds = 20;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 32;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(16);
+    std::array<std::atomic<bool>, kProducers * kPerProducer> accepted{};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int value = p * kPerProducer + i;
+          if (queue.push(value) == PushResult::kOk) {
+            accepted[static_cast<size_t>(value)] = true;
+          } else {
+            return;  // closed: everything after is kClosed too
+          }
+        }
+      });
+    }
+    // Consumer keeps the queue moving so blocked producers make progress
+    // until the close lands.
+    std::vector<int> delivered;
+    std::thread consumer([&] {
+      while (true) {
+        const std::vector<int> batch =
+            queue.pop_batch(4, 0us, kAnyCompatible);
+        if (batch.empty()) {
+          return;
+        }
+        delivered.insert(delivered.end(), batch.begin(), batch.end());
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    queue.close();
+    for (auto& t : producers) {
+      t.join();
+    }
+    consumer.join();
+    const std::vector<int> rest = queue.drain();
+    delivered.insert(delivered.end(), rest.begin(), rest.end());
+
+    std::vector<int> seen(kProducers * kPerProducer, 0);
+    for (int value : delivered) {
+      ++seen[static_cast<size_t>(value)];
+    }
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], accepted[i] ? 1 : 0)
+          << "item " << i << " accepted=" << accepted[i]
+          << " delivered " << seen[i] << " times (round " << round << ")";
+    }
+  }
+}
+
+TEST(BoundedQueue, CloseOnFullQueueWakesEveryBlockedProducer) {
+  // All producers are parked on a full queue when close() lands: each
+  // must wake with kClosed (not hang, not sneak an item in), and the
+  // items accepted before saturation drain intact.
+  BoundedQueue<int> queue(2);
+  ASSERT_EQ(queue.push(100), PushResult::kOk);
+  ASSERT_EQ(queue.push(101), PushResult::kOk);
+  constexpr int kBlocked = 4;
+  std::atomic<int> closed_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&, p] {
+      if (queue.push(200 + p) == PushResult::kClosed) {
+        ++closed_count;
+      }
+    });
+  }
+  std::this_thread::sleep_for(50ms);  // let every producer park
+  queue.close();
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(closed_count.load(), kBlocked);
+  EXPECT_EQ(queue.drain(), (std::vector<int>{100, 101}));
+}
+
+TEST(BoundedQueue, PopAfterCloseRacingDrainDeliversExactlyOnce) {
+  // The engine's kCancel shutdown drains while workers may still be in
+  // pop_batch: every queued item must surface exactly once across the
+  // racing consumers and the drain call.
+  constexpr int kRounds = 20;
+  constexpr int kItems = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(kItems);
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_EQ(queue.push(i), PushResult::kOk);
+    }
+    std::vector<std::vector<int>> consumed(2);
+    std::vector<std::thread> consumers;
+    for (size_t c = 0; c < consumed.size(); ++c) {
+      consumers.emplace_back([&, c] {
+        while (true) {
+          const std::vector<int> batch =
+              queue.pop_batch(3, 0us, kAnyCompatible);
+          if (batch.empty()) {
+            return;
+          }
+          consumed[c].insert(consumed[c].end(), batch.begin(), batch.end());
+        }
+      });
+    }
+    queue.close();
+    const std::vector<int> drained = queue.drain();
+    for (auto& t : consumers) {
+      t.join();
+    }
+    std::vector<int> seen(kItems, 0);
+    for (const std::vector<int>& part : consumed) {
+      for (int value : part) {
+        ++seen[static_cast<size_t>(value)];
+      }
+    }
+    for (int value : drained) {
+      ++seen[static_cast<size_t>(value)];
+    }
+    for (int i = 0; i < kItems; ++i) {
+      EXPECT_EQ(seen[static_cast<size_t>(i)], 1)
+          << "item " << i << " delivered " << seen[static_cast<size_t>(i)]
+          << " times (round " << round << ")";
+    }
+  }
 }
 
 TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverything) {

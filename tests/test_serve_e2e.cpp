@@ -1,0 +1,289 @@
+// End-to-end front-door observability (DESIGN.md §14): one deterministic
+// overload scenario on a virtual clock with gated workers exercises every
+// admission outcome — admitted per tier, rate-limited, shed, forced
+// degraded — and then cross-checks three views of the same traffic:
+//   1. the FrontDoor's own stats() snapshot,
+//   2. the global metrics registry's labeled-counter deltas,
+//   3. the trace ring's frontdoor.* span/event counts.
+// All three must agree exactly; any silent drop or double-count breaks one
+// of the identities.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "runtime/engine.hpp"
+#include "serve/front_door.hpp"
+
+namespace roadfusion::serve {
+namespace {
+
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using runtime::InferenceResult;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr int64_t kMs = 1000;
+constexpr int64_t kSecond = 1000 * kMs;
+
+/// Parks every shard worker until open(); lets the test build exact queue
+/// depths (same pattern as test_frontdoor).
+class WorkerGate {
+ public:
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = false;
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  std::function<void(size_t)> hook() {
+    return [this](size_t) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return open_; });
+    };
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = true;
+};
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing_enabled(false);
+    obs::set_ring_capacity(16384);
+    obs::reset_tracing();
+    clock_.set_us(1 * kSecond);
+    obs::set_clock(&clock_);
+    obs::set_tracing_enabled(true);
+    RoadSegConfig net_config;
+    net_config.scheme = core::FusionScheme::kWeightedSharing;
+    net_config.stage_channels = {4, 6, 8};
+    Rng rng(7);
+    net_ = std::make_unique<RoadSegNet>(net_config, rng);
+  }
+
+  void TearDown() override {
+    obs::set_tracing_enabled(false);
+    obs::set_clock(nullptr);
+    obs::reset_tracing();
+  }
+
+  Tensor rgb(uint64_t seed) {
+    Rng rng(seed);
+    return Tensor::uniform(Shape::chw(3, 8, 16), rng);
+  }
+  Tensor depth(uint64_t seed) {
+    Rng rng(seed + 1000);
+    return Tensor::uniform(Shape::chw(1, 8, 16), rng);
+  }
+
+  static size_t count_exact(const std::vector<obs::TraceEvent>& events,
+                            const std::string& name) {
+    size_t n = 0;
+    for (const obs::TraceEvent& event : events) {
+      if (name == event.name) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  obs::VirtualClock clock_;
+  std::unique_ptr<RoadSegNet> net_;
+};
+
+TEST_F(ServeE2eTest, RegistryDeltasMatchFrontDoorTotals) {
+  // Registry deltas, not absolutes: the registry is process-wide.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const auto counter_value = [&registry](const std::string& name) {
+    return registry.counter(name).value();
+  };
+  const std::vector<std::string> tracked = {
+      "roadfusion_frontdoor_submitted_total{tenant=\"interactive\"}",
+      "roadfusion_frontdoor_submitted_total{tenant=\"batch\"}",
+      "roadfusion_frontdoor_submitted_total{tenant=\"metered\"}",
+      "roadfusion_frontdoor_admitted_total{tenant=\"interactive\",tier=\"0\"}",
+      "roadfusion_frontdoor_admitted_total{tenant=\"interactive\",tier=\"1\"}",
+      "roadfusion_frontdoor_admitted_total{tenant=\"interactive\",tier=\"2\"}",
+      "roadfusion_frontdoor_admitted_total{tenant=\"metered\",tier=\"2\"}",
+      "roadfusion_frontdoor_rate_limited_total{tenant=\"metered\"}",
+      "roadfusion_frontdoor_shed_total{tenant=\"batch\"}",
+      "roadfusion_frontdoor_degraded_forced_total{tenant=\"interactive\"}",
+      "roadfusion_frontdoor_degraded_forced_total{tenant=\"metered\"}",
+      "roadfusion_frontdoor_tier_transitions_total{tier=\"0\"}",
+      "roadfusion_frontdoor_tier_transitions_total{tier=\"1\"}",
+      "roadfusion_frontdoor_tier_transitions_total{tier=\"2\"}",
+      "roadfusion_frontdoor_spills_total",
+      "roadfusion_frontdoor_shard_full_total",
+  };
+  std::vector<uint64_t> before;
+  before.reserve(tracked.size());
+  for (const std::string& name : tracked) {
+    before.push_back(counter_value(name));
+  }
+  const auto delta = [&](size_t i) {
+    return counter_value(tracked[i]) - before[i];
+  };
+
+  // One gated shard; est_batch_service_ms 1000 makes each queued request
+  // one estimated second of pressure, so queue depth controls the tier
+  // exactly (thresholds mirror test_frontdoor's gated config). The
+  // `metered` tenant gets a 1-token bucket on the frozen virtual clock.
+  WorkerGate gate;
+  gate.close();
+  FrontDoorConfig config;
+  config.shards = 1;
+  config.engine.threads = 1;
+  config.engine.max_batch = 1;
+  config.engine.queue_capacity = 16;
+  config.engine.pre_forward_hook = gate.hook();
+  config.est_batch_service_ms = 1000.0;
+  config.brownout.tier1_enter_ms = 1500.0;
+  config.brownout.tier1_exit_ms = 700.0;
+  config.brownout.tier2_enter_ms = 3500.0;
+  config.brownout.tier2_exit_ms = 900.0;
+  config.brownout.min_dwell_us = 250 * kMs;
+  config.tenant_limits["metered"] = {/*rate_per_s=*/1.0, /*burst=*/1.0};
+  FrontDoor door(*net_, config);
+
+  ServeOptions interactive;
+  interactive.tenant = "interactive";
+  ServeOptions batch;
+  batch.tenant = "batch";
+  batch.low_priority = true;
+  ServeOptions metered;
+  metered.tenant = "metered";
+
+  // Build pressure: request 1 is pinned by the gated worker, the rest
+  // queue behind it. A submit observes the depth before its own enqueue:
+  // observing 2 queued enters tier 1, observing 4 enters tier 2.
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(door.submit(rgb(1), depth(1), interactive));
+  while (door.shard(0).queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  futures.push_back(door.submit(rgb(2), depth(2), interactive));  // saw 0
+  futures.push_back(door.submit(rgb(3), depth(3), interactive));  // saw 1
+  futures.push_back(door.submit(rgb(4), depth(4), interactive));  // saw 2 -> t1
+  futures.push_back(door.submit(rgb(5), depth(5), interactive));  // saw 3
+  EXPECT_EQ(door.tier(), 1);
+
+  // Low-priority `batch` observes depth 4 -> tier 2 -> shed.
+  EXPECT_THROW((void)door.submit(rgb(6), depth(6), batch), RetryAfterError);
+  EXPECT_EQ(door.tier(), 2);
+  // The tier gauge tracks the transition the moment it happens.
+  EXPECT_EQ(registry.gauge("roadfusion_frontdoor_tier").value(), 2.0);
+
+  // High-priority tenants are still served at tier 2, forced degraded.
+  futures.push_back(door.submit(rgb(7), depth(7), interactive));
+  futures.push_back(door.submit(rgb(8), depth(8), metered));
+  // `metered` spent its only token; the frozen clock banks nothing.
+  try {
+    (void)door.submit(rgb(9), depth(9), metered);
+    FAIL() << "drained metered bucket must rate-limit";
+  } catch (const RetryAfterError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kRateLimited);
+    EXPECT_EQ(e.retry_after_ms(), 1000);
+  }
+
+  gate.open();
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+
+  // De-escalation under virtual dwell: one tier per observation.
+  clock_.advance_us(300 * kMs);
+  (void)door.submit(rgb(10), depth(10), interactive).get();  // tier 2 -> 1
+  EXPECT_EQ(door.tier(), 1);
+  clock_.advance_us(300 * kMs);
+  (void)door.submit(rgb(11), depth(11), interactive).get();  // tier 1 -> 0
+  EXPECT_EQ(door.tier(), 0);
+  obs::set_tracing_enabled(false);
+
+  // --- View 1: the door's own snapshot. ---
+  const FrontDoorStats stats = door.stats();
+  EXPECT_EQ(stats.submitted, 11u);  // 9 admitted + 1 shed + 1 rate-limited
+  EXPECT_EQ(stats.admitted, 9u);
+  EXPECT_EQ(stats.rate_limited, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shard_full, 0u);
+  EXPECT_EQ(stats.spills, 0u);
+  EXPECT_EQ(stats.forced_degraded, 2u);
+  EXPECT_EQ(stats.tier, 0);
+  EXPECT_EQ(stats.tier_entries[0], 1u);
+  EXPECT_EQ(stats.tier_entries[1], 2u);  // 0->1 escalating, 2->1 descending
+  EXPECT_EQ(stats.tier_entries[2], 1u);
+  // Everything admitted was served; forced-degraded requests really took
+  // the degraded path end to end.
+  EXPECT_EQ(stats.engine.requests_served, stats.admitted);
+  EXPECT_EQ(stats.engine.requests_degraded, stats.forced_degraded);
+  EXPECT_EQ(stats.engine.requests_timed_out, 0u);
+
+  // --- View 2: registry deltas match the snapshot, label by label. ---
+  EXPECT_EQ(delta(0), 8u);   // submitted{interactive}
+  EXPECT_EQ(delta(1), 1u);   // submitted{batch}
+  EXPECT_EQ(delta(2), 2u);   // submitted{metered}
+  EXPECT_EQ(delta(0) + delta(1) + delta(2), stats.submitted);
+  EXPECT_EQ(delta(3), 4u);   // admitted{interactive,0}: 3 pre-overload + final
+  EXPECT_EQ(delta(4), 3u);   // admitted{interactive,1}: 2 escalating + 1 descent
+  EXPECT_EQ(delta(5), 1u);   // admitted{interactive,2}
+  EXPECT_EQ(delta(6), 1u);   // admitted{metered,2}
+  EXPECT_EQ(delta(3) + delta(4) + delta(5) + delta(6), stats.admitted);
+  EXPECT_EQ(delta(7), stats.rate_limited);
+  EXPECT_EQ(delta(8), stats.shed);
+  EXPECT_EQ(delta(9) + delta(10), stats.forced_degraded);
+  EXPECT_EQ(delta(11), stats.tier_entries[0]);  // transitions{tier="0"}
+  EXPECT_EQ(delta(12), stats.tier_entries[1]);
+  EXPECT_EQ(delta(13), stats.tier_entries[2]);
+  EXPECT_EQ(delta(14), stats.spills);
+  EXPECT_EQ(delta(15), stats.shard_full);
+  EXPECT_EQ(registry.gauge("roadfusion_frontdoor_tier").value(),
+            static_cast<double>(stats.tier));
+
+  // The queue-depth callback gauge samples a drained fleet at render time.
+  bool found_queue_depth = false;
+  for (const obs::MetricSnapshot& metric : registry.snapshot()) {
+    if (metric.name == "roadfusion_frontdoor_queue_depth") {
+      found_queue_depth = true;
+      EXPECT_EQ(metric.kind, obs::MetricSnapshot::Kind::kGauge);
+      EXPECT_EQ(metric.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_queue_depth);
+
+  // --- View 3: the trace ring agrees. Every submit — admitted or
+  // rejected — opens exactly one frontdoor.submit span, and each ladder
+  // move left one frontdoor.tierN instant event. ---
+  const std::vector<obs::TraceEvent> events = obs::collect_events();
+  ASSERT_EQ(obs::dropped_event_count(), 0u)
+      << "ring too small for exact span counting";
+  EXPECT_EQ(count_exact(events, "frontdoor.submit"), stats.submitted);
+  EXPECT_EQ(count_exact(events, "frontdoor.tier0"), stats.tier_entries[0]);
+  EXPECT_EQ(count_exact(events, "frontdoor.tier1"), stats.tier_entries[1]);
+  EXPECT_EQ(count_exact(events, "frontdoor.tier2"), stats.tier_entries[2]);
+
+  door.shutdown();
+}
+
+}  // namespace
+}  // namespace roadfusion::serve

@@ -47,6 +47,8 @@
 #include "roadseg/roadseg_net.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault_injection.hpp"
+#include "serve/backoff.hpp"
+#include "serve/front_door.hpp"
 #include "train/checkpoint.hpp"
 #include "train/trainer.hpp"
 #include "tune/dispatch.hpp"
@@ -410,8 +412,20 @@ int cmd_batch_infer(const cli::Args& args) {
         "scene.\n\n"
         "  --deadline-ms N    per-request queue-wait budget; expired\n"
         "                     requests fail with DeadlineExceededError\n"
-        "  --max-retries N    resubmits on queue-full / deadline failures\n"
-        "                     with exponential backoff (default 0)\n"
+        "  --max-retries N    resubmits on queue-full / retry-after /\n"
+        "                     deadline failures with capped jittered\n"
+        "                     exponential backoff (default 0)\n"
+        "  --backoff-ms N     base backoff window, ms (default 1)\n"
+        "  --backoff-cap-ms N backoff window ceiling, ms (default 1000)\n"
+        "  --backoff-seed N   jitter stream seed (default 0x5eed) — a fixed\n"
+        "                     seed makes the retry schedule reproducible\n"
+        "  --shards N         serve through the overload-safe front door\n"
+        "                     with N engine shards (DESIGN.md §14); polite\n"
+        "                     RetryAfterError rejections are honored with\n"
+        "                     jittered backoff floored at retry_after_ms\n"
+        "  --rate R           front-door tenant admission rate, tokens/s\n"
+        "                     (default 0 = unlimited)\n"
+        "  --burst B          front-door tenant burst capacity (default 1)\n"
         "  --inject-faults    deterministic fault spec, e.g.\n"
         "                     rate=0.1,seed=7,kinds=nan+slow (see DESIGN.md"
         " §9)\n"
@@ -423,7 +437,9 @@ int cmd_batch_infer(const cli::Args& args) {
   args.allow_only({"model", "scheme", "data", "cap", "count", "normals",
                    "data-seed", "threads", "max-batch", "max-wait-us",
                    "queue-cap", "kernel-backend", "deadline-ms",
-                   "max-retries", "inject-faults", "out", "trace", "perf-db",
+                   "max-retries", "backoff-ms", "backoff-cap-ms",
+                   "backoff-seed", "shards", "rate", "burst",
+                   "inject-faults", "out", "trace", "perf-db",
                    "quant", "help"});
   apply_perf_db(args);
   apply_quant(args);
@@ -442,6 +458,12 @@ int cmd_batch_infer(const cli::Args& args) {
   engine_cfg.default_deadline_ms = args.get_int("deadline-ms", 0);
   const int max_retries = static_cast<int>(args.get_int("max-retries", 0));
   ROADFUSION_CHECK(max_retries >= 0, "--max-retries must be >= 0");
+  const int shards = static_cast<int>(args.get_int("shards", 0));
+  ROADFUSION_CHECK(shards >= 0, "--shards must be >= 0");
+  serve::BackoffConfig backoff_cfg;
+  backoff_cfg.base_ms = args.get_int("backoff-ms", 1);
+  backoff_cfg.cap_ms = args.get_int("backoff-cap-ms", 1000);
+  backoff_cfg.seed = static_cast<uint64_t>(args.get_int("backoff-seed", 0x5eed));
 
   std::unique_ptr<runtime::FaultInjector> injector;
   if (args.has("inject-faults")) {
@@ -451,21 +473,42 @@ int cmd_batch_infer(const cli::Args& args) {
   }
 
   start_trace(args);
-  runtime::InferenceEngine engine(net, engine_cfg);
-  std::printf("batch-infer: %lld scenes, %d threads, max batch %d%s\n",
+  // --shards N serves through the front door (admission control, brownout
+  // ladder, sharded routing — DESIGN.md §14); the default stays a direct
+  // single engine.
+  std::unique_ptr<runtime::InferenceEngine> engine;
+  std::unique_ptr<serve::FrontDoor> door;
+  if (shards > 0) {
+    serve::FrontDoorConfig door_cfg;
+    door_cfg.shards = shards;
+    door_cfg.engine = engine_cfg;
+    door_cfg.default_limits.rate_per_s = args.get_double("rate", 0.0);
+    door_cfg.default_limits.burst = args.get_double("burst", 1.0);
+    door = std::make_unique<serve::FrontDoor>(net, door_cfg);
+  } else {
+    engine = std::make_unique<runtime::InferenceEngine>(net, engine_cfg);
+  }
+  std::printf("batch-infer: %lld scenes, %d threads, max batch %d%s%s\n",
               static_cast<long long>(count), engine_cfg.threads,
               engine_cfg.max_batch,
+              door ? " (front door)" : "",
               injector ? " (fault injection on)" : "");
 
   // One request at a time in flight per scene, but all scenes submitted
   // before any future is awaited, so batching still forms. A failed
   // request is resubmitted (fresh tensors, no fault re-applied) up to
-  // --max-retries times with exponential backoff.
+  // --max-retries times with capped jittered exponential backoff; a
+  // RetryAfterError's hint floors the jittered delay.
   const auto start = std::chrono::steady_clock::now();
   struct Pending {
     std::future<runtime::InferenceResult> future;
     bool submit_failed = false;
     std::string submit_error;
+  };
+  serve::Backoff backoff(backoff_cfg);
+  const auto sleep_backoff = [&](int64_t floor_ms) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.next_delay_ms(floor_ms)));
   };
   const auto submit_once = [&](int64_t i, bool with_fault) -> Pending {
     const kitti::Sample& sample = scenes->sample(i);
@@ -479,10 +522,12 @@ int cmd_batch_infer(const cli::Args& args) {
       }
     }
     Pending pending;
-    int backoff_ms = 1;
+    backoff.reset();
     for (int attempt = 0;; ++attempt) {
       try {
-        pending.future = engine.submit(std::move(rgb), std::move(depth));
+        pending.future =
+            door ? door->submit(std::move(rgb), std::move(depth), {})
+                 : engine->submit(std::move(rgb), std::move(depth));
         return pending;
       } catch (const runtime::QueueFullError& e) {
         if (attempt >= max_retries) {
@@ -490,16 +535,23 @@ int cmd_batch_infer(const cli::Args& args) {
           pending.submit_error = e.what();
           return pending;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
-        // submit moved from the tensors only on success; reload them.
-        rgb = sample.rgb;
-        depth = sample.depth;
+        sleep_backoff(0);
+      } catch (const serve::RetryAfterError& e) {
+        if (attempt >= max_retries) {
+          pending.submit_failed = true;
+          pending.submit_error = e.what();
+          return pending;
+        }
+        // Honor the server's hint: never retry before retry_after_ms.
+        sleep_backoff(e.retry_after_ms());
       } catch (const runtime::InvalidInputError& e) {
         pending.submit_failed = true;
         pending.submit_error = e.what();
         return pending;
       }
+      // submit moved from the tensors only on success; reload them.
+      rgb = sample.rgb;
+      depth = sample.depth;
     }
   };
 
@@ -561,10 +613,33 @@ int cmd_batch_infer(const cli::Args& args) {
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  engine.shutdown(runtime::ShutdownMode::kDrain);
+  if (door) {
+    door->shutdown(runtime::ShutdownMode::kDrain);
+  } else {
+    engine->shutdown(runtime::ShutdownMode::kDrain);
+  }
   finish_trace(args);
 
-  print_runtime_stats(engine.stats());
+  if (door) {
+    const serve::FrontDoorStats ds = door->stats();
+    std::printf(
+        "front door: %llu submitted, %llu admitted, %llu rate-limited, "
+        "%llu shed, %llu shard-full, %llu forced degraded, %llu spills; "
+        "tier entries [%llu, %llu, %llu]\n",
+        static_cast<unsigned long long>(ds.submitted),
+        static_cast<unsigned long long>(ds.admitted),
+        static_cast<unsigned long long>(ds.rate_limited),
+        static_cast<unsigned long long>(ds.shed),
+        static_cast<unsigned long long>(ds.shard_full),
+        static_cast<unsigned long long>(ds.forced_degraded),
+        static_cast<unsigned long long>(ds.spills),
+        static_cast<unsigned long long>(ds.tier_entries[0]),
+        static_cast<unsigned long long>(ds.tier_entries[1]),
+        static_cast<unsigned long long>(ds.tier_entries[2]));
+    print_runtime_stats(ds.engine);
+  } else {
+    print_runtime_stats(engine->stats());
+  }
   std::printf(
       "wrote %lld overlays to %s (%.2f scenes/s); %lld ok, %lld degraded, "
       "%lld failed\n",

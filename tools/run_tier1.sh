@@ -38,6 +38,13 @@
 #                                 # and the accuracy gate passes, then serve
 #                                 # one scene with --quant and assert the
 #                                 # int8 solvers actually bind
+#   tools/run_tier1.sh --soak-smoke
+#                                 # additionally run bench_soak --smoke: a
+#                                 # seconds-long open-loop overload drill
+#                                 # asserting the front door keeps >=99%
+#                                 # availability at 2x capacity where the
+#                                 # bare engine collapses, with exact
+#                                 # request accounting
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +56,7 @@ coverage=0
 bench_smoke=0
 tune_smoke=0
 quant_smoke=0
+soak_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
@@ -58,8 +66,9 @@ for arg in "$@"; do
     --bench-smoke) bench_smoke=1 ;;
     --tune-smoke) tune_smoke=1 ;;
     --quant-smoke) quant_smoke=1 ;;
+    --soak-smoke) soak_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke] [--soak-smoke]" >&2
       exit 2
       ;;
   esac
@@ -70,22 +79,22 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$tsan" == 1 ]]; then
-  echo "== ThreadSanitizer pass over the runtime + fault tolerance + kernel parity + observability + workspace tests =="
+  echo "== ThreadSanitizer pass over the runtime + serve + fault tolerance + kernel parity + observability + workspace tests =="
   cmake -B build-tsan -S . -DROADFUSION_SANITIZE=thread
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_kernel_parity test_tracing test_metrics test_runtime_stats \
-             test_workspace test_tune test_quant
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$')
+             test_workspace test_tune test_quant test_frontdoor test_serve_e2e
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$|test_frontdoor|test_serve_e2e')
 fi
 
 if [[ "$asan" == 1 ]]; then
-  echo "== AddressSanitizer pass over the kernel parity + golden + fault tolerance + workspace tests =="
+  echo "== AddressSanitizer pass over the kernel parity + golden + fault tolerance + workspace + serve tests =="
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
     --target test_kernel_parity test_golden_inference test_fault_tolerance \
-             test_workspace test_tune test_quant
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$')
+             test_workspace test_tune test_quant test_frontdoor
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$|test_frontdoor')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -95,6 +104,14 @@ if [[ "$ubsan" == 1 ]]; then
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_serialize test_checkpoint test_quant
   (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint|test_quant$')
+fi
+
+if [[ "$soak_smoke" == 1 ]]; then
+  echo "== Soak smoke: front door holds availability at 2x capacity =="
+  cmake --build build -j --target bench_soak
+  # bench_soak gates internally (availability floors + exact accounting)
+  # and exits nonzero if the ladder fails to hold.
+  (cd build && ./bench/bench_soak --smoke)
 fi
 
 if [[ "$bench_smoke" == 1 ]]; then
