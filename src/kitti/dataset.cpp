@@ -119,6 +119,11 @@ Sample RoadDataset::generate(const Entry& entry) const {
   sample.category = entry.category;
   sample.lighting = entry.lighting;
   sample.scene_seed = entry.scene_seed;
+  // Day scenes are the benchmark's nominal condition; adverse lighting
+  // conditions name themselves so metrics can slice on them.
+  sample.scenario = entry.lighting == Lighting::kDay
+                        ? "clean"
+                        : to_string(entry.lighting);
   sample.rgb = render_rgb(scene, camera_, noise_rng);
   sample.label = render_ground_truth(scene, camera_);
   const std::vector<LidarPoint> points =

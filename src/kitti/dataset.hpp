@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kitti/data_interface.hpp"
@@ -30,6 +31,12 @@ struct Sample {
   RoadCategory category = RoadCategory::kUM;
   Lighting lighting = Lighting::kDay;
   uint64_t scene_seed = 0;
+  /// Scenario label carried into Engine::submit metadata so traces and
+  /// metrics can be sliced per scenario. The procedural generator labels
+  /// samples with their lighting condition; ScenarioDataset overwrites it
+  /// with the corruption suite name; DirectoryDataset parses it from the
+  /// file stem.
+  std::string scenario = "clean";
 };
 
 /// Train / test split selector.

@@ -11,6 +11,33 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Parses the scenario label out of a stem ("UMM_night_3" -> "night",
+/// "UU_fog-0.6_12" -> "fog-0.6"): everything between the category token
+/// and a trailing numeric index. Day / unlabeled stems map to "clean" so
+/// file-backed samples slice metrics exactly like generated ones.
+std::string scenario_of_stem(const std::string& stem) {
+  const size_t first = stem.find('_');
+  if (first == std::string::npos || first + 1 >= stem.size()) {
+    return "clean";
+  }
+  std::string rest = stem.substr(first + 1);
+  const size_t last = rest.rfind('_');
+  if (last != std::string::npos) {
+    const std::string tail = rest.substr(last + 1);
+    const bool numeric =
+        !tail.empty() && std::all_of(tail.begin(), tail.end(), [](char c) {
+          return c >= '0' && c <= '9';
+        });
+    if (numeric) {
+      rest = rest.substr(0, last);
+    }
+  }
+  if (rest.empty() || rest == "day") {
+    return "clean";
+  }
+  return rest;
+}
+
 /// Parses the leading category token of a stem ("UMM_day_3" -> kUMM).
 RoadCategory category_of_stem(const std::string& stem) {
   if (stem.rfind("UMM", 0) == 0) {
@@ -108,6 +135,7 @@ Sample DirectoryDataset::load(int64_t index) const {
   };
   Sample sample;
   sample.category = categories_[static_cast<size_t>(index)];
+  sample.scenario = scenario_of_stem(stems_[static_cast<size_t>(index)]);
   sample.rgb = read_file(base.string() + "_rgb.ppm", /*color=*/true);
   if (has_normals_[static_cast<size_t>(index)]) {
     sample.depth = read_file(base.string() + "_normals.ppm", /*color=*/true);

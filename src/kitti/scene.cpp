@@ -169,6 +169,23 @@ Scene Scene::generate(RoadCategory category, Lighting lighting,
   return scene;
 }
 
+Scene Scene::advanced(double dz) const {
+  Scene next = *this;
+  // Re-express x_c(z) = c0 + c1 z + c2 z^2 in a frame shifted by dz:
+  // x_c'(z) = x_c(z + dz), i.e. the ego drives straight while the road
+  // curves away — the same world polynomial, new coefficients.
+  next.c0_ = c0_ + c1_ * dz + c2_ * dz * dz;
+  next.c1_ = c1_ + 2.0 * c2_ * dz;
+  next.z_origin_ = z_origin_ + dz;
+  for (Obstacle& obstacle : next.obstacles_) {
+    obstacle.z -= dz;
+  }
+  for (GroundShadow& shadow : next.shadows_) {
+    shadow.z -= dz;
+  }
+  return next;
+}
+
 double Scene::road_center(double z) const {
   return c0_ + c1_ * z + c2_ * z * z;
 }
@@ -177,10 +194,12 @@ double Scene::road_half_width(double z, double lateral_sign) const {
   double half_width = base_half_width_;
   if (edge_wobble_amp_ > 0.0) {
     // Different wobble phase per side so the two edges are independent.
+    // World-z keeps the wobble glued to the road under ego motion.
+    const double wz = z + z_origin_;
     const double phase = lateral_sign > 0.0 ? 0.0 : 2.1;
     half_width += edge_wobble_amp_ *
-                  std::sin(edge_wobble_freq_ * z + phase +
-                           0.13 * std::sin(0.11 * z));
+                  std::sin(edge_wobble_freq_ * wz + phase +
+                           0.13 * std::sin(0.11 * wz));
   }
   return half_width;
 }
@@ -204,7 +223,7 @@ bool Scene::on_marking(double x, double z, Color* marking_color) const {
       continue;
     }
     if (marking.dashed) {
-      const double phase = std::fmod(z, marking.dash_period);
+      const double phase = std::fmod(z + z_origin_, marking.dash_period);
       if (phase > marking.dash_period * 0.5) {
         continue;
       }
@@ -234,13 +253,15 @@ float Scene::shadow_factor(double x, double z) const {
 }
 
 float Scene::ground_noise(double x, double z) const {
-  // Two-octave value noise on a 0.5 m lattice.
+  // Two-octave value noise on a 0.5 m lattice, sampled at world
+  // coordinates so the texture streams past a moving ego coherently.
+  const double world_z = z + z_origin_;
   float total = 0.0f;
   float amplitude = 1.0f;
   double scale = 2.0;  // lattice cells per metre
   for (int octave = 0; octave < 2; ++octave) {
     const double gx = x * scale;
-    const double gz = z * scale;
+    const double gz = world_z * scale;
     const int64_t ix = static_cast<int64_t>(std::floor(gx));
     const int64_t iz = static_cast<int64_t>(std::floor(gz));
     const float tx = smoothstep(static_cast<float>(gx - std::floor(gx)));

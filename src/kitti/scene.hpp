@@ -85,9 +85,21 @@ class Scene {
   static Scene generate(RoadCategory category, Lighting lighting,
                         uint64_t seed);
 
+  /// The same world viewed after the ego vehicle drove `dz` metres
+  /// straight ahead: the centerline polynomial is re-expressed in the new
+  /// camera frame, obstacles and shadows slide toward the camera, and the
+  /// wobble / dash / texture phases are evaluated at world coordinates so
+  /// consecutive frames show one coherent road instead of independently
+  /// re-rolled geometry. Composable: a.advanced(x).advanced(y) describes
+  /// the same world as a.advanced(x + y) (up to float rounding).
+  Scene advanced(double dz) const;
+
   RoadCategory category() const { return category_; }
   Lighting lighting() const { return lighting_; }
   uint64_t seed() const { return seed_; }
+
+  /// Forward distance the ego has travelled from the generated origin.
+  double z_origin() const { return z_origin_; }
 
   /// Lateral position of the road centerline at forward distance z.
   double road_center(double z) const;
@@ -131,6 +143,10 @@ class Scene {
   double c0_ = 0.0;
   double c1_ = 0.0;
   double c2_ = 0.0;
+  // Ego travel from the generated origin (see advanced()); phase-carrying
+  // features (edge wobble, dash cycle, ground texture) evaluate at world
+  // z = local z + z_origin_ so they stay pinned to the road surface.
+  double z_origin_ = 0.0;
   double base_half_width_ = 3.5;
   double edge_wobble_amp_ = 0.0;   ///< UU: metres of edge irregularity
   double edge_wobble_freq_ = 0.35;

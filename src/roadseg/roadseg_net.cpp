@@ -5,6 +5,7 @@
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
 #include "obs/trace.hpp"
+#include "tensor/workspace.hpp"
 
 namespace roadfusion::roadseg {
 
@@ -15,6 +16,15 @@ namespace {
 /// Upper bound on encoder stages the raw inference path supports — the
 /// skip pyramid lives in a fixed array so no per-call vector is needed.
 constexpr int kMaxInferStages = 8;
+
+/// Deep-copies a depth feature into its cache slot. The slot must outlive
+/// the ambient workspace arena, so a fresh allocation goes to the heap;
+/// once the slot holds matching storage, copy-assignment reuses it and
+/// the steady state allocates nothing.
+void store_stream_feature(tensor::Tensor& slot, const tensor::Tensor& value) {
+  const tensor::NoWorkspaceScope no_pool;
+  slot = value;
+}
 
 }  // namespace
 
@@ -193,6 +203,13 @@ bool RoadSegNet::supports_raw_inference() const {
 tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
                                         const tensor::Tensor& depth,
                                         float fusion_weight) const {
+  return infer_logits_impl(rgb, depth, fusion_weight, nullptr);
+}
+
+tensor::Tensor RoadSegNet::infer_logits_impl(const tensor::Tensor& rgb,
+                                             const tensor::Tensor& depth,
+                                             float fusion_weight,
+                                             StreamFeatureCache* populate) const {
   ROADFUSION_CHECK(rgb.shape().rank() == 4 && depth.shape().rank() == 4,
                    "RoadSegNet::infer_logits expects NCHW inputs");
   ROADFUSION_CHECK(rgb.shape().batch() == depth.shape().batch() &&
@@ -252,6 +269,9 @@ tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
     }
   };
 
+  if (populate != nullptr) {
+    populate->matched.resize(static_cast<size_t>(stages));
+  }
   tensor::Tensor depth_store;
   const tensor::Tensor* rgb_in = &rgb;
   const tensor::Tensor* depth_in = &depth;
@@ -269,11 +289,19 @@ tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
     switch (config_.scheme) {
       case FusionScheme::kBaseline:
       case FusionScheme::kBaseSharing:
+        if (populate != nullptr) {
+          store_stream_feature(populate->matched[static_cast<size_t>(stage)],
+                               d_i);
+        }
         accumulate(r_i, d_i);
         break;
       case FusionScheme::kAllFilterU: {
         const tensor::Tensor matched =
             depth_to_rgb_filters_[static_cast<size_t>(stage)].match_infer(d_i);
+        if (populate != nullptr) {
+          store_stream_feature(populate->matched[static_cast<size_t>(stage)],
+                               matched);
+        }
         accumulate(r_i, matched);
         break;
       }
@@ -296,6 +324,16 @@ tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
         break;
       }
       case FusionScheme::kWeightedSharing:
+        if (populate != nullptr) {
+          if (stage == stages - 1) {
+            // The AWN needs the *unscaled* deepest depth features each
+            // frame; snapshot them before the in-place weighting below.
+            store_stream_feature(populate->d_last_unscaled, d_i);
+          } else {
+            store_stream_feature(populate->matched[static_cast<size_t>(stage)],
+                                 d_i);
+          }
+        }
         if (stage == stages - 1) {
           obs::ScopedSpan awn_span("awn.weight");
           const tensor::Tensor w = awn_->weight_infer(r_i, d_i);
@@ -322,8 +360,114 @@ tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
     depth_in = &depth_store;
   }
 
+  if (populate != nullptr) {
+    populate->valid = true;
+  }
   obs::ScopedSpan decoder_span("decoder");
   return decoder_->forward_infer(skips.data(), stages);
+}
+
+tensor::Tensor RoadSegNet::infer_logits_reuse(const tensor::Tensor& rgb,
+                                              float fusion_weight,
+                                              StreamFeatureCache& cache) const {
+  const int stages = num_stages();
+  const int64_t stride = int64_t{1} << (stages - 1);
+  ROADFUSION_CHECK(rgb.shape().rank() == 4 &&
+                       rgb.shape().height() % stride == 0 &&
+                       rgb.shape().width() % stride == 0,
+                   "RoadSegNet::infer_logits_reuse: bad rgb "
+                       << rgb.shape().str());
+
+  // Same float-op sequence as infer_logits' accumulate lambda.
+  const auto accumulate = [fusion_weight](tensor::Tensor& r,
+                                          const tensor::Tensor& m) {
+    float* pr = r.raw();
+    const float* pm = m.raw();
+    const int64_t n = r.numel();
+    if (fusion_weight == 1.0f) {
+      for (int64_t i = 0; i < n; ++i) {
+        pr[i] += pm[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        const float scaled = pm[i] * fusion_weight;
+        pr[i] += scaled;
+      }
+    }
+  };
+
+  obs::ScopedSpan reuse_span("depth_cache.reuse");
+  std::array<tensor::Tensor, kMaxInferStages> skips;
+  const tensor::Tensor* rgb_in = &rgb;
+  for (int stage = 0; stage < stages; ++stage) {
+    tensor::Tensor r_i = [&] {
+      obs::ScopedSpan stage_span("rgb_encoder.stage", stage);
+      return rgb_encoder_->forward_stage_infer(stage, *rgb_in);
+    }();
+
+    obs::ScopedSpan fusion_span("fusion.stage", stage);
+    if (config_.scheme == FusionScheme::kWeightedSharing &&
+        stage == stages - 1) {
+      const tensor::Tensor& d_last = cache.d_last_unscaled;
+      ROADFUSION_CHECK(d_last.shape() == r_i.shape(),
+                       "stream cache geometry mismatch at the AWN stage: "
+                           << d_last.shape().str() << " vs "
+                           << r_i.shape().str());
+      obs::ScopedSpan awn_span("awn.weight");
+      const tensor::Tensor w = awn_->weight_infer(r_i, d_last);
+      // matched = w (per sample) * cached d_i — the same mul-then-add
+      // float order as the plain path's in-place scale + accumulate.
+      tensor::Tensor matched(d_last.shape());
+      const int64_t batch = d_last.shape().batch();
+      const int64_t per_sample = d_last.numel() / batch;
+      const float* pd = d_last.raw();
+      float* pm = matched.raw();
+      const float* pw = w.raw();
+      for (int64_t s = 0; s < batch; ++s) {
+        const float ws = pw[s];
+        for (int64_t i = 0; i < per_sample; ++i) {
+          pm[s * per_sample + i] = ws * pd[s * per_sample + i];
+        }
+      }
+      accumulate(r_i, matched);
+    } else {
+      const tensor::Tensor& matched = cache.matched[static_cast<size_t>(stage)];
+      ROADFUSION_CHECK(matched.shape() == r_i.shape(),
+                       "stream cache geometry mismatch at stage "
+                           << stage << ": " << matched.shape().str() << " vs "
+                           << r_i.shape().str());
+      accumulate(r_i, matched);
+    }
+
+    skips[static_cast<size_t>(stage)] = std::move(r_i);
+    rgb_in = &skips[static_cast<size_t>(stage)];
+  }
+
+  obs::ScopedSpan decoder_span("decoder");
+  return decoder_->forward_infer(skips.data(), stages);
+}
+
+tensor::Tensor RoadSegNet::infer_logits_stream(const tensor::Tensor& rgb,
+                                               const tensor::Tensor& depth,
+                                               float fusion_weight,
+                                               StreamFeatureCache& cache,
+                                               bool depth_unchanged) const {
+  if (fusion_weight == 0.0f ||
+      config_.scheme == FusionScheme::kAllFilterB) {
+    // RGB-only degraded mode has no depth work to skip; AllFilter_B's
+    // depth branch consumes per-frame RGB features, so its depth features
+    // are never reusable.
+    cache.invalidate();
+    return infer_logits(rgb, depth, fusion_weight);
+  }
+  const int stages = num_stages();
+  if (depth_unchanged && cache.valid &&
+      cache.matched.size() == static_cast<size_t>(stages)) {
+    ++cache.hits;
+    return infer_logits_reuse(rgb, fusion_weight, cache);
+  }
+  ++cache.misses;
+  return infer_logits_impl(rgb, depth, fusion_weight, &cache);
 }
 
 void RoadSegNet::prepare_inference() {

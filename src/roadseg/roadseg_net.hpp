@@ -73,6 +73,21 @@ class RoadSegNet : public SegmentationModel {
                               const tensor::Tensor& depth,
                               float fusion_weight) const override;
 
+  /// Streaming raw path. The depth branch depends only on the depth input
+  /// for Baseline / Base-sharing / AllFilter_U / Weighted-sharing, so when
+  /// `depth_unchanged` holds, the cached matched features substitute for
+  /// the whole depth encoder (for Weighted-sharing the AWN still runs per
+  /// frame on fresh RGB features against the cached unscaled depth
+  /// features). AllFilter_B feeds RGB features back into the depth branch
+  /// every frame — nothing is cacheable, so it (and the RGB-only degraded
+  /// mode, which has no depth work to skip) falls back to `infer_logits`.
+  /// Bit-identical to `infer_logits` in every case.
+  tensor::Tensor infer_logits_stream(const tensor::Tensor& rgb,
+                                     const tensor::Tensor& depth,
+                                     float fusion_weight,
+                                     StreamFeatureCache& cache,
+                                     bool depth_unchanged) const override;
+
   /// Eagerly builds every layer's inference cache (packed weights, eval
   /// BN factors) so serving threads never race a lazy rebuild.
   void prepare_inference() override;
@@ -90,6 +105,20 @@ class RoadSegNet : public SegmentationModel {
 
  private:
   int resolved_share_from() const;
+
+  /// Shared body of `infer_logits` / the populate half of
+  /// `infer_logits_stream`: the plain raw pass, optionally copying the
+  /// per-stage matched depth features into `populate` as it goes.
+  tensor::Tensor infer_logits_impl(const tensor::Tensor& rgb,
+                                   const tensor::Tensor& depth,
+                                   float fusion_weight,
+                                   StreamFeatureCache* populate) const;
+
+  /// The cache-hit half of `infer_logits_stream`: RGB encoder + fusion
+  /// from cached matched features; the depth encoder never runs.
+  tensor::Tensor infer_logits_reuse(const tensor::Tensor& rgb,
+                                    float fusion_weight,
+                                    StreamFeatureCache& cache) const;
 
   RoadSegConfig config_;
   bool training_ = true;

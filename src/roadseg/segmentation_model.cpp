@@ -54,10 +54,11 @@ bool planned_inference_enabled() {
 
 /// The raw path body; the caller has already installed a WorkspaceScope,
 /// so every transient below (input reshapes, feature maps, the output)
-/// draws from the arena.
-tensor::Tensor raw_predict(const SegmentationModel& model,
-                           const tensor::Tensor& rgb,
-                           const tensor::Tensor& depth, float fusion_weight) {
+/// draws from the arena. `infer` maps NCHW (rgb, depth) to raw logits.
+template <typename InferFn>
+tensor::Tensor raw_predict_impl(const tensor::Tensor& rgb,
+                                const tensor::Tensor& depth,
+                                InferFn&& infer) {
   const bool chw = rgb.shape().rank() == 3;
   const tensor::Tensor* rgb4 = &rgb;
   const tensor::Tensor* depth4 = &depth;
@@ -75,7 +76,7 @@ tensor::Tensor raw_predict(const SegmentationModel& model,
     rgb4 = &rgb_storage;
     depth4 = &depth_storage;
   }
-  tensor::Tensor out = model.infer_logits(*rgb4, *depth4, fusion_weight);
+  tensor::Tensor out = infer(*rgb4, *depth4);
   // Sigmoid in place, with the numerically-stable two-branch formula of
   // autograd::sigmoid — bit-identical to the graph path.
   float* po = out.raw();
@@ -90,6 +91,15 @@ tensor::Tensor raw_predict(const SegmentationModel& model,
                                           rgb.shape().dim(2)));
   }
   return out;
+}
+
+tensor::Tensor raw_predict(const SegmentationModel& model,
+                           const tensor::Tensor& rgb,
+                           const tensor::Tensor& depth, float fusion_weight) {
+  return raw_predict_impl(
+      rgb, depth, [&](const tensor::Tensor& r, const tensor::Tensor& d) {
+        return model.infer_logits(r, d, fusion_weight);
+      });
 }
 
 tensor::Tensor run_predict(const SegmentationModel& model,
@@ -146,6 +156,37 @@ tensor::Tensor SegmentationModel::predict_fused(const tensor::Tensor& rgb,
                                                 const tensor::Tensor& depth,
                                                 float fusion_weight) const {
   return run_predict(*this, rgb, depth, fusion_weight);
+}
+
+tensor::Tensor SegmentationModel::infer_logits_stream(
+    const tensor::Tensor& rgb, const tensor::Tensor& depth,
+    float fusion_weight, StreamFeatureCache& cache,
+    bool depth_unchanged) const {
+  (void)depth_unchanged;
+  cache.invalidate();
+  ++cache.misses;
+  return infer_logits(rgb, depth, fusion_weight);
+}
+
+tensor::Tensor SegmentationModel::predict_stream(const tensor::Tensor& rgb,
+                                                 const tensor::Tensor& depth,
+                                                 float fusion_weight,
+                                                 StreamFeatureCache& cache,
+                                                 bool depth_unchanged) const {
+  const autograd::InferenceModeGuard no_grad;
+  if (!planned_inference_enabled() || !supports_raw_inference()) {
+    cache.invalidate();
+    return run_predict(*this, rgb, depth, fusion_weight);
+  }
+  const auto infer = [&](const tensor::Tensor& r, const tensor::Tensor& d) {
+    return infer_logits_stream(r, d, fusion_weight, cache, depth_unchanged);
+  };
+  if (tensor::Workspace::current() != nullptr) {
+    return raw_predict_impl(rgb, depth, infer);
+  }
+  thread_local tensor::Workspace workspace;
+  const tensor::WorkspaceScope scope(workspace);
+  return raw_predict_impl(rgb, depth, infer);
 }
 
 }  // namespace roadfusion::roadseg

@@ -24,6 +24,28 @@ struct ForwardResult {
   autograd::Variable awn_weight;
 };
 
+/// Cross-frame depth-feature cache for streaming inference. A stream
+/// session owns one cache per model; when the depth input is bitwise
+/// unchanged from the frame that populated it (LiDAR refreshes slower
+/// than the camera), `infer_logits_stream` skips the depth encoder and
+/// accumulates the cached matched features instead — bit-identical to the
+/// full pass. Tensors live on the heap (not a workspace arena), so the
+/// cache survives across predict calls; repopulation copies into the
+/// existing buffers when shapes match, keeping steady state zero-alloc.
+struct StreamFeatureCache {
+  bool valid = false;
+  /// Per-stage matched depth payload; meaning is scheme-specific (raw
+  /// d_i for summation schemes, post-filter features for AllFilter_U).
+  std::vector<tensor::Tensor> matched;
+  /// WeightedSharing only: the unscaled deepest depth features the AWN
+  /// consumes (the per-frame weight still sees fresh RGB features).
+  tensor::Tensor d_last_unscaled;
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+  void invalidate() { valid = false; }
+};
+
 /// Abstract two-input segmentation network.
 class SegmentationModel : public nn::Module {
  public:
@@ -60,6 +82,19 @@ class SegmentationModel : public nn::Module {
                                       const tensor::Tensor& depth,
                                       float fusion_weight) const;
 
+  /// Streaming variant of `infer_logits`. When `depth_unchanged` is true
+  /// and `cache` holds features for this geometry, the depth encoder is
+  /// skipped and cached matched features are fused instead; otherwise the
+  /// full pass runs and (where the scheme allows) repopulates the cache.
+  /// Contract: the returned logits are bit-identical to
+  /// `infer_logits(rgb, depth, fusion_weight)` in every case — reuse is
+  /// purely a compute saving. The default ignores the cache.
+  virtual tensor::Tensor infer_logits_stream(const tensor::Tensor& rgb,
+                                             const tensor::Tensor& depth,
+                                             float fusion_weight,
+                                             StreamFeatureCache& cache,
+                                             bool depth_unchanged) const;
+
   /// Convenience inference: accepts CHW or NCHW tensors and returns road
   /// probabilities of matching rank. Call set_training(false) first.
   tensor::Tensor predict(const tensor::Tensor& rgb,
@@ -70,6 +105,16 @@ class SegmentationModel : public nn::Module {
   tensor::Tensor predict_fused(const tensor::Tensor& rgb,
                                const tensor::Tensor& depth,
                                float fusion_weight) const;
+
+  /// `predict_fused` through `infer_logits_stream`: same CHW/NCHW
+  /// handling and probabilities, but frame-to-frame depth features flow
+  /// through `cache`. Falls back to the ordinary path (invalidating the
+  /// cache) when the raw inference path is unavailable.
+  tensor::Tensor predict_stream(const tensor::Tensor& rgb,
+                                const tensor::Tensor& depth,
+                                float fusion_weight,
+                                StreamFeatureCache& cache,
+                                bool depth_unchanged) const;
 };
 
 }  // namespace roadfusion::roadseg

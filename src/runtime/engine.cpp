@@ -73,6 +73,9 @@ std::future<InferenceResult> InferenceEngine::submit(
   }
   request.rgb = std::move(rgb);
   request.depth = std::move(depth);
+  request.scenario = options.scenario;
+  request.stream_cache = options.stream_cache;
+  request.depth_unchanged = options.depth_unchanged;
   request.enqueue_time = std::chrono::steady_clock::now();
   if (obs::tracing_enabled()) {
     request.trace_submit_us = obs::now_us();
@@ -86,6 +89,7 @@ std::future<InferenceResult> InferenceEngine::submit(
         request.enqueue_time + std::chrono::milliseconds(deadline_ms);
   }
   std::future<InferenceResult> future = request.result.get_future();
+  const bool degraded = request.degraded;
 
   const PushResult pushed = config_.overflow == OverflowPolicy::kBlock
                                 ? queue_.push(std::move(request))
@@ -93,6 +97,16 @@ std::future<InferenceResult> InferenceEngine::submit(
   switch (pushed) {
     case PushResult::kOk:
       stats_.record_submitted();
+      if (!options.scenario.empty()) {
+        scenario_counter("roadfusion_scenario_requests_total",
+                         options.scenario)
+            .inc();
+        if (degraded) {
+          scenario_counter("roadfusion_scenario_degraded_total",
+                           options.scenario)
+              .inc();
+        }
+      }
       return future;
     case PushResult::kFull:
       stats_.record_rejection();
@@ -121,6 +135,21 @@ void InferenceEngine::shutdown(ShutdownMode mode) {
   });
 }
 
+obs::Counter& InferenceEngine::scenario_counter(const std::string& family,
+                                                const std::string& scenario) {
+  std::string name = family;
+  name += "{scenario=\"";
+  name += scenario;
+  name += "\"}";
+  std::lock_guard<std::mutex> lock(scenario_mutex_);
+  auto it = scenario_counters_.find(name);
+  if (it == scenario_counters_.end()) {
+    obs::Counter& counter = obs::MetricsRegistry::global().counter(name);
+    it = scenario_counters_.emplace(name, &counter).first;
+  }
+  return *it->second;
+}
+
 void InferenceEngine::worker_loop() {
   // One arena per worker (DESIGN.md §11): the first batch populates it,
   // every later batch of the same geometry reuses the blocks — the serving
@@ -131,7 +160,10 @@ void InferenceEngine::worker_loop() {
   // Degraded requests run a different forward (fusion_weight = 0), so a
   // batch is homogeneous in both geometry and degradation mode.
   const auto compatible = [](const Request& head, const Request& next) {
-    return head.rgb.shape() == next.rgb.shape() &&
+    // Streaming requests are singleton batches: the feature cache binds
+    // one frame to one forward, so they never collate with anything.
+    return head.stream_cache == nullptr && next.stream_cache == nullptr &&
+           head.rgb.shape() == next.rgb.shape() &&
            head.depth.shape() == next.depth.shape() &&
            head.degraded == next.degraded;
   };
@@ -198,6 +230,12 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
         obs::record_event("engine.queue_wait", request.trace_submit_us,
                           picked_up_us - request.trace_submit_us);
       }
+      if (!request.scenario.empty()) {
+        // Zero-length marker event: lets trace tooling slice every span
+        // of this batch by scenario label.
+        const std::string name = "engine.scenario." + request.scenario;
+        obs::record_event(name.c_str(), picked_up_us, 0);
+      }
     }
   }
   try {
@@ -222,8 +260,19 @@ void InferenceEngine::serve_batch(std::vector<Request>& batch) {
 
       // Degraded batches go through the RGB-only path: fusion_weight = 0
       // never reads the (possibly NaN-poisoned) depth values.
-      probability = degraded ? model_.predict_fused(rgb, depth, 0.0f)
-                             : model_.predict(rgb, depth);  // (N, 1, H, W)
+      if (live.front().stream_cache != nullptr) {
+        // Singleton by the compatibility rule; the session serialized its
+        // submits, so the cache is touched by exactly one worker here.
+        obs::ScopedSpan stream_span(live.front().depth_unchanged
+                                        ? "stream.reuse"
+                                        : "stream.refresh");
+        probability = model_.predict_stream(
+            rgb, depth, degraded ? 0.0f : 1.0f, *live.front().stream_cache,
+            live.front().depth_unchanged);
+      } else {
+        probability = degraded ? model_.predict_fused(rgb, depth, 0.0f)
+                               : model_.predict(rgb, depth);  // (N, 1, H, W)
+      }
     }
     obs::ScopedSpan respond_span("engine.respond");
     const int64_t out_plane = height * width;

@@ -34,13 +34,16 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
 #include "kitti/sensor_health.hpp"
+#include "obs/metrics.hpp"
 #include "roadseg/segmentation_model.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/stats.hpp"
@@ -136,6 +139,23 @@ struct SubmitOptions {
   /// brownout ladder's capacity lever (DESIGN.md §14). The response is
   /// flagged `degraded` exactly like a health-triggered degradation.
   bool force_degraded = false;
+  /// Scenario label (e.g. "fog", "dropout") for per-scenario metric and
+  /// trace slicing: accepted requests bump
+  /// roadfusion_scenario_requests_total{scenario="..."} (and
+  /// roadfusion_scenario_degraded_total when served RGB-only), and the
+  /// serving worker stamps an `engine.scenario.<label>` trace event.
+  /// Empty disables both.
+  std::string scenario;
+  /// Cross-frame depth-feature cache for streaming sessions. Owned by the
+  /// caller and must outlive the request; a non-null cache makes the
+  /// request a singleton batch (never collated with others), and the
+  /// caller must serialize submits sharing one cache — a stream session
+  /// is inherently one-frame-at-a-time.
+  roadseg::StreamFeatureCache* stream_cache = nullptr;
+  /// With stream_cache set: promise that `depth` is bitwise-identical to
+  /// the depth of the frame that last populated the cache, enabling the
+  /// depth-encoder skip. Ignored without a cache.
+  bool depth_unchanged = false;
 };
 
 /// What a fulfilled future carries.
@@ -208,10 +228,18 @@ class InferenceEngine {
     int64_t trace_submit_us = 0;
     bool has_deadline = false;
     bool degraded = false;  // serve RGB-only (fusion_weight = 0)
+    std::string scenario;   // metric/trace slicing label; empty disables
+    roadseg::StreamFeatureCache* stream_cache = nullptr;
+    bool depth_unchanged = false;
   };
 
   void worker_loop();
   void serve_batch(std::vector<Request>& batch);
+
+  /// Cached `family{scenario="..."}` counter lookup (registry lookups
+  /// rebuild label strings and take the registry-wide lock).
+  obs::Counter& scenario_counter(const std::string& family,
+                                 const std::string& scenario);
 
   const roadseg::SegmentationModel& model_;
   EngineConfig config_;
@@ -219,6 +247,8 @@ class InferenceEngine {
   StatsCollector stats_;
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+  std::mutex scenario_mutex_;
+  std::map<std::string, obs::Counter*> scenario_counters_;
 };
 
 }  // namespace roadfusion::runtime

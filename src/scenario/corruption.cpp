@@ -1,0 +1,394 @@
+#include "scenario/corruption.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::scenario {
+namespace {
+
+using tensor::Rng;
+using tensor::SplitMix64;
+
+void check_rgb(const Tensor& t) {
+  ROADFUSION_CHECK(t.shape().rank() == 3 && t.shape().dim(0) == 3,
+                   "corruption: rgb must be (3, H, W), got "
+                       << t.shape().str());
+}
+
+void check_depth(const Tensor& t) {
+  ROADFUSION_CHECK(t.shape().rank() == 3 && t.shape().dim(0) == 1,
+                   "corruption: depth must be (1, H, W), got "
+                       << t.shape().str());
+}
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+float clamp_severity(float s) { return std::clamp(s, 0.0f, 1.0f); }
+
+uint64_t kind_salt(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kNight:
+      return 0x6e16347a3c0ffee1ULL;
+    case CorruptionKind::kOverexposure:
+      return 0x07e4e8b1577aa9d3ULL;
+    case CorruptionKind::kShadow:
+      return 0x5ead0b75eed0c4a7ULL;
+    case CorruptionKind::kRain:
+      return 0xa11d40b5be11a2cdULL;
+    case CorruptionKind::kFog:
+      return 0xf06f06f06f06f061ULL;
+    case CorruptionKind::kDropout:
+      return 0xd20b0147bad5ee3fULL;
+  }
+  ROADFUSION_FAIL("corruption: unknown kind");
+}
+
+/// Night: sensor gain cut, gamma crush, and faint read noise.
+Tensor apply_night(const Tensor& rgb, float s, uint64_t seed) {
+  Tensor out = rgb;
+  float* v = out.raw();
+  Rng rng(seed);
+  const double gain = 1.0 - 0.75 * s;
+  const double gamma = 1.0 + 1.2 * s;
+  const double noise_sigma = 0.02 * s;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const double dark = std::pow(static_cast<double>(v[i]) * gain, gamma);
+    v[i] = clamp01(
+        static_cast<float>(dark + rng.normal(0.0, noise_sigma)));
+  }
+  return out;
+}
+
+/// Over-exposure: gain blowout plus a pedestal lift that clips highlights.
+Tensor apply_overexposure(const Tensor& rgb, float s) {
+  Tensor out = rgb;
+  float* v = out.raw();
+  const float gain = 1.0f + 2.2f * s;
+  const float pedestal = 0.2f * s;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    v[i] = clamp01(v[i] * gain + pedestal);
+  }
+  return out;
+}
+
+/// Hard shadows: two seeded diagonal bands multiply brightness down.
+Tensor apply_shadow(const Tensor& rgb, float s, uint64_t seed) {
+  Tensor out = rgb;
+  const int64_t h = out.shape().dim(1);
+  const int64_t w = out.shape().dim(2);
+  float* v = out.raw();
+  Rng rng(seed);
+  const float darken = 1.0f - 0.7f * s;
+  for (int band = 0; band < 2; ++band) {
+    const double theta = rng.uniform(0.3, 1.2);
+    const double c = std::cos(theta);
+    const double sn = std::sin(theta);
+    const double offset = rng.uniform(0.0, c * (w - 1) + sn * (h - 1));
+    const double half_width = rng.uniform(0.08, 0.16) * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const double p = c * x + sn * y;
+        if (std::abs(p - offset) < half_width) {
+          for (int64_t ch = 0; ch < 3; ++ch) {
+            v[(ch * h + y) * w + x] *= darken;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Rain: mild contrast wash plus seeded slanted bright streaks.
+Tensor apply_rain(const Tensor& rgb, float s, uint64_t seed) {
+  Tensor out = rgb;
+  const int64_t h = out.shape().dim(1);
+  const int64_t w = out.shape().dim(2);
+  float* v = out.raw();
+  const float wash = 1.0f - 0.15f * s;
+  const float lift = 0.06f * s;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    v[i] = clamp01(v[i] * wash + lift);
+  }
+  Rng rng(seed);
+  const int64_t streaks = 1 + static_cast<int64_t>(50.0f * s);
+  const float alpha = 0.45f;
+  for (int64_t k = 0; k < streaks; ++k) {
+    const int64_t x0 = rng.uniform_int(0, w - 1);
+    const int64_t y0 = rng.uniform_int(0, h - 1);
+    const int64_t len = rng.uniform_int(3, 8);
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t y = y0 + t;
+      const int64_t x = x0 + static_cast<int64_t>(std::lround(0.4 * t));
+      if (y >= h || x >= w) {
+        break;
+      }
+      for (int64_t ch = 0; ch < 3; ++ch) {
+        float& p = v[(ch * h + y) * w + x];
+        p = clamp01(p * (1.0f - alpha) + 0.85f * alpha);
+      }
+    }
+  }
+  return out;
+}
+
+/// Fog on RGB: blend toward the haze colour with per-pixel transmittance
+/// from inverse depth (near = id 1 = clear, far = id 0 = hazy). Without a
+/// depth image, uniform mid-distance haze.
+Tensor apply_fog_rgb(const Tensor& rgb, const Tensor* inverse_depth,
+                     float s) {
+  Tensor out = rgb;
+  const int64_t h = out.shape().dim(1);
+  const int64_t w = out.shape().dim(2);
+  float* v = out.raw();
+  const float haze = 0.75f;
+  if (inverse_depth == nullptr) {
+    const float t = static_cast<float>(std::exp(-1.25 * s));
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      v[i] = v[i] * t + haze * (1.0f - t);
+    }
+    return out;
+  }
+  check_depth(*inverse_depth);
+  ROADFUSION_CHECK(inverse_depth->shape().dim(1) == h &&
+                       inverse_depth->shape().dim(2) == w,
+                   "fog: rgb " << rgb.shape().str() << " vs depth "
+                               << inverse_depth->shape().str());
+  const float* id = inverse_depth->raw();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      // Empty pixels (no return) read as maximally distant.
+      const float near = id[y * w + x];
+      const float t =
+          static_cast<float>(std::exp(-2.5 * s * (1.0 - near)));
+      for (int64_t ch = 0; ch < 3; ++ch) {
+        float& p = v[(ch * h + y) * w + x];
+        p = p * t + haze * (1.0f - t);
+      }
+    }
+  }
+  return out;
+}
+
+/// Fog on dense inverse depth: far returns (small inverse depth) are
+/// absorbed. Threshold grows with severity, so heavier fog zeroes a
+/// superset of pixels — monotone by construction. The 0.12 scale is
+/// calibrated to the normalized inverse-depth distribution: id
+/// concentrates near 0 for anything past a few metres, so at severity 1
+/// the cut reaches down to roughly the 8 m mark rather than wiping the
+/// whole map (the wiped-sensor regime belongs to kDropout).
+Tensor apply_fog_depth(const Tensor& inverse_depth, float s) {
+  Tensor out = inverse_depth;
+  float* v = out.raw();
+  const float threshold = 0.12f * s;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (v[i] != 0.0f && v[i] < threshold) {
+      v[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+/// Dropout: two seeded dead-row bursts, one per image half, each covering
+/// 0.4 * severity of the height — total coverage ~0.8 * severity, so
+/// severity 0.85 (~68% dead) crosses the sensor-health triage threshold
+/// (60%) while severity <= 0.7 stays below it.
+Tensor apply_dropout(const Tensor& inverse_depth, float s, uint64_t seed) {
+  Tensor out = inverse_depth;
+  const int64_t h = out.shape().dim(1);
+  const int64_t w = out.shape().dim(2);
+  float* v = out.raw();
+  Rng rng(seed);
+  const int64_t half = h / 2;
+  const int64_t burst =
+      std::min(half, static_cast<int64_t>(std::lround(0.4 * s * h)));
+  for (int band = 0; band < 2; ++band) {
+    const int64_t base = band == 0 ? 0 : half;
+    const int64_t span = band == 0 ? half : h - half;
+    if (burst <= 0 || span <= burst) {
+      if (burst > 0) {
+        std::fill(v + base * w, v + (base + std::min(span, burst)) * w,
+                  0.0f);
+      }
+      continue;
+    }
+    const int64_t start = base + rng.uniform_int(0, span - burst);
+    std::fill(v + start * w, v + (start + burst) * w, 0.0f);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kNight:
+      return "night";
+    case CorruptionKind::kOverexposure:
+      return "overexposure";
+    case CorruptionKind::kShadow:
+      return "shadow";
+    case CorruptionKind::kRain:
+      return "rain";
+    case CorruptionKind::kFog:
+      return "fog";
+    case CorruptionKind::kDropout:
+      return "dropout";
+  }
+  ROADFUSION_FAIL("corruption: unknown kind");
+}
+
+CorruptionKind corruption_kind_from_string(const std::string& name) {
+  for (CorruptionKind kind :
+       {CorruptionKind::kNight, CorruptionKind::kOverexposure,
+        CorruptionKind::kShadow, CorruptionKind::kRain, CorruptionKind::kFog,
+        CorruptionKind::kDropout}) {
+    if (name == to_string(kind)) {
+      return kind;
+    }
+  }
+  ROADFUSION_FAIL("corruption: unknown kind '"
+                  << name
+                  << "' (expected night / overexposure / shadow / rain / "
+                     "fog / dropout)");
+}
+
+bool affects_rgb(CorruptionKind kind) {
+  return kind != CorruptionKind::kDropout;
+}
+
+bool affects_depth(CorruptionKind kind) {
+  return kind == CorruptionKind::kFog || kind == CorruptionKind::kDropout;
+}
+
+std::vector<CorruptionSpec> parse_corruptions(const std::string& text) {
+  std::vector<CorruptionSpec> specs;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, '+')) {
+    ROADFUSION_CHECK(!token.empty(),
+                     "corruption: empty entry in '" << text << "'");
+    CorruptionSpec spec;
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      spec.kind = corruption_kind_from_string(token);
+    } else {
+      spec.kind = corruption_kind_from_string(token.substr(0, colon));
+      try {
+        spec.severity = std::stof(token.substr(colon + 1));
+      } catch (const std::exception&) {
+        ROADFUSION_FAIL("corruption: bad severity in '" << token << "'");
+      }
+      spec.severity = clamp_severity(spec.severity);
+    }
+    specs.push_back(spec);
+  }
+  ROADFUSION_CHECK(!specs.empty(),
+                   "corruption: no corruptions in '" << text << "'");
+  return specs;
+}
+
+std::string format_corruptions(const std::vector<CorruptionSpec>& specs) {
+  std::ostringstream out;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) {
+      out << '+';
+    }
+    out << to_string(specs[i].kind) << ':' << specs[i].severity;
+  }
+  return out.str();
+}
+
+uint64_t kind_seed(uint64_t seed, CorruptionKind kind) {
+  return SplitMix64(seed ^ kind_salt(kind)).next();
+}
+
+Tensor corrupt_rgb(const Tensor& rgb, const Tensor* inverse_depth,
+                   const CorruptionSpec& spec, uint64_t seed) {
+  check_rgb(rgb);
+  const float s = clamp_severity(spec.severity);
+  switch (spec.kind) {
+    case CorruptionKind::kNight:
+      return apply_night(rgb, s, seed);
+    case CorruptionKind::kOverexposure:
+      return apply_overexposure(rgb, s);
+    case CorruptionKind::kShadow:
+      return apply_shadow(rgb, s, seed);
+    case CorruptionKind::kRain:
+      return apply_rain(rgb, s, seed);
+    case CorruptionKind::kFog:
+      return apply_fog_rgb(rgb, inverse_depth, s);
+    case CorruptionKind::kDropout:
+      break;
+  }
+  ROADFUSION_FAIL("corrupt_rgb: " << to_string(spec.kind)
+                                  << " is not an RGB corruption");
+}
+
+Tensor corrupt_inverse_depth(const Tensor& inverse_depth,
+                             const CorruptionSpec& spec, uint64_t seed) {
+  check_depth(inverse_depth);
+  const float s = clamp_severity(spec.severity);
+  switch (spec.kind) {
+    case CorruptionKind::kFog:
+      return apply_fog_depth(inverse_depth, s);
+    case CorruptionKind::kDropout:
+      return apply_dropout(inverse_depth, s, seed);
+    default:
+      break;
+  }
+  ROADFUSION_FAIL("corrupt_inverse_depth: " << to_string(spec.kind)
+                                            << " is not a depth corruption");
+}
+
+Tensor corrupt_range(const Tensor& sparse_range, const CorruptionSpec& spec,
+                     uint64_t seed, double max_range) {
+  check_depth(sparse_range);
+  (void)seed;  // fog at the range boundary is purely geometric
+  ROADFUSION_CHECK(spec.kind == CorruptionKind::kFog,
+                   "corrupt_range: only fog acts at the range boundary, got "
+                       << to_string(spec.kind));
+  const float s = clamp_severity(spec.severity);
+  const float visibility =
+      static_cast<float>(max_range) * (1.0f - 0.85f * s);
+  Tensor out = sparse_range;
+  float* v = out.raw();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (v[i] > visibility) {
+      v[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Frame corrupt_frame(const Frame& clean,
+                    const std::vector<CorruptionSpec>& specs,
+                    uint64_t seed) {
+  check_rgb(clean.rgb);
+  Frame frame;
+  frame.rgb = clean.rgb;
+  frame.depth = clean.depth;
+  for (const CorruptionSpec& spec : specs) {
+    const uint64_t kseed = kind_seed(seed, spec.kind);
+    if (spec.kind == CorruptionKind::kFog) {
+      // Haze uses the depth as it stands *before* fog absorbs returns, so
+      // the RGB attenuation reflects true scene distance.
+      frame.rgb = corrupt_rgb(frame.rgb, &frame.depth, spec, kseed);
+      frame.depth = corrupt_inverse_depth(frame.depth, spec, kseed);
+      continue;
+    }
+    if (affects_rgb(spec.kind)) {
+      frame.rgb = corrupt_rgb(frame.rgb, nullptr, spec, kseed);
+    }
+    if (affects_depth(spec.kind)) {
+      frame.depth = corrupt_inverse_depth(frame.depth, spec, kseed);
+    }
+  }
+  return frame;
+}
+
+}  // namespace roadfusion::scenario

@@ -1,0 +1,97 @@
+// Seeded, parameterized sensor-corruption library.
+//
+// Each corruption is a pure deterministic function of (clean tensor,
+// CorruptionSpec, seed): same inputs, bitwise-same output, no global
+// state. Corruptions compose; `corrupt_frame` applies a list in order,
+// deriving an independent per-kind seed for each entry so that
+// corruptions touching disjoint modalities (e.g. rain on RGB, dropout on
+// depth) commute bitwise. Same-modality compositions are intentionally
+// order-sensitive — "night then rain" draws streaks over the darkened
+// image, which is the physically meaningful reading.
+//
+// Two corruption domains exist for the depth side:
+//  * frame domain (`corrupt_inverse_depth`) — operates on the dense
+//    normalized inverse-depth image the network consumes; used by
+//    ScenarioDataset / eval-matrix.
+//  * stream domain (`corrupt_range`) — operates on the sparse metric
+//    range image before densification; used by the streaming generator,
+//    which corrupts at the sensor boundary so frame-to-frame depth reuse
+//    stays bitwise-coherent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::scenario {
+
+using tensor::Tensor;
+
+/// The corruption taxonomy (DESIGN.md §15).
+enum class CorruptionKind {
+  kNight,         ///< gain cut + gamma crush + sensor noise (RGB)
+  kOverexposure,  ///< gain blowout + pedestal lift (RGB)
+  kShadow,        ///< hard diagonal shadow bands (RGB)
+  kRain,          ///< slanted bright streaks + contrast wash (RGB)
+  kFog,           ///< distance haze (RGB) + far-return loss (depth/range)
+  kDropout,       ///< seeded dead-row bursts (depth)
+};
+
+const char* to_string(CorruptionKind kind);
+CorruptionKind corruption_kind_from_string(const std::string& name);
+
+/// One corruption with its strength in [0, 1].
+struct CorruptionSpec {
+  CorruptionKind kind = CorruptionKind::kFog;
+  float severity = 0.5f;
+
+  bool operator==(const CorruptionSpec& other) const {
+    return kind == other.kind && severity == other.severity;
+  }
+};
+
+/// Whether the corruption touches the RGB / depth modality.
+bool affects_rgb(CorruptionKind kind);
+bool affects_depth(CorruptionKind kind);
+
+/// Parses "fog:0.6+night" (missing severity defaults to 0.5). Severities
+/// are clamped to [0, 1]; unknown names fail loudly.
+std::vector<CorruptionSpec> parse_corruptions(const std::string& text);
+
+/// Inverse of `parse_corruptions`: "fog:0.6+night:0.5".
+std::string format_corruptions(const std::vector<CorruptionSpec>& specs);
+
+/// Derives the per-kind seed used by `corrupt_frame`. Exposed so the
+/// streaming generator can reproduce frame-domain corruptions exactly.
+uint64_t kind_seed(uint64_t seed, CorruptionKind kind);
+
+/// One clean or corrupted sensor frame (RGB + dense inverse depth).
+struct Frame {
+  Tensor rgb;    ///< (3, H, W) in [0, 1]
+  Tensor depth;  ///< (1, H, W) normalized inverse depth, 0 = no return
+};
+
+/// Applies an RGB-domain corruption. `inverse_depth` (may be null) feeds
+/// the fog haze model; without it fog falls back to uniform haze.
+Tensor corrupt_rgb(const Tensor& rgb, const Tensor* inverse_depth,
+                   const CorruptionSpec& spec, uint64_t seed);
+
+/// Applies a depth-domain corruption (fog far-return cut or dropout
+/// bursts) to a dense (1, H, W) inverse-depth image.
+Tensor corrupt_inverse_depth(const Tensor& inverse_depth,
+                             const CorruptionSpec& spec, uint64_t seed);
+
+/// Stream-domain fog: zeroes sparse metric-range returns beyond
+/// max_range * (1 - 0.85 * severity) — heavier fog monotonically removes
+/// more returns. Only kFog is meaningful at the range boundary.
+Tensor corrupt_range(const Tensor& sparse_range, const CorruptionSpec& spec,
+                     uint64_t seed, double max_range);
+
+/// Applies a corruption list in order. Fog hazes RGB using the depth as
+/// it stands when fog is reached, then cuts the depth itself.
+Frame corrupt_frame(const Frame& clean,
+                    const std::vector<CorruptionSpec>& specs, uint64_t seed);
+
+}  // namespace roadfusion::scenario

@@ -1,0 +1,203 @@
+#include "scenario/eval_matrix.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "vision/bev.hpp"
+
+namespace roadfusion::scenario {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Drops a leading channel dimension of extent 1, giving (H, W).
+Tensor as_plane(const Tensor& t) {
+  if (t.shape().rank() == 3 && t.shape().dim(0) == 1) {
+    return t.reshaped(Shape::mat(t.shape().dim(1), t.shape().dim(2)));
+  }
+  ROADFUSION_CHECK(t.shape().rank() == 2,
+                   "expected (1, H, W) or (H, W), got " << t.shape().str());
+  return t;
+}
+
+/// Evaluates one (scenario dataset, model) column cell with serving-parity
+/// health triage. `force_rgb_only` pins fusion_weight to 0 regardless of
+/// sensor health (the baseline column).
+EvalCell evaluate_cell(roadseg::SegmentationModel& model,
+                       const kitti::RoadData& dataset,
+                       const std::string& scenario, const std::string& scheme,
+                       bool force_rgb_only, const EvalMatrixConfig& config) {
+  const vision::Camera& camera = dataset.camera();
+  Tensor bev_mask;
+  if (config.eval.use_bev) {
+    bev_mask = vision::bev_visibility_mask(camera, config.eval.bev,
+                                           camera.height(), camera.width());
+  }
+  eval::PrAccumulator fused_acc(config.eval.num_thresholds);
+  eval::PrAccumulator rgb_only_acc(config.eval.num_thresholds);
+  int64_t degraded = 0;
+  int64_t total = 0;
+  for (int64_t index = 0; index < dataset.size(); ++index) {
+    const kitti::Sample& sample = dataset.sample(index);
+    // The same triage Engine::submit runs: invalid would be rejected at
+    // the door (the corruption library never produces non-finite values,
+    // so it cannot occur here); a dead depth sensor serves RGB-only.
+    const kitti::SensorHealthReport health =
+        kitti::check_sensor_health(sample.rgb, sample.depth, config.health);
+    ROADFUSION_CHECK(health.status != kitti::SensorStatus::kInvalid,
+                     "eval-matrix: scenario '" << scenario
+                                               << "' produced an invalid "
+                                                  "sample: "
+                                               << health.detail);
+    const bool rgb_only =
+        force_rgb_only || health.status == kitti::SensorStatus::kDegraded;
+    // This model's degraded fallback output — always scored, so every
+    // cell carries its own like-for-like RGB-only baseline for the gate.
+    const Tensor rgb_only_prob =
+        model.predict_fused(sample.rgb, sample.depth, 0.0f);
+    const Tensor probability =
+        rgb_only ? rgb_only_prob : model.predict(sample.rgb, sample.depth);
+    if (rgb_only) {
+      ++degraded;
+    }
+    ++total;
+    if (config.eval.use_bev) {
+      const Tensor label_bev =
+          vision::bev_warp(as_plane(sample.label), camera, config.eval.bev);
+      fused_acc.add(vision::bev_warp(as_plane(probability), camera,
+                                     config.eval.bev),
+                    label_bev, &bev_mask);
+      rgb_only_acc.add(vision::bev_warp(as_plane(rgb_only_prob), camera,
+                                        config.eval.bev),
+                       label_bev, &bev_mask);
+    } else {
+      fused_acc.add(probability, sample.label);
+      rgb_only_acc.add(rgb_only_prob, sample.label);
+    }
+  }
+
+  EvalCell cell;
+  cell.scenario = scenario;
+  cell.scheme = scheme;
+  cell.scores = fused_acc.scores();
+  cell.rgb_only = rgb_only_acc.scores();
+  cell.samples = total;
+  cell.degraded_fraction =
+      total > 0 ? static_cast<double>(degraded) / static_cast<double>(total)
+                : 0.0;
+  return cell;
+}
+
+void append_number(std::ostringstream& out, double value) {
+  out << std::fixed << std::setprecision(4) << value;
+}
+
+}  // namespace
+
+const EvalCell* EvalMatrix::cell(const std::string& scenario,
+                                 const std::string& scheme) const {
+  for (const EvalCell& c : cells) {
+    if (c.scenario == scenario && c.scheme == scheme) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+EvalMatrix run_eval_matrix(const std::vector<SchemeModel>& schemes,
+                           const kitti::RoadData& base,
+                           const std::vector<ScenarioSpec>& suite,
+                           const EvalMatrixConfig& config) {
+  ROADFUSION_CHECK(!schemes.empty(), "eval-matrix: no scheme models");
+  ROADFUSION_CHECK(!suite.empty(), "eval-matrix: empty scenario suite");
+  for (const SchemeModel& scheme : schemes) {
+    ROADFUSION_CHECK(scheme.model != nullptr,
+                     "eval-matrix: scheme '" << scheme.name
+                                             << "' has no model");
+    ROADFUSION_CHECK(scheme.name != kRgbOnlyScheme,
+                     "eval-matrix: scheme name '"
+                         << kRgbOnlyScheme << "' is reserved");
+    scheme.model->set_training(false);
+  }
+
+  EvalMatrix matrix;
+  for (const ScenarioSpec& spec : suite) {
+    matrix.scenarios.push_back(spec.name);
+  }
+  for (const SchemeModel& scheme : schemes) {
+    matrix.schemes.push_back(scheme.name);
+  }
+  matrix.schemes.push_back(kRgbOnlyScheme);
+
+  for (const ScenarioSpec& spec : suite) {
+    const ScenarioDataset dataset(base, spec, config.corruption_seed);
+    for (const SchemeModel& scheme : schemes) {
+      matrix.cells.push_back(evaluate_cell(*scheme.model, dataset, spec.name,
+                                           scheme.name,
+                                           /*force_rgb_only=*/false, config));
+    }
+    // The RGB-only degraded baseline: the first model with the depth
+    // contribution forced off — what serving falls back to when the depth
+    // sensor dies. Fusion must beat or match this on every scenario.
+    matrix.cells.push_back(evaluate_cell(*schemes.front().model, dataset,
+                                         spec.name, kRgbOnlyScheme,
+                                         /*force_rgb_only=*/true, config));
+  }
+  return matrix;
+}
+
+std::vector<GateViolation> check_fusion_gates(const EvalMatrix& matrix,
+                                              double tolerance) {
+  std::vector<GateViolation> violations;
+  for (const EvalCell& cell : matrix.cells) {
+    if (cell.scheme == kRgbOnlyScheme) {
+      continue;
+    }
+    if (cell.scores.f_score + tolerance < cell.rgb_only.f_score) {
+      violations.push_back({cell.scenario, cell.scheme, cell.scores.f_score,
+                            cell.rgb_only.f_score});
+    }
+  }
+  return violations;
+}
+
+std::string to_json(const EvalMatrix& matrix) {
+  std::ostringstream out;
+  out << "{\n  \"scenarios\": [";
+  for (size_t i = 0; i < matrix.scenarios.size(); ++i) {
+    out << (i > 0 ? ", " : "") << '"' << matrix.scenarios[i] << '"';
+  }
+  out << "],\n  \"schemes\": [";
+  for (size_t i = 0; i < matrix.schemes.size(); ++i) {
+    out << (i > 0 ? ", " : "") << '"' << matrix.schemes[i] << '"';
+  }
+  out << "],\n  \"cells\": [\n";
+  for (size_t i = 0; i < matrix.cells.size(); ++i) {
+    const EvalCell& cell = matrix.cells[i];
+    out << "    {\"scenario\": \"" << cell.scenario << "\", \"scheme\": \""
+        << cell.scheme << "\", \"max_f\": ";
+    append_number(out, cell.scores.f_score);
+    out << ", \"ap\": ";
+    append_number(out, cell.scores.ap);
+    out << ", \"iou\": ";
+    append_number(out, cell.scores.iou);
+    out << ", \"precision\": ";
+    append_number(out, cell.scores.precision);
+    out << ", \"recall\": ";
+    append_number(out, cell.scores.recall);
+    out << ", \"rgb_only_max_f\": ";
+    append_number(out, cell.rgb_only.f_score);
+    out << ", \"delta_max_f\": ";
+    append_number(out, cell.scores.f_score - cell.rgb_only.f_score);
+    out << ", \"degraded_fraction\": ";
+    append_number(out, cell.degraded_fraction);
+    out << ", \"samples\": " << cell.samples << '}'
+        << (i + 1 < matrix.cells.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace roadfusion::scenario

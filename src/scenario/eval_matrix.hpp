@@ -1,0 +1,98 @@
+// Scenario × fusion-scheme evaluation matrix.
+//
+// Every scenario of a suite is replayed against every fusion scheme plus
+// an RGB-only degraded column, through the same sensor-health triage the
+// serving engine applies: samples whose corrupted depth trips the
+// dead-fraction threshold are served RGB-only (fusion_weight 0) instead
+// of erroring. The per-cell MaxF/IOU scores feed the regression gate that
+// pins "fusion never loses to RGB-only under corruption" — the paper's
+// core robustness claim, exercised per corruption class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "kitti/sensor_health.hpp"
+#include "roadseg/segmentation_model.hpp"
+#include "scenario/suite.hpp"
+
+namespace roadfusion::scenario {
+
+/// The RGB-only column's reserved scheme name.
+inline constexpr const char* kRgbOnlyScheme = "rgb_only";
+
+/// One named model column of the matrix.
+struct SchemeModel {
+  std::string name;                          ///< e.g. "weighted_sharing"
+  roadseg::SegmentationModel* model = nullptr;  ///< borrowed, eval mode
+};
+
+/// Matrix knobs.
+struct EvalMatrixConfig {
+  eval::EvalConfig eval;
+  /// Seed the scenario datasets corrupt with (per-frame seeds derive from
+  /// it); one seed covers the whole matrix so every cell sees identical
+  /// corrupted frames.
+  uint64_t corruption_seed = 0x5eedc0deULL;
+  /// Serving-parity health triage applied per corrupted sample.
+  kitti::SensorHealthConfig health;
+};
+
+/// One (scenario, scheme) cell.
+struct EvalCell {
+  std::string scenario;
+  std::string scheme;
+  eval::SegmentationScores scores;
+  /// The same model forced to fusion_weight 0 on the same corrupted
+  /// samples — the degraded fallback serving would switch this exact
+  /// deployment to. The per-cell gate compares `scores` against this, so
+  /// the comparison is within one model, never across differently trained
+  /// checkpoints.
+  eval::SegmentationScores rgb_only;
+  /// Fraction of samples the health triage served RGB-only.
+  double degraded_fraction = 0.0;
+  int64_t samples = 0;
+};
+
+/// Row-major (scenario-major) matrix plus its axes.
+struct EvalMatrix {
+  std::vector<std::string> scenarios;
+  std::vector<std::string> schemes;  ///< model columns + kRgbOnlyScheme last
+  std::vector<EvalCell> cells;
+
+  const EvalCell* cell(const std::string& scenario,
+                       const std::string& scheme) const;
+};
+
+/// Runs the full matrix: every suite scenario × (every scheme model fused,
+/// plus the first model forced RGB-only as the kRgbOnlyScheme baseline).
+EvalMatrix run_eval_matrix(const std::vector<SchemeModel>& schemes,
+                           const kitti::RoadData& base,
+                           const std::vector<ScenarioSpec>& suite,
+                           const EvalMatrixConfig& config);
+
+/// One gate failure: a fused scheme scored below the RGB-only baseline on
+/// a scenario by more than the tolerance.
+struct GateViolation {
+  std::string scenario;
+  std::string scheme;
+  double fused_max_f = 0.0;
+  double rgb_only_max_f = 0.0;
+};
+
+/// Per-cell regression gate: every fused cell's MaxF must be >= the same
+/// model's RGB-only MaxF (EvalCell::rgb_only) - tolerance. If fusion lost
+/// to its own degraded fallback, serving that scheme would be strictly
+/// worse than never fusing — the paper's robustness claim inverted.
+/// Returns the violations (empty = pass). `tolerance` is in MaxF
+/// percentage points.
+std::vector<GateViolation> check_fusion_gates(const EvalMatrix& matrix,
+                                              double tolerance);
+
+/// Deterministic JSON rendering (fixed key order, fixed float format) —
+/// committed as BENCH_scenarios.json and pinned by the golden test.
+std::string to_json(const EvalMatrix& matrix);
+
+}  // namespace roadfusion::scenario

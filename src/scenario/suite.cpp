@@ -1,0 +1,97 @@
+#include "scenario/suite.hpp"
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::scenario {
+namespace {
+
+using tensor::SplitMix64;
+
+bool needs_depth(const ScenarioSpec& spec) {
+  for (const CorruptionSpec& c : spec.corruptions) {
+    if (affects_depth(c.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  const size_t eq = text.find('=');
+  if (eq != std::string::npos) {
+    spec.name = text.substr(0, eq);
+    ROADFUSION_CHECK(!spec.name.empty(),
+                     "scenario: empty name in '" << text << "'");
+    spec.corruptions = parse_corruptions(text.substr(eq + 1));
+    return spec;
+  }
+  spec.name = text;
+  if (text != "clean") {
+    spec.corruptions = parse_corruptions(text);
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> standard_suite() {
+  std::vector<ScenarioSpec> suite;
+  suite.push_back({"clean", {}});
+  suite.push_back({"night", {{CorruptionKind::kNight, 0.7f}}});
+  suite.push_back({"overexposure", {{CorruptionKind::kOverexposure, 0.6f}}});
+  suite.push_back({"shadow", {{CorruptionKind::kShadow, 0.7f}}});
+  suite.push_back({"rain", {{CorruptionKind::kRain, 0.6f}}});
+  suite.push_back({"fog", {{CorruptionKind::kFog, 0.55f}}});
+  suite.push_back({"dropout", {{CorruptionKind::kDropout, 0.85f}}});
+  suite.push_back({"storm",
+                   {{CorruptionKind::kRain, 0.5f},
+                    {CorruptionKind::kFog, 0.4f}}});
+  return suite;
+}
+
+ScenarioDataset::ScenarioDataset(const kitti::RoadData& base,
+                                 ScenarioSpec spec, uint64_t seed)
+    : base_(base), spec_(std::move(spec)), seed_(seed) {
+  if (needs_depth(spec_) && base_.size() > 0) {
+    const kitti::Sample& first = base_.sample(0);
+    ROADFUSION_CHECK(
+        first.depth.shape().dim(0) == 1,
+        "ScenarioDataset: depth corruptions need single-channel inverse "
+        "depth, but the base dataset provides "
+            << first.depth.shape().dim(0)
+            << "-channel depth (surface normals?)");
+  }
+  cache_.resize(static_cast<size_t>(base_.size()));
+}
+
+uint64_t ScenarioDataset::frame_seed(int64_t index) const {
+  return SplitMix64(seed_ ^
+                    (static_cast<uint64_t>(index) + 1) *
+                        0x9e3779b97f4a7c15ULL)
+      .next();
+}
+
+const kitti::Sample& ScenarioDataset::sample(int64_t index) const {
+  ROADFUSION_CHECK(index >= 0 && index < size(),
+                   "ScenarioDataset index " << index << " out of range [0, "
+                                            << size() << ")");
+  auto& slot = cache_[static_cast<size_t>(index)];
+  if (!slot) {
+    const kitti::Sample& clean = base_.sample(index);
+    auto corrupted = std::make_unique<kitti::Sample>(clean);
+    if (!spec_.corruptions.empty()) {
+      const Frame frame = corrupt_frame({clean.rgb, clean.depth},
+                                        spec_.corruptions,
+                                        frame_seed(index));
+      corrupted->rgb = frame.rgb;
+      corrupted->depth = frame.depth;
+    }
+    corrupted->scenario = spec_.name;
+    slot = std::move(corrupted);
+  }
+  return *slot;
+}
+
+}  // namespace roadfusion::scenario

@@ -1,0 +1,64 @@
+// Labeled scenario suites: named corruption stacks plus a dataset adapter
+// that replays any RoadData source through them deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kitti/data_interface.hpp"
+#include "kitti/dataset.hpp"
+#include "scenario/corruption.hpp"
+
+namespace roadfusion::scenario {
+
+/// One named scenario: a label plus the corruption stack it applies.
+/// An empty corruption list is the "clean" passthrough scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<CorruptionSpec> corruptions;
+};
+
+/// Parses "storm=rain:0.5+night:0.4" (explicit name) or "fog:0.6" (the
+/// corruption string doubles as the name). "clean" maps to no corruption.
+ScenarioSpec parse_scenario(const std::string& text);
+
+/// The standard evaluation suite: clean plus one scenario per corruption
+/// class at a severity that stresses without saturating, and one composite
+/// storm. Dropout runs at 0.85 so it crosses the sensor-health triage
+/// threshold and exercises the degraded RGB-only routing path.
+std::vector<ScenarioSpec> standard_suite();
+
+/// RoadData adapter that corrupts a base dataset's samples on access.
+/// Pure and deterministic: sample i is corrupt_frame(base.sample(i),
+/// spec.corruptions, per_frame_seed(seed, i)); labels pass through
+/// untouched and Sample::scenario is overwritten with the scenario name
+/// so metrics and traces slice per scenario.
+class ScenarioDataset : public kitti::RoadData {
+ public:
+  /// `base` must outlive this adapter. Depth corruptions require the base
+  /// depth to be single-channel inverse depth (not surface normals).
+  ScenarioDataset(const kitti::RoadData& base, ScenarioSpec spec,
+                  uint64_t seed);
+
+  int64_t size() const override { return base_.size(); }
+  const kitti::Sample& sample(int64_t index) const override;
+  std::vector<int64_t> indices_of(kitti::RoadCategory category) const override {
+    return base_.indices_of(category);
+  }
+  const vision::Camera& camera() const override { return base_.camera(); }
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// The seed `sample(index)` corrupts with; exposed for replay tests.
+  uint64_t frame_seed(int64_t index) const;
+
+ private:
+  const kitti::RoadData& base_;
+  ScenarioSpec spec_;
+  uint64_t seed_;
+  mutable std::vector<std::unique_ptr<kitti::Sample>> cache_;
+};
+
+}  // namespace roadfusion::scenario

@@ -262,6 +262,9 @@ std::future<InferenceResult> FrontDoor::submit(Tensor rgb, Tensor depth,
   runtime::SubmitOptions submit_options;
   submit_options.deadline_ms = options.deadline_ms;
   submit_options.force_degraded = force_degraded;
+  submit_options.scenario = options.scenario;
+  submit_options.stream_cache = options.stream_cache;
+  submit_options.depth_unchanged = options.depth_unchanged;
 
   const auto record_admitted = [&](bool was_spill) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -85,6 +85,16 @@ struct ServeOptions {
   uint64_t route_key = 0;
   /// Per-request deadline; 0 inherits the shard engine's default.
   int64_t deadline_ms = 0;
+  /// Scenario label forwarded to the shard engine for per-scenario metric
+  /// and trace slicing (roadfusion_scenario_* counters). Empty disables.
+  std::string scenario;
+  /// Streaming passthrough (see runtime::SubmitOptions): a caller-owned
+  /// cross-frame depth-feature cache and the promise that this frame's
+  /// depth is bitwise-unchanged since the cache was populated. Stream
+  /// sessions should also set `route_key` so every frame lands on the
+  /// same shard.
+  roadseg::StreamFeatureCache* stream_cache = nullptr;
+  bool depth_unchanged = false;
 };
 
 /// Point-in-time front-door totals (see also the registry counters).

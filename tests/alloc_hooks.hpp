@@ -24,4 +24,27 @@ AllocCounters thread_alloc_counters();
 /// Zeroes the calling thread's counters.
 void reset_thread_alloc_counters();
 
+/// Scoped probe over this thread's counters: snapshots at construction,
+/// reports deltas on demand. Lets a test bracket exactly the steady-state
+/// region of interest (e.g. one streamed frame) without resetting global
+/// state:
+///
+///   AllocProbe probe;
+///   model.predict_stream(...);
+///   EXPECT_EQ(probe.allocations(), 0u);
+class AllocProbe {
+ public:
+  AllocProbe() : start_(thread_alloc_counters()) {}
+
+  uint64_t allocations() const {
+    return thread_alloc_counters().allocations - start_.allocations;
+  }
+  uint64_t bytes() const {
+    return thread_alloc_counters().bytes - start_.bytes;
+  }
+
+ private:
+  AllocCounters start_;
+};
+
 }  // namespace roadfusion::testhooks

@@ -1,0 +1,165 @@
+// Scenario × fusion-scheme evaluation matrix.
+//
+// Pins the matrix structure (every scenario × every scheme plus the
+// RGB-only column), the serving-parity triage behaviour on the dropout
+// scenario, the per-cell fusion gate, and the committed JSON artifact:
+// the rendering is validated syntactically and its bytes are pinned by
+// FNV-1a hash — regenerate BENCH_scenarios.json whenever this hash moves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json_checker.hpp"
+#include "kitti/dataset.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "scenario/eval_matrix.hpp"
+#include "scenario/suite.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::scenario {
+namespace {
+
+using tensor::Rng;
+
+// FNV-1a over the JSON bytes: stable, dependency-free, order-sensitive.
+uint64_t fnv1a(const std::string& text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// The pinned hash of the golden matrix JSON below. When an intentional
+/// change moves it (new corruption math, new JSON keys, metric changes),
+/// run this test, copy the hash printed in the failure message, and
+/// regenerate BENCH_scenarios.json in the same commit.
+constexpr uint64_t kGoldenMatrixHash = 0x6631e08a5833ae72ull;
+
+struct MatrixFixture {
+  kitti::DatasetConfig data_config;
+  std::unique_ptr<kitti::RoadDataset> dataset;
+  std::vector<std::unique_ptr<roadseg::RoadSegNet>> nets;
+  std::vector<SchemeModel> schemes;
+  std::vector<ScenarioSpec> suite;
+  EvalMatrixConfig config;
+
+  MatrixFixture() {
+    data_config.image_width = 48;
+    data_config.image_height = 32;
+    data_config.max_per_category = 1;
+    dataset = std::make_unique<kitti::RoadDataset>(data_config,
+                                                   kitti::Split::kTest);
+    // Untrained but deterministically seeded models: scores are
+    // meaningless as accuracy, but every byte of the pipeline is
+    // exercised and reproducible.
+    for (core::FusionScheme scheme :
+         {core::FusionScheme::kBaseline,
+          core::FusionScheme::kWeightedSharing}) {
+      roadseg::RoadSegConfig net_config;
+      net_config.scheme = scheme;
+      net_config.stage_channels = {4, 6, 8, 10, 12};
+      Rng rng(17);
+      auto net = std::make_unique<roadseg::RoadSegNet>(net_config, rng);
+      net->set_training(false);
+      schemes.push_back({core::short_name(scheme), net.get()});
+      nets.push_back(std::move(net));
+    }
+    suite.push_back(parse_scenario("clean"));
+    suite.push_back(parse_scenario("fog=fog:0.55"));
+    suite.push_back(parse_scenario("dropout=dropout:0.85"));
+  }
+};
+
+TEST(EvalMatrix, ShapeAndLookup) {
+  MatrixFixture fx;
+  const EvalMatrix matrix =
+      run_eval_matrix(fx.schemes, *fx.dataset, fx.suite, fx.config);
+  ASSERT_EQ(matrix.scenarios.size(), 3u);
+  ASSERT_EQ(matrix.schemes.size(), 3u);  // Baseline, WS, rgb_only
+  EXPECT_EQ(matrix.schemes.back(), kRgbOnlyScheme);
+  EXPECT_EQ(matrix.cells.size(), 9u);
+  for (const std::string& scenario : matrix.scenarios) {
+    for (const std::string& scheme : matrix.schemes) {
+      const EvalCell* cell = matrix.cell(scenario, scheme);
+      ASSERT_NE(cell, nullptr) << scenario << " x " << scheme;
+      EXPECT_EQ(cell->samples, fx.dataset->size());
+    }
+  }
+  EXPECT_EQ(matrix.cell("clean", "no-such-scheme"), nullptr);
+}
+
+TEST(EvalMatrix, DropoutScenarioRoutesEverySampleDegraded) {
+  MatrixFixture fx;
+  const EvalMatrix matrix =
+      run_eval_matrix(fx.schemes, *fx.dataset, fx.suite, fx.config);
+  for (const std::string& scheme : matrix.schemes) {
+    const EvalCell* cell = matrix.cell("dropout", scheme);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_DOUBLE_EQ(cell->degraded_fraction, 1.0) << scheme;
+    // Every sample was served RGB-only, so the fused score IS the
+    // rgb_only score — the gate is trivially met on the triage path.
+    EXPECT_DOUBLE_EQ(cell->scores.f_score, cell->rgb_only.f_score);
+  }
+  const EvalCell* clean = matrix.cell("clean", fx.schemes.front().name);
+  ASSERT_NE(clean, nullptr);
+  EXPECT_DOUBLE_EQ(clean->degraded_fraction, 0.0);
+  // The forced rgb_only column degrades everything by construction.
+  EXPECT_DOUBLE_EQ(matrix.cell("clean", kRgbOnlyScheme)->degraded_fraction,
+                   1.0);
+}
+
+TEST(EvalMatrix, GateComparesEachSchemeAgainstItsOwnFallback) {
+  EvalMatrix matrix;
+  matrix.scenarios = {"fog"};
+  matrix.schemes = {"WS", kRgbOnlyScheme};
+  EvalCell losing;
+  losing.scenario = "fog";
+  losing.scheme = "WS";
+  losing.scores.f_score = 58.0;
+  losing.rgb_only.f_score = 61.0;
+  EvalCell rgb;
+  rgb.scenario = "fog";
+  rgb.scheme = kRgbOnlyScheme;
+  rgb.scores.f_score = 61.0;
+  rgb.rgb_only.f_score = 61.0;
+  matrix.cells = {losing, rgb};
+
+  const std::vector<GateViolation> violations =
+      check_fusion_gates(matrix, 1.0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].scheme, "WS");
+  EXPECT_DOUBLE_EQ(violations[0].fused_max_f, 58.0);
+  EXPECT_DOUBLE_EQ(violations[0].rgb_only_max_f, 61.0);
+  // A tolerance covering the deficit silences the gate; the rgb_only
+  // column itself is never gated.
+  EXPECT_TRUE(check_fusion_gates(matrix, 3.5).empty());
+}
+
+TEST(EvalMatrix, JsonIsWellFormedDeterministicAndPinned) {
+  MatrixFixture fx;
+  const EvalMatrix matrix =
+      run_eval_matrix(fx.schemes, *fx.dataset, fx.suite, fx.config);
+  const std::string json = to_json(matrix);
+  EXPECT_TRUE(roadfusion::testing::JsonChecker(json).valid())
+      << "matrix JSON is not well-formed:\n"
+      << json;
+  // Re-running the identical evaluation renders the identical bytes.
+  const EvalMatrix again =
+      run_eval_matrix(fx.schemes, *fx.dataset, fx.suite, fx.config);
+  EXPECT_EQ(json, to_json(again));
+
+  const uint64_t hash = fnv1a(json);
+  EXPECT_EQ(hash, kGoldenMatrixHash)
+      << "matrix JSON changed: hash 0x" << std::hex << hash
+      << " — if intentional, update kGoldenMatrixHash and regenerate "
+         "BENCH_scenarios.json in the same commit.\n"
+      << json;
+}
+
+}  // namespace
+}  // namespace roadfusion::scenario

@@ -1,0 +1,276 @@
+// Scenario corruption library (DESIGN.md §15).
+//
+// Locks the contracts the eval-matrix and the streaming generator build
+// on:
+//  * determinism — the same (clean frame, spec list, seed) replays
+//    bit-identically, and different frame indices draw independent seeds;
+//  * parameter monotonicity — heavier fog removes a superset of LiDAR
+//    returns, in both the range and the inverse-depth domain;
+//  * composition — corruptions on disjoint modalities commute bitwise
+//    (per-kind seed derivation), same-modality order stays meaningful;
+//  * serving interaction — a dropout burst past the dead-depth threshold
+//    routes through the engine's degraded RGB-only path instead of
+//    erroring, and the per-scenario counters tick.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "kitti/dataset.hpp"
+#include "kitti/sensor_health.hpp"
+#include "obs/metrics.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "runtime/engine.hpp"
+#include "scenario/corruption.hpp"
+#include "scenario/suite.hpp"
+#include "tensor/rng.hpp"
+
+namespace roadfusion::scenario {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_TRUE(a.shape() == b.shape()) << what;
+  EXPECT_EQ(0, std::memcmp(a.raw(), b.raw(),
+                           static_cast<size_t>(a.numel()) * sizeof(float)))
+      << what << ": float bits differ";
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.raw(), b.raw(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+kitti::DatasetConfig tiny_config() {
+  kitti::DatasetConfig config;
+  config.image_width = 48;
+  config.image_height = 32;
+  config.max_per_category = 1;
+  return config;
+}
+
+Frame clean_frame() {
+  const kitti::RoadDataset dataset(tiny_config(), kitti::Split::kTest);
+  const kitti::Sample& sample = dataset.sample(0);
+  return {sample.rgb, sample.depth};
+}
+
+int64_t nonzero_count(const Tensor& t) {
+  int64_t count = 0;
+  const float* v = t.raw();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (v[i] != 0.0f) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Corruption, ReplayIsBitIdentical) {
+  const Frame clean = clean_frame();
+  const std::vector<CorruptionSpec> specs = parse_corruptions(
+      "night:0.6+rain:0.5+fog:0.4+dropout:0.3");
+  const Frame a = corrupt_frame(clean, specs, 0x1234);
+  const Frame b = corrupt_frame(clean, specs, 0x1234);
+  expect_bitwise_equal(a.rgb, b.rgb, "rgb replay");
+  expect_bitwise_equal(a.depth, b.depth, "depth replay");
+}
+
+TEST(Corruption, DifferentSeedsDrawDifferentNoise) {
+  const Frame clean = clean_frame();
+  const std::vector<CorruptionSpec> specs = parse_corruptions("rain:0.6");
+  const Frame a = corrupt_frame(clean, specs, 1);
+  const Frame b = corrupt_frame(clean, specs, 2);
+  EXPECT_FALSE(bitwise_equal(a.rgb, b.rgb))
+      << "different seeds must place rain streaks differently";
+}
+
+TEST(Corruption, CorruptionIsPureOnItsInput) {
+  const Frame clean = clean_frame();
+  const Tensor rgb_before = clean.rgb;
+  const Tensor depth_before = clean.depth;
+  corrupt_frame(clean, parse_corruptions("night+dropout:0.9"), 7);
+  expect_bitwise_equal(clean.rgb, rgb_before, "clean rgb untouched");
+  expect_bitwise_equal(clean.depth, depth_before, "clean depth untouched");
+}
+
+TEST(Corruption, FogMonotonicallyRemovesRangeReturns) {
+  // Heavier fog must never bring a LiDAR return back: the kept set at
+  // severity s2 > s1 is a subset of the kept set at s1.
+  const kitti::DatasetConfig config = tiny_config();
+  const kitti::Scene scene = kitti::Scene::generate(
+      kitti::RoadCategory::kUM, kitti::Lighting::kDay, 5);
+  const vision::Camera camera(config.image_width, config.image_height,
+                              config.fov_deg, config.cam_height,
+                              config.cam_pitch);
+  Rng rng(11);
+  const Tensor sparse = kitti::project_to_sparse_depth(
+      kitti::scan(scene, config.lidar, rng), camera);
+
+  int64_t previous = nonzero_count(sparse);
+  ASSERT_GT(previous, 0) << "scene produced no LiDAR returns";
+  for (float severity : {0.2f, 0.45f, 0.7f, 0.95f}) {
+    const Tensor foggy =
+        corrupt_range(sparse, {CorruptionKind::kFog, severity}, 9,
+                      config.lidar.max_range);
+    const int64_t kept = nonzero_count(foggy);
+    EXPECT_LE(kept, previous)
+        << "severity " << severity << " restored returns";
+    previous = kept;
+  }
+  EXPECT_LT(previous, nonzero_count(sparse))
+      << "heavy fog removed nothing — the corruption is inert";
+}
+
+TEST(Corruption, FogMonotoneInInverseDepthDomain) {
+  const Frame clean = clean_frame();
+  int64_t previous_dead = 0;
+  for (float severity : {0.2f, 0.5f, 0.8f, 1.0f}) {
+    const Tensor foggy = corrupt_inverse_depth(
+        clean.depth, {CorruptionKind::kFog, severity}, 3);
+    const int64_t dead = foggy.numel() - nonzero_count(foggy);
+    EXPECT_GE(dead, previous_dead) << "severity " << severity;
+    previous_dead = dead;
+  }
+}
+
+TEST(Corruption, DisjointModalityCompositionCommutes) {
+  // Rain touches only RGB, dropout only depth; per-kind seed derivation
+  // makes the pair commute bitwise.
+  const Frame clean = clean_frame();
+  const Frame ab = corrupt_frame(
+      clean, parse_corruptions("rain:0.6+dropout:0.5"), 21);
+  const Frame ba = corrupt_frame(
+      clean, parse_corruptions("dropout:0.5+rain:0.6"), 21);
+  expect_bitwise_equal(ab.rgb, ba.rgb, "rgb commutes");
+  expect_bitwise_equal(ab.depth, ba.depth, "depth commutes");
+}
+
+TEST(Corruption, SameModalityOrderIsMeaningful) {
+  // night-then-rain draws streaks over the darkened image; rain-then-night
+  // darkens the streaks. Both are valid scenes — but different ones.
+  const Frame clean = clean_frame();
+  const Frame night_rain =
+      corrupt_frame(clean, parse_corruptions("night:0.7+rain:0.7"), 4);
+  const Frame rain_night =
+      corrupt_frame(clean, parse_corruptions("rain:0.7+night:0.7"), 4);
+  EXPECT_FALSE(bitwise_equal(night_rain.rgb, rain_night.rgb));
+}
+
+TEST(Corruption, ParseFormatRoundTrip) {
+  const std::vector<CorruptionSpec> specs =
+      parse_corruptions("fog:0.6+night:0.5+dropout:0.25");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].kind, CorruptionKind::kFog);
+  EXPECT_FLOAT_EQ(specs[0].severity, 0.6f);
+  EXPECT_EQ(specs[2].kind, CorruptionKind::kDropout);
+  const std::vector<CorruptionSpec> reparsed =
+      parse_corruptions(format_corruptions(specs));
+  EXPECT_TRUE(specs == reparsed);
+  EXPECT_THROW(parse_corruptions("hail:0.5"), roadfusion::Error);
+  EXPECT_THROW(parse_corruptions(""), roadfusion::Error);
+}
+
+TEST(Suite, ParseScenarioNamesAndBareSpecs) {
+  const ScenarioSpec named = parse_scenario("storm=rain:0.5+night:0.4");
+  EXPECT_EQ(named.name, "storm");
+  ASSERT_EQ(named.corruptions.size(), 2u);
+  const ScenarioSpec bare = parse_scenario("fog:0.6");
+  EXPECT_EQ(bare.name, "fog:0.6");
+  ASSERT_EQ(bare.corruptions.size(), 1u);
+  const ScenarioSpec clean = parse_scenario("clean");
+  EXPECT_EQ(clean.name, "clean");
+  EXPECT_TRUE(clean.corruptions.empty());
+}
+
+TEST(Suite, DatasetReplaysDeterministicallyAndLabelsSamples) {
+  const kitti::RoadDataset base(tiny_config(), kitti::Split::kTest);
+  const ScenarioSpec spec = parse_scenario("fog=fog:0.5");
+  const ScenarioDataset a(base, spec, 99);
+  const ScenarioDataset b(base, spec, 99);
+  ASSERT_EQ(a.size(), base.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    expect_bitwise_equal(a.sample(i).rgb, b.sample(i).rgb, "rgb");
+    expect_bitwise_equal(a.sample(i).depth, b.sample(i).depth, "depth");
+    expect_bitwise_equal(a.sample(i).label, base.sample(i).label,
+                         "labels pass through untouched");
+    EXPECT_EQ(a.sample(i).scenario, "fog");
+  }
+  // Per-frame seeds are independent: two frames of the same scenario are
+  // corrupted with different draws.
+  EXPECT_NE(a.frame_seed(0), a.frame_seed(1));
+}
+
+TEST(Suite, StandardSuiteCoversEveryCorruptionClass) {
+  const std::vector<ScenarioSpec> suite = standard_suite();
+  ASSERT_GE(suite.size(), 7u);
+  EXPECT_EQ(suite.front().name, "clean");
+  bool has_dropout_past_threshold = false;
+  for (const ScenarioSpec& spec : suite) {
+    for (const CorruptionSpec& c : spec.corruptions) {
+      if (c.kind == CorruptionKind::kDropout && c.severity > 0.75f) {
+        has_dropout_past_threshold = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_dropout_past_threshold)
+      << "the suite must exercise the sensor-health triage path";
+}
+
+TEST(HealthTriage, DropoutBurstRoutesDegradedNotError) {
+  const Frame clean = clean_frame();
+  // 0.85 covers ~68% of rows — past the 60% dead-depth threshold.
+  const Frame heavy = corrupt_frame(
+      clean, parse_corruptions("dropout:0.85"), 13);
+  const kitti::SensorHealthReport heavy_report =
+      kitti::check_sensor_health(heavy.rgb, heavy.depth, {});
+  EXPECT_EQ(heavy_report.status, kitti::SensorStatus::kDegraded);
+  // 0.5 covers ~40% — stays healthy.
+  const Frame light = corrupt_frame(
+      clean, parse_corruptions("dropout:0.5"), 13);
+  const kitti::SensorHealthReport light_report =
+      kitti::check_sensor_health(light.rgb, light.depth, {});
+  EXPECT_EQ(light_report.status, kitti::SensorStatus::kHealthy);
+
+  // Through the serving engine: the degraded frame is answered RGB-only,
+  // bit-identical to predict_fused(fusion_weight = 0) — never an error.
+  roadseg::RoadSegConfig net_config;
+  net_config.stage_channels = {4, 6, 8, 10, 12};
+  Rng rng(3);
+  roadseg::RoadSegNet net(net_config, rng);
+  net.set_training(false);
+  const Tensor expected = net.predict_fused(heavy.rgb, heavy.depth, 0.0f);
+
+  runtime::InferenceEngine engine(net, {});
+  runtime::SubmitOptions options;
+  options.scenario = "dropout";
+  runtime::InferenceResult result =
+      engine.submit(heavy.rgb, heavy.depth, options).get();
+  EXPECT_TRUE(result.degraded);
+  expect_bitwise_equal(result.output, expected, "degraded output");
+  engine.shutdown(runtime::ShutdownMode::kDrain);
+
+  // The per-scenario counters observed the request and the degradation.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  EXPECT_GE(registry
+                .counter("roadfusion_scenario_requests_total"
+                         "{scenario=\"dropout\"}")
+                .value(),
+            1u);
+  EXPECT_GE(registry
+                .counter("roadfusion_scenario_degraded_total"
+                         "{scenario=\"dropout\"}")
+                .value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace roadfusion::scenario

@@ -16,6 +16,10 @@
 //   calibrate   [options]        calibrate int8 activation scales over the
 //                                validation split, gate on fp32 accuracy,
 //                                write a versioned scale table
+//   eval-matrix [options]        scenario corruption suite x fusion scheme
+//                                score matrix with RGB-only regression gates
+//   stream      [options]        temporally coherent frame stream through
+//                                the front door with frame-to-frame reuse
 //
 // `infer`, `batch-infer` and `metrics-dump` accept `--trace FILE` to
 // write a Chrome trace-event JSON of the run (chrome://tracing),
@@ -25,6 +29,7 @@
 // Run `roadfusion <command> --help` for the options of each command.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <string>
@@ -47,6 +52,8 @@
 #include "roadseg/roadseg_net.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault_injection.hpp"
+#include "scenario/eval_matrix.hpp"
+#include "scenario/stream.hpp"
 #include "serve/backoff.hpp"
 #include "serve/front_door.hpp"
 #include "train/checkpoint.hpp"
@@ -922,6 +929,301 @@ int cmd_calibrate(const cli::Args& args) {
   return 0;
 }
 
+/// Splits a comma-separated scenario list into parsed specs.
+std::vector<scenario::ScenarioSpec> parse_suite(const std::string& text) {
+  std::vector<scenario::ScenarioSpec> suite;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string item = text.substr(start, comma - start);
+    ROADFUSION_CHECK(!item.empty(),
+                     "--scenarios: empty entry in '" << text << "'");
+    suite.push_back(scenario::parse_scenario(item));
+    start = comma + 1;
+    if (comma == text.size()) {
+      break;
+    }
+  }
+  return suite;
+}
+
+int cmd_eval_matrix(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion eval-matrix [--epochs N] [--cap N] [--train-cap N]\n"
+        "                       [--alpha A] [--seed N] [--data-seed N]\n"
+        "                       [--scenarios LIST] [--corruption-seed N]\n"
+        "                       [--tolerance X] [--image-space] [--smoke]\n"
+        "                       [--out FILE]\n"
+        "                       [--kernel-backend reference|blocked]\n\n"
+        "Trains one tiny model per fusion scheme, replays the scenario\n"
+        "corruption suite against every scheme plus an RGB-only degraded\n"
+        "baseline, and gates: fused MaxF must not trail RGB-only by more\n"
+        "than --tolerance on any scenario (exit 1 on violation). The cell\n"
+        "matrix is printed as a table; --out writes it as deterministic\n"
+        "JSON (BENCH_scenarios.json).\n\n"
+        "  --scenarios LIST comma-separated scenario specs, e.g.\n"
+        "                   'clean,fog:0.6,storm=rain:0.5+night:0.4'\n"
+        "                   (default: the standard suite)\n"
+        "  --epochs N       training epochs per scheme (0 = untrained)\n"
+        "  --tolerance X    gate slack in MaxF percentage points\n"
+        "  --smoke          tiny caps / few epochs — fast, CI-grade\n");
+    return 0;
+  }
+  args.allow_only({"epochs", "cap", "train-cap", "alpha", "seed", "data-seed",
+                   "scenarios", "corruption-seed", "tolerance", "image-space",
+                   "smoke", "out", "kernel-backend", "help"});
+  apply_kernel_backend(args);
+  const bool smoke = args.has("smoke");
+
+  kitti::DatasetConfig data_config;
+  data_config.seed = static_cast<uint64_t>(args.get_int("data-seed", 42));
+  data_config.max_per_category = args.get_int("cap", smoke ? 2 : 6);
+  const kitti::RoadDataset test_set(data_config, kitti::Split::kTest);
+  kitti::DatasetConfig train_config = data_config;
+  train_config.max_per_category = args.get_int("train-cap", smoke ? 3 : 10);
+  const kitti::RoadDataset train_set(train_config, kitti::Split::kTrain);
+
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = static_cast<int>(args.get_int("epochs", smoke ? 2 : 6));
+  train_cfg.alpha_fd = static_cast<float>(args.get_double("alpha", 0.1));
+
+  // One model per scheme, identically seeded and identically trained, so
+  // the columns differ only by fusion architecture.
+  std::vector<std::unique_ptr<roadseg::RoadSegNet>> nets;
+  std::vector<scenario::SchemeModel> schemes;
+  for (core::FusionScheme scheme : core::all_fusion_schemes()) {
+    roadseg::RoadSegConfig config;
+    config.scheme = scheme;
+    tensor::Rng rng(static_cast<uint64_t>(args.get_int("seed", 42)));
+    auto net = std::make_unique<roadseg::RoadSegNet>(config, rng);
+    if (train_cfg.epochs > 0) {
+      std::fprintf(stderr, "training %s (%d epochs, %lld samples)...\n",
+                   core::short_name(scheme), train_cfg.epochs,
+                   static_cast<long long>(train_set.size()));
+      train::fit(*net, train_set, train_cfg);
+    }
+    net->set_training(false);
+    schemes.push_back({core::short_name(scheme), net.get()});
+    nets.push_back(std::move(net));
+  }
+
+  const std::vector<scenario::ScenarioSpec> suite =
+      args.has("scenarios") ? parse_suite(args.get("scenarios", ""))
+                            : scenario::standard_suite();
+  scenario::EvalMatrixConfig matrix_config;
+  matrix_config.eval.use_bev = !args.has("image-space");
+  matrix_config.corruption_seed = static_cast<uint64_t>(
+      args.get_int("corruption-seed",
+                   static_cast<int64_t>(matrix_config.corruption_seed)));
+  const scenario::EvalMatrix matrix =
+      scenario::run_eval_matrix(schemes, test_set, suite, matrix_config);
+
+  std::printf("%-14s %-10s %7s %7s %7s %7s %9s\n", "scenario", "scheme",
+              "MaxF", "AP", "IOU", "dRGB", "degraded");
+  for (const scenario::EvalCell& cell : matrix.cells) {
+    std::printf("%-14s %-10s %7.2f %7.2f %7.2f %+7.2f %8.0f%%\n",
+                cell.scenario.c_str(), cell.scheme.c_str(),
+                cell.scores.f_score, cell.scores.ap, cell.scores.iou,
+                cell.scores.f_score - cell.rgb_only.f_score,
+                cell.degraded_fraction * 100.0);
+  }
+
+  if (args.has("out")) {
+    const std::string path = args.get("out", "BENCH_scenarios.json");
+    const std::string json = scenario::to_json(matrix);
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ROADFUSION_CHECK(file != nullptr, "eval-matrix: cannot open " << path);
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  const double tolerance = args.get_double("tolerance", 1.0);
+  const std::vector<scenario::GateViolation> violations =
+      scenario::check_fusion_gates(matrix, tolerance);
+  for (const scenario::GateViolation& v : violations) {
+    std::fprintf(stderr,
+                 "GATE VIOLATION: %s x %s: fused MaxF %.2f < own rgb_only "
+                 "%.2f - tolerance %.2f\n",
+                 v.scenario.c_str(), v.scheme.c_str(), v.fused_max_f,
+                 v.rgb_only_max_f, tolerance);
+  }
+  if (violations.empty()) {
+    std::printf("gate passed: fused >= own rgb_only - %.2f MaxF pp on all "
+                "%zu scenario(s)\n",
+                tolerance, matrix.scenarios.size());
+    return 0;
+  }
+  return 1;
+}
+
+int cmd_stream(const cli::Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "roadfusion stream [--model model.rfc] [--scheme WS] [--frames N]\n"
+        "                  [--scenario SPEC] [--lidar-period N]\n"
+        "                  [--advance M] [--slo-ms X] [--no-reuse]\n"
+        "                  [--verify] [--category UM|UMM|UU]\n"
+        "                  [--lighting day|night|overexposure|shadows]\n"
+        "                  [--scene-seed N] [--threads N] [--max-batch N]\n"
+        "                  [--max-wait-us N] [--queue-cap N]\n"
+        "                  [--kernel-backend reference|blocked]\n"
+        "                  [--perf-db FILE] [--quant FILE]\n"
+        "                  [--trace trace.json]\n\n"
+        "Drives a temporally coherent frame sequence (one scene, ego\n"
+        "advancing --advance m/frame, LiDAR refreshing every\n"
+        "--lidar-period frames) through the serving front door with\n"
+        "frame-to-frame reuse: tiled depth preprocessing plus a cross-\n"
+        "frame depth-feature cache that skips the depth encoder between\n"
+        "LiDAR refreshes. --no-reuse recomputes everything per frame\n"
+        "(bitwise-identical outputs, full cost). --verify recomputes\n"
+        "every frame independently and checks the streamed outputs are\n"
+        "bit-identical.\n");
+    return 0;
+  }
+  args.allow_only({"model", "scheme", "frames", "scenario", "lidar-period",
+                   "advance", "slo-ms", "no-reuse", "verify", "category",
+                   "lighting", "scene-seed", "noise-seed", "corruption-seed",
+                   "threads", "max-batch", "max-wait-us", "queue-cap",
+                   "kernel-backend", "perf-db", "quant", "trace", "help"});
+  apply_perf_db(args);
+  apply_quant(args);
+
+  roadseg::RoadSegConfig net_cfg;
+  net_cfg.scheme = core::fusion_scheme_from_string(args.get("scheme", "WS"));
+  tensor::Rng rng(1);
+  roadseg::RoadSegNet net(net_cfg, rng);
+  if (args.has("model")) {
+    train::load_model(net, args.get("model", "model.rfc"));
+  }
+  net.set_training(false);
+
+  const scenario::ScenarioSpec spec =
+      scenario::parse_scenario(args.get("scenario", "clean"));
+
+  scenario::StreamConfig stream_cfg;
+  stream_cfg.corruptions = spec.corruptions;
+  stream_cfg.advance_m = args.get_double("advance", stream_cfg.advance_m);
+  stream_cfg.lidar_period =
+      static_cast<int>(args.get_int("lidar-period", stream_cfg.lidar_period));
+  stream_cfg.scene_seed = static_cast<uint64_t>(
+      args.get_int("scene-seed", static_cast<int64_t>(stream_cfg.scene_seed)));
+  stream_cfg.noise_seed = static_cast<uint64_t>(
+      args.get_int("noise-seed", static_cast<int64_t>(stream_cfg.noise_seed)));
+  stream_cfg.corruption_seed = static_cast<uint64_t>(args.get_int(
+      "corruption-seed", static_cast<int64_t>(stream_cfg.corruption_seed)));
+  stream_cfg.frame_to_frame_reuse = !args.has("no-reuse");
+  const std::string category_name = args.get("category", "UM");
+  if (category_name == "UMM") {
+    stream_cfg.category = kitti::RoadCategory::kUMM;
+  } else if (category_name == "UU") {
+    stream_cfg.category = kitti::RoadCategory::kUU;
+  } else {
+    ROADFUSION_CHECK(category_name == "UM",
+                     "unknown category " << category_name);
+  }
+  const std::string lighting_name = args.get("lighting", "day");
+  if (lighting_name == "night") {
+    stream_cfg.lighting = kitti::Lighting::kNight;
+  } else if (lighting_name == "overexposure") {
+    stream_cfg.lighting = kitti::Lighting::kOverexposure;
+  } else if (lighting_name == "shadows") {
+    stream_cfg.lighting = kitti::Lighting::kShadows;
+  } else {
+    ROADFUSION_CHECK(lighting_name == "day",
+                     "unknown lighting " << lighting_name);
+  }
+
+  serve::FrontDoorConfig door_cfg;
+  door_cfg.shards = 1;
+  door_cfg.engine = engine_config(args);
+
+  const int64_t frames = args.get_int("frames", 30);
+  scenario::StreamSessionConfig session_cfg;
+  session_cfg.scenario = spec.name;
+  session_cfg.slo_ms = args.get_double("slo-ms", 0.0);
+  session_cfg.use_feature_cache = stream_cfg.frame_to_frame_reuse;
+
+  start_trace(args);
+  std::vector<scenario::StreamFrameResult> results;
+  scenario::StreamSessionStats stats;
+  kitti::TiledPreprocStats tiles;
+  double elapsed_ms = 0.0;
+  {
+    serve::FrontDoor door(net, door_cfg);
+    scenario::StreamGenerator generator(stream_cfg);
+    scenario::StreamSession session(door, generator, session_cfg);
+    const auto start = std::chrono::steady_clock::now();
+    results = session.run(frames);
+    elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    stats = session.stats();
+    tiles = generator.preproc_stats();
+    door.shutdown();
+  }
+  finish_trace(args);
+
+  std::printf(
+      "stream: %lld frames in %.1f ms  (%.2f frames/s)  scenario=%s "
+      "reuse=%s\n"
+      "        cache hits %lld / misses %lld   tiles reused %lld / %lld\n"
+      "        degraded %lld   latency mean %.2f ms  max %.2f ms\n",
+      static_cast<long long>(stats.frames), elapsed_ms,
+      elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(stats.frames) /
+                             elapsed_ms
+                       : 0.0,
+      spec.name.c_str(), stream_cfg.frame_to_frame_reuse ? "on" : "off",
+      static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.cache_misses),
+      static_cast<long long>(tiles.tiles_reused),
+      static_cast<long long>(tiles.tiles_total),
+      static_cast<long long>(stats.degraded_frames),
+      stats.frames > 0
+          ? stats.total_latency_ms / static_cast<double>(stats.frames)
+          : 0.0,
+      stats.max_latency_ms);
+  if (session_cfg.slo_ms > 0.0) {
+    std::printf("        SLO %.2f ms: %lld miss(es)\n", session_cfg.slo_ms,
+                static_cast<long long>(stats.slo_misses));
+  }
+
+  if (args.has("verify")) {
+    // Replay the identical stream with every shortcut disabled and compare
+    // outputs bitwise — the reuse machinery must be invisible.
+    scenario::StreamConfig naive_cfg = stream_cfg;
+    naive_cfg.frame_to_frame_reuse = false;
+    scenario::StreamGenerator reference(naive_cfg);
+    int64_t mismatches = 0;
+    for (const scenario::StreamFrameResult& result : results) {
+      const scenario::StreamFrame frame = reference.next();
+      const tensor::Tensor expected =
+          result.degraded ? net.predict_fused(frame.rgb, frame.depth, 0.0f)
+                          : net.predict(frame.rgb, frame.depth);
+      const bool equal =
+          expected.shape() == result.output.shape() &&
+          std::memcmp(expected.raw(), result.output.raw(),
+                      static_cast<size_t>(expected.shape().numel()) *
+                          sizeof(float)) == 0;
+      if (!equal) {
+        ++mismatches;
+      }
+    }
+    std::printf("verify: %lld/%lld frames bitwise-identical to independent "
+                "inference\n",
+                static_cast<long long>(frames - mismatches),
+                static_cast<long long>(frames));
+    if (mismatches > 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 void print_usage(std::FILE* stream) {
   std::fprintf(
       stream,
@@ -939,7 +1241,11 @@ void print_usage(std::FILE* stream) {
       "  metrics-dump run a synthetic workload, print Prometheus metrics\n"
       "  tune         benchmark conv solvers per shape, write a perf DB\n"
       "  calibrate    calibrate int8 scales, gate on accuracy, write a "
-      "table\n\n"
+      "table\n"
+      "  eval-matrix  scenario corruption suite x fusion scheme score "
+      "matrix\n"
+      "  stream       temporally coherent frames with frame-to-frame "
+      "reuse\n\n"
       "run 'roadfusion <command> --help' for per-command options\n");
 }
 
@@ -982,6 +1288,12 @@ int main(int argc, char** argv) {
     }
     if (command == "calibrate") {
       return cmd_calibrate(args);
+    }
+    if (command == "eval-matrix") {
+      return cmd_eval_matrix(args);
+    }
+    if (command == "stream") {
+      return cmd_stream(args);
     }
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     print_usage(stderr);

@@ -45,6 +45,14 @@
 #                                 # availability at 2x capacity where the
 #                                 # bare engine collapses, with exact
 #                                 # request accounting
+#   tools/run_tier1.sh --scenario-smoke
+#                                 # additionally drive the corruption
+#                                 # round trip: `roadfusion eval-matrix
+#                                 # --smoke` (per-cell fused >= own
+#                                 # rgb_only gate) and `roadfusion stream
+#                                 # --verify` (streamed frames bitwise
+#                                 # equal to independent inference), then
+#                                 # bench_stream --smoke (speedup gate)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +65,7 @@ bench_smoke=0
 tune_smoke=0
 quant_smoke=0
 soak_smoke=0
+scenario_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
@@ -67,8 +76,9 @@ for arg in "$@"; do
     --tune-smoke) tune_smoke=1 ;;
     --quant-smoke) quant_smoke=1 ;;
     --soak-smoke) soak_smoke=1 ;;
+    --scenario-smoke) scenario_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke] [--soak-smoke]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke] [--soak-smoke] [--scenario-smoke]" >&2
       exit 2
       ;;
   esac
@@ -84,8 +94,9 @@ if [[ "$tsan" == 1 ]]; then
   cmake --build build-tsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_kernel_parity test_tracing test_metrics test_runtime_stats \
-             test_workspace test_tune test_quant test_frontdoor test_serve_e2e
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$|test_frontdoor|test_serve_e2e')
+             test_workspace test_tune test_quant test_frontdoor test_serve_e2e \
+             test_stream
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$|test_frontdoor|test_serve_e2e|test_stream')
 fi
 
 if [[ "$asan" == 1 ]]; then
@@ -93,8 +104,9 @@ if [[ "$asan" == 1 ]]; then
   cmake -B build-asan -S . -DROADFUSION_SANITIZE=address
   cmake --build build-asan -j \
     --target test_kernel_parity test_golden_inference test_fault_tolerance \
-             test_workspace test_tune test_quant test_frontdoor
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$|test_frontdoor')
+             test_workspace test_tune test_quant test_frontdoor \
+             test_scenario test_stream
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$|test_frontdoor|test_scenario|test_stream')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -102,8 +114,8 @@ if [[ "$ubsan" == 1 ]]; then
   cmake -B build-ubsan -S . -DROADFUSION_SANITIZE=undefined
   cmake --build build-ubsan -j \
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
-             test_serialize test_checkpoint test_quant
-  (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint|test_quant$')
+             test_serialize test_checkpoint test_quant test_scenario
+  (cd build-ubsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_serialize|test_checkpoint|test_quant$|test_scenario')
 fi
 
 if [[ "$soak_smoke" == 1 ]]; then
@@ -118,6 +130,34 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== Bench smoke: planned inference stays zero-allocation =="
   cmake --build build -j --target bench_latency
   (cd build && ./bench/bench_latency --smoke)
+  echo "== Bench smoke: streaming reuse is bitwise-equal and faster =="
+  cmake --build build -j --target bench_stream
+  # bench_stream gates internally: bitwise equality with naive per-frame
+  # inference, and speedup >= 1.15x in smoke mode.
+  (cd build && ./bench/bench_stream --smoke)
+fi
+
+if [[ "$scenario_smoke" == 1 ]]; then
+  echo "== Scenario smoke: generate -> eval-matrix -> stream round trip =="
+  cmake --build build -j --target roadfusion bench_stream
+  # eval-matrix gates internally: on every scenario x scheme cell the
+  # fused MaxF must stay within tolerance of the same model's own
+  # RGB-only fallback (the path triage actually serves).
+  matrix="build/scenario_smoke.json"
+  rm -f "$matrix"
+  (cd build && ./tools/roadfusion eval-matrix --smoke --out scenario_smoke.json)
+  [[ -s "$matrix" ]] || { echo "scenario smoke: $matrix missing or empty" >&2; exit 1; }
+  grep -q '"scenarios"' "$matrix" && grep -q '"rgb_only"' "$matrix" ||
+    { echo "scenario smoke: matrix JSON lacks expected keys" >&2; exit 1; }
+  # Streamed serving must be bitwise-identical to independent per-frame
+  # inference; --verify replays the stream naively and compares.
+  stream_out="$(cd build && ./tools/roadfusion stream --frames 12 \
+      --scenario fog:0.5 --verify 2>&1)" ||
+    { echo "$stream_out"; echo "scenario smoke: stream --verify failed" >&2; exit 1; }
+  echo "$stream_out" | grep -q 'verify: 12/12 frames bitwise-identical' ||
+    { echo "$stream_out"; echo "scenario smoke: stream verify line missing" >&2; exit 1; }
+  (cd build && ./bench/bench_stream --smoke)
+  echo "scenario smoke: OK"
 fi
 
 if [[ "$tune_smoke" == 1 ]]; then
