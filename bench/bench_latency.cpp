@@ -14,6 +14,12 @@
 // epilogues), on both kernel backends, with per-call heap-allocation
 // counts measured by the operator-new hooks from tests/alloc_hooks.cpp.
 //
+// Since DESIGN.md §16 a third "compiled" row runs the same predict
+// through the inference plan compiler (blocked NCHWc8 layout, fused
+// cross-layer epilogues, minimal buffer schedule), and the JSON records
+// the active CPU feature tier plus the solver the dispatch registry
+// binds for every recorded conv layer.
+//
 // Flags:
 //   --smoke        seconds-fast mode: path comparison only, few repeats,
 //                  an untrained (seeded) model — used by tools/run_tier1.sh
@@ -21,6 +27,7 @@
 //                  BENCH_latency.json) to FILE
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -30,7 +37,11 @@
 #include "autograd/ops.hpp"
 #include "autograd/variable.hpp"
 #include "bench_common.hpp"
+#include "common/cpu.hpp"
+#include "plan/plan.hpp"
 #include "tensor/shape.hpp"
+#include "tune/dispatch.hpp"
+#include "tune/problem.hpp"
 
 namespace {
 
@@ -120,6 +131,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Referencing the plan library installs the inference-plan hooks at
+  // static init; the explicit call keeps that independent of link-order
+  // details.
+  plan::install_hooks();
+
   const bench::BenchSettings config = bench::settings();
   bench::print_header(
       "Inference latency per fusion scheme",
@@ -151,11 +167,39 @@ int main(int argc, char** argv) {
     rows.push_back({backend, "graph",
                     measure_path([&] { (void)graph_predict(net, rgb, depth); },
                                  path_repeats)});
+    // "planned" is the raw graph-order workspace path (DESIGN.md §11);
+    // "compiled" runs the same predict through the inference plan
+    // (DESIGN.md §16: blocked NCHWc8 layout, fused cross-layer
+    // epilogues). ROADFUSION_PLAN is re-read at every prepare_inference.
+    ::setenv("ROADFUSION_PLAN", "0", 1);
+    net.prepare_inference();
     rows.push_back({backend, "planned",
+                    measure_path([&] { (void)net.predict(rgb, depth); },
+                                 path_repeats)});
+    ::unsetenv("ROADFUSION_PLAN");
+    net.prepare_inference();
+    rows.push_back({backend, "compiled",
                     measure_path([&] { (void)net.predict(rgb, depth); },
                                  path_repeats)});
   }
   autograd::kernels::set_backend(previous_backend);
+
+  // Per-layer solver selections: record the conv problems of one
+  // graph-order predict, then ask the dispatch layer what it binds for
+  // each. Under the compiled plan the interior encoder convs never reach
+  // this registry — they run the plan's own nchwc_direct kernel — so
+  // this table describes the graph-order layers (stems, stage-0 filters,
+  // decoder under the plan; everything when the plan declines).
+  ::setenv("ROADFUSION_PLAN", "0", 1);
+  net.prepare_inference();
+  tune::clear_recorded_problems();
+  tune::set_problem_recording(true);
+  (void)net.predict(rgb, depth);
+  tune::set_problem_recording(false);
+  ::unsetenv("ROADFUSION_PLAN");
+  net.prepare_inference();
+  const std::vector<tune::ConvProblem> layer_problems =
+      tune::recorded_problems();
 
   std::printf("\nSteady-state predict: graph path vs planned path (%lldx%lld, "
               "%d repeats)\n",
@@ -177,6 +221,8 @@ int main(int argc, char** argv) {
       .field("repeats", static_cast<int64_t>(path_repeats))
       .field("image_height", static_cast<int64_t>(height))
       .field("image_width", static_cast<int64_t>(width))
+      .field("cpu_tier",
+             std::string(common::tier_name(common::active_tier())))
       .begin_array("paths");
   for (const PathRow& row : rows) {
     json.begin_object()
@@ -187,14 +233,33 @@ int main(int argc, char** argv) {
         .field("bytes_per_call", row.m.bytes_per_call, 1)
         .end_object();
   }
-  json.end_array().begin_object("speedup_graph_to_planned");
-  for (size_t i = 0; i + 1 < rows.size(); i += 2) {
-    // rows come in (graph, planned) pairs per backend
+  json.end_array().begin_array("layer_solvers");
+  for (const tune::ConvProblem& p : layer_problems) {
+    const auto binding = tune::bind(p, true);
+    json.begin_object()
+        .field("layer", p.key())
+        .field("solver", std::string(binding->solver != nullptr
+                                         ? binding->solver->name()
+                                         : "legacy"))
+        .end_object();
+  }
+  json.end_array()
+      .begin_object("speedup_graph_to_planned");
+  for (size_t i = 0; i + 2 < rows.size(); i += 3) {
+    // rows come in (graph, planned, compiled) triples per backend
     json.field(rows[i].backend,
                rows[i].m.latency_ms / rows[i + 1].m.latency_ms, 3);
     std::printf("%s: planned is %.2fx the graph path\n",
                 rows[i].backend.c_str(),
                 rows[i].m.latency_ms / rows[i + 1].m.latency_ms);
+  }
+  json.end_object().begin_object("speedup_planned_to_compiled");
+  for (size_t i = 0; i + 2 < rows.size(); i += 3) {
+    json.field(rows[i].backend,
+               rows[i + 1].m.latency_ms / rows[i + 2].m.latency_ms, 3);
+    std::printf("%s: compiled plan is %.2fx the planned path\n",
+                rows[i].backend.c_str(),
+                rows[i + 1].m.latency_ms / rows[i + 2].m.latency_ms);
   }
   json.end_object().end_object();
   std::printf("%s\n", json.str().c_str());
@@ -212,16 +277,18 @@ int main(int argc, char** argv) {
     // regressed into allocating. (It also skips the training-heavy
     // scheme table below.)
     for (const PathRow& row : rows) {
-      if (row.path == "planned" && row.m.allocs_per_call != 0.0) {
+      if ((row.path == "planned" || row.path == "compiled") &&
+          row.m.allocs_per_call != 0.0) {
         std::fprintf(stderr,
-                     "FAIL: planned path on %s backend allocates %.1f "
+                     "FAIL: %s path on %s backend allocates %.1f "
                      "times per call (expected 0)\n",
-                     row.backend.c_str(), row.m.allocs_per_call);
+                     row.path.c_str(), row.backend.c_str(),
+                     row.m.allocs_per_call);
         return 1;
       }
     }
-    std::printf("smoke check passed: planned path allocation-free on both "
-                "backends\n");
+    std::printf("smoke check passed: planned and compiled paths "
+                "allocation-free on both backends\n");
     return 0;
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "obs/trace.hpp"
 #include "tensor/shape.hpp"
 
@@ -38,6 +39,15 @@ struct MatView {
 
 int64_t round_up(int64_t value, int64_t multiple) {
   return (value + multiple - 1) / multiple * multiple;
+}
+
+/// Runtime gate of the SSE2 fast paths. The compile-time #ifdef proves the
+/// instructions exist in the binary; this proves the machine (or a
+/// ROADFUSION_CPU_FEATURES override) allows executing them. The scalar
+/// fallback computes the identical per-element sequence, so the gate never
+/// changes results, only instruction selection.
+inline bool sse2_dispatch() {
+  return common::active_tier() >= common::CpuTier::kSse2;
 }
 
 /// Packs the (mb, kb) block of A at (i0, p0) into kMr-row panels,
@@ -79,7 +89,7 @@ void micro_kernel(int64_t kb, const float* a_panel, const float* b,
                   int64_t b_stride, float* c, int64_t ldc, int64_t mrem,
                   int64_t nrem) {
 #if defined(ROADFUSION_GEMM_SSE2)
-  if (nrem == kNr) {
+  if (nrem == kNr && sse2_dispatch()) {
     // Full-width tile: 8 accumulator vectors, A rows beyond mrem are packed
     // zeros so all four rows compute unconditionally and only mrem store.
     __m128 c00 = _mm_setzero_ps(), c01 = _mm_setzero_ps();
@@ -164,7 +174,7 @@ void micro_kernel_infer(int64_t kb, const float* a_panel, const float* b,
                         int64_t b_stride, float* c, int64_t ldc, int64_t mrem,
                         int64_t nrem, int64_t row0, const ConvEpilogue* epi) {
 #if defined(ROADFUSION_GEMM_SSE2)
-  if (nrem == kNr) {
+  if (nrem == kNr && sse2_dispatch()) {
     __m128 c00 = _mm_setzero_ps(), c01 = _mm_setzero_ps();
     __m128 c10 = _mm_setzero_ps(), c11 = _mm_setzero_ps();
     __m128 c20 = _mm_setzero_ps(), c21 = _mm_setzero_ps();

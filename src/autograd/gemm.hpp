@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "autograd/conv_epilogue.hpp"
 #include "tensor/tensor.hpp"
 
 namespace roadfusion::autograd::kernels {
@@ -69,20 +70,8 @@ Tensor blocked_matmul_bt(const Tensor& a, const Tensor& b);
 // Inference fast path: pre-packed A operands and fused conv epilogues.
 // ---------------------------------------------------------------------------
 
-/// Per-output-channel epilogue fused into the GEMM's C store. The fields
-/// are applied per element in exactly the order of the legacy op chain —
-/// bias add, then eval-mode batch-norm affine, then ReLU — with the same
-/// single-precision operation sequence, so the fused result is
-/// bit-identical to running the separate ops. The channel index is the C
-/// row. Null pointers skip a stage; the four bn_* arrays are set together.
-struct ConvEpilogue {
-  const float* bias = nullptr;       ///< v += bias[c]
-  const float* bn_mean = nullptr;    ///< xh = (v - mean[c]) * invstd[c]
-  const float* bn_invstd = nullptr;  ///< (invstd precomputed per channel)
-  const float* bn_gamma = nullptr;   ///< v = gamma[c] * xh + beta[c]
-  const float* bn_beta = nullptr;
-  bool relu = false;                 ///< v = v > 0 ? v : 0
-};
+// ConvEpilogue moved to autograd/conv_epilogue.hpp (shared with the
+// per-ISA kernel TUs); included above so existing consumers are unchanged.
 
 /// An A operand packed once into the blocked GEMM's kMr-row panel layout
 /// (reduction-major, zero-padded rows) — what `pack_a` produces per cache

@@ -1,0 +1,390 @@
+// AVX2 kernel TU — the only file in the repository compiled with
+// -mavx2 -mfma (see CMakeLists.txt in this directory). See gemm_avx2.hpp
+// for the ODR ground rules: no heavyweight headers, raw-pointer operands,
+// all helpers in the anonymous namespace so nothing compiled with AVX2
+// flags can be merged into another TU's symbol.
+#include "autograd/gemm_avx2.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define ROADFUSION_GEMM_AVX2 1
+#endif
+
+namespace roadfusion::autograd::kernels {
+namespace {
+
+constexpr int64_t kMr = kAvx2TileRows;  // 6
+constexpr int64_t kNr = 16;             // two YMM lanes of fp32
+
+int64_t round_up(int64_t value, int64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+/// Scalar epilogue, the same op order as epilogue_scalar in gemm.cpp
+/// (bias, BN affine, ReLU) — duplicated here because that helper lives in
+/// another TU's anonymous namespace and this TU must stay self-contained.
+inline float epilogue_value(float v, int64_t ch, const ConvEpilogue& epi) {
+  if (epi.bias != nullptr) {
+    v += epi.bias[ch];
+  }
+  if (epi.bn_mean != nullptr) {
+    const float xh = (v - epi.bn_mean[ch]) * epi.bn_invstd[ch];
+    v = epi.bn_gamma[ch] * xh + epi.bn_beta[ch];
+  }
+  if (epi.relu) {
+    v = v > 0.0f ? v : 0.0f;
+  }
+  return v;
+}
+
+#if defined(ROADFUSION_GEMM_AVX2)
+
+/// One 6x16 FMA tile: C[0:mrem, 0:16] = panel * B by overwrite, epilogue
+/// applied while the accumulators are in registers. The panel is
+/// reduction-major with zero-padded rows, so all six rows compute
+/// unconditionally and only mrem store. 12 accumulators + b0/b1 + the A
+/// broadcast use 15 of the 16 YMM registers.
+void tile_16x6(int64_t k, const float* panel, const float* b, int64_t ldb,
+               float* c, int64_t ldc, int64_t mrem, int64_t row0,
+               const ConvEpilogue* epi) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* ap = panel + p * kMr;
+    const float* bp = b + p * ldb;
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    __m256 a = _mm256_broadcast_ss(ap);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(ap + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(ap + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(ap + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(ap + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(ap + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+  }
+  __m256 acc[kMr][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                        {c30, c31}, {c40, c41}, {c50, c51}};
+  for (int64_t i = 0; i < mrem; ++i) {
+    __m256 v0 = acc[i][0];
+    __m256 v1 = acc[i][1];
+    if (epi != nullptr) {
+      // Vector epilogue: 8 independent IEEE single ops per stage, the
+      // same per-element sequence as epilogue_value (non-FMA, so the
+      // epilogue itself never widens the kernel's tolerance envelope).
+      const int64_t ch = row0 + i;
+      if (epi->bias != nullptr) {
+        const __m256 bias = _mm256_set1_ps(epi->bias[ch]);
+        v0 = _mm256_add_ps(v0, bias);
+        v1 = _mm256_add_ps(v1, bias);
+      }
+      if (epi->bn_mean != nullptr) {
+        const __m256 mean = _mm256_set1_ps(epi->bn_mean[ch]);
+        const __m256 invstd = _mm256_set1_ps(epi->bn_invstd[ch]);
+        const __m256 gamma = _mm256_set1_ps(epi->bn_gamma[ch]);
+        const __m256 beta = _mm256_set1_ps(epi->bn_beta[ch]);
+        v0 = _mm256_add_ps(
+            _mm256_mul_ps(gamma,
+                          _mm256_mul_ps(_mm256_sub_ps(v0, mean), invstd)),
+            beta);
+        v1 = _mm256_add_ps(
+            _mm256_mul_ps(gamma,
+                          _mm256_mul_ps(_mm256_sub_ps(v1, mean), invstd)),
+            beta);
+      }
+      if (epi->relu) {
+        const __m256 zero = _mm256_setzero_ps();
+        v0 = _mm256_max_ps(v0, zero);
+        v1 = _mm256_max_ps(v1, zero);
+      }
+    }
+    float* c_row = c + i * ldc;
+    _mm256_storeu_ps(c_row, v0);
+    _mm256_storeu_ps(c_row + 8, v1);
+  }
+}
+
+/// One 8x6 FMA half-tile for the right edge (8 <= n remainder < 16), so
+/// narrow GEMMs (deep encoder stages have N as small as 12) do not fall
+/// all the way to the scalar path. Same contraction order as tile_16x6's
+/// low half.
+void tile_8x6(int64_t k, const float* panel, const float* b, int64_t ldb,
+              float* c, int64_t ldc, int64_t mrem, int64_t row0,
+              const ConvEpilogue* epi) {
+  __m256 acc[kMr] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                     _mm256_setzero_ps(), _mm256_setzero_ps(),
+                     _mm256_setzero_ps(), _mm256_setzero_ps()};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* ap = panel + p * kMr;
+    const __m256 b0 = _mm256_loadu_ps(b + p * ldb);
+    acc[0] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap), b0, acc[0]);
+    acc[1] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 1), b0, acc[1]);
+    acc[2] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 2), b0, acc[2]);
+    acc[3] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 3), b0, acc[3]);
+    acc[4] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 4), b0, acc[4]);
+    acc[5] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 5), b0, acc[5]);
+  }
+  for (int64_t i = 0; i < mrem; ++i) {
+    __m256 v = acc[i];
+    if (epi != nullptr) {
+      const int64_t ch = row0 + i;
+      if (epi->bias != nullptr) {
+        v = _mm256_add_ps(v, _mm256_set1_ps(epi->bias[ch]));
+      }
+      if (epi->bn_mean != nullptr) {
+        v = _mm256_add_ps(
+            _mm256_mul_ps(
+                _mm256_set1_ps(epi->bn_gamma[ch]),
+                _mm256_mul_ps(_mm256_sub_ps(v, _mm256_set1_ps(epi->bn_mean[ch])),
+                              _mm256_set1_ps(epi->bn_invstd[ch]))),
+            _mm256_set1_ps(epi->bn_beta[ch]));
+      }
+      if (epi->relu) {
+        v = _mm256_max_ps(v, _mm256_setzero_ps());
+      }
+    }
+    _mm256_storeu_ps(c + i * ldc, v);
+  }
+}
+
+/// Horizontal sum of the eight int32 lanes.
+inline int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// 32 reduction steps of one (weight chunk, activation chunk) pair into an
+/// int32 accumulator vector. The sign trick makes vpmaddubsw exact: with
+/// u = |w| (unsigned) and s = act * sign(w) (signed, zeroed where w == 0),
+/// each u*s product equals w*act and lies in [-16129, 16129], so the
+/// int16 pair sums are bounded by 32258 — no saturation.
+inline __m256i dot32(__m256i wv, __m256i av, __m256i ones, __m256i acc) {
+  const __m256i u = _mm256_abs_epi8(wv);
+  const __m256i s = _mm256_sign_epi8(av, wv);
+  return _mm256_add_epi32(acc,
+                          _mm256_madd_epi16(_mm256_maddubs_epi16(u, s), ones));
+}
+
+#endif  // ROADFUSION_GEMM_AVX2
+
+}  // namespace
+
+int64_t avx2_apack_floats(int64_t m, int64_t k) {
+  return round_up(m, kMr) * k;
+}
+
+int64_t avx2_int8_packed_bytes(int64_t k, int64_t n) {
+  return round_up(k, 32) * n;
+}
+
+#if defined(ROADFUSION_GEMM_AVX2)
+
+bool avx2_kernels_compiled() { return true; }
+
+void avx2_gemm_infer(const float* a, int64_t m, int64_t k, float* apack,
+                     const float* b, int64_t ldb, int64_t n, float* c,
+                     int64_t ldc, const ConvEpilogue* epi) {
+  // Pack A into 6-row reduction-major panels, rows beyond m zero-padded.
+  for (int64_t ip = 0; ip < m; ip += kMr) {
+    const int64_t rows = m - ip < kMr ? m - ip : kMr;
+    float* dst = apack + ip * k;
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t r = 0; r < kMr; ++r) {
+        *dst++ = r < rows ? a[(ip + r) * k + p] : 0.0f;
+      }
+    }
+  }
+  const int64_t n_main = n - n % kNr;
+  for (int64_t ip = 0; ip < m; ip += kMr) {
+    const float* panel = apack + ip * k;
+    const int64_t mrem = m - ip < kMr ? m - ip : kMr;
+    for (int64_t jp = 0; jp < n_main; jp += kNr) {
+      tile_16x6(k, panel, b + jp, ldb, c + ip * ldc + jp, ldc, mrem, ip, epi);
+    }
+    int64_t edge = n_main;
+    if (n - edge >= 8) {
+      tile_8x6(k, panel, b + edge, ldb, c + ip * ldc + edge, ldc, mrem, ip,
+               epi);
+      edge += 8;
+    }
+    // Last few columns: scalar with __builtin_fmaf so the contraction
+    // matches the vector tiles' FMA accumulation.
+    for (int64_t j = edge; j < n; ++j) {
+      float acc[kMr] = {};
+      for (int64_t p = 0; p < k; ++p) {
+        const float bv = b[p * ldb + j];
+        const float* ap = panel + p * kMr;
+        for (int64_t r = 0; r < kMr; ++r) {
+          acc[r] = __builtin_fmaf(ap[r], bv, acc[r]);
+        }
+      }
+      for (int64_t r = 0; r < mrem; ++r) {
+        c[(ip + r) * ldc + j] =
+            epi != nullptr ? epilogue_value(acc[r], ip + r, *epi) : acc[r];
+      }
+    }
+  }
+}
+
+void avx2_int8_pack_activations(const float* b, int64_t k, int64_t n,
+                                float inv, int8_t* out) {
+  const int64_t kp = round_up(k, 32);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  for (int64_t p = 0; p < k; ++p) {
+    const float* row = b + p * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      // Vectorized quantize of 8 row-contiguous values (mul / clamp /
+      // round-nearest-even — the quantize_value sequence), then scatter
+      // the 8 bytes into their k-padded column slots.
+      __m256 scaled = _mm256_mul_ps(_mm256_loadu_ps(row + j), vinv);
+      scaled = _mm256_min_ps(scaled, hi);
+      scaled = _mm256_max_ps(scaled, lo);
+      const __m256i q = _mm256_cvtps_epi32(scaled);
+      // int32 -> int8 (exact: already in [-127, 127]).
+      const __m128i q16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                          _mm256_extracti128_si256(q, 1));
+      const __m128i q8 = _mm_packs_epi16(q16, q16);
+      const uint64_t bytes =
+          static_cast<uint64_t>(_mm_cvtsi128_si64(q8));
+      for (int64_t t = 0; t < 8; ++t) {
+        out[(j + t) * kp + p] =
+            static_cast<int8_t>((bytes >> (8 * t)) & 0xFF);
+      }
+    }
+    for (; j < n; ++j) {
+      float scaled = row[j] * inv;
+      scaled = scaled > 127.0f ? 127.0f : scaled;
+      scaled = scaled < -127.0f ? -127.0f : scaled;
+      out[j * kp + p] = static_cast<int8_t>(__builtin_lrintf(scaled));
+    }
+  }
+  if (kp > k) {
+    for (int64_t j = 0; j < n; ++j) {
+      std::memset(out + j * kp + k, 0, static_cast<size_t>(kp - k));
+    }
+  }
+}
+
+void avx2_int8_gemm(const int8_t* wdata, const float* wscales, int64_t m,
+                    int64_t k, const int8_t* bpack, int64_t n,
+                    float act_scale, float* c, const ConvEpilogue* epi) {
+  const int64_t kp = round_up(k, 32);
+  const __m256i ones = _mm256_set1_epi16(1);
+  // Zero-padded per-row weight image so the chunk loop covers kp
+  // uniformly (padded activation bytes are zero, so the tail contributes
+  // nothing). kMaxInt8Depth = 1040 bounds the stack footprint.
+  alignas(32) int8_t wpad[1056 + 32];
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(wpad, wdata + i * k, static_cast<size_t>(k));
+    std::memset(wpad + k, 0, static_cast<size_t>(kp - k));
+    const float dequant = wscales[i] * act_scale;
+    float* c_row = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      // Four columns share each weight-chunk load.
+      const int8_t* col0 = bpack + j * kp;
+      __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+      __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+      for (int64_t p = 0; p < kp; p += 32) {
+        const __m256i wv = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(wpad + p));
+        a0 = dot32(wv,
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(col0 + p)),
+                   ones, a0);
+        a1 = dot32(wv,
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(col0 + kp + p)),
+                   ones, a1);
+        a2 = dot32(wv,
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(col0 + 2 * kp + p)),
+                   ones, a2);
+        a3 = dot32(wv,
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(col0 + 3 * kp + p)),
+                   ones, a3);
+      }
+      // Dequant per element — (float)acc * dequant, the exact scalar
+      // sequence of int8_gemm_reference.
+      c_row[j] = static_cast<float>(hsum_epi32(a0)) * dequant;
+      c_row[j + 1] = static_cast<float>(hsum_epi32(a1)) * dequant;
+      c_row[j + 2] = static_cast<float>(hsum_epi32(a2)) * dequant;
+      c_row[j + 3] = static_cast<float>(hsum_epi32(a3)) * dequant;
+    }
+    for (; j < n; ++j) {
+      const int8_t* col = bpack + j * kp;
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t p = 0; p < kp; p += 32) {
+        acc = dot32(_mm256_load_si256(
+                        reinterpret_cast<const __m256i*>(wpad + p)),
+                    _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(col + p)),
+                    ones, acc);
+      }
+      c_row[j] = static_cast<float>(hsum_epi32(acc)) * dequant;
+    }
+    if (epi != nullptr) {
+      for (int64_t jj = 0; jj < n; ++jj) {
+        c_row[jj] = epilogue_value(c_row[jj], i, *epi);
+      }
+    }
+  }
+}
+
+#else  // !ROADFUSION_GEMM_AVX2
+
+bool avx2_kernels_compiled() { return false; }
+
+namespace {
+[[noreturn]] void avx2_unavailable(const char* fn) {
+  std::fprintf(stderr,
+               "%s: AVX2 kernels were not compiled into this binary\n", fn);
+  std::abort();
+}
+}  // namespace
+
+void avx2_gemm_infer(const float*, int64_t, int64_t, float*, const float*,
+                     int64_t, int64_t, float*, int64_t,
+                     const ConvEpilogue*) {
+  avx2_unavailable("avx2_gemm_infer");
+}
+
+void avx2_int8_pack_activations(const float*, int64_t, int64_t, float,
+                                int8_t*) {
+  avx2_unavailable("avx2_int8_pack_activations");
+}
+
+void avx2_int8_gemm(const int8_t*, const float*, int64_t, int64_t,
+                    const int8_t*, int64_t, float, float*,
+                    const ConvEpilogue*) {
+  avx2_unavailable("avx2_int8_gemm");
+}
+
+#endif  // ROADFUSION_GEMM_AVX2
+
+}  // namespace roadfusion::autograd::kernels

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "obs/trace.hpp"
 
 #if defined(__SSE2__) || defined(_M_X64)
@@ -182,6 +183,10 @@ void int8_gemm_packed(const QuantizedWeights& w, const int32_t* bpack,
   const int64_t k = w.k;
   const int64_t pairs = k_pairs(k);
 #if defined(ROADFUSION_INT8_SSE2)
+  // Runtime-gated like the fp32 micro-kernel: the scalar fallback below
+  // runs the identical int32 accumulation, so a ROADFUSION_CPU_FEATURES
+  // clamp (or a machine without SSE2) changes instructions, not bits.
+  if (common::active_tier() >= common::CpuTier::kSse2) {
   const __m128 vact = _mm_set1_ps(act_scale);
   for (int64_t jp = 0; jp < n; jp += kNr) {
     const int32_t* bpanel = bpack + (jp / kNr) * pairs * kNr;
@@ -281,7 +286,9 @@ void int8_gemm_packed(const QuantizedWeights& w, const int32_t* bpack,
       }
     }
   }
-#else
+  return;
+  }
+#endif
   // Scalar fallback: unpack the pair-units and accumulate in int32 — the
   // identical integer math, then one epilogue pass over C.
   for (int64_t i = 0; i < m; ++i) {
@@ -307,7 +314,6 @@ void int8_gemm_packed(const QuantizedWeights& w, const int32_t* bpack,
   if (epi != nullptr) {
     apply_epilogue(c, m, n, *epi);
   }
-#endif
 }
 
 }  // namespace roadfusion::autograd::kernels

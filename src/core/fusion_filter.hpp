@@ -49,6 +49,10 @@ class FusionFilter : public nn::Module {
 
   int64_t channels() const { return conv_.out_channels(); }
 
+  /// The underlying 1x1 conv, exposed so the inference plan compiler can
+  /// repack its weight and fuse the match into a conv epilogue.
+  const nn::Conv2d& conv() const { return conv_; }
+
  private:
   nn::Conv2d conv_;
 };

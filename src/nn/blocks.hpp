@@ -38,6 +38,7 @@ class ConvBnRelu : public Module {
   Complexity complexity(int64_t in_h, int64_t in_w) const;
 
   const Conv2d& conv() const { return conv_; }
+  const BatchNorm2d& bn() const { return bn_; }
 
  private:
   Conv2d conv_;
@@ -71,6 +72,15 @@ class ResidualBlock : public Module {
   Complexity complexity(int64_t in_h, int64_t in_w) const;
 
   int64_t out_channels() const { return conv2_.out_channels(); }
+
+  /// Structural accessors for the inference plan compiler (DESIGN.md §16):
+  /// it repacks each constituent layer into the blocked layout and fuses
+  /// the BN affines / residual add into the conv epilogues itself.
+  const ConvBnRelu& conv1() const { return conv1_; }
+  const Conv2d& conv2() const { return conv2_; }
+  const BatchNorm2d& bn2() const { return bn2_; }
+  const Conv2d* projection() const { return projection_.get(); }
+  const BatchNorm2d* projection_bn() const { return projection_bn_.get(); }
 
  private:
   bool has_projection() const { return projection_ != nullptr; }

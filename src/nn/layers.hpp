@@ -80,6 +80,13 @@ class Conv2d : public Module {
     return weight_ == other.weight_;
   }
 
+  /// Read-only parameter views for offline weight repacking (the inference
+  /// plan compiler snapshots these at prepare_inference; DESIGN.md §16).
+  const Tensor& weight_value() const { return weight_->var.value(); }
+  const Tensor* bias_value() const {
+    return bias_ ? &bias_->var.value() : nullptr;
+  }
+
  private:
   /// Load-time products of the weight: the (Cout, Cin*K*K) matrix view
   /// copy, the blocked GEMM's packed A panels when viable, and — in

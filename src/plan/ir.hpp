@@ -1,0 +1,106 @@
+// Inference plan IR (DESIGN.md §16).
+//
+// A compiled plan is a flat list of Steps over a flat list of buffer
+// Slots — the output of the plan compiler and the only thing the
+// executor interprets. Steps reference slots by index and packed weights
+// by pointer into the geometry-independent PlanContext, so a plan is
+// cheap to cache per input geometry and trivially inspectable (the
+// --explain-plan printer walks the same two lists).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roadfusion::plan {
+
+/// Vector width of the blocked layout: NCHWc8, eight channels innermost.
+constexpr int64_t kLanes = 8;
+
+/// Channel blocks needed for `channels` channels (last block zero-padded).
+inline int64_t blocks_of(int64_t channels) {
+  return (channels + kLanes - 1) / kLanes;
+}
+
+/// Float count of an NCHWc8 buffer including its ring-1 zero border
+/// (pad-1 convolutions read the border instead of testing bounds).
+inline int64_t nchwc_floats(int64_t n, int64_t channels, int64_t h,
+                            int64_t w) {
+  return n * blocks_of(channels) * (h + 2) * (w + 2) * kLanes;
+}
+
+/// Buffer layout of one slot.
+enum class Layout {
+  kNchw,   ///< plain dense NCHW Tensor
+  kNchwc,  ///< blocked NCHWc8 with ring-1 zero border, flat storage
+};
+
+/// One conv repacked for the blocked direct kernel: weights reordered to
+/// [out_block][in_channel][ky][kx][lane] (lane = output channel within
+/// the block, zero-padded past `cout`) with the fused per-output-channel
+/// epilogue stored as lane-padded arrays. The epilogue replays the exact
+/// scalar chain of the GEMM path — bias add, then (v - mean) * invstd
+/// followed by gamma * xh + beta, then ReLU — and every padded lane's
+/// parameters are zero so padded output lanes stay exactly 0.0f.
+struct PackedConv {
+  std::string name;  ///< layer name for --explain-plan / spans
+  int64_t cin = 0;
+  int64_t cout = 0;
+  int64_t kernel = 1;  ///< 1 or 3; padding is implied (3 -> pad 1)
+  int64_t stride = 1;
+  std::vector<float> w;  ///< blocks_of(cout) * cin * kernel^2 * kLanes
+  /// Lane-padded epilogue parameter arrays (blocks_of(cout) * kLanes each;
+  /// empty = stage skipped). The four bn_* arrays are set together.
+  std::vector<float> bias;
+  std::vector<float> bn_mean;
+  std::vector<float> bn_invstd;
+  std::vector<float> bn_gamma;
+  std::vector<float> bn_beta;
+  bool relu = false;
+};
+
+/// One buffer of the plan. NCHWc slots are allocated as flat zeroed
+/// tensors of nchwc_floats(...) elements; NCHW slots as (n, c, h, w).
+struct SlotDef {
+  Layout layout = Layout::kNchw;
+  int64_t n = 0, c = 0, h = 0, w = 0;  ///< logical dims (border excluded)
+  /// Index of the last step reading this slot; the executor drops the
+  /// buffer right after that step so the workspace arena can reuse its
+  /// storage — this is the dead-transient elimination that keeps the
+  /// reserve() schedule minimal. -1 = live until the end of the plan.
+  int last_use = -1;
+  std::string label;  ///< for --explain-plan
+};
+
+enum class StepKind {
+  /// Stage 0 on plain NCHW via the existing layer paths: both stems, the
+  /// stage-0 fusion filters and the fusion sum. Writes dst (fused skip 0)
+  /// and aux (depth features d_0). Composite because stage 0 is the one
+  /// stage whose inputs arrive in NCHW anyway — no layout win available.
+  kStageZero,
+  kConvertToNchwc,  ///< src (NCHW) -> dst (NCHWc)
+  kConvertToNchw,   ///< src (NCHWc) -> dst (NCHW)
+  /// Blocked direct conv src -> dst with the fused epilogue chain:
+  /// bias -> BN affine -> (+ pre slot, the residual shortcut) -> ReLU ->
+  /// (+ fusion_weight * post slot, the cross-layer fusion sum).
+  kConvNchwc,
+  kAddInPlace,  ///< dst += src (blocked; AllFilter_B depth update)
+  kAccumulate,  ///< dst += fusion_weight * src (blocked fusion sum)
+  /// WeightedSharing head on NCHW: w = AWN(dst, aux); aux *= w per
+  /// sample; dst += fusion_weight * aux. Replays the graph path code.
+  kAwnFuse,
+  kDecoder,  ///< decoder + head over the NCHW skip slots -> dst (logits)
+};
+
+struct Step {
+  StepKind kind = StepKind::kStageZero;
+  int src = -1;
+  int dst = -1;
+  int pre = -1;   ///< kConvNchwc: residual shortcut slot
+  int post = -1;  ///< kConvNchwc: fusion-sum slot (scaled by fusion weight)
+  int aux = -1;   ///< kStageZero: d_0 out; kAwnFuse: depth features slot
+  const PackedConv* conv = nullptr;  ///< kConvNchwc only
+  int stage = 0;                     ///< for spans / --explain-plan
+};
+
+}  // namespace roadfusion::plan

@@ -1,0 +1,249 @@
+#include "plan/nchwc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "autograd/conv_epilogue.hpp"
+#include "common/check.hpp"
+#include "common/cpu.hpp"
+#include "nn/layers.hpp"
+#include "plan/nchwc_avx2.hpp"
+
+namespace roadfusion::plan {
+
+namespace {
+
+/// Copies `count` per-channel values into a lane-padded array (padded
+/// lanes stay zero).
+std::vector<float> lane_pad(const float* values, int64_t count) {
+  std::vector<float> out(static_cast<size_t>(blocks_of(count) * kLanes), 0.0f);
+  for (int64_t c = 0; c < count; ++c) {
+    out[static_cast<size_t>(c)] = values[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+PackedConv pack_conv(const nn::Conv2d& conv, const nn::BatchNorm2d* bn,
+                     bool relu, std::string name) {
+  PackedConv pc;
+  pc.name = std::move(name);
+  pc.cin = conv.in_channels();
+  pc.cout = conv.out_channels();
+  pc.kernel = conv.geometry().kernel;
+  pc.stride = conv.geometry().stride;
+  ROADFUSION_CHECK((pc.kernel == 3 && conv.geometry().padding == 1) ||
+                       (pc.kernel == 1 && conv.geometry().padding == 0),
+                   "pack_conv: unsupported geometry for " << pc.name);
+  const int64_t k = pc.kernel;
+  const int64_t ocb = blocks_of(pc.cout);
+  pc.w.assign(static_cast<size_t>(ocb * pc.cin * k * k * kLanes), 0.0f);
+  const float* wsrc = conv.weight_value().raw();
+  for (int64_t oc = 0; oc < pc.cout; ++oc) {
+    const int64_t ob = oc / kLanes;
+    const int64_t lane = oc % kLanes;
+    for (int64_t ic = 0; ic < pc.cin; ++ic) {
+      for (int64_t t = 0; t < k * k; ++t) {
+        pc.w[static_cast<size_t>(
+            (((ob * pc.cin + ic) * k * k) + t) * kLanes + lane)] =
+            wsrc[((oc * pc.cin + ic) * k * k) + t];
+      }
+    }
+  }
+  if (const tensor::Tensor* bias = conv.bias_value()) {
+    pc.bias = lane_pad(bias->raw(), pc.cout);
+  }
+  if (bn != nullptr) {
+    // Snapshot the exact eval-BN epilogue values the GEMM path would use
+    // (including the cached invstd) via the layer's own epilogue filler.
+    autograd::kernels::ConvEpilogue epi;
+    const auto keep_alive = bn->fill_epilogue(epi);
+    pc.bn_mean = lane_pad(epi.bn_mean, pc.cout);
+    pc.bn_invstd = lane_pad(epi.bn_invstd, pc.cout);
+    pc.bn_gamma = lane_pad(epi.bn_gamma, pc.cout);
+    pc.bn_beta = lane_pad(epi.bn_beta, pc.cout);
+  }
+  pc.relu = relu;
+  return pc;
+}
+
+void convert_to_nchwc(const float* src, int64_t n, int64_t c, int64_t h,
+                      int64_t w, float* dst) {
+  const int64_t row = (w + 2) * kLanes;
+  const int64_t plane = (h + 2) * row;
+  const int64_t sample = blocks_of(c) * plane;
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* s = src + (img * c + ch) * h * w;
+      float* d = dst + img * sample + (ch / kLanes) * plane + (ch % kLanes);
+      for (int64_t y = 0; y < h; ++y) {
+        float* drow = d + (y + 1) * row + kLanes;
+        for (int64_t x = 0; x < w; ++x) {
+          drow[x * kLanes] = s[y * w + x];
+        }
+      }
+    }
+  }
+}
+
+void convert_to_nchw(const float* src, int64_t n, int64_t c, int64_t h,
+                     int64_t w, float* dst) {
+  const int64_t row = (w + 2) * kLanes;
+  const int64_t plane = (h + 2) * row;
+  const int64_t sample = blocks_of(c) * plane;
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* s =
+          src + img * sample + (ch / kLanes) * plane + (ch % kLanes);
+      float* d = dst + (img * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        const float* srow = s + (y + 1) * row + kLanes;
+        for (int64_t x = 0; x < w; ++x) {
+          d[y * w + x] = srow[x * kLanes];
+        }
+      }
+    }
+  }
+}
+
+void conv_nchwc(const float* src, int64_t n, int64_t in_h, int64_t in_w,
+                const PackedConv& pc, float* dst, int64_t out_h,
+                int64_t out_w, const float* pre, const float* post,
+                float fusion_weight) {
+  if (common::active_tier() >= common::CpuTier::kAvx2) {
+    // The AVX2 lane kernel runs the identical per-element mul+add chain
+    // (no FMA contraction), so switching tiers never changes a bit.
+    NchwcConvArgs args;
+    args.src = src;
+    args.n = n;
+    args.in_h = in_h;
+    args.in_w = in_w;
+    args.cin = pc.cin;
+    args.cout = pc.cout;
+    args.kernel = pc.kernel;
+    args.stride = pc.stride;
+    args.w = pc.w.data();
+    args.bias = pc.bias.empty() ? nullptr : pc.bias.data();
+    if (!pc.bn_mean.empty()) {
+      args.bn_mean = pc.bn_mean.data();
+      args.bn_invstd = pc.bn_invstd.data();
+      args.bn_gamma = pc.bn_gamma.data();
+      args.bn_beta = pc.bn_beta.data();
+    }
+    args.relu = pc.relu;
+    args.dst = dst;
+    args.out_h = out_h;
+    args.out_w = out_w;
+    args.pre = pre;
+    args.post = post;
+    args.fusion_weight = fusion_weight;
+    if (conv_nchwc_avx2(args)) {
+      return;
+    }
+  }
+  const int64_t k = pc.kernel;
+  const int64_t s = pc.stride;
+  // Logical input row of tap (ky=0, kx=0) for output (0, 0) is -padding;
+  // the +1 border shift turns that into buffer row (1 - padding).
+  const int64_t tap0 = 1 - (k == 3 ? 1 : 0);
+  const int64_t srow = (in_w + 2) * kLanes;
+  const int64_t splane = (in_h + 2) * srow;
+  const int64_t ssample = blocks_of(pc.cin) * splane;
+  const int64_t drow = (out_w + 2) * kLanes;
+  const int64_t dplane = (out_h + 2) * drow;
+  const int64_t ocb = blocks_of(pc.cout);
+  const int64_t dsample = ocb * dplane;
+  const bool has_bias = !pc.bias.empty();
+  const bool has_bn = !pc.bn_mean.empty();
+  const bool scale_post = fusion_weight != 1.0f;
+  for (int64_t img = 0; img < n; ++img) {
+    const float* simg = src + img * ssample;
+    for (int64_t ob = 0; ob < ocb; ++ob) {
+      const float* wblock = pc.w.data() + ob * pc.cin * k * k * kLanes;
+      float* dplane_p = dst + img * dsample + ob * dplane;
+      const float* pre_p = pre ? pre + img * dsample + ob * dplane : nullptr;
+      const float* post_p =
+          post ? post + img * dsample + ob * dplane : nullptr;
+      const float* bias_l = has_bias ? pc.bias.data() + ob * kLanes : nullptr;
+      const float* mean_l = has_bn ? pc.bn_mean.data() + ob * kLanes : nullptr;
+      const float* invstd_l =
+          has_bn ? pc.bn_invstd.data() + ob * kLanes : nullptr;
+      const float* gamma_l =
+          has_bn ? pc.bn_gamma.data() + ob * kLanes : nullptr;
+      const float* beta_l = has_bn ? pc.bn_beta.data() + ob * kLanes : nullptr;
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          float acc[kLanes] = {};
+          const float* wptr = wblock;
+          for (int64_t ic = 0; ic < pc.cin; ++ic) {
+            // Real lanes only: lanes past cin hold zero-padding which
+            // must never enter the accumulation chain.
+            const float* sbase =
+                simg + (ic / kLanes) * splane + (ic % kLanes);
+            for (int64_t ky = 0; ky < k; ++ky) {
+              const float* srow_p =
+                  sbase + (oy * s + ky + tap0) * srow + (ox * s + tap0) * kLanes;
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const float a = srow_p[kx * kLanes];
+                for (int64_t l = 0; l < kLanes; ++l) {
+                  acc[l] += wptr[l] * a;
+                }
+                wptr += kLanes;
+              }
+            }
+          }
+          const int64_t at = ((oy + 1) * (out_w + 2) + (ox + 1)) * kLanes;
+          float* dp = dplane_p + at;
+          for (int64_t l = 0; l < kLanes; ++l) {
+            float v = acc[l];
+            if (has_bias) {
+              v += bias_l[l];
+            }
+            if (has_bn) {
+              const float xh = (v - mean_l[l]) * invstd_l[l];
+              v = gamma_l[l] * xh + beta_l[l];
+            }
+            if (pre_p != nullptr) {
+              v += pre_p[at + l];
+            }
+            if (pc.relu) {
+              v = v > 0.0f ? v : 0.0f;
+            }
+            if (post_p != nullptr) {
+              if (scale_post) {
+                const float scaled = post_p[at + l] * fusion_weight;
+                v += scaled;
+              } else {
+                v += post_p[at + l];
+              }
+            }
+            dp[l] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void add_in_place(float* dst, const float* src, int64_t floats) {
+  for (int64_t i = 0; i < floats; ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void accumulate(float* dst, const float* src, int64_t floats,
+                float fusion_weight) {
+  if (fusion_weight == 1.0f) {
+    for (int64_t i = 0; i < floats; ++i) {
+      dst[i] += src[i];
+    }
+  } else {
+    for (int64_t i = 0; i < floats; ++i) {
+      const float scaled = src[i] * fusion_weight;
+      dst[i] += scaled;
+    }
+  }
+}
+
+}  // namespace roadfusion::plan

@@ -1,0 +1,44 @@
+// Inference plan compiler — public surface (DESIGN.md §16).
+//
+// The plan compiler turns a RoadSegNet in eval mode into an executable
+// per-layer schedule: interior encoder stages run in the blocked NCHWc8
+// layout through a direct conv kernel (no im2col), the cross-layer
+// elementwise chain (residual add, fusion-filter match, fusion sum, AWN
+// scaling) is fused into conv epilogues where the graph order allows it,
+// and transient buffers are released at their last use so the workspace
+// arena sees the minimal buffer schedule.
+//
+// Integration happens through roadseg/plan_hook.hpp: linking rf_plan into
+// a binary installs the hooks at static init, after which
+// RoadSegNet::prepare_inference compiles a plan and infer_logits executes
+// it. The plan declines — transparently falling back to the graph-order
+// path — for quantized mode, a forced solver, fusion weight 0, or any
+// geometry it cannot prove bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace roadfusion::roadseg {
+class RoadSegNet;
+}
+
+namespace roadfusion::plan {
+
+/// True unless ROADFUSION_PLAN=0 disables plan compilation process-wide.
+bool planning_enabled();
+
+/// Installs the plan hooks into roadseg (idempotent; also performed by a
+/// static initializer in this library, so merely linking rf_plan and
+/// referencing any of its symbols is enough).
+void install_hooks();
+
+/// Human-readable schedule for `net` at input geometry (n, 3, h, w):
+/// one line per step with layout, kernel/solver, fused epilogue stages
+/// and buffer slots — the backing of `roadfusion infer --explain-plan`.
+/// The net must be in eval mode with prepare_inference() already run.
+/// Reports the reason when no plan is available.
+std::string explain(const roadseg::RoadSegNet& net, int64_t n, int64_t h,
+                    int64_t w);
+
+}  // namespace roadfusion::plan

@@ -61,6 +61,13 @@ class Encoder : public nn::Module {
                      std::vector<nn::StateEntry>& out) override;
   void set_training(bool training) override;
 
+  /// Structural accessors for the inference plan compiler (DESIGN.md §16).
+  const nn::ConvBnRelu& stem() const { return stem_; }
+  /// Residual block of stage `stage` (1 <= stage < num_stages()).
+  const nn::ResidualBlock& block(int stage) const {
+    return blocks_[static_cast<size_t>(stage - 1)];
+  }
+
  private:
   std::vector<int64_t> stage_channels_;
   nn::ConvBnRelu stem_;

@@ -1,0 +1,29 @@
+#include "roadseg/plan_hook.hpp"
+
+#include <atomic>
+
+namespace roadfusion::roadseg {
+namespace {
+
+// Two separate atomics rather than one struct so reads on the inference
+// hot path stay lock-free. Install happens once at static init (or in
+// tests, before any concurrent inference), so torn struct reads are not a
+// concern in practice — but atomics keep TSan happy.
+std::atomic<decltype(PlanHooks{}.build)> g_build{nullptr};
+std::atomic<decltype(PlanHooks{}.run)> g_run{nullptr};
+
+}  // namespace
+
+void set_plan_hooks(const PlanHooks& hooks) {
+  g_build.store(hooks.build, std::memory_order_release);
+  g_run.store(hooks.run, std::memory_order_release);
+}
+
+PlanHooks plan_hooks() {
+  PlanHooks hooks;
+  hooks.build = g_build.load(std::memory_order_acquire);
+  hooks.run = g_run.load(std::memory_order_acquire);
+  return hooks;
+}
+
+}  // namespace roadfusion::roadseg

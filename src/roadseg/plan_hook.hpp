@@ -1,0 +1,41 @@
+// Dependency-inversion seam between RoadSegNet and the inference plan
+// compiler (src/plan, DESIGN.md §16).
+//
+// rf_plan sits *above* rf_roadseg in the link order (the compiler walks
+// the network through the public structural accessors), so RoadSegNet
+// cannot call into it directly. Instead the plan library installs a pair
+// of function pointers here at static-init time; prepare_inference calls
+// `build` to compile a plan and infer_logits offers each call to `run`.
+// A null hook — or a `run` that returns false (the plan declined) — falls
+// straight through to the classic graph-order raw path, so linking
+// without rf_plan changes nothing.
+#pragma once
+
+#include <memory>
+
+#include "tensor/tensor.hpp"
+
+namespace roadfusion::roadseg {
+
+class RoadSegNet;
+
+/// The plan compiler's entry points. `build` returns the opaque per-model
+/// plan state (null when planning is disabled or the model shape is
+/// unsupported); `run` executes one inference against it, returning false
+/// to decline (forced solver, quantized mode, unsupported fusion weight)
+/// — the caller then runs the graph-order path.
+struct PlanHooks {
+  std::shared_ptr<void> (*build)(const RoadSegNet& net) = nullptr;
+  bool (*run)(const RoadSegNet& net, const std::shared_ptr<void>& state,
+              const tensor::Tensor& rgb, const tensor::Tensor& depth,
+              float fusion_weight, tensor::Tensor& out) = nullptr;
+};
+
+/// Installs the hooks (called from rf_plan's static initializer; passing
+/// a default-constructed PlanHooks uninstalls).
+void set_plan_hooks(const PlanHooks& hooks);
+
+/// The currently installed hooks (all-null when none are installed).
+PlanHooks plan_hooks();
+
+}  // namespace roadfusion::roadseg

@@ -5,6 +5,7 @@
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
 #include "obs/trace.hpp"
+#include "roadseg/plan_hook.hpp"
 #include "tensor/workspace.hpp"
 
 namespace roadfusion::roadseg {
@@ -203,6 +204,19 @@ bool RoadSegNet::supports_raw_inference() const {
 tensor::Tensor RoadSegNet::infer_logits(const tensor::Tensor& rgb,
                                         const tensor::Tensor& depth,
                                         float fusion_weight) const {
+  // Compiled-plan fast path (DESIGN.md §16): run() declines — returns
+  // false — whenever the plan cannot reproduce the graph path exactly
+  // (forced solver, quantized mode, fusion_weight 0), and the classic
+  // graph-order traversal below remains the semantic reference.
+  if (plan_state_ != nullptr) {
+    const PlanHooks hooks = plan_hooks();
+    if (hooks.run != nullptr) {
+      tensor::Tensor out;
+      if (hooks.run(*this, plan_state_, rgb, depth, fusion_weight, out)) {
+        return out;
+      }
+    }
+  }
   return infer_logits_impl(rgb, depth, fusion_weight, nullptr);
 }
 
@@ -480,6 +494,16 @@ void RoadSegNet::prepare_inference() {
     filter.prepare_inference();
   }
   decoder_->prepare_inference();
+  // (Re)compile the inference plan last: it snapshots the weights and the
+  // eval-BN factors the calls above just refreshed. Only meaningful in
+  // eval mode — the plan replays eval arithmetic.
+  plan_state_.reset();
+  if (!training_) {
+    const PlanHooks hooks = plan_hooks();
+    if (hooks.build != nullptr) {
+      plan_state_ = hooks.build(*this);
+    }
+  }
 }
 
 nn::Complexity RoadSegNet::complexity(int64_t height, int64_t width) const {

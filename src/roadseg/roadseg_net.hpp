@@ -95,6 +95,18 @@ class RoadSegNet : public SegmentationModel {
   const RoadSegConfig& config() const { return config_; }
   int num_stages() const { return rgb_encoder_->num_stages(); }
 
+  /// Structural accessors for the inference plan compiler (DESIGN.md §16).
+  const Encoder& rgb_encoder() const { return *rgb_encoder_; }
+  const Encoder& depth_encoder() const { return *depth_encoder_; }
+  const std::vector<core::FusionFilter>& depth_to_rgb_filters() const {
+    return depth_to_rgb_filters_;
+  }
+  const std::vector<core::FusionFilter>& rgb_to_depth_filters() const {
+    return rgb_to_depth_filters_;
+  }
+  const core::AuxiliaryWeightNetwork* awn() const { return awn_.get(); }
+  const Decoder& decoder() const { return *decoder_; }
+
   /// True when stage `stage` of the two encoders shares parameters.
   bool stage_is_shared(int stage) const;
 
@@ -122,6 +134,11 @@ class RoadSegNet : public SegmentationModel {
 
   RoadSegConfig config_;
   bool training_ = true;
+  /// Opaque state of the compiled inference plan (see plan_hook.hpp),
+  /// rebuilt by prepare_inference and consulted first by infer_logits.
+  /// Null when no plan library is linked, planning is disabled, or the
+  /// model shape is unsupported.
+  std::shared_ptr<void> plan_state_;
   std::unique_ptr<Encoder> rgb_encoder_;
   std::unique_ptr<Encoder> depth_encoder_;
   std::vector<core::FusionFilter> depth_to_rgb_filters_;  // AU / AB

@@ -8,6 +8,7 @@
 
 #include "autograd/kernels.hpp"
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "common/env.hpp"
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
@@ -218,9 +219,13 @@ std::shared_ptr<const Binding> bind(const ConvProblem& problem,
                                     bool packed_available) {
   State& s = state();
   std::call_once(s.env_once, [&s] { init_from_env(s); });
-  // A backend switch invalidates every heuristic binding (the resolver is
-  // gated on the active backend). Steady state pays one relaxed load.
-  const uint64_t generation = ag::backend_generation();
+  // A backend switch OR a CPU dispatch-tier switch invalidates every
+  // heuristic binding (the resolver is gated on the active backend, and
+  // AVX2-solver applicability on the active tier). Both counters only ever
+  // increment, so the combined word changes whenever either does. Steady
+  // state pays two relaxed loads.
+  const uint64_t generation =
+      (common::tier_generation() << 32) ^ ag::backend_generation();
   if (s.generation.load(std::memory_order_acquire) != generation) {
     std::lock_guard<std::mutex> lock(s.mutex);
     if (s.generation.load(std::memory_order_relaxed) != generation) {

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "autograd/gemm_avx2.hpp"
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape.hpp"
 
@@ -208,6 +210,51 @@ class PrepackedSolver final : public Solver {
   }
 };
 
+/// True when the AVX2 kernels are both in the binary and allowed to execute
+/// on this machine at the currently active dispatch tier (DESIGN.md §16).
+/// Tier changes bump common::tier_generation(), which the binding cache
+/// folds into its generation check, so applicability here can depend on the
+/// active tier without stale bindings surviving a tier switch.
+bool avx2_ready() {
+  return ag::avx2_kernels_compiled() &&
+         common::active_tier() >= common::CpuTier::kAvx2;
+}
+
+/// AVX2 fp32 kernel: 16x6 FMA register tile, per-call A pack, direct-B
+/// streaming. FMA contracts each multiply-add, so outputs differ from the
+/// SSE2 family within reassociation tolerance — like the threaded solvers,
+/// it is priced so it never wins the heuristic and must earn selection
+/// through a measured DB record (or an explicit force), keeping default-path
+/// numerics bit-stable across machines.
+class BlockedAvx2Solver final : public Solver {
+ public:
+  const char* name() const override { return "blocked_avx2"; }
+  const char* span_name() const override { return "solver.blocked_avx2"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return fp32_and_valid(problem) && avx2_ready();
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    // Same shape as the threaded pricing: strictly above "blocked" for
+    // every problem size, so selection always comes from measurement.
+    return 0.45 * static_cast<double>(problem.macs()) + 150000.0;
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    const int64_t m = problem.gemm_m();
+    const int64_t k = problem.gemm_k();
+    const int64_t n = args.columns->shape().dim(1);
+    // A-pack scratch rides a workspace-arena tensor on the planned path.
+    Tensor apack =
+        Tensor::uninitialized(t::Shape::vec(ag::avx2_apack_floats(m, k)));
+    ag::avx2_gemm_infer(args.wmat->raw(), m, k, apack.raw(),
+                        args.columns->raw(), n, n, args.out, n, args.epi);
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Int8 solvers (DESIGN.md §13). Weights come pre-quantized from the layer
 // cache (args.qweights); each run quantizes this call's activations at the
@@ -275,6 +322,51 @@ class Int8BlockedSolver final : public Solver {
     ag::pack_activations_int8(args.columns->raw(), k, n, scale, bpack_raw);
     ag::int8_gemm_packed(*args.qweights, bpack_raw, n, scale, args.out,
                          args.epi);
+  }
+};
+
+/// AVX2 int8 kernel: vpmaddubsw over sign-normalized operands, 32
+/// reduction steps per YMM op. Accumulation is exact int32 (no saturation —
+/// see gemm_avx2.hpp), and the activation quantization is the same
+/// round-nearest-even sequence as quantize_value, so outputs are
+/// bit-identical to both SSE2-era int8 solvers. Measured wins are
+/// shape-dependent (the reduction depth pads to 32, so shallow convs waste
+/// work, and the column-major activation pack is store-bound at large N) —
+/// like the threaded solvers it is priced to never win the heuristic and
+/// must earn selection through a measured DB record.
+class Int8Avx2Solver final : public Solver {
+ public:
+  const char* name() const override { return "int8_avx2"; }
+  const char* span_name() const override { return "solver.int8_avx2"; }
+
+  bool is_applicable(const ConvProblem& problem) const override {
+    return int8_and_valid(problem) && avx2_ready();
+  }
+
+  double estimate(const ConvProblem& problem) const override {
+    // Same shape as the threaded pricing: strictly above int8_blocked for
+    // every problem size, so selection always comes from measurement.
+    return 0.20 * static_cast<double>(problem.macs()) + 150000.0;
+  }
+
+  void run(const ConvProblem& problem, const SolverArgs& args,
+           const std::string& params) const override {
+    (void)params;
+    ROADFUSION_CHECK(args.qweights != nullptr,
+                     "int8_avx2 bound without quantized weights");
+    const int64_t k = problem.gemm_k();
+    const int64_t n = args.columns->shape().dim(1);
+    const float scale = int8_activation_scale(args);
+    const int64_t bytes = ag::avx2_int8_packed_bytes(k, n);
+    // The column-major int8 image rides a float tensor (workspace-arena
+    // allocated on the planned path).
+    Tensor bpack = Tensor::uninitialized(t::Shape::vec((bytes + 3) / 4));
+    int8_t* bpack_raw = reinterpret_cast<int8_t*>(bpack.raw());
+    ag::avx2_int8_pack_activations(args.columns->raw(), k, n,
+                                   ag::quantize_inv(scale), bpack_raw);
+    ag::avx2_int8_gemm(args.qweights->data.data(), args.qweights->scales.data(),
+                       args.qweights->m, args.qweights->k, bpack_raw, n, scale,
+                       args.out, args.epi);
   }
 };
 
@@ -365,15 +457,17 @@ const std::vector<const Solver*>& solvers() {
   static const PrepackedSolver prepacked;
   static const BlockedSolver mt2{"blocked_mt2", "solver.blocked_mt2", 2};
   static const BlockedSolver mt4{"blocked_mt4", "solver.blocked_mt4", 4};
+  static const BlockedAvx2Solver blocked_avx2;
   static const Int8ReferenceSolver int8_reference;
   static const Int8BlockedSolver int8_blocked;
+  static const Int8Avx2Solver int8_avx2;
   static const TConvReferenceSolver tconv_reference;
   static const TConvBlockedSolver tconv_blocked;
   static const TConvPrepackedSolver tconv_prepacked;
   static const std::vector<const Solver*> all{
-      &reference,       &blocked,      &prepacked,        &mt2,
-      &mt4,             &int8_reference, &int8_blocked,
-      &tconv_reference, &tconv_blocked, &tconv_prepacked};
+      &reference,       &blocked,        &prepacked,     &mt2,
+      &mt4,             &blocked_avx2,   &int8_reference, &int8_blocked,
+      &int8_avx2,       &tconv_reference, &tconv_blocked, &tconv_prepacked};
   return all;
 }
 

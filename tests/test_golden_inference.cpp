@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "autograd/kernels.hpp"
+#include "common/cpu.hpp"
 #include "core/fusion_scheme.hpp"
+#include "plan/plan.hpp"
 #include "quant/runtime.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "tensor/tensor.hpp"
@@ -134,6 +136,50 @@ constexpr SchemeGolden kInt8GoldenMasks[] = {
     {core::FusionScheme::kWeightedSharing, "weighted_sharing",
      0xe8bd49d61328a6d9ull},
 };
+
+TEST(GoldenInference, MaskBitStableUnderCompiledPlan) {
+  // The inference plan compiler (DESIGN.md §16) must serve the exact
+  // golden mask: its blocked-layout schedule is bit-identical to the
+  // graph-order path, so the pinned hash holds with the plan active too.
+  plan::install_hooks();
+  Rng rng(2022);
+  RoadSegConfig config;
+  config.stage_channels = {6, 8, 10, 12, 16};
+  RoadSegNet net(config, rng);
+  net.set_training(false);
+  net.prepare_inference();
+  Rng scene_rng(7);
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 32, 48), scene_rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 32, 48), scene_rng);
+  const Tensor probability = net.predict(rgb, depth);
+  std::vector<uint8_t> mask;
+  for (int64_t i = 0; i < probability.numel(); ++i) {
+    mask.push_back(probability.at(i) >= 0.5f ? 1 : 0);
+  }
+  EXPECT_EQ(fnv1a(mask), kGoldenMaskHash)
+      << "the compiled plan changes the golden mask";
+}
+
+TEST(GoldenInference, Int8MaskBitStableUnderForcedInt8Solvers) {
+  // Both int8 GEMMs accumulate in exact int32 with shared rounding, so
+  // forcing either one must reproduce the per-scheme int8 golden hashes.
+  // int8_avx2 only exists as an applicable choice on AVX2 hosts.
+  std::vector<std::string> solvers = {"int8_blocked"};
+  if (common::active_tier() >= common::CpuTier::kAvx2) {
+    solvers.push_back("int8_avx2");
+  }
+  for (const std::string& name : solvers) {
+    for (const SchemeGolden& golden : kInt8GoldenMasks) {
+      SCOPED_TRACE(name + "/" + golden.name);
+      tune::force_solver(name);
+      const std::vector<uint8_t> mask =
+          predict_mask_scheme("blocked", golden.scheme, /*int8_mode=*/true);
+      tune::force_solver("");
+      EXPECT_EQ(fnv1a(mask), golden.hash)
+          << "solver '" << name << "' changes the int8 golden mask";
+    }
+  }
+}
 
 TEST(GoldenInference, Int8MaskMatchesCheckedInChecksumPerScheme) {
   for (const SchemeGolden& golden : kInt8GoldenMasks) {

@@ -23,6 +23,7 @@
 #include "autograd/kernels.hpp"
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "tune/problem.hpp"
@@ -311,6 +312,64 @@ TEST(KernelParity, AllRegisteredSolversOnEncoderShapes) {
 }
 
 // ---------------------------------------------------------------------------
+// AVX2 micro-kernel sweeps. The blocked_avx2 kernel tiles the GEMM as
+// 16 columns x 6 rows of FMA accumulators (with an 8x6 half tile), so the
+// interesting shapes sit at multiples of 16 / 8 / 6 and one off them —
+// every remainder path must agree with the reference GEMM. Skipped on
+// hosts without AVX2, where the solvers are not registered as applicable.
+// ---------------------------------------------------------------------------
+
+TEST(KernelParity, Avx2TileBoundarySweep) {
+  if (common::active_tier() < common::CpuTier::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  // 1x1 convs give direct control of the GEMM dims: gemm_m = k (rows),
+  // gemm_n = h * w (columns), gemm_k = c (depth).
+  std::vector<tune::ConvProblem> problems;
+  for (const int64_t rows : {5, 6, 7, 12, 13}) {
+    for (const int64_t cols : {15, 16, 17, 24, 32, 33, 47, 48}) {
+      tune::ConvProblem p;
+      p.c = 27;
+      p.h = 1, p.w = cols;
+      p.k = rows;
+      p.r = 1, p.s = 1, p.pad = 0;
+      problems.push_back(p);
+    }
+  }
+  {
+    tune::ConvProblem p;  // 3x3 stride-2 encoder shape with col remainder
+    p.c = 12, p.h = 17, p.w = 23, p.k = 18, p.pad = 1, p.stride = 2;
+    problems.push_back(p);
+  }
+  for (const tune::ConvProblem& p : problems) {
+    expect_registry_solver_parity(p);
+  }
+}
+
+TEST(KernelParity, Avx2FuzzSweep) {
+  if (common::active_tier() < common::CpuTier::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  std::mt19937 gen(20260808);  // fixed seed: failures must reproduce
+  std::uniform_int_distribution<int64_t> cin_dist(1, 24);
+  std::uniform_int_distribution<int64_t> cout_dist(2, 40);
+  std::uniform_int_distribution<int64_t> extent_dist(2, 20);
+  std::uniform_int_distribution<int> kernel_dist(0, 1);
+  std::uniform_int_distribution<int64_t> stride_dist(1, 2);
+  for (int i = 0; i < 60; ++i) {
+    tune::ConvProblem p;
+    p.c = cin_dist(gen);
+    p.k = cout_dist(gen);
+    p.h = extent_dist(gen);
+    p.w = extent_dist(gen);
+    p.r = p.s = kernel_dist(gen) == 0 ? 1 : 3;
+    p.pad = p.r == 3 ? 1 : 0;
+    p.stride = stride_dist(gen);
+    expect_registry_solver_parity(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Int8 solver sweep: the quantized solvers cannot match fp32 bitwise, but
 // their error is analytically bounded. With per-row weight scale
 // s_w = amax_w(row)/127 and activation scale s_a, each product's
@@ -361,7 +420,12 @@ void expect_int8_solver_parity(tune::ConvProblem p, float act_scale_factor) {
 
   const std::vector<const tune::Solver*> applicable =
       tune::applicable_solvers(p, true);
-  ASSERT_EQ(applicable.size(), 2u) << "expected both int8 solvers";
+  // int8_reference + int8_blocked everywhere; int8_avx2 joins on hosts
+  // whose active dispatch tier reaches it.
+  const size_t expected_count =
+      common::active_tier() >= common::CpuTier::kAvx2 ? 3u : 2u;
+  ASSERT_EQ(applicable.size(), expected_count)
+      << "expected the full int8 solver family for the active CPU tier";
   std::vector<Tensor> outputs;
   for (const tune::Solver* solver : applicable) {
     SCOPED_TRACE(solver->name());
@@ -387,11 +451,14 @@ void expect_int8_solver_parity(tune::ConvProblem p, float act_scale_factor) {
     }
     outputs.push_back(std::move(out));
   }
-  ASSERT_EQ(std::memcmp(outputs[0].raw(), outputs[1].raw(),
-                        static_cast<size_t>(expected.numel()) *
-                            sizeof(float)),
-            0)
-      << "int8 solvers must be bit-identical";
+  for (size_t i = 1; i < outputs.size(); ++i) {
+    ASSERT_EQ(std::memcmp(outputs[0].raw(), outputs[i].raw(),
+                          static_cast<size_t>(expected.numel()) *
+                              sizeof(float)),
+              0)
+        << "int8 solvers must be bit-identical (" << applicable[0]->name()
+        << " vs " << applicable[i]->name() << ")";
+  }
 }
 
 TEST(KernelParity, Int8SolversWithinQuantizationBound) {

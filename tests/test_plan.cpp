@@ -1,0 +1,215 @@
+// Inference plan compiler suite (DESIGN.md §16): planned execution must
+// reproduce the graph-order path bit-for-bit for every fusion scheme, run
+// allocation-free once compiled, decline transparently when it cannot
+// guarantee exactness, and explain itself through the --explain-plan
+// printer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "alloc_hooks.hpp"
+#include "obs/metrics.hpp"
+#include "plan/plan.hpp"
+#include "roadseg/roadseg_net.hpp"
+#include "tensor/tensor.hpp"
+#include "tune/dispatch.hpp"
+
+namespace roadfusion::plan {
+namespace {
+
+using core::FusionScheme;
+using roadseg::RoadSegConfig;
+using roadseg::RoadSegNet;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+RoadSegConfig config_for(FusionScheme scheme) {
+  RoadSegConfig config;
+  config.scheme = scheme;
+  config.stage_channels = {6, 8, 10, 12, 16};
+  return config;
+}
+
+/// Sets (or clears, with nullptr) an environment variable for the scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    old_ = had_old_ ? old : "";
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// Runs one graph-order inference by rebuilding the net's inference state
+/// with planning disabled (ROADFUSION_PLAN=0 is re-read at every
+/// prepare_inference). Leaves the net back on the planned path.
+Tensor graph_logits(RoadSegNet& net, const Tensor& rgb, const Tensor& depth,
+                    float fusion_weight) {
+  Tensor out;
+  {
+    ScopedEnv off("ROADFUSION_PLAN", "0");
+    net.prepare_inference();
+    out = net.infer_logits(rgb, depth, fusion_weight);
+  }
+  net.prepare_inference();
+  return out;
+}
+
+void expect_bitwise_equal(const Tensor& planned, const Tensor& graph,
+                          const std::string& what) {
+  ASSERT_EQ(planned.shape(), graph.shape()) << what;
+  EXPECT_EQ(std::memcmp(planned.raw(), graph.raw(),
+                        static_cast<size_t>(planned.numel()) * sizeof(float)),
+            0)
+      << what << ": planned output differs from the graph path";
+}
+
+TEST(PlanParity, BitwiseIdenticalToGraphPathForEveryScheme) {
+  install_hooks();
+  const FusionScheme schemes[] = {
+      FusionScheme::kBaseline, FusionScheme::kAllFilterU,
+      FusionScheme::kAllFilterB, FusionScheme::kBaseSharing,
+      FusionScheme::kWeightedSharing};
+  const float weights[] = {1.0f, 0.35f};
+  for (const FusionScheme scheme : schemes) {
+    for (const float fw : weights) {
+      Rng rng(11);
+      RoadSegNet net(config_for(scheme), rng);
+      net.set_training(false);
+      net.prepare_inference();
+      const Tensor rgb = Tensor::normal(Shape::nchw(1, 3, 32, 48), rng);
+      const Tensor depth = Tensor::normal(Shape::nchw(1, 1, 32, 48), rng);
+      const Tensor planned = net.infer_logits(rgb, depth, fw);
+      const Tensor graph = graph_logits(net, rgb, depth, fw);
+      expect_bitwise_equal(planned, graph,
+                           std::string(core::to_string(scheme)) + " fw=" +
+                               std::to_string(fw));
+    }
+  }
+}
+
+TEST(PlanParity, BatchedInputsMatchGraphPath) {
+  install_hooks();
+  Rng rng(12);
+  RoadSegNet net(config_for(FusionScheme::kAllFilterB), rng);
+  net.set_training(false);
+  net.prepare_inference();
+  const Tensor rgb = Tensor::normal(Shape::nchw(3, 3, 16, 32), rng);
+  const Tensor depth = Tensor::normal(Shape::nchw(3, 1, 16, 32), rng);
+  const Tensor planned = net.infer_logits(rgb, depth, 0.6f);
+  expect_bitwise_equal(planned, graph_logits(net, rgb, depth, 0.6f),
+                       "AllFilter_B batch=3");
+}
+
+TEST(PlanParity, GeometryChangeRecompilesAndStaysExact) {
+  install_hooks();
+  Rng rng(13);
+  RoadSegNet net(config_for(FusionScheme::kWeightedSharing), rng);
+  net.set_training(false);
+  net.prepare_inference();
+  for (const auto [h, w] : {std::pair<int64_t, int64_t>{32, 48},
+                            std::pair<int64_t, int64_t>{16, 16},
+                            std::pair<int64_t, int64_t>{32, 48}}) {
+    const Tensor rgb = Tensor::normal(Shape::nchw(1, 3, h, w), rng);
+    const Tensor depth = Tensor::normal(Shape::nchw(1, 1, h, w), rng);
+    const Tensor planned = net.infer_logits(rgb, depth, 1.0f);
+    expect_bitwise_equal(planned, graph_logits(net, rgb, depth, 1.0f),
+                         "WeightedSharing geometry change");
+  }
+}
+
+TEST(PlanDecline, ForcedSolverFallsBackToGraphPath) {
+  install_hooks();
+  Rng rng(14);
+  RoadSegNet net(config_for(FusionScheme::kBaseline), rng);
+  net.set_training(false);
+  net.prepare_inference();
+  const Tensor rgb = Tensor::normal(Shape::nchw(1, 3, 16, 32), rng);
+  const Tensor depth = Tensor::normal(Shape::nchw(1, 1, 16, 32), rng);
+  obs::Counter& declined = obs::MetricsRegistry::global().counter(
+      "roadfusion_plan_declined_total");
+  tune::force_solver("blocked");
+  const uint64_t before = declined.value();
+  const Tensor forced = net.infer_logits(rgb, depth, 1.0f);
+  EXPECT_GT(declined.value(), before)
+      << "a forced solver must decline the plan (its choice would be "
+         "invisible under the blocked-layout kernels)";
+  tune::force_solver("");
+  expect_bitwise_equal(forced, net.infer_logits(rgb, depth, 1.0f),
+                       "forced-solver fallback");
+}
+
+TEST(PlanDecline, EnvKillSwitchDisablesCompilation) {
+  install_hooks();
+  Rng rng(15);
+  RoadSegNet net(config_for(FusionScheme::kBaseline), rng);
+  net.set_training(false);
+  ScopedEnv off("ROADFUSION_PLAN", "0");
+  net.prepare_inference();
+  EXPECT_FALSE(planning_enabled());
+  const std::string report = explain(net, 1, 32, 48);
+  EXPECT_NE(report.find("ROADFUSION_PLAN=0"), std::string::npos) << report;
+  // Inference still works on the graph path.
+  const Tensor rgb = Tensor::normal(Shape::nchw(1, 3, 32, 48), rng);
+  const Tensor depth = Tensor::normal(Shape::nchw(1, 1, 32, 48), rng);
+  EXPECT_EQ(net.infer_logits(rgb, depth, 1.0f).shape(),
+            Shape::nchw(1, 1, 32, 48));
+}
+
+TEST(PlanExplain, PrintsScheduleWithLayoutsSolversAndSlots) {
+  install_hooks();
+  Rng rng(16);
+  RoadSegNet net(config_for(FusionScheme::kAllFilterU), rng);
+  net.set_training(false);
+  net.prepare_inference();
+  const std::string report = explain(net, 1, 32, 48);
+  for (const char* needle :
+       {"scheme=AllFilter_U", "layout=nchwc8", "solver=nchwc_direct",
+        "epilogue=bn+relu", "epilogue=bn+residual+relu+fusion_sum",
+        "to_nchwc", "to_nchw", "decoder", "free={", "d2r.stage1"}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << report;
+  }
+}
+
+TEST(PlanZeroAlloc, SteadyStatePredictIsAllocationFree) {
+  install_hooks();
+  Rng rng(17);
+  RoadSegNet net(config_for(FusionScheme::kWeightedSharing), rng);
+  net.set_training(false);
+  net.prepare_inference();
+  const Tensor rgb = Tensor::uniform(Shape::chw(3, 32, 48), rng);
+  const Tensor depth = Tensor::uniform(Shape::chw(1, 32, 48), rng);
+  // First predict compiles the plan and grows the thread arena; the
+  // second settles any free-list reshuffling. From then on: zero heap.
+  Tensor warm = net.predict(rgb, depth);
+  warm = net.predict(rgb, depth);
+  testhooks::AllocProbe probe;
+  const Tensor out = net.predict(rgb, depth);
+  EXPECT_EQ(probe.allocations(), 0u)
+      << "planned predict allocated " << probe.bytes() << " bytes";
+  EXPECT_TRUE(out.allclose(warm, 0.0f));
+}
+
+}  // namespace
+}  // namespace roadfusion::plan

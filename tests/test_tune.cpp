@@ -18,6 +18,7 @@
 #include "autograd/gemm.hpp"
 #include "autograd/kernels.hpp"
 #include "common/check.hpp"
+#include "common/cpu.hpp"
 #include "obs/metrics.hpp"
 #include "roadseg/roadseg_net.hpp"
 #include "tensor/ops.hpp"
@@ -53,6 +54,24 @@ class DispatchGuard {
  private:
   std::string backend_;
 };
+
+/// Pins the CPU dispatch tier for a test body and restores it on exit.
+/// set_active_tier clamps to the detected hardware, so requesting kAvx2 on
+/// an SSE2-only host is a no-op — tests gate on avx2_tier_active().
+class TierGuard {
+ public:
+  explicit TierGuard(common::CpuTier tier) : saved_(common::active_tier()) {
+    common::set_active_tier(tier);
+  }
+  ~TierGuard() { common::set_active_tier(saved_); }
+
+ private:
+  common::CpuTier saved_;
+};
+
+bool avx2_tier_available() {
+  return common::detected_tier() >= common::CpuTier::kAvx2;
+}
 
 ConvProblem stage2_conv2() {
   ConvProblem p;
@@ -204,11 +223,36 @@ TEST(SolverRegistry, PackedAvailabilityFiltersPrepacked) {
 }
 
 TEST(SolverRegistry, TinyOutputChannelCountExcludesBlockedLoops) {
+  // Pinned to the SSE2 tier: the AVX2 kernel pads ragged row tiles and so
+  // stays applicable at gemm_m = 1 (covered by Avx2SolversGatedByTier).
+  TierGuard tier(common::CpuTier::kSse2);
   ConvProblem p = stage2_conv2();
   p.k = 1;  // gemm_m = 1 < the 4-row micro-tile: blocked loops cannot split
   const std::vector<const Solver*> applicable = applicable_solvers(p, false);
   ASSERT_EQ(applicable.size(), 1u);
   EXPECT_STREQ(applicable[0]->name(), "reference");
+}
+
+TEST(SolverRegistry, Avx2SolversGatedByTier) {
+  ConvProblem p = stage2_conv2();
+  ConvProblem p8 = p;
+  p8.dtype = "int8";
+  auto contains = [](const std::vector<const Solver*>& list,
+                     const char* name) {
+    return std::any_of(list.begin(), list.end(), [name](const Solver* s) {
+      return std::string(s->name()) == name;
+    });
+  };
+  {
+    TierGuard tier(common::CpuTier::kSse2);
+    EXPECT_FALSE(contains(applicable_solvers(p, false), "blocked_avx2"));
+    EXPECT_FALSE(contains(applicable_solvers(p8, true), "int8_avx2"));
+  }
+  if (avx2_tier_available()) {
+    TierGuard tier(common::CpuTier::kAvx2);
+    EXPECT_TRUE(contains(applicable_solvers(p, false), "blocked_avx2"));
+    EXPECT_TRUE(contains(applicable_solvers(p8, true), "int8_avx2"));
+  }
 }
 
 TEST(SolverRegistry, TransposedProblemsGetTconvFamilyOnly) {
@@ -243,12 +287,24 @@ TEST(SolverRegistry, TransposedProblemsGetTconvFamilyOnly) {
 TEST(SolverRegistry, Int8ProblemsGetInt8FamilyOnly) {
   ConvProblem p = stage2_conv2();
   p.dtype = "int8";
-  std::vector<std::string> names;
-  for (const Solver* s : applicable_solvers(p, true)) {
-    names.push_back(s->name());
+  auto names = [&p] {
+    std::vector<std::string> out;
+    for (const Solver* s : applicable_solvers(p, true)) {
+      out.push_back(s->name());
+    }
+    return out;
+  };
+  {
+    TierGuard tier(common::CpuTier::kSse2);
+    EXPECT_EQ(names(), (std::vector<std::string>{"int8_reference",
+                                                 "int8_blocked"}));
   }
-  EXPECT_EQ(names, (std::vector<std::string>{"int8_reference",
-                                             "int8_blocked"}));
+  if (avx2_tier_available()) {
+    TierGuard tier(common::CpuTier::kAvx2);
+    EXPECT_EQ(names(), (std::vector<std::string>{"int8_reference",
+                                                 "int8_blocked",
+                                                 "int8_avx2"}));
+  }
 }
 
 TEST(SolverRegistry, Int8BeyondDepthCapHasNoSolver) {
@@ -428,8 +484,33 @@ TEST(Dispatch, Int8ProblemsBindCheapestInt8SolverUnderAnyBackend) {
     ag::set_backend(backend);
     const auto binding = bind(p, false);
     ASSERT_NE(binding->solver, nullptr);
+    // int8_avx2 never wins the heuristic (priced like the threaded
+    // solvers); the cheapest heuristic-eligible choice stays int8_blocked
+    // at every tier.
     EXPECT_STREQ(binding->solver->name(), "int8_blocked");
   }
+}
+
+TEST(Dispatch, TierSwitchInvalidatesBindingsWithoutManualClear) {
+  if (!avx2_tier_available()) {
+    GTEST_SKIP() << "host has no AVX2 tier to switch between";
+  }
+  DispatchGuard guard;
+  ag::set_backend("blocked");
+  // A DB record naming blocked_avx2: usable only while the active tier
+  // reaches kAvx2. Dropping the tier must invalidate the cached binding
+  // (no manual clear) and fall back to the heuristic choice.
+  ConvProblem p = stage2_conv2();
+  PerfDb db;
+  db.set(p.key(), PerfRecord{"blocked_avx2", "", 0.01});
+  set_perf_db(db);
+  TierGuard tier(common::CpuTier::kAvx2);
+  EXPECT_STREQ(bind(p, true)->solver->name(), "blocked_avx2");
+  common::set_active_tier(common::CpuTier::kSse2);
+  EXPECT_STREQ(bind(p, true)->solver->name(), "blocked_prepacked")
+      << "a tier switch must invalidate cached bindings automatically";
+  common::set_active_tier(common::CpuTier::kAvx2);
+  EXPECT_STREQ(bind(p, true)->solver->name(), "blocked_avx2");
 }
 
 TEST(Dispatch, TransposedProblemsFollowBackendLikeForwardOnes) {

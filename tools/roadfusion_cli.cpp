@@ -47,6 +47,7 @@
 #include "kitti/surface_normals.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/plan.hpp"
 #include "quant/runtime.hpp"
 #include "quant/scale_table.hpp"
 #include "roadseg/roadseg_net.hpp"
@@ -316,12 +317,16 @@ int cmd_infer(const cli::Args& args) {
         "                 [--scene-seed N] [--normals] [--threads N]\n"
         "                 [--kernel-backend reference|blocked] [--out dir]\n"
         "                 [--perf-db FILE] [--quant FILE] "
-        "[--trace trace.json]\n");
+        "[--trace trace.json]\n"
+        "                 [--explain-plan]\n\n"
+        "  --explain-plan  print the compiled inference plan (per-layer\n"
+        "                  layout, kernel/solver, fused epilogue, buffer\n"
+        "                  slots; DESIGN.md §16) before running\n");
     return 0;
   }
   args.allow_only({"model", "scheme", "category", "lighting", "scene-seed",
                    "normals", "threads", "kernel-backend", "out", "trace",
-                   "perf-db", "quant", "help"});
+                   "perf-db", "quant", "explain-plan", "help"});
   apply_perf_db(args);
   apply_quant(args);
   tensor::Rng rng(1);
@@ -370,6 +375,13 @@ int cmd_infer(const cli::Args& args) {
                 kitti::densify_range(sparse, data.depth), camera)
           : kitti::preprocess_depth(sparse, data.depth);
   const tensor::Tensor label = kitti::render_ground_truth(scene, camera);
+
+  if (args.has("explain-plan")) {
+    net.prepare_inference();
+    std::fputs(
+        plan::explain(net, 1, data.image_height, data.image_width).c_str(),
+        stdout);
+  }
 
   // Single-scene inference rides the same runtime as batch-infer: one
   // engine, one submitted request, one awaited future.

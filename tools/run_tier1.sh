@@ -45,6 +45,14 @@
 #                                 # availability at 2x capacity where the
 #                                 # bare engine collapses, with exact
 #                                 # request accounting
+#   tools/run_tier1.sh --plan-smoke
+#                                 # additionally run the inference-plan leg:
+#                                 # ctest -L plan (planned-vs-graph bitwise
+#                                 # diff per scheme + zero-alloc steady state
+#                                 # via AllocProbe), then train a throwaway
+#                                 # model and assert `roadfusion infer
+#                                 # --explain-plan` prints a blocked-layout
+#                                 # schedule
 #   tools/run_tier1.sh --scenario-smoke
 #                                 # additionally drive the corruption
 #                                 # round trip: `roadfusion eval-matrix
@@ -66,6 +74,7 @@ tune_smoke=0
 quant_smoke=0
 soak_smoke=0
 scenario_smoke=0
+plan_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) tsan=1 ;;
@@ -77,8 +86,9 @@ for arg in "$@"; do
     --quant-smoke) quant_smoke=1 ;;
     --soak-smoke) soak_smoke=1 ;;
     --scenario-smoke) scenario_smoke=1 ;;
+    --plan-smoke) plan_smoke=1 ;;
     *)
-      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke] [--soak-smoke] [--scenario-smoke]" >&2
+      echo "usage: tools/run_tier1.sh [--tsan] [--asan] [--ubsan] [--coverage] [--bench-smoke] [--tune-smoke] [--quant-smoke] [--soak-smoke] [--scenario-smoke] [--plan-smoke]" >&2
       exit 2
       ;;
   esac
@@ -95,8 +105,8 @@ if [[ "$tsan" == 1 ]]; then
     --target test_runtime_queue test_runtime_engine test_fault_tolerance \
              test_kernel_parity test_tracing test_metrics test_runtime_stats \
              test_workspace test_tune test_quant test_frontdoor test_serve_e2e \
-             test_stream
-  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$|test_frontdoor|test_serve_e2e|test_stream')
+             test_stream test_plan
+  (cd build-tsan && ctest --output-on-failure -R 'test_runtime|test_fault_tolerance|test_kernel_parity|test_tracing|test_metrics|test_workspace|test_tune|test_quant$|test_frontdoor|test_serve_e2e|test_stream|test_plan')
 fi
 
 if [[ "$asan" == 1 ]]; then
@@ -105,8 +115,8 @@ if [[ "$asan" == 1 ]]; then
   cmake --build build-asan -j \
     --target test_kernel_parity test_golden_inference test_fault_tolerance \
              test_workspace test_tune test_quant test_frontdoor \
-             test_scenario test_stream
-  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$|test_frontdoor|test_scenario|test_stream')
+             test_scenario test_stream test_plan
+  (cd build-asan && ctest --output-on-failure -R 'test_kernel_parity|test_golden_inference|test_fault_tolerance|test_workspace|test_tune|test_quant$|test_frontdoor|test_scenario|test_stream|test_plan')
 fi
 
 if [[ "$ubsan" == 1 ]]; then
@@ -158,6 +168,27 @@ if [[ "$scenario_smoke" == 1 ]]; then
     { echo "$stream_out"; echo "scenario smoke: stream verify line missing" >&2; exit 1; }
   (cd build && ./bench/bench_stream --smoke)
   echo "scenario smoke: OK"
+fi
+
+if [[ "$plan_smoke" == 1 ]]; then
+  echo "== Plan smoke: compiled schedule is bit-exact and allocation-free =="
+  cmake --build build -j --target test_plan roadfusion
+  # test_plan covers the gates directly: planned output memcmp-equal to
+  # the graph path for every fusion scheme, zero heap allocations per
+  # predict from the second call on (AllocProbe), and transparent decline
+  # fallbacks (forced solver, ROADFUSION_PLAN=0).
+  (cd build && ctest --output-on-failure -L plan)
+  # End to end: the CLI must print a blocked-layout schedule for a real
+  # checkpoint.
+  (cd build && ./tools/roadfusion train --epochs 1 --cap 2 --out plan_smoke.rfc >/dev/null)
+  explain="$(cd build && ./tools/roadfusion infer --model plan_smoke.rfc \
+      --explain-plan --out plan_smoke_out 2>&1)" ||
+    { echo "$explain"; echo "plan smoke: infer --explain-plan failed" >&2; exit 1; }
+  echo "$explain" | grep -q 'solver=nchwc_direct' ||
+    { echo "$explain"; echo "plan smoke: no blocked-layout conv in the schedule" >&2; exit 1; }
+  echo "$explain" | grep -q 'inference plan: scheme=' ||
+    { echo "$explain"; echo "plan smoke: plan header missing" >&2; exit 1; }
+  echo "plan smoke: OK"
 fi
 
 if [[ "$tune_smoke" == 1 ]]; then
